@@ -1,0 +1,60 @@
+"""A3: ablation -- activation-threshold sensitivity (Section 4.2).
+
+The paper quotes a 20%-of-cycles activation threshold, yet its own
+Figure 3 shows VolanoMark at ~6% remote stalls -- a literal 20% gate
+could never have fired there.  Expected shape: thresholds below the
+workload's remote-stall share activate (and deliver the gain);
+thresholds above it never activate, silently keeping default behaviour.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_ablation_activation
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_ablation_activation_threshold(benchmark):
+    study = benchmark.pedantic(
+        run_ablation_activation,
+        kwargs=dict(
+            workload_name="volanomark", n_rounds=BENCH_ROUNDS, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        f"A3: activation-threshold sweep ({study.workload}, "
+        f"baseline IPC {study.baseline_throughput:.3f})"
+    )
+    rows = [
+        (
+            p.threshold,
+            p.activated,
+            p.clustering_rounds,
+            p.speedup_vs_default,
+            p.overhead_fraction,
+        )
+        for p in study.points
+    ]
+    print(
+        format_table(
+            ["threshold", "activated", "rounds", "speedup", "overhead frac"],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+
+    by_threshold = {p.threshold: p for p in study.points}
+    # Low thresholds fire and help.
+    assert by_threshold[0.02].activated
+    assert by_threshold[0.02].speedup_vs_default > 0.01
+    # The paper's literal 20% can never fire on VolanoMark's ~6% remote
+    # share -- the reproduction's evidence for rescaling the default.
+    assert not by_threshold[0.20].activated
+    assert abs(by_threshold[0.20].speedup_vs_default) < 0.02
+    # Activation is monotone: once a threshold is too high to fire,
+    # higher ones do not fire either.
+    activated = [p.activated for p in sorted(study.points, key=lambda p: p.threshold)]
+    assert activated == sorted(activated, reverse=True)

@@ -1,0 +1,49 @@
+"""A1: ablation -- the one-pass heuristic vs full-blown algorithms.
+
+The paper's Section 8 future work: "Comparing the detection accuracy of
+our light-weight clustering algorithm against full-blown clustering
+algorithms".  Expected shape: on the shMap vectors the detector
+actually produced, the O(T*c) one-pass heuristic matches K-means (which
+needs k in advance) and hierarchical agglomerative clustering (which is
+far more expensive) in accuracy.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_ablation_clustering
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_ablation_clustering_algorithms(benchmark):
+    study = benchmark.pedantic(
+        run_ablation_clustering,
+        kwargs=dict(
+            workload_name="specjbb", n_rounds=BENCH_ROUNDS, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(f"A1: clustering-algorithm comparison ({study.workload})")
+    rows = [
+        (c.algorithm, c.n_clusters, c.purity, c.ari_vs_truth, c.runtime_seconds)
+        for c in study.comparisons
+    ]
+    print(
+        format_table(
+            ["algorithm", "clusters", "purity", "ARI vs truth", "runtime (s)"],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+
+    onepass = study.by_name("onepass")
+    kmeans = study.by_name("kmeans")
+    hierarchical = study.by_name("hierarchical")
+    # The light-weight heuristic is as accurate as the full algorithms.
+    assert onepass.purity >= 0.95
+    assert onepass.purity >= kmeans.purity - 0.05
+    assert onepass.purity >= hierarchical.purity - 0.05
+    # And it agrees with ground truth.
+    assert onepass.ari_vs_truth >= 0.9

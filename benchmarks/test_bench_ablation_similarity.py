@@ -1,0 +1,54 @@
+"""A2: ablation -- similarity-threshold sensitivity.
+
+The paper used "approximately 40000" (at ~1e6 samples) without a
+sensitivity study; Section 8 lists the similarity metric as unexamined.
+Expected shape: a broad plateau of correct clustering between the
+too-permissive regime (one merged blob) and the too-strict regime
+(all singletons).
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_ablation_similarity
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_ablation_similarity_threshold(benchmark):
+    study = benchmark.pedantic(
+        run_ablation_similarity,
+        kwargs=dict(
+            workload_name="specjbb", n_rounds=BENCH_ROUNDS, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(f"A2: similarity-threshold sweep ({study.workload})")
+    rows = [
+        (p.threshold, p.n_clusters, p.purity, p.n_unclustered)
+        for p in study.points
+    ]
+    print(
+        format_table(
+            ["threshold", "clusters", "purity", "unclustered"], rows
+        )
+    )
+
+    by_threshold = {p.threshold: p for p in study.points}
+    thresholds = sorted(by_threshold)
+    # Cluster count never decreases as the threshold rises.
+    counts = [by_threshold[t].n_clusters for t in thresholds]
+    assert counts == sorted(counts)
+    # The strictest threshold shatters everything into singletons (or
+    # leaves threads unclustered).
+    strictest = by_threshold[thresholds[-1]]
+    assert strictest.n_clusters + strictest.n_unclustered >= 10
+    # A plateau of correct clustering exists: at least two consecutive
+    # thresholds with perfect purity and the ground-truth cluster count.
+    good = [
+        t
+        for t in thresholds
+        if by_threshold[t].purity >= 0.95 and 2 <= by_threshold[t].n_clusters <= 3
+    ]
+    assert len(good) >= 2, f"no plateau found: {rows}"

@@ -1,0 +1,63 @@
+"""A4: ablation -- the Section 4.5 imbalance-tolerance rule.
+
+The paper says a cluster assignment that "causes an imbalance among
+chips" is neutralized (spread evenly) but never defines the imbalance
+test.  This sweep quantifies the trade-off on a 3-scoreboard
+microbenchmark (odd cluster count on 2 chips, so isolation and balance
+genuinely conflict): zero tolerance neutralizes a cluster and leaves
+remote traffic; generous tolerance keeps clusters whole at the cost of
+chip-load skew.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_ablation_tolerance
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_ablation_imbalance_tolerance(benchmark):
+    study = benchmark.pedantic(
+        run_ablation_tolerance,
+        kwargs=dict(n_rounds=BENCH_ROUNDS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(f"A4: imbalance-tolerance sweep ({study.workload})")
+    rows = [
+        (
+            p.tolerance,
+            p.speedup_vs_default,
+            p.remote_stall_fraction,
+            p.neutralized_clusters,
+            p.max_chip_load_imbalance,
+        )
+        for p in study.points
+    ]
+    print(
+        format_table(
+            [
+                "tolerance",
+                "speedup",
+                "remote stall frac",
+                "neutralized",
+                "max chip imbalance",
+            ],
+            rows,
+        )
+    )
+
+    by_tolerance = {p.tolerance: p for p in study.points}
+    strict = by_tolerance[0.0]
+    generous = max(study.points, key=lambda p: p.tolerance)
+    # Zero tolerance neutralizes at least one cluster and keeps loads
+    # exactly balanced -- at the cost of residual remote traffic.
+    assert strict.neutralized_clusters >= 1
+    assert strict.max_chip_load_imbalance <= 1
+    assert strict.remote_stall_fraction > generous.remote_stall_fraction
+    # Generous tolerance keeps every cluster whole.
+    assert generous.neutralized_clusters == 0
+    # Every setting still beats default Linux.
+    for point in study.points:
+        assert point.speedup_vs_default > 0.0

@@ -1,0 +1,66 @@
+"""EXT4: connection churn vs clustering quality (§5.3.4's rationale).
+
+The paper made RUBiS connections persistent so per-thread sharing could
+be monitored "over the long term".  Expected shape: the clustering gain
+survives long connection lifetimes, collapses as lifetimes shrink
+toward the detection latency, and short-lived connections leave the
+scheme pinning threads that are about to die.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_churn_study
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_churn_vs_clustering(benchmark):
+    study = benchmark.pedantic(
+        run_churn_study,
+        kwargs=dict(n_rounds=BENCH_ROUNDS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("EXT4: connection lifetime vs clustering gain (RUBiS)")
+    rows = [
+        (
+            p.label,
+            p.connections_closed,
+            p.clustering_rounds,
+            p.baseline_remote,
+            p.clustered_remote,
+            p.speedup,
+            p.overhead_fraction,
+        )
+        for p in study.points
+    ]
+    print(
+        format_table(
+            [
+                "lifetime (quanta)",
+                "closed",
+                "rounds",
+                "baseline remote",
+                "clustered remote",
+                "speedup",
+                "overhead",
+            ],
+            rows,
+        )
+    )
+
+    persistent = study.by_lifetime(None)
+    long_lived = study.by_lifetime(120)
+    short_lived = study.by_lifetime(8)
+    # Persistent connections: the paper's configuration, full gain.
+    assert persistent.speedup > 0.10
+    assert persistent.clustered_remote < 0.5 * persistent.baseline_remote
+    # Long lifetimes (>> detection latency) keep most of the gain.
+    assert long_lived.speedup > 0.5 * persistent.speedup
+    # Short lifetimes destroy it -- the monitoring never converges on
+    # stable thread identities (why the paper needed persistence).
+    assert short_lived.speedup < 0.5 * persistent.speedup
+    assert short_lived.clustered_remote > persistent.clustered_remote
+    # And the degradation is monotone in churn intensity.
+    assert study.gain_degrades_with_churn

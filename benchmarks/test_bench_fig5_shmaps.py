@@ -1,0 +1,52 @@
+"""F5: Figure 5 -- visual representation of shMap vectors, four workloads.
+
+Paper shape: for the microbenchmark, SPECjbb (4 warehouses) and RUBiS,
+the detected clusters conform to the application's logical partitioning
+(scoreboards / warehouses / database instances); rows of a cluster share
+continuous vertical dark lines.  VolanoMark's clusters need not conform
+to its rooms, yet clustering still groups genuinely sharing threads.
+"""
+
+from repro.experiments import run_fig5
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_fig5_shmap_visualisation(benchmark):
+    figures = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(n_rounds=BENCH_ROUNDS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for name, figure in figures.items():
+        print(f"=== Figure 5: {name} ===")
+        print(figure.ascii_art(max_columns=100))
+        if figure.accuracy:
+            print(
+                f"[{name}] {figure.accuracy.n_clusters} clusters "
+                f"{figure.accuracy.cluster_sizes} vs "
+                f"{figure.accuracy.n_ground_truth_groups} ground-truth "
+                f"groups, purity {figure.accuracy.purity:.2f}"
+            )
+        print()
+
+    # Every workload must have produced shMaps and clusters.
+    for name, figure in figures.items():
+        assert figure.clustered, f"{name} never clustered"
+
+    # Conforming cases: microbenchmark (one cluster per scoreboard),
+    # SPECjbb (one per warehouse), RUBiS (one per instance) -- purity
+    # must be near-perfect and cluster count must match ground truth.
+    for name in ("microbenchmark", "specjbb", "rubis"):
+        accuracy = figures[name].accuracy
+        assert accuracy is not None
+        assert accuracy.purity >= 0.9, name
+        assert accuracy.n_clusters >= accuracy.n_ground_truth_groups, name
+
+    # VolanoMark: clusters group sharing threads (high purity against
+    # rooms is allowed but NOT required -- the paper's detected clusters
+    # did not conform to rooms).
+    assert figures["volanomark"].accuracy is not None

@@ -1,0 +1,54 @@
+"""F8: Figure 8 -- runtime overhead & tracking time vs sampling rate.
+
+Paper shape: as the fraction of remote cache accesses captured grows
+(2% -> 50%), runtime overhead rises while the time needed to collect
+the sample budget falls; 10% is a good balance point.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_fig8
+
+from .conftest import BENCH_SEED
+
+
+def test_bench_fig8_sampling_tradeoff(benchmark):
+    study = benchmark.pedantic(
+        run_fig8,
+        kwargs=dict(workload_name="specjbb", seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(f"Figure 8: sampling-rate trade-off ({study.workload})")
+    print(
+        format_table(
+            [
+                "captured %",
+                "period N",
+                "overhead frac",
+                "tracking cycles",
+                "samples",
+                "capture accuracy",
+            ],
+            study.table_rows(),
+            float_format="{:.4f}",
+        )
+    )
+
+    overheads = study.overheads()
+    tracking = study.tracking_times()
+    # Every point clustered (finite tracking time).
+    assert all(t != float("inf") for t in tracking)
+    # Overhead rises with capture rate (allowing small non-monotonic
+    # jitter between adjacent points).
+    assert overheads[-1] > overheads[0]
+    assert max(overheads) == max(overheads[-2:], default=overheads[-1]) or (
+        overheads[-1] >= 0.8 * max(overheads)
+    )
+    # Tracking time falls with capture rate.
+    assert tracking[-1] < tracking[0]
+    # Capture accuracy stays high at every rate (the 5.2.1 noise
+    # rejection: "almost all" samples are true remote accesses).
+    for point in study.points:
+        assert point.capture_accuracy > 0.9

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Not a paper artefact: these keep the substrate's constant factors
+honest (the per-reference cache walk dominates experiment wall-clock)
+and exercise pytest-benchmark's statistical timing on functions that
+run millions of times per experiment.
+"""
+
+import numpy as np
+
+from repro.cache import CacheHierarchy
+from repro.clustering import OnePassClusterer, ShMapTable
+from repro.pmu import RemoteAccessCaptureEngine
+from repro.cache.stats import IDX_REMOTE_L2
+from repro.topology import openpower_720
+
+
+def test_bench_cache_hierarchy_access(benchmark):
+    """Throughput of the per-reference cache walk."""
+    hierarchy = CacheHierarchy(openpower_720(cache_scale=16))
+    rng = np.random.default_rng(0)
+    addresses = rng.integers(0, 1 << 22, size=5_000, dtype=np.int64).tolist()
+    writes = (rng.random(5_000) < 0.3).tolist()
+    cpus = rng.integers(0, 8, size=5_000).tolist()
+
+    def walk():
+        access = hierarchy.access
+        for i in range(5_000):
+            access(cpus[i], addresses[i], writes[i])
+
+    benchmark(walk)
+
+
+def test_bench_shmap_observe(benchmark):
+    """Throughput of the sample-to-shMap pipeline."""
+    rng = np.random.default_rng(1)
+    addresses = (rng.integers(0, 4_000, size=5_000) * 128).tolist()
+    tids = rng.integers(0, 32, size=5_000).tolist()
+
+    def observe():
+        table = ShMapTable()
+        for i in range(5_000):
+            table.observe(tids[i], addresses[i])
+
+    benchmark(observe)
+
+
+def test_bench_capture_engine(benchmark):
+    """Throughput of the PMU capture path on a pure remote-miss stream."""
+    engine = RemoteAccessCaptureEngine(
+        n_cpus=8, rng=np.random.default_rng(2), period=10
+    )
+    engine.start()
+    addresses = [0x1000 + i * 128 for i in range(5_000)]
+
+    def capture():
+        on_miss = engine.on_l1_miss
+        for i in range(5_000):
+            on_miss(i & 7, addresses[i], i & 31, IDX_REMOTE_L2, i)
+
+    benchmark(capture)
+
+
+def test_bench_onepass_clusterer(benchmark):
+    """One clustering pass over 64 threads x 256 entries."""
+    rng = np.random.default_rng(3)
+    vectors = {}
+    for tid in range(64):
+        vector = np.zeros(256, dtype=np.int64)
+        group = tid % 4
+        for k in range(6):
+            vector[group * 12 + k] = 3 + rng.integers(0, 8)
+        vectors[tid] = vector
+    clusterer = OnePassClusterer(similarity_threshold=25.0, noise_floor=2)
+
+    result = benchmark(clusterer.cluster, vectors)
+    assert result.n_clusters == 4

@@ -1,0 +1,71 @@
+"""EXT3: multiprogrammed tenancy (the paper's motivating environment).
+
+Two unrelated services -- a chat server and a database -- share the
+machine as separate processes.  Expected shape: automatic clustering
+detects each service's internal sharing groups using *per-process*
+shMap filters (Section 4.3.1), never forms a cluster spanning two
+address spaces, and consolidates every group onto one chip, removing
+the bulk of remote stalls.
+"""
+
+from repro.analysis import format_table
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import MultiProgrammedWorkload, Rubis, VolanoMark
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def build_workload():
+    return MultiProgrammedWorkload(
+        [
+            VolanoMark(n_rooms=2, clients_per_room=2),
+            Rubis(n_instances=2, clients_per_instance=4),
+        ]
+    )
+
+
+def run_pair():
+    results = {}
+    for policy in (PlacementPolicy.DEFAULT_LINUX, PlacementPolicy.CLUSTERED):
+        workload = build_workload()
+        config = SimConfig(
+            policy=policy,
+            n_rounds=BENCH_ROUNDS,
+            seed=BENCH_SEED,
+            measurement_start_fraction=0.55,
+        )
+        results[policy.value] = (workload, run_simulation(workload, config))
+    return results
+
+
+def test_bench_mixed_tenancy(benchmark):
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    _, baseline = results["default_linux"]
+    workload, clustered = results["clustered"]
+
+    print()
+    print("EXT3: mixed tenancy (volanomark + rubis, separate processes)")
+    print(
+        format_table(
+            ["policy", "remote stall frac", "IPC"],
+            [
+                ("default_linux", baseline.remote_stall_fraction, baseline.throughput),
+                ("clustered", clustered.remote_stall_fraction, clustered.throughput),
+            ],
+        )
+    )
+    speedup = clustered.throughput / baseline.throughput - 1
+    print(f"speedup: {speedup:+.1%}")
+
+    assert clustered.n_clustering_rounds >= 1
+    event = clustered.clustering_events[-1]
+    # Clusters never span processes (per-process shMap filters).
+    for members in event.result.clusters:
+        assert len({workload.process_of(t) for t in members}) == 1
+    # Both services' sharing structures detected (4 groups total).
+    big = [c for c in event.result.clusters if len(c) >= 2]
+    assert len(big) == 4
+    # Substantial remote-stall reduction and a real gain.
+    assert clustered.remote_stall_fraction < 0.5 * baseline.remote_stall_fraction
+    assert speedup > 0.02

@@ -1,0 +1,36 @@
+"""EXT: phase-change re-clustering (the Section 4.1 iterative claim).
+
+"We apply these phases in an iterative process [...] application phase
+changes are automatically accounted for."  Expected shape: remote
+stalls settle after the first clustering round, spike when the sharing
+pattern is re-partitioned mid-run, and settle again after the
+controller's second round.
+"""
+
+from repro.experiments import run_phase_change
+
+from .conftest import BENCH_SEED
+
+
+def test_bench_phase_change_reclustering(benchmark):
+    report = benchmark.pedantic(
+        run_phase_change,
+        kwargs=dict(n_rounds=900, phase_change_round=400, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Phase-change study (scoreboard microbenchmark):")
+    print(f"  clustering rounds:            {report.clustering_rounds}")
+    print(f"  settled before change:        {report.settled_before_change:.3f}")
+    print(f"  spike after change:           {report.spike_after_change:.3f}")
+    print(f"  settled after re-clustering:  {report.settled_after_rechuster:.3f}")
+
+    # The first round settled the system.
+    assert report.settled_before_change < 0.05
+    # The phase change produced a real spike.
+    assert report.spike_after_change > 2 * max(report.settled_before_change, 0.01)
+    # The controller re-clustered and recovered.
+    assert report.reclustered
+    assert report.recovered

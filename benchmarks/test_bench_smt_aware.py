@@ -1,0 +1,48 @@
+"""EXT2: SMT-aware intra-chip placement (the Section 4.5 complement).
+
+The paper randomises seats within a chip and cites CMT-/SMT-aware
+schedulers as complementary intra-chip techniques.  With co-runner-
+sensitive SMT contention, pairing memory-heavy threads with
+compute-heavy ones on each core must beat random seating -- and never
+disturb the chip-level clustering decision.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_smt_aware
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_smt_aware_intra_chip(benchmark):
+    study = benchmark.pedantic(
+        run_smt_aware,
+        kwargs=dict(n_rounds=BENCH_ROUNDS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        "EXT2: intra-chip seating, heterogeneous microbenchmark "
+        f"(co-runner sensitivity {study.sensitivity})"
+    )
+    rows = [
+        (p.intra_chip_policy, p.throughput, p.remote_stall_fraction, p.hot_hot_cores)
+        for p in study.points
+    ]
+    print(
+        format_table(
+            ["intra-chip policy", "IPC", "remote stall frac", "hot-hot cores"],
+            rows,
+        )
+    )
+    print(f"SMT-aware gain over random seating: {study.smt_aware_gain:+.1%}")
+
+    aware = study.by_policy("smt_aware")
+    random_point = study.by_policy("random")
+    # SMT-aware seating never pairs two memory-heavy threads on a core.
+    assert aware.hot_hot_cores == 0
+    # It beats (or at worst matches) random seating.
+    assert study.smt_aware_gain >= 0.0
+    # And it does not disturb the chip-level clustering outcome.
+    assert aware.remote_stall_fraction <= random_point.remote_stall_fraction + 0.02

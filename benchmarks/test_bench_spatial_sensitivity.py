@@ -1,0 +1,47 @@
+"""S64: Section 6.4 -- spatial-sampling sensitivity (shMap size).
+
+Paper shape: 128-, 256- and 512-entry shMaps all identify the same
+thread clusters ("we found the cluster identification to be largely
+invariant").
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_sec64
+
+from .conftest import BENCH_ROUNDS, BENCH_SEED
+
+
+def test_bench_sec64_shmap_size_invariance(benchmark):
+    study = benchmark.pedantic(
+        run_sec64,
+        kwargs=dict(
+            workload_name="specjbb", n_rounds=BENCH_ROUNDS, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(f"Section 6.4: shMap-size sensitivity ({study.workload})")
+    rows = [
+        (
+            p.n_entries,
+            p.accuracy.n_clusters if p.accuracy else 0,
+            p.accuracy.purity if p.accuracy else 0.0,
+            p.remote_stall_fraction,
+        )
+        for p in study.points
+    ]
+    print(
+        format_table(
+            ["shMap entries", "clusters found", "purity", "remote stall frac"],
+            rows,
+        )
+    )
+
+    # Every size clustered, with the same structure and high purity.
+    for point in study.points:
+        assert point.accuracy is not None, f"{point.n_entries} never clustered"
+        assert point.accuracy.purity >= 0.9
+    counts = study.cluster_counts()
+    assert len(set(counts)) == 1, f"cluster structure varied: {counts}"

@@ -1,0 +1,51 @@
+"""T1/F1: Table 1 platform specification and Figure 1 latencies.
+
+Prints the Table 1 rows for the modelled OpenPower 720 and the measured
+per-level access latencies of Figure 1, verified by hierarchy probes.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import run_fig1
+from repro.topology import openpower_720
+
+
+def test_bench_table1_and_fig1_latencies(benchmark):
+    report = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    spec = openpower_720()
+    print()
+    print("Table 1: IBM OpenPower 720 specification (modelled)")
+    print(
+        format_table(
+            ["item", "specification"],
+            [
+                ("# of chips", spec.machine.n_chips),
+                ("# of cores", f"{spec.machine.chips[0].n_cores} per chip"),
+                ("SMT", f"{spec.machine.smt_width}-way"),
+                ("clock", f"{spec.clock_ghz} GHz"),
+                ("L1 DCache", f"{spec.l1_geometry.capacity_bytes // 1024}KB, "
+                               f"{spec.l1_geometry.associativity}-way, per core"),
+                ("L2 Cache", f"{spec.l2_geometry.capacity_bytes // 1024 // 1024}MB, "
+                              f"{spec.l2_geometry.associativity}-way, per chip"),
+                ("L3 Cache", f"{spec.l3_geometry.capacity_bytes // 1024 // 1024}MB, "
+                              f"{spec.l3_geometry.associativity}-way, per chip"),
+            ],
+        )
+    )
+    print()
+    print(f"Figure 1: measured access latencies ({report.machine_description})")
+    print(
+        format_table(
+            ["level", "probe pattern", "observed", "cycles"],
+            report.rows(),
+        )
+    )
+
+    # Every probe must be satisfied from the level its pattern targets.
+    assert report.all_match
+    # Figure 1's key property: cross-chip sharing costs >= 120 cycles,
+    # on-chip sharing 1-2 (L1) / 10-20 (L2).
+    latency = {p.source.value: p.latency_cycles for p in report.probes}
+    assert latency["remote_l2"] >= 120
+    assert 1 <= latency["l1"] <= 2
+    assert 10 <= latency["local_l2"] <= 20

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: automatic thread clustering on one workload.
+
+Runs the SPECjbb-style warehouse workload twice on the simulated
+OpenPower 720 -- once under default (sharing-oblivious) Linux
+scheduling, once with automatic thread clustering -- and reports what
+the clustering scheme detected and what it bought.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import PlacementPolicy, SimConfig, SpecJbb, run_simulation
+from repro.analysis import stall_breakdown_table
+
+
+def main() -> None:
+    # The paper's performance configuration: 2 warehouses x 8 threads.
+    make_workload = lambda: SpecJbb(n_warehouses=2, threads_per_warehouse=8)
+
+    print("=== default Linux scheduling (sharing-oblivious) ===")
+    default_config = SimConfig(
+        policy=PlacementPolicy.DEFAULT_LINUX,
+        n_rounds=450,
+        measurement_start_fraction=0.55,
+        seed=3,
+    )
+    baseline = run_simulation(make_workload(), default_config)
+    print(stall_breakdown_table(baseline))
+    print()
+
+    print("=== automatic thread clustering ===")
+    clustered_config = SimConfig(
+        policy=PlacementPolicy.CLUSTERED,
+        n_rounds=450,
+        measurement_start_fraction=0.55,
+        seed=3,
+    )
+    workload = make_workload()
+    clustered = run_simulation(workload, clustered_config)
+    print(stall_breakdown_table(clustered))
+    print()
+
+    for event in clustered.clustering_events:
+        sizes = sorted(event.result.sizes(), reverse=True)
+        print(
+            f"clustering round at cycle {event.migrated_at_cycle:,}: "
+            f"{event.result.n_clusters} clusters of sizes {sizes}, "
+            f"{event.migrations_executed} threads migrated "
+            f"(from {event.samples_used} PMU samples)"
+        )
+
+    truth = workload.ground_truth()
+    for summary in clustered.thread_summaries:
+        if summary.sharing_group >= 0:
+            print(
+                f"  {summary.name:16s} warehouse={summary.sharing_group} "
+                f"detected_cluster={summary.detected_cluster} "
+                f"final_chip={summary.final_chip}"
+            )
+
+    reduction = 1.0 - (
+        clustered.remote_stall_fraction / baseline.remote_stall_fraction
+        if baseline.remote_stall_fraction
+        else 1.0
+    )
+    speedup = clustered.throughput / baseline.throughput - 1.0
+    print()
+    print(
+        f"remote-cache-access stalls: {baseline.remote_stall_fraction:.1%} "
+        f"-> {clustered.remote_stall_fraction:.1%} "
+        f"({reduction:.0%} reduction)"
+    )
+    print(f"throughput: {speedup:+.1%} vs default Linux")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Thread clustering: sharing-aware scheduling on SMP-CMP-SMT multiprocessors.
+
+A simulation-based reproduction of Tam, Azimi & Stumm (EuroSys 2007).
+The package models the complete stack the paper depends on -- machine
+topology, caches with cross-chip coherence, a Power5-style PMU, an OS
+scheduler -- and implements the paper's contribution on top: online
+detection of thread sharing patterns from sampled remote-cache-access
+addresses (shMaps), one-pass clustering, and cluster-to-chip migration.
+
+Quick start::
+
+    from repro import PlacementPolicy, SimConfig, VolanoMark, run_simulation
+
+    result = run_simulation(
+        VolanoMark(), SimConfig(policy=PlacementPolicy.CLUSTERED)
+    )
+    print(result.summary())
+
+Subpackages:
+
+* ``repro.topology`` -- SMP-CMP-SMT machine model and latency maps
+* ``repro.memory`` -- virtual-memory regions and reference batches
+* ``repro.cache`` -- set-associative caches and the coherence directory
+* ``repro.pmu`` -- counters, continuous sampling, stall breakdown
+* ``repro.sched`` -- runqueues, load balancing, placement policies
+* ``repro.clustering`` -- shMaps, similarity, clustering, migration
+* ``repro.workloads`` -- the four benchmark models
+* ``repro.sim`` -- the quantum-driven simulation engine
+* ``repro.analysis`` -- shMap visualisation and report tables
+* ``repro.experiments`` -- one runner per paper table/figure
+"""
+
+from .clustering import (
+    ClusteringController,
+    ControllerConfig,
+    OnePassClusterer,
+    ShMapConfig,
+    ShMapTable,
+)
+from .sched import PlacementPolicy
+from .sim import SimConfig, SimResult, Simulator, run_simulation
+from .topology import (
+    LatencyMap,
+    MachineSpec,
+    build_machine,
+    openpower_720,
+    power5_32way,
+)
+from .workloads import (
+    Rubis,
+    ScoreboardMicrobenchmark,
+    SpecJbb,
+    VolanoMark,
+    WorkloadModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringController",
+    "ControllerConfig",
+    "OnePassClusterer",
+    "ShMapConfig",
+    "ShMapTable",
+    "PlacementPolicy",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "run_simulation",
+    "LatencyMap",
+    "MachineSpec",
+    "build_machine",
+    "openpower_720",
+    "power5_32way",
+    "Rubis",
+    "ScoreboardMicrobenchmark",
+    "SpecJbb",
+    "VolanoMark",
+    "WorkloadModel",
+    "__version__",
+]

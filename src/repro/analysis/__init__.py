@@ -1,0 +1,33 @@
+"""Analysis and reporting: shMap visualisation, result tables."""
+
+from .export import experiment_to_json, rows_to_csv, sim_result_to_dict
+from .report import (
+    cluster_accuracy_line,
+    format_table,
+    placement_comparison_table,
+    stall_breakdown_table,
+)
+from .visualize import (
+    ascii_shmap,
+    sparkline,
+    drop_global_columns,
+    order_rows_by_cluster,
+    sharing_signature_stats,
+    shmap_to_pgm,
+)
+
+__all__ = [
+    "experiment_to_json",
+    "rows_to_csv",
+    "sim_result_to_dict",
+    "cluster_accuracy_line",
+    "format_table",
+    "placement_comparison_table",
+    "stall_breakdown_table",
+    "ascii_shmap",
+    "drop_global_columns",
+    "order_rows_by_cluster",
+    "sharing_signature_stats",
+    "shmap_to_pgm",
+    "sparkline",
+]

@@ -1,0 +1,106 @@
+"""Export experiment results to JSON and CSV.
+
+Every experiment runner returns plain dataclasses; these helpers
+serialise them so results can be archived, diffed across runs, and
+plotted outside this package.  The JSON layout is stable: one top-level
+``experiment`` tag, a ``parameters`` block, and a ``rows`` list that
+mirrors the printed table of the corresponding benchmark.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..sim.results import SimResult
+
+
+def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
+    """Flatten a :class:`SimResult` into JSON-serialisable primitives."""
+    payload: Dict[str, Any] = {
+        "workload": result.workload_name,
+        "policy": result.config_policy,
+        "n_rounds": result.n_rounds,
+        "elapsed_cycles": float(result.elapsed_cycles),
+        "metrics": result.summary(),
+        "stall_fractions": {
+            cause.value: share
+            for cause, share in result.stall_fractions().items()
+        },
+        "clustering": {
+            "rounds": result.n_clustering_rounds,
+            "assignment": {
+                str(tid): cluster
+                for tid, cluster in result.detected_assignment().items()
+            },
+        },
+        "threads": [
+            {
+                "tid": t.tid,
+                "name": t.name,
+                "sharing_group": t.sharing_group,
+                "detected_cluster": t.detected_cluster,
+                "final_chip": t.final_chip,
+                "migrations": t.migrations,
+                "cross_chip_migrations": t.cross_chip_migrations,
+                "instructions": t.instructions,
+                "cycles": t.cycles,
+            }
+            for t in result.thread_summaries
+        ],
+        "timeline": [
+            {
+                "round": p.round_index,
+                "mean_cycle": p.mean_cycle,
+                "remote_stall_fraction": p.remote_stall_fraction,
+                "ipc": p.ipc,
+            }
+            for p in result.timeline
+        ],
+    }
+    if result.capture_stats is not None:
+        stats = result.capture_stats
+        payload["capture"] = {
+            "samples_delivered": stats.samples_delivered,
+            "capture_accuracy": stats.capture_accuracy,
+            "overhead_cycles": stats.overhead_cycles,
+            "remote_accesses_seen": stats.remote_accesses_seen,
+        }
+    return payload
+
+
+def experiment_to_json(
+    experiment: str,
+    rows: Sequence[Dict[str, Any]],
+    parameters: Dict[str, Any] | None = None,
+    indent: int = 2,
+) -> str:
+    """Stable JSON document for one experiment's table."""
+    return json.dumps(
+        {
+            "experiment": experiment,
+            "parameters": parameters or {},
+            "rows": list(rows),
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]]) -> str:
+    """CSV text with a header row (empty string for no rows)."""
+    if not rows:
+        return ""
+    fieldnames: List[str] = list(rows[0])
+    for row in rows[1:]:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,105 @@
+"""Plain-text tables for experiment results.
+
+Every benchmark prints the rows the corresponding paper table or figure
+reports; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..pmu.events import StallCause
+from ..sim.results import SimResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Fixed-width text table with right-aligned numeric columns."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def stall_breakdown_table(result: SimResult) -> str:
+    """Figure 3-style CPI breakdown for one run."""
+    fractions = result.stall_fractions()
+    rows = []
+    for cause in StallCause:
+        share = fractions[cause]
+        if share < 0.0005:
+            continue
+        rows.append((cause.value, share, share * result.cpi))
+    header = (
+        f"{result.workload_name} under {result.config_policy}: "
+        f"CPI = {result.cpi:.2f}\n"
+    )
+    return header + format_table(
+        ["cause", "share of cycles", "CPI contribution"], rows
+    )
+
+
+def placement_comparison_table(
+    results: Dict[str, SimResult], baseline_key: str = "default_linux"
+) -> str:
+    """Figures 6 and 7 in one table: remote stalls and throughput,
+    normalised to the baseline policy."""
+    baseline = results[baseline_key]
+    rows = []
+    for key, result in results.items():
+        reduction = 0.0
+        if baseline.remote_stall_fraction > 0:
+            reduction = 1.0 - (
+                result.remote_stall_fraction / baseline.remote_stall_fraction
+            )
+        speedup = (
+            result.throughput / baseline.throughput - 1.0
+            if baseline.throughput
+            else 0.0
+        )
+        rows.append(
+            (
+                key,
+                result.remote_stall_fraction,
+                reduction,
+                result.throughput,
+                speedup,
+            )
+        )
+    return format_table(
+        [
+            "placement",
+            "remote stall frac",
+            "reduction vs base",
+            "throughput (IPC)",
+            "speedup vs base",
+        ],
+        rows,
+    )
+
+
+def cluster_accuracy_line(
+    workload: str, purity_value: float, n_clusters: int, n_ground_truth: int
+) -> str:
+    return (
+        f"{workload}: detected {n_clusters} cluster(s) against "
+        f"{n_ground_truth} ground-truth group(s), purity {purity_value:.2f}"
+    )

@@ -1,0 +1,174 @@
+"""shMap visualisation (Figure 5) without plotting dependencies.
+
+Figure 5 of the paper renders each application as a gray-scale picture:
+one row per thread's shMap vector, one column per shMap entry, darker
+points for more frequently sampled entries, rows grouped by detected
+cluster so that "a continuous vertical dark line represents thread
+sharing among correctly clustered threads".
+
+This module reproduces that artefact in two forms that need no display:
+
+* an ASCII rendering (shades '` .:-=+*#%@`') for terminals and logs;
+* a PGM (portable graymap) file, viewable by any image tool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: ASCII gray ramp from light to dark.
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def order_rows_by_cluster(
+    matrix: np.ndarray,
+    tids: Sequence[int],
+    assignment: Dict[int, int],
+) -> Tuple[np.ndarray, List[int], List[Tuple[int, int]]]:
+    """Reorder shMap rows so cluster members are adjacent.
+
+    Returns the reordered matrix, the tids in render order, and
+    ``(cluster_id, n_rows)`` extents for labelling.  Unclustered threads
+    (cluster -1) are rendered last.
+    """
+    if len(tids) != matrix.shape[0]:
+        raise ValueError("tids must label every matrix row")
+    def sort_key(position: int) -> Tuple[int, int]:
+        tid = tids[position]
+        cluster = assignment.get(tid, -1)
+        return (cluster if cluster >= 0 else 10**9, tid)
+
+    order = sorted(range(len(tids)), key=sort_key)
+    ordered_matrix = matrix[order]
+    ordered_tids = [tids[i] for i in order]
+    extents: List[Tuple[int, int]] = []
+    for position in order:
+        cluster = assignment.get(tids[position], -1)
+        if extents and extents[-1][0] == cluster:
+            extents[-1] = (cluster, extents[-1][1] + 1)
+        else:
+            extents.append((cluster, 1))
+    return ordered_matrix, ordered_tids, extents
+
+
+def drop_global_columns(
+    matrix: np.ndarray, global_fraction: float = 0.5
+) -> np.ndarray:
+    """Zero the globally-shared columns, as Figure 5's caption notes
+    ("the globally (process-wide) shared data have been removed")."""
+    if matrix.size == 0:
+        return matrix
+    touched = (matrix > 0).sum(axis=0)
+    keep = touched <= global_fraction * matrix.shape[0]
+    return np.where(keep[None, :], matrix, 0)
+
+
+def ascii_shmap(
+    matrix: np.ndarray,
+    tids: Sequence[int],
+    assignment: Optional[Dict[int, int]] = None,
+    max_columns: int = 128,
+    remove_global: bool = True,
+) -> str:
+    """Render the shMap matrix as ASCII art grouped by cluster."""
+    if matrix.size == 0:
+        return "(no shMap samples recorded)"
+    assignment = assignment or {}
+    if remove_global:
+        matrix = drop_global_columns(matrix)
+    ordered, ordered_tids, extents = order_rows_by_cluster(
+        matrix, list(tids), assignment
+    )
+    if ordered.shape[1] > max_columns:
+        # Fold columns so wide vectors still fit a terminal.
+        fold = -(-ordered.shape[1] // max_columns)
+        pad = (-ordered.shape[1]) % fold
+        padded = np.pad(ordered, ((0, 0), (0, pad)))
+        ordered = padded.reshape(ordered.shape[0], -1, fold).max(axis=2)
+
+    peak = ordered.max()
+    lines: List[str] = []
+    row = 0
+    for cluster, extent in extents:
+        label = f"cluster {cluster}" if cluster >= 0 else "unclustered"
+        lines.append(f"--- {label} ({extent} threads) ---")
+        for _ in range(extent):
+            values = ordered[row]
+            if peak > 0:
+                shades = (values * (len(_ASCII_RAMP) - 1) // max(1, peak)).astype(int)
+            else:
+                shades = np.zeros(len(values), dtype=int)
+            text = "".join(_ASCII_RAMP[s] for s in shades)
+            lines.append(f"t{ordered_tids[row]:>4} |{text}|")
+            row += 1
+    return "\n".join(lines)
+
+
+def shmap_to_pgm(
+    matrix: np.ndarray,
+    tids: Sequence[int],
+    assignment: Optional[Dict[int, int]] = None,
+    row_height: int = 4,
+    remove_global: bool = True,
+) -> bytes:
+    """Encode the cluster-ordered shMap matrix as a binary PGM image.
+
+    Dark pixels mark frequently sampled entries, as in Figure 5 (the PGM
+    convention is 0 = black, so values are inverted).
+    """
+    assignment = assignment or {}
+    if matrix.size == 0:
+        return b"P5\n1 1\n255\n\xff"
+    if remove_global:
+        matrix = drop_global_columns(matrix)
+    ordered, _, _ = order_rows_by_cluster(matrix, list(tids), assignment)
+    peak = max(1, int(ordered.max()))
+    scaled = 255 - (ordered.astype(np.int64) * 255 // peak)
+    image = np.repeat(scaled.astype(np.uint8), row_height, axis=0)
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode()
+    return header + image.tobytes()
+
+
+def sharing_signature_stats(matrix: np.ndarray) -> Dict[str, float]:
+    """Summary statistics of a shMap matrix for reports."""
+    if matrix.size == 0:
+        return {
+            "n_threads": 0.0,
+            "n_entries": 0.0,
+            "nonzero_fraction": 0.0,
+            "max_count": 0.0,
+        }
+    return {
+        "n_threads": float(matrix.shape[0]),
+        "n_entries": float(matrix.shape[1]),
+        "nonzero_fraction": float((matrix > 0).mean()),
+        "max_count": float(matrix.max()),
+    }
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Fold a numeric series into a fixed-width ASCII sparkline.
+
+    Used for remote-stall and IPC timelines in examples and reports;
+    peaks are preserved by taking the max within each fold bucket.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return " " * min(width, len(values))
+    if len(values) > width:
+        stride = len(values) / width
+        folded = []
+        for i in range(width):
+            start = int(i * stride)
+            end = max(start + 1, int((i + 1) * stride))
+            folded.append(max(values[start:end]))
+        values = folded
+    return "".join(
+        _ASCII_RAMP[min(len(_ASCII_RAMP) - 1, int(v / peak * (len(_ASCII_RAMP) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,33 @@
+"""Cache hierarchy simulation: set-associative caches, coherence, stats."""
+
+from .cache import SetAssociativeCache
+from .coherence import CoherenceDirectory
+from .hierarchy import CacheHierarchy
+from .stats import (
+    IDX_L1,
+    IDX_LOCAL_L2,
+    IDX_LOCAL_L3,
+    IDX_MEMORY,
+    IDX_REMOTE_L2,
+    IDX_REMOTE_L3,
+    REMOTE_SOURCE_INDICES,
+    SOURCE_INDEX,
+    SOURCE_ORDER,
+    AccessStats,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "CoherenceDirectory",
+    "CacheHierarchy",
+    "AccessStats",
+    "SOURCE_ORDER",
+    "SOURCE_INDEX",
+    "REMOTE_SOURCE_INDICES",
+    "IDX_L1",
+    "IDX_LOCAL_L2",
+    "IDX_LOCAL_L3",
+    "IDX_REMOTE_L2",
+    "IDX_REMOTE_L3",
+    "IDX_MEMORY",
+]

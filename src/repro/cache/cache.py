@@ -1,0 +1,112 @@
+"""A set-associative cache with LRU replacement, modelled at line level.
+
+The simulator tracks only *which lines are present* in each cache, not
+their contents: the clustering scheme consumes hit/miss outcomes and the
+coherence traffic they generate, never data values.  Lines are identified
+by their line number (address >> log2(line_bytes)).
+
+Each set is a short Python list ordered least- to most-recently used.
+Associativities in the modelled machines are at most 12 ways, so linear
+scans of a set are cheap and keep the per-access constant factor low --
+this method is called millions of times per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class SetAssociativeCache:
+    """Line-granular set-associative cache with true-LRU replacement."""
+
+    __slots__ = ("name", "_n_sets", "_ways", "_sets", "hits", "misses")
+
+    def __init__(self, name: str, n_sets: int, ways: int) -> None:
+        if n_sets <= 0 or ways <= 0:
+            raise ValueError("n_sets and ways must be positive")
+        self.name = name
+        self._n_sets = n_sets
+        self._ways = ways
+        # Each set is ordered LRU-first; index -1 is the MRU line.
+        self._sets: List[List[int]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def n_sets(self) -> int:
+        return self._n_sets
+
+    @property
+    def ways(self) -> int:
+        return self._ways
+
+    @property
+    def capacity_lines(self) -> int:
+        return self._n_sets * self._ways
+
+    def touch(self, line: int) -> bool:
+        """Look up ``line``; on a hit, promote it to MRU.
+
+        Returns True on hit.  Misses do not allocate -- call
+        :meth:`insert` to fill after servicing the miss, mirroring how
+        the hierarchy fills on the return path.
+        """
+        entries = self._sets[line % self._n_sets]
+        if line in entries:
+            if entries[-1] != line:
+                entries.remove(line)
+                entries.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence test with no LRU or statistics side effects."""
+        return line in self._sets[line % self._n_sets]
+
+    def insert(self, line: int) -> Optional[int]:
+        """Fill ``line`` as MRU; return the evicted victim line, if any.
+
+        Re-inserting a present line just refreshes its LRU position.
+        """
+        entries = self._sets[line % self._n_sets]
+        if line in entries:
+            if entries[-1] != line:
+                entries.remove(line)
+                entries.append(line)
+            return None
+        entries.append(line)
+        if len(entries) > self._ways:
+            return entries.pop(0)
+        return None
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; True if it was present.
+
+        Used by the coherence protocol when another chip writes the line.
+        """
+        entries = self._sets[line % self._n_sets]
+        if line in entries:
+            entries.remove(line)
+            return True
+        return False
+
+    def occupied_lines(self) -> int:
+        """Total lines currently resident (for tests and reports)."""
+        return sum(len(entries) for entries in self._sets)
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Drop every line (used when re-initialising between phases)."""
+        for entries in self._sets:
+            entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SetAssociativeCache({self.name!r}, sets={self._n_sets}, "
+            f"ways={self._ways}, resident={self.occupied_lines()})"
+        )

@@ -1,0 +1,100 @@
+"""Chip-level coherence directory.
+
+Cross-chip coherence on the modelled machine behaves like an invalidation
+protocol: when a chip writes a line that other chips cache, their copies
+are invalidated, and their next access to that line misses locally and is
+satisfied by a long-latency cache-to-cache transfer from the writer's
+chip.  Those transfers are precisely the "remote cache accesses" whose
+addresses the PMU samples (Section 4.3) and whose stall cycles the
+activation phase watches (Section 4.2).
+
+The directory tracks, per line, the set of chips whose L2/L3 currently
+hold a copy.  It is the ground truth the :class:`~repro.cache.hierarchy.
+CacheHierarchy` consults to decide whether a local miss is satisfied
+remotely or from memory.  Intra-chip coherence (between the L1s of cores
+on one chip) is handled by the hierarchy directly and never produces
+remote events, matching the paper's local/remote dichotomy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+
+class CoherenceDirectory:
+    """Which chips hold each line, plus invalidation accounting."""
+
+    __slots__ = ("_holders", "invalidations_sent", "lines_ever_shared")
+
+    def __init__(self) -> None:
+        self._holders: Dict[int, Set[int]] = {}
+        #: total cross-chip invalidation messages the protocol generated
+        self.invalidations_sent = 0
+        #: lines that at some point were held by more than one chip
+        self.lines_ever_shared = 0
+
+    def holders(self, line: int) -> Set[int]:
+        """Chips currently caching ``line`` (empty set if none)."""
+        return self._holders.get(line, _EMPTY_SET)
+
+    def other_holders(self, line: int, chip: int) -> Set[int]:
+        """Chips other than ``chip`` currently caching ``line``."""
+        current = self._holders.get(line)
+        if not current:
+            return _EMPTY_SET
+        if chip in current and len(current) == 1:
+            return _EMPTY_SET
+        return current - {chip}
+
+    def add_holder(self, line: int, chip: int) -> None:
+        """Record that ``chip`` now caches ``line``."""
+        current = self._holders.get(line)
+        if current is None:
+            self._holders[line] = {chip}
+        elif chip not in current:
+            if len(current) == 1:
+                self.lines_ever_shared += 1
+            current.add(chip)
+
+    def remove_holder(self, line: int, chip: int) -> None:
+        """Record that ``chip`` no longer caches ``line`` (eviction)."""
+        current = self._holders.get(line)
+        if current is None:
+            return
+        current.discard(chip)
+        if not current:
+            del self._holders[line]
+
+    def invalidate_others(self, line: int, writer_chip: int) -> Set[int]:
+        """A write by ``writer_chip``: invalidate every other holder.
+
+        Returns the set of chips that lost their copy, so the hierarchy
+        can purge the line from their physical caches.
+        """
+        current = self._holders.get(line)
+        if not current:
+            return _EMPTY_SET
+        victims = current - {writer_chip}
+        if victims:
+            self.invalidations_sent += len(victims)
+            if writer_chip in current:
+                self._holders[line] = {writer_chip}
+            else:
+                del self._holders[line]
+        return victims
+
+    def n_tracked_lines(self) -> int:
+        return len(self._holders)
+
+    def shared_lines(self) -> Iterable[int]:
+        """Lines currently held by two or more chips."""
+        return (
+            line for line, chips in self._holders.items() if len(chips) > 1
+        )
+
+    def reset_counters(self) -> None:
+        self.invalidations_sent = 0
+        self.lines_ever_shared = 0
+
+
+_EMPTY_SET: Set[int] = frozenset()  # type: ignore[assignment]

@@ -1,0 +1,217 @@
+"""The full cache hierarchy of an SMP-CMP-SMT machine.
+
+Wiring (matches Table 1 / Figure 1 of the paper):
+
+* one **L1** data cache per *core*, shared by that core's SMT contexts;
+* one **L2** per *chip*, shared by the chip's cores;
+* one **L3** per *chip* -- physically off-chip but chip-attached, so it
+  counts as *local* (the paper's footnote 1).  Modelled as a victim
+  cache of the L2: a line lives in exactly one of L2/L3 at a time.
+
+A line is *present at a chip* iff it is in that chip's L2 or L3; the
+:class:`~repro.cache.coherence.CoherenceDirectory` tracks exactly this
+predicate.  L1 contents are kept a subset of the chip's L2+L3 by purging
+core L1s whenever their chip loses a line.
+
+The :meth:`CacheHierarchy.access` method is the single entry point the
+simulation engine calls per memory reference.  It returns the
+satisfaction-source *index* (into :data:`~repro.cache.stats.SOURCE_ORDER`)
+rather than the enum: this function runs millions of times per experiment
+and integer dispatch keeps the engine's cycle-charging loop cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..topology.presets import MachineSpec
+from .cache import SetAssociativeCache
+from .coherence import CoherenceDirectory
+from .stats import (
+    IDX_L1,
+    IDX_LOCAL_L2,
+    IDX_LOCAL_L3,
+    IDX_MEMORY,
+    IDX_REMOTE_L2,
+    IDX_REMOTE_L3,
+    AccessStats,
+)
+
+
+class CacheHierarchy:
+    """All caches of one machine plus the cross-chip coherence directory."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        machine = spec.machine
+        self.machine = machine
+        line_bytes = spec.l2_geometry.line_bytes
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+
+        l1 = spec.l1_geometry
+        l2 = spec.l2_geometry
+        l3 = spec.l3_geometry
+        #: one L1 per core, indexed by global core id
+        self.l1_caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(f"L1.core{core}", l1.n_sets, l1.associativity)
+            for core in range(machine.n_cores)
+        ]
+        #: one L2 per chip, indexed by chip id
+        self.l2_caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(f"L2.chip{chip}", l2.n_sets, l2.associativity)
+            for chip in range(machine.n_chips)
+        ]
+        #: one L3 per chip (victim of that chip's L2)
+        self.l3_caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(f"L3.chip{chip}", l3.n_sets, l3.associativity)
+            for chip in range(machine.n_chips)
+        ]
+        self.directory = CoherenceDirectory()
+        self.stats = AccessStats(machine.n_cpus)
+
+        # Flat lookup tables for the hot path.
+        self._cpu_to_core = [machine.core_of(cpu) for cpu in range(machine.n_cpus)]
+        self._cpu_to_chip = [machine.chip_of(cpu) for cpu in range(machine.n_cpus)]
+        self._cores_of_chip: List[List[int]] = [
+            sorted({machine.core_of(cpu) for cpu in machine.cpus_of_chip(chip)})
+            for chip in range(machine.n_chips)
+        ]
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def line_of(self, address: int) -> int:
+        """Line number containing ``address``."""
+        return address >> self._line_shift
+
+    def line_address(self, line: int) -> int:
+        """Base address of ``line`` (what the PMU sampling register holds)."""
+        return line << self._line_shift
+
+    # ------------------------------------------------------------------
+    # The per-reference hot path
+    # ------------------------------------------------------------------
+    def access(self, cpu: int, address: int, is_write: bool) -> int:
+        """Service one memory reference; returns the source index.
+
+        The caller (the simulation engine) charges latency, feeds the
+        PMU, and attributes the access to the running thread.
+        """
+        line = address >> self._line_shift
+        core = self._cpu_to_core[cpu]
+        chip = self._cpu_to_chip[cpu]
+        l1 = self.l1_caches[core]
+
+        if l1.touch(line):
+            source = IDX_L1
+        else:
+            l2 = self.l2_caches[chip]
+            if l2.touch(line):
+                source = IDX_LOCAL_L2
+                self._fill_l1(core, chip, line)
+            elif self.l3_caches[chip].touch(line):
+                source = IDX_LOCAL_L3
+                self._promote_from_l3(chip, line)
+                self._fill_l1(core, chip, line)
+            else:
+                source = self._service_chip_miss(chip, line)
+                self._install_at_chip(chip, line)
+                self._fill_l1(core, chip, line)
+
+        if is_write:
+            self._handle_write(core, chip, line)
+
+        self.stats.counts[cpu][source] += 1
+        return source
+
+    # ------------------------------------------------------------------
+    # Miss servicing
+    # ------------------------------------------------------------------
+    def _service_chip_miss(self, chip: int, line: int) -> int:
+        """Classify a miss at ``chip``: remote cache transfer or memory."""
+        others = self.directory.other_holders(line, chip)
+        if not others:
+            return IDX_MEMORY
+        for holder in others:
+            if self.l2_caches[holder].contains(line):
+                return IDX_REMOTE_L2
+        return IDX_REMOTE_L3
+
+    def _install_at_chip(self, chip: int, line: int) -> None:
+        """Fill ``line`` into the chip's L2 and register it as a holder."""
+        victim = self.l2_caches[chip].insert(line)
+        self.directory.add_holder(line, chip)
+        if victim is not None:
+            self._retire_to_l3(chip, victim)
+
+    def _retire_to_l3(self, chip: int, victim: int) -> None:
+        """An L2 victim moves into the chip's L3 (victim-cache fill)."""
+        displaced = self.l3_caches[chip].insert(victim)
+        if displaced is not None:
+            # The displaced line has now left the chip entirely.
+            self.directory.remove_holder(displaced, chip)
+            self._purge_chip_l1s(chip, displaced)
+
+    def _promote_from_l3(self, chip: int, line: int) -> None:
+        """A local-L3 hit moves the line back into the L2 (exclusive)."""
+        self.l3_caches[chip].invalidate(line)
+        victim = self.l2_caches[chip].insert(line)
+        if victim is not None:
+            self._retire_to_l3(chip, victim)
+
+    def _fill_l1(self, core: int, chip: int, line: int) -> None:
+        """Install ``line`` into a core's L1; L1 victims are silent.
+
+        An L1 victim is still present in the chip's L2/L3 (inclusion), so
+        no directory action is needed when it falls out of the L1.
+        """
+        self.l1_caches[core].insert(line)
+
+    # ------------------------------------------------------------------
+    # Coherence actions
+    # ------------------------------------------------------------------
+    def _handle_write(self, writer_core: int, writer_chip: int, line: int) -> None:
+        """Invalidate every other copy of ``line`` after a store.
+
+        Copies on other chips are removed from their L2/L3/L1s -- the
+        next access there will be a *remote cache access*, the event the
+        clustering scheme samples.  Copies in sibling cores' L1s on the
+        writer's own chip are refreshed through the shared L2, which is a
+        local (cheap, unsampled) event, so only their L1s are purged.
+        """
+        victims = self.directory.invalidate_others(line, writer_chip)
+        for chip in victims:
+            self.l2_caches[chip].invalidate(line)
+            self.l3_caches[chip].invalidate(line)
+            self._purge_chip_l1s(chip, line)
+        for core in self._cores_of_chip[writer_chip]:
+            if core != writer_core:
+                self.l1_caches[core].invalidate(line)
+
+    def _purge_chip_l1s(self, chip: int, line: int) -> None:
+        for core in self._cores_of_chip[chip]:
+            self.l1_caches[core].invalidate(line)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def chip_holds(self, chip: int, line: int) -> bool:
+        """True if the chip's L2 or L3 currently holds ``line``."""
+        return self.l2_caches[chip].contains(line) or self.l3_caches[
+            chip
+        ].contains(line)
+
+    def flush_all(self) -> None:
+        """Empty every cache and the directory (cold-start state)."""
+        for cache in self.l1_caches + self.l2_caches + self.l3_caches:
+            cache.flush()
+        self.directory = CoherenceDirectory()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        for cache in self.l1_caches + self.l2_caches + self.l3_caches:
+            cache.reset_counters()
+        self.directory.reset_counters()

@@ -1,0 +1,83 @@
+"""Per-CPU access accounting by satisfaction source.
+
+The hot path of the simulator services one memory reference at a time, so
+this module deliberately trades elegance for constant-factor speed: the
+hierarchy reports each access as a small integer *source index* (see
+:data:`SOURCE_ORDER`) and counters are plain nested Python lists.  The
+analysis layer converts to numpy and enum-keyed dicts at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..topology.latency import AccessSource
+
+#: Fixed ordering of satisfaction sources; the hierarchy's ``access``
+#: returns positions in this list.
+SOURCE_ORDER: List[AccessSource] = [
+    AccessSource.L1,
+    AccessSource.LOCAL_L2,
+    AccessSource.LOCAL_L3,
+    AccessSource.REMOTE_L2,
+    AccessSource.REMOTE_L3,
+    AccessSource.MEMORY,
+]
+
+#: Inverse of :data:`SOURCE_ORDER`.
+SOURCE_INDEX: Dict[AccessSource, int] = {
+    source: index for index, source in enumerate(SOURCE_ORDER)
+}
+
+IDX_L1 = SOURCE_INDEX[AccessSource.L1]
+IDX_LOCAL_L2 = SOURCE_INDEX[AccessSource.LOCAL_L2]
+IDX_LOCAL_L3 = SOURCE_INDEX[AccessSource.LOCAL_L3]
+IDX_REMOTE_L2 = SOURCE_INDEX[AccessSource.REMOTE_L2]
+IDX_REMOTE_L3 = SOURCE_INDEX[AccessSource.REMOTE_L3]
+IDX_MEMORY = SOURCE_INDEX[AccessSource.MEMORY]
+
+#: Source indices that count as remote cache accesses (cross-chip
+#: cache-to-cache transfers) -- the events the whole scheme is built on.
+REMOTE_SOURCE_INDICES = (IDX_REMOTE_L2, IDX_REMOTE_L3)
+
+
+class AccessStats:
+    """Counts of accesses per CPU per satisfaction source."""
+
+    def __init__(self, n_cpus: int) -> None:
+        self._n_cpus = n_cpus
+        self.counts: List[List[int]] = [
+            [0] * len(SOURCE_ORDER) for _ in range(n_cpus)
+        ]
+
+    def record(self, cpu: int, source_index: int) -> None:
+        self.counts[cpu][source_index] += 1
+
+    def as_array(self) -> np.ndarray:
+        """``(n_cpus, n_sources)`` int64 array of access counts."""
+        return np.asarray(self.counts, dtype=np.int64)
+
+    def totals(self) -> Dict[AccessSource, int]:
+        """Machine-wide access counts keyed by source."""
+        array = self.as_array().sum(axis=0)
+        return {source: int(array[i]) for i, source in enumerate(SOURCE_ORDER)}
+
+    def total_accesses(self) -> int:
+        return int(self.as_array().sum())
+
+    def remote_accesses(self) -> int:
+        """Total cross-chip cache-to-cache transfers."""
+        array = self.as_array().sum(axis=0)
+        return int(sum(array[i] for i in REMOTE_SOURCE_INDICES))
+
+    def remote_fraction(self) -> float:
+        """Share of all accesses satisfied by a remote cache."""
+        total = self.total_accesses()
+        return self.remote_accesses() / total if total else 0.0
+
+    def reset(self) -> None:
+        for row in self.counts:
+            for i in range(len(row)):
+                row[i] = 0

@@ -1,0 +1,373 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                 # what can be run
+    python -m repro fig3                 # stall breakdown, VolanoMark
+    python -m repro fig6 --rounds 300    # placement sweep, faster
+    python -m repro fig5 --out results/  # writes PGM images + JSON
+    python -m repro all --out results/   # every experiment
+
+Each subcommand prints the same table as the corresponding benchmark
+and, with ``--out DIR``, writes a JSON record (plus PGM images for
+fig5) into the directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from .analysis.export import experiment_to_json
+from .analysis.report import format_table
+from . import experiments as exp
+
+#: experiment id -> (description, runner entry point)
+_RUNNERS: Dict[str, str] = {
+    "fig1": "Table 1 / Figure 1: platform and measured latencies",
+    "fig3": "Figure 3: CPI stall breakdown (VolanoMark)",
+    "fig5": "Figure 5: shMap visualisations (4 workloads)",
+    "fig6": "Figures 6+7: placement sweep (remote stalls & performance)",
+    "fig8": "Figure 8: sampling-rate overhead/tracking trade-off",
+    "sec64": "Section 6.4: shMap-size sensitivity",
+    "sec74": "Section 7.4: 32-way scaling",
+    "ablation-clustering": "A1: one-pass vs k-means vs hierarchical",
+    "ablation-similarity": "A2: similarity-threshold sweep",
+    "ablation-activation": "A3: activation-threshold sweep",
+    "ablation-tolerance": "A4: migration imbalance-tolerance sweep",
+    "phase-change": "EXT: mid-run phase change and re-clustering",
+    "smt-aware": "EXT2: SMT-aware vs random intra-chip seating",
+    "churn": "EXT4: connection churn vs clustering quality",
+}
+
+
+def _write(out_dir: Optional[Path], name: str, text: str) -> None:
+    if out_dir is None:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / name).write_text(text)
+
+
+def _write_bytes(out_dir: Optional[Path], name: str, data: bytes) -> None:
+    if out_dir is None:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / name).write_bytes(data)
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _run_fig1(args, out: Optional[Path]) -> None:
+    report = exp.run_fig1()
+    print(report.machine_description)
+    print(format_table(["level", "pattern", "observed", "cycles"], report.rows()))
+    rows = [
+        dict(level=p.source.value, pattern=p.pattern, cycles=p.latency_cycles)
+        for p in report.probes
+    ]
+    _write(out, "fig1.json", experiment_to_json("fig1", rows))
+
+
+def _run_fig3(args, out: Optional[Path]) -> None:
+    report = exp.run_fig3(n_rounds=args.rounds, seed=args.seed)
+    print(f"CPI = {report.cpi:.2f}; remote share = {report.remote_fraction:.1%}")
+    print(format_table(["cause", "share", "CPI contribution"], report.rows()))
+    rows = [
+        dict(cause=cause, share=share, cpi=cpi)
+        for cause, share, cpi in report.rows()
+    ]
+    _write(out, "fig3.json", experiment_to_json("fig3", rows))
+
+
+def _run_fig5(args, out: Optional[Path]) -> None:
+    figures = exp.run_fig5(n_rounds=args.rounds, seed=args.seed)
+    rows = []
+    for name, figure in figures.items():
+        print(f"=== {name} ===")
+        print(figure.ascii_art(max_columns=100))
+        if figure.accuracy:
+            rows.append(
+                dict(
+                    workload=name,
+                    clusters=figure.accuracy.n_clusters,
+                    ground_truth_groups=figure.accuracy.n_ground_truth_groups,
+                    purity=figure.accuracy.purity,
+                )
+            )
+        _write_bytes(out, f"fig5_{name}.pgm", figure.pgm_bytes())
+    _write(out, "fig5.json", experiment_to_json("fig5", rows))
+
+
+def _run_fig6(args, out: Optional[Path]) -> None:
+    study = exp.run_fig6_fig7(n_rounds=args.rounds, seed=args.seed)
+    print(
+        format_table(
+            ["workload", "policy", "remote frac", "reduction", "IPC", "speedup"],
+            study.table_rows(),
+        )
+    )
+    rows = [
+        dict(
+            workload=r.workload,
+            policy=r.policy,
+            remote_stall_fraction=r.remote_stall_fraction,
+            remote_stall_reduction=r.remote_stall_reduction,
+            throughput=r.throughput,
+            speedup=r.speedup,
+        )
+        for r in study.rows
+    ]
+    _write(out, "fig6_fig7.json", experiment_to_json("fig6_fig7", rows))
+
+
+def _run_fig8(args, out: Optional[Path]) -> None:
+    study = exp.run_fig8(n_rounds=args.rounds, seed=args.seed)
+    print(
+        format_table(
+            ["captured %", "period", "overhead", "tracking cycles", "samples",
+             "accuracy"],
+            study.table_rows(),
+            float_format="{:.4f}",
+        )
+    )
+    rows = [
+        dict(
+            capture_percent=p.capture_percent,
+            period=p.period,
+            overhead_fraction=p.overhead_fraction,
+            tracking_cycles=p.tracking_cycles,
+            samples=p.samples_collected,
+            capture_accuracy=p.capture_accuracy,
+        )
+        for p in study.points
+    ]
+    _write(out, "fig8.json", experiment_to_json("fig8", rows))
+
+
+def _run_sec64(args, out: Optional[Path]) -> None:
+    study = exp.run_sec64(n_rounds=args.rounds, seed=args.seed)
+    rows = []
+    for p in study.points:
+        rows.append(
+            dict(
+                n_entries=p.n_entries,
+                clusters=p.accuracy.n_clusters if p.accuracy else 0,
+                purity=p.accuracy.purity if p.accuracy else 0.0,
+                remote_stall_fraction=p.remote_stall_fraction,
+            )
+        )
+    print(format_table(["entries", "clusters", "purity", "remote frac"],
+                       [tuple(r.values()) for r in rows]))
+    print("invariant:", study.invariant)
+    _write(out, "sec64.json", experiment_to_json("sec64", rows))
+
+
+def _run_sec74(args, out: Optional[Path]) -> None:
+    study = exp.run_sec74(n_rounds=args.rounds, seed=args.seed)
+    rows = []
+    for point in study.points:
+        rows.append(
+            dict(
+                machine=point.machine,
+                chips=point.n_chips,
+                baseline_remote=point.results["default_linux"].remote_stall_fraction,
+                hand_gain=point.hand_gain,
+                clustered_gain=point.clustered_gain,
+            )
+        )
+    print(format_table(
+        ["machine", "chips", "baseline remote", "hand gain", "clustered gain"],
+        [tuple(r.values()) for r in rows]))
+    _write(out, "sec74.json", experiment_to_json("sec74", rows))
+
+
+def _run_ablation_clustering(args, out: Optional[Path]) -> None:
+    study = exp.run_ablation_clustering(n_rounds=args.rounds, seed=args.seed)
+    rows = [
+        dict(
+            algorithm=c.algorithm,
+            clusters=c.n_clusters,
+            purity=c.purity,
+            ari=c.ari_vs_truth,
+            runtime_seconds=c.runtime_seconds,
+        )
+        for c in study.comparisons
+    ]
+    print(format_table(["algorithm", "clusters", "purity", "ARI", "runtime"],
+                       [tuple(r.values()) for r in rows], float_format="{:.4f}"))
+    _write(out, "ablation_clustering.json",
+           experiment_to_json("ablation_clustering", rows))
+
+
+def _run_ablation_similarity(args, out: Optional[Path]) -> None:
+    study = exp.run_ablation_similarity(n_rounds=args.rounds, seed=args.seed)
+    rows = [
+        dict(threshold=p.threshold, clusters=p.n_clusters, purity=p.purity,
+             unclustered=p.n_unclustered)
+        for p in study.points
+    ]
+    print(format_table(["threshold", "clusters", "purity", "unclustered"],
+                       [tuple(r.values()) for r in rows]))
+    _write(out, "ablation_similarity.json",
+           experiment_to_json("ablation_similarity", rows))
+
+
+def _run_ablation_activation(args, out: Optional[Path]) -> None:
+    study = exp.run_ablation_activation(n_rounds=args.rounds, seed=args.seed)
+    rows = [
+        dict(threshold=p.threshold, activated=p.activated,
+             rounds=p.clustering_rounds, speedup=p.speedup_vs_default,
+             overhead=p.overhead_fraction)
+        for p in study.points
+    ]
+    print(format_table(["threshold", "activated", "rounds", "speedup", "overhead"],
+                       [tuple(r.values()) for r in rows], float_format="{:.4f}"))
+    _write(out, "ablation_activation.json",
+           experiment_to_json("ablation_activation", rows))
+
+
+def _run_ablation_tolerance(args, out: Optional[Path]) -> None:
+    study = exp.run_ablation_tolerance(n_rounds=args.rounds, seed=args.seed)
+    rows = [
+        dict(tolerance=p.tolerance, speedup=p.speedup_vs_default,
+             remote=p.remote_stall_fraction, neutralized=p.neutralized_clusters,
+             imbalance=p.max_chip_load_imbalance)
+        for p in study.points
+    ]
+    print(format_table(["tolerance", "speedup", "remote", "neutralized",
+                        "imbalance"], [tuple(r.values()) for r in rows]))
+    _write(out, "ablation_tolerance.json",
+           experiment_to_json("ablation_tolerance", rows))
+
+
+def _run_smt_aware(args, out: Optional[Path]) -> None:
+    study = exp.run_smt_aware(n_rounds=args.rounds, seed=args.seed)
+    rows = [
+        dict(policy=p.intra_chip_policy, ipc=p.throughput,
+             remote=p.remote_stall_fraction, hot_hot_cores=p.hot_hot_cores)
+        for p in study.points
+    ]
+    print(format_table(["policy", "IPC", "remote", "hot-hot cores"],
+                       [tuple(r.values()) for r in rows]))
+    print(f"gain: {study.smt_aware_gain:+.1%}")
+    _write(out, "smt_aware.json", experiment_to_json("smt_aware", rows))
+
+
+def _run_churn(args, out: Optional[Path]) -> None:
+    study = exp.run_churn_study(n_rounds=args.rounds, seed=args.seed)
+    rows = [
+        dict(lifetime=p.label, closed=p.connections_closed,
+             rounds=p.clustering_rounds, baseline_remote=p.baseline_remote,
+             clustered_remote=p.clustered_remote, speedup=p.speedup,
+             overhead=p.overhead_fraction)
+        for p in study.points
+    ]
+    print(format_table(
+        ["lifetime", "closed", "rounds", "baseline remote",
+         "clustered remote", "speedup", "overhead"],
+        [tuple(r.values()) for r in rows], float_format="{:.4f}"))
+    _write(out, "churn.json", experiment_to_json("churn", rows))
+
+
+def _run_phase_change(args, out: Optional[Path]) -> None:
+    report = exp.run_phase_change(seed=args.seed)
+    rows = [
+        dict(
+            clustering_rounds=report.clustering_rounds,
+            settled_before=report.settled_before_change,
+            spike=report.spike_after_change,
+            settled_after=report.settled_after_rechuster,
+            reclustered=report.reclustered,
+            recovered=report.recovered,
+        )
+    ]
+    print(format_table(list(rows[0]), [tuple(rows[0].values())],
+                       float_format="{:.4f}"))
+    _write(out, "phase_change.json", experiment_to_json("phase_change", rows))
+
+
+_DISPATCH: Dict[str, Callable] = {
+    "fig1": _run_fig1,
+    "fig3": _run_fig3,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig8": _run_fig8,
+    "sec64": _run_sec64,
+    "sec74": _run_sec74,
+    "ablation-clustering": _run_ablation_clustering,
+    "ablation-similarity": _run_ablation_similarity,
+    "ablation-activation": _run_ablation_activation,
+    "ablation-tolerance": _run_ablation_tolerance,
+    "phase-change": _run_phase_change,
+    "smt-aware": _run_smt_aware,
+    "churn": _run_churn,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate tables and figures of 'Thread Clustering: "
+            "Sharing-Aware Scheduling on SMP-CMP-SMT Multiprocessors' "
+            "(EuroSys 2007)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_DISPATCH) + ["all", "list"],
+        help="experiment id ('list' to describe them, 'all' to run every one)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=450,
+        help="simulation rounds per run (default: 450)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="master seed (default: 3)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="directory for JSON (and PGM) outputs",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None,
+        help=(
+            "JSON file of SimConfig overrides (see SimConfig.to_dict); "
+            "applied by experiments that accept a base configuration"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.config is not None:
+        # Validate early so typos fail before minutes of simulation; the
+        # loaded overrides also provide rounds/seed defaults.
+        import json
+
+        from .sim.config import SimConfig
+
+        overrides = json.loads(args.config.read_text())
+        config = SimConfig.from_dict(overrides)
+        if "n_rounds" in overrides:
+            args.rounds = config.n_rounds
+        if "seed" in overrides:
+            args.seed = config.seed
+    if args.experiment == "list":
+        for name in sorted(_RUNNERS):
+            print(f"{name:22s} {_RUNNERS[name]}")
+        return 0
+    targets = sorted(_DISPATCH) if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        print(f"### {name}: {_RUNNERS[name]}")
+        _DISPATCH[name](args, args.out)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

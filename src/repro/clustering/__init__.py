@@ -1,0 +1,61 @@
+"""The paper's contribution: shMap-based online thread clustering."""
+
+from .controller import (
+    ClusteringController,
+    ClusteringEvent,
+    ControllerConfig,
+    DetectionRecord,
+    Phase,
+)
+from .migration import MigrationPlan, MigrationPlanner
+from .onepass import ClusteringResult, OnePassClusterer
+from .reference import (
+    ReferenceResult,
+    adjusted_rand_index,
+    hierarchical_cluster,
+    kmeans_cluster,
+    purity,
+    rand_index,
+)
+from .shmap import ShMap, ShMapConfig, ShMapFilter, ShMapRegistry, ShMapTable
+from .similarity import (
+    DEFAULT_GLOBAL_FRACTION,
+    DEFAULT_NOISE_FLOOR,
+    DEFAULT_SIMILARITY_THRESHOLD,
+    denoise,
+    global_entry_mask,
+    mask_vectors,
+    similarity,
+    similarity_matrix,
+)
+
+__all__ = [
+    "ClusteringController",
+    "ClusteringEvent",
+    "ControllerConfig",
+    "DetectionRecord",
+    "Phase",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "ClusteringResult",
+    "OnePassClusterer",
+    "ReferenceResult",
+    "adjusted_rand_index",
+    "hierarchical_cluster",
+    "kmeans_cluster",
+    "purity",
+    "rand_index",
+    "ShMap",
+    "ShMapConfig",
+    "ShMapFilter",
+    "ShMapRegistry",
+    "ShMapTable",
+    "DEFAULT_GLOBAL_FRACTION",
+    "DEFAULT_NOISE_FLOOR",
+    "DEFAULT_SIMILARITY_THRESHOLD",
+    "denoise",
+    "global_entry_mask",
+    "mask_vectors",
+    "similarity",
+    "similarity_matrix",
+]

@@ -1,0 +1,400 @@
+"""The iterative four-phase thread-clustering controller (Section 4.1).
+
+Ties the whole scheme together, as the paper's kernel modification does:
+
+1. **Monitoring stall breakdown** -- watch the remote-cache-access share
+   of the CPI breakdown over fixed cycle windows; activate detection
+   when it exceeds the activation threshold (paper: 20% per billion
+   cycles -- both numbers scaled configurably for simulation).
+2. **Detecting sharing patterns** -- enable the PMU capture engine and
+   funnel its samples into the process's shMap table, until enough
+   samples accumulate (paper: "roughly a million samples"; scaled).
+3. **Thread clustering** -- run the one-pass clusterer on the shMaps.
+4. **Thread migration** -- plan cluster-to-chip assignment and execute
+   it through the scheduler, pinning threads to their chips; optionally
+   re-enable intra-chip load balancing (the Section 4.5 extension).
+
+Then return to phase 1: "after the thread migration phase, the system
+returns to the stall breakdown phase [...] and may re-cluster threads if
+there is still a substantial number of remote accesses", which also
+handles application phase changes and threads starved out of the shMap
+filter in earlier rounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..pmu.power5 import RemoteAccessCaptureEngine
+from ..pmu.sampling import DataSample
+from ..pmu.stall import BreakdownSnapshot, StallBreakdown
+from ..sched.scheduler import Scheduler
+from ..sched.thread import SimThread, ThreadState
+from .migration import MigrationPlan, MigrationPlanner
+from .onepass import ClusteringResult, OnePassClusterer
+from .shmap import ShMapRegistry, ShMapTable
+
+
+class Phase(enum.Enum):
+    MONITORING = "monitoring"
+    DETECTING = "detecting"
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the controller, with paper defaults (scaled).
+
+    The paper monitors in windows of one billion cycles and needs about
+    one million samples; simulations run orders of magnitude fewer
+    cycles, so both scale down while keeping the *ratios* (activation
+    threshold, sampling rate) at paper values.
+    """
+
+    #: remote-stall share of the window that triggers detection (20%)
+    activation_threshold: float = 0.20
+    #: monitoring window, in cycles (paper: 1e9)
+    monitor_window_cycles: int = 2_000_000
+    #: samples to collect before clustering (paper: ~1e6)
+    samples_needed: int = 3_000
+    #: give up on a detection phase after this many cycles
+    detection_timeout_cycles: int = 30_000_000
+    #: minimum samples to still cluster on timeout
+    min_samples_on_timeout: int = 200
+    #: after migrating, restrict load balancing to within chips
+    enable_intra_chip_balancing: bool = True
+    #: refuse to re-cluster within this many cycles of the last migration
+    migration_cooldown_cycles: int = 1_000_000
+    #: adaptive temporal sampling (Section 4.3.1): on entering detection,
+    #: pick the period N from the measured remote-access rate so that
+    #: ``samples_needed`` arrive within about this many cycles...
+    detection_target_cycles: int = 500_000
+    #: ...but never sample more often than this (the overhead bound; 1 =
+    #: capture every remote access) nor less often than ``max_period``
+    min_period: int = 2
+    max_period: int = 0  #: 0 = keep the capture engine's configured period
+    #: a detection round is ACTIONABLE only if some cluster has at least
+    #: this many members; otherwise the remote traffic is irreducible by
+    #: placement (global data, transients) and migrating would only
+    #: scramble what earlier rounds placed correctly
+    min_actionable_cluster_size: int = 2
+    #: after a non-actionable round, multiply the effective cooldown by
+    #: this factor (exponential backoff keeps the sampling overhead of
+    #: futile re-detection bounded)
+    futile_backoff_factor: float = 2.0
+    #: cap on the backed-off cooldown
+    max_cooldown_cycles: int = 20_000_000
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One completed detection phase, actionable or not.
+
+    Figure 8's tracking-time axis is ``end_cycle - start_cycle`` for the
+    sample budget, which is defined whether or not the resulting
+    clustering was worth acting on.
+    """
+
+    start_cycle: int
+    end_cycle: int
+    samples: int
+    completed: bool  #: False when the phase timed out short of budget
+    actionable: bool  #: True when a migration followed
+
+
+@dataclass
+class ClusteringEvent:
+    """Record of one completed detect-cluster-migrate round."""
+
+    activated_at_cycle: int
+    migrated_at_cycle: int
+    samples_used: int
+    result: ClusteringResult
+    plan: MigrationPlan
+    migrations_executed: int
+    remote_stall_fraction_at_activation: float
+
+
+class ClusteringController:
+    """Drives the four phases against the simulated kernel and PMU."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        stall_breakdown: StallBreakdown,
+        capture_engine: RemoteAccessCaptureEngine,
+        shmap_table: ShMapTable,
+        clusterer: OnePassClusterer,
+        planner: MigrationPlanner,
+        config: Optional[ControllerConfig] = None,
+        remote_event_counter: Optional[Callable[[], int]] = None,
+    ) -> None:
+        """
+        Args:
+            remote_event_counter: reads the always-on HPC counting remote
+                cache accesses (machine-wide lifetime total).  Used by
+                the adaptive temporal sampling to estimate the remote
+                access rate; when absent the configured period is kept.
+        """
+        self.scheduler = scheduler
+        self.stall_breakdown = stall_breakdown
+        self.capture_engine = capture_engine
+        #: per-process shMap tables ("All threads of a process use the
+        #: same shMap filter"); the passed table serves process 0 and
+        #: further processes get tables on first sample
+        self.shmap_registry = ShMapRegistry(shmap_table.config)
+        self.shmap_registry._tables[0] = shmap_table
+        self.shmap_table = shmap_table  # process-0 alias (compat)
+        self._process_of: Dict[int, int] = {}
+        self.clusterer = clusterer
+        self.planner = planner
+        self.config = config if config is not None else ControllerConfig()
+        self._remote_event_counter = remote_event_counter
+
+        self.phase = Phase.MONITORING
+        self.history: List[ClusteringEvent] = []
+        self._window_start_cycle = 0
+        self._window_snapshot: BreakdownSnapshot = stall_breakdown.snapshot()
+        self._window_remote_events = self._read_remote_events()
+        self._remote_rate = 0.0  #: remote accesses per (per-cpu) cycle
+        self._detect_start_cycle = 0
+        self._activation_fraction = 0.0
+        self._last_migration_cycle: Optional[int] = None
+        self._effective_cooldown = self.config.migration_cooldown_cycles
+        #: detection rounds that found nothing actionable (for reports)
+        self.futile_rounds = 0
+        #: every completed detection phase, actionable or not
+        self.detection_log: List[DetectionRecord] = []
+
+        # The capture engine feeds samples straight into the shMap table.
+        capture_engine.consumer = self._on_sample
+
+    def _read_remote_events(self) -> int:
+        if self._remote_event_counter is None:
+            return 0
+        return self._remote_event_counter()
+
+    # ------------------------------------------------------------------
+    def _process_of_tid(self, tid: int) -> int:
+        process = self._process_of.get(tid)
+        if process is None:
+            self._process_of = {
+                t.tid: t.process_id for t in self.scheduler.threads
+            }
+            process = self._process_of.get(tid, 0)
+        return process
+
+    def _on_sample(self, sample: DataSample) -> None:
+        self.shmap_registry.observe(
+            self._process_of_tid(sample.tid), sample.tid, sample.address
+        )
+
+    # ------------------------------------------------------------------
+    def on_tick(self, now_cycle: int) -> Optional[ClusteringEvent]:
+        """Advance the state machine; called between scheduling quanta.
+
+        Returns the :class:`ClusteringEvent` if this tick completed a
+        migration round, else None.
+        """
+        if self.phase is Phase.MONITORING:
+            self._monitor(now_cycle)
+            return None
+        return self._check_detection_complete(now_cycle)
+
+    def _monitor(self, now_cycle: int) -> None:
+        window_cycles = now_cycle - self._window_start_cycle
+        if window_cycles < self.config.monitor_window_cycles:
+            return
+        snapshot = self.stall_breakdown.snapshot()
+        delta = snapshot.delta(self._window_snapshot)
+        remote_events = self._read_remote_events()
+        self._remote_rate = (
+            remote_events - self._window_remote_events
+        ) / window_cycles
+        self._window_remote_events = remote_events
+        self._window_start_cycle = now_cycle
+        self._window_snapshot = snapshot
+        fraction = delta.remote_stall_fraction
+        in_cooldown = (
+            self._last_migration_cycle is not None
+            and now_cycle - self._last_migration_cycle
+            < self._effective_cooldown
+        )
+        if fraction >= self.config.activation_threshold and not in_cooldown:
+            self._activation_fraction = fraction
+            self._enter_detection(now_cycle)
+
+    def _enter_detection(self, now_cycle: int) -> None:
+        self.phase = Phase.DETECTING
+        self._detect_start_cycle = now_cycle
+        self.shmap_registry.reset()
+        self._adapt_sampling_period()
+        self.capture_engine.start()
+
+    def _adapt_sampling_period(self) -> None:
+        """Pick the temporal sampling period N from the remote rate.
+
+        Section 4.3.1: "the value of N is further adjusted by taking two
+        factors into account: (i) the frequency of remote cache accesses
+        [...] and (ii) the runtime overhead.  A high rate of remote
+        cache accesses allow us to increase N".  Here N is chosen so the
+        detection phase collects ``samples_needed`` samples in roughly
+        ``detection_target_cycles`` cycles, clamped to [min_period,
+        max_period] to bound both the overhead and the noise.
+        """
+        config = self.config
+        max_period = (
+            config.max_period
+            if config.max_period > 0
+            else self.capture_engine.base_period
+        )
+        if self._remote_rate <= 0 or config.samples_needed <= 0:
+            return
+        expected_events = self._remote_rate * config.detection_target_cycles
+        period = int(expected_events / config.samples_needed)
+        period = max(config.min_period, min(max_period, period))
+        self.capture_engine.set_period(period)
+
+    def _check_detection_complete(
+        self, now_cycle: int
+    ) -> Optional[ClusteringEvent]:
+        collected = self.shmap_registry.total_samples
+        timed_out = (
+            now_cycle - self._detect_start_cycle
+            >= self.config.detection_timeout_cycles
+        )
+        if collected < self.config.samples_needed and not timed_out:
+            return None
+        self.capture_engine.stop()
+        if collected < self.config.min_samples_on_timeout:
+            # Nothing to cluster on; resume monitoring.
+            self.detection_log.append(
+                DetectionRecord(
+                    start_cycle=self._detect_start_cycle,
+                    end_cycle=now_cycle,
+                    samples=collected,
+                    completed=False,
+                    actionable=False,
+                )
+            )
+            self._resume_monitoring(now_cycle)
+            return None
+        event = self._cluster_and_migrate(now_cycle)
+        self.detection_log.append(
+            DetectionRecord(
+                start_cycle=self._detect_start_cycle,
+                end_cycle=now_cycle,
+                samples=collected,
+                completed=not timed_out,
+                actionable=event is not None,
+            )
+        )
+        self._resume_monitoring(now_cycle)
+        return event
+
+    def _resume_monitoring(self, now_cycle: int) -> None:
+        self.phase = Phase.MONITORING
+        self._window_start_cycle = now_cycle
+        self._window_snapshot = self.stall_breakdown.snapshot()
+
+    # ------------------------------------------------------------------
+    def _cluster_and_migrate(self, now_cycle: int) -> Optional[ClusteringEvent]:
+        result = self._cluster_all_processes()
+
+        actionable = any(
+            len(members) >= self.config.min_actionable_cluster_size
+            for members in result.clusters
+        )
+        if not actionable:
+            # Nothing placement can fix: the sampled remote traffic is
+            # global data, GC transients, or noise.  Keep the current
+            # placement and back off so futile re-detection does not
+            # burn sampling overhead every window.
+            self.futile_rounds += 1
+            self._last_migration_cycle = now_cycle
+            self._effective_cooldown = min(
+                self.config.max_cooldown_cycles,
+                int(self._effective_cooldown * self.config.futile_backoff_factor),
+            )
+            return None
+
+        threads_by_tid: Dict[int, SimThread] = {
+            t.tid: t for t in self.scheduler.threads
+        }
+        # Threads the detector never saw still need placing; they are the
+        # "remaining non-clustered threads" of Section 4.5.
+        unseen = [
+            tid
+            for tid, t in threads_by_tid.items()
+            if tid not in result.assignment and t.state is not ThreadState.FINISHED
+        ]
+        current_chip = {
+            tid: self.scheduler.chip_of_thread(thread)
+            for tid, thread in threads_by_tid.items()
+            if thread.cpu is not None
+        }
+        plan = self.planner.plan(
+            result.clusters,
+            unclustered=result.unclustered + unseen,
+            current_chip=current_chip,
+            miss_rate={
+                tid: thread.l1_miss_rate
+                for tid, thread in threads_by_tid.items()
+            },
+        )
+
+        executed = 0
+        for tid, target_cpu in plan.target_cpu.items():
+            thread = threads_by_tid.get(tid)
+            if thread is None or thread.state is not ThreadState.READY:
+                continue
+            cluster_index = result.assignment.get(tid, -1)
+            thread.detected_cluster = cluster_index
+            self.scheduler.migrate(thread, target_cpu, pin_to_chip=True)
+            executed += 1
+
+        if self.config.enable_intra_chip_balancing:
+            self.scheduler.enable_intra_chip_balancing()
+
+        self._last_migration_cycle = now_cycle
+        # A productive round resets the futile-detection backoff.
+        self._effective_cooldown = self.config.migration_cooldown_cycles
+        event = ClusteringEvent(
+            activated_at_cycle=self._detect_start_cycle,
+            migrated_at_cycle=now_cycle,
+            samples_used=self.shmap_registry.total_samples,
+            result=result,
+            plan=plan,
+            migrations_executed=executed,
+            remote_stall_fraction_at_activation=self._activation_fraction,
+        )
+        self.history.append(event)
+        return event
+
+    def _cluster_all_processes(self) -> ClusteringResult:
+        """Cluster each process's shMaps separately and merge the lists.
+
+        Sharing cannot cross address spaces, so clustering per process
+        is both correct and cheaper; tids are globally unique, so the
+        merged result is a valid partition of all sampled threads.
+        """
+        merged = ClusteringResult()
+        for table in self.shmap_registry.tables():
+            partial = self.clusterer.cluster(table.vectors())
+            offset = merged.n_clusters
+            merged.clusters.extend(partial.clusters)
+            merged.representatives.extend(partial.representatives)
+            for tid, cluster in partial.assignment.items():
+                merged.assignment[tid] = (
+                    cluster + offset if cluster >= 0 else -1
+                )
+            merged.unclustered.extend(partial.unclustered)
+            merged.comparisons += partial.comparisons
+        return merged
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rounds(self) -> int:
+        """Completed detect-cluster-migrate rounds."""
+        return len(self.history)

@@ -1,0 +1,222 @@
+"""Cluster-to-chip assignment and migration planning (Section 4.5).
+
+The paper's strategy, implemented verbatim:
+
+1. sort clusters from largest to smallest;
+2. assign the current largest cluster to the chip with the fewest
+   threads; **but** if that assignment would unbalance the chips, the
+   cluster is "neutralized" -- its threads are spread evenly over all
+   chips instead;
+3. repeat for every cluster;
+4. finally, place the remaining non-clustered threads so as to balance
+   out any remaining differences;
+5. within each chip, assign threads "uniformly and randomly" to cores
+   and SMT contexts.
+
+"Imbalance" is interpreted as: the chip's load after receiving the whole
+cluster would exceed the perfectly even share by more than a tolerance
+(in threads).  The paper offers no precise definition; the tolerance is
+a parameter with a default of half a cluster's ideal share, and an
+ablation benchmark sweeps it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..topology.machine import Machine
+
+
+@dataclass
+class MigrationPlan:
+    """tid -> target cpu, plus bookkeeping for reports."""
+
+    target_cpu: Dict[int, int] = field(default_factory=dict)
+    #: cluster index -> chip it was assigned to (-1 = spread evenly)
+    cluster_chip: Dict[int, int] = field(default_factory=dict)
+    neutralized_clusters: List[int] = field(default_factory=list)
+
+    def chip_loads(self, machine: Machine) -> Dict[int, int]:
+        loads = {chip: 0 for chip in range(machine.n_chips)}
+        for cpu in self.target_cpu.values():
+            loads[machine.chip_of(cpu)] += 1
+        return loads
+
+
+class MigrationPlanner:
+    """Builds a :class:`MigrationPlan` from a clustering result."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rng: np.random.Generator,
+        imbalance_tolerance: float = 0.5,
+        intra_chip_policy: str = "random",
+    ) -> None:
+        """
+        Args:
+            machine: target topology.
+            rng: for the uniform random within-chip placement.
+            imbalance_tolerance: a cluster assignment is allowed when the
+                receiving chip's load stays within
+                ``ceil(even_share) + tolerance * even_share`` threads;
+                beyond that the cluster is spread evenly instead.
+            intra_chip_policy: seat assignment within a chip.  "random"
+                is the paper's "uniformly and randomly"; "smt_aware"
+                pairs memory-heavy threads with compute-heavy ones on
+                each core (the Section 4.5 complementary technique,
+                after Bulpin & Pratt / Fedorova), using the per-thread
+                L1 miss rates passed to :meth:`plan`.
+        """
+        if imbalance_tolerance < 0:
+            raise ValueError("imbalance_tolerance must be non-negative")
+        if intra_chip_policy not in ("random", "smt_aware"):
+            raise ValueError(
+                "intra_chip_policy must be 'random' or 'smt_aware'"
+            )
+        self.machine = machine
+        self.rng = rng
+        self.imbalance_tolerance = imbalance_tolerance
+        self.intra_chip_policy = intra_chip_policy
+
+    def plan(
+        self,
+        clusters: Sequence[Sequence[int]],
+        unclustered: Sequence[int] = (),
+        current_chip: Optional[Dict[int, int]] = None,
+        miss_rate: Optional[Dict[int, float]] = None,
+    ) -> MigrationPlan:
+        """Assign every thread to a chip, then to a cpu within it.
+
+        Args:
+            clusters: detected clusters (tids per cluster).
+            unclustered: threads with no usable sharing signature.
+            current_chip: tid -> chip each thread currently occupies.
+                When provided, unclustered threads *stay on their
+                current chip* unless load balance forces a move --
+                Section 4.5 places them only "to balance out any
+                remaining differences", and gratuitously reshuffling
+                threads that showed no sharing would destroy placements
+                earlier rounds got right.
+            miss_rate: tid -> L1 miss-rate estimate, consumed by the
+                "smt_aware" intra-chip policy (ignored otherwise).
+        """
+        plan = MigrationPlan()
+        n_chips = self.machine.n_chips
+        total_threads = sum(len(c) for c in clusters) + len(unclustered)
+        if total_threads == 0:
+            return plan
+        even_share = total_threads / n_chips
+        load_cap = math.ceil(even_share) + self.imbalance_tolerance * even_share
+
+        chip_members: Dict[int, List[int]] = {c: [] for c in range(n_chips)}
+
+        # Largest first, as Section 4.5 prescribes; stable by cluster
+        # index for determinism.
+        order = sorted(
+            range(len(clusters)), key=lambda i: (-len(clusters[i]), i)
+        )
+        for index in order:
+            members = list(clusters[index])
+            if not members:
+                plan.cluster_chip[index] = -1
+                continue
+            target = min(
+                range(n_chips), key=lambda c: (len(chip_members[c]), c)
+            )
+            if len(chip_members[target]) + len(members) <= load_cap:
+                chip_members[target].extend(members)
+                plan.cluster_chip[index] = target
+            else:
+                # Neutralize: spread this cluster evenly over all chips.
+                plan.cluster_chip[index] = -1
+                plan.neutralized_clusters.append(index)
+                for offset, tid in enumerate(members):
+                    chip = min(
+                        range(n_chips),
+                        key=lambda c: (len(chip_members[c]), (c + offset) % n_chips),
+                    )
+                    chip_members[chip].append(tid)
+
+        # Non-clustered threads fill remaining imbalance -- staying put
+        # when their current chip has room.
+        for tid in unclustered:
+            chip = None
+            if current_chip is not None:
+                home = current_chip.get(tid)
+                if home is not None and len(chip_members[home]) < load_cap:
+                    chip = home
+            if chip is None:
+                chip = min(
+                    range(n_chips), key=lambda c: (len(chip_members[c]), c)
+                )
+            chip_members[chip].append(tid)
+
+        # Within each chip: seat threads per the intra-chip policy.
+        for chip, members in chip_members.items():
+            cpus = self.machine.cpus_of_chip(chip)
+            if self.intra_chip_policy == "smt_aware" and miss_rate:
+                ordered_members, choices = self._smt_aware_seats(
+                    cpus, members, miss_rate
+                )
+            else:
+                ordered_members = members
+                choices = self._balanced_random_cpus(cpus, len(members))
+            for tid, cpu in zip(ordered_members, choices):
+                plan.target_cpu[tid] = cpu
+        return plan
+
+    def _smt_aware_seats(
+        self,
+        cpus: List[int],
+        members: Sequence[int],
+        miss_rate: Dict[int, float],
+    ) -> tuple:
+        """Pair memory-heavy threads with compute-heavy ones per core.
+
+        Seats are visited in a boustrophedon over the chip's cores:
+        first SMT context of every core left-to-right, then the next
+        context right-to-left, and so on.  Walking that seat order with
+        threads sorted from most to least memory-intensive puts the
+        hottest thread and the coldest thread on the same core, the
+        second-hottest with the second-coldest, etc., while keeping
+        per-core loads within one thread of each other.
+        """
+        by_core: Dict[int, List[int]] = {}
+        for cpu in cpus:
+            by_core.setdefault(self.machine.core_of(cpu), []).append(cpu)
+        cores = sorted(by_core)
+        smt_width = max(len(v) for v in by_core.values())
+        seat_order: List[int] = []
+        for context in range(smt_width):
+            walk = cores if context % 2 == 0 else list(reversed(cores))
+            for core in walk:
+                contexts = by_core[core]
+                if context < len(contexts):
+                    seat_order.append(contexts[context])
+        ordered_members = sorted(
+            members, key=lambda tid: -miss_rate.get(tid, 0.0)
+        )
+        choices: List[int] = []
+        while len(choices) < len(ordered_members):
+            choices.extend(seat_order)
+        return ordered_members, choices[: len(ordered_members)]
+
+    def _balanced_random_cpus(self, cpus: List[int], n: int) -> List[int]:
+        """Random but load-balanced cpu choices within a chip.
+
+        A shuffled round-robin: each full pass over the shuffled cpu list
+        keeps per-cpu counts within one of each other while the order
+        stays random, matching "uniformly and randomly" without risking
+        accidental pile-ups.
+        """
+        choices: List[int] = []
+        while len(choices) < n:
+            shuffled = list(cpus)
+            self.rng.shuffle(shuffled)
+            choices.extend(shuffled)
+        return choices[:n]

@@ -1,0 +1,135 @@
+"""The paper's one-pass clustering heuristic (Section 4.4.2).
+
+Standard algorithms (k-means, hierarchical) are "too computationally
+expensive to be used online" or need k in advance, so the paper relies
+on two workload assumptions -- data is naturally partitioned by
+application logic, and sharing within a partition is roughly symmetric
+-- to justify a single-pass scheme:
+
+* scan threads once;
+* compare each thread's shMap against the *representative* of every
+  existing cluster (any member works as representative, by the symmetry
+  assumption -- the first member is used);
+* join the first cluster whose similarity clears the threshold,
+  otherwise found a new cluster with this thread as representative.
+
+Complexity O(T * c) with c << T.  Globally-shared entries are removed
+first via the histogram mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .similarity import (
+    DEFAULT_GLOBAL_FRACTION,
+    DEFAULT_NOISE_FLOOR,
+    DEFAULT_SIMILARITY_THRESHOLD,
+    denoise,
+    global_entry_mask,
+)
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering pass.
+
+    Attributes:
+        clusters: member tids per cluster, in discovery order.
+        representatives: the representative tid of each cluster.
+        assignment: tid -> cluster index; unclustered threads map to -1.
+        unclustered: threads with no (usable) sharing signature.
+        comparisons: similarity evaluations performed (the O(T*c) cost).
+    """
+
+    clusters: List[List[int]] = field(default_factory=list)
+    representatives: List[int] = field(default_factory=list)
+    assignment: Dict[int, int] = field(default_factory=dict)
+    unclustered: List[int] = field(default_factory=list)
+    comparisons: int = 0
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, tid: int) -> int:
+        return self.assignment.get(tid, -1)
+
+    def sizes(self) -> List[int]:
+        return [len(members) for members in self.clusters]
+
+
+class OnePassClusterer:
+    """Single-pass representative-based clustering of shMap vectors."""
+
+    def __init__(
+        self,
+        similarity_threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+        noise_floor: int = DEFAULT_NOISE_FLOOR,
+        global_fraction: float = DEFAULT_GLOBAL_FRACTION,
+        remove_global_entries: bool = True,
+    ) -> None:
+        if similarity_threshold <= 0:
+            raise ValueError("similarity threshold must be positive")
+        self.similarity_threshold = similarity_threshold
+        self.noise_floor = noise_floor
+        self.global_fraction = global_fraction
+        self.remove_global_entries = remove_global_entries
+
+    def cluster(self, vectors: Dict[int, np.ndarray]) -> ClusteringResult:
+        """Cluster threads by their shMap vectors.
+
+        Args:
+            vectors: tid -> signature vector (as from
+                :meth:`repro.clustering.shmap.ShMapTable.vectors`).
+
+        Returns:
+            A :class:`ClusteringResult`.  Threads whose vector is all
+            zero after denoising and global-entry removal land in
+            ``unclustered`` -- they exhibited no clusterable sharing.
+        """
+        result = ClusteringResult()
+        if not vectors:
+            return result
+
+        tids = sorted(vectors)
+        denoised = {
+            tid: denoise(vectors[tid], self.noise_floor) for tid in tids
+        }
+        if self.remove_global_entries:
+            # The Section 4.4.2 histogram counts RAW non-zero entries
+            # ("how many shMap vectors have a non-zero value"), before
+            # any denoising: under sparse sampling a process-wide line
+            # may sit below the noise floor in most threads' vectors yet
+            # still contaminate every pairwise similarity.
+            keep = global_entry_mask(
+                [vectors[tid] for tid in tids],
+                global_fraction=self.global_fraction,
+                noise_floor=1,
+            )
+            denoised = {tid: np.where(keep, v, 0) for tid, v in denoised.items()}
+
+        representative_vectors: List[np.ndarray] = []
+        for tid in tids:
+            vector = denoised[tid]
+            if not vector.any():
+                result.unclustered.append(tid)
+                result.assignment[tid] = -1
+                continue
+            placed = False
+            for index, rep_vector in enumerate(representative_vectors):
+                result.comparisons += 1
+                if float(vector @ rep_vector) >= self.similarity_threshold:
+                    result.clusters[index].append(tid)
+                    result.assignment[tid] = index
+                    placed = True
+                    break
+            if not placed:
+                result.clusters.append([tid])
+                result.representatives.append(tid)
+                representative_vectors.append(vector)
+                result.assignment[tid] = len(result.clusters) - 1
+        return result

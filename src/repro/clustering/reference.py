@@ -1,0 +1,217 @@
+"""Reference clustering algorithms and accuracy metrics.
+
+Section 4.4.2 dismisses "standard machine learning algorithms, such as
+hierarchical clustering or K-means" for *online* use -- too expensive,
+or k must be known in advance -- and Section 8 leaves "comparing the
+detection accuracy of our light-weight clustering algorithm against
+full-blown clustering algorithms" as future work.  This module
+implements that comparison: textbook K-means and average-linkage
+agglomerative clustering over the same shMap vectors, plus agreement
+metrics (Rand index, adjusted Rand index, purity) against either the
+one-pass result or the workload's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .similarity import DEFAULT_NOISE_FLOOR, denoise
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Labelled clustering produced by a reference algorithm."""
+
+    assignment: Dict[int, int]
+    n_clusters: int
+    iterations: int = 0
+
+    def labels_for(self, tids: Sequence[int]) -> List[int]:
+        return [self.assignment[tid] for tid in tids]
+
+
+# ----------------------------------------------------------------------
+# K-means
+# ----------------------------------------------------------------------
+def kmeans_cluster(
+    vectors: Dict[int, np.ndarray],
+    k: int,
+    rng: np.random.Generator,
+    noise_floor: int = DEFAULT_NOISE_FLOOR,
+    max_iterations: int = 100,
+) -> ReferenceResult:
+    """Lloyd's K-means on L2-normalised, denoised shMap vectors.
+
+    Normalisation makes the distance insensitive to per-thread sample
+    volume, which varies with scheduling luck rather than sharing
+    structure.  Requires k -- exactly the drawback the paper cites.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    tids = sorted(vectors)
+    if not tids:
+        return ReferenceResult(assignment={}, n_clusters=0)
+    k = min(k, len(tids))
+
+    data = np.stack(
+        [denoise(vectors[tid], noise_floor).astype(np.float64) for tid in tids]
+    )
+    norms = np.linalg.norm(data, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    data = data / norms
+
+    # k-means++ style seeding: spread initial centroids apart.
+    centroids = [data[rng.integers(0, len(tids))]]
+    while len(centroids) < k:
+        dists = np.min(
+            np.stack([np.linalg.norm(data - c, axis=1) for c in centroids]),
+            axis=0,
+        )
+        total = dists.sum()
+        if total == 0:
+            centroids.append(data[rng.integers(0, len(tids))])
+            continue
+        probabilities = dists / total
+        centroids.append(data[rng.choice(len(tids), p=probabilities)])
+    centroid_matrix = np.stack(centroids)
+
+    labels = np.zeros(len(tids), dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = np.linalg.norm(
+            data[:, None, :] - centroid_matrix[None, :, :], axis=2
+        )
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all() and iterations > 1:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = data[labels == j]
+            if len(members):
+                centroid_matrix[j] = members.mean(axis=0)
+    return ReferenceResult(
+        assignment={tid: int(labels[i]) for i, tid in enumerate(tids)},
+        n_clusters=int(labels.max()) + 1 if len(tids) else 0,
+        iterations=iterations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Hierarchical agglomerative (average linkage)
+# ----------------------------------------------------------------------
+def hierarchical_cluster(
+    vectors: Dict[int, np.ndarray],
+    similarity_threshold: float,
+    noise_floor: int = DEFAULT_NOISE_FLOOR,
+) -> ReferenceResult:
+    """Agglomerative clustering with average-linkage dot-product
+    similarity; merging stops when no pair of clusters clears the
+    threshold.  O(T^3) worst case -- the "too expensive online" point.
+    """
+    tids = sorted(vectors)
+    if not tids:
+        return ReferenceResult(assignment={}, n_clusters=0)
+    data = np.stack(
+        [denoise(vectors[tid], noise_floor).astype(np.float64) for tid in tids]
+    )
+    pairwise = data @ data.T
+
+    clusters: List[List[int]] = [[i] for i in range(len(tids))]
+    merges = 0
+    while len(clusters) > 1:
+        best = None
+        best_score = similarity_threshold
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                score = pairwise[np.ix_(clusters[a], clusters[b])].mean()
+                if score >= best_score:
+                    best_score = score
+                    best = (a, b)
+        if best is None:
+            break
+        a, b = best
+        clusters[a].extend(clusters[b])
+        del clusters[b]
+        merges += 1
+
+    assignment = {}
+    for label, members in enumerate(clusters):
+        for index in members:
+            assignment[tids[index]] = label
+    return ReferenceResult(
+        assignment=assignment, n_clusters=len(clusters), iterations=merges
+    )
+
+
+# ----------------------------------------------------------------------
+# Agreement metrics
+# ----------------------------------------------------------------------
+def rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Fraction of thread pairs on which two clusterings agree."""
+    if len(labels_a) != len(labels_b):
+        raise ValueError("label sequences must have equal length")
+    n = len(labels_a)
+    if n < 2:
+        return 1.0
+    agreements = 0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            same_a = labels_a[i] == labels_a[j]
+            same_b = labels_b[i] == labels_b[j]
+            if same_a == same_b:
+                agreements += 1
+    return agreements / pairs
+
+
+def adjusted_rand_index(
+    labels_a: Sequence[int], labels_b: Sequence[int]
+) -> float:
+    """Rand index corrected for chance (1 = identical, ~0 = random)."""
+    if len(labels_a) != len(labels_b):
+        raise ValueError("label sequences must have equal length")
+    n = len(labels_a)
+    if n < 2:
+        return 1.0
+    a_values = sorted(set(labels_a))
+    b_values = sorted(set(labels_b))
+    contingency = np.zeros((len(a_values), len(b_values)), dtype=np.int64)
+    a_index = {v: i for i, v in enumerate(a_values)}
+    b_index = {v: i for i, v in enumerate(b_values)}
+    for la, lb in zip(labels_a, labels_b):
+        contingency[a_index[la], b_index[lb]] += 1
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(contingency).sum()
+    sum_rows = comb2(contingency.sum(axis=1)).sum()
+    sum_cols = comb2(contingency.sum(axis=0)).sum()
+    total = comb2(np.asarray([n]))[0]
+    expected = sum_rows * sum_cols / total if total else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def purity(predicted: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of threads in clusters dominated by one true group."""
+    if len(predicted) != len(truth):
+        raise ValueError("label sequences must have equal length")
+    if not predicted:
+        return 1.0
+    by_cluster: Dict[int, List[int]] = {}
+    for p, t in zip(predicted, truth):
+        by_cluster.setdefault(p, []).append(t)
+    correct = 0
+    for members in by_cluster.values():
+        counts: Dict[int, int] = {}
+        for label in members:
+            counts[label] = counts.get(label, 0) + 1
+        correct += max(counts.values())
+    return correct / len(predicted)

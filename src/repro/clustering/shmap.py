@@ -1,0 +1,284 @@
+"""shMaps: per-thread sharing signatures (Section 4.3).
+
+Each thread gets a **shMap** -- "essentially a vector of 8-bit wide
+saturating counters", 256 of them by default, each corresponding to a
+region of the virtual address space the size of an L2 cache line
+(128 bytes, "the largest region size with which no false-positives can
+occur").  A shMap entry is incremented only when its thread incurs a
+*remote* cache access on the region, so threads sharing data while
+already co-located on a chip stay invisible -- by design, there is
+nothing to fix for them.
+
+Since 256 entries x 128 bytes cannot cover an address space, regions are
+hashed onto entries, and the resulting aliasing is eliminated by the
+**shMap filter** (spatial sampling): one filter per process, a vector of
+region addresses parallel to the shMaps, where each entry is latched
+immutably by the first remote access hashing to it.  A sample passes
+only if its region address equals the filter entry -- so every shMap
+entry is guaranteed to describe exactly one region, at the cost of
+ignoring regions that lost the race.  "Threads compete for entries in
+the shMap filter"; a per-thread grab limit partially addresses the
+pathological starvation case (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Knuth's multiplicative hash constant (golden-ratio scrambling).
+_HASH_MULTIPLIER = 2654435761
+
+
+@dataclass(frozen=True)
+class ShMapConfig:
+    """Geometry and limits of the shMap machinery.
+
+    Attributes:
+        n_entries: counters per shMap (paper: 256; Section 6.4 shows 128
+            and 512 identify the same clusters).
+        counter_max: saturation value of each counter (8-bit: 255).
+        region_bytes: sharing-detection granularity; the L2 line size so
+            no false sharing is reported.
+        max_filter_entries_per_thread: starvation cap -- one thread may
+            latch at most this many filter entries (Section 4.3.1); 0 or
+            negative disables the cap.
+    """
+
+    n_entries: int = 256
+    counter_max: int = 255
+    region_bytes: int = 128
+    max_filter_entries_per_thread: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError("n_entries must be positive")
+        if self.counter_max <= 0 or self.counter_max > 255:
+            raise ValueError("counter_max must be in [1, 255] (8-bit)")
+        if self.region_bytes & (self.region_bytes - 1):
+            raise ValueError("region_bytes must be a power of two")
+
+    def region_of(self, address: int) -> int:
+        """Region number of an address (its cache-line number)."""
+        return address // self.region_bytes
+
+    def entry_of(self, region: int) -> int:
+        """Hash a region onto a shMap entry."""
+        return (region * _HASH_MULTIPLIER) % self.n_entries
+
+
+class ShMap:
+    """One thread's sharing signature: saturating counters per entry."""
+
+    __slots__ = ("tid", "_counters", "config", "samples_recorded")
+
+    def __init__(self, tid: int, config: ShMapConfig) -> None:
+        self.tid = tid
+        self.config = config
+        self._counters: List[int] = [0] * config.n_entries
+        self.samples_recorded = 0
+
+    def record(self, entry: int) -> None:
+        """Count one remote cache access attributed to ``entry``."""
+        value = self._counters[entry]
+        if value < self.config.counter_max:
+            self._counters[entry] = value + 1
+        self.samples_recorded += 1
+
+    def as_array(self) -> np.ndarray:
+        """Counter vector as ``int64`` (wide enough for dot products)."""
+        return np.asarray(self._counters, dtype=np.int64)
+
+    def nonzero_entries(self) -> List[int]:
+        return [i for i, v in enumerate(self._counters) if v]
+
+    def __getitem__(self, entry: int) -> int:
+        return self._counters[entry]
+
+    def reset(self) -> None:
+        for i in range(len(self._counters)):
+            self._counters[i] = 0
+        self.samples_recorded = 0
+
+
+class ShMapFilter:
+    """Per-process spatial-sampling filter (Figure 4).
+
+    Entries latch the first region address hashed to them and never
+    change ("initialized in an immutable fashion by the first remote
+    cache access that is mapped to the entry").  Aliased regions are
+    simply discarded, trading coverage for zero aliasing.
+    """
+
+    __slots__ = ("config", "_entries", "_grabs_by_tid", "admitted", "rejected")
+
+    def __init__(self, config: ShMapConfig) -> None:
+        self.config = config
+        self._entries: List[Optional[int]] = [None] * config.n_entries
+        self._grabs_by_tid: Dict[int, int] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, region: int, tid: int) -> Optional[int]:
+        """Pass ``region`` through the filter for thread ``tid``.
+
+        Returns the shMap entry index if the sample passes (the entry is
+        latched to this region, by this thread now or by anyone earlier),
+        or None if the sample must be discarded.
+        """
+        entry = self.config.entry_of(region)
+        latched = self._entries[entry]
+        if latched is None:
+            cap = self.config.max_filter_entries_per_thread
+            if cap > 0 and self._grabs_by_tid.get(tid, 0) >= cap:
+                # Starvation cap: this thread may not latch more entries,
+                # but the entry stays free for other threads.
+                self.rejected += 1
+                return None
+            self._entries[entry] = region
+            self._grabs_by_tid[tid] = self._grabs_by_tid.get(tid, 0) + 1
+            self.admitted += 1
+            return entry
+        if latched == region:
+            self.admitted += 1
+            return entry
+        self.rejected += 1
+        return None
+
+    def region_at(self, entry: int) -> Optional[int]:
+        """The region latched at ``entry`` (None if still free)."""
+        return self._entries[entry]
+
+    def grabs_of(self, tid: int) -> int:
+        """Filter entries latched by thread ``tid``."""
+        return self._grabs_by_tid.get(tid, 0)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of filter entries latched so far."""
+        latched = sum(1 for e in self._entries if e is not None)
+        return latched / self.config.n_entries
+
+    def reset(self) -> None:
+        self._entries = [None] * self.config.n_entries
+        self._grabs_by_tid.clear()
+        self.admitted = 0
+        self.rejected = 0
+
+
+class ShMapTable:
+    """All shMaps of one process plus its shared filter.
+
+    This is the consumer end of the PMU capture pipeline: feed it the
+    sampled remote-access addresses via :meth:`observe` and read out the
+    per-thread signature vectors for clustering.
+    """
+
+    def __init__(self, config: Optional[ShMapConfig] = None) -> None:
+        self.config = config if config is not None else ShMapConfig()
+        self.filter = ShMapFilter(self.config)
+        self._shmaps: Dict[int, ShMap] = {}
+        self.total_samples = 0
+
+    def observe(self, tid: int, address: int) -> Optional[int]:
+        """Record one sampled remote cache access by ``tid``.
+
+        Returns the shMap entry updated, or None if the filter dropped
+        the sample.
+        """
+        self.total_samples += 1
+        region = self.config.region_of(address)
+        entry = self.filter.admit(region, tid)
+        if entry is None:
+            return None
+        shmap = self._shmaps.get(tid)
+        if shmap is None:
+            shmap = ShMap(tid, self.config)
+            self._shmaps[tid] = shmap
+        shmap.record(entry)
+        return entry
+
+    def shmap_of(self, tid: int) -> Optional[ShMap]:
+        return self._shmaps.get(tid)
+
+    def tids(self) -> List[int]:
+        """Threads that have at least one recorded sample, sorted."""
+        return sorted(self._shmaps)
+
+    def vectors(self) -> Dict[int, np.ndarray]:
+        """tid -> signature vector, for the clustering algorithms."""
+        return {tid: shmap.as_array() for tid, shmap in self._shmaps.items()}
+
+    def matrix(self) -> np.ndarray:
+        """``(n_threads, n_entries)`` matrix in :meth:`tids` order."""
+        tids = self.tids()
+        if not tids:
+            return np.zeros((0, self.config.n_entries), dtype=np.int64)
+        return np.stack([self._shmaps[tid].as_array() for tid in tids])
+
+    def reset(self) -> None:
+        """Drop all signatures and the filter (start of a new detection
+        phase, so "previously victimized threads will obtain another
+        chance" at filter entries)."""
+        self.filter.reset()
+        self._shmaps.clear()
+        self.total_samples = 0
+
+
+class ShMapRegistry:
+    """Per-process shMap tables (Section 4.3.1: "All threads of a
+    process use the same shMap filter").
+
+    Sharing never crosses address spaces, so each process gets its own
+    filter and shMaps; the controller clusters each process separately
+    and merges the cluster lists for migration.  Single-process runs
+    collapse to one table, so the registry is a strict generalisation.
+    """
+
+    def __init__(self, config: Optional[ShMapConfig] = None) -> None:
+        self.config = config if config is not None else ShMapConfig()
+        self._tables: Dict[int, ShMapTable] = {}
+
+    def table_for(self, process_id: int) -> ShMapTable:
+        """The process's table, created on first use."""
+        table = self._tables.get(process_id)
+        if table is None:
+            table = ShMapTable(self.config)
+            self._tables[process_id] = table
+        return table
+
+    def observe(self, process_id: int, tid: int, address: int) -> Optional[int]:
+        return self.table_for(process_id).observe(tid, address)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(t.total_samples for t in self._tables.values())
+
+    def processes(self) -> List[int]:
+        return sorted(self._tables)
+
+    def tables(self) -> List[ShMapTable]:
+        return [self._tables[p] for p in self.processes()]
+
+    def combined_vectors(self) -> Dict[int, np.ndarray]:
+        """All processes' vectors in one dict (tids are globally unique)."""
+        vectors: Dict[int, np.ndarray] = {}
+        for table in self._tables.values():
+            vectors.update(table.vectors())
+        return vectors
+
+    def combined_matrix(self) -> np.ndarray:
+        """Stacked rows over all processes, in global tid order."""
+        vectors = self.combined_vectors()
+        if not vectors:
+            return np.zeros((0, self.config.n_entries), dtype=np.int64)
+        return np.stack([vectors[tid] for tid in sorted(vectors)])
+
+    def combined_tids(self) -> List[int]:
+        return sorted(self.combined_vectors())
+
+    def reset(self) -> None:
+        for table in self._tables.values():
+            table.reset()

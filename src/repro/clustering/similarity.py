@@ -1,0 +1,93 @@
+"""Similarity between shMap vectors (Section 4.4.1).
+
+The paper's metric is the plain dot product::
+
+    similarity(T1, T2) = sum_i T1[i] * T2[i]
+
+with two refinements implemented here exactly as described:
+
+* entries below a small **noise floor** ("very small values (e.g., less
+  than 3)") are treated as zero -- they "may be incidental or due to
+  cold sharing and may not reflect a real sharing pattern";
+* **globally shared** entries are removed before clustering: an entry is
+  global if more than half of all threads have a non-zero value there
+  (Section 4.4.2's histogram), because process-wide shared data says
+  nothing about how to partition threads between chips.
+
+The default similarity threshold of 40 000 is the paper's: reachable by
+one entry pair with values > 200 each, or two pairs > 145 each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+#: Paper's defaults (Section 4.4.1).
+DEFAULT_NOISE_FLOOR = 3
+DEFAULT_SIMILARITY_THRESHOLD = 40_000.0
+#: An entry is globally shared when more than this fraction of threads
+#: touched it (Section 4.4.2: "more than half").
+DEFAULT_GLOBAL_FRACTION = 0.5
+
+
+def denoise(vector: np.ndarray, noise_floor: int = DEFAULT_NOISE_FLOOR) -> np.ndarray:
+    """Zero out entries below the noise floor (cold/incidental sharing)."""
+    return np.where(vector >= noise_floor, vector, 0)
+
+
+def similarity(
+    a: np.ndarray,
+    b: np.ndarray,
+    noise_floor: int = DEFAULT_NOISE_FLOOR,
+) -> float:
+    """Dot-product similarity of two (denoised) shMap vectors.
+
+    Non-zero products arise only where *both* threads incurred remote
+    accesses on the same latched region -- i.e. the region is actively
+    shared between them -- and the product weights by intensity.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"vector shapes differ: {a.shape} vs {b.shape}")
+    return float(np.dot(denoise(a, noise_floor), denoise(b, noise_floor)))
+
+
+def global_entry_mask(
+    vectors: List[np.ndarray],
+    global_fraction: float = DEFAULT_GLOBAL_FRACTION,
+    noise_floor: int = DEFAULT_NOISE_FLOOR,
+) -> np.ndarray:
+    """Boolean mask of entries to KEEP (True = not globally shared).
+
+    Builds the Section 4.4.2 histogram: for each entry, how many threads
+    have a non-zero (post-denoise) value there; entries touched by more
+    than ``global_fraction`` of threads are masked out.
+    """
+    if not vectors:
+        return np.ones(0, dtype=bool)
+    stacked = np.stack([denoise(v, noise_floor) for v in vectors])
+    touched_by = (stacked > 0).sum(axis=0)
+    cutoff = global_fraction * len(vectors)
+    return touched_by <= cutoff
+
+
+def mask_vectors(
+    vectors: Dict[int, np.ndarray],
+    keep: np.ndarray,
+) -> Dict[int, np.ndarray]:
+    """Apply a keep-mask to every vector (globally-shared removal)."""
+    return {tid: np.where(keep, vec, 0) for tid, vec in vectors.items()}
+
+
+def similarity_matrix(
+    vectors: List[np.ndarray], noise_floor: int = DEFAULT_NOISE_FLOOR
+) -> np.ndarray:
+    """Full pairwise similarity matrix (analysis/visualisation only;
+    the online algorithm never needs all pairs)."""
+    if not vectors:
+        return np.zeros((0, 0))
+    denoised = np.stack([denoise(v, noise_floor) for v in vectors]).astype(
+        np.float64
+    )
+    return denoised @ denoised.T

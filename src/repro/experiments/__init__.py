@@ -1,0 +1,81 @@
+"""Experiment runners: one per paper table/figure plus ablations.
+
+See DESIGN.md's per-experiment index for the mapping to the paper.
+"""
+
+from .ablations import (
+    ActivationStudy,
+    AlgorithmStudy,
+    ThresholdStudy,
+    ToleranceStudy,
+    collect_shmap_vectors,
+    run_ablation_activation,
+    run_ablation_clustering,
+    run_ablation_similarity,
+    run_ablation_tolerance,
+)
+from .churn_study import ChurnStudy, LIFETIMES, run_churn_study
+from .common import (
+    ALL_POLICIES,
+    PAPER_WORKLOADS,
+    ClusterAccuracy,
+    evaluation_config,
+    run_policy_sweep,
+    score_clustering,
+)
+from .fig1_latencies import LatencyReport, run_fig1
+from .fig3_stall_breakdown import StallBreakdownReport, run_fig3
+from .fig5_shmaps import FIG5_WORKLOADS, ShMapFigure, run_fig5, run_fig5_for
+from .fig6_fig7_placement import PlacementStudy, run_fig6_fig7
+from .fig8_overhead import CAPTURE_PERCENTAGES, SamplingStudy, run_fig8
+from .phase_change import PhaseChangeReport, run_phase_change
+from .sec64_spatial import SHMAP_SIZES, SpatialStudy, run_sec64
+from .smt_aware import SmtAwareStudy, run_smt_aware
+from .stats import MetricSummary, SeedStudy, run_seed_study
+from .sec74_scaling import ScalingStudy, run_sec74
+
+__all__ = [
+    "ActivationStudy",
+    "AlgorithmStudy",
+    "ThresholdStudy",
+    "collect_shmap_vectors",
+    "run_ablation_activation",
+    "run_ablation_clustering",
+    "run_ablation_similarity",
+    "run_ablation_tolerance",
+    "ToleranceStudy",
+    "ALL_POLICIES",
+    "PAPER_WORKLOADS",
+    "ClusterAccuracy",
+    "evaluation_config",
+    "run_policy_sweep",
+    "score_clustering",
+    "LatencyReport",
+    "run_fig1",
+    "StallBreakdownReport",
+    "run_fig3",
+    "FIG5_WORKLOADS",
+    "ShMapFigure",
+    "run_fig5",
+    "run_fig5_for",
+    "PlacementStudy",
+    "run_fig6_fig7",
+    "CAPTURE_PERCENTAGES",
+    "SamplingStudy",
+    "run_fig8",
+    "PhaseChangeReport",
+    "run_phase_change",
+    "SHMAP_SIZES",
+    "SpatialStudy",
+    "run_sec64",
+    "SmtAwareStudy",
+    "run_smt_aware",
+    "MetricSummary",
+    "SeedStudy",
+    "run_seed_study",
+    "ChurnStudy",
+    "LIFETIMES",
+    "run_churn_study",
+    "ScalingStudy",
+    "run_sec74",
+]

@@ -1,0 +1,337 @@
+"""Ablation studies: the sensitivity questions the paper leaves open.
+
+Section 8: "we have not yet examined the sensitivity of other
+parameters, such as the similarity metric and the clustering algorithm.
+Comparing the detection accuracy of our light-weight clustering
+algorithm against full-blown clustering algorithms is a subject of
+future work."  These experiments run that future work on the simulated
+platform:
+
+* **A1** -- one-pass heuristic vs K-means vs hierarchical agglomerative
+  clustering on the same shMap vectors;
+* **A2** -- similarity-threshold sweep;
+* **A3** -- activation-threshold sweep (the Section 4.2 knob);
+* **A4** -- migration imbalance-tolerance sweep (the Section 4.5
+  "causes an imbalance" rule, which the paper leaves undefined).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+import numpy as np
+
+from ..clustering.onepass import OnePassClusterer
+from ..clustering.similarity import global_entry_mask, mask_vectors
+from ..clustering.reference import (
+    adjusted_rand_index,
+    hierarchical_cluster,
+    kmeans_cluster,
+    purity,
+)
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, PAPER_WORKLOADS, evaluation_config
+
+
+def collect_shmap_vectors(
+    workload_name: str = "specjbb",
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+):
+    """Run the clustered configuration once and return the shMap
+    vectors it clustered on, plus ground truth."""
+    factory = PAPER_WORKLOADS[workload_name]
+    workload = factory()
+    config = evaluation_config(PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed)
+    result = run_simulation(workload, config)
+    if result.shmap_matrix is None:
+        raise RuntimeError(f"{workload_name}: clustering never ran")
+    vectors = {
+        tid: result.shmap_matrix[i] for i, tid in enumerate(result.shmap_tids)
+    }
+    truth = workload.ground_truth()
+    return vectors, truth, config
+
+
+# ----------------------------------------------------------------------
+# A1: clustering algorithm comparison
+# ----------------------------------------------------------------------
+@dataclass
+class AlgorithmComparison:
+    algorithm: str
+    n_clusters: int
+    purity: float
+    ari_vs_truth: float
+    runtime_seconds: float
+
+
+@dataclass
+class AlgorithmStudy:
+    workload: str
+    comparisons: List[AlgorithmComparison] = field(default_factory=list)
+
+    def by_name(self, name: str) -> AlgorithmComparison:
+        for comparison in self.comparisons:
+            if comparison.algorithm == name:
+                return comparison
+        raise KeyError(name)
+
+
+def run_ablation_clustering(
+    workload_name: str = "specjbb",
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> AlgorithmStudy:
+    """One-pass vs K-means vs hierarchical on identical shMap vectors.
+
+    The Section 4.4.2 globally-shared-entry removal is *preprocessing*,
+    not part of the grouping algorithm, so it is applied to the vectors
+    once and every algorithm sees the same masked input -- otherwise
+    the reference algorithms would be judged on process-global noise the
+    one-pass heuristic filters internally.
+    """
+    vectors, truth, config = collect_shmap_vectors(workload_name, n_rounds, seed)
+    keep = global_entry_mask(
+        [vectors[tid] for tid in sorted(vectors)],
+        global_fraction=config.global_fraction,
+        noise_floor=1,
+    )
+    vectors = mask_vectors(vectors, keep)
+    grouped_tids = [t for t in sorted(vectors) if truth.get(t, -1) >= 0]
+    actual = [truth[t] for t in grouped_tids]
+    n_groups = len(set(actual))
+    study = AlgorithmStudy(workload=workload_name)
+
+    def record(name: str, assignment: Dict[int, int], elapsed: float) -> None:
+        predicted = [assignment.get(t, -1) for t in grouped_tids]
+        study.comparisons.append(
+            AlgorithmComparison(
+                algorithm=name,
+                n_clusters=len({c for c in assignment.values() if c >= 0}),
+                purity=purity(predicted, actual),
+                ari_vs_truth=adjusted_rand_index(predicted, actual),
+                runtime_seconds=elapsed,
+            )
+        )
+
+    clusterer = OnePassClusterer(
+        similarity_threshold=config.similarity_threshold,
+        noise_floor=config.noise_floor,
+        global_fraction=config.global_fraction,
+    )
+    start = time.perf_counter()
+    onepass = clusterer.cluster(vectors)
+    record("onepass", onepass.assignment, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    kmeans = kmeans_cluster(
+        vectors, k=n_groups, rng=np.random.default_rng(seed),
+        noise_floor=config.noise_floor,
+    )
+    record("kmeans", kmeans.assignment, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    hier = hierarchical_cluster(
+        vectors,
+        similarity_threshold=config.similarity_threshold,
+        noise_floor=config.noise_floor,
+    )
+    record("hierarchical", hier.assignment, time.perf_counter() - start)
+    return study
+
+
+# ----------------------------------------------------------------------
+# A2: similarity threshold sweep
+# ----------------------------------------------------------------------
+@dataclass
+class ThresholdPoint:
+    threshold: float
+    n_clusters: int
+    purity: float
+    n_unclustered: int
+
+
+@dataclass
+class ThresholdStudy:
+    workload: str
+    points: List[ThresholdPoint] = field(default_factory=list)
+
+
+def run_ablation_similarity(
+    workload_name: str = "specjbb",
+    thresholds: tuple = (5, 10, 25, 60, 150, 400, 1_000, 10_000),
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> ThresholdStudy:
+    """Sweep the similarity threshold over fixed shMap vectors.
+
+    Expected shape: a broad plateau of correct clustering between the
+    too-permissive regime (everything merges) and the too-strict regime
+    (everything is a singleton).
+    """
+    vectors, truth, config = collect_shmap_vectors(workload_name, n_rounds, seed)
+    grouped_tids = [t for t in sorted(vectors) if truth.get(t, -1) >= 0]
+    actual = [truth[t] for t in grouped_tids]
+    study = ThresholdStudy(workload=workload_name)
+    for threshold in thresholds:
+        clusterer = OnePassClusterer(
+            similarity_threshold=float(threshold),
+            noise_floor=config.noise_floor,
+            global_fraction=config.global_fraction,
+        )
+        result = clusterer.cluster(vectors)
+        predicted = [result.assignment.get(t, -1) for t in grouped_tids]
+        study.points.append(
+            ThresholdPoint(
+                threshold=float(threshold),
+                n_clusters=result.n_clusters,
+                purity=purity(predicted, actual),
+                n_unclustered=len(result.unclustered),
+            )
+        )
+    return study
+
+
+# ----------------------------------------------------------------------
+# A3: activation threshold sweep
+# ----------------------------------------------------------------------
+@dataclass
+class ActivationPoint:
+    threshold: float
+    activated: bool
+    clustering_rounds: int
+    speedup_vs_default: float
+    overhead_fraction: float
+
+
+@dataclass
+class ActivationStudy:
+    workload: str
+    points: List[ActivationPoint] = field(default_factory=list)
+    baseline_throughput: float = 0.0
+
+
+def run_ablation_activation(
+    workload_name: str = "volanomark",
+    thresholds: tuple = (0.02, 0.05, 0.10, 0.20),
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> ActivationStudy:
+    """Sweep the Section 4.2 activation threshold.
+
+    Expected shape: low thresholds activate (and gain); thresholds above
+    the workload's remote-stall share never activate, leaving default
+    behaviour -- which is why the paper's literal 20% could not have
+    fired for VolanoMark's 6%.
+    """
+    factory = PAPER_WORKLOADS[workload_name]
+    baseline = run_simulation(
+        factory(),
+        evaluation_config(PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed),
+    )
+    study = ActivationStudy(
+        workload=workload_name, baseline_throughput=baseline.throughput
+    )
+    for threshold in thresholds:
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+        )
+        config.controller_config = replace(
+            config.controller_config, activation_threshold=threshold
+        )
+        result = run_simulation(factory(), config)
+        speedup = (
+            result.throughput / baseline.throughput - 1.0
+            if baseline.throughput
+            else 0.0
+        )
+        study.points.append(
+            ActivationPoint(
+                threshold=threshold,
+                activated=result.n_clustering_rounds > 0,
+                clustering_rounds=result.n_clustering_rounds,
+                speedup_vs_default=speedup,
+                overhead_fraction=result.overhead_fraction,
+            )
+        )
+    return study
+
+
+# ----------------------------------------------------------------------
+# A4: migration imbalance-tolerance sweep
+# ----------------------------------------------------------------------
+@dataclass
+class TolerancePoint:
+    tolerance: float
+    speedup_vs_default: float
+    remote_stall_fraction: float
+    neutralized_clusters: int
+    max_chip_load_imbalance: int
+
+
+@dataclass
+class ToleranceStudy:
+    workload: str
+    points: List[TolerancePoint] = field(default_factory=list)
+    baseline_throughput: float = 0.0
+
+
+def run_ablation_tolerance(
+    tolerances: tuple = (0.0, 0.25, 0.5, 1.0, 2.0),
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> ToleranceStudy:
+    """Sweep the Section 4.5 imbalance tolerance.
+
+    Uses a microbenchmark with THREE scoreboards on a two-chip machine,
+    so cluster-to-chip assignment is forced to trade sharing isolation
+    against load balance: a zero tolerance neutralizes (spreads) the
+    odd cluster, large tolerances keep clusters whole at the cost of
+    chip-load skew.  Expected shape: moderate tolerances win; both
+    extremes cost either sharing locality or load balance.
+    """
+    from ..workloads import ScoreboardMicrobenchmark
+
+    def factory():
+        return ScoreboardMicrobenchmark(n_scoreboards=3, threads_per_scoreboard=4)
+
+    baseline = run_simulation(
+        factory(),
+        evaluation_config(PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed),
+    )
+    study = ToleranceStudy(
+        workload="microbenchmark-3boards",
+        baseline_throughput=baseline.throughput,
+    )
+    for tolerance in tolerances:
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+        )
+        config.imbalance_tolerance = float(tolerance)
+        result = run_simulation(factory(), config)
+        neutralized = 0
+        imbalance = 0
+        if result.clustering_events:
+            plan = result.clustering_events[-1].plan
+            neutralized = len(plan.neutralized_clusters)
+            machine = config.resolve_machine().machine
+            loads = plan.chip_loads(machine)
+            imbalance = max(loads.values()) - min(loads.values())
+        speedup = (
+            result.throughput / baseline.throughput - 1.0
+            if baseline.throughput
+            else 0.0
+        )
+        study.points.append(
+            TolerancePoint(
+                tolerance=float(tolerance),
+                speedup_vs_default=speedup,
+                remote_stall_fraction=result.remote_stall_fraction,
+                neutralized_clusters=neutralized,
+                max_chip_load_imbalance=imbalance,
+            )
+        )
+    return study

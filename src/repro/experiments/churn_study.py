@@ -1,0 +1,114 @@
+"""EXT4: connection churn vs clustering quality (the §5.3.4 rationale).
+
+The paper switched RUBiS to persistent database connections because
+that "enables our algorithm to monitor the sharing pattern of
+individual threads over the long term".  This study quantifies the
+counterfactual: with non-persistent connections, each worker thread
+lives only a bounded number of quanta, its shMap never accumulates a
+stable signature, and the placement the controller pins is stale by the
+time it acts.
+
+Expected shape: the clustering gain is intact for persistent and
+long-lived connections, collapses as lifetimes approach the detection
+latency, and can go *negative* for very short lifetimes -- clustering a
+churning population costs sampling overhead and pins threads that are
+about to die, while the replacements arrive unpinned and unbalanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from ..workloads import ChurningWorkload, Rubis
+from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, evaluation_config
+
+#: Swept mean connection lifetimes in quanta (None = persistent).
+LIFETIMES = (None, 120, 30, 8)
+
+
+@dataclass
+class ChurnPoint:
+    mean_lifetime: Optional[int]
+    connections_closed: int
+    clustering_rounds: int
+    baseline_remote: float
+    clustered_remote: float
+    speedup: float
+    overhead_fraction: float
+
+    @property
+    def label(self) -> str:
+        return "persistent" if self.mean_lifetime is None else str(self.mean_lifetime)
+
+
+@dataclass
+class ChurnStudy:
+    points: List[ChurnPoint] = field(default_factory=list)
+
+    def by_lifetime(self, lifetime: Optional[int]) -> ChurnPoint:
+        for point in self.points:
+            if point.mean_lifetime == lifetime:
+                return point
+        raise KeyError(lifetime)
+
+    @property
+    def gain_degrades_with_churn(self) -> bool:
+        """Speedup is monotone non-increasing as lifetimes shrink."""
+        ordered = sorted(
+            self.points,
+            key=lambda p: float("inf") if p.mean_lifetime is None else p.mean_lifetime,
+            reverse=True,
+        )
+        speeds = [p.speedup for p in ordered]
+        return all(b <= a + 0.02 for a, b in zip(speeds, speeds[1:]))
+
+
+def _make_workload(lifetime: Optional[int], seed: int) -> ChurningWorkload:
+    return ChurningWorkload(
+        Rubis(n_instances=2, clients_per_instance=8),
+        mean_lifetime_quanta=lifetime,
+        seed=seed,
+    )
+
+
+def run_churn_study(
+    lifetimes: tuple = LIFETIMES,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> ChurnStudy:
+    """Sweep connection lifetime; compare clustered vs default Linux."""
+    study = ChurnStudy()
+    for lifetime in lifetimes:
+        baseline = run_simulation(
+            _make_workload(lifetime, seed),
+            evaluation_config(
+                PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed
+            ),
+        )
+        workload = _make_workload(lifetime, seed)
+        clustered = run_simulation(
+            workload,
+            evaluation_config(
+                PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+            ),
+        )
+        speedup = (
+            clustered.throughput / baseline.throughput - 1.0
+            if baseline.throughput
+            else 0.0
+        )
+        study.points.append(
+            ChurnPoint(
+                mean_lifetime=lifetime,
+                connections_closed=workload.connections_closed,
+                clustering_rounds=clustered.n_clustering_rounds,
+                baseline_remote=baseline.remote_stall_fraction,
+                clustered_remote=clustered.remote_stall_fraction,
+                speedup=speedup,
+                overhead_fraction=clustered.overhead_fraction,
+            )
+        )
+    return study

@@ -1,0 +1,129 @@
+"""Shared infrastructure for the per-figure experiment runners.
+
+Every experiment in this package regenerates one table or figure of the
+paper (see DESIGN.md's per-experiment index) and returns a plain result
+object that both the examples and the benchmark harness print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..clustering import purity
+from ..sched.placement import PlacementPolicy
+from ..sim.config import SimConfig
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..workloads import (
+    Rubis,
+    ScoreboardMicrobenchmark,
+    SpecJbb,
+    VolanoMark,
+    WorkloadModel,
+)
+
+#: Evaluation defaults: long enough that the clustering controller's
+#: activation + detection + migration completes well before the
+#: measurement window opens.
+DEFAULT_N_ROUNDS = 450
+DEFAULT_SEED = 3
+DEFAULT_MEASUREMENT_START = 0.55
+
+ALL_POLICIES = [
+    PlacementPolicy.DEFAULT_LINUX,
+    PlacementPolicy.ROUND_ROBIN,
+    PlacementPolicy.HAND_OPTIMIZED,
+    PlacementPolicy.CLUSTERED,
+]
+
+WorkloadFactory = Callable[[], WorkloadModel]
+
+#: Paper-configured workload instances (Section 5.3).
+PAPER_WORKLOADS: Dict[str, WorkloadFactory] = {
+    "microbenchmark": lambda: ScoreboardMicrobenchmark(
+        n_scoreboards=4, threads_per_scoreboard=4
+    ),
+    "volanomark": lambda: VolanoMark(n_rooms=2, clients_per_room=8),
+    "specjbb": lambda: SpecJbb(n_warehouses=2, threads_per_warehouse=8),
+    "rubis": lambda: Rubis(n_instances=2, clients_per_instance=16),
+}
+
+
+def evaluation_config(
+    policy: PlacementPolicy,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    **overrides: object,
+) -> SimConfig:
+    """The standard evaluation configuration for one policy."""
+    config = SimConfig(
+        policy=policy,
+        n_rounds=n_rounds,
+        seed=seed,
+        measurement_start_fraction=DEFAULT_MEASUREMENT_START,
+    )
+    for key, value in overrides.items():
+        if not hasattr(config, key):
+            raise AttributeError(f"SimConfig has no field {key!r}")
+        setattr(config, key, value)
+    return config
+
+
+def run_policy_sweep(
+    workload_factory: WorkloadFactory,
+    policies: Optional[List[PlacementPolicy]] = None,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    **overrides: object,
+) -> Dict[str, SimResult]:
+    """Run one workload under every placement policy.
+
+    A fresh workload instance is built per policy so cache and region
+    state never leaks between runs.
+    """
+    results: Dict[str, SimResult] = {}
+    for policy in policies or ALL_POLICIES:
+        config = evaluation_config(policy, n_rounds=n_rounds, seed=seed, **overrides)
+        results[policy.value] = run_simulation(workload_factory(), config)
+    return results
+
+
+@dataclass
+class ClusterAccuracy:
+    """How well a detected clustering matches the workload's ground truth."""
+
+    workload: str
+    n_clusters: int
+    n_ground_truth_groups: int
+    purity: float
+    cluster_sizes: List[int] = field(default_factory=list)
+
+
+def score_clustering(
+    workload: WorkloadModel, result: SimResult
+) -> Optional[ClusterAccuracy]:
+    """Purity of the final detected clustering against ground truth.
+
+    Returns None if the run never clustered.  Threads without ground
+    truth (group -1, e.g. GC threads) are excluded from purity: the
+    paper's observation is that they "did not affect cluster formation",
+    which the cluster count still reflects.
+    """
+    assignment = result.detected_assignment()
+    if not assignment:
+        return None
+    truth = workload.ground_truth()
+    tids = [tid for tid in sorted(assignment) if truth.get(tid, -1) >= 0]
+    if not tids:
+        return None
+    predicted = [assignment[tid] for tid in tids]
+    actual = [truth[tid] for tid in tids]
+    event = result.clustering_events[-1]
+    return ClusterAccuracy(
+        workload=workload.name,
+        n_clusters=event.result.n_clusters,
+        n_ground_truth_groups=workload.n_groups(),
+        purity=purity(predicted, actual),
+        cluster_sizes=sorted(event.result.sizes(), reverse=True),
+    )

@@ -1,0 +1,110 @@
+"""Figure 1 / Table 1: machine topology and per-level access latencies.
+
+The paper's Figure 1 annotates the OpenPower 720 with the latency a
+thread pays to reach each level of the memory hierarchy.  This
+experiment *measures* those latencies from the simulator rather than
+echoing the configuration: a probe thread executes the canonical access
+pattern for each level and the satisfaction source the hierarchy reports
+is charged its configured cycle cost.  A mismatch between pattern and
+source would indicate a broken hierarchy, so this doubles as an
+end-to-end check of the cache substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.stats import SOURCE_ORDER
+from ..topology.latency import AccessSource
+from ..topology.presets import MachineSpec, openpower_720
+
+
+@dataclass(frozen=True)
+class LatencyProbe:
+    """One measured hierarchy level."""
+
+    source: AccessSource
+    pattern: str
+    observed_source: AccessSource
+    latency_cycles: int
+
+    @property
+    def matches(self) -> bool:
+        return self.source is self.observed_source
+
+
+@dataclass
+class LatencyReport:
+    machine_description: str
+    probes: List[LatencyProbe]
+
+    @property
+    def all_match(self) -> bool:
+        return all(p.matches for p in self.probes)
+
+    def rows(self) -> List[tuple]:
+        return [
+            (p.source.value, p.pattern, p.observed_source.value, p.latency_cycles)
+            for p in self.probes
+        ]
+
+
+def run_fig1(spec: MachineSpec | None = None) -> LatencyReport:
+    """Probe every satisfaction source on a fresh machine."""
+    spec = spec if spec is not None else openpower_720(cache_scale=16)
+    hierarchy = CacheHierarchy(spec)
+    latency = spec.latency
+    line = hierarchy.line_bytes
+    probes: List[LatencyProbe] = []
+
+    def probe(expected: AccessSource, pattern: str, cpu: int, address: int) -> None:
+        source_index = hierarchy.access(cpu, address, False)
+        observed = SOURCE_ORDER[source_index]
+        probes.append(
+            LatencyProbe(
+                source=expected,
+                pattern=pattern,
+                observed_source=observed,
+                latency_cycles=latency.cycles(observed),
+            )
+        )
+
+    # MEMORY: cold line, no chip holds it.
+    addr = 0x100_0000
+    probe(AccessSource.MEMORY, "cold miss", 0, addr)
+
+    # L1: immediate re-access on the same core.
+    probe(AccessSource.L1, "re-access on same core", 0, addr)
+
+    # LOCAL_L2: other core, same chip.
+    probe(AccessSource.LOCAL_L2, "other core, same chip", 2, addr)
+
+    # REMOTE_L2: a core on the other chip.
+    probe(AccessSource.REMOTE_L2, "core on other chip", 4, addr)
+
+    # LOCAL_L3: conflict-evict the line from chip 0's L2, then access it
+    # from the chip's other core (whose L1 never held it).
+    addr2 = 0x200_0000
+    hierarchy.access(0, addr2, False)
+    l2 = hierarchy.l2_caches[0]
+    step = l2.n_sets * line
+    for k in range(1, l2.ways + 2):
+        hierarchy.access(0, addr2 + k * step, False)
+    probe(AccessSource.LOCAL_L3, "L2 victim resident in local L3", 2, addr2)
+
+    # REMOTE_L3: evict a chip-1-held line to chip 1's L3, then read from
+    # chip 0.
+    addr3 = 0x300_0000
+    hierarchy.access(4, addr3, False)
+    l2c1 = hierarchy.l2_caches[1]
+    step = l2c1.n_sets * line
+    for k in range(1, l2c1.ways + 2):
+        hierarchy.access(4, addr3 + k * step, False)
+    probe(AccessSource.REMOTE_L3, "remote chip's L3 victim", 0, addr3)
+
+    return LatencyReport(
+        machine_description=spec.describe(),
+        probes=probes,
+    )

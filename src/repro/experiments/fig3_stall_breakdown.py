@@ -1,0 +1,60 @@
+"""Figure 3: CPI stall breakdown for VolanoMark.
+
+The paper's Figure 3 splits VolanoMark's average CPI into completion
+cycles and stall cycles by cause, with data-cache-miss stalls broken
+down by satisfaction source; about 6% of cycles are remote-cache-access
+stalls under the default scheduler -- the headroom thread clustering
+then attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..pmu.events import StallCause
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, PAPER_WORKLOADS, evaluation_config
+
+
+@dataclass
+class StallBreakdownReport:
+    workload: str
+    cpi: float
+    fractions: Dict[StallCause, float]
+    result: SimResult
+
+    @property
+    def remote_fraction(self) -> float:
+        return (
+            self.fractions[StallCause.DCACHE_REMOTE_L2]
+            + self.fractions[StallCause.DCACHE_REMOTE_L3]
+        )
+
+    def rows(self):
+        return [
+            (cause.value, share, share * self.cpi)
+            for cause, share in self.fractions.items()
+            if share >= 0.0005
+        ]
+
+
+def run_fig3(
+    workload_name: str = "volanomark",
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> StallBreakdownReport:
+    """Stall breakdown under default Linux scheduling."""
+    factory = PAPER_WORKLOADS[workload_name]
+    config = evaluation_config(
+        PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed
+    )
+    result = run_simulation(factory(), config)
+    return StallBreakdownReport(
+        workload=workload_name,
+        cpi=result.cpi,
+        fractions=result.stall_fractions(),
+        result=result,
+    )

@@ -1,0 +1,98 @@
+"""Figure 5: visual representation of shMap vectors for all four workloads.
+
+Each application is rendered as a matrix -- one row per thread's shMap,
+rows grouped by detected cluster -- where continuous vertical dark lines
+mark entries (regions) shared by a whole cluster.  As in the paper's
+footnote 3, SPECjbb runs with 4 warehouses for this figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.visualize import ascii_shmap, shmap_to_pgm
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from ..workloads import (
+    Rubis,
+    ScoreboardMicrobenchmark,
+    SpecJbb,
+    VolanoMark,
+    WorkloadModel,
+)
+from .common import (
+    DEFAULT_N_ROUNDS,
+    DEFAULT_SEED,
+    ClusterAccuracy,
+    evaluation_config,
+    score_clustering,
+)
+
+#: Figure 5 workload configurations (footnote 3: SPECjbb with 4 warehouses).
+FIG5_WORKLOADS = {
+    "microbenchmark": lambda: ScoreboardMicrobenchmark(
+        n_scoreboards=4, threads_per_scoreboard=4
+    ),
+    "specjbb": lambda: SpecJbb(n_warehouses=4, threads_per_warehouse=4),
+    "rubis": lambda: Rubis(n_instances=2, clients_per_instance=16),
+    "volanomark": lambda: VolanoMark(n_rooms=2, clients_per_room=8),
+}
+
+
+@dataclass
+class ShMapFigure:
+    """The Figure 5 panel for one workload."""
+
+    workload: str
+    matrix: Optional[np.ndarray]
+    tids: List[int]
+    assignment: Dict[int, int]
+    accuracy: Optional[ClusterAccuracy]
+
+    @property
+    def clustered(self) -> bool:
+        return self.matrix is not None and bool(self.assignment)
+
+    def ascii_art(self, max_columns: int = 128) -> str:
+        if self.matrix is None:
+            return f"{self.workload}: no clustering occurred"
+        return ascii_shmap(
+            self.matrix, self.tids, self.assignment, max_columns=max_columns
+        )
+
+    def pgm_bytes(self) -> bytes:
+        if self.matrix is None:
+            return b""
+        return shmap_to_pgm(self.matrix, self.tids, self.assignment)
+
+
+def run_fig5_for(
+    workload: WorkloadModel,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> ShMapFigure:
+    """One Figure 5 panel: run clustered, return the shMap matrix."""
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+    )
+    result = run_simulation(workload, config)
+    return ShMapFigure(
+        workload=workload.name,
+        matrix=result.shmap_matrix,
+        tids=result.shmap_tids,
+        assignment=result.detected_assignment(),
+        accuracy=score_clustering(workload, result),
+    )
+
+
+def run_fig5(
+    n_rounds: int = DEFAULT_N_ROUNDS, seed: int = DEFAULT_SEED
+) -> Dict[str, ShMapFigure]:
+    """All four Figure 5 panels."""
+    return {
+        name: run_fig5_for(factory(), n_rounds=n_rounds, seed=seed)
+        for name, factory in FIG5_WORKLOADS.items()
+    }

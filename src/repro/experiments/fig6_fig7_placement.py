@@ -1,0 +1,107 @@
+"""Figures 6 and 7: remote-stall reduction and performance by placement.
+
+Figure 6 compares the four scheduling schemes by the processor stalls
+caused by remote cache accesses (baseline: default Linux); Figure 7
+compares application-reported performance.  Expected shape: round-robin
+is no better than default; hand-optimized removes most remote stalls
+(up to ~70% in the paper); automatic clustering approaches
+hand-optimized (nearly equal for SPECjbb); performance gains roughly
+match the share of cycles recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.results import SimResult
+from .common import (
+    DEFAULT_N_ROUNDS,
+    DEFAULT_SEED,
+    PAPER_WORKLOADS,
+    ClusterAccuracy,
+    run_policy_sweep,
+    score_clustering,
+)
+
+BASELINE = "default_linux"
+
+
+@dataclass
+class PlacementRow:
+    """One (workload, policy) cell of Figures 6 and 7."""
+
+    workload: str
+    policy: str
+    remote_stall_fraction: float
+    #: Figure 6 y-axis: fraction of baseline remote stalls removed
+    remote_stall_reduction: float
+    throughput: float
+    #: Figure 7 y-axis: speedup over default Linux
+    speedup: float
+
+
+@dataclass
+class PlacementStudy:
+    rows: List[PlacementRow] = field(default_factory=list)
+    accuracies: Dict[str, Optional[ClusterAccuracy]] = field(default_factory=dict)
+    results: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+
+    def row(self, workload: str, policy: str) -> PlacementRow:
+        for r in self.rows:
+            if r.workload == workload and r.policy == policy:
+                return r
+        raise KeyError((workload, policy))
+
+    def table_rows(self) -> List[tuple]:
+        return [
+            (
+                r.workload,
+                r.policy,
+                r.remote_stall_fraction,
+                r.remote_stall_reduction,
+                r.throughput,
+                r.speedup,
+            )
+            for r in self.rows
+        ]
+
+
+def run_fig6_fig7(
+    workload_names: Optional[List[str]] = None,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> PlacementStudy:
+    """The full placement sweep behind Figures 6 and 7."""
+    study = PlacementStudy()
+    names = workload_names or list(PAPER_WORKLOADS)
+    for name in names:
+        factory = PAPER_WORKLOADS[name]
+        results = run_policy_sweep(factory, n_rounds=n_rounds, seed=seed)
+        study.results[name] = results
+        baseline = results[BASELINE]
+        for policy, result in results.items():
+            reduction = 0.0
+            if baseline.remote_stall_fraction > 0:
+                reduction = 1.0 - (
+                    result.remote_stall_fraction / baseline.remote_stall_fraction
+                )
+            speedup = (
+                result.throughput / baseline.throughput - 1.0
+                if baseline.throughput
+                else 0.0
+            )
+            study.rows.append(
+                PlacementRow(
+                    workload=name,
+                    policy=policy,
+                    remote_stall_fraction=result.remote_stall_fraction,
+                    remote_stall_reduction=reduction,
+                    throughput=result.throughput,
+                    speedup=speedup,
+                )
+            )
+        clustered = results.get("clustered")
+        if clustered is not None:
+            study.accuracies[name] = score_clustering(factory(), clustered)
+    return study

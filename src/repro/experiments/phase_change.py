@@ -1,0 +1,109 @@
+"""Phase-change study: the Section 4.1 re-clustering claim.
+
+"We apply these phases in an iterative process.  [...] Additionally,
+application phase changes are automatically accounted for by this
+iterative process."
+
+The experiment runs the scoreboard microbenchmark under automatic
+clustering, lets the controller settle, then rotates every thread to a
+different scoreboard mid-run (a phase change that invalidates the
+placement).  The rotated threads now share with threads pinned to other
+chips, remote stalls climb back over the activation threshold, and the
+controller must re-cluster and re-migrate.  Success criteria: at least
+two clustering rounds, and a post-second-migration remote-stall level
+far below the post-phase-change spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import Simulator
+from ..sim.results import SimResult
+from ..workloads import ScoreboardMicrobenchmark
+from .common import DEFAULT_SEED, evaluation_config
+
+
+@dataclass
+class PhaseChangeReport:
+    result: SimResult
+    phase_change_round: int
+    clustering_rounds: int
+    #: mean remote-stall fraction over timeline points in each epoch
+    settled_before_change: float
+    spike_after_change: float
+    settled_after_rechuster: float
+    events_after_change: int = 0
+    timeline_fractions: List[float] = field(default_factory=list)
+
+    @property
+    def reclustered(self) -> bool:
+        return self.events_after_change >= 1
+
+    @property
+    def recovered(self) -> bool:
+        """Did the second migration bring remote stalls back down?"""
+        if not self.reclustered:
+            return False
+        return self.settled_after_rechuster < max(
+            0.5 * self.spike_after_change, 0.02
+        )
+
+
+def run_phase_change(
+    n_rounds: int = 900,
+    phase_change_round: int = 400,
+    seed: int = DEFAULT_SEED,
+) -> PhaseChangeReport:
+    """Run the microbenchmark with a mid-run sharing-pattern rotation."""
+    workload = ScoreboardMicrobenchmark(n_scoreboards=4, threads_per_scoreboard=4)
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+    )
+    # Re-clustering needs headroom: a short cooldown and a cheap window.
+    config.controller_config = replace(
+        config.controller_config, migration_cooldown_cycles=400_000
+    )
+    simulator = Simulator(workload, config)
+
+    def on_round(round_index: int, sim: Simulator) -> None:
+        if round_index + 1 == phase_change_round:
+            workload.rotate_groups()
+
+    result = simulator.run(round_callback=on_round)
+
+    cycle_at_change = None
+    for point in result.timeline:
+        if point.round_index >= phase_change_round:
+            cycle_at_change = point.mean_cycle
+            break
+    events_after = sum(
+        1
+        for event in result.clustering_events
+        if cycle_at_change is not None
+        and event.migrated_at_cycle > cycle_at_change
+    )
+
+    def epoch_mean(start_frac: float, end_frac: float) -> float:
+        points = [
+            p
+            for p in result.timeline
+            if start_frac * n_rounds <= p.round_index < end_frac * n_rounds
+        ]
+        if not points:
+            return 0.0
+        return sum(p.remote_stall_fraction for p in points) / len(points)
+
+    change_frac = phase_change_round / n_rounds
+    return PhaseChangeReport(
+        result=result,
+        phase_change_round=phase_change_round,
+        clustering_rounds=result.n_clustering_rounds,
+        settled_before_change=epoch_mean(change_frac - 0.15, change_frac),
+        spike_after_change=epoch_mean(change_frac, change_frac + 0.15),
+        settled_after_rechuster=epoch_mean(0.85, 1.01),
+        events_after_change=events_after,
+        timeline_fractions=[p.remote_stall_fraction for p in result.timeline],
+    )

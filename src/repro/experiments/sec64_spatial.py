@@ -1,0 +1,78 @@
+"""Section 6.4: spatial-sampling sensitivity (shMap vector size).
+
+The paper varied the number of shMap entries (128 vs 256 vs 512) "and
+found the cluster identification to be largely invariant" -- clustering
+still identified the same groups of threads as sharing.  This experiment
+reruns the clustered configuration at each size and compares both the
+detected cluster structure and its purity against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..clustering.shmap import ShMapConfig
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from .common import (
+    DEFAULT_N_ROUNDS,
+    DEFAULT_SEED,
+    PAPER_WORKLOADS,
+    ClusterAccuracy,
+    evaluation_config,
+    score_clustering,
+)
+
+SHMAP_SIZES = (128, 256, 512)
+
+
+@dataclass
+class SpatialPoint:
+    n_entries: int
+    accuracy: Optional[ClusterAccuracy]
+    remote_stall_fraction: float
+
+
+@dataclass
+class SpatialStudy:
+    workload: str
+    points: List[SpatialPoint] = field(default_factory=list)
+
+    def purities(self) -> List[float]:
+        return [p.accuracy.purity if p.accuracy else 0.0 for p in self.points]
+
+    def cluster_counts(self) -> List[int]:
+        return [p.accuracy.n_clusters if p.accuracy else 0 for p in self.points]
+
+    @property
+    def invariant(self) -> bool:
+        """True when every size found the same (correct) structure."""
+        counts = set(self.cluster_counts())
+        return len(counts) == 1 and all(p >= 0.95 for p in self.purities())
+
+
+def run_sec64(
+    workload_name: str = "specjbb",
+    sizes: tuple = SHMAP_SIZES,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+) -> SpatialStudy:
+    """Cluster the workload at each shMap size."""
+    factory = PAPER_WORKLOADS[workload_name]
+    study = SpatialStudy(workload=workload_name)
+    for n_entries in sizes:
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+        )
+        config.shmap_config = replace(ShMapConfig(), n_entries=n_entries)
+        workload = factory()
+        result = run_simulation(workload, config)
+        study.points.append(
+            SpatialPoint(
+                n_entries=n_entries,
+                accuracy=score_clustering(workload, result),
+                remote_stall_fraction=result.remote_stall_fraction,
+            )
+        )
+    return study

@@ -1,0 +1,88 @@
+"""Section 7.4: scaling to a 32-way, 8-chip Power5 machine.
+
+"On larger multiprocessor systems, where this disparity is even
+greater, we expect higher performance gains.  In actuality, running on
+a 32-way Power5 multiprocessor consisting of 8 chips [...] preliminary
+results indicate a 14% throughput improvement in SPECjbb when comparing
+handcrafted placement to the default Linux configuration."
+
+With 8 chips, a randomly placed sharer sits on a remote chip with
+probability 7/8 instead of 1/2, so both the baseline remote-stall share
+and the recoverable gain grow.  The experiment runs SPECjbb with 8
+warehouses x 4 threads on the 8-chip machine (and the 2-chip baseline
+for contrast) under default, hand-optimized and clustered placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..topology.presets import openpower_720, power5_32way
+from ..workloads import SpecJbb
+from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, evaluation_config
+
+POLICIES = [
+    PlacementPolicy.DEFAULT_LINUX,
+    PlacementPolicy.HAND_OPTIMIZED,
+    PlacementPolicy.CLUSTERED,
+]
+
+
+@dataclass
+class ScalingPoint:
+    machine: str
+    n_chips: int
+    results: Dict[str, SimResult] = field(default_factory=dict)
+
+    def gain(self, policy: str) -> float:
+        baseline = self.results["default_linux"]
+        if baseline.throughput == 0:
+            return 0.0
+        return self.results[policy].throughput / baseline.throughput - 1.0
+
+    @property
+    def hand_gain(self) -> float:
+        """The Section 7.4 headline: handcrafted vs default Linux."""
+        return self.gain("hand_optimized")
+
+    @property
+    def clustered_gain(self) -> float:
+        return self.gain("clustered")
+
+
+@dataclass
+class ScalingStudy:
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def gain_grows_with_chips(self) -> bool:
+        gains = [p.hand_gain for p in sorted(self.points, key=lambda p: p.n_chips)]
+        return all(b >= a for a, b in zip(gains, gains[1:]))
+
+
+def run_sec74(
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    include_small_machine: bool = True,
+) -> ScalingStudy:
+    """SPECjbb on the 2-chip and 8-chip machines."""
+    study = ScalingStudy()
+    machines = []
+    if include_small_machine:
+        machines.append(("OpenPower 720 (2 chips)", openpower_720(cache_scale=16), 2, 2, 8))
+    machines.append(("32-way Power5 (8 chips)", power5_32way(cache_scale=16), 8, 8, 4))
+    for label, spec, n_chips, n_warehouses, threads_per in machines:
+        point = ScalingPoint(machine=label, n_chips=n_chips)
+        for policy in POLICIES:
+            config = evaluation_config(policy, n_rounds=n_rounds, seed=seed)
+            config.machine_spec = spec
+            workload = SpecJbb(
+                n_warehouses=n_warehouses, threads_per_warehouse=threads_per
+            )
+            point.results[policy.value] = run_simulation(workload, config)
+        study.points.append(point)
+    return study

@@ -1,0 +1,108 @@
+"""EXT2: SMT-aware intra-chip placement study.
+
+Section 4.5 of the paper randomises within-chip seat assignment and
+points at the CMT-aware scheduler of Fedorova et al. and the SMT-aware
+scheduler of Bulpin & Pratt as complementary intra-chip techniques.
+This study implements and measures that combination: after thread
+clustering has fixed the chip-level placement, seats within each chip
+are assigned either uniformly at random (the paper) or *SMT-aware* --
+pairing memory-heavy threads with compute-heavy ones on each core.
+
+The effect only exists when SMT contention depends on the co-runner's
+memory intensity (``SimConfig.smt_memory_sensitivity > 0``), which is
+also how the cited papers model it; with the flat contention model both
+policies are equivalent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..workloads import HeterogeneousMicrobenchmark
+from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, evaluation_config
+
+
+@dataclass
+class SmtAwarePoint:
+    intra_chip_policy: str
+    throughput: float
+    remote_stall_fraction: float
+    #: cores that ended up with two memory-heavy threads seated together
+    hot_hot_cores: int
+
+
+@dataclass
+class SmtAwareStudy:
+    sensitivity: float
+    points: List[SmtAwarePoint] = field(default_factory=list)
+    results: Dict[str, SimResult] = field(default_factory=dict)
+
+    def by_policy(self, policy: str) -> SmtAwarePoint:
+        for point in self.points:
+            if point.intra_chip_policy == policy:
+                return point
+        raise KeyError(policy)
+
+    @property
+    def smt_aware_gain(self) -> float:
+        random_point = self.by_policy("random")
+        aware_point = self.by_policy("smt_aware")
+        if random_point.throughput == 0:
+            return 0.0
+        return aware_point.throughput / random_point.throughput - 1.0
+
+
+def _count_hot_hot_cores(result: SimResult, workload, machine) -> int:
+    """Cores whose two seated threads are both memory-heavy."""
+    heavy_by_tid = {
+        t.tid: workload.is_memory_heavy(t) for t in workload.threads
+    }
+    core_members: Dict[int, List[int]] = {}
+    for summary in result.thread_summaries:
+        if summary.final_cpu is None:
+            continue
+        core = machine.core_of(summary.final_cpu)
+        core_members.setdefault(core, []).append(summary.tid)
+    hot_hot = 0
+    for members in core_members.values():
+        heavies = [tid for tid in members if heavy_by_tid.get(tid)]
+        if len(heavies) >= 2:
+            hot_hot += 1
+    return hot_hot
+
+
+def run_smt_aware(
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    sensitivity: float = 0.8,
+) -> SmtAwareStudy:
+    """Clustered placement with random vs SMT-aware intra-chip seats."""
+    study = SmtAwareStudy(sensitivity=sensitivity)
+    # One thread per hardware context: with more threads than contexts,
+    # round-robin time-multiplexing would reshuffle co-runner pairs every
+    # quantum and wash out any seating decision.
+    for policy in ("random", "smt_aware"):
+        workload = HeterogeneousMicrobenchmark(
+            n_scoreboards=2, threads_per_scoreboard=4
+        )
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+        )
+        config.smt_memory_sensitivity = sensitivity
+        config.intra_chip_placement = policy
+        result = run_simulation(workload, config)
+        machine = config.resolve_machine().machine
+        study.results[policy] = result
+        study.points.append(
+            SmtAwarePoint(
+                intra_chip_policy=policy,
+                throughput=result.throughput,
+                remote_stall_fraction=result.remote_stall_fraction,
+                hot_hot_cores=_count_hot_hot_cores(result, workload, machine),
+            )
+        )
+    return study

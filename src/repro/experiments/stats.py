@@ -1,0 +1,114 @@
+"""Multi-seed statistics: are the reproduction's gains robust?
+
+The paper reports single runs on real hardware; a simulator can do
+better and quantify run-to-run variance.  :func:`run_seed_study` repeats
+the placement comparison across independent seeds and reports mean and
+standard deviation for the headline metrics, so benchmark assertions
+can require gains that are large relative to the noise, not just
+positive in one lucky run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..sched.placement import PlacementPolicy
+from ..sim.engine import run_simulation
+from ..workloads.base import WorkloadModel
+from .common import DEFAULT_N_ROUNDS, PAPER_WORKLOADS, evaluation_config
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / standard deviation / extremes of one metric over seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0, 0)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            n=len(values),
+        )
+
+    def formatted(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f}"
+
+
+@dataclass
+class SeedStudy:
+    """Per-policy metric summaries over several seeds."""
+
+    workload: str
+    seeds: List[int]
+    #: policy -> metric name -> summary
+    summaries: Dict[str, Dict[str, MetricSummary]] = field(default_factory=dict)
+    #: per-seed speedups of clustered over default
+    clustered_speedups: List[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> MetricSummary:
+        return MetricSummary.of(self.clustered_speedups)
+
+    @property
+    def gain_is_robust(self) -> bool:
+        """Mean speedup exceeds two standard deviations (and zero)."""
+        summary = self.speedup
+        return summary.mean > 0 and summary.mean > 2 * summary.std
+
+
+def run_seed_study(
+    workload_name: str = "specjbb",
+    seeds: Sequence[int] = (3, 7, 11, 19, 23),
+    policies: Sequence[PlacementPolicy] = (
+        PlacementPolicy.DEFAULT_LINUX,
+        PlacementPolicy.CLUSTERED,
+    ),
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    workload_factory: Callable[[], WorkloadModel] | None = None,
+) -> SeedStudy:
+    """Repeat the policy comparison over independent seeds."""
+    factory = workload_factory or PAPER_WORKLOADS[workload_name]
+    study = SeedStudy(workload=workload_name, seeds=list(seeds))
+
+    per_policy: Dict[str, Dict[str, List[float]]] = {
+        policy.value: {"throughput": [], "remote_stall_fraction": []}
+        for policy in policies
+    }
+    for seed in seeds:
+        results = {}
+        for policy in policies:
+            config = evaluation_config(policy, n_rounds=n_rounds, seed=seed)
+            results[policy.value] = run_simulation(factory(), config)
+            per_policy[policy.value]["throughput"].append(
+                results[policy.value].throughput
+            )
+            per_policy[policy.value]["remote_stall_fraction"].append(
+                results[policy.value].remote_stall_fraction
+            )
+        baseline = results.get(PlacementPolicy.DEFAULT_LINUX.value)
+        clustered = results.get(PlacementPolicy.CLUSTERED.value)
+        if baseline is not None and clustered is not None and baseline.throughput:
+            study.clustered_speedups.append(
+                clustered.throughput / baseline.throughput - 1.0
+            )
+
+    for policy_name, metrics in per_policy.items():
+        study.summaries[policy_name] = {
+            metric: MetricSummary.of(values)
+            for metric, values in metrics.items()
+        }
+    return study

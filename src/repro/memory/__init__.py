@@ -1,0 +1,12 @@
+"""Virtual memory model: regions, address sampling, reference batches."""
+
+from .access import AccessBatch, make_batch
+from .regions import Region, RegionAllocator, SharingKind
+
+__all__ = [
+    "AccessBatch",
+    "make_batch",
+    "Region",
+    "RegionAllocator",
+    "SharingKind",
+]

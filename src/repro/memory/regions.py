@@ -1,0 +1,150 @@
+"""Virtual-memory regions: the vocabulary of sharing.
+
+The workloads in the paper are multithreaded servers whose address spaces
+decompose naturally into three kinds of data (Section 4.4.2's clustering
+assumptions are stated in exactly these terms):
+
+* **private** regions touched by a single thread (e.g. the
+  microbenchmark's per-thread "private chunk of data");
+* **cluster-shared** regions touched by a logical subset of threads
+  (a scoreboard, a chat room, a SPECjbb warehouse, a database instance);
+* **globally shared** regions touched by (almost) all threads of the
+  process (allocator metadata, process-wide locks) -- these are exactly
+  what the clustering algorithm's histogram pass removes.
+
+A :class:`Region` is a contiguous ``[base, base+size)`` range of a
+process's virtual address space with a sharing label.  Workload models
+draw addresses from regions; the cache simulator only ever sees raw
+addresses, as real hardware does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SharingKind(enum.Enum):
+    """How a region is intended to be shared (ground truth, not observed)."""
+
+    PRIVATE = "private"
+    CLUSTER = "cluster"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of virtual addresses with a sharing label.
+
+    Attributes:
+        name: human-readable label ("warehouse0", "scoreboard2", ...).
+        base: starting virtual address, cache-line aligned.
+        size: extent in bytes.
+        kind: ground-truth sharing classification.
+        group: logical sharing-group index for ``CLUSTER`` regions (the
+            scoreboard/room/warehouse/instance number); ``-1`` otherwise.
+    """
+
+    name: str
+    base: int
+    size: int
+    kind: SharingKind
+    group: int = -1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} has non-positive size")
+        if self.base < 0:
+            raise ValueError(f"region {self.name!r} has negative base")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def sample_addresses(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        alignment: int = 8,
+        hot_fraction: float = 1.0,
+    ) -> np.ndarray:
+        """Draw ``n`` addresses uniformly from (a hot prefix of) the region.
+
+        Args:
+            rng: deterministic generator owned by the simulation.
+            n: number of addresses.
+            alignment: round addresses down to this power-of-two multiple,
+                mimicking word-sized loads and stores.
+            hot_fraction: restrict sampling to the first
+                ``hot_fraction * size`` bytes, modelling a working set
+                smaller than the allocation (SPECjbb's B-tree nodes, say).
+
+        Returns:
+            ``int64`` array of ``n`` addresses inside the region.
+        """
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        span = max(alignment, int(self.size * hot_fraction))
+        offsets = rng.integers(0, span, size=n, dtype=np.int64)
+        offsets &= ~np.int64(alignment - 1)
+        return self.base + offsets
+
+
+class RegionAllocator:
+    """Bump allocator carving one process address space into regions.
+
+    Regions are separated by a guard gap so that no two regions ever share
+    a cache line -- false sharing between logically distinct regions would
+    otherwise contaminate the ground truth that experiments validate
+    against.
+    """
+
+    def __init__(
+        self,
+        line_bytes: int = 128,
+        start: int = 0x1000_0000,
+        guard_lines: int = 8,
+    ) -> None:
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        self._line_bytes = line_bytes
+        self._cursor = self._align_up(start)
+        self._guard = guard_lines * line_bytes
+        self._regions: list[Region] = []
+
+    def _align_up(self, address: int) -> int:
+        mask = self._line_bytes - 1
+        return (address + mask) & ~mask
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        kind: SharingKind,
+        group: int = -1,
+    ) -> Region:
+        """Carve the next ``size`` bytes into a named region."""
+        base = self._cursor
+        size = self._align_up(size)
+        region = Region(name=name, base=base, size=size, kind=kind, group=group)
+        self._cursor = self._align_up(base + size + self._guard)
+        self._regions.append(region)
+        return region
+
+    @property
+    def regions(self) -> list[Region]:
+        """Every region allocated so far, in allocation order."""
+        return list(self._regions)
+
+    def find(self, address: int) -> Region | None:
+        """The region containing ``address``, or None (linear scan)."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None

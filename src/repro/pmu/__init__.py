@@ -1,0 +1,51 @@
+"""Performance monitoring unit: counters, sampling, stall breakdown.
+
+The PMU is the paper's enabling technology: everything the clustering
+scheme knows about thread behaviour arrives through the interfaces here.
+"""
+
+from .counters import DEFAULT_N_PROGRAMMABLE, HardwareCounter, PmuContext
+from .events import (
+    EVENT_BY_SOURCE_INDEX,
+    REMOTE_ACCESS_EVENTS,
+    STALL_CAUSE_BY_SOURCE_INDEX,
+    PmuEvent,
+    StallCause,
+)
+from .multiplexing import MultiplexedCounterSet, plan_groups
+from .power5 import (
+    DEFAULT_SAMPLE_COST_CYCLES,
+    CaptureStatistics,
+    RemoteAccessCaptureEngine,
+)
+from .sampling import ContinuousSamplingRegister, DataSample
+from .stall import (
+    CAUSE_INDEX,
+    CAUSE_INDEX_BY_SOURCE_INDEX,
+    CAUSE_ORDER,
+    BreakdownSnapshot,
+    StallBreakdown,
+)
+
+__all__ = [
+    "DEFAULT_N_PROGRAMMABLE",
+    "HardwareCounter",
+    "PmuContext",
+    "PmuEvent",
+    "StallCause",
+    "EVENT_BY_SOURCE_INDEX",
+    "REMOTE_ACCESS_EVENTS",
+    "STALL_CAUSE_BY_SOURCE_INDEX",
+    "MultiplexedCounterSet",
+    "plan_groups",
+    "DEFAULT_SAMPLE_COST_CYCLES",
+    "CaptureStatistics",
+    "RemoteAccessCaptureEngine",
+    "ContinuousSamplingRegister",
+    "DataSample",
+    "CAUSE_INDEX",
+    "CAUSE_INDEX_BY_SOURCE_INDEX",
+    "CAUSE_ORDER",
+    "BreakdownSnapshot",
+    "StallBreakdown",
+]

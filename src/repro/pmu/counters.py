@@ -1,0 +1,144 @@
+"""Hardware performance counters with programmable overflow exceptions.
+
+Models the counting side of the Power5 PMU (Section 3): a small number of
+physical counters per hardware context, each programmable to count one
+:class:`~repro.pmu.events.PmuEvent` and to raise an overflow exception
+after a threshold number of events.  Overflow exceptions are how the
+remote-access capture technique (Section 5.2.1) triggers sample reads,
+and the threshold is exactly the temporal sampling period N of
+Section 4.3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .events import PmuEvent
+
+#: Power5 provides six PMCs per hardware thread; two are dedicated to
+#: cycles and instructions, leaving four programmable.
+DEFAULT_N_PROGRAMMABLE = 4
+
+OverflowHandler = Callable[["HardwareCounter"], None]
+
+
+class HardwareCounter:
+    """One physical performance counter.
+
+    A counter accumulates occurrences of its programmed event.  If an
+    overflow threshold is set, reaching it invokes the handler and wraps
+    the counter, mimicking a PMU overflow exception.
+    """
+
+    __slots__ = ("event", "value", "total", "_threshold", "_handler", "enabled")
+
+    def __init__(self, event: PmuEvent) -> None:
+        self.event = event
+        #: current register value (wraps at the overflow threshold)
+        self.value = 0
+        #: lifetime count, never reset by overflow (for statistics)
+        self.total = 0
+        self._threshold: Optional[int] = None
+        self._handler: Optional[OverflowHandler] = None
+        self.enabled = True
+
+    def set_overflow(self, threshold: int, handler: OverflowHandler) -> None:
+        """Raise an exception (call ``handler``) every ``threshold`` events."""
+        if threshold <= 0:
+            raise ValueError("overflow threshold must be positive")
+        self._threshold = threshold
+        self._handler = handler
+
+    def clear_overflow(self) -> None:
+        self._threshold = None
+        self._handler = None
+
+    @property
+    def overflow_threshold(self) -> Optional[int]:
+        return self._threshold
+
+    def add(self, n: int = 1) -> None:
+        """Count ``n`` occurrences; fires the handler once per wrap."""
+        if not self.enabled or n <= 0:
+            return
+        self.total += n
+        if self._threshold is None:
+            self.value += n
+            return
+        self.value += n
+        while self.value >= self._threshold:
+            self.value -= self._threshold
+            # Handler may reprogram the counter; read it fresh each time.
+            if self._handler is not None:
+                self._handler(self)
+            if self._threshold is None:
+                break
+
+    def reset(self) -> None:
+        self.value = 0
+        self.total = 0
+
+
+class PmuContext:
+    """The PMU of one hardware context: a bank of counters by event.
+
+    A real PMU has a fixed number of physical counters and needs
+    multiplexing (see :mod:`repro.pmu.multiplexing`) to watch more events
+    than that.  ``PmuContext`` enforces the physical limit: programming
+    more than ``n_programmable`` non-fixed events raises, which is the
+    constraint that motivated fine-grained multiplexing in the first
+    place.
+    """
+
+    FIXED_EVENTS = (PmuEvent.CYCLES, PmuEvent.INSTRUCTIONS_COMPLETED)
+
+    def __init__(self, cpu_id: int, n_programmable: int = DEFAULT_N_PROGRAMMABLE) -> None:
+        self.cpu_id = cpu_id
+        self.n_programmable = n_programmable
+        self._counters: Dict[PmuEvent, HardwareCounter] = {}
+        for event in self.FIXED_EVENTS:
+            self._counters[event] = HardwareCounter(event)
+
+    def program(self, event: PmuEvent) -> HardwareCounter:
+        """Dedicate a programmable counter to ``event`` (idempotent)."""
+        if event in self._counters:
+            return self._counters[event]
+        programmable = [
+            e for e in self._counters if e not in self.FIXED_EVENTS
+        ]
+        if len(programmable) >= self.n_programmable:
+            raise RuntimeError(
+                f"cpu {self.cpu_id}: all {self.n_programmable} programmable "
+                f"counters are in use ({[e.value for e in programmable]}); "
+                "release one or use multiplexing"
+            )
+        counter = HardwareCounter(event)
+        self._counters[event] = counter
+        return counter
+
+    def release(self, event: PmuEvent) -> None:
+        """Free the counter programmed for ``event``."""
+        if event in self.FIXED_EVENTS:
+            raise ValueError(f"{event.value} is a fixed counter")
+        self._counters.pop(event, None)
+
+    def counter(self, event: PmuEvent) -> Optional[HardwareCounter]:
+        return self._counters.get(event)
+
+    def count(self, event: PmuEvent, n: int = 1) -> None:
+        """Record ``n`` occurrences of ``event`` if a counter watches it."""
+        counter = self._counters.get(event)
+        if counter is not None:
+            counter.add(n)
+
+    def read(self, event: PmuEvent) -> int:
+        """Lifetime total for ``event`` (0 if not programmed)."""
+        counter = self._counters.get(event)
+        return counter.total if counter is not None else 0
+
+    def programmed_events(self) -> List[PmuEvent]:
+        return list(self._counters)
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()

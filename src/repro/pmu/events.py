@@ -1,0 +1,119 @@
+"""PMU event and stall-cause vocabularies.
+
+Two distinct taxonomies, mirroring how the paper uses the hardware:
+
+* :class:`PmuEvent` -- countable micro-architectural events that can be
+  programmed onto a hardware performance counter (Section 3).  The
+  remote-access capture technique of Section 5.2.1 programs an overflow
+  exception on ``DATA_FROM_REMOTE_L2`` / ``DATA_FROM_REMOTE_L3``.
+* :class:`StallCause` -- the buckets of the CPI stall breakdown
+  (Figure 3): completion cycles plus stall cycles charged to the
+  microprocessor component responsible, with data-cache-miss stalls
+  further split by satisfaction source.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..cache.stats import (
+    IDX_LOCAL_L2,
+    IDX_LOCAL_L3,
+    IDX_MEMORY,
+    IDX_REMOTE_L2,
+    IDX_REMOTE_L3,
+)
+
+
+class PmuEvent(enum.Enum):
+    """Countable events, after the Power5 PMU event set."""
+
+    CYCLES = "cycles"
+    INSTRUCTIONS_COMPLETED = "instructions_completed"
+    L1_DCACHE_MISS = "l1_dcache_miss"
+    DATA_FROM_LOCAL_L2 = "data_from_local_l2"
+    DATA_FROM_LOCAL_L3 = "data_from_local_l3"
+    DATA_FROM_REMOTE_L2 = "data_from_remote_l2"
+    DATA_FROM_REMOTE_L3 = "data_from_remote_l3"
+    #: combined selector counting misses satisfied by either remote L2 or
+    #: remote L3 -- the filter Section 8 describes ("we filtered out all
+    #: PMU cache miss events except for misses that are satisfied by
+    #: remote L2 and remote L3 cache accesses")
+    DATA_FROM_REMOTE_CACHE = "data_from_remote_cache"
+    DATA_FROM_MEMORY = "data_from_memory"
+    BRANCH_MISPREDICT = "branch_mispredict"
+    TLB_MISS = "tlb_miss"
+
+
+#: Map a cache satisfaction-source index (see repro.cache.stats) to the
+#: PMU event a data fetch from that source increments.  L1 hits are not
+#: misses and increment nothing.
+EVENT_BY_SOURCE_INDEX: Dict[int, PmuEvent] = {
+    IDX_LOCAL_L2: PmuEvent.DATA_FROM_LOCAL_L2,
+    IDX_LOCAL_L3: PmuEvent.DATA_FROM_LOCAL_L3,
+    IDX_REMOTE_L2: PmuEvent.DATA_FROM_REMOTE_L2,
+    IDX_REMOTE_L3: PmuEvent.DATA_FROM_REMOTE_L3,
+    IDX_MEMORY: PmuEvent.DATA_FROM_MEMORY,
+}
+
+#: The events whose sum is "remote cache accesses" in the paper's sense.
+REMOTE_ACCESS_EVENTS = (
+    PmuEvent.DATA_FROM_REMOTE_L2,
+    PmuEvent.DATA_FROM_REMOTE_L3,
+)
+
+
+class StallCause(enum.Enum):
+    """Buckets of the CPI breakdown (Figure 3).
+
+    ``COMPLETION`` is not a stall: it is the share of cycles in which at
+    least one instruction retired.  Everything else is a stall charged to
+    a cause; data-cache-miss stalls carry their satisfaction source.
+    """
+
+    COMPLETION = "completion"
+    DCACHE_LOCAL_L2 = "dcache_local_l2"
+    DCACHE_LOCAL_L3 = "dcache_local_l3"
+    DCACHE_REMOTE_L2 = "dcache_remote_l2"
+    DCACHE_REMOTE_L3 = "dcache_remote_l3"
+    DCACHE_MEMORY = "dcache_memory"
+    ICACHE_MISS = "icache_miss"
+    BRANCH_MISPREDICT = "branch_mispredict"
+    FIXED_POINT = "fixed_point"
+    FLOATING_POINT = "floating_point"
+    OTHER = "other"
+
+    @property
+    def is_remote_dcache(self) -> bool:
+        """True for stalls caused by cross-chip cache accesses -- the
+        share the activation phase (Section 4.2) watches."""
+        return self in (
+            StallCause.DCACHE_REMOTE_L2,
+            StallCause.DCACHE_REMOTE_L3,
+        )
+
+    @property
+    def is_dcache(self) -> bool:
+        return self in _DCACHE_CAUSES
+
+
+_DCACHE_CAUSES = frozenset(
+    {
+        StallCause.DCACHE_LOCAL_L2,
+        StallCause.DCACHE_LOCAL_L3,
+        StallCause.DCACHE_REMOTE_L2,
+        StallCause.DCACHE_REMOTE_L3,
+        StallCause.DCACHE_MEMORY,
+    }
+)
+
+#: Map a cache satisfaction-source index to the stall cause its latency
+#: is charged to.
+STALL_CAUSE_BY_SOURCE_INDEX: Dict[int, StallCause] = {
+    IDX_LOCAL_L2: StallCause.DCACHE_LOCAL_L2,
+    IDX_LOCAL_L3: StallCause.DCACHE_LOCAL_L3,
+    IDX_REMOTE_L2: StallCause.DCACHE_REMOTE_L2,
+    IDX_REMOTE_L3: StallCause.DCACHE_REMOTE_L3,
+    IDX_MEMORY: StallCause.DCACHE_MEMORY,
+}

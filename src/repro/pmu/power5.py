@@ -1,0 +1,225 @@
+"""Capturing remote cache access addresses on Power5 (Section 5.2.1).
+
+The Power5 PMU cannot directly report *which addresses* caused remote
+cache accesses: the continuous-sampling register records the last L1
+data-cache miss regardless of where it was satisfied, and reading it at
+arbitrary times drowns the signal in local-miss noise.  The paper's
+technique composes two basic capabilities:
+
+1. program a counter to count only L1 misses *satisfied by a remote L2
+   or L3 access*, with an overflow exception every N occurrences
+   (N is the temporal sampling period of Section 4.3.1);
+2. read the continuous-sampling register **only inside the overflow
+   handler** -- at that moment the "last L1 miss" is very likely the
+   remote access that caused the overflow.
+
+"Very likely" is not "always": on real hardware the overflow exception
+has skid, and an unrelated local miss can overwrite the register before
+the handler reads it.  The model reproduces this with a configurable
+``skid_probability``; the paper's microbenchmark validation ("almost all
+of the local L1 data cache misses recorded in our trace are indeed
+satisfied by remote cache accesses") corresponds to the high capture
+accuracy the tests assert.
+
+The engine also implements the paper's adaptive temporal sampling: the
+period N is re-jittered by a small random value after every sample "in
+order to avoid undesired repeated patterns".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..cache.stats import REMOTE_SOURCE_INDICES
+from .counters import HardwareCounter
+from .events import PmuEvent
+from .sampling import ContinuousSamplingRegister, DataSample
+
+#: Cycles charged per overflow exception taken: exception entry, handler,
+#: register reads, and return.  The Figure 8 overhead curve is this cost
+#: times the sample rate.
+DEFAULT_SAMPLE_COST_CYCLES = 1_200
+
+SampleConsumer = Callable[[DataSample], None]
+
+
+@dataclass
+class CaptureStatistics:
+    """Accounting for accuracy and overhead analysis (Figures 8 and §5.2.1)."""
+
+    remote_accesses_seen: int = 0
+    l1_misses_seen: int = 0
+    overflows: int = 0
+    samples_delivered: int = 0
+    samples_remote: int = 0  #: delivered samples whose true source was remote
+    overhead_cycles: int = 0
+    per_cpu_overhead: List[int] = field(default_factory=list)
+
+    @property
+    def capture_accuracy(self) -> float:
+        """Fraction of delivered samples that truly were remote accesses."""
+        if self.samples_delivered == 0:
+            return 0.0
+        return self.samples_remote / self.samples_delivered
+
+    @property
+    def effective_sampling_rate(self) -> float:
+        """Delivered samples per remote access actually incurred."""
+        if self.remote_accesses_seen == 0:
+            return 0.0
+        return self.samples_delivered / self.remote_accesses_seen
+
+
+class RemoteAccessCaptureEngine:
+    """Per-machine engine that turns L1-miss traffic into address samples.
+
+    The simulation engine calls :meth:`on_l1_miss` for every L1 data-cache
+    miss, exactly as the hardware would latch the sampling register.  The
+    engine returns the cycles consumed by any overflow handling so the
+    caller can charge them to the running thread -- this is the runtime
+    overhead that Figure 8 sweeps against the sampling rate.
+    """
+
+    def __init__(
+        self,
+        n_cpus: int,
+        rng: np.random.Generator,
+        period: int = 10,
+        period_jitter: int = 2,
+        skid_probability: float = 0.03,
+        sample_cost_cycles: int = DEFAULT_SAMPLE_COST_CYCLES,
+        consumer: Optional[SampleConsumer] = None,
+        event_sources: Sequence[int] = REMOTE_SOURCE_INDICES,
+    ) -> None:
+        """
+        Args:
+            n_cpus: hardware contexts on the machine.
+            rng: deterministic generator owned by the simulation.
+            period: temporal sampling period N -- one sample per N remote
+                cache accesses (paper default: 10, i.e. a 10% rate).
+            period_jitter: N is re-drawn in ``[period-j, period+j]`` after
+                every overflow to break repeated access patterns.
+            skid_probability: chance the handler reads the register after
+                one more L1 miss has overwritten it (hardware skid).
+            sample_cost_cycles: cycles charged per overflow taken.
+            consumer: callback receiving each delivered sample.
+            event_sources: satisfaction-source indices that step the
+                overflow counter.  Default: remote L2 + remote L3 (the
+                paper's configuration).  Section 8's NUMA extension is
+                this knob: "filter out all cache misses that are
+                satisfied from remote L3 caches and remote memory" --
+                pass ``(IDX_REMOTE_L3, IDX_MEMORY)``.
+        """
+        if period < 1:
+            raise ValueError("sampling period must be >= 1")
+        if not 0.0 <= skid_probability < 1.0:
+            raise ValueError("skid_probability must be in [0, 1)")
+        if period_jitter < 0 or period_jitter >= period:
+            raise ValueError("period_jitter must be in [0, period)")
+        if not event_sources:
+            raise ValueError("event_sources cannot be empty")
+        self._rng = rng
+        self.base_period = period
+        self.period_jitter = period_jitter
+        self.skid_probability = skid_probability
+        self.sample_cost_cycles = sample_cost_cycles
+        self.consumer = consumer
+        self.event_sources = frozenset(event_sources)
+        self.enabled = False
+
+        self._registers = [ContinuousSamplingRegister() for _ in range(n_cpus)]
+        self._counters = [
+            HardwareCounter(PmuEvent.DATA_FROM_REMOTE_CACHE) for _ in range(n_cpus)
+        ]
+        for cpu, counter in enumerate(self._counters):
+            counter.set_overflow(
+                self._draw_period(), self._make_handler(cpu)
+            )
+        self._skid_pending = [False] * n_cpus
+        self.stats = CaptureStatistics(per_cpu_overhead=[0] * n_cpus)
+        self._pending_cost = 0
+
+    # ------------------------------------------------------------------
+    def _draw_period(self) -> int:
+        """The paper's adaptive N: base period plus small random jitter."""
+        if self.period_jitter == 0:
+            return self.base_period
+        jitter = int(
+            self._rng.integers(-self.period_jitter, self.period_jitter + 1)
+        )
+        return max(1, self.base_period + jitter)
+
+    def _make_handler(self, cpu: int):
+        def handler(counter: HardwareCounter) -> None:
+            self._on_overflow(cpu, counter)
+
+        return handler
+
+    def _on_overflow(self, cpu: int, counter: HardwareCounter) -> None:
+        self.stats.overflows += 1
+        if self._rng.random() < self.skid_probability:
+            # The exception lands after one more miss has latched the
+            # register: defer the read to that next miss.
+            self._skid_pending[cpu] = True
+        else:
+            self._deliver(cpu)
+        counter.set_overflow(self._draw_period(), self._make_handler(cpu))
+
+    def _deliver(self, cpu: int) -> None:
+        sample = self._registers[cpu].read()
+        if sample is None:
+            return
+        self.stats.samples_delivered += 1
+        if sample.source_index in self.event_sources:
+            self.stats.samples_remote += 1
+        cost = self.sample_cost_cycles
+        self.stats.overhead_cycles += cost
+        self.stats.per_cpu_overhead[cpu] += cost
+        self._pending_cost += cost
+        if self.consumer is not None:
+            self.consumer(sample)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Enable capture (entering the sharing-detection phase)."""
+        self.enabled = True
+
+    def stop(self) -> None:
+        """Disable capture (back to stall-breakdown monitoring)."""
+        self.enabled = False
+        self._skid_pending = [False] * len(self._skid_pending)
+
+    def set_period(self, period: int) -> None:
+        """Retarget the temporal sampling period (adaptive control)."""
+        if period < 1:
+            raise ValueError("sampling period must be >= 1")
+        self.base_period = period
+        self.period_jitter = min(self.period_jitter, period - 1)
+
+    def on_l1_miss(
+        self, cpu: int, address: int, tid: int, source_index: int, cycle: int
+    ) -> int:
+        """Hardware path: latch the register; count remote accesses.
+
+        Returns cycles of overflow-handling overhead incurred by this
+        miss (0 for the vast majority), which the caller charges to the
+        running thread.
+        """
+        if not self.enabled:
+            return 0
+        self._registers[cpu].update(address, tid, source_index, cycle)
+        self.stats.l1_misses_seen += 1
+        if self._skid_pending[cpu]:
+            # A deferred overflow read: sample whatever is in the register
+            # now -- this is how local-miss noise sneaks into the trace.
+            self._skid_pending[cpu] = False
+            self._deliver(cpu)
+        if source_index in self.event_sources:
+            self.stats.remote_accesses_seen += 1
+            self._counters[cpu].add(1)
+        cost = self._pending_cost
+        self._pending_cost = 0
+        return cost

@@ -1,0 +1,72 @@
+"""Continuous data sampling: the Power5 sampled-address register.
+
+Section 5.2.1: "The Power5 PMU provides a mechanism called continuous
+sampling that captures the address of the last L1 data cache miss [...]
+in a continuous fashion regardless of the instruction that caused the
+data cache miss.  The sampled address is recorded in a register which is
+updated on the next data cache miss."
+
+Crucially, the register does *not* say where the miss was satisfied from
+-- that is the gap the paper's capture technique closes by only reading
+the register when the remote-access counter overflows.  This module
+models the register faithfully, including the overwrite behaviour that
+makes naive use of it noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DataSample:
+    """One reading of the continuous-sampling register.
+
+    Attributes:
+        address: virtual address of the sampled L1 data-cache miss.
+        tid: thread that incurred the miss (the kernel knows which thread
+            was running when the exception fired).
+        source_index: ground-truth satisfaction source (into
+            ``repro.cache.stats.SOURCE_ORDER``).  Real hardware does NOT
+            expose this -- it is carried for accuracy evaluation only and
+            the production path never branches on it.
+        cycle: cpu-local cycle time of the miss.
+    """
+
+    address: int
+    tid: int
+    source_index: int
+    cycle: int
+
+
+class ContinuousSamplingRegister:
+    """Per-hardware-context register holding the last L1 D-cache miss.
+
+    Every L1 data-cache miss overwrites the register, whatever its
+    satisfaction source -- exactly why reading it at arbitrary times
+    yields "an unacceptable level of noise" (Section 5.2.1) and why the
+    capture engine reads it only immediately after a remote-access
+    counter overflow.
+    """
+
+    __slots__ = ("_current", "updates")
+
+    def __init__(self) -> None:
+        self._current: Optional[DataSample] = None
+        #: lifetime number of register overwrites (each L1 miss is one)
+        self.updates = 0
+
+    def update(self, address: int, tid: int, source_index: int, cycle: int) -> None:
+        """An L1 data-cache miss: hardware latches its address."""
+        self._current = DataSample(
+            address=address, tid=tid, source_index=source_index, cycle=cycle
+        )
+        self.updates += 1
+
+    def read(self) -> Optional[DataSample]:
+        """Software reads the register (None if no miss happened yet)."""
+        return self._current
+
+    def clear(self) -> None:
+        self._current = None

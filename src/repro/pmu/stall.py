@@ -1,0 +1,163 @@
+"""CPI stall-breakdown accounting (Section 3, Figure 3).
+
+Every cycle a hardware context spends is charged to exactly one bucket:
+``COMPLETION`` when an instruction retired that cycle, otherwise a stall
+cause.  Data-cache-miss stalls are further attributed to the source that
+eventually satisfied the miss -- the local/remote distinction there is
+the entire basis of the activation phase (Section 4.2): thread
+clustering turns on only when the *remote* share of the breakdown
+crosses a threshold.
+
+The accumulator is windowable: the activation monitor snapshots it every
+"billion cycles" (scaled in simulation) and looks at the delta, so phase
+changes in the workload show up promptly rather than being averaged away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .events import STALL_CAUSE_BY_SOURCE_INDEX, StallCause
+
+#: Fixed ordering of causes; hot-path charging uses positions here.
+CAUSE_ORDER: List[StallCause] = list(StallCause)
+CAUSE_INDEX: Dict[StallCause, int] = {
+    cause: index for index, cause in enumerate(CAUSE_ORDER)
+}
+
+IDX_COMPLETION = CAUSE_INDEX[StallCause.COMPLETION]
+
+#: Map cache satisfaction-source index -> stall-cause index, precomputed
+#: for the engine's per-reference charging loop.
+CAUSE_INDEX_BY_SOURCE_INDEX: Dict[int, int] = {
+    source_index: CAUSE_INDEX[cause]
+    for source_index, cause in STALL_CAUSE_BY_SOURCE_INDEX.items()
+}
+
+_REMOTE_CAUSE_INDICES = tuple(
+    CAUSE_INDEX[cause] for cause in StallCause if cause.is_remote_dcache
+)
+_DCACHE_CAUSE_INDICES = tuple(
+    CAUSE_INDEX[cause] for cause in StallCause if cause.is_dcache
+)
+
+
+@dataclass(frozen=True)
+class BreakdownSnapshot:
+    """Immutable copy of the accumulated cycles, for windowed deltas."""
+
+    cycles_by_cause: np.ndarray  # shape (n_causes,)
+    instructions: int
+
+    def delta(self, earlier: "BreakdownSnapshot") -> "BreakdownSnapshot":
+        """Cycles accumulated between ``earlier`` and this snapshot."""
+        return BreakdownSnapshot(
+            cycles_by_cause=self.cycles_by_cause - earlier.cycles_by_cause,
+            instructions=self.instructions - earlier.instructions,
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        return int(self.cycles_by_cause.sum())
+
+    def fraction(self, cause: StallCause) -> float:
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return float(self.cycles_by_cause[CAUSE_INDEX[cause]]) / total
+
+    @property
+    def remote_stall_fraction(self) -> float:
+        """Share of all cycles stalled on remote cache accesses -- the
+        quantity compared against the 20% activation threshold."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        remote = sum(self.cycles_by_cause[i] for i in _REMOTE_CAUSE_INDICES)
+        return float(remote) / total
+
+    @property
+    def dcache_stall_fraction(self) -> float:
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        dcache = sum(self.cycles_by_cause[i] for i in _DCACHE_CAUSE_INDICES)
+        return float(dcache) / total
+
+    @property
+    def cpi(self) -> float:
+        """Average cycles per completed instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.total_cycles / self.instructions
+
+    def as_dict(self) -> Dict[StallCause, int]:
+        return {
+            cause: int(self.cycles_by_cause[i])
+            for i, cause in enumerate(CAUSE_ORDER)
+        }
+
+
+class StallBreakdown:
+    """Per-CPU cycle accounting by cause.
+
+    The monitoring itself is "mostly done by the hardware PMU" with
+    "negligible" overhead (Section 4.2), so charging methods model no
+    software cost.
+    """
+
+    def __init__(self, n_cpus: int) -> None:
+        self._n_cpus = n_cpus
+        self._n_causes = len(CAUSE_ORDER)
+        # Plain nested lists: this is written on every simulated quantum.
+        self._cycles: List[List[int]] = [
+            [0] * self._n_causes for _ in range(n_cpus)
+        ]
+        self._instructions = [0] * n_cpus
+
+    # -------------------------------------------------------------- hot
+    def charge(self, cpu: int, cause_index: int, cycles: int) -> None:
+        """Charge ``cycles`` to a cause (by CAUSE_ORDER position)."""
+        self._cycles[cpu][cause_index] += cycles
+
+    def charge_completion(self, cpu: int, cycles: int, instructions: int) -> None:
+        self._cycles[cpu][IDX_COMPLETION] += cycles
+        self._instructions[cpu] += instructions
+
+    def charge_dcache(self, cpu: int, source_index: int, cycles: int) -> None:
+        """Charge a data-cache-miss stall attributed to its source."""
+        self._cycles[cpu][CAUSE_INDEX_BY_SOURCE_INDEX[source_index]] += cycles
+
+    def charge_cause(self, cpu: int, cause: StallCause, cycles: int) -> None:
+        self._cycles[cpu][CAUSE_INDEX[cause]] += cycles
+
+    # ------------------------------------------------------------ reads
+    def snapshot(self) -> BreakdownSnapshot:
+        """Machine-wide totals, immutable; cheap enough per window."""
+        return BreakdownSnapshot(
+            cycles_by_cause=np.asarray(self._cycles, dtype=np.int64).sum(axis=0),
+            instructions=sum(self._instructions),
+        )
+
+    def cpu_snapshot(self, cpu: int) -> BreakdownSnapshot:
+        return BreakdownSnapshot(
+            cycles_by_cause=np.asarray(self._cycles[cpu], dtype=np.int64),
+            instructions=self._instructions[cpu],
+        )
+
+    def total_cycles(self, cpu: int | None = None) -> int:
+        if cpu is None:
+            return int(np.asarray(self._cycles, dtype=np.int64).sum())
+        return sum(self._cycles[cpu])
+
+    def total_instructions(self) -> int:
+        return sum(self._instructions)
+
+    def reset(self) -> None:
+        for row in self._cycles:
+            for i in range(self._n_causes):
+                row[i] = 0
+        self._instructions = [0] * self._n_cpus

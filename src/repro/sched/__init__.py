@@ -1,0 +1,19 @@
+"""OS scheduler substrate: threads, runqueues, balancing, placement."""
+
+from .load_balance import BalanceStats, LoadBalancer
+from .placement import PlacementPolicy, place_threads
+from .runqueue import RunQueue, RunQueueSet
+from .scheduler import Scheduler
+from .thread import SimThread, ThreadState
+
+__all__ = [
+    "BalanceStats",
+    "LoadBalancer",
+    "PlacementPolicy",
+    "place_threads",
+    "RunQueue",
+    "RunQueueSet",
+    "Scheduler",
+    "SimThread",
+    "ThreadState",
+]

@@ -1,0 +1,159 @@
+"""Dynamic load balancing, after default Linux (Section 5.4).
+
+Two mechanisms, as the paper describes:
+
+* **reactive** -- "once a processor becomes idle, a thread from a remote
+  processor is found and migrated to the idle processor";
+* **pro-active** -- "attempts to balance the CPU time each thread gets by
+  automatically balancing the length of the processor run queues".
+
+Neither considers data sharing: that is the deficiency the paper
+exploits.  Both respect affinity masks, and both can be restricted to
+*intra-chip* moves -- the Section 4.5 extension ("we plan to enable
+default Linux load-balancing within each chip") that keeps clustered
+placements load-balanced without undoing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..topology.machine import Machine
+from .runqueue import RunQueueSet
+from .thread import SimThread
+
+
+@dataclass
+class BalanceStats:
+    """Migration accounting for overhead analysis (Section 7.2)."""
+
+    reactive_pulls: int = 0
+    proactive_moves: int = 0
+    cross_chip_moves: int = 0
+
+    @property
+    def total_moves(self) -> int:
+        return self.reactive_pulls + self.proactive_moves
+
+
+class LoadBalancer:
+    """Reactive + proactive balancing over a :class:`RunQueueSet`."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        runqueues: RunQueueSet,
+        reactive_enabled: bool = True,
+        proactive_enabled: bool = True,
+        intra_chip_only: bool = False,
+        proactive_interval: int = 8,
+    ) -> None:
+        """
+        Args:
+            machine: topology, for chip-scoping and move classification.
+            runqueues: the queues to balance.
+            reactive_enabled: pull work to idle cpus.
+            proactive_enabled: periodically equalise queue lengths.
+            intra_chip_only: restrict every move to the same chip
+                (used after cluster migration so balancing cannot
+                scatter a cluster across chips again).
+            proactive_interval: scheduler ticks between proactive passes.
+        """
+        self.machine = machine
+        self.runqueues = runqueues
+        self.reactive_enabled = reactive_enabled
+        self.proactive_enabled = proactive_enabled
+        self.intra_chip_only = intra_chip_only
+        self.proactive_interval = max(1, proactive_interval)
+        self.stats = BalanceStats()
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    def _candidate_cpus(self, cpu: int) -> list:
+        if self.intra_chip_only:
+            return self.machine.cpus_of_chip(self.machine.chip_of(cpu))
+        return list(range(self.machine.n_cpus))
+
+    def _record_move(self, from_cpu: int, to_cpu: int) -> None:
+        if not self.machine.same_chip(from_cpu, to_cpu):
+            self.stats.cross_chip_moves += 1
+
+    # ------------------------------------------------------------------
+    def reactive_pull(self, idle_cpu: int) -> Optional[SimThread]:
+        """An idle cpu pulls one thread from the busiest eligible queue.
+
+        Returns the migrated thread, already enqueued at ``idle_cpu``, or
+        None if nothing could be pulled.
+        """
+        if not self.reactive_enabled:
+            return None
+        candidates = [
+            c for c in self._candidate_cpus(idle_cpu) if c != idle_cpu
+        ]
+        if not candidates:
+            return None
+        donor = self.runqueues.most_loaded(candidates)
+        if len(self.runqueues[donor]) == 0:
+            return None
+        thread = self.runqueues[donor].steal_one(for_cpu=idle_cpu)
+        if thread is None:
+            return None
+        thread.migrations += 1
+        if not self.machine.same_chip(donor, idle_cpu):
+            thread.cross_chip_migrations += 1
+        self._record_move(donor, idle_cpu)
+        self.stats.reactive_pulls += 1
+        self.runqueues[idle_cpu].enqueue(thread)
+        return thread
+
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """One scheduler tick; runs a proactive pass at each interval.
+
+        Returns the number of threads moved by this tick.
+        """
+        self._ticks += 1
+        if not self.proactive_enabled:
+            return 0
+        if self._ticks % self.proactive_interval:
+            return 0
+        return self.proactive_balance()
+
+    def proactive_balance(self) -> int:
+        """Move threads from the longest to the shortest queues until no
+        pair differs by more than one (Linux's imbalance_pct in spirit)."""
+        moved = 0
+        # Bounded by total thread count; each move strictly reduces the
+        # max-min spread or exits.
+        for _ in range(self.runqueues.total_queued() + 1):
+            candidates = self._balance_domains()
+            improved = False
+            for domain in candidates:
+                busiest = self.runqueues.most_loaded(domain)
+                idlest = self.runqueues.least_loaded(domain)
+                if len(self.runqueues[busiest]) - len(self.runqueues[idlest]) <= 1:
+                    continue
+                thread = self.runqueues[busiest].steal_one(for_cpu=idlest)
+                if thread is None:
+                    continue
+                thread.migrations += 1
+                if not self.machine.same_chip(busiest, idlest):
+                    thread.cross_chip_migrations += 1
+                self._record_move(busiest, idlest)
+                self.runqueues[idlest].enqueue(thread)
+                self.stats.proactive_moves += 1
+                moved += 1
+                improved = True
+            if not improved:
+                break
+        return moved
+
+    def _balance_domains(self) -> list:
+        """cpu groups within which balancing may move threads."""
+        if self.intra_chip_only:
+            return [
+                self.machine.cpus_of_chip(chip)
+                for chip in range(self.machine.n_chips)
+            ]
+        return [list(range(self.machine.n_cpus))]

@@ -1,0 +1,111 @@
+"""Initial thread-placement strategies (Section 5.4).
+
+The paper evaluates four strategies; the first three are implemented
+here as *initial placement + balancing configuration*, and the fourth
+(automatic thread clustering) is the default-Linux configuration with
+the :mod:`repro.clustering` controller layered on top:
+
+* **default Linux** -- each new thread goes to the least-loaded cpu;
+  reactive and proactive load balancing stay enabled.  Sharing-oblivious.
+* **round-robin** -- threads are dealt across cpus in order and dynamic
+  balancing is disabled: the reproducible worst case, scattering sharing
+  threads over all chips.
+* **hand-optimized** -- threads are placed by their ground-truth sharing
+  group: group g goes to chip ``g % n_chips``, round-robin across the
+  chip's contexts, pinned there, with balancing disabled.  This is the
+  paper's upper-bound-by-domain-knowledge placement (their footnote: not
+  provably optimal, just informed).
+* **clustered** -- starts as default Linux; the clustering controller
+  later detects sharing and re-places threads itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+from ..topology.machine import Machine
+from .runqueue import RunQueueSet
+from .thread import SimThread
+
+
+class PlacementPolicy(enum.Enum):
+    """The four Section 5.4 scheduling schemes."""
+
+    DEFAULT_LINUX = "default_linux"
+    ROUND_ROBIN = "round_robin"
+    HAND_OPTIMIZED = "hand_optimized"
+    CLUSTERED = "clustered"
+
+    @property
+    def balancing_enabled(self) -> bool:
+        """Round-robin and hand-optimized disable dynamic balancing so the
+        placement under test stays in force (Section 5.4)."""
+        return self in (PlacementPolicy.DEFAULT_LINUX, PlacementPolicy.CLUSTERED)
+
+
+def place_threads(
+    policy: PlacementPolicy,
+    threads: Sequence[SimThread],
+    machine: Machine,
+    runqueues: RunQueueSet,
+) -> None:
+    """Enqueue every thread according to ``policy`` (deterministic)."""
+    if policy is PlacementPolicy.ROUND_ROBIN:
+        _place_round_robin(threads, machine, runqueues)
+    elif policy is PlacementPolicy.HAND_OPTIMIZED:
+        _place_hand_optimized(threads, machine, runqueues)
+    else:
+        _place_default_linux(threads, runqueues)
+
+
+def _place_default_linux(
+    threads: Sequence[SimThread], runqueues: RunQueueSet
+) -> None:
+    """Least-loaded-cpu placement, one thread at a time.
+
+    With threads created in connection order (which interleaves sharing
+    groups in all four workloads), this systematically spreads each
+    sharing group across chips -- the behaviour Figure 2a illustrates.
+    """
+    for thread in threads:
+        cpu = runqueues.least_loaded()
+        runqueues[cpu].enqueue(thread)
+
+
+def _place_round_robin(
+    threads: Sequence[SimThread], machine: Machine, runqueues: RunQueueSet
+) -> None:
+    """Deal threads across cpus in order: the worst-case scatter."""
+    for index, thread in enumerate(threads):
+        runqueues[index % machine.n_cpus].enqueue(thread)
+
+
+def _place_hand_optimized(
+    threads: Sequence[SimThread],
+    machine: Machine,
+    runqueues: RunQueueSet,
+) -> None:
+    """Ground-truth placement: each sharing group onto one chip.
+
+    Threads without a group (GC threads, daemons) fill the globally
+    least-loaded cpus afterwards.  All placed threads are pinned to
+    their chip so disabled balancing cannot be undone by wakeups.
+    """
+    grouped: List[SimThread] = [t for t in threads if t.sharing_group >= 0]
+    ungrouped: List[SimThread] = [t for t in threads if t.sharing_group < 0]
+
+    # Stable rotation per group within its chip's cpu list.
+    per_group_counter: dict = {}
+    for thread in grouped:
+        chip_id = thread.sharing_group % machine.n_chips
+        cpus = machine.cpus_of_chip(chip_id)
+        slot = per_group_counter.get(thread.sharing_group, 0)
+        per_group_counter[thread.sharing_group] = slot + 1
+        cpu = cpus[slot % len(cpus)]
+        thread.pin_to(frozenset(cpus))
+        runqueues[cpu].enqueue(thread)
+
+    for thread in ungrouped:
+        cpu = runqueues.least_loaded()
+        runqueues[cpu].enqueue(thread)

@@ -1,0 +1,106 @@
+"""Per-CPU run queues, after the Linux 2.6 O(1) scheduler's structure.
+
+One queue per hardware context; the dispatcher pops the head, runs it
+for a quantum, and requeues it at the tail (round-robin within a queue,
+which is all the paper's fairness assumption -- "threads are fairly
+homogeneous in their usage of assigned scheduling quantum" -- requires).
+Load balancing moves threads between queues; migration must go through
+:meth:`RunQueue.steal` so accounting stays consistent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from .thread import SimThread, ThreadState
+
+
+class RunQueue:
+    """FIFO runqueue for one hardware context."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self._queue: Deque[SimThread] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    def enqueue(self, thread: SimThread) -> None:
+        """Add a READY thread at the tail."""
+        if not thread.can_run_on(self.cpu_id):
+            raise ValueError(
+                f"thread {thread.tid} affinity {sorted(thread.affinity or ())} "
+                f"excludes cpu {self.cpu_id}"
+            )
+        thread.cpu = self.cpu_id
+        thread.state = ThreadState.READY
+        self._queue.append(thread)
+
+    def pop_next(self) -> Optional[SimThread]:
+        """Dequeue the head for dispatch (None if empty)."""
+        if not self._queue:
+            return None
+        thread = self._queue.popleft()
+        thread.state = ThreadState.RUNNING
+        return thread
+
+    def steal(self, thread: SimThread) -> None:
+        """Remove a specific queued thread (for migration)."""
+        try:
+            self._queue.remove(thread)
+        except ValueError:
+            raise ValueError(
+                f"thread {thread.tid} is not queued on cpu {self.cpu_id}"
+            ) from None
+
+    def steal_one(self, for_cpu: int) -> Optional[SimThread]:
+        """Remove the first thread allowed to run on ``for_cpu``.
+
+        Reactive balancing steals from the head (the coldest cache
+        context, hence the cheapest thread to move).
+        """
+        for thread in self._queue:
+            if thread.can_run_on(for_cpu):
+                self._queue.remove(thread)
+                return thread
+        return None
+
+    def peek_all(self) -> List[SimThread]:
+        return list(self._queue)
+
+
+class RunQueueSet:
+    """All runqueues of the machine plus load introspection."""
+
+    def __init__(self, n_cpus: int) -> None:
+        self.queues = [RunQueue(cpu) for cpu in range(n_cpus)]
+
+    def __getitem__(self, cpu: int) -> RunQueue:
+        return self.queues[cpu]
+
+    def lengths(self) -> List[int]:
+        return [len(q) for q in self.queues]
+
+    def total_queued(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def least_loaded(self, candidates: Optional[Iterable[int]] = None) -> int:
+        """The candidate cpu with the shortest queue (lowest id ties)."""
+        cpus = list(candidates) if candidates is not None else range(
+            len(self.queues)
+        )
+        return min(cpus, key=lambda cpu: (len(self.queues[cpu]), cpu))
+
+    def most_loaded(self, candidates: Optional[Iterable[int]] = None) -> int:
+        """The candidate cpu with the longest queue (lowest id ties)."""
+        cpus = list(candidates) if candidates is not None else range(
+            len(self.queues)
+        )
+        return max(cpus, key=lambda cpu: (len(self.queues[cpu]), -cpu))
+
+    def all_threads(self) -> List[SimThread]:
+        return [t for q in self.queues for t in q]

@@ -1,0 +1,155 @@
+"""The CPU scheduler: dispatch, requeue, and explicit migration.
+
+This is the modified-Linux layer of the paper (Section 5.1: "We also
+changed the CPU scheduling code to migrate threads according to the
+thread clustering scheme").  The :class:`Scheduler` owns the runqueues,
+applies the initial placement policy, runs the load balancer, and
+exposes :meth:`migrate` -- the primitive the clustering controller's
+migration phase calls to move a thread (with an optional chip-level
+affinity pin so subsequent balancing stays within the assigned chip).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..topology.machine import Machine
+from .load_balance import LoadBalancer
+from .placement import PlacementPolicy, place_threads
+from .runqueue import RunQueueSet
+from .thread import SimThread, ThreadState
+
+
+class Scheduler:
+    """Per-machine scheduler with pluggable placement policy."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: PlacementPolicy,
+        rng: np.random.Generator,
+        intra_chip_balancing_after_clustering: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.policy = policy
+        self.rng = rng
+        self.runqueues = RunQueueSet(machine.n_cpus)
+        self.balancer = LoadBalancer(
+            machine,
+            self.runqueues,
+            reactive_enabled=policy.balancing_enabled,
+            proactive_enabled=policy.balancing_enabled,
+        )
+        #: after the clustering controller migrates, restrict balancing
+        #: to intra-chip moves (the Section 4.5 planned extension)
+        self.intra_chip_balancing_after_clustering = (
+            intra_chip_balancing_after_clustering
+        )
+        self.threads: List[SimThread] = []
+        self._migrations_requested = 0
+
+    # ------------------------------------------------------------------
+    # Admission and dispatch
+    # ------------------------------------------------------------------
+    def admit(self, threads: Sequence[SimThread]) -> None:
+        """Place newly created threads per the configured policy."""
+        self.threads.extend(threads)
+        place_threads(self.policy, threads, self.machine, self.runqueues)
+
+    def pick_next(self, cpu: int) -> Optional[SimThread]:
+        """Dispatch the next thread for ``cpu``.
+
+        An empty queue triggers a reactive balancing pull first, exactly
+        as an idle Linux cpu would.
+        """
+        queue = self.runqueues[cpu]
+        if len(queue) == 0:
+            self.balancer.reactive_pull(cpu)
+        return queue.pop_next()
+
+    def quantum_expired(self, cpu: int, thread: SimThread) -> None:
+        """Requeue a thread whose quantum ended (round-robin tail)."""
+        if thread.state is ThreadState.FINISHED:
+            return
+        thread.quanta_run += 1
+        if thread.can_run_on(cpu):
+            self.runqueues[cpu].enqueue(thread)
+        else:
+            # Affinity changed while running (a migration request):
+            # enqueue at the least-loaded allowed cpu instead.
+            target = self.runqueues.least_loaded(sorted(thread.affinity))
+            self.runqueues[target].enqueue(thread)
+
+    def tick(self) -> None:
+        """Periodic work: proactive load balancing."""
+        self.balancer.tick()
+
+    # ------------------------------------------------------------------
+    # Migration (the clustering controller's entry point)
+    # ------------------------------------------------------------------
+    def migrate(
+        self,
+        thread: SimThread,
+        target_cpu: int,
+        pin_to_chip: bool = True,
+    ) -> None:
+        """Move a queued thread to ``target_cpu``.
+
+        Args:
+            thread: must currently be READY (queued); the simulation
+                drives migrations between quanta, as the kernel does from
+                the scheduler tick.
+            target_cpu: destination hardware context.
+            pin_to_chip: pin affinity to the destination chip so load
+                balancing cannot later undo the clustering decision.
+        """
+        if thread.state is not ThreadState.READY or thread.cpu is None:
+            raise ValueError(
+                f"thread {thread.tid} must be queued to migrate "
+                f"(state={thread.state.value})"
+            )
+        source_cpu = thread.cpu
+        chip_cpus = frozenset(
+            self.machine.cpus_of_chip(self.machine.chip_of(target_cpu))
+        )
+        if pin_to_chip:
+            thread.affinity = chip_cpus
+        if source_cpu == target_cpu:
+            return
+        self.runqueues[source_cpu].steal(thread)
+        thread.migrations += 1
+        if not self.machine.same_chip(source_cpu, target_cpu):
+            thread.cross_chip_migrations += 1
+        self.runqueues[target_cpu].enqueue(thread)
+        self._migrations_requested += 1
+
+    def enable_intra_chip_balancing(self) -> None:
+        """Post-clustering mode: balance only within chips."""
+        self.balancer.intra_chip_only = True
+        self.balancer.reactive_enabled = True
+        self.balancer.proactive_enabled = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def threads_per_chip(self) -> Dict[int, int]:
+        """Queued+running thread counts by chip (running threads keep
+        their last cpu)."""
+        counts = {chip: 0 for chip in range(self.machine.n_chips)}
+        for thread in self.threads:
+            if thread.state is ThreadState.FINISHED or thread.cpu is None:
+                continue
+            counts[self.machine.chip_of(thread.cpu)] += 1
+        return counts
+
+    def chip_of_thread(self, thread: SimThread) -> Optional[int]:
+        if thread.cpu is None:
+            return None
+        return self.machine.chip_of(thread.cpu)
+
+    @property
+    def migrations_requested(self) -> int:
+        """Migrations explicitly requested via :meth:`migrate`."""
+        return self._migrations_requested

@@ -1,0 +1,85 @@
+"""Simulated kernel threads.
+
+The paper's workloads follow the multithreaded client-server model: one
+(or two) designated threads per client connection, living for the whole
+connection.  A :class:`SimThread` carries what the kernel knows (id,
+state, affinity, accounting) plus two labels the kernel does *not* know
+but experiments need:
+
+* ``sharing_group`` -- the workload's ground-truth cluster (which
+  scoreboard / room / warehouse / database instance the thread serves),
+  used by hand-optimized placement and by accuracy metrics; and
+* ``process_id`` -- threads of one process share an address space and a
+  shMap filter (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"  #: runnable, waiting in a runqueue
+    RUNNING = "running"  #: currently on a hardware context
+    FINISHED = "finished"  #: will not run again
+
+
+@dataclass(eq=False)  # identity semantics: a thread equals only itself
+class SimThread:
+    """One schedulable kernel thread."""
+
+    tid: int
+    name: str
+    process_id: int = 0
+    #: ground-truth sharing cluster (-1 = none, e.g. a GC thread)
+    sharing_group: int = -1
+    state: ThreadState = ThreadState.READY
+    #: hardware context this thread is running on or queued at
+    cpu: Optional[int] = None
+    #: cpus this thread may run on; None means "anywhere"
+    affinity: Optional[FrozenSet[int]] = None
+    #: detected cluster id assigned by the clustering scheme (-1 = none)
+    detected_cluster: int = -1
+
+    #: EWMA of the thread's L1 miss rate (misses per reference), updated
+    #: each quantum by the engine; intra-chip SMT-aware placement pairs
+    #: memory-heavy threads with compute-heavy ones using this signal
+    l1_miss_rate: float = 0.0
+
+    # -- accounting ----------------------------------------------------
+    quanta_run: int = 0
+    migrations: int = 0
+    cross_chip_migrations: int = 0
+    cycles_run: int = 0
+    instructions_completed: int = 0
+
+    #: scratch slot for the workload model's per-thread state
+    workload_state: dict = field(default_factory=dict)
+
+    def can_run_on(self, cpu: int) -> bool:
+        """Affinity check, as the kernel's cpus_allowed mask."""
+        return self.affinity is None or cpu in self.affinity
+
+    def pin_to(self, cpus: FrozenSet[int]) -> None:
+        """Restrict this thread to ``cpus`` (sched_setaffinity)."""
+        if not cpus:
+            raise ValueError("affinity mask cannot be empty")
+        self.affinity = frozenset(cpus)
+
+    def unpin(self) -> None:
+        self.affinity = None
+
+    @property
+    def ipc(self) -> float:
+        """Achieved instructions per cycle over the thread's lifetime."""
+        if self.cycles_run == 0:
+            return 0.0
+        return self.instructions_completed / self.cycles_run
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimThread(tid={self.tid}, name={self.name!r}, "
+            f"group={self.sharing_group}, cpu={self.cpu})"
+        )

@@ -1,0 +1,23 @@
+"""Simulation engine: configuration, execution, results."""
+
+from .config import DEFAULT_OTHER_STALL_RATES, SimConfig
+from .engine import Simulator, run_simulation
+from .results import (
+    SimResult,
+    ThreadSummary,
+    TimelinePoint,
+    relative_improvement,
+    remote_stall_reduction,
+)
+
+__all__ = [
+    "DEFAULT_OTHER_STALL_RATES",
+    "SimConfig",
+    "Simulator",
+    "run_simulation",
+    "SimResult",
+    "ThreadSummary",
+    "TimelinePoint",
+    "relative_improvement",
+    "remote_stall_reduction",
+]

@@ -1,0 +1,329 @@
+"""The quantum-driven simulation engine.
+
+Execution model: time advances in *rounds*; in each round every hardware
+context dispatches one thread from its runqueue and runs it for one
+quantum (a fixed number of memory references drawn from the thread's
+workload model).  Each reference walks the cache hierarchy and is
+charged the latency of its satisfaction source; completion cycles and
+synthetic non-dcache stalls are charged per instruction.  When both SMT
+contexts of a core were busy in a round, their quanta are inflated by a
+contention factor, modelling shared-pipeline interference.
+
+The PMU observes the same stream the caches service: every L1 miss
+latches the continuous-sampling register, remote misses step the capture
+counter, and overflow handler costs are charged to the running thread --
+so the Figure 8 overhead/sampling-rate trade-off emerges from the same
+mechanism the paper measured rather than from a formula.
+
+Between rounds the scheduler ticks (proactive balancing) and the
+clustering controller (for ``PlacementPolicy.CLUSTERED``) advances its
+monitor/detect/cluster/migrate state machine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.stats import SOURCE_ORDER
+from ..clustering.controller import ClusteringController
+from ..clustering.migration import MigrationPlanner
+from ..clustering.onepass import OnePassClusterer
+from ..clustering.shmap import ShMapTable
+from ..pmu.power5 import RemoteAccessCaptureEngine
+from ..pmu.stall import CAUSE_INDEX, StallBreakdown
+from ..pmu.events import StallCause
+from ..sched.placement import PlacementPolicy
+from ..sched.scheduler import Scheduler
+from ..sched.thread import ThreadState
+from ..workloads.base import WorkloadModel
+from .config import SimConfig
+from .results import SimResult, ThreadSummary, TimelinePoint
+
+
+class Simulator:
+    """One reproducible simulation of a workload under a policy."""
+
+    def __init__(self, workload: WorkloadModel, config: SimConfig) -> None:
+        config.validate()
+        self.config = config
+        self.workload = workload
+        self.spec = config.resolve_machine()
+        self.machine = self.spec.machine
+        n_cpus = self.machine.n_cpus
+
+        master = np.random.default_rng(config.seed)
+        seeds = master.integers(0, 2**63 - 1, size=4)
+        self._traffic_rng = np.random.default_rng(int(seeds[0]))
+        self._sched_rng = np.random.default_rng(int(seeds[1]))
+        capture_rng = np.random.default_rng(int(seeds[2]))
+        planner_rng = np.random.default_rng(int(seeds[3]))
+
+        self.hierarchy = CacheHierarchy(self.spec)
+        self.stall = StallBreakdown(n_cpus)
+        self.capture = RemoteAccessCaptureEngine(
+            n_cpus=n_cpus,
+            rng=capture_rng,
+            period=config.sampling_period,
+            period_jitter=config.sampling_period_jitter,
+            skid_probability=config.sampling_skid_probability,
+            sample_cost_cycles=config.sample_cost_cycles,
+            event_sources=config.sampling_event_sources,
+        )
+        self.scheduler = Scheduler(self.machine, config.policy, self._sched_rng)
+        self.scheduler.admit(workload.threads)
+
+        self.shmap_table = ShMapTable(config.shmap_config)
+        self.controller: Optional[ClusteringController] = None
+        if config.policy is PlacementPolicy.CLUSTERED:
+            self.controller = ClusteringController(
+                scheduler=self.scheduler,
+                stall_breakdown=self.stall,
+                capture_engine=self.capture,
+                shmap_table=self.shmap_table,
+                clusterer=OnePassClusterer(
+                    similarity_threshold=config.similarity_threshold,
+                    noise_floor=config.noise_floor,
+                    global_fraction=config.global_fraction,
+                ),
+                planner=MigrationPlanner(
+                    self.machine,
+                    planner_rng,
+                    imbalance_tolerance=config.imbalance_tolerance,
+                    intra_chip_policy=config.intra_chip_placement,
+                ),
+                config=config.controller_config,
+                # The always-on HPC counting remote cache accesses: the
+                # adaptive sampling reads it to estimate the remote rate.
+                remote_event_counter=self.hierarchy.stats.remote_accesses,
+            )
+
+        # Hot-path lookup tables.
+        latency = self.spec.latency
+        self._stall_by_source = [
+            latency.stall_cycles(source) for source in SOURCE_ORDER
+        ]
+        self._other_rates = [
+            (CAUSE_INDEX[cause], rate)
+            for cause, rate in config.other_stall_rates.items()
+            if rate > 0
+        ]
+        self._other_idx = CAUSE_INDEX[StallCause.OTHER]
+        self._core_of = [self.machine.core_of(cpu) for cpu in range(n_cpus)]
+
+        self._clocks = [0.0] * n_cpus
+        self._shmap_matrix: Optional[np.ndarray] = None
+        self._shmap_tids: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_cycle(self) -> float:
+        return sum(self._clocks) / len(self._clocks)
+
+    # ------------------------------------------------------------------
+    def run(self, round_callback=None) -> SimResult:
+        """Execute the configured number of rounds and collect results.
+
+        Args:
+            round_callback: optional ``f(round_index, simulator)`` called
+                after each round -- used by experiments that perturb the
+                workload mid-run (e.g. the phase-change study).
+        """
+        config = self.config
+        n_rounds = config.n_rounds
+        measure_round = int(n_rounds * config.measurement_start_fraction)
+
+        window_snapshot = self.stall.snapshot()
+        window_start_cycle = 0.0
+        timeline: List[TimelinePoint] = []
+        last_snapshot = self.stall.snapshot()
+        last_cycle = 0.0
+
+        for round_index in range(n_rounds):
+            self._run_round()
+            self.scheduler.tick()
+            if round_callback is not None:
+                round_callback(round_index, self)
+            if self.controller is not None:
+                event = self.controller.on_tick(int(self.mean_cycle))
+                if event is not None:
+                    # Keep the signatures that produced this clustering
+                    # (the next detection phase will reset the tables).
+                    registry = self.controller.shmap_registry
+                    self._shmap_matrix = registry.combined_matrix()
+                    self._shmap_tids = registry.combined_tids()
+
+            if round_index + 1 == measure_round:
+                window_snapshot = self.stall.snapshot()
+                window_start_cycle = self.mean_cycle
+
+            if (round_index + 1) % config.timeline_interval == 0:
+                snapshot = self.stall.snapshot()
+                delta = snapshot.delta(last_snapshot)
+                now = self.mean_cycle
+                elapsed = max(1.0, now - last_cycle)
+                timeline.append(
+                    TimelinePoint(
+                        round_index=round_index + 1,
+                        mean_cycle=now,
+                        remote_stall_fraction=delta.remote_stall_fraction,
+                        ipc=delta.instructions / elapsed,
+                    )
+                )
+                last_snapshot = snapshot
+                last_cycle = now
+
+        final_snapshot = self.stall.snapshot()
+        return SimResult(
+            config_policy=config.policy.value,
+            workload_name=self.workload.name,
+            n_rounds=n_rounds,
+            full_breakdown=final_snapshot,
+            elapsed_cycles=self.mean_cycle,
+            window_breakdown=final_snapshot.delta(window_snapshot),
+            window_elapsed_cycles=max(1.0, self.mean_cycle - window_start_cycle),
+            access_counts=self.hierarchy.stats.as_array(),
+            capture_stats=self.capture.stats,
+            clustering_events=(
+                list(self.controller.history) if self.controller else []
+            ),
+            detection_log=(
+                list(self.controller.detection_log) if self.controller else []
+            ),
+            timeline=timeline,
+            thread_summaries=self._thread_summaries(),
+            shmap_matrix=self._shmap_matrix,
+            shmap_tids=self._shmap_tids,
+            sampling_overhead_cycles=self.capture.stats.overhead_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_round(self) -> None:
+        n_cpus = self.machine.n_cpus
+        running = [self.scheduler.pick_next(cpu) for cpu in range(n_cpus)]
+
+        busy_per_core: dict = {}
+        for cpu, thread in enumerate(running):
+            if thread is not None:
+                core = self._core_of[cpu]
+                busy_per_core[core] = busy_per_core.get(core, 0) + 1
+
+        sensitivity = self.config.smt_memory_sensitivity
+        for cpu, thread in enumerate(running):
+            if thread is None:
+                continue
+            if busy_per_core[self._core_of[cpu]] > 1:
+                contention = self.config.smt_contention_factor
+                if sensitivity > 0.0:
+                    corunner = self._corunner(running, cpu)
+                    if corunner is not None:
+                        contention += sensitivity * corunner.l1_miss_rate
+            else:
+                contention = 1.0
+            self._execute_quantum(cpu, thread, contention)
+
+        for cpu, thread in enumerate(running):
+            if thread is None:
+                continue
+            if self.workload.on_quantum_complete(thread):
+                # The thread's connection closed: it never runs again.
+                thread.state = ThreadState.FINISHED
+            self.scheduler.quantum_expired(cpu, thread)
+        spawned = self.workload.drain_spawned()
+        if spawned:
+            self.scheduler.admit(spawned)
+
+    def _corunner(self, running, cpu: int):
+        """The thread sharing this cpu's core in the current round."""
+        core = self._core_of[cpu]
+        for other_cpu, other in enumerate(running):
+            if other_cpu != cpu and other is not None and self._core_of[other_cpu] == core:
+                return other
+        return None
+
+    def _execute_quantum(self, cpu: int, thread, contention: float) -> None:
+        """Service one quantum of references and charge its cycles."""
+        batch = self.workload.generate_batch(
+            thread, self._traffic_rng, self.config.quantum_references
+        )
+        addresses = batch.addresses.tolist()
+        writes = batch.is_write.tolist()
+
+        access = self.hierarchy.access
+        counts = [0, 0, 0, 0, 0, 0]
+        capture_cost = 0
+        capture_enabled = self.capture.enabled
+        on_miss = self.capture.on_l1_miss
+        tid = thread.tid
+        now = int(self._clocks[cpu])
+
+        for index in range(len(addresses)):
+            source = access(cpu, addresses[index], writes[index])
+            counts[source] += 1
+            if source and capture_enabled:
+                capture_cost += on_miss(
+                    cpu, addresses[index], tid, source, now
+                )
+
+        instructions = batch.instructions
+        stall_table = self._stall_by_source
+        charge = self.stall.charge
+
+        completion = instructions * self.config.completion_cpi * contention
+        self.stall.charge_completion(cpu, int(completion), instructions)
+
+        total_cycles = completion
+        for source in range(1, 6):
+            if counts[source]:
+                cycles = counts[source] * stall_table[source] * contention
+                self.stall.charge_dcache(cpu, source, int(cycles))
+                total_cycles += cycles
+        for cause_index, rate in self._other_rates:
+            cycles = instructions * rate * contention
+            charge(cpu, cause_index, int(cycles))
+            total_cycles += cycles
+        if capture_cost:
+            # Sampling-handler time shows up as unattributed stall.
+            charge(cpu, self._other_idx, capture_cost)
+            total_cycles += capture_cost
+
+        self._clocks[cpu] += total_cycles
+        thread.cycles_run += int(total_cycles)
+        thread.instructions_completed += instructions
+        n_references = len(addresses)
+        if n_references:
+            miss_rate = 1.0 - counts[0] / n_references
+            # EWMA so one odd quantum cannot flip placement decisions.
+            thread.l1_miss_rate = 0.7 * thread.l1_miss_rate + 0.3 * miss_rate
+
+    # ------------------------------------------------------------------
+    def _thread_summaries(self) -> List[ThreadSummary]:
+        summaries = []
+        for thread in self.scheduler.threads:
+            chip = (
+                self.machine.chip_of(thread.cpu)
+                if thread.cpu is not None
+                else None
+            )
+            summaries.append(
+                ThreadSummary(
+                    tid=thread.tid,
+                    name=thread.name,
+                    sharing_group=thread.sharing_group,
+                    detected_cluster=thread.detected_cluster,
+                    final_cpu=thread.cpu,
+                    final_chip=chip,
+                    migrations=thread.migrations,
+                    cross_chip_migrations=thread.cross_chip_migrations,
+                    instructions=thread.instructions_completed,
+                    cycles=thread.cycles_run,
+                )
+            )
+        return summaries
+
+
+def run_simulation(workload: WorkloadModel, config: SimConfig) -> SimResult:
+    """Convenience wrapper: build a simulator and run it."""
+    return Simulator(workload, config).run()

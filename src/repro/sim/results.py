@@ -1,0 +1,161 @@
+"""Result containers for simulation runs.
+
+A run produces a :class:`SimResult` with machine-wide metrics split into
+the *full run* and the *measurement window* (post-warm-up, after the
+clustering controller -- if any -- has had a chance to act).  Figures 6
+and 7 compare measurement-window numbers across placement policies;
+Figure 8 reads the capture-overhead accounting; Figure 5 reads the shMap
+matrix recorded at the last clustering round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..clustering.controller import ClusteringEvent, DetectionRecord
+from ..pmu.events import StallCause
+from ..pmu.power5 import CaptureStatistics
+from ..pmu.stall import BreakdownSnapshot
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Periodic sample of machine state during the run."""
+
+    round_index: int
+    mean_cycle: float
+    #: remote-stall share of cycles since the previous timeline point
+    remote_stall_fraction: float
+    #: aggregate IPC since the previous timeline point
+    ipc: float
+
+
+@dataclass
+class ThreadSummary:
+    """Per-thread outcome for reports and accuracy checks."""
+
+    tid: int
+    name: str
+    sharing_group: int
+    detected_cluster: int
+    final_cpu: Optional[int]
+    final_chip: Optional[int]
+    migrations: int
+    cross_chip_migrations: int
+    instructions: int
+    cycles: int
+
+
+@dataclass
+class SimResult:
+    """Everything an experiment needs from one simulation run."""
+
+    config_policy: str
+    workload_name: str
+    n_rounds: int
+
+    # -- whole-run totals ----------------------------------------------
+    full_breakdown: BreakdownSnapshot
+    elapsed_cycles: float
+
+    # -- measurement window (post warm-up) ------------------------------
+    window_breakdown: BreakdownSnapshot
+    window_elapsed_cycles: float
+
+    # -- components ------------------------------------------------------
+    access_counts: np.ndarray  #: (n_cpus, n_sources) from the hierarchy
+    capture_stats: Optional[CaptureStatistics]
+    clustering_events: List[ClusteringEvent] = field(default_factory=list)
+    #: every completed detection phase (actionable or not) -- Figure 8's
+    #: tracking-time source
+    detection_log: List[DetectionRecord] = field(default_factory=list)
+    timeline: List[TimelinePoint] = field(default_factory=list)
+    thread_summaries: List[ThreadSummary] = field(default_factory=list)
+    #: shMap matrix snapshot at the last clustering round (Figure 5)
+    shmap_matrix: Optional[np.ndarray] = None
+    shmap_tids: List[int] = field(default_factory=list)
+    #: cycles spent in PMU sampling handlers (runtime overhead)
+    sampling_overhead_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Aggregate IPC over the measurement window -- the model's
+        'application performance' (Figure 7's y-axis, relative form)."""
+        if self.window_elapsed_cycles <= 0:
+            return 0.0
+        return self.window_breakdown.instructions / self.window_elapsed_cycles
+
+    @property
+    def remote_stall_fraction(self) -> float:
+        """Remote-cache-access stall share over the measurement window
+        (Figure 6's quantity)."""
+        return self.window_breakdown.remote_stall_fraction
+
+    @property
+    def remote_stall_cycles(self) -> int:
+        d = self.window_breakdown.as_dict()
+        return d[StallCause.DCACHE_REMOTE_L2] + d[StallCause.DCACHE_REMOTE_L3]
+
+    @property
+    def cpi(self) -> float:
+        return self.window_breakdown.cpi
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Sampling-handler cycles as a share of all cycles (Figure 8)."""
+        total = self.full_breakdown.total_cycles
+        if total == 0:
+            return 0.0
+        return self.sampling_overhead_cycles / total
+
+    @property
+    def n_clustering_rounds(self) -> int:
+        return len(self.clustering_events)
+
+    def stall_fractions(self) -> Dict[StallCause, float]:
+        """Measurement-window share of cycles per cause (Figure 3)."""
+        return {
+            cause: self.window_breakdown.fraction(cause)
+            for cause in StallCause
+        }
+
+    def detected_assignment(self) -> Dict[int, int]:
+        """tid -> detected cluster from the final clustering round."""
+        if not self.clustering_events:
+            return {}
+        return dict(self.clustering_events[-1].result.assignment)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat key metrics for tables and benchmark output."""
+        return {
+            "throughput_ipc": self.throughput,
+            "remote_stall_fraction": self.remote_stall_fraction,
+            "cpi": self.cpi,
+            "clustering_rounds": float(self.n_clustering_rounds),
+            "overhead_fraction": self.overhead_fraction,
+            "elapsed_cycles": self.elapsed_cycles,
+        }
+
+
+def relative_improvement(baseline: SimResult, candidate: SimResult) -> float:
+    """Throughput gain of ``candidate`` over ``baseline`` (Figure 7).
+
+    Positive = candidate is faster.  The paper normalises to default
+    Linux scheduling.
+    """
+    if baseline.throughput == 0:
+        return 0.0
+    return candidate.throughput / baseline.throughput - 1.0
+
+
+def remote_stall_reduction(baseline: SimResult, candidate: SimResult) -> float:
+    """Reduction in remote-access stall cycles relative to ``baseline``
+    (Figure 6).  1.0 means all remote stalls eliminated."""
+    base = baseline.remote_stall_fraction
+    if base == 0:
+        return 0.0
+    return 1.0 - candidate.remote_stall_fraction / base

@@ -1,0 +1,36 @@
+"""Machine topology: SMP-CMP-SMT containment tree, latencies, presets."""
+
+from .latency import AccessSource, LatencyMap
+from .machine import (
+    Chip,
+    Core,
+    HardwareContext,
+    Machine,
+    SharingLevel,
+    build_machine,
+)
+from .presets import (
+    CACHE_LINE_BYTES,
+    CacheGeometry,
+    MachineSpec,
+    custom_machine,
+    openpower_720,
+    power5_32way,
+)
+
+__all__ = [
+    "AccessSource",
+    "LatencyMap",
+    "Chip",
+    "Core",
+    "HardwareContext",
+    "Machine",
+    "SharingLevel",
+    "build_machine",
+    "CACHE_LINE_BYTES",
+    "CacheGeometry",
+    "MachineSpec",
+    "custom_machine",
+    "openpower_720",
+    "power5_32way",
+]

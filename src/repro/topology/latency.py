@@ -1,0 +1,113 @@
+"""Memory-hierarchy latencies for an SMP-CMP-SMT machine.
+
+Figure 1 of the paper annotates the IBM OpenPower 720 with per-level
+access latencies: 1-2 cycles to the core-local L1, 10-20 cycles to the
+on-chip L2, and *at least 120 cycles* for any cross-chip sharing, with
+memory accesses costing hundreds of cycles.  The thread-clustering scheme
+is motivated entirely by the gap between the on-chip and cross-chip rows
+of this table.
+
+A :class:`LatencyMap` assigns one cycle count to every
+:class:`AccessSource` -- the place an access was eventually satisfied
+from.  The cache simulator charges these to the PMU's stall accounting,
+and the stall-breakdown phase of the clustering scheme reads them back
+out by source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class AccessSource(enum.Enum):
+    """Where a memory access was satisfied from.
+
+    ``LOCAL`` means a cache on the same chip as the accessing thread;
+    ``REMOTE`` means a cache on any other chip (the paper's footnote 1:
+    the off-chip L3 directly attached to a chip still counts as local).
+    """
+
+    L1 = "l1"
+    LOCAL_L2 = "local_l2"
+    LOCAL_L3 = "local_l3"
+    REMOTE_L2 = "remote_l2"
+    REMOTE_L3 = "remote_l3"
+    MEMORY = "memory"
+
+    @property
+    def is_remote_cache(self) -> bool:
+        """True for the cross-chip cache-to-cache transfer sources."""
+        return self in (AccessSource.REMOTE_L2, AccessSource.REMOTE_L3)
+
+    @property
+    def is_local_cache(self) -> bool:
+        return self in (
+            AccessSource.L1,
+            AccessSource.LOCAL_L2,
+            AccessSource.LOCAL_L3,
+        )
+
+
+@dataclass(frozen=True)
+class LatencyMap:
+    """Access latency, in CPU cycles, for each satisfaction source.
+
+    The defaults reproduce the OpenPower 720 numbers of Figure 1:
+    on-chip sharing is one to two orders of magnitude cheaper than any
+    cross-chip sharing.
+    """
+
+    l1: int = 2
+    local_l2: int = 14
+    local_l3: int = 90
+    remote_l2: int = 120
+    remote_l3: int = 180
+    memory: int = 280
+
+    def __post_init__(self) -> None:
+        ordered = (
+            self.l1,
+            self.local_l2,
+            self.local_l3,
+            self.remote_l2,
+            self.remote_l3,
+            self.memory,
+        )
+        if any(lat <= 0 for lat in ordered):
+            raise ValueError("latencies must be positive")
+        if list(ordered) != sorted(ordered):
+            raise ValueError(
+                "latencies must be monotonically non-decreasing from L1 to "
+                f"memory, got {ordered}"
+            )
+
+    def cycles(self, source: AccessSource) -> int:
+        """Latency of an access satisfied from ``source``."""
+        return getattr(self, _FIELD_BY_SOURCE[source])
+
+    def stall_cycles(self, source: AccessSource) -> int:
+        """Extra cycles beyond an L1 hit: the stall the PMU charges.
+
+        An L1 hit is covered by the pipeline and contributes no stall;
+        everything slower stalls the thread for the difference.
+        """
+        return max(0, self.cycles(source) - self.l1)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Latencies keyed by source value, for reports."""
+        return {source.value: self.cycles(source) for source in AccessSource}
+
+    @property
+    def cross_chip_penalty(self) -> float:
+        """Ratio of the cheapest remote access to an on-chip L2 hit.
+
+        This is the disparity that Section 7.4 identifies as the property
+        making thread clustering viable; larger machines have larger
+        values and larger expected gains.
+        """
+        return self.remote_l2 / self.local_l2
+
+
+_FIELD_BY_SOURCE = {source: source.value for source in AccessSource}

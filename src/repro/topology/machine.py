@@ -1,0 +1,261 @@
+"""Machine topology model for SMP-CMP-SMT multiprocessors.
+
+The paper's platform is an IBM OpenPower 720: an SMP of 2 Power5 chips,
+each chip a CMP of 2 cores, each core 2-way SMT -- a "2x2x2" machine with
+8 hardware contexts.  The scheduling scheme only ever consumes two facts
+about the hardware:
+
+* the *containment* relation -- which hardware contexts share a core,
+  which cores share a chip -- because sharing threads must land on the
+  same chip (and ideally the same core) to communicate through on-chip
+  caches; and
+* the *relative latency* of communicating at each level (see
+  :mod:`repro.topology.latency`).
+
+This module models the containment tree.  A :class:`Machine` is a list of
+:class:`Chip` objects; a chip owns :class:`Core` objects; a core owns
+:class:`HardwareContext` objects (the schedulable CPUs).  Every node knows
+its global index so that flat arrays indexed by cpu/core/chip id can be
+used throughout the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+
+class SharingLevel(enum.IntEnum):
+    """Closest hardware level through which two contexts can share data.
+
+    Ordered from cheapest to most expensive, so comparisons like
+    ``level <= SharingLevel.SAME_CHIP`` read naturally.
+    """
+
+    SAME_CONTEXT = 0  #: the same hardware context (a thread with itself)
+    SAME_CORE = 1  #: SMT siblings -- communicate through the shared L1
+    SAME_CHIP = 2  #: same chip, different core -- through the shared L2
+    CROSS_CHIP = 3  #: different chips -- cache-to-cache transfer or memory
+
+
+@dataclass(frozen=True)
+class HardwareContext:
+    """A single SMT hardware context: the unit the OS schedules onto.
+
+    Attributes:
+        cpu_id: global, dense id in ``range(machine.n_cpus)``.
+        core_id: global id of the owning core.
+        chip_id: global id of the owning chip.
+        smt_index: position of this context within its core.
+    """
+
+    cpu_id: int
+    core_id: int
+    chip_id: int
+    smt_index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HardwareContext(cpu={self.cpu_id}, chip={self.chip_id}, "
+            f"core={self.core_id}, smt={self.smt_index})"
+        )
+
+
+@dataclass(frozen=True)
+class Core:
+    """A CPU core holding one or more SMT hardware contexts."""
+
+    core_id: int
+    chip_id: int
+    contexts: Sequence[HardwareContext]
+
+    @property
+    def n_contexts(self) -> int:
+        return len(self.contexts)
+
+    def cpu_ids(self) -> List[int]:
+        """Global cpu ids of every hardware context on this core."""
+        return [ctx.cpu_id for ctx in self.contexts]
+
+
+@dataclass(frozen=True)
+class Chip:
+    """A processor chip: a CMP of cores sharing an on-chip L2 (and L3)."""
+
+    chip_id: int
+    cores: Sequence[Core]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def n_contexts(self) -> int:
+        return sum(core.n_contexts for core in self.cores)
+
+    def cpu_ids(self) -> List[int]:
+        """Global cpu ids of every hardware context on this chip."""
+        return [cpu for core in self.cores for cpu in core.cpu_ids()]
+
+    def contexts(self) -> Iterator[HardwareContext]:
+        for core in self.cores:
+            yield from core.contexts
+
+
+@dataclass
+class Machine:
+    """An SMP-CMP-SMT machine: the full containment tree plus fast lookups.
+
+    Build one with :func:`build_machine` or a preset from
+    :mod:`repro.topology.presets`.  The constructor wires the flat
+    ``cpu -> core/chip`` lookup tables that the hot paths of the cache and
+    scheduler simulators use.
+    """
+
+    chips: Sequence[Chip]
+    name: str = "machine"
+    _cpu_to_chip: List[int] = field(init=False, repr=False)
+    _cpu_to_core: List[int] = field(init=False, repr=False)
+    _contexts: List[HardwareContext] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._contexts = [ctx for chip in self.chips for ctx in chip.contexts()]
+        self._contexts.sort(key=lambda ctx: ctx.cpu_id)
+        expected = list(range(len(self._contexts)))
+        actual = [ctx.cpu_id for ctx in self._contexts]
+        if actual != expected:
+            raise ValueError(
+                f"cpu ids must be dense 0..n-1, got {actual}"
+            )
+        self._cpu_to_chip = [ctx.chip_id for ctx in self._contexts]
+        self._cpu_to_core = [ctx.core_id for ctx in self._contexts]
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_chips(self) -> int:
+        return len(self.chips)
+
+    @property
+    def n_cores(self) -> int:
+        return sum(chip.n_cores for chip in self.chips)
+
+    @property
+    def n_cpus(self) -> int:
+        return len(self._contexts)
+
+    @property
+    def smt_width(self) -> int:
+        """SMT contexts per core (assumes a homogeneous machine)."""
+        return self.chips[0].cores[0].n_contexts
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def context(self, cpu_id: int) -> HardwareContext:
+        """The hardware context with the given global cpu id."""
+        return self._contexts[cpu_id]
+
+    def contexts(self) -> Sequence[HardwareContext]:
+        """All hardware contexts in cpu-id order."""
+        return list(self._contexts)
+
+    def chip_of(self, cpu_id: int) -> int:
+        """Global chip id owning ``cpu_id``."""
+        return self._cpu_to_chip[cpu_id]
+
+    def core_of(self, cpu_id: int) -> int:
+        """Global core id owning ``cpu_id``."""
+        return self._cpu_to_core[cpu_id]
+
+    def chip(self, chip_id: int) -> Chip:
+        return self.chips[chip_id]
+
+    def cpus_of_chip(self, chip_id: int) -> List[int]:
+        """Global cpu ids of the given chip."""
+        return self.chips[chip_id].cpu_ids()
+
+    def cpus_of_core(self, core_id: int) -> List[int]:
+        """Global cpu ids of the given core."""
+        for chip in self.chips:
+            for core in chip.cores:
+                if core.core_id == core_id:
+                    return core.cpu_ids()
+        raise KeyError(f"no core with id {core_id}")
+
+    def smt_siblings(self, cpu_id: int) -> List[int]:
+        """Other hardware contexts on the same core as ``cpu_id``."""
+        return [
+            cpu
+            for cpu in self.cpus_of_core(self.core_of(cpu_id))
+            if cpu != cpu_id
+        ]
+
+    # ------------------------------------------------------------------
+    # Distance
+    # ------------------------------------------------------------------
+    def sharing_level(self, cpu_a: int, cpu_b: int) -> SharingLevel:
+        """Closest level through which two contexts can share data."""
+        if cpu_a == cpu_b:
+            return SharingLevel.SAME_CONTEXT
+        if self._cpu_to_core[cpu_a] == self._cpu_to_core[cpu_b]:
+            return SharingLevel.SAME_CORE
+        if self._cpu_to_chip[cpu_a] == self._cpu_to_chip[cpu_b]:
+            return SharingLevel.SAME_CHIP
+        return SharingLevel.CROSS_CHIP
+
+    def same_chip(self, cpu_a: int, cpu_b: int) -> bool:
+        return self._cpu_to_chip[cpu_a] == self._cpu_to_chip[cpu_b]
+
+    def describe(self) -> str:
+        """Human-readable one-line topology summary (e.g. ``2x2x2``)."""
+        return (
+            f"{self.name}: {self.n_chips} chip(s) x "
+            f"{self.chips[0].n_cores} core(s) x {self.smt_width} SMT "
+            f"= {self.n_cpus} hardware contexts"
+        )
+
+
+def build_machine(
+    n_chips: int,
+    cores_per_chip: int,
+    smt_per_core: int,
+    name: str = "machine",
+) -> Machine:
+    """Construct a homogeneous SMP-CMP-SMT machine.
+
+    Args:
+        n_chips: number of processor chips (the SMP dimension).
+        cores_per_chip: cores on each chip (the CMP dimension).
+        smt_per_core: hardware contexts per core (the SMT dimension).
+        name: label used in reports.
+
+    Returns:
+        A fully wired :class:`Machine` with dense global ids assigned in
+        chip-major, core-major, context-minor order.
+    """
+    if n_chips < 1 or cores_per_chip < 1 or smt_per_core < 1:
+        raise ValueError("all topology dimensions must be >= 1")
+    chips: List[Chip] = []
+    cpu_id = 0
+    core_id = 0
+    for chip_id in range(n_chips):
+        cores: List[Core] = []
+        for _ in range(cores_per_chip):
+            contexts = []
+            for smt_index in range(smt_per_core):
+                contexts.append(
+                    HardwareContext(
+                        cpu_id=cpu_id,
+                        core_id=core_id,
+                        chip_id=chip_id,
+                        smt_index=smt_index,
+                    )
+                )
+                cpu_id += 1
+            cores.append(Core(core_id=core_id, chip_id=chip_id, contexts=tuple(contexts)))
+            core_id += 1
+        chips.append(Chip(chip_id=chip_id, cores=tuple(cores)))
+    return Machine(chips=tuple(chips), name=name)

@@ -1,0 +1,162 @@
+"""Preset machine configurations used in the paper's evaluation.
+
+Two machines appear in the paper:
+
+* **Table 1 / Figure 1** -- the IBM OpenPower 720 used for every main
+  experiment: 2 Power5 chips x 2 cores x 2-way SMT at 1.5 GHz, 64 KB
+  4-way L1 D/I caches per core, a 2 MB 10-way L2 per chip, and a 36 MB
+  12-way off-chip (but chip-attached, hence "local") L3 per chip.
+* **Section 7.4** -- a 32-way Power5 system with 8 chips, used to show
+  that the gains grow with the local/remote latency disparity and the
+  number of chips.
+
+Cache geometry here is expressed in *lines* per level with the paper's
+128-byte Power5 L2 line size.  The simulator scales capacities down by a
+configurable factor so that workload models with scaled-down footprints
+exercise the same hit/miss structure without simulating gigabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .latency import LatencyMap
+from .machine import Machine, build_machine
+
+#: Power5 L2 cache-line size in bytes: the unit of coherence and therefore
+#: the finest granularity at which sharing can be detected (Section 4.3.1).
+CACHE_LINE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size and associativity of one cache level.
+
+    The set count is ``capacity_bytes // (line_bytes * associativity)``,
+    floored -- real caches with awkward nominal capacities (the Power5 L2
+    is three 10-way slices) are modelled with the nearest whole number of
+    sets, so the *effective* capacity may be slightly below nominal.
+    """
+
+    capacity_bytes: int
+    associativity: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("capacity and associativity must be positive")
+        if self.capacity_bytes < self.line_bytes * self.associativity:
+            raise ValueError(
+                f"capacity {self.capacity_bytes} cannot hold even one set "
+                f"of {self.associativity} x {self.line_bytes}B lines"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        """Effective line capacity (whole sets only)."""
+        return self.n_sets * self.associativity
+
+    def scaled(self, factor: int) -> "CacheGeometry":
+        """A geometry with capacity divided by ``factor``.
+
+        Associativity is preserved; the set count shrinks.  Used to run
+        scaled-down workloads against proportionally scaled caches.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        new_capacity = max(
+            self.line_bytes * self.associativity, self.capacity_bytes // factor
+        )
+        return replace(self, capacity_bytes=new_capacity)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete hardware description: topology + latencies + caches."""
+
+    machine: Machine
+    latency: LatencyMap
+    l1_geometry: CacheGeometry
+    l2_geometry: CacheGeometry
+    l3_geometry: CacheGeometry
+    clock_ghz: float = 1.5
+
+    def scaled(self, factor: int) -> "MachineSpec":
+        """Scale every cache level's capacity down by ``factor``."""
+        return replace(
+            self,
+            l1_geometry=self.l1_geometry.scaled(factor),
+            l2_geometry=self.l2_geometry.scaled(factor),
+            l3_geometry=self.l3_geometry.scaled(factor),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.machine.describe()}; "
+            f"L1 {self.l1_geometry.capacity_bytes // 1024}KB/"
+            f"{self.l1_geometry.associativity}-way per core, "
+            f"L2 {self.l2_geometry.capacity_bytes // 1024}KB/"
+            f"{self.l2_geometry.associativity}-way per chip, "
+            f"L3 {self.l3_geometry.capacity_bytes // 1024}KB/"
+            f"{self.l3_geometry.associativity}-way per chip"
+        )
+
+
+def openpower_720(cache_scale: int = 1) -> MachineSpec:
+    """The paper's evaluation platform (Table 1).
+
+    2 chips x 2 cores x 2 SMT Power5 at 1.5 GHz.  ``cache_scale``
+    divides every cache capacity, for running scaled-down workloads.
+    """
+    spec = MachineSpec(
+        machine=build_machine(2, 2, 2, name="IBM OpenPower 720"),
+        latency=LatencyMap(),
+        l1_geometry=CacheGeometry(capacity_bytes=64 * 1024, associativity=4),
+        l2_geometry=CacheGeometry(capacity_bytes=2 * 1024 * 1024, associativity=10),
+        l3_geometry=CacheGeometry(capacity_bytes=36 * 1024 * 1024, associativity=12),
+        clock_ghz=1.5,
+    )
+    return spec.scaled(cache_scale) if cache_scale != 1 else spec
+
+
+def power5_32way(cache_scale: int = 1) -> MachineSpec:
+    """The 32-way, 8-chip Power5 machine of Section 7.4.
+
+    Same per-chip resources as the OpenPower 720 but with 8 chips, so the
+    probability that a randomly placed sharer is on a remote chip rises
+    from 1/2 to 7/8 -- which is why the paper saw larger gains there.
+    """
+    base = openpower_720(cache_scale)
+    return replace(
+        base,
+        machine=build_machine(8, 2, 2, name="32-way Power5"),
+    )
+
+
+def custom_machine(
+    n_chips: int,
+    cores_per_chip: int = 2,
+    smt_per_core: int = 2,
+    cache_scale: int = 1,
+    latency: LatencyMap | None = None,
+) -> MachineSpec:
+    """An arbitrary SMP-CMP-SMT machine with Power5-like caches.
+
+    Useful for scaling studies beyond the two configurations the paper
+    measured.
+    """
+    base = openpower_720(cache_scale)
+    return replace(
+        base,
+        machine=build_machine(
+            n_chips,
+            cores_per_chip,
+            smt_per_core,
+            name=f"{n_chips}x{cores_per_chip}x{smt_per_core} machine",
+        ),
+        latency=latency if latency is not None else base.latency,
+    )

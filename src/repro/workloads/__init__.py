@@ -1,0 +1,47 @@
+"""Workload models for the four benchmarks of the evaluation."""
+
+from .base import (
+    TrafficStream,
+    WorkloadModel,
+    WorkloadSizing,
+    compose_traffic,
+    resolve_sizing,
+)
+from .microbenchmark import (
+    HeterogeneousMicrobenchmark,
+    ScoreboardMicrobenchmark,
+)
+from .churn import ChurningWorkload
+from .multiprogram import MultiProgrammedWorkload
+from .trace import ThreadTrace, TraceRecorder, TraceWorkload, WorkloadTrace
+from .rubis import Rubis
+from .specjbb import SpecJbb
+from .volano import VolanoMark
+
+#: The paper's workload suite, keyed by report name.
+WORKLOAD_FACTORIES = {
+    "microbenchmark": ScoreboardMicrobenchmark,
+    "volanomark": VolanoMark,
+    "specjbb": SpecJbb,
+    "rubis": Rubis,
+}
+
+__all__ = [
+    "TrafficStream",
+    "WorkloadModel",
+    "WorkloadSizing",
+    "compose_traffic",
+    "resolve_sizing",
+    "HeterogeneousMicrobenchmark",
+    "ChurningWorkload",
+    "MultiProgrammedWorkload",
+    "ScoreboardMicrobenchmark",
+    "ThreadTrace",
+    "TraceRecorder",
+    "TraceWorkload",
+    "WorkloadTrace",
+    "Rubis",
+    "SpecJbb",
+    "VolanoMark",
+    "WORKLOAD_FACTORIES",
+]

@@ -1,0 +1,262 @@
+"""Workload models: generative stand-ins for the paper's benchmarks.
+
+The real workloads (VolanoMark, SPECjbb2000, RUBiS/MySQL) need a JVM or
+a database server; what the clustering scheme actually *observes* is
+their memory-reference streams.  Each model here reproduces the sharing
+structure the paper describes -- which threads exist, which regions they
+touch, how intensely, and with what read/write mix -- and emits
+:class:`~repro.memory.access.AccessBatch` streams for the simulator.
+
+A thread's traffic is composed from weighted **streams**, each drawing
+from one region:
+
+* a *private* stream (the thread's own working data -- the
+  microbenchmark's "private chunk of data which is fairly large so that
+  accessing it often causes data cache misses");
+* one or more *cluster-shared* streams (scoreboard / room / connection /
+  warehouse / database instance);
+* a *global* stream (process-wide shared state, which the clustering
+  algorithm must learn to ignore).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..memory.access import AccessBatch
+from ..memory.regions import Region, RegionAllocator, SharingKind
+from ..sched.thread import SimThread
+
+
+@dataclass(frozen=True)
+class TrafficStream:
+    """One weighted source of references for a thread.
+
+    Attributes:
+        region: where addresses come from.
+        weight: relative share of the thread's references.
+        write_fraction: probability a reference is a store.
+        hot_fraction: restrict to a hot prefix of the region.
+    """
+
+    region: Region
+    weight: float
+    write_fraction: float = 0.0
+    hot_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("stream weight must be non-negative")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be within [0, 1]")
+
+
+def compose_traffic(
+    rng: np.random.Generator,
+    streams: Sequence[TrafficStream],
+    n_references: int,
+    instructions_per_reference: int = 4,
+) -> AccessBatch:
+    """Draw an interleaved reference batch from weighted streams.
+
+    Stream counts follow a multinomial over the weights, so the mix is
+    exact in expectation but naturally noisy per quantum, like a real
+    instruction stream.
+    """
+    active = [s for s in streams if s.weight > 0]
+    if not active or n_references <= 0:
+        return AccessBatch(
+            addresses=np.empty(0, dtype=np.int64),
+            is_write=np.empty(0, dtype=bool),
+            instructions=max(0, n_references) * instructions_per_reference,
+        )
+    weights = np.asarray([s.weight for s in active], dtype=np.float64)
+    weights = weights / weights.sum()
+    counts = rng.multinomial(n_references, weights)
+
+    addresses: List[np.ndarray] = []
+    writes: List[np.ndarray] = []
+    for stream, count in zip(active, counts):
+        if count == 0:
+            continue
+        addresses.append(
+            stream.region.sample_addresses(
+                rng, int(count), hot_fraction=stream.hot_fraction
+            )
+        )
+        writes.append(rng.random(int(count)) < stream.write_fraction)
+    joined_addresses = np.concatenate(addresses)
+    joined_writes = np.concatenate(writes)
+    order = rng.permutation(len(joined_addresses))
+    return AccessBatch(
+        addresses=joined_addresses[order],
+        is_write=joined_writes[order],
+        instructions=n_references * instructions_per_reference,
+    )
+
+
+class WorkloadModel(abc.ABC):
+    """Base class for the four benchmark models.
+
+    Subclasses allocate regions and threads in ``__init__`` (via
+    :meth:`_build`) and implement :meth:`streams_for` to define each
+    thread's traffic mix.  Ground truth for hand-optimized placement and
+    accuracy metrics comes from ``SimThread.sharing_group``.
+    """
+
+    #: human-readable workload name (used in reports)
+    name: str = "workload"
+
+    def __init__(self, line_bytes: int = 128) -> None:
+        self.allocator = RegionAllocator(line_bytes=line_bytes)
+        self._threads: List[SimThread] = []
+        self._streams_cache: Dict[int, List[TrafficStream]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Allocate regions and create threads."""
+
+    @abc.abstractmethod
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        """The thread's traffic mix (called once; results are cached)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def threads(self) -> List[SimThread]:
+        return list(self._threads)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    def ground_truth(self) -> Dict[int, int]:
+        """tid -> ground-truth sharing group (-1 for ungrouped)."""
+        return {t.tid: t.sharing_group for t in self._threads}
+
+    def n_groups(self) -> int:
+        return len({t.sharing_group for t in self._threads if t.sharing_group >= 0})
+
+    def batch_scale(self, thread: SimThread) -> float:
+        """Relative reference volume of this thread per quantum.
+
+        Subclasses override for threads that "run infrequently" (e.g.
+        JVM garbage collectors); 1.0 means a full quantum of references.
+        """
+        del thread
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle (connection churn)
+    # ------------------------------------------------------------------
+    def on_quantum_complete(self, thread: SimThread) -> bool:
+        """Called by the engine after each of the thread's quanta.
+
+        Return True to terminate the thread (its connection closed).
+        The default workload population is static, as in the paper's
+        persistent-connection configuration.
+        """
+        del thread
+        return False
+
+    def drain_spawned(self) -> List[SimThread]:
+        """Newly created threads since the last call (e.g. replacement
+        connections); the engine admits them to the scheduler."""
+        return []
+
+    def invalidate_streams(self) -> None:
+        """Drop cached per-thread traffic mixes.
+
+        Call after changing thread-to-region assignments (e.g. a
+        simulated application phase change) so :meth:`streams_for` is
+        consulted again.
+        """
+        self._streams_cache.clear()
+
+    def generate_batch(
+        self, thread: SimThread, rng: np.random.Generator, n_references: int
+    ) -> AccessBatch:
+        """One scheduling quantum's worth of references for ``thread``."""
+        streams = self._streams_cache.get(thread.tid)
+        if streams is None:
+            streams = self.streams_for(thread)
+            self._streams_cache[thread.tid] = streams
+        scaled = max(1, int(n_references * self.batch_scale(thread)))
+        return compose_traffic(rng, streams, scaled)
+
+    # ------------------------------------------------------------------
+    # Region helpers for subclasses
+    # ------------------------------------------------------------------
+    def _private_region(self, tid: int, size: int) -> Region:
+        return self.allocator.allocate(
+            f"{self.name}.private.t{tid}", size, SharingKind.PRIVATE
+        )
+
+    def _stack_region(self, tid: int, size: int = 2 * 1024) -> Region:
+        """A small, very hot per-thread region (stack + hot locals).
+
+        Real threads direct roughly half their references at a few KB of
+        stack and hot locals that live in the L1; without this stream the
+        simulated L1 hit rate (and CPI) would be wildly unrealistic.
+        """
+        return self.allocator.allocate(
+            f"{self.name}.stack.t{tid}", size, SharingKind.PRIVATE
+        )
+
+    def _cluster_region(self, label: str, group: int, size: int) -> Region:
+        return self.allocator.allocate(
+            f"{self.name}.{label}", size, SharingKind.CLUSTER, group=group
+        )
+
+    def _global_region(self, label: str, size: int) -> Region:
+        return self.allocator.allocate(
+            f"{self.name}.{label}", size, SharingKind.GLOBAL
+        )
+
+    def _new_thread(self, tid: int, name: str, group: int) -> SimThread:
+        thread = SimThread(
+            tid=tid, name=name, process_id=0, sharing_group=group
+        )
+        self._threads.append(thread)
+        return thread
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        groups = self.n_groups()
+        return (
+            f"{self.name}: {self.n_threads} threads, "
+            f"{groups} ground-truth sharing group(s), "
+            f"{len(self.allocator.regions)} regions"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSizing:
+    """Footprint knobs shared by the workload models.
+
+    Sizes target the scaled-down machine (``cache_scale=16`` by default
+    in :mod:`repro.sim.config`): private working sets overflow the L1
+    but mostly fit the chip-local L2/L3, while shared regions are hot
+    enough to live in caches and bounce between chips when sharers are
+    split across them.
+    """
+
+    private_bytes: int = 48 * 1024
+    shared_bytes: int = 24 * 1024
+    global_bytes: int = 2 * 1024
+
+    def scaled(self, factor: float) -> "WorkloadSizing":
+        return WorkloadSizing(
+            private_bytes=max(1024, int(self.private_bytes * factor)),
+            shared_bytes=max(512, int(self.shared_bytes * factor)),
+            global_bytes=max(256, int(self.global_bytes * factor)),
+        )
+
+
+def resolve_sizing(sizing: Optional[WorkloadSizing]) -> WorkloadSizing:
+    return sizing if sizing is not None else WorkloadSizing()

@@ -1,0 +1,160 @@
+"""Connection churn: the environment the paper engineered away.
+
+Section 5.3.4: "We made a minor modification to the PHP client module so
+that it uses persistent connections to the database [...] it also
+enables our algorithm to monitor the sharing pattern of individual
+threads over the long term."  In other words: with the *default*
+non-persistent connections, each request spawns a short-lived MySQL
+thread, and per-thread sharing signatures never accumulate.
+
+:class:`ChurningWorkload` wraps any workload model and gives each
+thread a finite lifetime; when a connection closes, a replacement
+thread (new tid, same sharing group, same memory regions -- the
+connection slot is recycled) arrives.  The EXT4 experiment sweeps the
+lifetime to show clustering quality degrading as threads get
+shorter-lived, quantifying the paper's rationale for the modification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..memory.access import AccessBatch
+from ..sched.thread import SimThread
+from .base import WorkloadModel
+
+
+class ChurningWorkload(WorkloadModel):
+    """Wraps a model so its threads live for a bounded number of quanta.
+
+    Args:
+        inner: the workload whose connections churn.
+        mean_lifetime_quanta: average quanta a thread runs before its
+            connection closes; None disables churn (persistent mode).
+        lifetime_jitter: each thread's lifetime is drawn uniformly in
+            ``mean * [1-jitter, 1+jitter]`` so closures do not
+            synchronise.
+        seed: lifetime-draw determinism.
+    """
+
+    def __init__(
+        self,
+        inner: WorkloadModel,
+        mean_lifetime_quanta: Optional[int],
+        lifetime_jitter: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if mean_lifetime_quanta is not None and mean_lifetime_quanta <= 0:
+            raise ValueError("mean_lifetime_quanta must be positive or None")
+        if not 0.0 <= lifetime_jitter < 1.0:
+            raise ValueError("lifetime_jitter must be in [0, 1)")
+        self.inner = inner
+        self.name = f"{inner.name}+churn"
+        self.mean_lifetime = mean_lifetime_quanta
+        self.lifetime_jitter = lifetime_jitter
+        self._rng = np.random.default_rng(seed)
+
+        #: live outer threads (FINISHED ones are retired from this list)
+        self._threads: List[SimThread] = []
+        #: outer tid -> the inner thread whose traffic/regions it uses
+        self._slot_of: Dict[int, SimThread] = {}
+        self._quanta_left: Dict[int, int] = {}
+        self._spawned: List[SimThread] = []
+        self._next_tid = 0
+        self._streams_cache: Dict[int, object] = {}
+        #: total connections closed over the run
+        self.connections_closed = 0
+
+        for inner_thread in inner.threads:
+            self._spawn(inner_thread, first=True)
+        # The initial population is returned by `threads`, not drained.
+        self._threads = list(self._spawned)
+        self._spawned = []
+
+    # ------------------------------------------------------------------
+    def _draw_lifetime(self) -> int:
+        if self.mean_lifetime is None:
+            return -1  # persistent
+        if self.lifetime_jitter == 0.0:
+            return max(1, self.mean_lifetime)
+        low = max(1, int(self.mean_lifetime * (1 - self.lifetime_jitter)))
+        high = max(low + 1, int(self.mean_lifetime * (1 + self.lifetime_jitter)))
+        return int(self._rng.integers(low, high + 1))
+
+    def _spawn(self, slot: SimThread, first: bool = False) -> SimThread:
+        """A new connection thread occupying ``slot``'s memory regions."""
+        tid = self._next_tid
+        self._next_tid += 1
+        generation = 0 if first else 1
+        thread = SimThread(
+            tid=tid,
+            name=f"{slot.name}#g{tid}",
+            process_id=slot.process_id,
+            sharing_group=slot.sharing_group,
+        )
+        del generation
+        self._slot_of[tid] = slot
+        self._quanta_left[tid] = self._draw_lifetime()
+        self._spawned.append(thread)
+        return thread
+
+    # ------------------------------------------------------------------
+    # WorkloadModel protocol
+    # ------------------------------------------------------------------
+    def _build(self) -> None:  # pragma: no cover - protocol stub
+        raise AssertionError("ChurningWorkload wraps a built model")
+
+    def streams_for(self, thread: SimThread):  # pragma: no cover
+        return self.inner.streams_for(self._slot_of[thread.tid])
+
+    @property
+    def allocator(self):  # type: ignore[override]
+        return self.inner.allocator
+
+    def ground_truth(self) -> Dict[int, int]:
+        return {t.tid: t.sharing_group for t in self._threads}
+
+    def n_groups(self) -> int:
+        return self.inner.n_groups()
+
+    def batch_scale(self, thread: SimThread) -> float:
+        return self.inner.batch_scale(self._slot_of[thread.tid])
+
+    def generate_batch(
+        self, thread: SimThread, rng: np.random.Generator, n_references: int
+    ) -> AccessBatch:
+        return self.inner.generate_batch(
+            self._slot_of[thread.tid], rng, n_references
+        )
+
+    def on_quantum_complete(self, thread: SimThread) -> bool:
+        remaining = self._quanta_left.get(thread.tid, -1)
+        if remaining < 0:
+            return False  # persistent
+        remaining -= 1
+        if remaining > 0:
+            self._quanta_left[thread.tid] = remaining
+            return False
+        # Connection closes; a replacement arrives on the same slot.
+        slot = self._slot_of.pop(thread.tid)
+        self._quanta_left.pop(thread.tid, None)
+        self.connections_closed += 1
+        replacement = self._spawn(slot)
+        self._threads = [t for t in self._threads if t.tid != thread.tid]
+        self._threads.append(replacement)
+        return True
+
+    def drain_spawned(self) -> List[SimThread]:
+        spawned = self._spawned
+        self._spawned = []
+        return spawned
+
+    def describe(self) -> str:
+        lifetime = (
+            "persistent"
+            if self.mean_lifetime is None
+            else f"~{self.mean_lifetime} quanta"
+        )
+        return f"{self.inner.describe()} with {lifetime} connections"

@@ -1,0 +1,189 @@
+"""The synthetic scoreboard microbenchmark (Section 5.3.1).
+
+"A simple multithreaded program in which each worker thread reads and
+modifies a scoreboard.  Each scoreboard is shared by several threads,
+and there are several scoreboards.  Each thread has a private chunk of
+data to work on which is fairly large so that accessing it often causes
+data cache misses."
+
+The private chunk exists precisely to *stress* the detector: private
+misses flood the L1-miss stream (and the continuous-sampling register)
+with non-shared addresses, so only the overflow-gated sampling of
+Section 5.2.1 keeps the scoreboard sharing visible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sched.thread import SimThread
+from .base import TrafficStream, WorkloadModel, WorkloadSizing, resolve_sizing
+
+
+class ScoreboardMicrobenchmark(WorkloadModel):
+    """Configurable scoreboards x threads-per-scoreboard microbenchmark."""
+
+    name = "microbenchmark"
+
+    def __init__(
+        self,
+        n_scoreboards: int = 4,
+        threads_per_scoreboard: int = 4,
+        scoreboard_share: float = 0.18,
+        stack_share: float = 0.45,
+        scoreboard_write_fraction: float = 0.5,
+        sizing: Optional[WorkloadSizing] = None,
+        line_bytes: int = 128,
+    ) -> None:
+        """
+        Args:
+            n_scoreboards: number of shared scoreboards (= ground-truth
+                clusters; Figure 5a shows four).
+            threads_per_scoreboard: "all scoreboards are accessed by a
+                fixed number of threads".
+            scoreboard_share: fraction of each thread's references that
+                go to its scoreboard (the rest is its private chunk).
+            scoreboard_write_fraction: read-modify-write mix on the
+                scoreboard.
+            sizing: region footprints; defaults suit the scaled machine.
+        """
+        if n_scoreboards <= 0 or threads_per_scoreboard <= 0:
+            raise ValueError("scoreboards and threads must be positive")
+        if not 0.0 < scoreboard_share < 1.0:
+            raise ValueError("scoreboard_share must be in (0, 1)")
+        self.n_scoreboards = n_scoreboards
+        self.threads_per_scoreboard = threads_per_scoreboard
+        self.scoreboard_share = scoreboard_share
+        self.stack_share = stack_share
+        self.scoreboard_write_fraction = scoreboard_write_fraction
+        self.sizing = resolve_sizing(sizing)
+        super().__init__(line_bytes=line_bytes)
+
+    def _build(self) -> None:
+        self._scoreboards = [
+            self._cluster_region(f"scoreboard{b}", group=b, size=self.sizing.shared_bytes)
+            for b in range(self.n_scoreboards)
+        ]
+        self._private = {}
+        self._stacks = {}
+        # Threads start interleaved across scoreboards (worker-major), as
+        # real threads are spawned in client-arrival order -- this is what
+        # makes sharing-oblivious placement scatter each sharing group
+        # over the chips (Figure 2a).
+        tid = 0
+        for worker in range(self.threads_per_scoreboard):
+            for board in range(self.n_scoreboards):
+                thread = self._new_thread(
+                    tid, f"worker.b{board}.{worker}", group=board
+                )
+                self._private[thread.tid] = self._private_region(
+                    tid, self.sizing.private_bytes
+                )
+                self._stacks[thread.tid] = self._stack_region(tid)
+                tid += 1
+
+    def rotate_groups(self) -> None:
+        """Simulate an application phase change: re-partition threads
+        across scoreboards.
+
+        The new partition is a transpose of the old one -- each new
+        sharing group takes one thread from every old group -- so any
+        placement that was optimal before the change scatters every new
+        group across the chips.  Section 4.1 claims the iterative
+        monitor-detect-migrate loop "can handle phase changes and
+        automatically re-cluster threads accordingly"; the phase-change
+        experiment uses this to test that claim.  Ground truth
+        (``sharing_group``) is updated so accuracy metrics stay
+        meaningful.
+        """
+        for index, thread in enumerate(self._threads):
+            thread.sharing_group = (
+                index // self.n_scoreboards
+            ) % self.n_scoreboards
+        self.invalidate_streams()
+
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        board = self._scoreboards[thread.sharing_group]
+        private_share = 1.0 - self.scoreboard_share - self.stack_share
+        return [
+            TrafficStream(
+                region=self._stacks[thread.tid],
+                weight=self.stack_share,
+                write_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._private[thread.tid],
+                weight=private_share,
+                write_fraction=0.3,
+                hot_fraction=0.4,
+            ),
+            TrafficStream(
+                region=board,
+                weight=self.scoreboard_share,
+                write_fraction=self.scoreboard_write_fraction,
+                # Hot scoreboard lines: intense per-line sharing, which is
+                # what shMap counters need to rise above the noise floor.
+                hot_fraction=0.12,
+            ),
+        ]
+
+
+class HeterogeneousMicrobenchmark(ScoreboardMicrobenchmark):
+    """Scoreboard microbenchmark with mixed memory intensity.
+
+    Within each scoreboard group, alternate workers are *memory-heavy*
+    (most references stream over the full private chunk, missing the L1
+    constantly) or *compute-heavy* (most references hit the hot stack).
+    The cluster structure is identical to the base benchmark; what
+    differs is how much each thread suffers from sharing a core with a
+    memory-heavy co-runner -- the signal the SMT-aware intra-chip
+    placement (Section 4.5's complementary techniques) exploits.
+    """
+
+    name = "hetero-microbenchmark"
+
+    def is_memory_heavy(self, thread: SimThread) -> bool:
+        """Ground truth for tests: even worker index = memory-heavy."""
+        worker_index = thread.tid // self.n_scoreboards
+        return worker_index % 2 == 0
+
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        board = self._scoreboards[thread.sharing_group]
+        board_stream = TrafficStream(
+            region=board,
+            weight=self.scoreboard_share,
+            write_fraction=self.scoreboard_write_fraction,
+            hot_fraction=0.12,
+        )
+        remainder = 1.0 - self.scoreboard_share
+        if self.is_memory_heavy(thread):
+            # Streams over its private chunk: an L1-hostile access mix.
+            return [
+                TrafficStream(
+                    region=self._stacks[thread.tid],
+                    weight=remainder * 0.15,
+                    write_fraction=0.4,
+                ),
+                TrafficStream(
+                    region=self._private[thread.tid],
+                    weight=remainder * 0.85,
+                    write_fraction=0.3,
+                    hot_fraction=1.0,
+                ),
+                board_stream,
+            ]
+        # Compute-heavy: almost everything hits the stack in the L1.
+        return [
+            TrafficStream(
+                region=self._stacks[thread.tid],
+                weight=remainder * 0.9,
+                write_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._private[thread.tid],
+                weight=remainder * 0.1,
+                write_fraction=0.3,
+                hot_fraction=0.2,
+            ),
+            board_stream,
+        ]

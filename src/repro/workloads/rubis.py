@@ -1,0 +1,139 @@
+"""RUBiS: the OLTP database workload model (Section 5.3.4).
+
+An online-auction site: a PHP web tier talking to one MySQL process
+that hosts "two separate database instances" -- e.g. two auction sites
+run by one media company -- with "16 clients per database instance with
+no client think time".  The paper's persistent-connection modification
+means each client is served by one long-lived MySQL thread, so the
+thread population is stable enough for per-thread sharing monitoring.
+
+Each instance's threads share that instance's buffer pool (reads) and
+its transaction log (hot, write-heavy -- the strongest sharing signal);
+all threads share MySQL-global structures (dictionary, open-table
+cache), which the histogram pass must discard.  Ground truth is the
+database instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sched.thread import SimThread
+from .base import TrafficStream, WorkloadModel, WorkloadSizing, resolve_sizing
+
+
+class Rubis(WorkloadModel):
+    """Two database instances in one MySQL process, OLTP mix."""
+
+    name = "rubis"
+
+    def __init__(
+        self,
+        n_instances: int = 2,
+        clients_per_instance: int = 16,
+        buffer_pool_share: float = 0.12,
+        log_share: float = 0.05,
+        global_share: float = 0.03,
+        stack_share: float = 0.45,
+        sizing: Optional[WorkloadSizing] = None,
+        line_bytes: int = 128,
+    ) -> None:
+        """
+        Args:
+            n_instances: separate database instances in the MySQL
+                process (paper: 2).
+            clients_per_instance: persistent client connections, one
+                worker thread each (paper: 16).
+            buffer_pool_share: reference share on the instance's buffer
+                pool.
+            log_share: share on the instance's transaction log (hot and
+                write-heavy).
+            global_share: share on MySQL-global structures.
+        """
+        if n_instances <= 0 or clients_per_instance <= 0:
+            raise ValueError("instances and clients must be positive")
+        total = buffer_pool_share + log_share + global_share + stack_share
+        if not 0.0 < total < 1.0:
+            raise ValueError("shares must sum into (0, 1)")
+        self.n_instances = n_instances
+        self.clients_per_instance = clients_per_instance
+        self.buffer_pool_share = buffer_pool_share
+        self.log_share = log_share
+        self.global_share = global_share
+        self.stack_share = stack_share
+        self.sizing = resolve_sizing(sizing)
+        super().__init__(line_bytes=line_bytes)
+
+    def _build(self) -> None:
+        sizing = self.sizing
+        self._global = self._global_region("mysql_state", sizing.global_bytes)
+        self._buffer_pools = []
+        self._logs = []
+        for instance in range(self.n_instances):
+            self._buffer_pools.append(
+                self._cluster_region(
+                    f"bufferpool{instance}",
+                    group=instance,
+                    size=sizing.shared_bytes * 2,
+                )
+            )
+            self._logs.append(
+                self._cluster_region(
+                    f"txlog{instance}",
+                    group=instance,
+                    size=max(1024, sizing.shared_bytes // 4),
+                )
+            )
+        self._private = {}
+        self._stacks = {}
+        # Client connections arrive interleaved across instances
+        # (client-major), so sharing-oblivious placement scatters each
+        # instance's threads over the chips.
+        tid = 0
+        for client in range(self.clients_per_instance):
+            for instance in range(self.n_instances):
+                thread = self._new_thread(
+                    tid, f"mysqld.i{instance}.c{client}", group=instance
+                )
+                self._private[thread.tid] = self._private_region(
+                    tid, sizing.private_bytes
+                )
+                self._stacks[thread.tid] = self._stack_region(tid)
+                tid += 1
+
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        instance = thread.sharing_group
+        private_share = 1.0 - (
+            self.buffer_pool_share + self.log_share + self.global_share
+            + self.stack_share
+        )
+        return [
+            TrafficStream(
+                region=self._stacks[thread.tid],
+                weight=self.stack_share,
+                write_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._private[thread.tid],
+                weight=private_share,
+                write_fraction=0.25,
+                hot_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._buffer_pools[instance],
+                weight=self.buffer_pool_share,
+                write_fraction=0.15,
+                hot_fraction=0.08,
+            ),
+            TrafficStream(
+                region=self._logs[instance],
+                weight=self.log_share,
+                write_fraction=0.7,
+                hot_fraction=0.2,
+            ),
+            TrafficStream(
+                region=self._global,
+                weight=self.global_share,
+                write_fraction=0.1,
+            ),
+        ]

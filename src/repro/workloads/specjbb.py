@@ -1,0 +1,161 @@
+"""SPECjbb2000: the warehouse workload model (Section 5.3.3).
+
+"Multiple threads accessing designated warehouses.  Each warehouse is
+approximately 25 MB in size and stored internally as a B-tree variant.
+Each thread accesses a fixed warehouse for the life-time of the
+experiment."  The paper modified the default configuration so multiple
+threads share a warehouse: 2 warehouses x 8 threads in the performance
+runs, 4 warehouses for the Figure 5b visualisation.
+
+The B-tree access pattern is modelled with a skewed hot fraction: upper
+tree levels (a small prefix) absorb most references, which is what makes
+warehouse sharing intense enough to detect.  JVM garbage-collector
+threads are included: they touch *all* warehouses but "are run
+infrequently and do not have the opportunity to exhibit much sharing",
+modelled by a small batch scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sched.thread import SimThread
+from .base import TrafficStream, WorkloadModel, WorkloadSizing, resolve_sizing
+
+
+class SpecJbb(WorkloadModel):
+    """Warehouse-partitioned Java server workload with GC threads."""
+
+    name = "specjbb"
+
+    def __init__(
+        self,
+        n_warehouses: int = 2,
+        threads_per_warehouse: int = 8,
+        n_gc_threads: int = 2,
+        warehouse_share: float = 0.16,
+        global_share: float = 0.04,
+        stack_share: float = 0.45,
+        gc_batch_scale: float = 0.05,
+        sizing: Optional[WorkloadSizing] = None,
+        line_bytes: int = 128,
+    ) -> None:
+        """
+        Args:
+            n_warehouses: warehouses (= ground-truth clusters).
+            threads_per_warehouse: worker threads pinned to each
+                warehouse for the experiment's lifetime.
+            n_gc_threads: JVM GC threads (ungrouped, group -1).
+            warehouse_share: worker reference share on its warehouse.
+            global_share: share on JVM-global state (allocator, intern
+                tables) -- what the histogram pass must remove.
+            gc_batch_scale: GC threads' reference volume relative to a
+                worker ("run infrequently").
+        """
+        if n_warehouses <= 0 or threads_per_warehouse <= 0:
+            raise ValueError("warehouses and threads must be positive")
+        if not 0.0 < warehouse_share + global_share + stack_share < 1.0:
+            raise ValueError("shares must sum into (0, 1)")
+        self.n_warehouses = n_warehouses
+        self.threads_per_warehouse = threads_per_warehouse
+        self.n_gc_threads = n_gc_threads
+        self.warehouse_share = warehouse_share
+        self.global_share = global_share
+        self.stack_share = stack_share
+        self.gc_batch_scale = gc_batch_scale
+        self.sizing = resolve_sizing(sizing)
+        super().__init__(line_bytes=line_bytes)
+
+    def _build(self) -> None:
+        sizing = self.sizing
+        self._global = self._global_region("jvm_state", sizing.global_bytes)
+        # Warehouses are the workload's big structures; model them at 2x
+        # the generic shared size with a hot B-tree-root prefix.
+        self._warehouses = [
+            self._cluster_region(
+                f"warehouse{w}", group=w, size=sizing.shared_bytes * 2
+            )
+            for w in range(self.n_warehouses)
+        ]
+        self._private = {}
+        self._stacks = {}
+        # Worker threads start interleaved across warehouses
+        # (worker-major), as the benchmark harness spawns them -- so
+        # sharing-oblivious placement scatters each warehouse's threads.
+        tid = 0
+        for worker in range(self.threads_per_warehouse):
+            for warehouse in range(self.n_warehouses):
+                thread = self._new_thread(
+                    tid, f"worker.w{warehouse}.{worker}", group=warehouse
+                )
+                self._private[thread.tid] = self._private_region(
+                    tid, sizing.private_bytes
+                )
+                self._stacks[thread.tid] = self._stack_region(tid)
+                tid += 1
+        for gc in range(self.n_gc_threads):
+            thread = self._new_thread(tid, f"gc.{gc}", group=-1)
+            self._private[thread.tid] = self._private_region(
+                tid, sizing.private_bytes // 4
+            )
+            self._stacks[thread.tid] = self._stack_region(tid)
+            tid += 1
+
+    def batch_scale(self, thread: SimThread) -> float:
+        if thread.sharing_group < 0:
+            return self.gc_batch_scale
+        return 1.0
+
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        if thread.sharing_group < 0:
+            return self._gc_streams(thread)
+        private_share = (
+            1.0 - self.warehouse_share - self.global_share - self.stack_share
+        )
+        return [
+            TrafficStream(
+                region=self._stacks[thread.tid],
+                weight=self.stack_share,
+                write_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._private[thread.tid],
+                weight=private_share,
+                write_fraction=0.3,
+                hot_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._warehouses[thread.sharing_group],
+                weight=self.warehouse_share,
+                write_fraction=0.25,
+                # B-tree: upper levels (a small prefix) take most traffic.
+                hot_fraction=0.10,
+            ),
+            TrafficStream(
+                region=self._global,
+                weight=self.global_share,
+                write_fraction=0.2,
+            ),
+        ]
+
+    def _gc_streams(self, thread: SimThread) -> List[TrafficStream]:
+        """GC sweeps every warehouse plus the heap metadata."""
+        streams = [
+            TrafficStream(
+                region=self._private[thread.tid],
+                weight=0.2,
+                write_fraction=0.5,
+            ),
+            TrafficStream(region=self._global, weight=0.1, write_fraction=0.3),
+        ]
+        per_warehouse = 0.7 / self.n_warehouses
+        for warehouse in self._warehouses:
+            streams.append(
+                TrafficStream(
+                    region=warehouse,
+                    weight=per_warehouse,
+                    write_fraction=0.1,
+                    hot_fraction=1.0,  # sweeps, not root-biased lookups
+                )
+            )
+        return streams

@@ -1,0 +1,145 @@
+"""Tests for the analysis layer: visualisation and report tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_shmap,
+    drop_global_columns,
+    format_table,
+    order_rows_by_cluster,
+    sharing_signature_stats,
+    shmap_to_pgm,
+)
+
+
+def demo_matrix():
+    """4 threads, 8 entries: threads 0/2 share entries 0-1, threads 1/3
+    share entries 4-5; entry 7 is global."""
+    matrix = np.zeros((4, 8), dtype=np.int64)
+    matrix[0, 0:2] = 10
+    matrix[2, 0:2] = 12
+    matrix[1, 4:6] = 9
+    matrix[3, 4:6] = 11
+    matrix[:, 7] = 5
+    return matrix
+
+
+ASSIGNMENT = {0: 0, 2: 0, 1: 1, 3: 1}
+TIDS = [0, 1, 2, 3]
+
+
+class TestRowOrdering:
+    def test_cluster_members_become_adjacent(self):
+        ordered, tids, extents = order_rows_by_cluster(
+            demo_matrix(), TIDS, ASSIGNMENT
+        )
+        assert tids == [0, 2, 1, 3]
+        assert extents == [(0, 2), (1, 2)]
+        assert ordered.shape == (4, 8)
+
+    def test_unclustered_rows_render_last(self):
+        assignment = {0: 0, 2: 0}  # threads 1 and 3 unclustered
+        _, tids, extents = order_rows_by_cluster(demo_matrix(), TIDS, assignment)
+        assert tids == [0, 2, 1, 3]
+        assert extents[-1] == (-1, 2)
+
+    def test_mismatched_tids_raise(self):
+        with pytest.raises(ValueError):
+            order_rows_by_cluster(demo_matrix(), [0, 1], ASSIGNMENT)
+
+
+class TestGlobalColumnRemoval:
+    def test_column_touched_by_all_is_dropped(self):
+        cleaned = drop_global_columns(demo_matrix())
+        assert (cleaned[:, 7] == 0).all()
+        assert cleaned[0, 0] == 10  # cluster columns untouched
+
+    def test_empty_matrix(self):
+        empty = np.zeros((0, 8), dtype=np.int64)
+        assert drop_global_columns(empty).shape == (0, 8)
+
+
+class TestAsciiArt:
+    def test_contains_cluster_headers_and_rows(self):
+        art = ascii_shmap(demo_matrix(), TIDS, ASSIGNMENT)
+        assert "cluster 0" in art
+        assert "cluster 1" in art
+        assert "t   0" in art
+
+    def test_shared_entries_are_dark(self):
+        art = ascii_shmap(demo_matrix(), TIDS, ASSIGNMENT)
+        lines = [l for l in art.splitlines() if l.startswith("t")]
+        # Row for thread 0: entries 0-1 dark, the rest light.
+        row0 = lines[0].split("|")[1]
+        assert row0[0] != " "
+        assert row0[3] == " "
+
+    def test_column_folding(self):
+        wide = np.zeros((2, 1000), dtype=np.int64)
+        wide[0, 999] = 5
+        art = ascii_shmap(wide, [0, 1], {0: 0, 1: 0}, max_columns=50)
+        lines = [l for l in art.splitlines() if l.startswith("t")]
+        row = lines[0].split("|")[1]
+        assert len(row) <= 50
+        assert row.strip()  # the lone dark entry survived folding
+
+    def test_empty_matrix(self):
+        art = ascii_shmap(np.zeros((0, 8)), [], {})
+        assert "no shMap samples" in art
+
+
+class TestPgm:
+    def test_valid_pgm_header_and_size(self):
+        data = shmap_to_pgm(demo_matrix(), TIDS, ASSIGNMENT, row_height=2)
+        assert data.startswith(b"P5\n")
+        header, rest = data.split(b"\n", 1)
+        dims, rest = rest.split(b"\n", 1)
+        maxval, pixels = rest.split(b"\n", 1)
+        width, height = map(int, dims.split())
+        assert (width, height) == (8, 8)  # 4 rows x row_height 2
+        assert len(pixels) == width * height
+
+    def test_dark_pixels_for_hot_entries(self):
+        data = shmap_to_pgm(
+            demo_matrix(), TIDS, ASSIGNMENT, row_height=1, remove_global=False
+        )
+        pixels = data.split(b"\n", 3)[3]
+        image = np.frombuffer(pixels, dtype=np.uint8).reshape(4, 8)
+        # Row order: threads 0,2,1,3.  Thread 0's entry 0 (count 10) is
+        # darker (smaller value) than its entry 3 (count 0 = white 255).
+        assert image[0, 0] < image[0, 3]
+        assert image[0, 3] == 255
+
+    def test_empty_matrix(self):
+        data = shmap_to_pgm(np.zeros((0, 8)), [], {})
+        assert data.startswith(b"P5")
+
+
+class TestStats:
+    def test_signature_stats(self):
+        stats = sharing_signature_stats(demo_matrix())
+        assert stats["n_threads"] == 4
+        assert stats["n_entries"] == 8
+        assert stats["max_count"] == 12
+        assert 0 < stats["nonzero_fraction"] < 1
+
+    def test_empty(self):
+        stats = sharing_signature_stats(np.zeros((0, 0)))
+        assert stats["n_threads"] == 0
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(
+            ["name", "value"], [("a", 1.23456), ("long-name", 2.0)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in table
+        # All rows the same width.
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

@@ -1,0 +1,72 @@
+"""Tests for the report tables against real simulation results."""
+
+import pytest
+
+from repro.analysis import (
+    cluster_accuracy_line,
+    placement_comparison_table,
+    stall_breakdown_table,
+)
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for policy in (PlacementPolicy.DEFAULT_LINUX, PlacementPolicy.HAND_OPTIMIZED):
+        out[policy.value] = run_simulation(
+            ScoreboardMicrobenchmark(2, 4),
+            SimConfig(
+                policy=policy,
+                n_rounds=120,
+                quantum_references=120,
+                seed=8,
+                measurement_start_fraction=0.3,
+            ),
+        )
+    return out
+
+
+class TestStallBreakdownTable:
+    def test_contains_workload_and_cpi(self, results):
+        table = stall_breakdown_table(results["default_linux"])
+        assert "microbenchmark" in table
+        assert "CPI" in table
+        assert "completion" in table
+
+    def test_omits_negligible_causes(self, results):
+        table = stall_breakdown_table(results["hand_optimized"])
+        # Hand-optimized has zero remote stalls; the row is dropped.
+        assert "dcache_remote_l2" not in table
+
+
+class TestPlacementComparisonTable:
+    def test_baseline_rows_are_zero(self, results):
+        table = placement_comparison_table(results)
+        lines = table.splitlines()
+        baseline_line = next(l for l in lines if "default_linux" in l)
+        assert "0.000" in baseline_line
+
+    def test_hand_optimized_shows_reduction_and_speedup(self, results):
+        table = placement_comparison_table(results)
+        hand_line = next(
+            l for l in table.splitlines() if "hand_optimized" in l
+        )
+        columns = hand_line.split()
+        # reduction column (third) should be large and positive.
+        reduction = float(columns[2])
+        assert reduction > 0.5
+
+    def test_missing_baseline_raises(self, results):
+        with pytest.raises(KeyError):
+            placement_comparison_table(results, baseline_key="nope")
+
+
+class TestAccuracyLine:
+    def test_format(self):
+        line = cluster_accuracy_line("specjbb", 0.987, 3, 2)
+        assert "specjbb" in line
+        assert "0.99" in line
+        assert "3 cluster(s)" in line

@@ -1,0 +1,59 @@
+"""API-surface sanity: every advertised name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.topology",
+    "repro.memory",
+    "repro.cache",
+    "repro.pmu",
+    "repro.sched",
+    "repro.clustering",
+    "repro.workloads",
+    "repro.sim",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} is advertised but missing"
+
+
+def test_top_level_quickstart_surface():
+    """The names the README quickstart uses must be at top level."""
+    import repro
+
+    for name in (
+        "PlacementPolicy",
+        "SimConfig",
+        "SimResult",
+        "run_simulation",
+        "VolanoMark",
+        "SpecJbb",
+        "Rubis",
+        "ScoreboardMicrobenchmark",
+        "WorkloadModel",
+        "openpower_720",
+        "power5_32way",
+    ):
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_runners_match_dispatch():
+    from repro.cli import _DISPATCH, _RUNNERS
+
+    assert set(_DISPATCH) == set(_RUNNERS)

@@ -1,0 +1,189 @@
+"""Tests for the machine-wide cache hierarchy and coherence behaviour.
+
+These tests pin down the event semantics the clustering scheme depends
+on: when an access is local vs. remote, and when writes generate the
+cross-chip invalidations that later manifest as remote cache accesses.
+"""
+
+import pytest
+
+from repro.cache import (
+    IDX_L1,
+    IDX_LOCAL_L2,
+    IDX_LOCAL_L3,
+    IDX_MEMORY,
+    IDX_REMOTE_L2,
+    CacheHierarchy,
+    SOURCE_ORDER,
+)
+from repro.topology import AccessSource, openpower_720
+
+
+@pytest.fixture
+def hierarchy():
+    # Scale caches down so capacity behaviour is testable but keep the
+    # real topology: 2 chips x 2 cores x 2 SMT.
+    return CacheHierarchy(openpower_720(cache_scale=64))
+
+
+# cpu 0 is on chip 0 / core 0; cpu 4 is on chip 1 / core 2.
+CPU_CHIP0 = 0
+CPU_CHIP0_OTHER_CORE = 2
+CPU_CHIP1 = 4
+
+ADDR = 0x1000_0000
+
+
+class TestLocalPath:
+    def test_cold_miss_goes_to_memory(self, hierarchy):
+        assert hierarchy.access(CPU_CHIP0, ADDR, False) == IDX_MEMORY
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        assert hierarchy.access(CPU_CHIP0, ADDR, False) == IDX_L1
+
+    def test_same_line_different_word_hits(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        assert hierarchy.access(CPU_CHIP0, ADDR + 64, False) == IDX_L1
+
+    def test_smt_sibling_shares_l1(self, hierarchy):
+        hierarchy.access(0, ADDR, False)
+        assert hierarchy.access(1, ADDR, False) == IDX_L1  # cpu 1 = same core
+
+    def test_other_core_same_chip_hits_local_l2(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        assert hierarchy.access(CPU_CHIP0_OTHER_CORE, ADDR, False) == IDX_LOCAL_L2
+
+    def test_l1_victim_still_hits_l2(self, hierarchy):
+        """Evicting from L1 must leave the line in the chip (inclusion)."""
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        # Thrash the L1 set that ADDR maps to with enough conflicting lines.
+        l1 = hierarchy.l1_caches[0]
+        line = hierarchy.line_of(ADDR)
+        step = l1.n_sets * hierarchy.line_bytes
+        for k in range(1, l1.ways + 2):
+            hierarchy.access(CPU_CHIP0, ADDR + k * step, False)
+        assert not l1.contains(line)
+        source = hierarchy.access(CPU_CHIP0, ADDR, False)
+        assert source in (IDX_LOCAL_L2, IDX_LOCAL_L3)
+
+
+class TestRemotePath:
+    def test_cross_chip_read_is_remote_l2(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        assert hierarchy.access(CPU_CHIP1, ADDR, False) == IDX_REMOTE_L2
+
+    def test_after_remote_fetch_line_is_local(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        hierarchy.access(CPU_CHIP1, ADDR, False)
+        assert hierarchy.access(CPU_CHIP1, ADDR, False) == IDX_L1
+
+    def test_read_sharing_keeps_both_copies(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        hierarchy.access(CPU_CHIP1, ADDR, False)
+        line = hierarchy.line_of(ADDR)
+        assert hierarchy.chip_holds(0, line)
+        assert hierarchy.chip_holds(1, line)
+
+    def test_write_invalidates_remote_copies(self, hierarchy):
+        line = hierarchy.line_of(ADDR)
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        hierarchy.access(CPU_CHIP1, ADDR, False)  # both chips hold it
+        hierarchy.access(CPU_CHIP0, ADDR, True)  # chip 0 writes
+        assert hierarchy.chip_holds(0, line)
+        assert not hierarchy.chip_holds(1, line)
+
+    def test_ping_pong_write_sharing_generates_remote_accesses(self, hierarchy):
+        """Alternating writes from two chips: every access after the first
+        must be a remote cache transfer -- the paper's target pathology."""
+        hierarchy.access(CPU_CHIP0, ADDR, True)
+        sources = []
+        for i in range(10):
+            cpu = CPU_CHIP1 if i % 2 == 0 else CPU_CHIP0
+            sources.append(hierarchy.access(cpu, ADDR, True))
+        assert all(SOURCE_ORDER[s].is_remote_cache for s in sources)
+
+    def test_write_invalidates_sibling_core_l1_but_stays_local(self, hierarchy):
+        line = hierarchy.line_of(ADDR)
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        hierarchy.access(CPU_CHIP0_OTHER_CORE, ADDR, False)
+        hierarchy.access(CPU_CHIP0, ADDR, True)  # same-chip write
+        # Sibling core's L1 lost the line...
+        assert not hierarchy.l1_caches[1].contains(line)
+        # ...but the next access is a cheap local L2 hit, not remote.
+        assert hierarchy.access(CPU_CHIP0_OTHER_CORE, ADDR, False) == IDX_LOCAL_L2
+
+    def test_invalidation_counter_increments(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        hierarchy.access(CPU_CHIP1, ADDR, False)
+        before = hierarchy.directory.invalidations_sent
+        hierarchy.access(CPU_CHIP0, ADDR, True)
+        assert hierarchy.directory.invalidations_sent == before + 1
+
+
+class TestVictimL3:
+    def test_l2_eviction_retires_to_l3(self, hierarchy):
+        l2 = hierarchy.l2_caches[0]
+        line = hierarchy.line_of(ADDR)
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        # Conflict-miss ADDR's L2 set until the line is evicted to L3.
+        step = l2.n_sets * hierarchy.line_bytes
+        for k in range(1, l2.ways + 2):
+            hierarchy.access(CPU_CHIP0, ADDR + k * step, False)
+        assert not l2.contains(line)
+        assert hierarchy.l3_caches[0].contains(line)
+        # The chip still holds the line, so it is still local...
+        assert hierarchy.chip_holds(0, line)
+
+    def test_l3_hit_promotes_back_to_l2(self, hierarchy):
+        l2 = hierarchy.l2_caches[0]
+        line = hierarchy.line_of(ADDR)
+        hierarchy.access(CPU_CHIP0, ADDR, False)
+        step = l2.n_sets * hierarchy.line_bytes
+        for k in range(1, l2.ways + 2):
+            hierarchy.access(CPU_CHIP0, ADDR + k * step, False)
+        source = hierarchy.access(CPU_CHIP0, ADDR, False)
+        assert source == IDX_LOCAL_L3
+        assert l2.contains(line)
+        assert not hierarchy.l3_caches[0].contains(line)  # exclusive
+
+
+class TestDirectoryConsistency:
+    def test_directory_matches_physical_caches_after_traffic(self, hierarchy):
+        """After arbitrary traffic the directory and the chip caches must
+        agree on who holds what -- otherwise remote/memory classification
+        would drift from reality."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        addrs = rng.integers(0, 1 << 22, size=3000, dtype=np.int64)
+        writes = rng.random(3000) < 0.3
+        cpus = rng.integers(0, 8, size=3000)
+        for cpu, addr, w in zip(cpus, addrs, writes):
+            hierarchy.access(int(cpu), int(addr), bool(w))
+        for chip in range(2):
+            for line in range(0, 1 << 15):
+                physical = hierarchy.chip_holds(chip, line)
+                directed = chip in hierarchy.directory.holders(line)
+                assert physical == directed, (chip, line)
+
+    def test_stats_record_every_access(self, hierarchy):
+        for i in range(100):
+            hierarchy.access(i % 8, ADDR + i * 4096, False)
+        assert hierarchy.stats.total_accesses() == 100
+
+    def test_flush_all_resets_state(self, hierarchy):
+        hierarchy.access(CPU_CHIP0, ADDR, True)
+        hierarchy.flush_all()
+        assert hierarchy.directory.n_tracked_lines() == 0
+        assert hierarchy.access(CPU_CHIP0, ADDR, False) == IDX_MEMORY
+
+
+class TestAccessSourceMapping:
+    def test_source_order_covers_enum(self):
+        assert set(SOURCE_ORDER) == set(AccessSource)
+
+    def test_line_address_round_trip(self, hierarchy):
+        line = hierarchy.line_of(ADDR + 77)
+        base = hierarchy.line_address(line)
+        assert base <= ADDR + 77 < base + hierarchy.line_bytes

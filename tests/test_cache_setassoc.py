@@ -1,0 +1,148 @@
+"""Tests for the set-associative cache with LRU replacement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SetAssociativeCache
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        assert not cache.touch(10)
+        cache.insert(10)
+        assert cache.touch(10)
+
+    def test_hit_miss_counters(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.touch(1)
+        cache.insert(1)
+        cache.touch(1)
+        cache.touch(2)
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_contains_has_no_side_effects(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(1)
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(5)
+        assert cache.invalidate(5)
+        assert not cache.invalidate(5)
+        assert not cache.contains(5)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("c", n_sets=0, ways=2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache("c", n_sets=4, ways=0)
+
+
+class TestReplacement:
+    def test_lru_eviction_order(self):
+        # One set, two ways: lines 0, 4, 8 all map to set 0 (4 sets).
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        assert cache.insert(0) is None
+        assert cache.insert(4) is None
+        victim = cache.insert(8)
+        assert victim == 0  # least recently used
+
+    def test_touch_refreshes_lru(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(0)
+        cache.insert(4)
+        cache.touch(0)  # 0 becomes MRU; 4 is now LRU
+        victim = cache.insert(8)
+        assert victim == 4
+
+    def test_reinsert_refreshes_lru_without_eviction(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(0)
+        cache.insert(4)
+        assert cache.insert(0) is None  # refresh, no eviction
+        victim = cache.insert(8)
+        assert victim == 4
+
+    def test_different_sets_do_not_interfere(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=1)
+        cache.insert(0)  # set 0
+        cache.insert(1)  # set 1
+        cache.insert(2)  # set 2
+        assert cache.contains(0)
+        assert cache.contains(1)
+        assert cache.contains(2)
+
+    def test_capacity_respected(self):
+        cache = SetAssociativeCache("c", n_sets=8, ways=4)
+        for line in range(1000):
+            cache.insert(line)
+        assert cache.occupied_lines() <= cache.capacity_lines
+
+    def test_flush(self):
+        cache = SetAssociativeCache("c", n_sets=8, ways=4)
+        for line in range(32):
+            cache.insert(line)
+        cache.flush()
+        assert cache.occupied_lines() == 0
+
+
+class TestProperties:
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+        n_sets=st.sampled_from([1, 2, 4, 8]),
+        ways=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_capacity_and_stays_consistent(self, lines, n_sets, ways):
+        """Inserting any sequence keeps every set within its way count and
+        every resident line findable via contains()."""
+        cache = SetAssociativeCache("c", n_sets=n_sets, ways=ways)
+        resident = set()
+        for line in lines:
+            victim = cache.insert(line)
+            resident.add(line)
+            if victim is not None:
+                resident.discard(victim)
+        assert cache.occupied_lines() <= n_sets * ways
+        for line in resident:
+            assert cache.contains(line)
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_victim_is_always_from_same_set(self, lines):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        for line in lines:
+            victim = cache.insert(line)
+            if victim is not None:
+                assert victim % 4 == line % 4
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fully_associative_single_set_is_exact_lru(self, lines):
+        """With one set, the cache must behave as a textbook LRU list."""
+        ways = 4
+        cache = SetAssociativeCache("c", n_sets=1, ways=ways)
+        model: list[int] = []  # LRU order, MRU last
+        for line in lines:
+            victim = cache.insert(line)
+            if line in model:
+                model.remove(line)
+                assert victim is None
+            elif len(model) == ways:
+                assert victim == model.pop(0)
+            else:
+                assert victim is None
+            model.append(line)
+        for line in model:
+            assert cache.contains(line)

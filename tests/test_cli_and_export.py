@@ -1,0 +1,100 @@
+"""Tests for the CLI and the JSON/CSV export helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    experiment_to_json,
+    rows_to_csv,
+    sim_result_to_dict,
+)
+from repro.cli import build_parser, main
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+class TestExport:
+    def test_experiment_to_json_round_trips(self):
+        text = experiment_to_json(
+            "fig6", [{"workload": "x", "speedup": 0.05}], {"rounds": 100}
+        )
+        data = json.loads(text)
+        assert data["experiment"] == "fig6"
+        assert data["parameters"] == {"rounds": 100}
+        assert data["rows"][0]["speedup"] == 0.05
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv(
+            [{"a": 1, "b": 2}, {"a": 3, "b": 4, "c": 5}]
+        )
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1].startswith("1,2")
+        assert len(lines) == 3
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_sim_result_to_dict_is_json_serialisable(self):
+        workload = ScoreboardMicrobenchmark(2, 4)
+        result = run_simulation(
+            workload,
+            SimConfig(
+                policy=PlacementPolicy.CLUSTERED,
+                n_rounds=150,
+                seed=5,
+                measurement_start_fraction=0.4,
+            ),
+        )
+        payload = sim_result_to_dict(result)
+        text = json.dumps(payload)  # must not raise
+        data = json.loads(text)
+        assert data["workload"] == "microbenchmark"
+        assert data["policy"] == "clustered"
+        assert len(data["threads"]) == 8
+        assert data["metrics"]["throughput_ipc"] > 0
+        assert "capture" in data
+
+
+class TestCliParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "phase-change" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-an-experiment"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.rounds == 450
+        assert args.seed == 3
+        assert args.out is None
+
+
+class TestCliExecution:
+    def test_fig1_writes_json(self, tmp_path, capsys):
+        assert main(["fig1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "remote_l2" in out
+        data = json.loads((tmp_path / "fig1.json").read_text())
+        assert data["experiment"] == "fig1"
+        levels = {row["level"] for row in data["rows"]}
+        assert "remote_l2" in levels
+
+    def test_fig3_small_run(self, tmp_path, capsys):
+        assert main(["fig3", "--rounds", "120", "--out", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "fig3.json").read_text())
+        causes = {row["cause"] for row in data["rows"]}
+        assert "completion" in causes
+
+    def test_ablation_similarity_small_run(self, tmp_path, capsys):
+        assert main(
+            ["ablation-similarity", "--rounds", "250", "--out", str(tmp_path)]
+        ) == 0
+        data = json.loads((tmp_path / "ablation_similarity.json").read_text())
+        assert len(data["rows"]) >= 3

@@ -1,0 +1,120 @@
+"""CLI dispatch tests with stubbed experiment runners.
+
+The heavy experiments are exercised elsewhere; here each CLI subcommand
+runs against a canned study object so the table formatting and JSON
+output paths are covered in milliseconds.
+"""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments.ablations import ActivationPoint, ActivationStudy
+from repro.experiments.churn_study import ChurnPoint, ChurnStudy
+from repro.experiments.smt_aware import SmtAwarePoint, SmtAwareStudy
+
+
+@pytest.fixture
+def out_dir(tmp_path):
+    return tmp_path
+
+
+class TestStubbedDispatch:
+    def test_churn_command(self, monkeypatch, out_dir, capsys):
+        study = ChurnStudy(
+            points=[
+                ChurnPoint(
+                    mean_lifetime=None,
+                    connections_closed=0,
+                    clustering_rounds=1,
+                    baseline_remote=0.14,
+                    clustered_remote=0.01,
+                    speedup=0.18,
+                    overhead_fraction=0.05,
+                ),
+                ChurnPoint(
+                    mean_lifetime=8,
+                    connections_closed=400,
+                    clustering_rounds=2,
+                    baseline_remote=0.14,
+                    clustered_remote=0.09,
+                    speedup=-0.18,
+                    overhead_fraction=0.24,
+                ),
+            ]
+        )
+        monkeypatch.setattr(cli.exp, "run_churn_study", lambda **kw: study)
+        assert cli.main(["churn", "--out", str(out_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "persistent" in output
+        data = json.loads((out_dir / "churn.json").read_text())
+        assert data["rows"][1]["speedup"] == -0.18
+
+    def test_smt_aware_command(self, monkeypatch, out_dir, capsys):
+        study = SmtAwareStudy(
+            sensitivity=0.8,
+            points=[
+                SmtAwarePoint("random", 1.3, 0.0, 1),
+                SmtAwarePoint("smt_aware", 1.37, 0.0, 0),
+            ],
+        )
+        monkeypatch.setattr(cli.exp, "run_smt_aware", lambda **kw: study)
+        assert cli.main(["smt-aware", "--out", str(out_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "gain" in output
+        data = json.loads((out_dir / "smt_aware.json").read_text())
+        assert {r["policy"] for r in data["rows"]} == {"random", "smt_aware"}
+
+    def test_ablation_activation_command(self, monkeypatch, out_dir, capsys):
+        study = ActivationStudy(
+            workload="volanomark",
+            baseline_throughput=0.55,
+            points=[
+                ActivationPoint(0.02, True, 1, 0.047, 0.05),
+                ActivationPoint(0.20, False, 0, 0.0, 0.0),
+            ],
+        )
+        monkeypatch.setattr(
+            cli.exp, "run_ablation_activation", lambda **kw: study
+        )
+        assert cli.main(["ablation-activation", "--out", str(out_dir)]) == 0
+        data = json.loads((out_dir / "ablation_activation.json").read_text())
+        assert data["rows"][0]["activated"] is True
+
+    def test_rounds_and_seed_forwarded(self, monkeypatch):
+        captured = {}
+
+        def fake(**kwargs):
+            captured.update(kwargs)
+            return ChurnStudy(points=[])
+
+        monkeypatch.setattr(cli.exp, "run_churn_study", fake)
+        cli.main(["churn", "--rounds", "99", "--seed", "42"])
+        assert captured == {"n_rounds": 99, "seed": 42}
+
+    def test_no_out_dir_writes_nothing(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(
+            cli.exp, "run_churn_study", lambda **kw: ChurnStudy(points=[])
+        )
+        assert cli.main(["churn"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_config_file_overrides_rounds_and_seed(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake(**kwargs):
+            captured.update(kwargs)
+            return ChurnStudy(points=[])
+
+        monkeypatch.setattr(cli.exp, "run_churn_study", fake)
+        config_path = tmp_path / "config.json"
+        config_path.write_text(json.dumps({"n_rounds": 77, "seed": 5}))
+        cli.main(["churn", "--config", str(config_path)])
+        assert captured == {"n_rounds": 77, "seed": 5}
+
+    def test_bad_config_file_fails_loudly(self, tmp_path):
+        config_path = tmp_path / "config.json"
+        config_path.write_text(json.dumps({"not_a_field": 1}))
+        with pytest.raises(KeyError):
+            cli.main(["churn", "--config", str(config_path)])

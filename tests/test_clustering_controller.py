@@ -1,0 +1,302 @@
+"""Tests for the four-phase clustering controller.
+
+These wire the controller to real components (scheduler, stall
+breakdown, capture engine, shMap table) but drive it manually -- no
+simulation engine -- so each phase transition can be pinned down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import IDX_REMOTE_L2
+from repro.clustering import (
+    ClusteringController,
+    ControllerConfig,
+    MigrationPlanner,
+    OnePassClusterer,
+    Phase,
+    ShMapTable,
+)
+from repro.pmu import RemoteAccessCaptureEngine, StallBreakdown
+from repro.sched import PlacementPolicy, Scheduler, SimThread
+from repro.topology import build_machine
+
+
+def make_rig(
+    n_threads=8,
+    activation_threshold=0.05,
+    samples_needed=50,
+    monitor_window=1000,
+    cooldown=5000,
+    **config_overrides,
+):
+    """A controller wired to real components with tiny thresholds."""
+    machine = build_machine(2, 2, 2)
+    scheduler = Scheduler(
+        machine, PlacementPolicy.CLUSTERED, np.random.default_rng(0)
+    )
+    threads = [
+        SimThread(tid=i, name=f"t{i}", sharing_group=i % 2) for i in range(n_threads)
+    ]
+    scheduler.admit(threads)
+    stall = StallBreakdown(machine.n_cpus)
+    capture = RemoteAccessCaptureEngine(
+        n_cpus=machine.n_cpus,
+        rng=np.random.default_rng(1),
+        period=1,
+        period_jitter=0,
+        skid_probability=0.0,
+    )
+    table = ShMapTable()
+    config_kwargs = dict(
+        activation_threshold=activation_threshold,
+        monitor_window_cycles=monitor_window,
+        samples_needed=samples_needed,
+        detection_timeout_cycles=10**6,
+        min_samples_on_timeout=5,
+        migration_cooldown_cycles=cooldown,
+        min_period=1,
+    )
+    config_kwargs.update(config_overrides)
+    config = ControllerConfig(**config_kwargs)
+    controller = ClusteringController(
+        scheduler=scheduler,
+        stall_breakdown=stall,
+        capture_engine=capture,
+        shmap_table=table,
+        clusterer=OnePassClusterer(similarity_threshold=25.0, noise_floor=2),
+        planner=MigrationPlanner(machine, np.random.default_rng(2)),
+        config=config,
+    )
+    return controller, scheduler, stall, capture, threads
+
+
+def feed_remote_sharing(capture, threads, n_samples_per_thread=30):
+    """Emit remote accesses: even tids share lines 0-4, odd tids 100-104."""
+    for _ in range(n_samples_per_thread):
+        for thread in threads:
+            base = 0 if thread.sharing_group == 0 else 100
+            for k in range(5):
+                capture.on_l1_miss(
+                    0, (base + k) * 128, thread.tid, IDX_REMOTE_L2, 0
+                )
+
+
+class TestMonitoringPhase:
+    def test_starts_in_monitoring(self):
+        controller, *_ = make_rig()
+        assert controller.phase is Phase.MONITORING
+
+    def test_no_activation_below_threshold(self):
+        controller, _, stall, capture, _ = make_rig()
+        stall.charge_completion(0, 10_000, 10_000)
+        controller.on_tick(2_000)
+        assert controller.phase is Phase.MONITORING
+        assert not capture.enabled
+
+    def test_activation_above_threshold(self):
+        controller, _, stall, capture, _ = make_rig()
+        stall.charge_completion(0, 1_000, 1_000)
+        stall.charge_dcache(0, IDX_REMOTE_L2, 1_000)  # 50% remote
+        controller.on_tick(2_000)
+        assert controller.phase is Phase.DETECTING
+        assert capture.enabled
+
+    def test_window_not_elapsed_no_check(self):
+        controller, _, stall, _, _ = make_rig(monitor_window=10_000)
+        stall.charge_dcache(0, IDX_REMOTE_L2, 1_000)
+        controller.on_tick(500)  # window not yet over
+        assert controller.phase is Phase.MONITORING
+
+    def test_activation_uses_window_delta_not_cumulative(self):
+        """A long quiet prefix must not mask a hot recent window."""
+        controller, _, stall, _, _ = make_rig()
+        stall.charge_completion(0, 10**6, 10**6)  # quiet history
+        controller.on_tick(1_500)  # close first window: quiet
+        assert controller.phase is Phase.MONITORING
+        stall.charge_dcache(0, IDX_REMOTE_L2, 5_000)  # hot window
+        controller.on_tick(3_000)
+        assert controller.phase is Phase.DETECTING
+
+
+class TestDetectionPhase:
+    def _activate(self, controller, stall):
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        assert controller.phase is Phase.DETECTING
+
+    def test_stays_detecting_until_samples_collected(self):
+        controller, _, stall, capture, threads = make_rig(samples_needed=10**6)
+        self._activate(controller, stall)
+        feed_remote_sharing(capture, threads, n_samples_per_thread=2)
+        event = controller.on_tick(3_000)
+        assert event is None
+        assert controller.phase is Phase.DETECTING
+
+    def test_clusters_and_migrates_after_samples(self):
+        controller, scheduler, stall, capture, threads = make_rig(samples_needed=50)
+        self._activate(controller, stall)
+        feed_remote_sharing(capture, threads)
+        event = controller.on_tick(3_000)
+        assert event is not None
+        assert controller.phase is Phase.MONITORING
+        assert not capture.enabled
+        assert event.result.n_clusters == 2
+        # Both detected clusters landed on distinct chips.
+        chips = {event.plan.cluster_chip[i] for i in range(2)}
+        assert len(chips) == 2
+        # Threads were actually moved and pinned.
+        for thread in threads:
+            assert thread.affinity is not None
+
+    def test_migration_co_locates_sharing_groups(self):
+        controller, scheduler, stall, capture, threads = make_rig(samples_needed=50)
+        self._activate(controller, stall)
+        feed_remote_sharing(capture, threads)
+        controller.on_tick(3_000)
+        machine = scheduler.machine
+        for group in (0, 1):
+            chips = {
+                machine.chip_of(t.cpu)
+                for t in threads
+                if t.sharing_group == group
+            }
+            assert len(chips) == 1
+
+    def test_timeout_with_too_few_samples_aborts(self):
+        controller, _, stall, capture, _ = make_rig(
+            samples_needed=10**6,
+        )
+        self._activate(controller, stall)
+        # Far beyond the detection timeout with no samples at all.
+        event = controller.on_tick(2_000_000 + 10_000)
+        assert event is None
+        assert controller.phase is Phase.MONITORING
+        assert controller.n_rounds == 0
+
+    def test_timeout_with_enough_samples_clusters(self):
+        controller, _, stall, capture, threads = make_rig(samples_needed=10**6)
+        self._activate(controller, stall)
+        feed_remote_sharing(capture, threads, n_samples_per_thread=10)
+        event = controller.on_tick(2_000_000 + 10_000)
+        assert event is not None
+        assert event.result.n_clusters == 2
+
+
+class TestIterationAndBackoff:
+    def test_cooldown_blocks_immediate_reactivation(self):
+        controller, _, stall, capture, threads = make_rig(
+            samples_needed=50, cooldown=50_000
+        )
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        feed_remote_sharing(capture, threads)
+        assert controller.on_tick(3_000) is not None
+        # Remote stalls remain high, but the cooldown gates re-entry.
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(5_000)
+        assert controller.phase is Phase.MONITORING
+
+    def test_reactivation_after_cooldown(self):
+        controller, _, stall, capture, threads = make_rig(
+            samples_needed=50, cooldown=1_000
+        )
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        feed_remote_sharing(capture, threads)
+        assert controller.on_tick(3_000) is not None
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10**6)
+        controller.on_tick(60_000)
+        assert controller.phase is Phase.DETECTING
+
+    def test_futile_round_backs_off(self):
+        """A detection round with only singleton clusters must not
+        migrate, and must grow the cooldown."""
+        controller, scheduler, stall, capture, threads = make_rig(
+            samples_needed=8, cooldown=1_000
+        )
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        # Every thread samples its own private line: all singletons.
+        for thread in threads:
+            for k in range(10):
+                capture.on_l1_miss(
+                    0, (1000 + thread.tid * 50 + k) * 128, thread.tid,
+                    IDX_REMOTE_L2, 0,
+                )
+        event = controller.on_tick(3_000)
+        assert event is None
+        assert controller.futile_rounds == 1
+        assert controller.n_rounds == 0
+        assert controller._effective_cooldown > 1_000
+        # No thread was pinned or moved.
+        for thread in threads:
+            assert thread.affinity is None
+
+    def test_productive_round_resets_backoff(self):
+        controller, _, stall, capture, threads = make_rig(
+            samples_needed=8, cooldown=1_000
+        )
+        # Futile round first.
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        for thread in threads:
+            for k in range(10):
+                capture.on_l1_miss(
+                    0, (1000 + thread.tid * 50 + k) * 128, thread.tid,
+                    IDX_REMOTE_L2, 0,
+                )
+        controller.on_tick(3_000)
+        backed_off = controller._effective_cooldown
+        assert backed_off > 1_000
+        # Productive round later.
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10**7)
+        controller.on_tick(3_000 + backed_off + 2_000)
+        assert controller.phase is Phase.DETECTING
+        feed_remote_sharing(capture, threads)
+        event = controller.on_tick(3_000 + backed_off + 3_000)
+        assert event is not None
+        assert controller._effective_cooldown == 1_000
+
+
+class TestAdaptiveSampling:
+    def test_period_adapts_to_remote_rate(self):
+        remote_count = [0]
+        controller, _, stall, capture, _ = make_rig(
+            samples_needed=100,
+            detection_target_cycles=1_000,
+            max_period=100,
+        )
+        controller._remote_event_counter = remote_count.__getitem__
+        controller._remote_event_counter = lambda: remote_count[0]
+        # First window: establish a high remote rate (1 event/cycle).
+        remote_count[0] = 0
+        controller._window_remote_events = 0
+        stall.charge_completion(0, 100, 100)
+        remote_count[0] = 2_000
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        # rate = 1 event/cycle; target 1000 cycles / 100 samples -> N=10.
+        assert controller.phase is Phase.DETECTING
+        assert capture.base_period == 10
+
+    def test_period_clamped_to_min(self):
+        controller, _, stall, capture, _ = make_rig(
+            samples_needed=10**6,
+            detection_target_cycles=1_000,
+            min_period=3,
+        )
+        counter = {"v": 0}
+        controller._remote_event_counter = lambda: counter["v"]
+        controller._window_remote_events = 0
+        counter["v"] = 10  # very low rate
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        assert capture.base_period == 3
+
+    def test_no_counter_keeps_configured_period(self):
+        controller, _, stall, capture, _ = make_rig()
+        original = capture.base_period
+        stall.charge_dcache(0, IDX_REMOTE_L2, 10_000)
+        controller.on_tick(2_000)
+        assert capture.base_period == original

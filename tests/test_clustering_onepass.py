@@ -1,0 +1,194 @@
+"""Tests for the one-pass clustering heuristic (Section 4.4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import OnePassClusterer
+
+
+def vec(entries, size=256):
+    v = np.zeros(size, dtype=np.int64)
+    for index, value in entries.items():
+        v[index] = value
+    return v
+
+
+def two_group_vectors(noise=0):
+    """Two clean sharing groups: threads 0-3 share entries 10-12,
+    threads 4-7 share entries 50-52."""
+    rng = np.random.default_rng(0)
+    vectors = {}
+    for tid in range(8):
+        base = 10 if tid < 4 else 50
+        entries = {base + k: 150 + int(rng.integers(0, 50)) for k in range(3)}
+        if noise:
+            for _ in range(noise):
+                entries[int(rng.integers(100, 256))] = int(rng.integers(1, 3))
+        vectors[tid] = vec(entries)
+    return vectors
+
+
+class TestBasicClustering:
+    def test_two_groups_found(self):
+        result = OnePassClusterer().cluster(two_group_vectors())
+        assert result.n_clusters == 2
+        assert sorted(result.clusters[0]) == [0, 1, 2, 3]
+        assert sorted(result.clusters[1]) == [4, 5, 6, 7]
+
+    def test_assignment_matches_clusters(self):
+        result = OnePassClusterer().cluster(two_group_vectors())
+        for index, members in enumerate(result.clusters):
+            for tid in members:
+                assert result.assignment[tid] == index
+
+    def test_representatives_are_first_members(self):
+        result = OnePassClusterer().cluster(two_group_vectors())
+        assert result.representatives == [0, 4]
+
+    def test_sub_threshold_noise_does_not_merge_groups(self):
+        result = OnePassClusterer().cluster(two_group_vectors(noise=5))
+        assert result.n_clusters == 2
+
+    def test_empty_input(self):
+        result = OnePassClusterer().cluster({})
+        assert result.n_clusters == 0
+        assert result.unclustered == []
+
+    def test_all_zero_vector_is_unclustered(self):
+        vectors = two_group_vectors()
+        vectors[99] = vec({})
+        result = OnePassClusterer().cluster(vectors)
+        assert 99 in result.unclustered
+        assert result.cluster_of(99) == -1
+
+    def test_below_floor_vector_is_unclustered(self):
+        vectors = {1: vec({0: 2, 5: 1})}  # all entries below floor 3
+        result = OnePassClusterer().cluster(vectors)
+        assert result.unclustered == [1]
+
+    def test_singleton_clusters_for_non_sharing_threads(self):
+        vectors = {
+            1: vec({10: 250}),
+            2: vec({20: 250}),
+            3: vec({30: 250}),
+        }
+        result = OnePassClusterer().cluster(vectors)
+        assert result.n_clusters == 3
+        assert result.sizes() == [1, 1, 1]
+
+
+class TestGlobalEntryRemoval:
+    def test_globally_shared_entry_does_not_merge_groups(self):
+        """All threads hammer one process-wide entry; without the
+        histogram removal everything would collapse into one cluster."""
+        vectors = two_group_vectors()
+        for tid in vectors:
+            vectors[tid][200] = 255  # global lock, say
+        result = OnePassClusterer().cluster(vectors)
+        assert result.n_clusters == 2
+
+    def test_global_removal_can_be_disabled(self):
+        vectors = two_group_vectors()
+        for tid in vectors:
+            vectors[tid][200] = 255
+        result = OnePassClusterer(remove_global_entries=False).cluster(vectors)
+        assert result.n_clusters == 1  # the global entry merges everyone
+
+    def test_thread_with_only_global_sharing_is_unclustered(self):
+        vectors = two_group_vectors()
+        vectors[99] = vec({200: 255})
+        for tid in vectors:
+            vectors[tid][200] = 255
+        result = OnePassClusterer().cluster(vectors)
+        assert 99 in result.unclustered
+
+
+class TestThreshold:
+    def test_threshold_controls_merging(self):
+        # Global-entry removal is disabled: with only two threads, any
+        # shared entry is touched by more than half the population and
+        # would be histogram-masked (see TestGlobalDegeneracy).
+        a = vec({10: 100})
+        b = vec({10: 100})  # similarity 10000
+        low = OnePassClusterer(
+            similarity_threshold=5_000, remove_global_entries=False
+        ).cluster({1: a, 2: b})
+        high = OnePassClusterer(
+            similarity_threshold=20_000, remove_global_entries=False
+        ).cluster({1: a, 2: b})
+        assert low.n_clusters == 1
+        assert high.n_clusters == 2
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError):
+            OnePassClusterer(similarity_threshold=0)
+
+    def test_comparisons_are_linear_in_clusters(self):
+        """O(T*c): each thread compares against at most c representatives."""
+        vectors = two_group_vectors()
+        result = OnePassClusterer().cluster(vectors)
+        assert result.comparisons <= len(vectors) * result.n_clusters
+
+
+class TestProperties:
+    @staticmethod
+    def _random_vectors(seed, n_threads, n_groups):
+        rng = np.random.default_rng(seed)
+        vectors = {}
+        for tid in range(n_threads):
+            group = tid % n_groups
+            entries = {
+                group * 10 + k: 140 + int(rng.integers(0, 100)) for k in range(3)
+            }
+            vectors[tid] = vec(entries)
+        return vectors
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n_threads=st.integers(min_value=2, max_value=24),
+        n_groups=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_invariants(self, seed, n_threads, n_groups):
+        """Any clustering output is a partition: every thread appears in
+        exactly one cluster or in unclustered, never both."""
+        vectors = self._random_vectors(seed, n_threads, n_groups)
+        result = OnePassClusterer().cluster(vectors)
+        seen = []
+        for members in result.clusters:
+            seen.extend(members)
+        seen.extend(result.unclustered)
+        assert sorted(seen) == sorted(vectors)
+        assert len(seen) == len(set(seen))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n_groups=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_planted_groups(self, seed, n_groups):
+        """With strong disjoint signatures the planted partition is
+        recovered exactly (2+ groups: see TestGlobalDegeneracy for why a
+        single all-thread group is invisible by design)."""
+        vectors = self._random_vectors(seed, 16, n_groups)
+        result = OnePassClusterer().cluster(vectors)
+        assert result.n_clusters == n_groups
+        for members in result.clusters:
+            groups = {tid % n_groups for tid in members}
+            assert len(groups) == 1
+
+
+class TestGlobalDegeneracy:
+    def test_single_all_thread_group_is_invisible_by_design(self):
+        """If every thread shares the same lines, those lines are
+        'globally shared' per the Section 4.4.2 histogram and get
+        removed -- correctly so: a cluster containing all threads cannot
+        fit on one chip and offers no placement improvement.  This is
+        the Thekkath & Eggers 'global sharing' case the paper contrasts
+        its workloads against."""
+        vectors = {tid: vec({10: 200, 11: 200}) for tid in range(16)}
+        result = OnePassClusterer().cluster(vectors)
+        assert result.n_clusters == 0
+        assert sorted(result.unclustered) == list(range(16))

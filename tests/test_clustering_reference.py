@@ -1,0 +1,128 @@
+"""Tests for reference clustering algorithms and agreement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    OnePassClusterer,
+    adjusted_rand_index,
+    hierarchical_cluster,
+    kmeans_cluster,
+    purity,
+    rand_index,
+)
+
+
+def vec(entries, size=256):
+    v = np.zeros(size, dtype=np.int64)
+    for index, value in entries.items():
+        v[index] = value
+    return v
+
+
+def planted_vectors(n_threads=12, n_groups=3, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = {}
+    for tid in range(n_threads):
+        group = tid % n_groups
+        entries = {
+            group * 20 + k: 150 + int(rng.integers(0, 80)) for k in range(4)
+        }
+        vectors[tid] = vec(entries)
+    return vectors
+
+
+class TestKMeans:
+    def test_recovers_planted_groups(self):
+        vectors = planted_vectors()
+        result = kmeans_cluster(vectors, k=3, rng=np.random.default_rng(1))
+        truth = [tid % 3 for tid in sorted(vectors)]
+        labels = result.labels_for(sorted(vectors))
+        assert adjusted_rand_index(labels, truth) == 1.0
+
+    def test_k_clamped_to_population(self):
+        vectors = {0: vec({0: 200}), 1: vec({5: 200})}
+        result = kmeans_cluster(vectors, k=10, rng=np.random.default_rng(0))
+        assert result.n_clusters <= 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans_cluster({}, k=0, rng=np.random.default_rng(0))
+
+    def test_empty_input(self):
+        result = kmeans_cluster({}, k=3, rng=np.random.default_rng(0))
+        assert result.assignment == {}
+
+    def test_deterministic_given_seed(self):
+        vectors = planted_vectors()
+        a = kmeans_cluster(vectors, k=3, rng=np.random.default_rng(5))
+        b = kmeans_cluster(vectors, k=3, rng=np.random.default_rng(5))
+        assert a.assignment == b.assignment
+
+
+class TestHierarchical:
+    def test_recovers_planted_groups_without_knowing_k(self):
+        vectors = planted_vectors()
+        result = hierarchical_cluster(vectors, similarity_threshold=20_000)
+        truth = [tid % 3 for tid in sorted(vectors)]
+        labels = result.labels_for(sorted(vectors))
+        assert adjusted_rand_index(labels, truth) == 1.0
+
+    def test_high_threshold_yields_singletons(self):
+        vectors = planted_vectors()
+        result = hierarchical_cluster(vectors, similarity_threshold=10**9)
+        assert result.n_clusters == len(vectors)
+
+    def test_empty_input(self):
+        result = hierarchical_cluster({}, similarity_threshold=100)
+        assert result.assignment == {}
+
+    def test_agrees_with_onepass_on_clean_data(self):
+        """The paper's future-work question: on well-separated sharing
+        patterns, the light-weight heuristic matches the full-blown
+        algorithm."""
+        vectors = planted_vectors()
+        onepass = OnePassClusterer(similarity_threshold=20_000).cluster(vectors)
+        hier = hierarchical_cluster(vectors, similarity_threshold=20_000)
+        tids = sorted(vectors)
+        onepass_labels = [onepass.assignment[tid] for tid in tids]
+        hier_labels = hier.labels_for(tids)
+        assert adjusted_rand_index(onepass_labels, hier_labels) == 1.0
+
+
+class TestMetrics:
+    def test_rand_index_identical(self):
+        assert rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_rand_index_disagreement(self):
+        assert rand_index([0, 0, 1, 1], [0, 1, 0, 1]) < 1.0
+
+    def test_rand_index_trivial(self):
+        assert rand_index([0], [1]) == 1.0
+
+    def test_rand_index_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rand_index([0, 1], [0])
+
+    def test_adjusted_rand_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = list(rng.integers(0, 4, size=200))
+        b = list(rng.integers(0, 4, size=200))
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_adjusted_rand_identical_is_one(self):
+        assert adjusted_rand_index([0, 1, 2, 0], [4, 5, 6, 4]) == 1.0
+
+    def test_purity_perfect(self):
+        assert purity([0, 0, 1, 1], [7, 7, 8, 8]) == 1.0
+
+    def test_purity_mixed_cluster(self):
+        # One cluster holds two different true groups: purity 3/4.
+        assert purity([0, 0, 0, 0], [1, 1, 1, 2]) == 0.75
+
+    def test_purity_empty(self):
+        assert purity([], []) == 1.0
+
+    def test_purity_length_mismatch(self):
+        with pytest.raises(ValueError):
+            purity([0], [])

@@ -1,0 +1,258 @@
+"""Tests for shMap vectors, the shMap filter, and the per-process table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import ShMap, ShMapConfig, ShMapFilter, ShMapTable
+
+
+class TestShMapConfig:
+    def test_paper_defaults(self):
+        config = ShMapConfig()
+        assert config.n_entries == 256  # "given only 256 of these counters"
+        assert config.counter_max == 255  # "8-bit wide saturating"
+        assert config.region_bytes == 128  # Power5 L2 line size
+
+    def test_region_of(self):
+        config = ShMapConfig()
+        assert config.region_of(0) == 0
+        assert config.region_of(127) == 0
+        assert config.region_of(128) == 1
+
+    def test_entry_of_is_stable_and_in_range(self):
+        config = ShMapConfig(n_entries=256)
+        for region in range(0, 100_000, 97):
+            entry = config.entry_of(region)
+            assert 0 <= entry < 256
+            assert entry == config.entry_of(region)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_entries=0),
+            dict(counter_max=0),
+            dict(counter_max=256),
+            dict(region_bytes=100),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ShMapConfig(**kwargs)
+
+
+class TestShMap:
+    def test_record_increments(self):
+        shmap = ShMap(tid=1, config=ShMapConfig())
+        shmap.record(5)
+        shmap.record(5)
+        shmap.record(9)
+        assert shmap[5] == 2
+        assert shmap[9] == 1
+        assert shmap.samples_recorded == 3
+
+    def test_counters_saturate_at_255(self):
+        shmap = ShMap(tid=1, config=ShMapConfig())
+        for _ in range(300):
+            shmap.record(0)
+        assert shmap[0] == 255
+        assert shmap.samples_recorded == 300
+
+    def test_as_array_is_int64(self):
+        shmap = ShMap(tid=1, config=ShMapConfig())
+        shmap.record(3)
+        array = shmap.as_array()
+        assert array.dtype.name == "int64"
+        assert array.sum() == 1
+
+    def test_nonzero_entries(self):
+        shmap = ShMap(tid=1, config=ShMapConfig())
+        shmap.record(7)
+        shmap.record(100)
+        assert shmap.nonzero_entries() == [7, 100]
+
+    def test_reset(self):
+        shmap = ShMap(tid=1, config=ShMapConfig())
+        shmap.record(7)
+        shmap.reset()
+        assert shmap.as_array().sum() == 0
+        assert shmap.samples_recorded == 0
+
+
+class TestShMapFilter:
+    def test_first_touch_latches(self):
+        config = ShMapConfig()
+        filt = ShMapFilter(config)
+        region = 1000
+        entry = filt.admit(region, tid=1)
+        assert entry == config.entry_of(region)
+        assert filt.region_at(entry) == region
+
+    def test_same_region_always_passes(self):
+        filt = ShMapFilter(ShMapConfig())
+        e1 = filt.admit(1000, tid=1)
+        e2 = filt.admit(1000, tid=2)  # different thread, same region
+        assert e1 == e2
+
+    def test_aliasing_region_is_rejected(self):
+        """Two regions hashing to the same entry: the second never passes
+        -- this is what eliminates aliasing entirely."""
+        config = ShMapConfig(n_entries=4)  # force collisions
+        filt = ShMapFilter(config)
+        filt.admit(0, tid=1)
+        # Find a different region hashing to the same entry.
+        target = config.entry_of(0)
+        alias = next(
+            r for r in range(1, 10_000) if config.entry_of(r) == target
+        )
+        assert filt.admit(alias, tid=1) is None
+        assert filt.rejected == 1
+
+    def test_entries_are_immutable(self):
+        config = ShMapConfig(n_entries=4)
+        filt = ShMapFilter(config)
+        filt.admit(0, tid=1)
+        target = config.entry_of(0)
+        alias = next(
+            r for r in range(1, 10_000) if config.entry_of(r) == target
+        )
+        filt.admit(alias, tid=2)
+        assert filt.region_at(target) == 0  # still the first region
+
+    def test_per_thread_grab_cap(self):
+        """Section 4.3.1: a limit on entries per thread prevents one
+        thread from starving out the others."""
+        config = ShMapConfig(n_entries=256, max_filter_entries_per_thread=3)
+        filt = ShMapFilter(config)
+        admitted = 0
+        for region in range(100):
+            if filt.admit(region, tid=1) is not None:
+                admitted += 1
+        assert filt.grabs_of(1) == 3
+        assert admitted == 3
+
+    def test_capped_thread_leaves_entries_for_others(self):
+        config = ShMapConfig(n_entries=256, max_filter_entries_per_thread=1)
+        filt = ShMapFilter(config)
+        filt.admit(0, tid=1)
+        assert filt.admit(1, tid=1) is None  # tid 1 is capped
+        assert filt.admit(1, tid=2) is not None  # tid 2 can still latch it
+
+    def test_cap_disabled_with_zero(self):
+        config = ShMapConfig(n_entries=512, max_filter_entries_per_thread=0)
+        filt = ShMapFilter(config)
+        for region in range(50):
+            filt.admit(region, tid=1)
+        assert filt.grabs_of(1) >= 40  # only hash collisions rejected
+
+    def test_occupancy(self):
+        config = ShMapConfig(n_entries=256)
+        filt = ShMapFilter(config)
+        assert filt.occupancy == 0.0
+        filt.admit(1, tid=1)
+        assert filt.occupancy == pytest.approx(1 / 256)
+
+    def test_reset(self):
+        filt = ShMapFilter(ShMapConfig())
+        filt.admit(1, tid=1)
+        filt.reset()
+        assert filt.occupancy == 0.0
+        assert filt.grabs_of(1) == 0
+
+
+class TestShMapTable:
+    def test_observe_routes_to_per_thread_shmaps(self):
+        table = ShMapTable()
+        table.observe(tid=1, address=128 * 1000)
+        table.observe(tid=1, address=128 * 1000)
+        table.observe(tid=2, address=128 * 2000)
+        assert table.tids() == [1, 2]
+        assert table.shmap_of(1).samples_recorded == 2
+        assert table.shmap_of(2).samples_recorded == 1
+
+    def test_shared_region_hits_same_entry_for_both_threads(self):
+        """The property clustering depends on: threads sampling the same
+        region produce overlapping shMap entries."""
+        table = ShMapTable()
+        address = 128 * 777
+        e1 = table.observe(tid=1, address=address)
+        e2 = table.observe(tid=2, address=address + 64)  # same line
+        assert e1 == e2
+
+    def test_filtered_sample_returns_none_but_counts(self):
+        config = ShMapConfig(n_entries=2)
+        table = ShMapTable(config)
+        table.observe(tid=1, address=0)
+        # Find an aliasing line.
+        target = config.entry_of(0)
+        alias = next(
+            r for r in range(1, 10_000) if config.entry_of(r) == target
+        )
+        result = table.observe(tid=1, address=alias * 128)
+        assert result is None
+        assert table.total_samples == 2
+
+    def test_matrix_shape_and_order(self):
+        table = ShMapTable()
+        table.observe(tid=5, address=128 * 10)
+        table.observe(tid=2, address=128 * 20)
+        matrix = table.matrix()
+        assert matrix.shape == (2, 256)
+        # Row order follows sorted tids: [2, 5].
+        assert matrix[0].sum() == 1
+
+    def test_empty_matrix(self):
+        assert ShMapTable().matrix().shape == (0, 256)
+
+    def test_reset_gives_starved_threads_another_chance(self):
+        config = ShMapConfig(max_filter_entries_per_thread=1)
+        table = ShMapTable(config)
+        table.observe(tid=1, address=0)
+        table.observe(tid=1, address=128 * 50)  # capped, dropped
+        table.reset()
+        entry = table.observe(tid=1, address=128 * 50)  # latches now
+        assert entry is not None
+
+
+class TestShMapProperties:
+    @given(
+        samples=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),  # tid
+                st.integers(min_value=0, max_value=1 << 24),  # address
+            ),
+            max_size=400,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_filter_invariant_one_region_per_entry(self, samples):
+        """After any sample stream, every latched filter entry maps to
+        exactly one region and every shMap count is backed by samples."""
+        config = ShMapConfig(n_entries=16)
+        table = ShMapTable(config)
+        for tid, address in samples:
+            table.observe(tid, address)
+        # Every latched entry's region hashes to that entry.
+        for entry in range(config.n_entries):
+            region = table.filter.region_at(entry)
+            if region is not None:
+                assert config.entry_of(region) == entry
+        # Total recorded across threads == admitted samples.
+        recorded = sum(
+            table.shmap_of(tid).samples_recorded for tid in table.tids()
+        )
+        assert recorded == table.filter.admitted
+
+    @given(
+        n_entries=st.sampled_from([16, 64, 256]),
+        regions=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counters_never_exceed_saturation(self, n_entries, regions):
+        config = ShMapConfig(n_entries=n_entries, counter_max=255)
+        table = ShMapTable(config)
+        for region in regions * 3:
+            table.observe(tid=0, address=region * 128)
+        shmap = table.shmap_of(0)
+        if shmap is not None:
+            assert max(shmap.as_array()) <= 255

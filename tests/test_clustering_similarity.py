@@ -1,0 +1,132 @@
+"""Tests for the dot-product similarity metric and global-entry masking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    DEFAULT_SIMILARITY_THRESHOLD,
+    denoise,
+    global_entry_mask,
+    mask_vectors,
+    similarity,
+    similarity_matrix,
+)
+
+
+def vec(entries, size=256):
+    v = np.zeros(size, dtype=np.int64)
+    for index, value in entries.items():
+        v[index] = value
+    return v
+
+
+class TestDenoise:
+    def test_zeroes_small_values(self):
+        v = vec({0: 1, 1: 2, 2: 3, 3: 200})
+        d = denoise(v, noise_floor=3)
+        assert d[0] == 0 and d[1] == 0  # "less than 3" are zeroed
+        assert d[2] == 3 and d[3] == 200
+
+    def test_floor_one_keeps_everything(self):
+        v = vec({0: 1, 5: 2})
+        assert (denoise(v, noise_floor=1) == v).all()
+
+
+class TestSimilarity:
+    def test_paper_scenario_one_entry_over_200(self):
+        """Section 4.4.1: 'a single corresponding entry in each vector has
+        values greater than 200' clears the 40000 threshold."""
+        a = vec({10: 201})
+        b = vec({10: 201})
+        assert similarity(a, b) > DEFAULT_SIMILARITY_THRESHOLD
+
+    def test_paper_scenario_two_entries_over_145(self):
+        a = vec({10: 146, 20: 146})
+        b = vec({10: 146, 20: 146})
+        assert similarity(a, b) > DEFAULT_SIMILARITY_THRESHOLD
+
+    def test_disjoint_vectors_have_zero_similarity(self):
+        a = vec({10: 255})
+        b = vec({11: 255})
+        assert similarity(a, b) == 0.0
+
+    def test_noise_floor_removes_cold_sharing(self):
+        a = vec({10: 2})  # below the floor: incidental / cold sharing
+        b = vec({10: 255})
+        assert similarity(a, b) == 0.0
+
+    def test_intensity_weighted(self):
+        weak_a, weak_b = vec({0: 10}), vec({0: 10})
+        strong_a, strong_b = vec({0: 100}), vec({0: 100})
+        assert similarity(strong_a, strong_b) > similarity(weak_a, weak_b)
+
+    def test_symmetric(self):
+        a = vec({0: 5, 3: 100})
+        b = vec({3: 50, 7: 9})
+        assert similarity(a, b) == similarity(b, a)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            similarity(np.zeros(256), np.zeros(128))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_and_bounded(self, xs, ys):
+        a, b = np.asarray(xs, dtype=np.int64), np.asarray(ys, dtype=np.int64)
+        s = similarity(a, b)
+        assert s >= 0.0
+        assert s <= float(np.dot(a, b))  # denoising can only reduce it
+
+
+class TestGlobalMask:
+    def test_entry_touched_by_majority_is_masked(self):
+        # Entry 0: all 4 threads; entry 1: only one thread.
+        vectors = [vec({0: 50, 1: 50}), vec({0: 50}), vec({0: 50}), vec({0: 50})]
+        keep = global_entry_mask(vectors, global_fraction=0.5)
+        assert not keep[0]  # global: 4/4 threads > half
+        assert keep[1]
+
+    def test_exactly_half_is_not_global(self):
+        """The paper says 'more than half', so exactly half survives."""
+        vectors = [vec({0: 50}), vec({0: 50}), vec({1: 50}), vec({1: 50})]
+        keep = global_entry_mask(vectors, global_fraction=0.5)
+        assert keep[0]
+        assert keep[1]
+
+    def test_noise_floor_applies_before_histogram(self):
+        # Entry 0 is touched by everyone but below the floor for most.
+        vectors = [vec({0: 200}), vec({0: 1}), vec({0: 2}), vec({0: 1})]
+        keep = global_entry_mask(vectors, global_fraction=0.5, noise_floor=3)
+        assert keep[0]  # only one thread really shares it
+
+    def test_empty_input(self):
+        assert global_entry_mask([]).shape == (0,)
+
+    def test_mask_vectors_zeroes_global_entries(self):
+        vectors = {1: vec({0: 9, 1: 9}), 2: vec({0: 9})}
+        keep = np.ones(256, dtype=bool)
+        keep[0] = False
+        masked = mask_vectors(vectors, keep)
+        assert masked[1][0] == 0
+        assert masked[1][1] == 9
+        assert masked[2][0] == 0
+
+
+class TestSimilarityMatrix:
+    def test_matches_pairwise_similarity(self):
+        a = vec({0: 100, 1: 4})
+        b = vec({0: 50})
+        c = vec({5: 80})
+        m = similarity_matrix([a, b, c])
+        assert m.shape == (3, 3)
+        assert m[0, 1] == similarity(a, b)
+        assert m[0, 2] == 0.0
+        assert (m == m.T).all()
+
+    def test_empty(self):
+        assert similarity_matrix([]).shape == (0, 0)

@@ -1,0 +1,142 @@
+"""Tests for the experiment runners (at reduced scale).
+
+The benchmark harness runs these at evaluation scale and asserts the
+paper's shapes; here each runner is exercised end-to-end with small
+configurations to pin down its mechanics and result plumbing.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_WORKLOADS,
+    evaluation_config,
+    run_ablation_similarity,
+    run_fig1,
+    run_fig3,
+    run_fig5_for,
+    run_fig6_fig7,
+    run_fig8,
+    run_phase_change,
+    run_sec64,
+    score_clustering,
+)
+from repro.sched import PlacementPolicy
+from repro.sim import run_simulation
+from repro.workloads import ScoreboardMicrobenchmark
+
+SMALL = dict(n_rounds=250, seed=3)
+
+
+class TestFig1:
+    def test_probes_cover_every_source(self):
+        report = run_fig1()
+        assert len(report.probes) == 6
+        assert report.all_match
+
+    def test_latencies_monotone_local_to_remote(self):
+        report = run_fig1()
+        by_source = {p.source.value: p.latency_cycles for p in report.probes}
+        assert by_source["l1"] < by_source["local_l2"] < by_source["local_l3"]
+        assert by_source["local_l3"] < by_source["remote_l2"]
+        assert by_source["memory"] > by_source["remote_l3"]
+
+
+class TestFig3:
+    def test_breakdown_report(self):
+        report = run_fig3(workload_name="volanomark", **SMALL)
+        assert report.cpi > 1.0
+        assert 0.0 < report.remote_fraction < 0.3
+        assert report.rows()  # non-empty table
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_fig3(workload_name="nope", **SMALL)
+
+
+class TestFig5:
+    def test_microbenchmark_panel(self):
+        workload = ScoreboardMicrobenchmark(n_scoreboards=2, threads_per_scoreboard=8)
+        figure = run_fig5_for(workload, **SMALL)
+        assert figure.clustered
+        assert figure.matrix.shape[1] == 256
+        art = figure.ascii_art()
+        assert "cluster 0" in art
+        pgm = figure.pgm_bytes()
+        assert pgm.startswith(b"P5")
+        assert figure.accuracy.purity >= 0.9
+
+
+class TestFig6Fig7:
+    def test_single_workload_study(self):
+        study = run_fig6_fig7(workload_names=["microbenchmark"], **SMALL)
+        assert len(study.rows) == 4  # four policies
+        baseline = study.row("microbenchmark", "default_linux")
+        assert baseline.speedup == 0.0
+        assert baseline.remote_stall_reduction == 0.0
+        hand = study.row("microbenchmark", "hand_optimized")
+        assert hand.remote_stall_reduction > 0.5
+        assert study.accuracies["microbenchmark"] is not None
+
+    def test_missing_row_raises(self):
+        study = run_fig6_fig7(workload_names=["microbenchmark"], **SMALL)
+        with pytest.raises(KeyError):
+            study.row("microbenchmark", "nonexistent")
+
+
+class TestFig8:
+    def test_two_point_sweep(self):
+        study = run_fig8(
+            workload_name="microbenchmark",
+            capture_percentages=(5, 50),
+            samples_needed=200,
+            seed=3,
+        )
+        assert len(study.points) == 2
+        slow, fast = study.points
+        assert slow.period == 20
+        assert fast.period == 2
+        # Overhead rises, tracking time falls with the capture rate.
+        assert fast.overhead_fraction > slow.overhead_fraction
+        assert fast.tracking_cycles < slow.tracking_cycles
+
+
+class TestSec64:
+    def test_size_sweep(self):
+        study = run_sec64(
+            workload_name="microbenchmark", sizes=(128, 256), **SMALL
+        )
+        assert [p.n_entries for p in study.points] == [128, 256]
+        assert all(p.accuracy is not None for p in study.points)
+
+
+class TestAblations:
+    def test_similarity_sweep_monotone(self):
+        study = run_ablation_similarity(
+            workload_name="microbenchmark",
+            thresholds=(5, 100, 10_000),
+            **SMALL,
+        )
+        counts = [p.n_clusters for p in study.points]
+        assert counts == sorted(counts)
+
+
+class TestPhaseChange:
+    def test_recovers_after_phase_change(self):
+        report = run_phase_change(n_rounds=700, phase_change_round=320, seed=3)
+        assert report.clustering_rounds >= 2
+        assert report.reclustered
+        assert report.spike_after_change > report.settled_before_change
+
+
+class TestScoreClustering:
+    def test_no_events_returns_none(self):
+        workload = PAPER_WORKLOADS["microbenchmark"]()
+        result = run_simulation(
+            workload,
+            evaluation_config(PlacementPolicy.DEFAULT_LINUX, **SMALL),
+        )
+        assert score_clustering(workload, result) is None
+
+    def test_evaluation_config_rejects_unknown_field(self):
+        with pytest.raises(AttributeError):
+            evaluation_config(PlacementPolicy.DEFAULT_LINUX, bogus_field=1)

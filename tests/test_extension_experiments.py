@@ -1,0 +1,73 @@
+"""Reduced-scale tests for the extension-experiment runners."""
+
+import pytest
+
+from repro.experiments import run_churn_study, run_smt_aware
+from repro.experiments.churn_study import ChurnStudy
+
+
+class TestSmtAwareStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_smt_aware(n_rounds=300, seed=3, sensitivity=0.8)
+
+    def test_both_policies_present(self, study):
+        assert {p.intra_chip_policy for p in study.points} == {
+            "random",
+            "smt_aware",
+        }
+
+    def test_smt_aware_never_pairs_two_heavies(self, study):
+        assert study.by_policy("smt_aware").hot_hot_cores == 0
+
+    def test_gain_non_negative(self, study):
+        assert study.smt_aware_gain >= -0.01
+
+    def test_unknown_policy_raises(self, study):
+        with pytest.raises(KeyError):
+            study.by_policy("nope")
+
+
+class TestChurnStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_churn_study(lifetimes=(None, 10), n_rounds=300, seed=3)
+
+    def test_point_per_lifetime(self, study):
+        assert [p.mean_lifetime for p in study.points] == [None, 10]
+
+    def test_persistent_has_no_closures(self, study):
+        assert study.by_lifetime(None).connections_closed == 0
+
+    def test_churning_point_closes_connections(self, study):
+        assert study.by_lifetime(10).connections_closed > 20
+
+    def test_persistent_beats_heavy_churn(self, study):
+        assert (
+            study.by_lifetime(None).speedup
+            > study.by_lifetime(10).speedup
+        )
+
+    def test_labels(self, study):
+        assert study.by_lifetime(None).label == "persistent"
+        assert study.by_lifetime(10).label == "10"
+
+    def test_degradation_predicate(self):
+        study = ChurnStudy()
+        from repro.experiments.churn_study import ChurnPoint
+
+        def point(lifetime, speedup):
+            return ChurnPoint(
+                mean_lifetime=lifetime,
+                connections_closed=0,
+                clustering_rounds=1,
+                baseline_remote=0.1,
+                clustered_remote=0.05,
+                speedup=speedup,
+                overhead_fraction=0.01,
+            )
+
+        study.points = [point(None, 0.2), point(50, 0.15), point(10, -0.1)]
+        assert study.gain_degrades_with_churn
+        study.points = [point(None, 0.1), point(50, 0.3)]
+        assert not study.gain_degrades_with_churn

@@ -1,0 +1,184 @@
+"""Failure-injection tests: the scheme under degraded conditions.
+
+The paper's scheme tolerates imperfect hardware (sampling skid), hash
+pressure (filter collisions) and adversarial thread behaviour (filter
+starvation).  These tests dial each of those up and check the system
+degrades the way the design predicts -- accuracy falls where it should,
+invariants never break, and the end-to-end pipeline keeps working or
+fails inert (no migration) rather than destructively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import IDX_LOCAL_L2, IDX_REMOTE_L2
+from repro.clustering import OnePassClusterer, ShMapConfig, ShMapTable
+from repro.pmu import RemoteAccessCaptureEngine
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+class TestHighSkid:
+    def _accuracy_at_skid(self, skid):
+        rng = np.random.default_rng(7)
+        engine = RemoteAccessCaptureEngine(
+            n_cpus=1,
+            rng=rng,
+            period=10,
+            period_jitter=0,
+            skid_probability=skid,
+        )
+        engine.start()
+        for i in range(50_000):
+            if rng.random() < 0.2:
+                engine.on_l1_miss(0, 0xA0000 + (i % 32) * 128, 1, IDX_REMOTE_L2, i)
+            else:
+                engine.on_l1_miss(0, 0x10000 + (i % 512) * 128, 1, IDX_LOCAL_L2, i)
+        return engine.stats.capture_accuracy
+
+    def test_accuracy_degrades_monotonically_with_skid(self):
+        accuracies = [self._accuracy_at_skid(s) for s in (0.0, 0.2, 0.6)]
+        assert accuracies[0] == 1.0
+        assert accuracies[0] > accuracies[1] > accuracies[2]
+
+    def test_clustering_survives_moderate_skid(self):
+        """Even at 20% skid (7x the realistic rate), cluster detection
+        still works end to end: the noise floor absorbs the bad samples."""
+        workload = ScoreboardMicrobenchmark(2, 8)
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=350,
+            seed=3,
+            measurement_start_fraction=0.55,
+        )
+        config.sampling_skid_probability = 0.2
+        result = run_simulation(workload, config)
+        assert result.n_clustering_rounds >= 1
+        event = result.clustering_events[-1]
+        big = [c for c in event.result.clusters if len(c) >= 2]
+        assert len(big) == 2
+        for members in big:
+            assert len({tid % 2 for tid in members}) == 1
+
+
+class TestFilterPressure:
+    def test_tiny_filter_loses_coverage_but_never_aliases(self):
+        """With 16 entries and hundreds of active lines, most samples are
+        dropped -- but every admitted sample maps to the single region
+        its entry was latched for (zero aliasing, the design guarantee)."""
+        config = ShMapConfig(n_entries=16)
+        table = ShMapTable(config)
+        rng = np.random.default_rng(0)
+        for _ in range(5_000):
+            tid = int(rng.integers(0, 8))
+            line = int(rng.integers(0, 1_000))
+            table.observe(tid, line * 128)
+        assert table.filter.rejected > 0
+        assert table.filter.occupancy == 1.0
+        for entry in range(16):
+            region = table.filter.region_at(entry)
+            assert region is not None
+            assert config.entry_of(region) == entry
+
+    def test_greedy_thread_cannot_starve_others(self):
+        """Section 4.3.1's pathological case: one thread floods the
+        filter first.  The per-thread cap leaves entries for the rest."""
+        config = ShMapConfig(n_entries=64, max_filter_entries_per_thread=8)
+        table = ShMapTable(config)
+        # The greedy thread touches hundreds of distinct lines first.
+        for line in range(500):
+            table.observe(0, line * 128)
+        assert table.filter.grabs_of(0) == 8
+        # Latecomers can still latch fresh entries.
+        admitted = 0
+        for line in range(1_000, 1_060):
+            if table.observe(1, line * 128) is not None:
+                admitted += 1
+        assert admitted >= 8
+
+    def test_saturated_counters_do_not_break_similarity(self):
+        """Two threads hammering one line saturate at 255; similarity
+        stays finite and the pair still clusters."""
+        table = ShMapTable()
+        for _ in range(10_000):
+            table.observe(1, 0)
+            table.observe(2, 0)
+        vectors = table.vectors()
+        assert vectors[1].max() == 255
+        result = OnePassClusterer(
+            similarity_threshold=100.0,
+            noise_floor=2,
+            remove_global_entries=False,
+        ).cluster(vectors)
+        assert result.n_clusters == 1
+        assert sorted(result.clusters[0]) == [1, 2]
+
+
+class TestNonSharingWorkload:
+    def test_controller_stays_dormant_without_sharing(self):
+        """A workload with (almost) no cross-thread sharing never
+        crosses the activation threshold: no detection, no overhead,
+        no migration."""
+        workload = ScoreboardMicrobenchmark(
+            n_scoreboards=16, threads_per_scoreboard=1, scoreboard_share=0.05
+        )
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=250,
+            seed=3,
+            measurement_start_fraction=0.4,
+        )
+        result = run_simulation(workload, config)
+        assert result.n_clustering_rounds == 0
+        assert result.sampling_overhead_cycles == 0
+
+    def test_single_chip_machine_never_has_remote_traffic(self):
+        """On one chip there is no 'remote': the scheme must be inert."""
+        from repro.topology import custom_machine
+
+        workload = ScoreboardMicrobenchmark(2, 4)
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=200,
+            seed=3,
+            measurement_start_fraction=0.4,
+        )
+        config.machine_spec = custom_machine(n_chips=1, cache_scale=16)
+        result = run_simulation(workload, config)
+        assert result.remote_stall_fraction == 0.0
+        assert result.n_clustering_rounds == 0
+
+
+class TestOversubscription:
+    def test_many_more_threads_than_cpus(self):
+        """64 threads on 8 cpus: the scheme still detects and the
+        per-chip loads stay balanced after migration."""
+        workload = ScoreboardMicrobenchmark(
+            n_scoreboards=4, threads_per_scoreboard=16, scoreboard_share=0.2
+        )
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=400,
+            seed=3,
+            measurement_start_fraction=0.6,
+        )
+        result = run_simulation(workload, config)
+        assert result.n_clustering_rounds >= 1
+        chips = {}
+        for t in result.thread_summaries:
+            chips[t.final_chip] = chips.get(t.final_chip, 0) + 1
+        assert max(chips.values()) - min(chips.values()) <= 8  # tolerance band
+        # Sharing still mostly consolidated.
+        baseline = run_simulation(
+            ScoreboardMicrobenchmark(
+                n_scoreboards=4, threads_per_scoreboard=16, scoreboard_share=0.2
+            ),
+            SimConfig(
+                policy=PlacementPolicy.DEFAULT_LINUX,
+                n_rounds=400,
+                seed=3,
+                measurement_start_fraction=0.6,
+            ),
+        )
+        assert result.remote_stall_fraction < baseline.remote_stall_fraction

@@ -1,0 +1,100 @@
+"""Tests for memory-reference batches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import AccessBatch, make_batch
+
+
+def batch_of(addresses, writes=None, instructions=None):
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(len(addresses), dtype=bool)
+    return AccessBatch(
+        addresses=addresses,
+        is_write=np.asarray(writes, dtype=bool),
+        instructions=instructions if instructions is not None else len(addresses) * 4,
+    )
+
+
+class TestAccessBatch:
+    def test_len(self):
+        assert len(batch_of([1, 2, 3])) == 3
+
+    def test_parallel_array_validation(self):
+        with pytest.raises(ValueError):
+            AccessBatch(
+                addresses=np.zeros(3, dtype=np.int64),
+                is_write=np.zeros(2, dtype=bool),
+                instructions=12,
+            )
+
+    def test_instructions_at_least_references(self):
+        with pytest.raises(ValueError):
+            batch_of([1, 2, 3], instructions=2)
+
+    def test_concatenate_preserves_order(self):
+        joined = AccessBatch.concatenate([batch_of([1, 2]), batch_of([3])])
+        assert joined.addresses.tolist() == [1, 2, 3]
+        assert joined.instructions == 12
+
+    def test_concatenate_empty_list(self):
+        joined = AccessBatch.concatenate([])
+        assert len(joined) == 0
+        assert joined.instructions == 0
+
+    def test_interleave_is_permutation(self):
+        rng = np.random.default_rng(0)
+        a = batch_of(list(range(100)))
+        b = batch_of(list(range(100, 150)))
+        mixed = AccessBatch.interleave(rng, [a, b])
+        assert sorted(mixed.addresses.tolist()) == list(range(150))
+        assert mixed.instructions == a.instructions + b.instructions
+
+    def test_interleave_keeps_write_flags_paired(self):
+        rng = np.random.default_rng(0)
+        a = batch_of([1] * 50, writes=[True] * 50)
+        b = batch_of([2] * 50, writes=[False] * 50)
+        mixed = AccessBatch.interleave(rng, [a, b])
+        for address, write in zip(mixed.addresses, mixed.is_write):
+            assert bool(write) == (address == 1)
+
+    def test_interleave_empty(self):
+        rng = np.random.default_rng(0)
+        mixed = AccessBatch.interleave(rng, [])
+        assert len(mixed) == 0
+
+
+class TestMakeBatch:
+    def test_write_fraction_respected(self):
+        rng = np.random.default_rng(1)
+        batch = make_batch(np.arange(10_000, dtype=np.int64), 0.3, rng)
+        assert batch.is_write.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_instructions_scaling(self):
+        rng = np.random.default_rng(1)
+        batch = make_batch(
+            np.arange(100, dtype=np.int64), 0.0, rng,
+            instructions_per_reference=7,
+        )
+        assert batch.instructions == 700
+
+    def test_invalid_write_fraction(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            make_batch(np.arange(10, dtype=np.int64), 1.5, rng)
+
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_shape_invariants(self, n, fraction, seed):
+        rng = np.random.default_rng(seed)
+        batch = make_batch(np.arange(n, dtype=np.int64), fraction, rng)
+        assert len(batch) == n
+        assert batch.addresses.shape == batch.is_write.shape
+        assert batch.instructions == n * 4

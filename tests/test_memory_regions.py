@@ -1,0 +1,110 @@
+"""Tests for virtual-memory regions and the region allocator."""
+
+import numpy as np
+import pytest
+
+from repro.memory import Region, RegionAllocator, SharingKind
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", base=0x1000, size=0x100, kind=SharingKind.PRIVATE)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert not region.contains(0xFFF)
+
+    def test_end(self):
+        region = Region("r", base=0x1000, size=0x100, kind=SharingKind.PRIVATE)
+        assert region.end == 0x1100
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Region("r", base=0, size=0, kind=SharingKind.PRIVATE)
+        with pytest.raises(ValueError):
+            Region("r", base=-8, size=64, kind=SharingKind.PRIVATE)
+
+    def test_sample_addresses_stay_inside(self):
+        rng = np.random.default_rng(7)
+        region = Region("r", base=0x4000, size=4096, kind=SharingKind.CLUSTER, group=1)
+        addrs = region.sample_addresses(rng, 1000)
+        assert addrs.dtype == np.int64
+        assert (addrs >= region.base).all()
+        assert (addrs < region.end).all()
+
+    def test_sample_addresses_alignment(self):
+        rng = np.random.default_rng(7)
+        region = Region("r", base=0x4000, size=4096, kind=SharingKind.PRIVATE)
+        addrs = region.sample_addresses(rng, 500, alignment=16)
+        assert (addrs % 16 == 0).all()
+
+    def test_hot_fraction_restricts_span(self):
+        rng = np.random.default_rng(7)
+        region = Region("r", base=0, size=1 << 20, kind=SharingKind.PRIVATE)
+        addrs = region.sample_addresses(rng, 2000, hot_fraction=0.25)
+        assert addrs.max() < (1 << 20) // 4 + 64
+
+    def test_hot_fraction_validation(self):
+        rng = np.random.default_rng(7)
+        region = Region("r", base=0, size=4096, kind=SharingKind.PRIVATE)
+        with pytest.raises(ValueError):
+            region.sample_addresses(rng, 10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            region.sample_addresses(rng, 10, hot_fraction=1.5)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        region = Region("r", base=0, size=4096, kind=SharingKind.PRIVATE)
+        a = region.sample_addresses(np.random.default_rng(3), 100)
+        b = region.sample_addresses(np.random.default_rng(3), 100)
+        assert (a == b).all()
+
+
+class TestRegionAllocator:
+    def test_allocations_are_line_aligned(self):
+        alloc = RegionAllocator(line_bytes=128)
+        r1 = alloc.allocate("a", 1000, SharingKind.PRIVATE)
+        r2 = alloc.allocate("b", 1000, SharingKind.PRIVATE)
+        assert r1.base % 128 == 0
+        assert r2.base % 128 == 0
+
+    def test_no_two_regions_share_a_cache_line(self):
+        alloc = RegionAllocator(line_bytes=128)
+        regions = [
+            alloc.allocate(f"r{i}", 100, SharingKind.PRIVATE) for i in range(20)
+        ]
+        lines = set()
+        for region in regions:
+            span = set(range(region.base // 128, (region.end + 127) // 128))
+            assert not (span & lines), f"{region.name} shares a line"
+            lines |= span
+
+    def test_guard_gap_separates_regions(self):
+        alloc = RegionAllocator(line_bytes=128, guard_lines=8)
+        r1 = alloc.allocate("a", 128, SharingKind.PRIVATE)
+        r2 = alloc.allocate("b", 128, SharingKind.PRIVATE)
+        assert r2.base - r1.end >= 8 * 128
+
+    def test_find(self):
+        alloc = RegionAllocator()
+        r1 = alloc.allocate("a", 4096, SharingKind.GLOBAL)
+        r2 = alloc.allocate("b", 4096, SharingKind.CLUSTER, group=2)
+        assert alloc.find(r1.base + 100) is r1
+        assert alloc.find(r2.base) is r2
+        assert alloc.find(r2.end + 10**9) is None
+
+    def test_group_label_round_trips(self):
+        alloc = RegionAllocator()
+        region = alloc.allocate("wh3", 4096, SharingKind.CLUSTER, group=3)
+        assert region.group == 3
+        assert region.kind == SharingKind.CLUSTER
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            RegionAllocator(line_bytes=100)
+
+    def test_regions_list_is_a_copy(self):
+        alloc = RegionAllocator()
+        alloc.allocate("a", 128, SharingKind.PRIVATE)
+        listing = alloc.regions
+        listing.clear()
+        assert len(alloc.regions) == 1

@@ -1,0 +1,155 @@
+"""Tests for multiprogrammed workloads and per-process sharing detection."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ShMapConfig, ShMapRegistry
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import (
+    MultiProgrammedWorkload,
+    ScoreboardMicrobenchmark,
+    SpecJbb,
+)
+from repro.workloads.multiprogram import PROCESS_ADDRESS_STRIDE
+
+
+def two_process_workload():
+    return MultiProgrammedWorkload(
+        [
+            ScoreboardMicrobenchmark(n_scoreboards=2, threads_per_scoreboard=4),
+            ScoreboardMicrobenchmark(n_scoreboards=2, threads_per_scoreboard=4),
+        ]
+    )
+
+
+class TestComposition:
+    def test_thread_population(self):
+        workload = two_process_workload()
+        assert workload.n_threads == 16
+        assert {t.process_id for t in workload.threads} == {0, 1}
+
+    def test_tids_are_globally_unique(self):
+        workload = two_process_workload()
+        tids = [t.tid for t in workload.threads]
+        assert tids == list(range(16))
+
+    def test_groups_renumbered_across_processes(self):
+        workload = two_process_workload()
+        groups_p0 = {
+            t.sharing_group for t in workload.threads if t.process_id == 0
+        }
+        groups_p1 = {
+            t.sharing_group for t in workload.threads if t.process_id == 1
+        }
+        assert groups_p0 == {0, 1}
+        assert groups_p1 == {2, 3}
+        assert workload.n_groups() == 4
+
+    def test_ungrouped_threads_stay_ungrouped(self):
+        workload = MultiProgrammedWorkload(
+            [SpecJbb(n_warehouses=2, threads_per_warehouse=2, n_gc_threads=1),
+             SpecJbb(n_warehouses=2, threads_per_warehouse=2, n_gc_threads=1)]
+        )
+        gc_groups = {
+            t.sharing_group for t in workload.threads if "gc" in t.name
+        }
+        assert gc_groups == {-1}
+
+    def test_address_spaces_are_disjoint(self):
+        workload = two_process_workload()
+        rng = np.random.default_rng(0)
+        p0_thread = next(t for t in workload.threads if t.process_id == 0)
+        p1_thread = next(t for t in workload.threads if t.process_id == 1)
+        batch0 = workload.generate_batch(p0_thread, rng, 500)
+        batch1 = workload.generate_batch(p1_thread, rng, 500)
+        assert batch0.addresses.max() < PROCESS_ADDRESS_STRIDE
+        assert batch1.addresses.min() >= PROCESS_ADDRESS_STRIDE
+
+    def test_rejects_empty_model_list(self):
+        with pytest.raises(ValueError):
+            MultiProgrammedWorkload([])
+
+    def test_process_of(self):
+        workload = two_process_workload()
+        assert workload.process_of(0) == 0
+        assert workload.process_of(15) == 1
+
+
+class TestShMapRegistry:
+    def test_separate_filters_per_process(self):
+        """The same virtual line in two processes must latch two separate
+        filter entries -- one per process -- never conflating them."""
+        registry = ShMapRegistry(ShMapConfig())
+        registry.observe(0, tid=1, address=128 * 100)
+        registry.observe(1, tid=2, address=128 * 100)
+        assert registry.processes() == [0, 1]
+        assert registry.table_for(0).tids() == [1]
+        assert registry.table_for(1).tids() == [2]
+
+    def test_combined_views(self):
+        registry = ShMapRegistry(ShMapConfig())
+        registry.observe(0, tid=1, address=0)
+        registry.observe(1, tid=5, address=0)
+        assert registry.combined_tids() == [1, 5]
+        assert registry.combined_matrix().shape == (2, 256)
+        assert registry.total_samples == 2
+
+    def test_reset_clears_all_processes(self):
+        registry = ShMapRegistry(ShMapConfig())
+        registry.observe(0, tid=1, address=0)
+        registry.observe(3, tid=2, address=0)
+        registry.reset()
+        assert registry.total_samples == 0
+        assert registry.combined_tids() == []
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def clustered_result(self):
+        workload = two_process_workload()
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=400,
+            seed=3,
+            measurement_start_fraction=0.55,
+        )
+        return workload, run_simulation(workload, config)
+
+    def test_clusters_never_span_processes(self, clustered_result):
+        workload, result = clustered_result
+        assert result.n_clustering_rounds >= 1
+        event = result.clustering_events[-1]
+        for members in event.result.clusters:
+            processes = {workload.process_of(tid) for tid in members}
+            assert len(processes) == 1
+
+    def test_all_four_groups_detected(self, clustered_result):
+        workload, result = clustered_result
+        event = result.clustering_events[-1]
+        big = [c for c in event.result.clusters if len(c) >= 2]
+        assert len(big) == 4
+        truth = workload.ground_truth()
+        for members in big:
+            assert len({truth[tid] for tid in members}) == 1
+
+    def test_remote_stalls_reduced_vs_default(self, clustered_result):
+        workload, result = clustered_result
+        baseline = run_simulation(
+            two_process_workload(),
+            SimConfig(
+                policy=PlacementPolicy.DEFAULT_LINUX,
+                n_rounds=400,
+                seed=3,
+                measurement_start_fraction=0.55,
+            ),
+        )
+        assert result.remote_stall_fraction < 0.5 * baseline.remote_stall_fraction
+
+    def test_shmap_snapshot_covers_both_processes(self, clustered_result):
+        workload, result = clustered_result
+        assert result.shmap_matrix is not None
+        sampled_processes = {
+            workload.process_of(tid) for tid in result.shmap_tids
+        }
+        assert sampled_processes == {0, 1}

@@ -1,0 +1,185 @@
+"""Tests for the Section 5.2.1 remote-access capture technique."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import IDX_LOCAL_L2, IDX_MEMORY, IDX_REMOTE_L2, IDX_REMOTE_L3
+from repro.pmu import ContinuousSamplingRegister, RemoteAccessCaptureEngine
+
+
+def make_engine(collected, **kwargs):
+    defaults = dict(
+        n_cpus=8,
+        rng=np.random.default_rng(11),
+        period=10,
+        period_jitter=2,
+        skid_probability=0.03,
+        consumer=collected.append,
+    )
+    defaults.update(kwargs)
+    return RemoteAccessCaptureEngine(**defaults)
+
+
+class TestSamplingRegister:
+    def test_latches_last_miss(self):
+        reg = ContinuousSamplingRegister()
+        reg.update(0x100, tid=1, source_index=IDX_LOCAL_L2, cycle=5)
+        reg.update(0x200, tid=2, source_index=IDX_REMOTE_L2, cycle=9)
+        sample = reg.read()
+        assert sample.address == 0x200
+        assert sample.tid == 2
+
+    def test_reads_none_when_empty(self):
+        assert ContinuousSamplingRegister().read() is None
+
+    def test_counts_updates(self):
+        reg = ContinuousSamplingRegister()
+        for i in range(5):
+            reg.update(i, tid=0, source_index=IDX_MEMORY, cycle=i)
+        assert reg.updates == 5
+
+
+class TestCaptureEngine:
+    def test_disabled_engine_is_free(self):
+        collected = []
+        engine = make_engine(collected)
+        cost = engine.on_l1_miss(0, 0x100, 1, IDX_REMOTE_L2, 0)
+        assert cost == 0
+        assert collected == []
+
+    def test_samples_roughly_one_in_n(self):
+        collected = []
+        engine = make_engine(collected, period=10, period_jitter=0, skid_probability=0.0)
+        engine.start()
+        for i in range(10_000):
+            engine.on_l1_miss(0, 0x1000 + i * 128, 1, IDX_REMOTE_L2, i)
+        assert len(collected) == 1000
+        assert engine.stats.effective_sampling_rate == pytest.approx(0.1)
+
+    def test_jittered_period_still_averages_to_base(self):
+        collected = []
+        engine = make_engine(collected, period=10, period_jitter=2, skid_probability=0.0)
+        engine.start()
+        for i in range(20_000):
+            engine.on_l1_miss(0, 0x1000 + i * 128, 1, IDX_REMOTE_L2, i)
+        assert len(collected) == pytest.approx(2000, rel=0.05)
+
+    def test_local_misses_never_trigger_samples(self):
+        collected = []
+        engine = make_engine(collected, skid_probability=0.0)
+        engine.start()
+        for i in range(5000):
+            engine.on_l1_miss(0, 0x1000 + i * 128, 1, IDX_LOCAL_L2, i)
+        assert collected == []
+        assert engine.stats.remote_accesses_seen == 0
+
+    def test_noise_rejection_despite_local_miss_flood(self):
+        """The paper's key claim: even when local misses dominate the L1
+        miss stream, samples taken on remote-counter overflow are almost
+        all true remote accesses."""
+        rng = np.random.default_rng(3)
+        collected = []
+        engine = make_engine(collected, period=10, skid_probability=0.03)
+        engine.start()
+        for i in range(100_000):
+            if rng.random() < 0.2:  # 20% remote, 80% local-miss noise
+                engine.on_l1_miss(0, 0xA000_0000 + (i % 64) * 128, 1, IDX_REMOTE_L2, i)
+            else:
+                engine.on_l1_miss(0, 0x1000_0000 + (i % 512) * 128, 1, IDX_LOCAL_L2, i)
+        assert len(collected) > 1000
+        assert engine.stats.capture_accuracy > 0.93
+
+    def test_naive_sampling_would_be_noisy(self):
+        """Counter-check: reading the register at *random* times (no
+        overflow gating) mostly yields local misses -- the problem the
+        Section 5.2.1 technique exists to solve."""
+        rng = np.random.default_rng(4)
+        reg = ContinuousSamplingRegister()
+        remote_reads = 0
+        reads = 0
+        for i in range(50_000):
+            source = IDX_REMOTE_L2 if rng.random() < 0.2 else IDX_LOCAL_L2
+            reg.update(i * 128, tid=0, source_index=source, cycle=i)
+            if rng.random() < 0.05:
+                reads += 1
+                if reg.read().source_index in (IDX_REMOTE_L2, IDX_REMOTE_L3):
+                    remote_reads += 1
+        assert reads > 1000
+        assert remote_reads / reads < 0.3  # noise level ~ remote share
+
+    def test_skid_delivers_next_miss(self):
+        collected = []
+        engine = make_engine(
+            collected, period=5, period_jitter=0, skid_probability=0.999999
+        )
+        engine.start()
+        # 5 remote misses trigger an overflow, but the skid defers the
+        # read; the next (local) miss is what gets sampled.
+        for i in range(5):
+            engine.on_l1_miss(0, 0x1000 + i * 128, 1, IDX_REMOTE_L2, i)
+        assert collected == []
+        engine.on_l1_miss(0, 0xBAD0, 1, IDX_LOCAL_L2, 10)
+        assert len(collected) == 1
+        assert collected[0].address == 0xBAD0
+        assert engine.stats.capture_accuracy == 0.0
+
+    def test_overhead_charged_per_sample(self):
+        collected = []
+        engine = make_engine(
+            collected, period=5, period_jitter=0, skid_probability=0.0,
+            sample_cost_cycles=1000,
+        )
+        engine.start()
+        costs = []
+        for i in range(25):
+            costs.append(engine.on_l1_miss(0, 0x1000 + i * 128, 1, IDX_REMOTE_L2, i))
+        assert sum(costs) == 5 * 1000
+        assert engine.stats.overhead_cycles == 5 * 1000
+
+    def test_per_cpu_overhead_attribution(self):
+        collected = []
+        engine = make_engine(
+            collected, period=5, period_jitter=0, skid_probability=0.0
+        )
+        engine.start()
+        for i in range(25):
+            engine.on_l1_miss(3, 0x1000 + i * 128, 1, IDX_REMOTE_L2, i)
+        assert engine.stats.per_cpu_overhead[3] > 0
+        assert engine.stats.per_cpu_overhead[0] == 0
+
+    def test_stop_clears_pending_skid(self):
+        collected = []
+        engine = make_engine(
+            collected, period=5, period_jitter=0, skid_probability=0.999999
+        )
+        engine.start()
+        for i in range(5):
+            engine.on_l1_miss(0, 0x1000, 1, IDX_REMOTE_L2, i)
+        engine.stop()
+        engine.start()
+        engine.on_l1_miss(0, 0x2000, 1, IDX_LOCAL_L2, 10)
+        assert collected == []  # the deferred read died with stop()
+
+    def test_set_period(self):
+        collected = []
+        engine = make_engine(collected, period=10, period_jitter=0, skid_probability=0.0)
+        engine.set_period(2)
+        engine.start()
+        for i in range(100):
+            engine.on_l1_miss(0, 0x1000 + i * 128, 1, IDX_REMOTE_L3, i)
+        # New period applies from the first reprogram after an overflow of
+        # the old period: at least 100/10 and at most 100/2 samples.
+        assert 10 <= len(collected) <= 50
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(period=0),
+            dict(skid_probability=1.0),
+            dict(skid_probability=-0.1),
+            dict(period=5, period_jitter=5),
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make_engine([], **kwargs)

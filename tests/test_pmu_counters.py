@@ -1,0 +1,143 @@
+"""Tests for hardware performance counters and overflow exceptions."""
+
+import pytest
+
+from repro.pmu import HardwareCounter, PmuContext, PmuEvent
+
+
+class TestHardwareCounter:
+    def test_counts(self):
+        counter = HardwareCounter(PmuEvent.CYCLES)
+        counter.add(5)
+        counter.add(3)
+        assert counter.value == 8
+        assert counter.total == 8
+
+    def test_ignores_non_positive(self):
+        counter = HardwareCounter(PmuEvent.CYCLES)
+        counter.add(0)
+        counter.add(-4)
+        assert counter.total == 0
+
+    def test_disabled_counter_does_not_count(self):
+        counter = HardwareCounter(PmuEvent.CYCLES)
+        counter.enabled = False
+        counter.add(10)
+        assert counter.total == 0
+
+    def test_overflow_fires_handler(self):
+        fired = []
+        counter = HardwareCounter(PmuEvent.L1_DCACHE_MISS)
+        counter.set_overflow(10, lambda c: fired.append(c.total))
+        counter.add(9)
+        assert fired == []
+        counter.add(1)
+        assert fired == [10]
+        assert counter.value == 0  # wrapped
+
+    def test_overflow_fires_once_per_period(self):
+        fired = []
+        counter = HardwareCounter(PmuEvent.L1_DCACHE_MISS)
+        counter.set_overflow(5, lambda c: fired.append(1))
+        for _ in range(23):
+            counter.add(1)
+        assert len(fired) == 4
+        assert counter.value == 3
+
+    def test_bulk_add_fires_multiple_overflows(self):
+        fired = []
+        counter = HardwareCounter(PmuEvent.L1_DCACHE_MISS)
+        counter.set_overflow(5, lambda c: fired.append(1))
+        counter.add(17)
+        assert len(fired) == 3
+        assert counter.value == 2
+
+    def test_handler_may_reprogram_threshold(self):
+        """The capture engine re-jitters the period inside the handler."""
+        periods = [3, 7]
+        fired = []
+
+        def handler(counter):
+            fired.append(counter.total)
+            if periods:
+                counter.set_overflow(periods.pop(0), handler)
+
+        counter = HardwareCounter(PmuEvent.L1_DCACHE_MISS)
+        counter.set_overflow(5, handler)
+        for _ in range(16):
+            counter.add(1)
+        # Overflows at 5 (then period 3), at 8 (then period 7), at 15.
+        assert fired == [5, 8, 15]
+
+    def test_handler_may_clear_overflow(self):
+        def handler(counter):
+            counter.clear_overflow()
+
+        counter = HardwareCounter(PmuEvent.L1_DCACHE_MISS)
+        counter.set_overflow(5, handler)
+        counter.add(20)
+        assert counter.overflow_threshold is None
+        assert counter.total == 20
+
+    def test_rejects_bad_threshold(self):
+        counter = HardwareCounter(PmuEvent.CYCLES)
+        with pytest.raises(ValueError):
+            counter.set_overflow(0, lambda c: None)
+
+    def test_reset(self):
+        counter = HardwareCounter(PmuEvent.CYCLES)
+        counter.add(100)
+        counter.reset()
+        assert counter.value == 0
+        assert counter.total == 0
+
+
+class TestPmuContext:
+    def test_fixed_counters_preprogrammed(self):
+        pmu = PmuContext(cpu_id=0)
+        assert pmu.counter(PmuEvent.CYCLES) is not None
+        assert pmu.counter(PmuEvent.INSTRUCTIONS_COMPLETED) is not None
+
+    def test_program_and_count(self):
+        pmu = PmuContext(cpu_id=0)
+        pmu.program(PmuEvent.L1_DCACHE_MISS)
+        pmu.count(PmuEvent.L1_DCACHE_MISS, 3)
+        assert pmu.read(PmuEvent.L1_DCACHE_MISS) == 3
+
+    def test_unprogrammed_events_are_dropped(self):
+        pmu = PmuContext(cpu_id=0)
+        pmu.count(PmuEvent.BRANCH_MISPREDICT, 10)
+        assert pmu.read(PmuEvent.BRANCH_MISPREDICT) == 0
+
+    def test_physical_counter_limit_enforced(self):
+        """The paper's Section 3 constraint: HPCs 'do not provide enough
+        counters to simultaneously monitor the many different types of
+        events' -- the model must enforce the scarcity."""
+        pmu = PmuContext(cpu_id=0, n_programmable=2)
+        pmu.program(PmuEvent.L1_DCACHE_MISS)
+        pmu.program(PmuEvent.DATA_FROM_REMOTE_L2)
+        with pytest.raises(RuntimeError):
+            pmu.program(PmuEvent.DATA_FROM_REMOTE_L3)
+
+    def test_program_is_idempotent(self):
+        pmu = PmuContext(cpu_id=0, n_programmable=1)
+        c1 = pmu.program(PmuEvent.L1_DCACHE_MISS)
+        c2 = pmu.program(PmuEvent.L1_DCACHE_MISS)
+        assert c1 is c2
+
+    def test_release_frees_a_slot(self):
+        pmu = PmuContext(cpu_id=0, n_programmable=1)
+        pmu.program(PmuEvent.L1_DCACHE_MISS)
+        pmu.release(PmuEvent.L1_DCACHE_MISS)
+        pmu.program(PmuEvent.DATA_FROM_REMOTE_L2)  # no raise
+
+    def test_cannot_release_fixed(self):
+        pmu = PmuContext(cpu_id=0)
+        with pytest.raises(ValueError):
+            pmu.release(PmuEvent.CYCLES)
+
+    def test_reset(self):
+        pmu = PmuContext(cpu_id=0)
+        pmu.count(PmuEvent.CYCLES, 100)
+        pmu.reset()
+        assert pmu.read(PmuEvent.CYCLES) == 0

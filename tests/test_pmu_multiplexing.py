@@ -1,0 +1,107 @@
+"""Tests for fine-grained HPC multiplexing (Azimi et al. [2])."""
+
+import numpy as np
+import pytest
+
+from repro.pmu import MultiplexedCounterSet, PmuEvent, plan_groups
+
+EVENTS = [
+    PmuEvent.L1_DCACHE_MISS,
+    PmuEvent.DATA_FROM_LOCAL_L2,
+    PmuEvent.DATA_FROM_LOCAL_L3,
+    PmuEvent.DATA_FROM_REMOTE_L2,
+    PmuEvent.DATA_FROM_REMOTE_L3,
+    PmuEvent.DATA_FROM_MEMORY,
+    PmuEvent.BRANCH_MISPREDICT,
+    PmuEvent.TLB_MISS,
+]
+
+
+class TestGrouping:
+    def test_groups_respect_physical_limit(self):
+        groups = plan_groups(EVENTS, n_physical=3)
+        assert all(len(g) <= 3 for g in groups)
+        assert sum(len(g) for g in groups) == len(EVENTS)
+
+    def test_mux_set_group_count(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4)
+        assert mux.n_groups == 2
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ValueError):
+            MultiplexedCounterSet([], n_physical=4)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            MultiplexedCounterSet(
+                [PmuEvent.TLB_MISS, PmuEvent.TLB_MISS], n_physical=4
+            )
+
+    def test_rejects_zero_counters(self):
+        with pytest.raises(ValueError):
+            MultiplexedCounterSet(EVENTS, n_physical=0)
+
+
+class TestRotation:
+    def test_only_active_group_records(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4, slice_cycles=100)
+        # Group 0 is active at time 0.
+        mux.record(PmuEvent.L1_DCACHE_MISS)  # group 0 member
+        mux.record(PmuEvent.BRANCH_MISPREDICT)  # group 1 member
+        assert mux.observed(PmuEvent.L1_DCACHE_MISS) == 1
+        assert mux.observed(PmuEvent.BRANCH_MISPREDICT) == 0
+
+    def test_advance_rotates_groups(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4, slice_cycles=100)
+        assert PmuEvent.L1_DCACHE_MISS in mux.active_events
+        mux.advance(100)
+        assert PmuEvent.BRANCH_MISPREDICT in mux.active_events
+        mux.advance(100)
+        assert PmuEvent.L1_DCACHE_MISS in mux.active_events
+
+    def test_duty_cycle_is_even_after_full_rotations(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4, slice_cycles=100)
+        mux.advance(1000)  # ten slices, five each
+        assert mux.duty_cycle(PmuEvent.L1_DCACHE_MISS) == pytest.approx(0.5)
+        assert mux.duty_cycle(PmuEvent.TLB_MISS) == pytest.approx(0.5)
+
+    def test_rejects_negative_advance(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4)
+        with pytest.raises(ValueError):
+            mux.advance(-1)
+
+
+class TestEstimation:
+    def test_extrapolation_is_unbiased_for_uniform_traffic(self):
+        """A steady event stream must be estimated within a few percent,
+        which is the property the stall breakdown relies on."""
+        rng = np.random.default_rng(1)
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4, slice_cycles=50)
+        true_counts = {event: 0 for event in EVENTS}
+        for _ in range(20_000):
+            event = EVENTS[rng.integers(0, len(EVENTS))]
+            mux.record(event)
+            true_counts[event] += 1
+            mux.advance(1)
+        for event in EVENTS:
+            estimate = mux.estimate(event)
+            assert estimate == pytest.approx(true_counts[event], rel=0.15)
+
+    def test_estimate_zero_before_any_time(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4)
+        assert mux.estimate(PmuEvent.TLB_MISS) == 0.0
+
+    def test_single_group_needs_no_extrapolation(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=len(EVENTS))
+        for _ in range(50):
+            mux.record(PmuEvent.TLB_MISS)
+            mux.advance(1)
+        assert mux.estimate(PmuEvent.TLB_MISS) == pytest.approx(50)
+
+    def test_reset(self):
+        mux = MultiplexedCounterSet(EVENTS, n_physical=4)
+        mux.record(PmuEvent.L1_DCACHE_MISS)
+        mux.advance(500)
+        mux.reset()
+        assert mux.observed(PmuEvent.L1_DCACHE_MISS) == 0
+        assert mux.estimate(PmuEvent.L1_DCACHE_MISS) == 0.0

@@ -1,0 +1,112 @@
+"""Tests for the CPI stall-breakdown accumulator (Figure 3 machinery)."""
+
+import pytest
+
+from repro.cache.stats import IDX_LOCAL_L2, IDX_MEMORY, IDX_REMOTE_L2
+from repro.pmu import StallBreakdown, StallCause
+
+
+class TestCharging:
+    def test_completion_and_instructions(self):
+        sb = StallBreakdown(n_cpus=2)
+        sb.charge_completion(0, cycles=100, instructions=100)
+        snap = sb.snapshot()
+        assert snap.fraction(StallCause.COMPLETION) == 1.0
+        assert snap.instructions == 100
+
+    def test_dcache_charge_maps_source_to_cause(self):
+        sb = StallBreakdown(n_cpus=1)
+        sb.charge_dcache(0, IDX_REMOTE_L2, 118)
+        sb.charge_dcache(0, IDX_LOCAL_L2, 12)
+        snap = sb.snapshot()
+        d = snap.as_dict()
+        assert d[StallCause.DCACHE_REMOTE_L2] == 118
+        assert d[StallCause.DCACHE_LOCAL_L2] == 12
+
+    def test_other_causes(self):
+        sb = StallBreakdown(n_cpus=1)
+        sb.charge_cause(0, StallCause.BRANCH_MISPREDICT, 40)
+        sb.charge_cause(0, StallCause.FIXED_POINT, 60)
+        snap = sb.snapshot()
+        assert snap.total_cycles == 100
+        assert snap.fraction(StallCause.BRANCH_MISPREDICT) == pytest.approx(0.4)
+
+
+class TestFractions:
+    def test_remote_stall_fraction(self):
+        sb = StallBreakdown(n_cpus=1)
+        sb.charge_completion(0, 700, 700)
+        sb.charge_dcache(0, IDX_REMOTE_L2, 200)
+        sb.charge_dcache(0, IDX_LOCAL_L2, 100)
+        snap = sb.snapshot()
+        assert snap.remote_stall_fraction == pytest.approx(0.2)
+
+    def test_dcache_stall_fraction(self):
+        sb = StallBreakdown(n_cpus=1)
+        sb.charge_completion(0, 500, 500)
+        sb.charge_dcache(0, IDX_MEMORY, 300)
+        sb.charge_dcache(0, IDX_REMOTE_L2, 200)
+        snap = sb.snapshot()
+        assert snap.dcache_stall_fraction == pytest.approx(0.5)
+
+    def test_empty_breakdown_fractions_are_zero(self):
+        snap = StallBreakdown(n_cpus=4).snapshot()
+        assert snap.remote_stall_fraction == 0.0
+        assert snap.cpi == 0.0
+
+    def test_cpi(self):
+        sb = StallBreakdown(n_cpus=1)
+        sb.charge_completion(0, 100, 100)
+        sb.charge_dcache(0, IDX_MEMORY, 300)
+        assert sb.snapshot().cpi == pytest.approx(4.0)
+
+
+class TestWindows:
+    def test_delta_isolates_the_window(self):
+        """The activation monitor uses snapshot deltas so that an early
+        low-sharing phase cannot mask a later high-sharing phase."""
+        sb = StallBreakdown(n_cpus=1)
+        sb.charge_completion(0, 1000, 1000)  # quiet phase
+        first = sb.snapshot()
+        sb.charge_completion(0, 100, 100)
+        sb.charge_dcache(0, IDX_REMOTE_L2, 300)  # hot phase
+        delta = sb.snapshot().delta(first)
+        assert delta.remote_stall_fraction == pytest.approx(0.75)
+        # The cumulative view is diluted:
+        assert sb.snapshot().remote_stall_fraction < 0.25
+
+    def test_per_cpu_snapshot(self):
+        sb = StallBreakdown(n_cpus=2)
+        sb.charge_dcache(0, IDX_REMOTE_L2, 100)
+        sb.charge_completion(1, 100, 100)
+        assert sb.cpu_snapshot(0).remote_stall_fraction == 1.0
+        assert sb.cpu_snapshot(1).remote_stall_fraction == 0.0
+
+    def test_totals(self):
+        sb = StallBreakdown(n_cpus=2)
+        sb.charge_completion(0, 10, 10)
+        sb.charge_completion(1, 20, 20)
+        assert sb.total_cycles() == 30
+        assert sb.total_cycles(0) == 10
+        assert sb.total_instructions() == 30
+
+    def test_reset(self):
+        sb = StallBreakdown(n_cpus=2)
+        sb.charge_completion(0, 10, 10)
+        sb.reset()
+        assert sb.total_cycles() == 0
+        assert sb.total_instructions() == 0
+
+
+class TestCauseClassification:
+    def test_remote_causes(self):
+        assert StallCause.DCACHE_REMOTE_L2.is_remote_dcache
+        assert StallCause.DCACHE_REMOTE_L3.is_remote_dcache
+        assert not StallCause.DCACHE_MEMORY.is_remote_dcache
+        assert not StallCause.DCACHE_LOCAL_L2.is_remote_dcache
+
+    def test_dcache_causes(self):
+        assert StallCause.DCACHE_MEMORY.is_dcache
+        assert StallCause.DCACHE_LOCAL_L3.is_dcache
+        assert not StallCause.BRANCH_MISPREDICT.is_dcache
+        assert not StallCause.COMPLETION.is_dcache

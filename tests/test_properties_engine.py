@@ -1,0 +1,91 @@
+"""Property-based tests over simulation configurations.
+
+Hypothesis drives small end-to-end simulations across a space of
+configurations and checks accounting invariants that must hold for any
+of them: conservation of instructions and references, non-negative
+cycle charges, bounded fractions, monotone clocks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, Simulator
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+configs = st.fixed_dictionaries(
+    {
+        "policy": st.sampled_from(list(PlacementPolicy)),
+        "n_rounds": st.integers(min_value=5, max_value=40),
+        "quantum_references": st.integers(min_value=20, max_value=120),
+        "seed": st.integers(min_value=0, max_value=50),
+        "smt_contention_factor": st.sampled_from([1.0, 1.35, 2.0]),
+        "measurement_start_fraction": st.sampled_from([0.0, 0.25, 0.5]),
+    }
+)
+
+populations = st.tuples(
+    st.integers(min_value=1, max_value=3),  # scoreboards
+    st.integers(min_value=1, max_value=4),  # threads per scoreboard
+)
+
+
+class TestEngineInvariants:
+    @given(params=configs, population=populations)
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_conservation(self, params, population):
+        n_boards, per_board = population
+        workload = ScoreboardMicrobenchmark(n_boards, per_board)
+        config = SimConfig(**params)
+        simulator = Simulator(workload, config)
+        result = simulator.run()
+
+        # Instructions: per-thread totals match the machine-wide total.
+        per_thread = sum(t.instructions for t in result.thread_summaries)
+        assert per_thread == result.full_breakdown.instructions
+
+        # The window never exceeds the whole run.
+        assert (
+            result.window_breakdown.instructions
+            <= result.full_breakdown.instructions
+        )
+        assert result.window_elapsed_cycles <= result.elapsed_cycles + 1e-9
+
+        # Fractions bounded.
+        assert 0.0 <= result.remote_stall_fraction <= 1.0
+        fractions = result.stall_fractions()
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+        assert sum(fractions.values()) <= 1.0 + 1e-9
+
+        # Clocks are monotone and non-negative.
+        assert all(clock >= 0 for clock in simulator._clocks)
+
+        # CPI floor: at least the completion CPI.
+        if result.full_breakdown.instructions:
+            assert result.full_breakdown.cpi >= config.completion_cpi - 1e-9
+
+    @given(params=configs)
+    @settings(max_examples=25, deadline=None)
+    def test_throughput_non_negative_and_finite(self, params):
+        workload = ScoreboardMicrobenchmark(2, 2)
+        result = Simulator(workload, SimConfig(**params)).run()
+        assert result.throughput >= 0.0
+        assert result.throughput < 10.0  # 8 cpus, IPC <= 1 per cpu + slack
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        policy=st.sampled_from(list(PlacementPolicy)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_thread_cpu_assignments_valid(self, seed, policy):
+        workload = ScoreboardMicrobenchmark(2, 3)
+        config = SimConfig(
+            policy=policy, n_rounds=20, quantum_references=40, seed=seed
+        )
+        simulator = Simulator(workload, config)
+        simulator.run()
+        for thread in simulator.scheduler.threads:
+            if thread.cpu is not None:
+                assert 0 <= thread.cpu < simulator.machine.n_cpus
+                assert thread.can_run_on(thread.cpu)

@@ -1,0 +1,170 @@
+"""Property-based invariant tests for the cache hierarchy.
+
+The hierarchy's correctness contract, checked under random traffic:
+
+* **classification**: an access is REMOTE iff some *other* chip held the
+  line at access time, MEMORY iff no chip held it, and local otherwise;
+* **inclusion**: a line in any core's L1 is present at that core's chip;
+* **exclusivity**: a line is never in a chip's L2 and L3 simultaneously;
+* **directory**: the coherence directory and the physical caches agree;
+* **write invalidation**: after a write, no other chip holds the line.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheHierarchy,
+    IDX_MEMORY,
+    SOURCE_ORDER,
+)
+from repro.topology import openpower_720, power5_32way
+
+
+def tiny_spec(n_chips=2):
+    spec = openpower_720(cache_scale=512) if n_chips == 2 else power5_32way(cache_scale=512)
+    return spec
+
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),  # cpu
+        st.integers(min_value=0, max_value=255),  # line index (small space)
+        st.booleans(),  # write
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestHierarchyInvariants:
+    @given(trace=accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_classification_matches_pre_state(self, trace):
+        hierarchy = CacheHierarchy(tiny_spec())
+        machine = hierarchy.machine
+        for cpu, line_index, write in trace:
+            address = line_index * hierarchy.line_bytes
+            line = hierarchy.line_of(address)
+            chip = machine.chip_of(cpu)
+            held_here = hierarchy.chip_holds(chip, line)
+            held_elsewhere = any(
+                hierarchy.chip_holds(other, line)
+                for other in range(machine.n_chips)
+                if other != chip
+            )
+            source = SOURCE_ORDER[hierarchy.access(cpu, address, write)]
+            if source.is_remote_cache:
+                assert held_elsewhere and not held_here
+            elif source.value == "memory":
+                assert not held_here
+                assert not held_elsewhere
+            else:  # any local source
+                # L1 hits imply chip presence via inclusion; L2/L3 hits
+                # imply it directly.
+                assert held_here or source.value == "l1"
+
+    @given(trace=accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_inclusion_and_exclusivity(self, trace):
+        hierarchy = CacheHierarchy(tiny_spec())
+        machine = hierarchy.machine
+        for cpu, line_index, write in trace:
+            hierarchy.access(cpu, line_index * hierarchy.line_bytes, write)
+        # Exclusivity: L2 and L3 of a chip never share a line.
+        for chip in range(machine.n_chips):
+            l2 = hierarchy.l2_caches[chip]
+            l3 = hierarchy.l3_caches[chip]
+            for line_index in range(256):
+                assert not (l2.contains(line_index) and l3.contains(line_index))
+        # Inclusion: every L1-resident line is present at the chip.
+        for core in range(machine.n_cores):
+            chip = machine.chip_of(machine.cpus_of_core(core)[0])
+            for line_index in range(256):
+                if hierarchy.l1_caches[core].contains(line_index):
+                    assert hierarchy.chip_holds(chip, line_index)
+
+    @given(trace=accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_directory_agrees_with_caches(self, trace):
+        hierarchy = CacheHierarchy(tiny_spec())
+        machine = hierarchy.machine
+        for cpu, line_index, write in trace:
+            hierarchy.access(cpu, line_index * hierarchy.line_bytes, write)
+        for line_index in range(256):
+            holders = hierarchy.directory.holders(line_index)
+            for chip in range(machine.n_chips):
+                assert hierarchy.chip_holds(chip, line_index) == (chip in holders)
+
+    @given(trace=accesses, final_cpu=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_write_leaves_single_holder(self, trace, final_cpu):
+        hierarchy = CacheHierarchy(tiny_spec())
+        machine = hierarchy.machine
+        for cpu, line_index, write in trace:
+            hierarchy.access(cpu, line_index * hierarchy.line_bytes, write)
+        address = 42 * hierarchy.line_bytes
+        hierarchy.access(final_cpu, address, True)
+        line = hierarchy.line_of(address)
+        writer_chip = machine.chip_of(final_cpu)
+        assert hierarchy.directory.holders(line) == {writer_chip}
+        for chip in range(machine.n_chips):
+            if chip != writer_chip:
+                assert not hierarchy.chip_holds(chip, line)
+
+    @given(trace=accesses)
+    @settings(max_examples=30, deadline=None)
+    def test_cold_lines_always_miss_to_memory(self, trace):
+        """A line no access ever touched must classify as MEMORY."""
+        hierarchy = CacheHierarchy(tiny_spec())
+        for cpu, line_index, write in trace:
+            hierarchy.access(cpu, line_index * hierarchy.line_bytes, write)
+        cold_address = 10_000 * hierarchy.line_bytes  # outside the trace space
+        assert hierarchy.access(0, cold_address, False) == IDX_MEMORY
+
+    @given(
+        trace=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=0, max_value=127),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_hold_on_eight_chips(self, trace):
+        hierarchy = CacheHierarchy(tiny_spec(n_chips=8))
+        machine = hierarchy.machine
+        for cpu, line_index, write in trace:
+            hierarchy.access(cpu, line_index * hierarchy.line_bytes, write)
+        for line_index in range(128):
+            holders = hierarchy.directory.holders(line_index)
+            for chip in range(machine.n_chips):
+                assert hierarchy.chip_holds(chip, line_index) == (chip in holders)
+
+
+class TestStatisticsConsistency:
+    @given(trace=accesses)
+    @settings(max_examples=30, deadline=None)
+    def test_per_cpu_counts_sum_to_trace_length(self, trace):
+        hierarchy = CacheHierarchy(tiny_spec())
+        for cpu, line_index, write in trace:
+            hierarchy.access(cpu, line_index * hierarchy.line_bytes, write)
+        assert hierarchy.stats.total_accesses() == len(trace)
+
+    def test_remote_fraction_bounds(self):
+        hierarchy = CacheHierarchy(tiny_spec())
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            hierarchy.access(
+                int(rng.integers(0, 8)),
+                int(rng.integers(0, 64)) * hierarchy.line_bytes,
+                bool(rng.random() < 0.5),
+            )
+        fraction = hierarchy.stats.remote_fraction()
+        assert 0.0 <= fraction <= 1.0
+        assert fraction > 0  # shared hot lines must have bounced

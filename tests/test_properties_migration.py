@@ -1,0 +1,149 @@
+"""Property-based tests for the migration planner (Section 4.5)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import MigrationPlanner
+from repro.topology import build_machine
+
+
+def tids_from_sizes(sizes):
+    """Disjoint tid lists with the given sizes."""
+    clusters = []
+    next_tid = 0
+    for size in sizes:
+        clusters.append(list(range(next_tid, next_tid + size)))
+        next_tid += size
+    return clusters, next_tid
+
+
+cluster_sizes = st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=8)
+unclustered_counts = st.integers(min_value=0, max_value=16)
+chip_counts = st.sampled_from([1, 2, 4, 8])
+tolerances = st.sampled_from([0.0, 0.25, 0.5, 1.0, 3.0])
+
+
+class TestPlannerInvariants:
+    @given(
+        sizes=cluster_sizes,
+        n_unclustered=unclustered_counts,
+        n_chips=chip_counts,
+        tolerance=tolerances,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_every_thread_placed_exactly_once(
+        self, sizes, n_unclustered, n_chips, tolerance, seed
+    ):
+        machine = build_machine(n_chips, 2, 2)
+        planner = MigrationPlanner(
+            machine, np.random.default_rng(seed), imbalance_tolerance=tolerance
+        )
+        clusters, next_tid = tids_from_sizes(sizes)
+        unclustered = list(range(next_tid, next_tid + n_unclustered))
+        plan = planner.plan(clusters, unclustered)
+        expected = {t for c in clusters for t in c} | set(unclustered)
+        assert set(plan.target_cpu) == expected
+
+    @given(
+        sizes=cluster_sizes,
+        n_unclustered=unclustered_counts,
+        n_chips=chip_counts,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cpus_are_valid(self, sizes, n_unclustered, n_chips, seed):
+        machine = build_machine(n_chips, 2, 2)
+        planner = MigrationPlanner(machine, np.random.default_rng(seed))
+        clusters, next_tid = tids_from_sizes(sizes)
+        unclustered = list(range(next_tid, next_tid + n_unclustered))
+        plan = planner.plan(clusters, unclustered)
+        for cpu in plan.target_cpu.values():
+            assert 0 <= cpu < machine.n_cpus
+
+    @given(
+        sizes=cluster_sizes,
+        n_unclustered=unclustered_counts,
+        n_chips=chip_counts,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_zero_tolerance_balances_chips(
+        self, sizes, n_unclustered, n_chips, seed
+    ):
+        """With zero tolerance, chip loads never exceed ceil(even share):
+        the planner's 'neutralize on imbalance' rule in its strictest
+        form must guarantee balance."""
+        import math
+
+        machine = build_machine(n_chips, 2, 2)
+        planner = MigrationPlanner(
+            machine, np.random.default_rng(seed), imbalance_tolerance=0.0
+        )
+        clusters, next_tid = tids_from_sizes(sizes)
+        unclustered = list(range(next_tid, next_tid + n_unclustered))
+        plan = planner.plan(clusters, unclustered)
+        total = len(plan.target_cpu)
+        if total == 0:
+            return
+        loads = plan.chip_loads(machine)
+        assert max(loads.values()) <= math.ceil(total / n_chips)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+        n_chips=chip_counts,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_unneutralized_clusters_stay_whole(self, sizes, n_chips, seed):
+        machine = build_machine(n_chips, 2, 2)
+        planner = MigrationPlanner(machine, np.random.default_rng(seed))
+        clusters, _ = tids_from_sizes(sizes)
+        plan = planner.plan(clusters)
+        for index, members in enumerate(clusters):
+            if plan.cluster_chip.get(index, -1) >= 0:
+                chips = {
+                    machine.chip_of(plan.target_cpu[t]) for t in members
+                }
+                assert chips == {plan.cluster_chip[index]}
+
+    @given(
+        sizes=cluster_sizes,
+        n_unclustered=unclustered_counts,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_within_chip_spread_within_one(self, sizes, n_unclustered, seed):
+        """Per-cpu assignment inside each chip is balanced to within one
+        thread ('uniformly and randomly', without pile-ups)."""
+        machine = build_machine(2, 2, 2)
+        planner = MigrationPlanner(machine, np.random.default_rng(seed))
+        clusters, next_tid = tids_from_sizes(sizes)
+        unclustered = list(range(next_tid, next_tid + n_unclustered))
+        plan = planner.plan(clusters, unclustered)
+        for chip in range(machine.n_chips):
+            counts = {cpu: 0 for cpu in machine.cpus_of_chip(chip)}
+            for cpu in plan.target_cpu.values():
+                if machine.chip_of(cpu) == chip:
+                    counts[cpu] += 1
+            if counts:
+                assert max(counts.values()) - min(counts.values()) <= 1
+
+    @given(
+        n_unclustered=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_unclustered_threads_keep_their_chip_when_balanced(
+        self, n_unclustered, seed
+    ):
+        """With current_chip provided and loads already even, staying put
+        must be preferred over re-dealing."""
+        machine = build_machine(2, 2, 2)
+        planner = MigrationPlanner(machine, np.random.default_rng(seed))
+        unclustered = list(range(n_unclustered))
+        current = {tid: tid % 2 for tid in unclustered}  # evenly spread
+        plan = planner.plan([], unclustered, current_chip=current)
+        for tid in unclustered:
+            assert machine.chip_of(plan.target_cpu[tid]) == current[tid]

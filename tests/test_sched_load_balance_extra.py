@@ -1,0 +1,84 @@
+"""Additional load-balancer edge cases."""
+
+from repro.sched import LoadBalancer, RunQueueSet, SimThread
+from repro.topology import build_machine
+
+
+def queues_with(distribution):
+    """Build queues with `distribution[cpu]` anonymous threads each."""
+    queues = RunQueueSet(len(distribution))
+    tid = 0
+    for cpu, count in enumerate(distribution):
+        for _ in range(count):
+            queues[cpu].enqueue(SimThread(tid=tid, name=f"t{tid}"))
+            tid += 1
+    return queues
+
+
+class TestReactivePull:
+    def test_disabled_reactive_never_pulls(self):
+        machine = build_machine(2, 2, 2)
+        queues = queues_with([3, 0, 0, 0, 0, 0, 0, 0])
+        balancer = LoadBalancer(machine, queues, reactive_enabled=False)
+        assert balancer.reactive_pull(7) is None
+        assert balancer.stats.reactive_pulls == 0
+
+    def test_pull_from_empty_machine_returns_none(self):
+        machine = build_machine(2, 2, 2)
+        queues = queues_with([0] * 8)
+        balancer = LoadBalancer(machine, queues)
+        assert balancer.reactive_pull(0) is None
+
+    def test_intra_chip_pull_ignores_remote_donors(self):
+        machine = build_machine(2, 2, 2)
+        # All load on chip 1; idle cpu 0 is on chip 0.
+        queues = queues_with([0, 0, 0, 0, 4, 0, 0, 0])
+        balancer = LoadBalancer(machine, queues, intra_chip_only=True)
+        assert balancer.reactive_pull(0) is None
+        # But a chip-1 cpu can pull.
+        assert balancer.reactive_pull(7) is not None
+
+    def test_pull_counts_stats(self):
+        machine = build_machine(2, 2, 2)
+        queues = queues_with([3, 0, 0, 0, 0, 0, 0, 0])
+        balancer = LoadBalancer(machine, queues)
+        balancer.reactive_pull(4)  # cross-chip pull
+        assert balancer.stats.reactive_pulls == 1
+        assert balancer.stats.cross_chip_moves == 1
+        assert balancer.stats.total_moves == 1
+
+
+class TestProactiveEdgeCases:
+    def test_balanced_queues_move_nothing(self):
+        machine = build_machine(2, 2, 2)
+        queues = queues_with([1] * 8)
+        balancer = LoadBalancer(machine, queues)
+        assert balancer.proactive_balance() == 0
+
+    def test_single_thread_machine(self):
+        machine = build_machine(2, 2, 2)
+        queues = queues_with([1, 0, 0, 0, 0, 0, 0, 0])
+        balancer = LoadBalancer(machine, queues)
+        # max-min == 1: already as balanced as it gets.
+        assert balancer.proactive_balance() == 0
+
+    def test_fully_pinned_population_cannot_be_balanced(self):
+        machine = build_machine(2, 2, 2)
+        queues = RunQueueSet(8)
+        for tid in range(6):
+            thread = SimThread(tid=tid, name=f"t{tid}")
+            thread.pin_to(frozenset({0}))
+            queues[0].enqueue(thread)
+        balancer = LoadBalancer(machine, queues)
+        moved = balancer.proactive_balance()
+        assert moved == 0
+        assert queues.lengths()[0] == 6
+
+    def test_heavy_skew_converges_in_one_pass(self):
+        machine = build_machine(2, 2, 2)
+        queues = queues_with([16, 0, 0, 0, 0, 0, 0, 0])
+        balancer = LoadBalancer(machine, queues)
+        balancer.proactive_balance()
+        lengths = queues.lengths()
+        assert max(lengths) - min(lengths) <= 1
+        assert sum(lengths) == 16

@@ -1,0 +1,125 @@
+"""Tests for per-CPU runqueues and thread state transitions."""
+
+import pytest
+
+from repro.sched import RunQueue, RunQueueSet, SimThread, ThreadState
+
+
+def make_thread(tid, affinity=None):
+    thread = SimThread(tid=tid, name=f"t{tid}")
+    if affinity is not None:
+        thread.pin_to(frozenset(affinity))
+    return thread
+
+
+class TestRunQueue:
+    def test_enqueue_sets_cpu_and_state(self):
+        queue = RunQueue(cpu_id=3)
+        thread = make_thread(1)
+        queue.enqueue(thread)
+        assert thread.cpu == 3
+        assert thread.state is ThreadState.READY
+
+    def test_fifo_order(self):
+        queue = RunQueue(cpu_id=0)
+        t1, t2 = make_thread(1), make_thread(2)
+        queue.enqueue(t1)
+        queue.enqueue(t2)
+        assert queue.pop_next() is t1
+        assert queue.pop_next() is t2
+        assert queue.pop_next() is None
+
+    def test_pop_marks_running(self):
+        queue = RunQueue(cpu_id=0)
+        thread = make_thread(1)
+        queue.enqueue(thread)
+        assert queue.pop_next().state is ThreadState.RUNNING
+
+    def test_enqueue_rejects_affinity_violation(self):
+        queue = RunQueue(cpu_id=5)
+        thread = make_thread(1, affinity={0, 1})
+        with pytest.raises(ValueError):
+            queue.enqueue(thread)
+
+    def test_steal_specific_thread(self):
+        queue = RunQueue(cpu_id=0)
+        t1, t2 = make_thread(1), make_thread(2)
+        queue.enqueue(t1)
+        queue.enqueue(t2)
+        queue.steal(t1)
+        assert queue.peek_all() == [t2]
+
+    def test_steal_missing_thread_raises(self):
+        queue = RunQueue(cpu_id=0)
+        with pytest.raises(ValueError):
+            queue.steal(make_thread(1))
+
+    def test_steal_one_respects_affinity(self):
+        queue = RunQueue(cpu_id=0)
+        pinned = make_thread(1, affinity={0})
+        free = make_thread(2)
+        queue.enqueue(pinned)
+        queue.enqueue(free)
+        stolen = queue.steal_one(for_cpu=7)
+        assert stolen is free  # pinned thread cannot go to cpu 7
+
+    def test_steal_one_returns_none_when_nothing_eligible(self):
+        queue = RunQueue(cpu_id=0)
+        queue.enqueue(make_thread(1, affinity={0}))
+        assert queue.steal_one(for_cpu=7) is None
+
+
+class TestRunQueueSet:
+    def test_least_and_most_loaded(self):
+        queues = RunQueueSet(4)
+        for tid in range(3):
+            queues[1].enqueue(make_thread(tid))
+        queues[2].enqueue(make_thread(10))
+        assert queues.least_loaded() == 0
+        assert queues.most_loaded() == 1
+
+    def test_least_loaded_with_candidates(self):
+        queues = RunQueueSet(4)
+        queues[0].enqueue(make_thread(1))
+        assert queues.least_loaded(candidates=[0, 1]) == 1
+        assert queues.least_loaded(candidates=[0]) == 0
+
+    def test_lengths_and_totals(self):
+        queues = RunQueueSet(2)
+        queues[0].enqueue(make_thread(1))
+        queues[0].enqueue(make_thread(2))
+        assert queues.lengths() == [2, 0]
+        assert queues.total_queued() == 2
+
+    def test_all_threads(self):
+        queues = RunQueueSet(2)
+        t1, t2 = make_thread(1), make_thread(2)
+        queues[0].enqueue(t1)
+        queues[1].enqueue(t2)
+        assert set(queues.all_threads()) == {t1, t2}
+
+
+class TestSimThread:
+    def test_can_run_anywhere_by_default(self):
+        thread = make_thread(1)
+        assert thread.can_run_on(0)
+        assert thread.can_run_on(31)
+
+    def test_pin_and_unpin(self):
+        thread = make_thread(1)
+        thread.pin_to(frozenset({2, 3}))
+        assert not thread.can_run_on(0)
+        assert thread.can_run_on(2)
+        thread.unpin()
+        assert thread.can_run_on(0)
+
+    def test_pin_to_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            make_thread(1).pin_to(frozenset())
+
+    def test_ipc(self):
+        thread = make_thread(1)
+        assert thread.ipc == 0.0
+        thread.cycles_run = 200
+        thread.instructions_completed = 100
+        assert thread.ipc == 0.5

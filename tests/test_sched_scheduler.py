@@ -1,0 +1,229 @@
+"""Tests for placement policies, load balancing, and migration."""
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    LoadBalancer,
+    PlacementPolicy,
+    RunQueueSet,
+    Scheduler,
+    SimThread,
+    ThreadState,
+)
+from repro.topology import build_machine
+
+
+def make_threads(n, groups=None):
+    threads = []
+    for tid in range(n):
+        group = groups[tid] if groups is not None else -1
+        threads.append(SimThread(tid=tid, name=f"t{tid}", sharing_group=group))
+    return threads
+
+
+def make_scheduler(policy, machine=None):
+    machine = machine or build_machine(2, 2, 2)
+    return Scheduler(machine, policy, np.random.default_rng(0))
+
+
+class TestPlacementPolicies:
+    def test_default_linux_spreads_by_load(self):
+        sched = make_scheduler(PlacementPolicy.DEFAULT_LINUX)
+        sched.admit(make_threads(8))
+        assert sched.runqueues.lengths() == [1] * 8
+
+    def test_default_linux_interleaves_groups_across_chips(self):
+        """Connection-ordered creation alternates groups, so least-loaded
+        placement scatters each group over both chips (Figure 2a)."""
+        sched = make_scheduler(PlacementPolicy.DEFAULT_LINUX)
+        groups = [0, 1] * 8  # interleaved, as connections arrive
+        sched.admit(make_threads(16, groups))
+        group0_chips = {
+            sched.chip_of_thread(t) for t in sched.threads if t.sharing_group == 0
+        }
+        assert group0_chips == {0, 1}
+
+    def test_round_robin_deals_in_order(self):
+        sched = make_scheduler(PlacementPolicy.ROUND_ROBIN)
+        threads = make_threads(16)
+        sched.admit(threads)
+        assert threads[0].cpu == 0
+        assert threads[7].cpu == 7
+        assert threads[8].cpu == 0
+
+    def test_hand_optimized_isolates_groups_per_chip(self):
+        sched = make_scheduler(PlacementPolicy.HAND_OPTIMIZED)
+        groups = [0, 1] * 8
+        sched.admit(make_threads(16, groups))
+        for thread in sched.threads:
+            expected_chip = thread.sharing_group % 2
+            assert sched.chip_of_thread(thread) == expected_chip
+
+    def test_hand_optimized_pins_threads_to_chip(self):
+        sched = make_scheduler(PlacementPolicy.HAND_OPTIMIZED)
+        sched.admit(make_threads(8, groups=[0] * 8))
+        for thread in sched.threads:
+            assert thread.affinity == frozenset({0, 1, 2, 3})
+
+    def test_hand_optimized_balances_within_chip(self):
+        sched = make_scheduler(PlacementPolicy.HAND_OPTIMIZED)
+        sched.admit(make_threads(8, groups=[0] * 8))
+        # 8 threads of one group on one 4-cpu chip: 2 per cpu.
+        assert sched.runqueues.lengths() == [2, 2, 2, 2, 0, 0, 0, 0]
+
+    def test_hand_optimized_places_ungrouped_by_load(self):
+        sched = make_scheduler(PlacementPolicy.HAND_OPTIMIZED)
+        groups = [0] * 4 + [-1] * 2  # four workers and two GC threads
+        sched.admit(make_threads(6, groups))
+        gc_cpus = {t.cpu for t in sched.threads if t.sharing_group == -1}
+        assert gc_cpus <= {4, 5, 6, 7}  # chip 1 was empty, GC lands there
+
+    def test_balancing_flags_follow_policy(self):
+        assert PlacementPolicy.DEFAULT_LINUX.balancing_enabled
+        assert PlacementPolicy.CLUSTERED.balancing_enabled
+        assert not PlacementPolicy.ROUND_ROBIN.balancing_enabled
+        assert not PlacementPolicy.HAND_OPTIMIZED.balancing_enabled
+
+
+class TestDispatch:
+    def test_pick_next_round_robins_queue(self):
+        sched = make_scheduler(PlacementPolicy.ROUND_ROBIN)
+        threads = make_threads(2)
+        sched.runqueues[0].enqueue(threads[0])
+        sched.runqueues[0].enqueue(threads[1])
+        first = sched.pick_next(0)
+        sched.quantum_expired(0, first)
+        second = sched.pick_next(0)
+        assert (first, second) == (threads[0], threads[1])
+
+    def test_quantum_expired_counts_quanta(self):
+        sched = make_scheduler(PlacementPolicy.DEFAULT_LINUX)
+        thread = make_threads(1)[0]
+        sched.admit([thread])
+        t = sched.pick_next(thread.cpu)
+        sched.quantum_expired(thread.cpu, t)
+        assert t.quanta_run == 1
+
+    def test_finished_thread_not_requeued(self):
+        sched = make_scheduler(PlacementPolicy.DEFAULT_LINUX)
+        thread = make_threads(1)[0]
+        sched.admit([thread])
+        t = sched.pick_next(thread.cpu)
+        t.state = ThreadState.FINISHED
+        sched.quantum_expired(0, t)
+        assert sched.runqueues.total_queued() == 0
+
+    def test_idle_cpu_pulls_work_reactively(self):
+        sched = make_scheduler(PlacementPolicy.DEFAULT_LINUX)
+        threads = make_threads(3)
+        for t in threads:
+            sched.runqueues[0].enqueue(t)
+        pulled = sched.pick_next(7)
+        assert pulled is not None
+        assert pulled.migrations == 1
+        assert pulled.cross_chip_migrations == 1
+
+    def test_round_robin_policy_never_pulls(self):
+        sched = make_scheduler(PlacementPolicy.ROUND_ROBIN)
+        threads = make_threads(3)
+        for t in threads:
+            sched.runqueues[0].enqueue(t)
+        assert sched.pick_next(7) is None
+
+
+class TestProactiveBalancing:
+    def test_balances_queue_lengths(self):
+        machine = build_machine(2, 2, 2)
+        queues = RunQueueSet(8)
+        for tid in range(8):
+            queues[0].enqueue(SimThread(tid=tid, name=f"t{tid}"))
+        balancer = LoadBalancer(machine, queues)
+        balancer.proactive_balance()
+        lengths = queues.lengths()
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_tick_runs_at_interval(self):
+        machine = build_machine(2, 2, 2)
+        queues = RunQueueSet(8)
+        for tid in range(8):
+            queues[0].enqueue(SimThread(tid=tid, name=f"t{tid}"))
+        balancer = LoadBalancer(machine, queues, proactive_interval=4)
+        assert balancer.tick() == 0  # tick 1
+        assert balancer.tick() == 0
+        assert balancer.tick() == 0
+        assert balancer.tick() > 0  # tick 4: balance pass
+
+    def test_intra_chip_only_never_crosses_chips(self):
+        machine = build_machine(2, 2, 2)
+        queues = RunQueueSet(8)
+        for tid in range(8):
+            queues[0].enqueue(SimThread(tid=tid, name=f"t{tid}"))
+        balancer = LoadBalancer(machine, queues, intra_chip_only=True)
+        balancer.proactive_balance()
+        assert balancer.stats.cross_chip_moves == 0
+        lengths = queues.lengths()
+        assert lengths[:4] == [2, 2, 2, 2]  # balanced within chip 0
+        assert lengths[4:] == [0, 0, 0, 0]  # chip 1 untouched
+
+    def test_respects_affinity(self):
+        machine = build_machine(2, 2, 2)
+        queues = RunQueueSet(8)
+        for tid in range(4):
+            t = SimThread(tid=tid, name=f"t{tid}")
+            t.pin_to(frozenset({0}))
+            queues[0].enqueue(t)
+        balancer = LoadBalancer(machine, queues)
+        balancer.proactive_balance()
+        assert queues.lengths()[0] == 4  # pinned threads cannot move
+
+
+class TestMigration:
+    def test_migrate_moves_and_pins(self):
+        sched = make_scheduler(PlacementPolicy.CLUSTERED)
+        thread = make_threads(1)[0]
+        sched.admit([thread])
+        assert thread.cpu == 0
+        sched.migrate(thread, target_cpu=5)
+        assert thread.cpu == 5
+        assert thread.affinity == frozenset({4, 5, 6, 7})
+        assert thread.cross_chip_migrations == 1
+        assert sched.migrations_requested == 1
+
+    def test_migrate_same_cpu_is_a_noop_with_pin(self):
+        sched = make_scheduler(PlacementPolicy.CLUSTERED)
+        thread = make_threads(1)[0]
+        sched.admit([thread])
+        sched.migrate(thread, target_cpu=0)
+        assert thread.migrations == 0
+        assert thread.affinity == frozenset({0, 1, 2, 3})
+
+    def test_migrate_requires_queued_thread(self):
+        sched = make_scheduler(PlacementPolicy.CLUSTERED)
+        thread = make_threads(1)[0]
+        sched.admit([thread])
+        running = sched.pick_next(0)
+        with pytest.raises(ValueError):
+            sched.migrate(running, target_cpu=5)
+
+    def test_enable_intra_chip_balancing(self):
+        sched = make_scheduler(PlacementPolicy.CLUSTERED)
+        sched.enable_intra_chip_balancing()
+        assert sched.balancer.intra_chip_only
+        assert sched.balancer.reactive_enabled
+
+    def test_threads_per_chip(self):
+        sched = make_scheduler(PlacementPolicy.ROUND_ROBIN)
+        sched.admit(make_threads(8))
+        assert sched.threads_per_chip() == {0: 4, 1: 4}
+
+    def test_quantum_expiry_honours_new_affinity(self):
+        """A thread whose affinity changed mid-quantum is requeued on an
+        allowed cpu, not its old one."""
+        sched = make_scheduler(PlacementPolicy.CLUSTERED)
+        thread = make_threads(1)[0]
+        sched.admit([thread])
+        running = sched.pick_next(0)
+        running.pin_to(frozenset({4, 5}))
+        sched.quantum_expired(0, running)
+        assert running.cpu in {4, 5}

@@ -1,0 +1,78 @@
+"""Tests for multi-seed statistics and the sparkline utility."""
+
+import pytest
+
+from repro.analysis import sparkline
+from repro.experiments import MetricSummary, run_seed_study
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+class TestMetricSummary:
+    def test_of_values(self):
+        summary = MetricSummary.of([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(0.8165, abs=1e-3)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.n == 3
+
+    def test_of_empty(self):
+        summary = MetricSummary.of([])
+        assert summary.n == 0
+        assert summary.mean == 0.0
+
+    def test_formatted(self):
+        assert "±" in MetricSummary.of([1.0, 1.0]).formatted()
+
+
+class TestSeedStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_seed_study(
+            workload_name="microbenchmark",
+            seeds=(3, 7, 11),
+            n_rounds=300,
+            workload_factory=lambda: ScoreboardMicrobenchmark(2, 8),
+        )
+
+    def test_one_speedup_per_seed(self, study):
+        assert len(study.clustered_speedups) == 3
+
+    def test_summaries_cover_both_policies(self, study):
+        assert set(study.summaries) == {"default_linux", "clustered"}
+        for metrics in study.summaries.values():
+            assert {"throughput", "remote_stall_fraction"} <= set(metrics)
+
+    def test_gain_is_robust_across_seeds(self, study):
+        """The headline claim survives seed variation: mean speedup
+        exceeds two standard deviations."""
+        assert study.gain_is_robust
+        assert study.speedup.mean > 0.05
+
+    def test_remote_reduction_consistent(self, study):
+        baseline = study.summaries["default_linux"]["remote_stall_fraction"]
+        clustered = study.summaries["clustered"]["remote_stall_fraction"]
+        assert clustered.maximum < baseline.minimum
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero_is_blank(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_peak_maps_to_darkest(self):
+        line = sparkline([0.0, 1.0])
+        assert line[-1] == "@"
+        assert line[0] == " "
+
+    def test_folding_preserves_peaks(self):
+        values = [0.0] * 100
+        values[57] = 5.0
+        line = sparkline(values, width=10)
+        assert len(line) == 10
+        assert "@" in line
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=60)) == 3

@@ -1,0 +1,69 @@
+"""Tests for SimConfig to_dict / from_dict round-trips."""
+
+import json
+
+import pytest
+
+from repro.cache.stats import IDX_MEMORY, IDX_REMOTE_L3
+from repro.pmu.events import StallCause
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+class TestRoundTrip:
+    def test_default_round_trips(self):
+        config = SimConfig()
+        rebuilt = SimConfig.from_dict(config.to_dict())
+        assert rebuilt.to_dict() == config.to_dict()
+
+    def test_json_serialisable(self):
+        text = json.dumps(SimConfig().to_dict())
+        rebuilt = SimConfig.from_dict(json.loads(text))
+        assert rebuilt.policy is PlacementPolicy.DEFAULT_LINUX
+
+    def test_customised_round_trips(self):
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=123,
+            seed=77,
+        )
+        config.similarity_threshold = 99.0
+        config.sampling_event_sources = (IDX_REMOTE_L3, IDX_MEMORY)
+        config.other_stall_rates = {StallCause.FIXED_POINT: 0.5}
+        config.intra_chip_placement = "smt_aware"
+        rebuilt = SimConfig.from_dict(config.to_dict())
+        assert rebuilt.n_rounds == 123
+        assert rebuilt.similarity_threshold == 99.0
+        assert rebuilt.sampling_event_sources == (IDX_REMOTE_L3, IDX_MEMORY)
+        assert rebuilt.other_stall_rates == {StallCause.FIXED_POINT: 0.5}
+        assert rebuilt.intra_chip_placement == "smt_aware"
+
+    def test_partial_dict_uses_defaults(self):
+        rebuilt = SimConfig.from_dict({"n_rounds": 10, "seed": 1})
+        assert rebuilt.n_rounds == 10
+        assert rebuilt.policy is PlacementPolicy.DEFAULT_LINUX
+
+    def test_unknown_key_fails_loudly(self):
+        with pytest.raises(KeyError):
+            SimConfig.from_dict({"n_roudns": 10})  # typo
+
+    def test_invalid_values_rejected_on_load(self):
+        with pytest.raises(ValueError):
+            SimConfig.from_dict({"quantum_references": 0})
+
+    def test_rebuilt_config_drives_identical_run(self):
+        """The archival property: a run re-created from the serialised
+        config is bit-identical to the original."""
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=120,
+            quantum_references=80,
+            seed=21,
+            measurement_start_fraction=0.3,
+        )
+        a = run_simulation(ScoreboardMicrobenchmark(2, 4), config)
+        rebuilt = SimConfig.from_dict(config.to_dict())
+        b = run_simulation(ScoreboardMicrobenchmark(2, 4), rebuilt)
+        assert a.elapsed_cycles == b.elapsed_cycles
+        assert (a.access_counts == b.access_counts).all()

@@ -1,0 +1,222 @@
+"""Tests for the simulation engine: cycle accounting, determinism,
+SMT contention, measurement windows."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.events import StallCause
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, Simulator, run_simulation
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+def small_config(policy=PlacementPolicy.DEFAULT_LINUX, **overrides):
+    config = SimConfig(
+        policy=policy,
+        n_rounds=60,
+        quantum_references=100,
+        seed=5,
+        measurement_start_fraction=0.25,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def small_workload():
+    return ScoreboardMicrobenchmark(n_scoreboards=2, threads_per_scoreboard=4)
+
+
+class TestBasicRun:
+    def test_produces_result(self):
+        result = run_simulation(small_workload(), small_config())
+        assert result.n_rounds == 60
+        assert result.elapsed_cycles > 0
+        assert result.full_breakdown.instructions > 0
+
+    def test_instructions_match_work_done(self):
+        """Every executed quantum contributes its references x 4
+        instructions; totals must reconcile with per-thread accounting."""
+        result = run_simulation(small_workload(), small_config())
+        per_thread = sum(t.instructions for t in result.thread_summaries)
+        assert per_thread == result.full_breakdown.instructions
+
+    def test_access_counts_match_references(self):
+        result = run_simulation(small_workload(), small_config())
+        total_refs = int(result.access_counts.sum())
+        # 8 threads on 8 cpus, 60 rounds, 100 refs: every cpu runs one
+        # thread per round.
+        assert total_refs == 8 * 60 * 100
+
+    def test_cycles_are_positive_and_cover_instructions(self):
+        result = run_simulation(small_workload(), small_config())
+        # CPI floor is completion_cpi = 1.0.
+        assert result.full_breakdown.cpi >= 1.0
+
+    def test_throughput_definition(self):
+        result = run_simulation(small_workload(), small_config())
+        expected = (
+            result.window_breakdown.instructions / result.window_elapsed_cycles
+        )
+        assert result.throughput == pytest.approx(expected)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_simulation(small_workload(), small_config())
+        b = run_simulation(small_workload(), small_config())
+        assert a.elapsed_cycles == b.elapsed_cycles
+        assert a.full_breakdown.as_dict() == b.full_breakdown.as_dict()
+        assert (a.access_counts == b.access_counts).all()
+
+    def test_different_seed_different_result(self):
+        a = run_simulation(small_workload(), small_config())
+        b = run_simulation(small_workload(), small_config(seed=6))
+        assert a.elapsed_cycles != b.elapsed_cycles
+
+    def test_clustered_run_deterministic(self):
+        config_a = small_config(PlacementPolicy.CLUSTERED, n_rounds=150)
+        config_b = small_config(PlacementPolicy.CLUSTERED, n_rounds=150)
+        a = run_simulation(small_workload(), config_a)
+        b = run_simulation(small_workload(), config_b)
+        assert a.n_clustering_rounds == b.n_clustering_rounds
+        assert a.detected_assignment() == b.detected_assignment()
+
+
+class TestSmtContention:
+    def test_contention_slows_busy_cores(self):
+        """With 8 threads on 8 cpus, both SMT contexts of every core are
+        busy; with 4 threads (one per core under round-robin), no core
+        runs two quanta.  The contended run must burn more cycles per
+        instruction."""
+        busy = run_simulation(
+            ScoreboardMicrobenchmark(2, 4),  # 8 threads
+            small_config(PlacementPolicy.ROUND_ROBIN),
+        )
+        # 4 threads land on cpus 0-3 = cores 0,0,1,1... round robin puts
+        # them on cpu 0,1,2,3: cores 0,0,1,1 -- still SMT-contended.
+        # Use a config with contention disabled for the comparison point.
+        relaxed = run_simulation(
+            ScoreboardMicrobenchmark(2, 4),
+            small_config(PlacementPolicy.ROUND_ROBIN, smt_contention_factor=1.0),
+        )
+        assert busy.full_breakdown.cpi > relaxed.full_breakdown.cpi
+
+    def test_contention_factor_validation(self):
+        with pytest.raises(ValueError):
+            run_simulation(
+                small_workload(), small_config(smt_contention_factor=0.5)
+            )
+
+
+class TestStallAccounting:
+    def test_other_stall_rates_feed_breakdown(self):
+        result = run_simulation(small_workload(), small_config())
+        fractions = result.stall_fractions()
+        assert fractions[StallCause.FIXED_POINT] > 0
+        assert fractions[StallCause.BRANCH_MISPREDICT] > 0
+
+    def test_custom_stall_rates(self):
+        config = small_config(
+            other_stall_rates={StallCause.FLOATING_POINT: 2.0}
+        )
+        result = run_simulation(small_workload(), config)
+        fractions = result.stall_fractions()
+        assert fractions[StallCause.FLOATING_POINT] > 0.3
+        assert fractions[StallCause.BRANCH_MISPREDICT] == 0.0
+
+    def test_fractions_sum_to_one(self):
+        result = run_simulation(small_workload(), small_config())
+        assert sum(result.stall_fractions().values()) == pytest.approx(1.0)
+
+
+class TestMeasurementWindow:
+    def test_window_excludes_warmup(self):
+        result = run_simulation(
+            small_workload(), small_config(measurement_start_fraction=0.5)
+        )
+        assert (
+            result.window_breakdown.instructions
+            < result.full_breakdown.instructions
+        )
+        assert result.window_elapsed_cycles < result.elapsed_cycles
+
+    def test_zero_warmup_includes_everything(self):
+        result = run_simulation(
+            small_workload(), small_config(measurement_start_fraction=0.0)
+        )
+        assert (
+            result.window_breakdown.instructions
+            == result.full_breakdown.instructions
+        )
+
+    def test_timeline_sampling(self):
+        result = run_simulation(
+            small_workload(), small_config(timeline_interval=10)
+        )
+        assert len(result.timeline) == 6  # 60 rounds / 10
+        rounds = [p.round_index for p in result.timeline]
+        assert rounds == sorted(rounds)
+        assert all(p.ipc > 0 for p in result.timeline)
+
+
+class TestRoundCallback:
+    def test_callback_invoked_every_round(self):
+        calls = []
+        sim = Simulator(small_workload(), small_config())
+        sim.run(round_callback=lambda index, s: calls.append(index))
+        assert calls == list(range(60))
+
+    def test_callback_can_mutate_workload(self):
+        workload = ScoreboardMicrobenchmark(2, 4)
+        sim = Simulator(workload, small_config())
+
+        def mutate(index, s):
+            if index == 30:
+                workload.rotate_groups()
+
+        result = sim.run(round_callback=mutate)
+        assert result.full_breakdown.instructions > 0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(quantum_references=0),
+            dict(n_rounds=0),
+            dict(measurement_start_fraction=1.0),
+            dict(completion_cpi=0),
+            dict(sampling_period=0),
+            dict(timeline_interval=0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            run_simulation(small_workload(), small_config(**overrides))
+
+    def test_resolve_machine_default(self):
+        config = SimConfig()
+        spec = config.resolve_machine()
+        assert spec.machine.n_cpus == 8
+
+    def test_resolve_machine_override(self):
+        from repro.topology import power5_32way
+
+        config = SimConfig(machine_spec=power5_32way())
+        assert config.resolve_machine().machine.n_cpus == 32
+
+
+class TestNonClusteredPoliciesHaveNoOverhead:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            PlacementPolicy.DEFAULT_LINUX,
+            PlacementPolicy.ROUND_ROBIN,
+            PlacementPolicy.HAND_OPTIMIZED,
+        ],
+    )
+    def test_no_sampling_overhead(self, policy):
+        result = run_simulation(small_workload(), small_config(policy))
+        assert result.sampling_overhead_cycles == 0
+        assert result.n_clustering_rounds == 0

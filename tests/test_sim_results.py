@@ -1,0 +1,118 @@
+"""Tests for result containers and derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import IDX_LOCAL_L2, IDX_REMOTE_L2
+from repro.pmu import StallBreakdown, StallCause
+from repro.sim.results import (
+    SimResult,
+    TimelinePoint,
+    relative_improvement,
+    remote_stall_reduction,
+)
+
+
+def make_result(
+    completion=1000,
+    remote=200,
+    local=100,
+    instructions=1000,
+    window_cycles=None,
+    overhead=0,
+):
+    sb = StallBreakdown(n_cpus=1)
+    sb.charge_completion(0, completion, instructions)
+    sb.charge_dcache(0, IDX_REMOTE_L2, remote)
+    sb.charge_dcache(0, IDX_LOCAL_L2, local)
+    snapshot = sb.snapshot()
+    total = snapshot.total_cycles
+    return SimResult(
+        config_policy="default_linux",
+        workload_name="test",
+        n_rounds=10,
+        full_breakdown=snapshot,
+        elapsed_cycles=float(total),
+        window_breakdown=snapshot,
+        window_elapsed_cycles=float(window_cycles or total),
+        access_counts=np.zeros((1, 6), dtype=np.int64),
+        capture_stats=None,
+        sampling_overhead_cycles=overhead,
+    )
+
+
+class TestDerivedMetrics:
+    def test_throughput(self):
+        result = make_result(window_cycles=2000, instructions=1000)
+        assert result.throughput == pytest.approx(0.5)
+
+    def test_remote_stall_fraction(self):
+        result = make_result(completion=700, remote=200, local=100)
+        assert result.remote_stall_fraction == pytest.approx(0.2)
+
+    def test_remote_stall_cycles(self):
+        result = make_result(remote=250)
+        assert result.remote_stall_cycles == 250
+
+    def test_cpi(self):
+        result = make_result(completion=1000, remote=0, local=0, instructions=500)
+        assert result.cpi == pytest.approx(2.0)
+
+    def test_overhead_fraction(self):
+        result = make_result(completion=900, remote=0, local=100, overhead=100)
+        assert result.overhead_fraction == pytest.approx(0.1)
+
+    def test_stall_fractions_cover_all_causes(self):
+        fractions = make_result().stall_fractions()
+        assert set(fractions) == set(StallCause)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        assert {
+            "throughput_ipc",
+            "remote_stall_fraction",
+            "cpi",
+            "clustering_rounds",
+            "overhead_fraction",
+            "elapsed_cycles",
+        } <= set(summary)
+
+    def test_detected_assignment_empty_without_events(self):
+        assert make_result().detected_assignment() == {}
+
+
+class TestComparisons:
+    def test_relative_improvement(self):
+        baseline = make_result(window_cycles=2000)  # IPC 0.5
+        faster = make_result(window_cycles=1000)  # IPC 1.0
+        assert relative_improvement(baseline, faster) == pytest.approx(1.0)
+        assert relative_improvement(faster, baseline) == pytest.approx(-0.5)
+
+    def test_remote_stall_reduction(self):
+        baseline = make_result(completion=700, remote=200, local=100)  # 20%
+        improved = make_result(completion=850, remote=50, local=100)  # 5%
+        assert remote_stall_reduction(baseline, improved) == pytest.approx(
+            0.75, abs=0.01
+        )
+
+    def test_reduction_with_zero_baseline(self):
+        baseline = make_result(remote=0)
+        candidate = make_result(remote=10)
+        assert remote_stall_reduction(baseline, candidate) == 0.0
+
+    def test_improvement_with_zero_baseline(self):
+        baseline = make_result()
+        object.__setattr__  # no-op; SimResult is not frozen
+        baseline.window_elapsed_cycles = 0.0
+        candidate = make_result()
+        assert relative_improvement(baseline, candidate) == 0.0
+
+
+class TestTimelinePoint:
+    def test_fields(self):
+        point = TimelinePoint(
+            round_index=10, mean_cycle=1000.0, remote_stall_fraction=0.1, ipc=0.5
+        )
+        assert point.round_index == 10
+        assert point.ipc == 0.5

@@ -1,0 +1,125 @@
+"""Tests for SMT-aware intra-chip placement and co-runner contention."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import MigrationPlanner
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.topology import build_machine
+from repro.workloads import HeterogeneousMicrobenchmark, ScoreboardMicrobenchmark
+
+
+class TestSmtAwareSeating:
+    def _plan(self, members, rates, machine=None):
+        machine = machine or build_machine(1, 2, 2)
+        planner = MigrationPlanner(
+            machine, np.random.default_rng(0), intra_chip_policy="smt_aware"
+        )
+        return planner.plan([list(members)], miss_rate=rates), machine
+
+    def test_hot_and_cold_threads_share_a_core(self):
+        rates = {0: 0.9, 1: 0.8, 2: 0.1, 3: 0.05}
+        plan, machine = self._plan([0, 1, 2, 3], rates)
+        core_of = {
+            tid: machine.core_of(cpu) for tid, cpu in plan.target_cpu.items()
+        }
+        # The two hottest threads must land on different cores.
+        assert core_of[0] != core_of[1]
+        # Each core pairs one hot with one cold thread.
+        for hot in (0, 1):
+            partner = next(
+                t for t in (2, 3) if core_of[t] == core_of[hot]
+            )
+            assert rates[partner] < 0.5
+
+    def test_falls_back_to_random_without_rates(self):
+        machine = build_machine(1, 2, 2)
+        planner = MigrationPlanner(
+            machine, np.random.default_rng(0), intra_chip_policy="smt_aware"
+        )
+        plan = planner.plan([[0, 1, 2, 3]], miss_rate=None)
+        assert set(plan.target_cpu) == {0, 1, 2, 3}
+
+    def test_seating_balances_cpu_load(self):
+        rates = {tid: tid / 10 for tid in range(8)}
+        plan, machine = self._plan(range(8), rates)
+        counts = {}
+        for cpu in plan.target_cpu.values():
+            counts[cpu] = counts.get(cpu, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationPlanner(
+                build_machine(1, 2, 2),
+                np.random.default_rng(0),
+                intra_chip_policy="nonsense",
+            )
+
+
+class TestCorunnerContention:
+    def _run(self, sensitivity, seed=5):
+        config = SimConfig(
+            policy=PlacementPolicy.ROUND_ROBIN,
+            n_rounds=80,
+            quantum_references=100,
+            seed=seed,
+            measurement_start_fraction=0.25,
+        )
+        config.smt_memory_sensitivity = sensitivity
+        return run_simulation(HeterogeneousMicrobenchmark(2, 4), config)
+
+    def test_sensitivity_increases_cpi(self):
+        flat = self._run(0.0)
+        sensitive = self._run(1.0)
+        assert sensitive.full_breakdown.cpi > flat.full_breakdown.cpi
+
+    def test_zero_sensitivity_matches_flat_model(self):
+        """With sensitivity 0 the new path must reproduce the original
+        flat-contention numbers exactly."""
+        a = self._run(0.0)
+        b = self._run(0.0)
+        assert a.full_breakdown.cpi == b.full_breakdown.cpi
+
+    def test_negative_sensitivity_rejected(self):
+        config = SimConfig()
+        config.smt_memory_sensitivity = -0.5
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_invalid_intra_chip_placement_rejected(self):
+        config = SimConfig()
+        config.intra_chip_placement = "whatever"
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestMissRateTracking:
+    def test_miss_rates_reflect_workload_character(self):
+        config = SimConfig(
+            policy=PlacementPolicy.ROUND_ROBIN,
+            n_rounds=60,
+            quantum_references=150,
+            seed=5,
+            measurement_start_fraction=0.25,
+        )
+        workload = HeterogeneousMicrobenchmark(2, 4)
+        run_simulation(workload, config)
+        heavy = [t for t in workload.threads if workload.is_memory_heavy(t)]
+        light = [t for t in workload.threads if not workload.is_memory_heavy(t)]
+        mean_heavy = sum(t.l1_miss_rate for t in heavy) / len(heavy)
+        mean_light = sum(t.l1_miss_rate for t in light) / len(light)
+        assert mean_heavy > 2 * mean_light
+
+    def test_miss_rate_bounded(self):
+        config = SimConfig(
+            policy=PlacementPolicy.ROUND_ROBIN,
+            n_rounds=40,
+            quantum_references=100,
+            seed=5,
+        )
+        workload = ScoreboardMicrobenchmark(2, 4)
+        run_simulation(workload, config)
+        for thread in workload.threads:
+            assert 0.0 <= thread.l1_miss_rate <= 1.0

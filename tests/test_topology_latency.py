@@ -1,0 +1,85 @@
+"""Tests for the latency map (Figure 1 numbers)."""
+
+import pytest
+
+from repro.topology import AccessSource, LatencyMap
+
+
+class TestDefaults:
+    def test_figure_1_shape(self):
+        """On-chip sharing must be far cheaper than any cross-chip access."""
+        lat = LatencyMap()
+        assert 1 <= lat.l1 <= 2
+        assert 10 <= lat.local_l2 <= 20
+        assert lat.remote_l2 >= 120  # "at least 120 CPU cycles"
+        assert lat.memory > lat.remote_l3
+
+    def test_monotone_by_construction(self):
+        lat = LatencyMap()
+        ordered = [
+            lat.cycles(s)
+            for s in (
+                AccessSource.L1,
+                AccessSource.LOCAL_L2,
+                AccessSource.LOCAL_L3,
+                AccessSource.REMOTE_L2,
+                AccessSource.REMOTE_L3,
+                AccessSource.MEMORY,
+            )
+        ]
+        assert ordered == sorted(ordered)
+
+    def test_cross_chip_penalty_is_large(self):
+        assert LatencyMap().cross_chip_penalty >= 5
+
+
+class TestValidation:
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError):
+            LatencyMap(l1=2, local_l2=200, local_l3=90)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            LatencyMap(l1=0)
+
+    def test_accepts_equal_adjacent_levels(self):
+        lat = LatencyMap(l1=2, local_l2=14, local_l3=14)
+        assert lat.local_l3 == 14
+
+
+class TestAccessors:
+    def test_cycles_matches_fields(self):
+        lat = LatencyMap()
+        assert lat.cycles(AccessSource.L1) == lat.l1
+        assert lat.cycles(AccessSource.LOCAL_L2) == lat.local_l2
+        assert lat.cycles(AccessSource.LOCAL_L3) == lat.local_l3
+        assert lat.cycles(AccessSource.REMOTE_L2) == lat.remote_l2
+        assert lat.cycles(AccessSource.REMOTE_L3) == lat.remote_l3
+        assert lat.cycles(AccessSource.MEMORY) == lat.memory
+
+    def test_stall_cycles_is_zero_for_l1(self):
+        lat = LatencyMap()
+        assert lat.stall_cycles(AccessSource.L1) == 0
+
+    def test_stall_cycles_is_latency_minus_l1(self):
+        lat = LatencyMap()
+        assert lat.stall_cycles(AccessSource.MEMORY) == lat.memory - lat.l1
+
+    def test_as_dict_covers_all_sources(self):
+        d = LatencyMap().as_dict()
+        assert set(d) == {s.value for s in AccessSource}
+
+
+class TestSourceClassification:
+    def test_remote_sources(self):
+        assert AccessSource.REMOTE_L2.is_remote_cache
+        assert AccessSource.REMOTE_L3.is_remote_cache
+        assert not AccessSource.MEMORY.is_remote_cache
+        assert not AccessSource.LOCAL_L2.is_remote_cache
+
+    def test_local_sources(self):
+        assert AccessSource.L1.is_local_cache
+        assert AccessSource.LOCAL_L2.is_local_cache
+        assert AccessSource.LOCAL_L3.is_local_cache  # footnote 1: chip-attached L3 is local
+        assert not AccessSource.REMOTE_L2.is_local_cache
+        assert not AccessSource.MEMORY.is_local_cache

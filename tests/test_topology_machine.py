@@ -1,0 +1,162 @@
+"""Tests for the SMP-CMP-SMT machine topology model."""
+
+import pytest
+
+from repro.topology import (
+    Machine,
+    SharingLevel,
+    build_machine,
+    openpower_720,
+    power5_32way,
+)
+
+
+class TestBuildMachine:
+    def test_openpower_720_dimensions(self):
+        machine = build_machine(2, 2, 2)
+        assert machine.n_chips == 2
+        assert machine.n_cores == 4
+        assert machine.n_cpus == 8
+        assert machine.smt_width == 2
+
+    def test_cpu_ids_are_dense_and_ordered(self):
+        machine = build_machine(2, 3, 4)
+        assert [ctx.cpu_id for ctx in machine.contexts()] == list(range(24))
+
+    def test_core_ids_are_global(self):
+        machine = build_machine(2, 2, 2)
+        core_ids = {ctx.core_id for ctx in machine.contexts()}
+        assert core_ids == {0, 1, 2, 3}
+
+    def test_single_chip_machine(self):
+        machine = build_machine(1, 1, 1)
+        assert machine.n_cpus == 1
+        assert machine.chip_of(0) == 0
+
+    @pytest.mark.parametrize("dims", [(0, 2, 2), (2, 0, 2), (2, 2, 0), (-1, 1, 1)])
+    def test_rejects_non_positive_dimensions(self, dims):
+        with pytest.raises(ValueError):
+            build_machine(*dims)
+
+    def test_rejects_non_dense_cpu_ids(self):
+        machine = build_machine(1, 1, 2)
+        # Rebuild with a gap in cpu ids.
+        from repro.topology.machine import Chip, Core, HardwareContext
+
+        bad_core = Core(
+            core_id=0,
+            chip_id=0,
+            contexts=(
+                HardwareContext(cpu_id=0, core_id=0, chip_id=0, smt_index=0),
+                HardwareContext(cpu_id=5, core_id=0, chip_id=0, smt_index=1),
+            ),
+        )
+        with pytest.raises(ValueError):
+            Machine(chips=(Chip(chip_id=0, cores=(bad_core,)),))
+        assert machine.n_cpus == 2  # the good machine is unaffected
+
+
+class TestContainment:
+    @pytest.fixture
+    def machine(self):
+        return build_machine(2, 2, 2)
+
+    def test_chip_of(self, machine):
+        assert [machine.chip_of(cpu) for cpu in range(8)] == [
+            0, 0, 0, 0, 1, 1, 1, 1,
+        ]
+
+    def test_core_of(self, machine):
+        assert [machine.core_of(cpu) for cpu in range(8)] == [
+            0, 0, 1, 1, 2, 2, 3, 3,
+        ]
+
+    def test_cpus_of_chip(self, machine):
+        assert machine.cpus_of_chip(0) == [0, 1, 2, 3]
+        assert machine.cpus_of_chip(1) == [4, 5, 6, 7]
+
+    def test_cpus_of_core(self, machine):
+        assert machine.cpus_of_core(1) == [2, 3]
+
+    def test_cpus_of_missing_core_raises(self, machine):
+        with pytest.raises(KeyError):
+            machine.cpus_of_core(99)
+
+    def test_smt_siblings(self, machine):
+        assert machine.smt_siblings(0) == [1]
+        assert machine.smt_siblings(5) == [4]
+
+    def test_smt_siblings_four_way(self):
+        machine = build_machine(1, 1, 4)
+        assert machine.smt_siblings(2) == [0, 1, 3]
+
+
+class TestSharingLevel:
+    @pytest.fixture
+    def machine(self):
+        return build_machine(2, 2, 2)
+
+    def test_same_context(self, machine):
+        assert machine.sharing_level(3, 3) == SharingLevel.SAME_CONTEXT
+
+    def test_same_core(self, machine):
+        assert machine.sharing_level(0, 1) == SharingLevel.SAME_CORE
+
+    def test_same_chip(self, machine):
+        assert machine.sharing_level(0, 2) == SharingLevel.SAME_CHIP
+        assert machine.sharing_level(1, 3) == SharingLevel.SAME_CHIP
+
+    def test_cross_chip(self, machine):
+        assert machine.sharing_level(0, 4) == SharingLevel.CROSS_CHIP
+        assert machine.sharing_level(3, 7) == SharingLevel.CROSS_CHIP
+
+    def test_symmetry(self, machine):
+        for a in range(8):
+            for b in range(8):
+                assert machine.sharing_level(a, b) == machine.sharing_level(b, a)
+
+    def test_levels_are_ordered_cheap_to_expensive(self):
+        assert (
+            SharingLevel.SAME_CONTEXT
+            < SharingLevel.SAME_CORE
+            < SharingLevel.SAME_CHIP
+            < SharingLevel.CROSS_CHIP
+        )
+
+    def test_same_chip_predicate(self, machine):
+        assert machine.same_chip(0, 3)
+        assert not machine.same_chip(0, 4)
+
+
+class TestPresets:
+    def test_openpower_720_matches_table_1(self):
+        spec = openpower_720()
+        assert spec.machine.n_chips == 2
+        assert spec.machine.n_cpus == 8
+        assert spec.l1_geometry.capacity_bytes == 64 * 1024
+        assert spec.l2_geometry.capacity_bytes == 2 * 1024 * 1024
+        assert spec.l3_geometry.capacity_bytes == 36 * 1024 * 1024
+        assert spec.l2_geometry.associativity == 10
+        assert spec.l3_geometry.associativity == 12
+        assert spec.clock_ghz == 1.5
+
+    def test_power5_32way_has_8_chips(self):
+        spec = power5_32way()
+        assert spec.machine.n_chips == 8
+        assert spec.machine.n_cpus == 32
+
+    def test_cache_scaling_preserves_associativity(self):
+        spec = openpower_720(cache_scale=16)
+        assert spec.l2_geometry.associativity == 10
+        assert spec.l2_geometry.capacity_bytes == 2 * 1024 * 1024 // 16
+
+    def test_cache_scaling_never_drops_below_one_set(self):
+        spec = openpower_720(cache_scale=10**9)
+        assert spec.l1_geometry.n_sets >= 1
+        assert spec.l2_geometry.n_sets >= 1
+
+    def test_describe_mentions_topology(self):
+        spec = openpower_720()
+        text = spec.machine.describe()
+        assert "2 chip(s)" in text
+        assert "8 hardware contexts" in text

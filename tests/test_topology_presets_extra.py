@@ -1,0 +1,63 @@
+"""Additional preset and geometry tests (custom machines, edge cases)."""
+
+import pytest
+
+from repro.topology import (
+    CacheGeometry,
+    LatencyMap,
+    custom_machine,
+    openpower_720,
+)
+
+
+class TestCacheGeometry:
+    def test_set_count_floors(self):
+        # 2MB, 10-way, 128B lines: 1638 whole sets (not 1638.4).
+        geometry = CacheGeometry(capacity_bytes=2 * 1024 * 1024, associativity=10)
+        assert geometry.n_sets == 1638
+        assert geometry.n_lines == 16380
+
+    def test_rejects_capacity_below_one_set(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(capacity_bytes=128, associativity=4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(capacity_bytes=0, associativity=4)
+        with pytest.raises(ValueError):
+            CacheGeometry(capacity_bytes=1024, associativity=0)
+
+    def test_scaled_never_below_one_set(self):
+        geometry = CacheGeometry(capacity_bytes=64 * 1024, associativity=4)
+        tiny = geometry.scaled(10**9)
+        assert tiny.n_sets >= 1
+        assert tiny.associativity == 4
+
+    def test_scaled_rejects_bad_factor(self):
+        geometry = CacheGeometry(capacity_bytes=64 * 1024, associativity=4)
+        with pytest.raises(ValueError):
+            geometry.scaled(0)
+
+
+class TestCustomMachine:
+    def test_arbitrary_shape(self):
+        spec = custom_machine(n_chips=3, cores_per_chip=4, smt_per_core=2)
+        assert spec.machine.n_chips == 3
+        assert spec.machine.n_cpus == 24
+        assert "3x4x2" in spec.machine.name
+
+    def test_custom_latency(self):
+        latency = LatencyMap(remote_l2=200, remote_l3=300, memory=500)
+        spec = custom_machine(n_chips=2, latency=latency)
+        assert spec.latency.remote_l2 == 200
+
+    def test_defaults_match_openpower_caches(self):
+        base = openpower_720(cache_scale=8)
+        spec = custom_machine(n_chips=4, cache_scale=8)
+        assert spec.l2_geometry == base.l2_geometry
+        assert spec.l3_geometry == base.l3_geometry
+
+    def test_spec_describe_mentions_caches(self):
+        text = openpower_720().describe()
+        assert "L2 2048KB/10-way" in text
+        assert "L3" in text

@@ -1,0 +1,132 @@
+"""Tests for the connection-churn wrapper and engine lifecycle support."""
+
+import numpy as np
+import pytest
+
+from repro.sched import PlacementPolicy, ThreadState
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import ChurningWorkload, Rubis, ScoreboardMicrobenchmark
+
+
+def make_churning(lifetime, seed=1, **rubis_kwargs):
+    defaults = dict(n_instances=2, clients_per_instance=4)
+    defaults.update(rubis_kwargs)
+    return ChurningWorkload(
+        Rubis(**defaults), mean_lifetime_quanta=lifetime, seed=seed
+    )
+
+
+def small_config(policy=PlacementPolicy.ROUND_ROBIN, n_rounds=60):
+    return SimConfig(
+        policy=policy,
+        n_rounds=n_rounds,
+        quantum_references=80,
+        seed=4,
+        measurement_start_fraction=0.25,
+    )
+
+
+class TestWrapper:
+    def test_persistent_mode_never_churns(self):
+        workload = make_churning(None)
+        result = run_simulation(workload, small_config())
+        assert workload.connections_closed == 0
+        assert result.full_breakdown.instructions > 0
+
+    def test_threads_finish_and_get_replaced(self):
+        workload = make_churning(10)
+        run_simulation(workload, small_config())
+        assert workload.connections_closed > 0
+        # Live population stays constant.
+        assert len(workload.threads) == 8
+
+    def test_replacements_inherit_group_and_process(self):
+        workload = make_churning(5)
+        original_groups = sorted(t.sharing_group for t in workload.threads)
+        run_simulation(workload, small_config())
+        new_groups = sorted(t.sharing_group for t in workload.threads)
+        assert new_groups == original_groups
+
+    def test_replacement_tids_are_fresh(self):
+        workload = make_churning(5)
+        run_simulation(workload, small_config())
+        assert max(t.tid for t in workload.threads) >= 8
+
+    def test_finished_threads_leave_the_scheduler(self):
+        workload = make_churning(10)
+        config = small_config()
+        from repro.sim import Simulator
+
+        sim = Simulator(workload, config)
+        sim.run()
+        finished = [
+            t for t in sim.scheduler.threads if t.state is ThreadState.FINISHED
+        ]
+        assert len(finished) == workload.connections_closed
+        # Finished threads are never in any runqueue.
+        queued = set(id(t) for t in sim.scheduler.runqueues.all_threads())
+        for thread in finished:
+            assert id(thread) not in queued
+
+    def test_replacement_uses_same_regions(self):
+        workload = make_churning(3)
+        rng = np.random.default_rng(0)
+        first = workload.threads[0]
+        batch_before = workload.generate_batch(first, rng, 200)
+        run_simulation(workload, small_config())
+        # A replacement on slot 0's connection draws from the same regions.
+        replacement = next(
+            t for t in workload.threads if t.name.startswith(first.name.split("#")[0])
+        )
+        batch_after = workload.generate_batch(replacement, rng, 200)
+        regions_before = {workload.allocator.find(int(a)).name for a in batch_before.addresses[:50]}
+        regions_after = {workload.allocator.find(int(a)).name for a in batch_after.addresses[:50]}
+        assert regions_before & regions_after
+
+    def test_lifetime_jitter_desynchronises_closures(self):
+        workload = make_churning(20, seed=3)
+        lifetimes = set(workload._quanta_left.values())
+        assert len(lifetimes) > 1
+
+    @pytest.mark.parametrize("kwargs", [dict(mean_lifetime_quanta=0),
+                                        dict(mean_lifetime_quanta=10, lifetime_jitter=1.5)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurningWorkload(Rubis(2, 2), **{"lifetime_jitter": 0.3, **kwargs})
+
+    def test_describe_mentions_lifetime(self):
+        assert "persistent" in make_churning(None).describe()
+        assert "~15 quanta" in make_churning(15).describe()
+
+
+class TestChurnWithClustering:
+    def test_persistent_population_clusters_normally(self):
+        workload = ChurningWorkload(
+            ScoreboardMicrobenchmark(2, 8), mean_lifetime_quanta=None
+        )
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=300,
+            seed=3,
+            measurement_start_fraction=0.5,
+        )
+        result = run_simulation(workload, config)
+        assert result.n_clustering_rounds >= 1
+        event = result.clustering_events[-1]
+        assert sorted(len(c) for c in event.result.clusters) == [8, 8]
+
+    def test_churning_population_does_not_crash_the_controller(self):
+        """Threads vanish between detection and migration: the controller
+        must skip the dead tids and place the survivors."""
+        workload = ChurningWorkload(
+            ScoreboardMicrobenchmark(2, 8), mean_lifetime_quanta=12, seed=2
+        )
+        config = SimConfig(
+            policy=PlacementPolicy.CLUSTERED,
+            n_rounds=300,
+            seed=3,
+            measurement_start_fraction=0.5,
+        )
+        result = run_simulation(workload, config)
+        assert workload.connections_closed > 50
+        assert result.full_breakdown.instructions > 0

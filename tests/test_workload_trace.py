@@ -1,0 +1,125 @@
+"""Tests for trace recording and deterministic replay."""
+
+import numpy as np
+import pytest
+
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig, run_simulation
+from repro.workloads import (
+    ScoreboardMicrobenchmark,
+    TraceRecorder,
+    TraceWorkload,
+    WorkloadTrace,
+)
+
+
+def small_config(policy=PlacementPolicy.ROUND_ROBIN, n_rounds=40):
+    return SimConfig(
+        policy=policy,
+        n_rounds=n_rounds,
+        quantum_references=50,
+        seed=4,
+        measurement_start_fraction=0.25,
+    )
+
+
+@pytest.fixture
+def recorded_trace():
+    recorder = TraceRecorder(ScoreboardMicrobenchmark(2, 4))
+    run_simulation(recorder, small_config())
+    return recorder.finish()
+
+
+class TestRecording:
+    def test_records_every_thread(self, recorded_trace):
+        assert len(recorded_trace.threads) == 8
+        for thread_trace in recorded_trace.threads.values():
+            assert len(thread_trace) > 0
+
+    def test_total_references_match_run(self, recorded_trace):
+        # 8 threads on 8 cpus, 40 rounds, 50 refs per quantum.
+        assert recorded_trace.total_references == 8 * 40 * 50
+
+    def test_metadata_preserved(self, recorded_trace):
+        t0 = recorded_trace.threads[0]
+        assert t0.sharing_group == 0
+        assert "worker" in t0.name
+
+    def test_recorder_proxies_workload_protocol(self):
+        inner = ScoreboardMicrobenchmark(2, 4)
+        recorder = TraceRecorder(inner)
+        assert recorder.n_threads == inner.n_threads
+        assert recorder.ground_truth() == inner.ground_truth()
+        assert recorder.n_groups() == 2
+        assert "recording" in recorder.describe()
+
+
+class TestSerialisation:
+    def test_round_trip_bytes(self, recorded_trace):
+        data = recorded_trace.to_bytes()
+        loaded = WorkloadTrace.from_bytes(data)
+        assert loaded.name == recorded_trace.name
+        assert set(loaded.threads) == set(recorded_trace.threads)
+        for tid, original in recorded_trace.threads.items():
+            replayed = loaded.threads[tid]
+            assert (replayed.addresses == original.addresses).all()
+            assert (replayed.is_write == original.is_write).all()
+            assert replayed.sharing_group == original.sharing_group
+
+    def test_round_trip_file(self, recorded_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        recorded_trace.save(str(path))
+        loaded = WorkloadTrace.load(str(path))
+        assert loaded.total_references == recorded_trace.total_references
+
+
+class TestReplay:
+    def test_replay_is_deterministic(self, recorded_trace):
+        a = run_simulation(TraceWorkload(recorded_trace), small_config())
+        b = run_simulation(TraceWorkload(recorded_trace), small_config())
+        assert a.elapsed_cycles == b.elapsed_cycles
+        assert (a.access_counts == b.access_counts).all()
+
+    def test_replay_ignores_seed(self, recorded_trace):
+        """Identical traffic regardless of the simulation seed: the trace
+        IS the workload."""
+        config_a = small_config()
+        config_b = small_config()
+        config_b.seed = 999
+        a = run_simulation(TraceWorkload(recorded_trace), config_a)
+        b = run_simulation(TraceWorkload(recorded_trace), config_b)
+        # Traffic identical; scheduling randomness may differ, but under
+        # round-robin (no balancing) the outcome is fully determined.
+        assert (a.access_counts == b.access_counts).all()
+
+    def test_replay_wraps_past_recording_length(self, recorded_trace):
+        result = run_simulation(
+            TraceWorkload(recorded_trace), small_config(n_rounds=120)
+        )
+        assert result.full_breakdown.instructions > 0
+
+    def test_replay_under_different_policy_still_clusters(self, recorded_trace):
+        """The headline use-case: record once, replay under automatic
+        clustering -- the sharing structure embedded in the trace is
+        detected without the generative model."""
+        config = small_config(PlacementPolicy.CLUSTERED, n_rounds=350)
+        config.quantum_references = 150
+        result = run_simulation(TraceWorkload(recorded_trace), config)
+        assert result.n_clustering_rounds >= 1
+        event = result.clustering_events[-1]
+        big = [c for c in event.result.clusters if len(c) >= 2]
+        assert big, "no multi-thread cluster detected from replayed trace"
+        for members in big:
+            groups = {recorded_trace.threads[tid].sharing_group for tid in members}
+            assert len(groups) == 1
+
+    def test_empty_thread_stream(self):
+        trace = WorkloadTrace(name="empty")
+        from repro.workloads.trace import ThreadTrace
+
+        trace.threads[0] = ThreadTrace(tid=0, name="t0", sharing_group=-1)
+        workload = TraceWorkload(trace)
+        batch = workload.generate_batch(
+            workload.threads[0], np.random.default_rng(0), 100
+        )
+        assert len(batch) == 0

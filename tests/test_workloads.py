@@ -1,0 +1,246 @@
+"""Tests for the four workload models."""
+
+import numpy as np
+import pytest
+
+from repro.memory import SharingKind
+from repro.workloads import (
+    Rubis,
+    ScoreboardMicrobenchmark,
+    SpecJbb,
+    TrafficStream,
+    VolanoMark,
+    WorkloadModel,
+    WORKLOAD_FACTORIES,
+    compose_traffic,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestComposeTraffic:
+    def _streams(self, workload=None):
+        wl = workload or ScoreboardMicrobenchmark(2, 2)
+        return wl.streams_for(wl.threads[0])
+
+    def test_batch_size(self, rng):
+        batch = compose_traffic(rng, self._streams(), 500)
+        assert len(batch) == 500
+        assert batch.instructions == 500 * 4
+
+    def test_empty_request(self, rng):
+        batch = compose_traffic(rng, self._streams(), 0)
+        assert len(batch) == 0
+
+    def test_mix_follows_weights(self, rng):
+        wl = ScoreboardMicrobenchmark(2, 2, scoreboard_share=0.2, stack_share=0.4)
+        thread = wl.threads[0]
+        streams = wl.streams_for(thread)
+        batch = compose_traffic(rng, streams, 20_000)
+        board = wl._scoreboards[thread.sharing_group]
+        in_board = ((batch.addresses >= board.base) & (batch.addresses < board.end)).mean()
+        assert in_board == pytest.approx(0.2, abs=0.03)
+
+    def test_addresses_fall_in_declared_regions(self, rng):
+        wl = VolanoMark(2, 2)
+        for thread in wl.threads:
+            batch = wl.generate_batch(thread, rng, 300)
+            for address in batch.addresses[:50]:
+                region = wl.allocator.find(int(address))
+                assert region is not None
+
+    def test_writes_follow_write_fraction(self, rng):
+        streams = [
+            TrafficStream(
+                region=ScoreboardMicrobenchmark(1, 1)._scoreboards[0],
+                weight=1.0,
+                write_fraction=0.5,
+            )
+        ]
+        batch = compose_traffic(rng, streams, 10_000)
+        assert batch.is_write.mean() == pytest.approx(0.5, abs=0.03)
+
+    def test_stream_validation(self):
+        region = ScoreboardMicrobenchmark(1, 1)._scoreboards[0]
+        with pytest.raises(ValueError):
+            TrafficStream(region=region, weight=-1)
+        with pytest.raises(ValueError):
+            TrafficStream(region=region, weight=1, write_fraction=1.5)
+
+
+class TestMicrobenchmark:
+    def test_thread_count_and_groups(self):
+        wl = ScoreboardMicrobenchmark(n_scoreboards=4, threads_per_scoreboard=4)
+        assert wl.n_threads == 16
+        assert wl.n_groups() == 4
+        groups = [t.sharing_group for t in wl.threads]
+        assert all(groups.count(g) == 4 for g in range(4))
+
+    def test_creation_order_interleaves_groups(self):
+        """Adjacent tids belong to different scoreboards, so least-loaded
+        placement scatters each group (the Figure 2a precondition)."""
+        wl = ScoreboardMicrobenchmark(4, 4)
+        first_four = [t.sharing_group for t in wl.threads[:4]]
+        assert sorted(first_four) == [0, 1, 2, 3]
+
+    def test_rotate_groups_transposes_partition(self):
+        wl = ScoreboardMicrobenchmark(4, 4)
+        before = {t.tid: t.sharing_group for t in wl.threads}
+        wl.rotate_groups()
+        after = {t.tid: t.sharing_group for t in wl.threads}
+        # Every new group draws one thread from each old group.
+        for group in range(4):
+            members = [tid for tid, g in after.items() if g == group]
+            old_groups = {before[tid] for tid in members}
+            assert old_groups == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoreboardMicrobenchmark(n_scoreboards=0)
+        with pytest.raises(ValueError):
+            ScoreboardMicrobenchmark(scoreboard_share=1.5)
+
+
+class TestVolano:
+    def test_two_threads_per_connection(self):
+        wl = VolanoMark(n_rooms=2, clients_per_room=8)
+        assert wl.n_threads == 32  # 2 rooms x 8 clients x 2 threads
+
+    def test_pair_shares_connection_buffer(self):
+        wl = VolanoMark(n_rooms=2, clients_per_room=2)
+        # Threads 0 and 1 are the in/out pair of connection 0.
+        assert wl._connection_buffers[0] is wl._connection_buffers[1]
+        assert wl._connection_buffers[0] is not wl._connection_buffers[2]
+
+    def test_pair_threads_share_room(self):
+        wl = VolanoMark(n_rooms=2, clients_per_room=2)
+        assert wl.threads[0].sharing_group == wl.threads[1].sharing_group
+
+    def test_room_region_groups(self):
+        wl = VolanoMark(n_rooms=3, clients_per_room=1)
+        rooms = [r for r in wl.allocator.regions if r.name.startswith("volanomark.room")]
+        assert [r.group for r in rooms] == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolanoMark(n_rooms=0)
+        with pytest.raises(ValueError):
+            VolanoMark(pair_share=0.5, room_share=0.5, global_share=0.3)
+
+
+class TestSpecJbb:
+    def test_gc_threads_are_ungrouped(self):
+        wl = SpecJbb(n_warehouses=2, threads_per_warehouse=4, n_gc_threads=2)
+        gc = [t for t in wl.threads if t.sharing_group < 0]
+        assert len(gc) == 2
+        assert all(t.name.startswith("gc") for t in gc)
+
+    def test_gc_threads_run_infrequently(self, rng):
+        wl = SpecJbb(n_warehouses=2, threads_per_warehouse=4, gc_batch_scale=0.05)
+        worker = next(t for t in wl.threads if t.sharing_group >= 0)
+        gc = next(t for t in wl.threads if t.sharing_group < 0)
+        worker_batch = wl.generate_batch(worker, rng, 1000)
+        gc_batch = wl.generate_batch(gc, rng, 1000)
+        assert len(gc_batch) <= 0.1 * len(worker_batch)
+
+    def test_gc_touches_all_warehouses(self):
+        wl = SpecJbb(n_warehouses=3, threads_per_warehouse=2)
+        gc = next(t for t in wl.threads if t.sharing_group < 0)
+        regions = {s.region.name for s in wl.streams_for(gc)}
+        for w in range(3):
+            assert f"specjbb.warehouse{w}" in regions
+
+    def test_workers_touch_only_their_warehouse(self):
+        wl = SpecJbb(n_warehouses=3, threads_per_warehouse=2)
+        worker = next(t for t in wl.threads if t.sharing_group == 1)
+        regions = {s.region.name for s in wl.streams_for(worker)}
+        assert "specjbb.warehouse1" in regions
+        assert "specjbb.warehouse0" not in regions
+
+    def test_warehouse_sized_larger_than_generic_shared(self):
+        wl = SpecJbb()
+        warehouse = next(
+            r for r in wl.allocator.regions if r.name == "specjbb.warehouse0"
+        )
+        assert warehouse.size == wl.sizing.shared_bytes * 2
+
+
+class TestRubis:
+    def test_thread_population(self):
+        wl = Rubis(n_instances=2, clients_per_instance=16)
+        assert wl.n_threads == 32
+        assert wl.n_groups() == 2
+
+    def test_instance_regions(self):
+        wl = Rubis(n_instances=2, clients_per_instance=1)
+        names = {r.name for r in wl.allocator.regions}
+        assert "rubis.bufferpool0" in names
+        assert "rubis.txlog1" in names
+        assert "rubis.mysql_state" in names
+
+    def test_global_region_is_global_kind(self):
+        wl = Rubis()
+        state = next(r for r in wl.allocator.regions if r.name == "rubis.mysql_state")
+        assert state.kind is SharingKind.GLOBAL
+
+    def test_log_is_write_heavy(self):
+        wl = Rubis()
+        thread = wl.threads[0]
+        log_stream = next(
+            s for s in wl.streams_for(thread) if "txlog" in s.region.name
+        )
+        assert log_stream.write_fraction >= 0.5
+
+
+class TestWorkloadProtocol:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_factory_builds_and_generates(self, name, rng):
+        wl = WORKLOAD_FACTORIES[name]()
+        assert isinstance(wl, WorkloadModel)
+        assert wl.n_threads > 0
+        batch = wl.generate_batch(wl.threads[0], rng, 100)
+        assert len(batch) >= 1
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_ground_truth_covers_all_threads(self, name):
+        wl = WORKLOAD_FACTORIES[name]()
+        truth = wl.ground_truth()
+        assert set(truth) == {t.tid for t in wl.threads}
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_no_cross_group_region_overlap(self, name):
+        """Cluster regions of different groups never share cache lines --
+        the ground truth the accuracy metrics rely on."""
+        wl = WORKLOAD_FACTORIES[name]()
+        lines_by_group = {}
+        for region in wl.allocator.regions:
+            if region.kind is not SharingKind.CLUSTER:
+                continue
+            span = set(range(region.base // 128, (region.end + 127) // 128))
+            for group, lines in lines_by_group.items():
+                if group != region.group:
+                    assert not (span & lines)
+            lines_by_group.setdefault(region.group, set()).update(span)
+
+    def test_describe(self):
+        text = ScoreboardMicrobenchmark(2, 2).describe()
+        assert "microbenchmark" in text
+        assert "4 threads" in text
+
+    def test_invalidate_streams_refreshes_cache(self, rng):
+        wl = ScoreboardMicrobenchmark(2, 2)
+        thread = wl.threads[0]
+        wl.generate_batch(thread, rng, 10)  # populate cache
+        old_board = wl._scoreboards[thread.sharing_group]
+        wl.rotate_groups()
+        new_board = wl._scoreboards[thread.sharing_group]
+        batch = wl.generate_batch(thread, rng, 5000)
+        in_new = (
+            (batch.addresses >= new_board.base)
+            & (batch.addresses < new_board.end)
+        ).sum()
+        if new_board is not old_board:
+            assert in_new > 0
