@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Flag hot-path benchmark regressions against BENCH_BASELINE.json.
+
+Usage:
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_hotpaths.py \
+        --benchmark-json=bench.json
+    python benchmarks/check_regression.py bench.json [--tolerance 0.25]
+    python benchmarks/check_regression.py bench.json --speedup-gate
+
+The default mode compares each benchmark's fresh mean against the
+``means`` section of the committed baseline and fails when any is more
+than ``--tolerance`` slower (25% by default -- generous, because shared
+CI runners are noisy; the gate is meant to catch order-of-magnitude
+mistakes like re-introducing a per-reference Python loop, not 5%
+jitter).
+
+``--speedup-gate`` additionally checks that the two benchmarks the
+batched reference pipeline is accountable for stay at least
+``--min-speedup`` (default 2.0) times faster than the ``seed_means``
+section, which was captured on the pre-pipeline scalar revision of the
+same streams on the same machine.
+
+Baselines are machine-specific.  Recapture with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_hotpaths.py \
+        --benchmark-json=bench.json
+    python benchmarks/check_regression.py bench.json --update
+
+which rewrites only the ``means`` section (seed numbers require a
+checkout of the pre-pipeline revision to reproduce).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_BASELINE.json"
+
+#: benchmarks the batched pipeline must keep >= --min-speedup over seed
+GATED_SPEEDUPS = (
+    "test_bench_cache_hierarchy_access",
+    "test_bench_shmap_observe",
+)
+
+
+def load_means(bench_json: Path) -> dict:
+    data = json.loads(bench_json.read_text())
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown fraction vs baseline means")
+    parser.add_argument("--speedup-gate", action="store_true",
+                        help="also require the gated benchmarks to beat "
+                             "seed_means by --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline's means from this run "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+
+    for path in (args.bench_json, args.baseline):
+        if not path.is_file():
+            parser.error(f"no such file: {path}")
+    fresh = load_means(args.bench_json)
+    baseline = json.loads(args.baseline.read_text())
+
+    if args.update:
+        baseline["means"] = {
+            name: round(mean, 9) for name, mean in sorted(fresh.items())
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"updated {args.baseline} means from {args.bench_json}")
+        return 0
+
+    failures = []
+    for name, base_mean in baseline["means"].items():
+        mean = fresh.get(name)
+        if mean is None:
+            failures.append(f"{name}: missing from {args.bench_json}")
+            continue
+        ratio = mean / base_mean
+        marker = ""
+        if ratio > 1.0 + args.tolerance:
+            marker = "  << REGRESSION"
+            failures.append(
+                f"{name}: {mean * 1e6:.0f} us vs baseline "
+                f"{base_mean * 1e6:.0f} us ({ratio:.2f}x)"
+            )
+        print(f"{name:40s} {mean * 1e6:10.0f} us  "
+              f"baseline {base_mean * 1e6:10.0f} us  {ratio:5.2f}x{marker}")
+
+    if args.speedup_gate:
+        for name in GATED_SPEEDUPS:
+            seed_mean = baseline["seed_means"][name]
+            mean = fresh.get(name)
+            if mean is None:
+                failures.append(f"{name}: missing from {args.bench_json}")
+                continue
+            speedup = seed_mean / mean
+            status = "ok" if speedup >= args.min_speedup else "FAIL"
+            print(f"{name:40s} speedup vs seed {speedup:5.2f}x "
+                  f"(need >= {args.min_speedup:.1f}x)  {status}")
+            if speedup < args.min_speedup:
+                failures.append(
+                    f"{name}: speedup {speedup:.2f}x below "
+                    f"{args.min_speedup:.1f}x gate"
+                )
+
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,32 +5,86 @@ their contents: the clustering scheme consumes hit/miss outcomes and the
 coherence traffic they generate, never data values.  Lines are identified
 by their line number (address >> log2(line_bytes)).
 
-Each set is a short Python list ordered least- to most-recently used.
-Associativities in the modelled machines are at most 12 ways, so linear
-scans of a set are cheap and keep the per-access constant factor low --
-this method is called millions of times per experiment.
+Storage is a flat ``n_sets * ways`` slot table: ``_line_at`` holds the
+resident line per slot (-1 = empty) and ``_ages`` the slot's last-use
+tick, both plain Python lists so the scalar hot ops (`touch`, `insert`,
+`invalidate`) never cross into NumPy, plus ``_slot_of`` (line -> slot)
+for O(1) lookups.  A monotonically increasing tick stamps every touch
+and insert, so the LRU victim of a full set is simply the slot with the
+smallest age; empty slots carry age 0 (ticks start at 1) and are
+therefore filled before anything is evicted, reproducing the classic
+list-ordered fill-then-evict behaviour exactly.
+
+Caches built with ``vector_membership=True`` (the hierarchy's L1s)
+additionally keep ``_np_lines``, an ``(n_sets, ways)`` NumPy mirror of
+``_line_at`` maintained only by ``insert`` / ``invalidate`` / ``flush``
+(``touch`` reorders, never changes membership).  The mirror powers the
+batch entry points -- :meth:`snapshot_slots` resolves a whole address
+array to (hit, slot) pairs in one vectorized pass, and
+:meth:`touch_batch_hits` promotes a run of known-valid slots with a
+tight loop -- which the hierarchy's batched reference pipeline uses to
+take the dominant L1-hit path without one interpreter round-trip per
+reference.  L2/L3 caches skip the mirror entirely so their (far more
+frequent) scalar fills never pay NumPy scalar-store overhead.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
 
 
 class SetAssociativeCache:
     """Line-granular set-associative cache with true-LRU replacement."""
 
-    __slots__ = ("name", "_n_sets", "_ways", "_sets", "hits", "misses")
+    __slots__ = (
+        "name",
+        "_n_sets",
+        "_ways",
+        "_line_at",
+        "_ages",
+        "_slot_of",
+        "_set_mask",
+        "_np_lines",
+        "_np_lines_flat",
+        "_tick",
+        "hits",
+        "misses",
+        "_dirty",
+    )
 
-    def __init__(self, name: str, n_sets: int, ways: int) -> None:
+    def __init__(
+        self, name: str, n_sets: int, ways: int, vector_membership: bool = False
+    ) -> None:
         if n_sets <= 0 or ways <= 0:
             raise ValueError("n_sets and ways must be positive")
         self.name = name
         self._n_sets = n_sets
         self._ways = ways
-        # Each set is ordered LRU-first; index -1 is the MRU line.
-        self._sets: List[List[int]] = [[] for _ in range(n_sets)]
+        n_slots = n_sets * ways
+        #: resident line per slot (set-major); -1 marks an empty slot
+        self._line_at: List[int] = [-1] * n_slots
+        #: last-use tick per slot; 0 marks an empty slot
+        self._ages: List[int] = [0] * n_slots
+        #: line -> slot, for O(1) membership and placement
+        self._slot_of = {}
+        #: bitmask equivalent of ``% n_sets`` when n_sets is a power of
+        #: two (NumPy's modulo is several times slower than bitwise-and)
+        self._set_mask = n_sets - 1 if n_sets & (n_sets - 1) == 0 else None
+        if vector_membership:
+            #: vectorized membership mirror of ``_line_at`` (module doc)
+            self._np_lines = np.full((n_sets, ways), -1, dtype=np.int64)
+            self._np_lines_flat: Optional[np.ndarray] = self._np_lines.reshape(-1)
+        else:
+            self._np_lines = None
+            self._np_lines_flat = None
+        self._tick = 0
         self.hits = 0
         self.misses = 0
+        #: while not None, slots whose line was *removed* are recorded
+        #: here (see :meth:`begin_removal_tracking`)
+        self._dirty: Optional[Set[int]] = None
 
     @property
     def n_sets(self) -> int:
@@ -44,6 +98,9 @@ class SetAssociativeCache:
     def capacity_lines(self) -> int:
         return self._n_sets * self._ways
 
+    # ------------------------------------------------------------------
+    # Scalar API (identical semantics to the original list-based cache)
+    # ------------------------------------------------------------------
     def touch(self, line: int) -> bool:
         """Look up ``line``; on a hit, promote it to MRU.
 
@@ -51,34 +108,49 @@ class SetAssociativeCache:
         :meth:`insert` to fill after servicing the miss, mirroring how
         the hierarchy fills on the return path.
         """
-        entries = self._sets[line % self._n_sets]
-        if line in entries:
-            if entries[-1] != line:
-                entries.remove(line)
-                entries.append(line)
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
+        slot = self._slot_of.get(line)
+        if slot is None:
+            self.misses += 1
+            return False
+        self._tick = tick = self._tick + 1
+        self._ages[slot] = tick
+        self.hits += 1
+        return True
 
     def contains(self, line: int) -> bool:
         """Presence test with no LRU or statistics side effects."""
-        return line in self._sets[line % self._n_sets]
+        return line in self._slot_of
 
     def insert(self, line: int) -> Optional[int]:
         """Fill ``line`` as MRU; return the evicted victim line, if any.
 
         Re-inserting a present line just refreshes its LRU position.
         """
-        entries = self._sets[line % self._n_sets]
-        if line in entries:
-            if entries[-1] != line:
-                entries.remove(line)
-                entries.append(line)
+        slot_of = self._slot_of
+        slot = slot_of.get(line)
+        self._tick = tick = self._tick + 1
+        ages = self._ages
+        if slot is not None:
+            ages[slot] = tick
             return None
-        entries.append(line)
-        if len(entries) > self._ways:
-            return entries.pop(0)
+        base = (line % self._n_sets) * self._ways
+        row = ages[base : base + self._ways]
+        # Empty slots carry age 0 < any tick, so min() fills them first;
+        # on a full set it selects the true-LRU victim.
+        slot = base + row.index(min(row))
+        line_at = self._line_at
+        victim = line_at[slot]
+        line_at[slot] = line
+        ages[slot] = tick
+        mirror = self._np_lines_flat
+        if mirror is not None:
+            mirror[slot] = line
+        slot_of[line] = slot
+        if victim >= 0:
+            del slot_of[victim]
+            if self._dirty is not None:
+                self._dirty.add(slot)
+            return victim
         return None
 
     def invalidate(self, line: int) -> bool:
@@ -86,15 +158,108 @@ class SetAssociativeCache:
 
         Used by the coherence protocol when another chip writes the line.
         """
-        entries = self._sets[line % self._n_sets]
-        if line in entries:
-            entries.remove(line)
-            return True
-        return False
+        slot = self._slot_of.pop(line, None)
+        if slot is None:
+            return False
+        self._line_at[slot] = -1
+        self._ages[slot] = 0
+        mirror = self._np_lines_flat
+        if mirror is not None:
+            mirror[slot] = -1
+        if self._dirty is not None:
+            self._dirty.add(slot)
+        return True
 
+    # ------------------------------------------------------------------
+    # Batch API (the hierarchy's vectorized fast path; requires
+    # ``vector_membership=True``)
+    # ------------------------------------------------------------------
+    def snapshot_slots(
+        self, lines: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized lookup: (resident-now mask, slot per line).
+
+        No LRU or statistics side effects.  ``slots[i]`` is meaningful
+        only where ``hit[i]`` is True; elsewhere it is an arbitrary slot
+        of the line's set.  Slots stay valid while the line stays
+        resident (touches reorder ages, never move lines), so callers
+        combine this with removal tracking to detect staleness.
+        """
+        mask = self._set_mask
+        sets = lines & mask if mask is not None else lines % self._n_sets
+        # Per-way 1-D gathers from the flat mirror beat one (n, ways)
+        # row gather + axis-1 reductions by ~3x: NumPy's small-axis
+        # any/argmax dominate the 2-D formulation.
+        flat = self._np_lines_flat
+        base = sets * self._ways
+        hit = flat[base] == lines
+        slots = base.copy()
+        for way in range(1, self._ways):
+            probe = base + way
+            match = flat[probe] == lines
+            np.copyto(slots, probe, where=match & ~hit)
+            hit |= match
+        return hit, slots
+
+    def contains_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorized presence test; no LRU or statistics side effects."""
+        mask = self._set_mask
+        sets = lines & mask if mask is not None else lines % self._n_sets
+        flat = self._np_lines_flat
+        base = sets * self._ways
+        hit = flat[base] == lines
+        for way in range(1, self._ways):
+            hit |= flat[base + way] == lines
+        return hit
+
+    def touch_batch_hits(self, slots: List[int]) -> None:
+        """Bulk-promote resident lines by their (still-valid) slots.
+
+        Equivalent to calling :meth:`touch` once per underlying line in
+        order (every call would hit): each slot receives exactly the age
+        the sequential ticks would assign (duplicates are overwritten by
+        their later occurrence) and the tick advances by ``len(slots)``.
+        Callers must pass slots whose line has not moved since lookup;
+        the batched hierarchy pipeline guarantees this via
+        :meth:`begin_removal_tracking`.
+        """
+        tick = self._tick
+        ages = self._ages
+        for slot in slots:
+            tick += 1
+            ages[slot] = tick
+        self._tick = tick
+        self.hits += len(slots)
+
+    # ------------------------------------------------------------------
+    # Removal tracking (for the batched pipeline's staleness checks)
+    # ------------------------------------------------------------------
+    def begin_removal_tracking(self) -> Set[int]:
+        """Start recording the slot of every line removed from the cache.
+
+        Returns the live set the cache will add freed slots to; the
+        batched pipeline uses it to reject snapshot slots whose
+        membership has changed since :meth:`snapshot_slots`.  A slot
+        re-filled with a *new* line is harmless to track forever: the
+        new line was absent from the snapshot, so no stale prediction
+        can reference it.  Not reentrant.
+        """
+        self._dirty = removed = set()
+        return removed
+
+    def end_removal_tracking(self) -> None:
+        self._dirty = None
+
+    # ------------------------------------------------------------------
+    # Introspection and reset
+    # ------------------------------------------------------------------
     def occupied_lines(self) -> int:
         """Total lines currently resident (for tests and reports)."""
-        return sum(len(entries) for entries in self._sets)
+        return len(self._slot_of)
+
+    def resident_lines(self) -> List[int]:
+        """All resident line numbers (unordered; tests and reports)."""
+        return list(self._slot_of)
 
     def reset_counters(self) -> None:
         self.hits = 0
@@ -102,8 +267,15 @@ class SetAssociativeCache:
 
     def flush(self) -> None:
         """Drop every line (used when re-initialising between phases)."""
-        for entries in self._sets:
-            entries.clear()
+        if self._dirty is not None:
+            self._dirty.update(self._slot_of.values())
+        n_slots = self._n_sets * self._ways
+        self._line_at = [-1] * n_slots
+        self._ages = [0] * n_slots
+        self._slot_of.clear()
+        if self._np_lines_flat is not None:
+            self._np_lines_flat.fill(-1)
+        self._tick = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

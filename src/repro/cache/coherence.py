@@ -96,5 +96,15 @@ class CoherenceDirectory:
         self.invalidations_sent = 0
         self.lines_ever_shared = 0
 
+    def clear(self) -> None:
+        """Forget every holder and zero the counters.
+
+        Equivalent to replacing the directory with a fresh instance, but
+        keeps object identity so callers holding a reference (tests,
+        reports, the hierarchy itself) never go stale across a flush.
+        """
+        self._holders.clear()
+        self.reset_counters()
+
 
 _EMPTY_SET: Set[int] = frozenset()  # type: ignore[assignment]

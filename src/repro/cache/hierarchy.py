@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..topology.presets import MachineSpec
 from .cache import SetAssociativeCache
 from .coherence import CoherenceDirectory
@@ -56,7 +58,12 @@ class CacheHierarchy:
         l3 = spec.l3_geometry
         #: one L1 per core, indexed by global core id
         self.l1_caches: List[SetAssociativeCache] = [
-            SetAssociativeCache(f"L1.core{core}", l1.n_sets, l1.associativity)
+            SetAssociativeCache(
+                f"L1.core{core}",
+                l1.n_sets,
+                l1.associativity,
+                vector_membership=True,
+            )
             for core in range(machine.n_cores)
         ]
         #: one L2 per chip, indexed by chip id
@@ -126,6 +133,187 @@ class CacheHierarchy:
 
         self.stats.counts[cpu][source] += 1
         return source
+
+    # ------------------------------------------------------------------
+    # The batched reference pipeline
+    # ------------------------------------------------------------------
+    def access_batch(
+        self,
+        cpu: int,
+        addresses: "np.ndarray",
+        writes: "np.ndarray",
+        miss_callback=None,
+    ) -> List[int]:
+        """Service a quantum's worth of references from one cpu.
+
+        Observably equivalent to calling :meth:`access` once per element
+        in order -- identical satisfaction sources, statistics, LRU state
+        and coherence traffic -- but the dominant L1-hit path is handled
+        array-at-a-time.  ``miss_callback(address, source)`` is invoked,
+        in reference order, for every reference whose source is not L1
+        (exactly the references :meth:`access` callers feed the PMU).
+
+        Returns the per-source reference counts for this batch (indexed
+        like :data:`~repro.cache.stats.SOURCE_ORDER`).
+
+        Fast/slow split and why it is exact:
+
+        * :meth:`SetAssociativeCache.snapshot_slots` resolves every
+          reference against L1 membership at batch entry, yielding a
+          hit mask and each hit's *slot*.  A slot stays valid while its
+          line stays resident (touches reorder ages, never move lines);
+          only removals can invalidate it, and every removal that can
+          occur mid-batch (an eviction by a miss fill, a purge cascade)
+          happens inside a *slow* reference and records the freed slot
+          in ``dirty`` -- so a predicted hit is re-checked against
+          ``dirty`` before being trusted.  A slot re-filled with a new
+          line is caught the same way: the slot is already in ``dirty``.
+        * Predicted hits are queued in ``pend`` (as slots) and
+          bulk-promoted by :meth:`SetAssociativeCache.touch_batch_hits`,
+          which reproduces the sequential per-touch age stamps exactly.
+          The queue is flushed before any scalar :meth:`access` so LRU
+          victim selection never sees stale ages; nothing else reads L1
+          ages.
+        * A *write* to a line resident in L1 whose only holder chip is
+          this chip touches nothing but the writer's L1 age and sibling
+          cores' L1s (``invalidate_others`` is a no-op for a sole
+          holder), so it joins the fast path with the sibling
+          invalidations applied immediately.  Other chips' caches are
+          untouched by fast references, so their state cannot drift.
+        * References that repeat a line the immediately preceding slow
+          reference just installed are sent down the scalar path too
+          (they are guaranteed L1 touch-hits there), which keeps the
+          fast-path invariant simple: *every* pended slot comes from
+          the entry snapshot.
+        """
+        n = len(addresses)
+        if n == 0:
+            return [0] * 6
+        if int(writes.sum()) * 3 > n:
+            # Every write is a slow reference, so a write share above a
+            # third already dooms the fast path -- skip the prediction
+            # arrays altogether.
+            return self._access_batch_scalar(
+                cpu, addresses.tolist(), writes.tolist(), miss_callback
+            )
+        core = self._cpu_to_core[cpu]
+        chip = self._cpu_to_chip[cpu]
+        l1 = self.l1_caches[core]
+        lines = addresses >> self._line_shift
+        hit0, slots = l1.snapshot_slots(lines)
+        slow_pos = np.flatnonzero(writes | ~hit0).tolist()
+
+        if len(slow_pos) * 3 > n:
+            # Miss/write-heavy batch: nearly every reference takes the
+            # scalar path anyway, so segment bookkeeping cannot pay for
+            # itself.  Run the plain sequential walk.
+            return self._access_batch_scalar(
+                cpu, addresses.tolist(), writes.tolist(), miss_callback
+            )
+
+        # Slow positions are rare past this point, so their addresses
+        # and write flags are read as NumPy scalars on demand instead of
+        # paying whole-array tolist() conversions.
+        slot_list = slots.tolist()
+        line_shift = self._line_shift
+        counts = [0, 0, 0, 0, 0, 0]
+        dirty = l1.begin_removal_tracking()
+        pend: List[int] = []
+        n_fast = 0
+        access = self.access
+        touch_batch_hits = l1.touch_batch_hits
+        directory_holders = self.directory.holders
+        sibling_l1s = [
+            self.l1_caches[c] for c in self._cores_of_chip[chip] if c != core
+        ]
+        try:
+            prev_end = 0
+            for pos in slow_pos + [n]:
+                if pos > prev_end:
+                    # Fast segment: every reference predicted an L1 hit.
+                    segment = slot_list[prev_end:pos]
+                    if not dirty or dirty.isdisjoint(segment):
+                        pend.extend(segment)
+                        n_fast += pos - prev_end
+                    else:
+                        # Some predictions went stale: scan for them and
+                        # bulk-extend the clean runs in between.  The
+                        # live ``dirty`` set is consulted per element
+                        # because the scalar accesses below can dirty
+                        # further slots of this very segment.
+                        start = prev_end
+                        for j in range(prev_end, pos):
+                            if slot_list[j] in dirty:
+                                if j > start:
+                                    pend.extend(slot_list[start:j])
+                                    n_fast += j - start
+                                start = j + 1
+                                if pend:
+                                    touch_batch_hits(pend)
+                                    pend.clear()
+                                address = int(addresses[j])
+                                source = access(cpu, address, False)
+                                counts[source] += 1
+                                if source and miss_callback is not None:
+                                    miss_callback(address, source)
+                        if pos > start:
+                            pend.extend(slot_list[start:pos])
+                            n_fast += pos - start
+                if pos == n:
+                    break
+                address = int(addresses[pos])
+                if writes[pos]:
+                    slot = slot_list[pos]
+                    if slot not in dirty and hit0[pos]:
+                        line = address >> line_shift
+                        holders = directory_holders(line)
+                        if len(holders) == 1 and chip in holders:
+                            # Sole-holder write to a resident line: no
+                            # cross-chip traffic, no L2/L3 effect.
+                            pend.append(slot)
+                            n_fast += 1
+                            for sibling in sibling_l1s:
+                                sibling.invalidate(line)
+                            prev_end = pos + 1
+                            continue
+                    if pend:
+                        touch_batch_hits(pend)
+                        pend.clear()
+                    source = access(cpu, address, True)
+                else:
+                    if pend:
+                        touch_batch_hits(pend)
+                        pend.clear()
+                    source = access(cpu, address, False)
+                counts[source] += 1
+                if source and miss_callback is not None:
+                    miss_callback(address, source)
+                prev_end = pos + 1
+            if pend:
+                touch_batch_hits(pend)
+        finally:
+            l1.end_removal_tracking()
+        counts[IDX_L1] += n_fast
+        self.stats.counts[cpu][IDX_L1] += n_fast
+        return counts
+
+    def _access_batch_scalar(
+        self, cpu: int, addresses, writes, miss_callback
+    ) -> List[int]:
+        """The batched pipeline's bailout: one :meth:`access` per ref."""
+        counts = [0, 0, 0, 0, 0, 0]
+        access = self.access
+        if miss_callback is None:
+            for index in range(len(addresses)):
+                counts[access(cpu, addresses[index], writes[index])] += 1
+        else:
+            for index in range(len(addresses)):
+                address = addresses[index]
+                source = access(cpu, address, writes[index])
+                counts[source] += 1
+                if source:
+                    miss_callback(address, source)
+        return counts
 
     # ------------------------------------------------------------------
     # Miss servicing
@@ -205,13 +393,19 @@ class CacheHierarchy:
         ].contains(line)
 
     def flush_all(self) -> None:
-        """Empty every cache and the directory (cold-start state)."""
-        for cache in self.l1_caches + self.l2_caches + self.l3_caches:
-            cache.flush()
-        self.directory = CoherenceDirectory()
+        """Empty every cache and the directory (cold-start state).
+
+        The directory is cleared in place rather than replaced, so
+        references taken before the flush stay valid.
+        """
+        for group in (self.l1_caches, self.l2_caches, self.l3_caches):
+            for cache in group:
+                cache.flush()
+        self.directory.clear()
 
     def reset_stats(self) -> None:
         self.stats.reset()
-        for cache in self.l1_caches + self.l2_caches + self.l3_caches:
-            cache.reset_counters()
+        for group in (self.l1_caches, self.l2_caches, self.l3_caches):
+            for cache in group:
+                cache.reset_counters()
         self.directory.reset_counters()

@@ -102,7 +102,7 @@ def _run_fig5(args, out: Optional[Path]) -> None:
 
 
 def _run_fig6(args, out: Optional[Path]) -> None:
-    study = exp.run_fig6_fig7(n_rounds=args.rounds, seed=args.seed)
+    study = exp.run_fig6_fig7(n_rounds=args.rounds, seed=args.seed, jobs=args.jobs)
     print(
         format_table(
             ["workload", "policy", "remote frac", "reduction", "IPC", "speedup"],
@@ -166,7 +166,7 @@ def _run_sec64(args, out: Optional[Path]) -> None:
 
 
 def _run_sec74(args, out: Optional[Path]) -> None:
-    study = exp.run_sec74(n_rounds=args.rounds, seed=args.seed)
+    study = exp.run_sec74(n_rounds=args.rounds, seed=args.seed, jobs=args.jobs)
     rows = []
     for point in study.points:
         rows.append(
@@ -216,7 +216,9 @@ def _run_ablation_similarity(args, out: Optional[Path]) -> None:
 
 
 def _run_ablation_activation(args, out: Optional[Path]) -> None:
-    study = exp.run_ablation_activation(n_rounds=args.rounds, seed=args.seed)
+    study = exp.run_ablation_activation(
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs
+    )
     rows = [
         dict(threshold=p.threshold, activated=p.activated,
              rounds=p.clustering_rounds, speedup=p.speedup_vs_default,
@@ -230,7 +232,9 @@ def _run_ablation_activation(args, out: Optional[Path]) -> None:
 
 
 def _run_ablation_tolerance(args, out: Optional[Path]) -> None:
-    study = exp.run_ablation_tolerance(n_rounds=args.rounds, seed=args.seed)
+    study = exp.run_ablation_tolerance(
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs
+    )
     rows = [
         dict(tolerance=p.tolerance, speedup=p.speedup_vs_default,
              remote=p.remote_stall_fraction, neutralized=p.neutralized_clusters,
@@ -329,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=3, help="master seed (default: 3)"
     )
     parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for sweep experiments (0 = one per CPU; "
+            "default: sequential, or the REPRO_JOBS environment variable)"
+        ),
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
         help="directory for JSON (and PGM) outputs",
     )
@@ -343,7 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
     if args.config is not None:
         # Validate early so typos fail before minutes of simulation; the
         # loaded overrides also provide rounds/seed defaults.

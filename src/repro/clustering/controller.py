@@ -166,8 +166,14 @@ class ClusteringController:
         self.futile_rounds = 0
         #: every completed detection phase, actionable or not
         self.detection_log: List[DetectionRecord] = []
+        #: samples accepted since the last tick, flushed to the shMap
+        #: tables in per-process batches at :meth:`on_tick` entry --
+        #: nothing reads shMap state between sample arrival and the next
+        #: tick, so the deferral is observably identical to immediate
+        #: delivery
+        self._sample_buffer: List[tuple] = []
 
-        # The capture engine feeds samples straight into the shMap table.
+        # The capture engine feeds samples into the tick-drained buffer.
         capture_engine.consumer = self._on_sample
 
     def _read_remote_events(self) -> int:
@@ -186,9 +192,31 @@ class ClusteringController:
         return process
 
     def _on_sample(self, sample: DataSample) -> None:
-        self.shmap_registry.observe(
-            self._process_of_tid(sample.tid), sample.tid, sample.address
-        )
+        self._sample_buffer.append((sample.tid, sample.address))
+
+    def _flush_samples(self) -> None:
+        """Deliver buffered samples to the per-process shMap tables.
+
+        Samples are grouped by process (order preserved within each
+        process; processes have independent tables, so cross-process
+        order is immaterial) and delivered through the batched
+        :meth:`~repro.clustering.shmap.ShMapTable.observe_many`.
+        """
+        buffer = self._sample_buffer
+        if not buffer:
+            return
+        process_of_tid = self._process_of_tid
+        grouped: Dict[int, tuple] = {}
+        for tid, address in buffer:
+            process_id = process_of_tid(tid)
+            group = grouped.get(process_id)
+            if group is None:
+                grouped[process_id] = group = ([], [])
+            group[0].append(tid)
+            group[1].append(address)
+        buffer.clear()
+        for process_id, (tids, addresses) in grouped.items():
+            self.shmap_registry.observe_many(process_id, tids, addresses)
 
     # ------------------------------------------------------------------
     def on_tick(self, now_cycle: int) -> Optional[ClusteringEvent]:
@@ -197,6 +225,7 @@ class ClusteringController:
         Returns the :class:`ClusteringEvent` if this tick completed a
         migration round, else None.
         """
+        self._flush_samples()
         if self.phase is Phase.MONITORING:
             self._monitor(now_cycle)
             return None

@@ -77,29 +77,42 @@ class ShMap:
     def __init__(self, tid: int, config: ShMapConfig) -> None:
         self.tid = tid
         self.config = config
-        self._counters: List[int] = [0] * config.n_entries
+        #: int64 so batch updates and dot products never overflow
+        self._counters = np.zeros(config.n_entries, dtype=np.int64)
         self.samples_recorded = 0
 
     def record(self, entry: int) -> None:
         """Count one remote cache access attributed to ``entry``."""
-        value = self._counters[entry]
-        if value < self.config.counter_max:
-            self._counters[entry] = value + 1
+        counters = self._counters
+        if counters[entry] < self.config.counter_max:
+            counters[entry] += 1
         self.samples_recorded += 1
 
+    def record_many(self, per_entry_counts: np.ndarray) -> None:
+        """Apply a histogram of admitted samples in one saturating step.
+
+        Equivalent to calling :meth:`record` ``per_entry_counts[e]``
+        times for each entry ``e`` (saturating increments of the same
+        counter commute, so order within the batch cannot matter).
+        """
+        counters = self._counters
+        np.minimum(
+            counters + per_entry_counts, self.config.counter_max, out=counters
+        )
+        self.samples_recorded += int(per_entry_counts.sum())
+
     def as_array(self) -> np.ndarray:
-        """Counter vector as ``int64`` (wide enough for dot products)."""
-        return np.asarray(self._counters, dtype=np.int64)
+        """Counter vector as ``int64`` (a copy; safe to mutate)."""
+        return self._counters.copy()
 
     def nonzero_entries(self) -> List[int]:
-        return [i for i, v in enumerate(self._counters) if v]
+        return np.flatnonzero(self._counters).tolist()
 
     def __getitem__(self, entry: int) -> int:
-        return self._counters[entry]
+        return int(self._counters[entry])
 
     def reset(self) -> None:
-        for i in range(len(self._counters)):
-            self._counters[i] = 0
+        self._counters.fill(0)
         self.samples_recorded = 0
 
 
@@ -112,11 +125,23 @@ class ShMapFilter:
     simply discarded, trading coverage for zero aliasing.
     """
 
-    __slots__ = ("config", "_entries", "_grabs_by_tid", "admitted", "rejected")
+    __slots__ = (
+        "config",
+        "_entries",
+        "_entries_np",
+        "_grabs_by_tid",
+        "admitted",
+        "rejected",
+    )
 
     def __init__(self, config: ShMapConfig) -> None:
         self.config = config
         self._entries: List[Optional[int]] = [None] * config.n_entries
+        #: NumPy mirror of ``_entries`` (-1 = free): once an entry is
+        #: latched its verdict for any region is a pure table lookup,
+        #: which :meth:`ShMapTable.observe_many` exploits to resolve
+        #: whole sample arrays with one gather.
+        self._entries_np = np.full(config.n_entries, -1, dtype=np.int64)
         self._grabs_by_tid: Dict[int, int] = {}
         self.admitted = 0
         self.rejected = 0
@@ -138,6 +163,7 @@ class ShMapFilter:
                 self.rejected += 1
                 return None
             self._entries[entry] = region
+            self._entries_np[entry] = region
             self._grabs_by_tid[tid] = self._grabs_by_tid.get(tid, 0) + 1
             self.admitted += 1
             return entry
@@ -163,6 +189,7 @@ class ShMapFilter:
 
     def reset(self) -> None:
         self._entries = [None] * self.config.n_entries
+        self._entries_np.fill(-1)
         self._grabs_by_tid.clear()
         self.admitted = 0
         self.rejected = 0
@@ -199,6 +226,140 @@ class ShMapTable:
             self._shmaps[tid] = shmap
         shmap.record(entry)
         return entry
+
+    def observe_many(self, tids: List[int], addresses: List[int]) -> None:
+        """Record a batch of sampled remote accesses.
+
+        Equivalent to ``for tid, address in zip(tids, addresses):
+        self.observe(tid, address)`` -- identical counters, filter state
+        and accounting -- in two passes:
+
+        1. Entry hashes are computed array-at-a-time and checked against
+           the filter's latched-entry mirror with one gather.  A sample
+           whose hashed entry is already latched has an order-free
+           verdict (admit if latched to its region, reject otherwise):
+           latched entries are immutable, admitted samples never mutate
+           filter state, and saturating bumps of one counter commute --
+           so these samples are counted as per-(tid, entry) histograms
+           (:meth:`ShMap.record_many`) instead of one at a time.
+        2. Samples that hash to a *free* entry run the full filter
+           logic scalar, in original order: latching races and the
+           per-thread grab cap are order-sensitive, and only these
+           samples can latch.  Within-batch repeats of a just-latched
+           region are re-checked against the live table, so they
+           resolve exactly as the sequential walk would.  The inlined
+           branch below must mirror :meth:`ShMapFilter.admit` exactly
+           (guarded by the equivalence tests).
+        """
+        n = len(tids)
+        if n == 0:
+            return
+        self.total_samples += n
+        config = self.config
+        region_shift = config.region_bytes.bit_length() - 1
+        region_array = np.asarray(addresses, dtype=np.int64) >> region_shift
+        n_entries = config.n_entries
+        shmap_filter = self.filter
+        shmaps = self._shmaps
+        counter_max = config.counter_max
+
+        entry_arr: Optional[np.ndarray] = None
+        if int(region_array.min()) >= 0 and int(region_array.max()) < 1 << 32:
+            # region * multiplier < 2**64, so uint64 arithmetic is exact
+            # and matches entry_of()'s arbitrary-precision result for
+            # any n_entries.
+            products = region_array.astype(np.uint64) * np.uint64(
+                _HASH_MULTIPLIER
+            )
+            if n_entries & (n_entries - 1) == 0:
+                entry_arr = (products & np.uint64(n_entries - 1)).astype(
+                    np.int64
+                )
+            else:
+                entry_arr = (products % np.uint64(n_entries)).astype(np.int64)
+
+        if entry_arr is None:
+            # Out-of-range regions (pathological address inputs): take
+            # the plain sequential walk.
+            filter_admit = shmap_filter.admit
+            region_list = region_array.tolist()
+            for index in range(n):
+                entry = filter_admit(region_list[index], tids[index])
+                if entry is None:
+                    continue
+                tid = tids[index]
+                shmap = shmaps.get(tid)
+                if shmap is None:
+                    shmap = ShMap(tid, config)
+                    shmaps[tid] = shmap
+                shmap.record(entry)
+            return
+
+        latched_arr = shmap_filter._entries_np[entry_arr]
+        admitted = 0
+        rejected = int(
+            ((latched_arr >= 0) & (latched_arr != region_array)).sum()
+        )
+
+        free_pos = np.flatnonzero(latched_arr == -1)
+        if len(free_pos):
+            filter_entries = shmap_filter._entries
+            entries_np = shmap_filter._entries_np
+            grabs = shmap_filter._grabs_by_tid
+            cap = config.max_filter_entries_per_thread
+            positions = free_pos.tolist()
+            free_regions = region_array[free_pos].tolist()
+            free_entries = entry_arr[free_pos].tolist()
+            for k, index in enumerate(positions):
+                region = free_regions[k]
+                entry = free_entries[k]
+                # Re-read the live table: an earlier free sample of this
+                # batch may have latched this entry by now.
+                latched = filter_entries[entry]
+                tid = tids[index]
+                if latched is None:
+                    if cap > 0 and grabs.get(tid, 0) >= cap:
+                        rejected += 1
+                        continue
+                    filter_entries[entry] = region
+                    entries_np[entry] = region
+                    grabs[tid] = grabs.get(tid, 0) + 1
+                    admitted += 1
+                elif latched == region:
+                    admitted += 1
+                else:
+                    rejected += 1
+                    continue
+                shmap = shmaps.get(tid)
+                if shmap is None:
+                    shmap = ShMap(tid, config)
+                    shmaps[tid] = shmap
+                counters = shmap._counters
+                if counters[entry] < counter_max:
+                    counters[entry] += 1
+                shmap.samples_recorded += 1
+
+        resolved_mask = latched_arr == region_array
+        n_resolved = int(resolved_mask.sum())
+        if n_resolved:
+            admitted += n_resolved
+            tid_array = np.asarray(tids)
+            uid, tid_index = np.unique(
+                tid_array[resolved_mask], return_inverse=True
+            )
+            key = tid_index * n_entries + entry_arr[resolved_mask]
+            histograms = np.bincount(
+                key, minlength=len(uid) * n_entries
+            ).reshape(len(uid), n_entries)
+            for k, tid in enumerate(uid.tolist()):
+                shmap = shmaps.get(tid)
+                if shmap is None:
+                    shmap = ShMap(tid, config)
+                    shmaps[tid] = shmap
+                shmap.record_many(histograms[k])
+
+        shmap_filter.admitted += admitted
+        shmap_filter.rejected += rejected
 
     def shmap_of(self, tid: int) -> Optional[ShMap]:
         return self._shmaps.get(tid)
@@ -251,6 +412,12 @@ class ShMapRegistry:
 
     def observe(self, process_id: int, tid: int, address: int) -> Optional[int]:
         return self.table_for(process_id).observe(tid, address)
+
+    def observe_many(
+        self, process_id: int, tids: List[int], addresses: List[int]
+    ) -> None:
+        """Batch counterpart of :meth:`observe` for one process."""
+        self.table_for(process_id).observe_many(tids, addresses)
 
     @property
     def total_samples(self) -> int:

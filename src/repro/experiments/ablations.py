@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from ..clustering.reference import (
 from ..sched.placement import PlacementPolicy
 from ..sim.engine import run_simulation
 from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, PAPER_WORKLOADS, evaluation_config
+from .parallel import SimTask, run_tasks
 
 
 def collect_shmap_vectors(
@@ -219,6 +221,7 @@ def run_ablation_activation(
     thresholds: tuple = (0.02, 0.05, 0.10, 0.20),
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ActivationStudy:
     """Sweep the Section 4.2 activation threshold.
 
@@ -228,13 +231,15 @@ def run_ablation_activation(
     fired for VolanoMark's 6%.
     """
     factory = PAPER_WORKLOADS[workload_name]
-    baseline = run_simulation(
-        factory(),
-        evaluation_config(PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed),
-    )
-    study = ActivationStudy(
-        workload=workload_name, baseline_throughput=baseline.throughput
-    )
+    tasks = [
+        SimTask(
+            label="baseline",
+            workload_factory=factory,
+            config=evaluation_config(
+                PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed
+            ),
+        )
+    ]
     for threshold in thresholds:
         config = evaluation_config(
             PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
@@ -242,7 +247,19 @@ def run_ablation_activation(
         config.controller_config = replace(
             config.controller_config, activation_threshold=threshold
         )
-        result = run_simulation(factory(), config)
+        tasks.append(
+            SimTask(
+                label=f"threshold={threshold}",
+                workload_factory=factory,
+                config=config,
+            )
+        )
+    results = run_tasks(tasks, jobs=jobs)
+    baseline = results[0]
+    study = ActivationStudy(
+        workload=workload_name, baseline_throughput=baseline.throughput
+    )
+    for threshold, result in zip(thresholds, results[1:]):
         speedup = (
             result.throughput / baseline.throughput - 1.0
             if baseline.throughput
@@ -283,6 +300,7 @@ def run_ablation_tolerance(
     tolerances: tuple = (0.0, 0.25, 0.5, 1.0, 2.0),
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ToleranceStudy:
     """Sweep the Section 4.5 imbalance tolerance.
 
@@ -295,23 +313,40 @@ def run_ablation_tolerance(
     """
     from ..workloads import ScoreboardMicrobenchmark
 
-    def factory():
-        return ScoreboardMicrobenchmark(n_scoreboards=3, threads_per_scoreboard=4)
+    factory = partial(
+        ScoreboardMicrobenchmark, n_scoreboards=3, threads_per_scoreboard=4
+    )
 
-    baseline = run_simulation(
-        factory(),
-        evaluation_config(PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed),
-    )
-    study = ToleranceStudy(
-        workload="microbenchmark-3boards",
-        baseline_throughput=baseline.throughput,
-    )
+    tasks = [
+        SimTask(
+            label="baseline",
+            workload_factory=factory,
+            config=evaluation_config(
+                PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed
+            ),
+        )
+    ]
+    sweep_configs = []
     for tolerance in tolerances:
         config = evaluation_config(
             PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
         )
         config.imbalance_tolerance = float(tolerance)
-        result = run_simulation(factory(), config)
+        sweep_configs.append(config)
+        tasks.append(
+            SimTask(
+                label=f"tolerance={tolerance}",
+                workload_factory=factory,
+                config=config,
+            )
+        )
+    results = run_tasks(tasks, jobs=jobs)
+    baseline = results[0]
+    study = ToleranceStudy(
+        workload="microbenchmark-3boards",
+        baseline_throughput=baseline.throughput,
+    )
+    for tolerance, config, result in zip(tolerances, sweep_configs, results[1:]):
         neutralized = 0
         imbalance = 0
         if result.clustering_events:

@@ -8,13 +8,14 @@ object that both the examples and the benchmark harness print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from ..clustering import purity
 from ..sched.placement import PlacementPolicy
 from ..sim.config import SimConfig
-from ..sim.engine import run_simulation
 from ..sim.results import SimResult
+from .parallel import SimTask, run_labelled
 from ..workloads import (
     Rubis,
     ScoreboardMicrobenchmark,
@@ -39,14 +40,16 @@ ALL_POLICIES = [
 
 WorkloadFactory = Callable[[], WorkloadModel]
 
-#: Paper-configured workload instances (Section 5.3).
+#: Paper-configured workload instances (Section 5.3).  ``partial``
+#: rather than lambdas so the factories pickle cleanly into the
+#: parallel sweep runner's worker processes.
 PAPER_WORKLOADS: Dict[str, WorkloadFactory] = {
-    "microbenchmark": lambda: ScoreboardMicrobenchmark(
-        n_scoreboards=4, threads_per_scoreboard=4
+    "microbenchmark": partial(
+        ScoreboardMicrobenchmark, n_scoreboards=4, threads_per_scoreboard=4
     ),
-    "volanomark": lambda: VolanoMark(n_rooms=2, clients_per_room=8),
-    "specjbb": lambda: SpecJbb(n_warehouses=2, threads_per_warehouse=8),
-    "rubis": lambda: Rubis(n_instances=2, clients_per_instance=16),
+    "volanomark": partial(VolanoMark, n_rooms=2, clients_per_room=8),
+    "specjbb": partial(SpecJbb, n_warehouses=2, threads_per_warehouse=8),
+    "rubis": partial(Rubis, n_instances=2, clients_per_instance=16),
 }
 
 
@@ -75,18 +78,28 @@ def run_policy_sweep(
     policies: Optional[List[PlacementPolicy]] = None,
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
     **overrides: object,
 ) -> Dict[str, SimResult]:
     """Run one workload under every placement policy.
 
-    A fresh workload instance is built per policy so cache and region
-    state never leaks between runs.
+    A fresh workload instance is built per run (in the worker, when
+    parallel) so cache and region state never leaks between runs.
+    ``jobs`` fans the policies across processes (see
+    :mod:`repro.experiments.parallel`); results are identical to the
+    sequential sweep because every run is seeded independently.
     """
-    results: Dict[str, SimResult] = {}
-    for policy in policies or ALL_POLICIES:
-        config = evaluation_config(policy, n_rounds=n_rounds, seed=seed, **overrides)
-        results[policy.value] = run_simulation(workload_factory(), config)
-    return results
+    tasks = [
+        SimTask(
+            label=policy.value,
+            workload_factory=workload_factory,
+            config=evaluation_config(
+                policy, n_rounds=n_rounds, seed=seed, **overrides
+            ),
+        )
+        for policy in policies or ALL_POLICIES
+    ]
+    return run_labelled(tasks, jobs=jobs)
 
 
 @dataclass

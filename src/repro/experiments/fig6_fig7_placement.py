@@ -71,13 +71,14 @@ def run_fig6_fig7(
     workload_names: Optional[List[str]] = None,
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> PlacementStudy:
     """The full placement sweep behind Figures 6 and 7."""
     study = PlacementStudy()
     names = workload_names or list(PAPER_WORKLOADS)
     for name in names:
         factory = PAPER_WORKLOADS[name]
-        results = run_policy_sweep(factory, n_rounds=n_rounds, seed=seed)
+        results = run_policy_sweep(factory, n_rounds=n_rounds, seed=seed, jobs=jobs)
         study.results[name] = results
         baseline = results[BASELINE]
         for policy, result in results.items():

@@ -1,0 +1,111 @@
+"""Parallel experiment runner: fan simulation sweeps across processes.
+
+Every experiment in this package is a sweep -- the same workload under
+four placement policies, the same configuration across a threshold
+grid, two machines times three policies.  The individual runs share
+nothing (each builds its own workload, hierarchy and RNG from its
+:class:`~repro.sim.config.SimConfig`), so they parallelize trivially;
+this module is the one place that knows how.
+
+Determinism is preserved by construction:
+
+* every :class:`SimTask` carries a complete ``SimConfig`` including its
+  own seed, so a run's outcome is a pure function of its task no matter
+  which process executes it;
+* results are collected in task order (``ProcessPoolExecutor.map``),
+  so callers see exactly the list the sequential loop would produce;
+* the default is sequential execution -- workers are opted into via the
+  ``jobs`` argument, the ``--jobs`` CLI flag, or the ``REPRO_JOBS``
+  environment variable -- so existing callers and tests are unaffected.
+
+``jobs=0`` means "one worker per CPU".  Anything that must pickle
+(workload factories, configs) is kept to plain classes, ``partial``
+objects and dataclasses; see ``PAPER_WORKLOADS`` in ``common.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..sim.config import SimConfig
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..workloads import WorkloadModel
+
+WorkloadFactory = Callable[[], WorkloadModel]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation run: a workload recipe plus its full configuration.
+
+    ``label`` is the caller's key for the run (a policy name, a
+    threshold value...); the runner never interprets it, only carries
+    it so sweep results can be re-associated without positional
+    bookkeeping.
+    """
+
+    label: str
+    workload_factory: WorkloadFactory
+    config: SimConfig
+
+
+def _execute_task(task: SimTask) -> SimResult:
+    """Worker entry point (module-level so it pickles by reference)."""
+    return run_simulation(task.workload_factory(), task.config)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not specify one.
+
+    ``REPRO_JOBS`` (0 = one per CPU) wins; otherwise sequential, so
+    parallelism is always an explicit opt-in.
+    """
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return resolve_jobs(int(env))
+    return 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: None -> default, 0 -> CPU count."""
+    if jobs is None:
+        return default_jobs()
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    tasks: Iterable[SimTask], jobs: Optional[int] = None
+) -> List[SimResult]:
+    """Execute the tasks, in parallel when ``jobs`` allows, and return
+    their results in task order.
+
+    With one worker (or one task) the pool is skipped entirely and the
+    tasks run inline -- same process, same order, no pickling -- which
+    is both the deterministic reference behaviour and the fallback for
+    factories that cannot pickle.
+    """
+    task_list = list(tasks)
+    workers = min(resolve_jobs(jobs), len(task_list))
+    if workers <= 1:
+        return [_execute_task(task) for task in task_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_task, task_list))
+
+
+def run_labelled(
+    tasks: Sequence[SimTask], jobs: Optional[int] = None
+) -> "dict[str, SimResult]":
+    """:func:`run_tasks`, re-keyed by each task's label (labels must be
+    unique within one sweep)."""
+    labels = [task.label for task in tasks]
+    if len(set(labels)) != len(labels):
+        raise ValueError("task labels must be unique within a sweep")
+    return dict(zip(labels, run_tasks(tasks, jobs=jobs)))

@@ -16,14 +16,15 @@ for contrast) under default, hand-optimized and clustered placement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional
 
 from ..sched.placement import PlacementPolicy
-from ..sim.engine import run_simulation
 from ..sim.results import SimResult
 from ..topology.presets import openpower_720, power5_32way
 from ..workloads import SpecJbb
 from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, evaluation_config
+from .parallel import SimTask, run_tasks
 
 POLICIES = [
     PlacementPolicy.DEFAULT_LINUX,
@@ -68,21 +69,40 @@ def run_sec74(
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
     include_small_machine: bool = True,
+    jobs: Optional[int] = None,
 ) -> ScalingStudy:
-    """SPECjbb on the 2-chip and 8-chip machines."""
-    study = ScalingStudy()
+    """SPECjbb on the 2-chip and 8-chip machines.
+
+    The machine x policy grid is one flat task list, so ``jobs`` can
+    overlap the (slow) 32-way runs with the 2-chip ones.
+    """
     machines = []
     if include_small_machine:
         machines.append(("OpenPower 720 (2 chips)", openpower_720(cache_scale=16), 2, 2, 8))
     machines.append(("32-way Power5 (8 chips)", power5_32way(cache_scale=16), 8, 8, 4))
+    tasks = []
     for label, spec, n_chips, n_warehouses, threads_per in machines:
-        point = ScalingPoint(machine=label, n_chips=n_chips)
         for policy in POLICIES:
             config = evaluation_config(policy, n_rounds=n_rounds, seed=seed)
             config.machine_spec = spec
-            workload = SpecJbb(
-                n_warehouses=n_warehouses, threads_per_warehouse=threads_per
+            tasks.append(
+                SimTask(
+                    label=f"{label}/{policy.value}",
+                    workload_factory=partial(
+                        SpecJbb,
+                        n_warehouses=n_warehouses,
+                        threads_per_warehouse=threads_per,
+                    ),
+                    config=config,
+                )
             )
-            point.results[policy.value] = run_simulation(workload, config)
+    results = run_tasks(tasks, jobs=jobs)
+    study = ScalingStudy()
+    index = 0
+    for label, spec, n_chips, n_warehouses, threads_per in machines:
+        point = ScalingPoint(machine=label, n_chips=n_chips)
+        for policy in POLICIES:
+            point.results[policy.value] = results[index]
+            index += 1
         study.points.append(point)
     return study

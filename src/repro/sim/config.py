@@ -57,6 +57,12 @@ class SimConfig:
     n_rounds: int = 400
     #: fraction of rounds treated as warm-up before measurement starts
     measurement_start_fraction: float = 0.3
+    #: drive the caches through the vectorized batched reference
+    #: pipeline (:meth:`~repro.cache.hierarchy.CacheHierarchy.
+    #: access_batch`).  False falls back to the original per-reference
+    #: loop; both produce bit-identical results (tested), so this exists
+    #: as the equivalence oracle and an escape hatch, not a semantic knob.
+    batched_pipeline: bool = True
 
     # ------------------------------------------------- cycle accounting
     #: completion cycles per instruction (the CPI floor)
@@ -141,6 +147,7 @@ class SimConfig:
             "quantum_references": self.quantum_references,
             "n_rounds": self.n_rounds,
             "measurement_start_fraction": self.measurement_start_fraction,
+            "batched_pipeline": self.batched_pipeline,
             "completion_cpi": self.completion_cpi,
             "smt_contention_factor": self.smt_contention_factor,
             "smt_memory_sensitivity": self.smt_memory_sensitivity,

@@ -112,6 +112,19 @@ class Simulator:
         ]
         self._other_idx = CAUSE_INDEX[StallCause.OTHER]
         self._core_of = [self.machine.core_of(cpu) for cpu in range(n_cpus)]
+        #: cpu -> cpus sharing its core (SMT siblings), precomputed so
+        #: co-runner lookup is O(siblings) instead of an O(n_cpus) scan
+        self._siblings_of: List[List[int]] = [
+            [
+                other
+                for other in range(n_cpus)
+                if other != cpu and self._core_of[other] == self._core_of[cpu]
+            ]
+            for cpu in range(n_cpus)
+        ]
+        #: per-round busy-context count per core, reused across rounds
+        self._busy_per_core = [0] * self.machine.n_cores
+        self._batched = config.batched_pipeline
 
         self._clocks = [0.0] * n_cpus
         self._shmap_matrix: Optional[np.ndarray] = None
@@ -204,11 +217,12 @@ class Simulator:
         n_cpus = self.machine.n_cpus
         running = [self.scheduler.pick_next(cpu) for cpu in range(n_cpus)]
 
-        busy_per_core: dict = {}
+        busy_per_core = self._busy_per_core
+        for core in range(len(busy_per_core)):
+            busy_per_core[core] = 0
         for cpu, thread in enumerate(running):
             if thread is not None:
-                core = self._core_of[cpu]
-                busy_per_core[core] = busy_per_core.get(core, 0) + 1
+                busy_per_core[self._core_of[cpu]] += 1
 
         sensitivity = self.config.smt_memory_sensitivity
         for cpu, thread in enumerate(running):
@@ -237,35 +251,61 @@ class Simulator:
 
     def _corunner(self, running, cpu: int):
         """The thread sharing this cpu's core in the current round."""
-        core = self._core_of[cpu]
-        for other_cpu, other in enumerate(running):
-            if other_cpu != cpu and other is not None and self._core_of[other_cpu] == core:
+        for sibling in self._siblings_of[cpu]:
+            other = running[sibling]
+            if other is not None:
                 return other
         return None
 
     def _execute_quantum(self, cpu: int, thread, contention: float) -> None:
-        """Service one quantum of references and charge its cycles."""
+        """Service one quantum of references and charge its cycles.
+
+        The batched pipeline hands the quantum's address/write arrays to
+        :meth:`CacheHierarchy.access_batch` whole; the sequential path
+        (``SimConfig.batched_pipeline = False``) is the original
+        per-reference loop, kept both as the equivalence-test oracle and
+        as an escape hatch.  Both produce identical results.
+        """
         batch = self.workload.generate_batch(
             thread, self._traffic_rng, self.config.quantum_references
         )
-        addresses = batch.addresses.tolist()
-        writes = batch.is_write.tolist()
-
-        access = self.hierarchy.access
-        counts = [0, 0, 0, 0, 0, 0]
-        capture_cost = 0
-        capture_enabled = self.capture.enabled
-        on_miss = self.capture.on_l1_miss
         tid = thread.tid
         now = int(self._clocks[cpu])
 
-        for index in range(len(addresses)):
-            source = access(cpu, addresses[index], writes[index])
-            counts[source] += 1
-            if source and capture_enabled:
-                capture_cost += on_miss(
-                    cpu, addresses[index], tid, source, now
-                )
+        if self._batched:
+            capture_cost = 0
+            miss_callback = None
+            if self.capture.enabled:
+                on_miss = self.capture.on_l1_miss
+                cost_cell = [0]
+
+                def miss_callback(address, source):
+                    cost_cell[0] += on_miss(cpu, address, tid, source, now)
+
+            counts = self.hierarchy.access_batch(
+                cpu, batch.addresses, batch.is_write, miss_callback
+            )
+            if miss_callback is not None:
+                capture_cost = cost_cell[0]
+            n_references = len(batch.addresses)
+        else:
+            addresses = batch.addresses.tolist()
+            writes = batch.is_write.tolist()
+
+            access = self.hierarchy.access
+            counts = [0, 0, 0, 0, 0, 0]
+            capture_cost = 0
+            capture_enabled = self.capture.enabled
+            on_miss = self.capture.on_l1_miss
+
+            for index in range(len(addresses)):
+                source = access(cpu, addresses[index], writes[index])
+                counts[source] += 1
+                if source and capture_enabled:
+                    capture_cost += on_miss(
+                        cpu, addresses[index], tid, source, now
+                    )
+            n_references = len(addresses)
 
         instructions = batch.instructions
         stall_table = self._stall_by_source
@@ -292,7 +332,6 @@ class Simulator:
         self._clocks[cpu] += total_cycles
         thread.cycles_run += int(total_cycles)
         thread.instructions_completed += instructions
-        n_references = len(addresses)
         if n_references:
             miss_rate = 1.0 - counts[0] / n_references
             # EWMA so one odd quantum cannot flip placement decisions.

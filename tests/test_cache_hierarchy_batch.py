@@ -1,0 +1,168 @@
+"""Differential tests: the batched reference pipeline vs scalar access.
+
+``CacheHierarchy.access_batch`` promises observable equivalence with a
+sequential loop of ``access`` calls -- identical source classifications,
+miss-callback streams, statistics, LRU state and coherence traffic.
+These tests drive twin hierarchies through the same randomized reference
+streams (mixes of hot-set hits, shared lines, cold misses, writes and
+immediate repeats, chosen to hit the fast path, the dirty-slot rescan,
+the sole-holder write shortcut and both adaptive bailouts) and compare
+every piece of observable state after every batch.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.topology.presets import openpower_720
+
+
+def _build_pair():
+    spec = openpower_720()
+    return CacheHierarchy(spec), CacheHierarchy(spec)
+
+
+def _drive_scalar(hier, cpu, addresses, writes, callback):
+    counts = [0, 0, 0, 0, 0, 0]
+    for address, write in zip(addresses, writes):
+        source = hier.access(cpu, int(address), bool(write))
+        counts[source] += 1
+        if source:
+            callback(int(address), source)
+    return counts
+
+
+def _assert_same_state(batched, scalar):
+    for group in ("l1_caches", "l2_caches", "l3_caches"):
+        for a, b in zip(getattr(batched, group), getattr(scalar, group)):
+            assert sorted(a.resident_lines()) == sorted(b.resident_lines()), a.name
+            assert a.hits == b.hits, a.name
+            assert a.misses == b.misses, a.name
+    holders_a = {l: sorted(c) for l, c in batched.directory._holders.items()}
+    holders_b = {l: sorted(c) for l, c in scalar.directory._holders.items()}
+    assert holders_a == holders_b
+    assert (
+        batched.directory.invalidations_sent
+        == scalar.directory.invalidations_sent
+    )
+    assert np.array_equal(batched.stats.counts, scalar.stats.counts)
+
+
+def _random_stream(rng, n_refs, write_prob, style):
+    """One batch of addresses/writes in a given access style."""
+    if style == "hot":
+        # Small working set: mostly L1 hits once warm.
+        pool = [0x10000 + 128 * k for k in range(96)]
+        addresses = [rng.choice(pool) for _ in range(n_refs)]
+    elif style == "shared":
+        # A shared region all cpus touch, plus private lines.
+        shared = [0x80000 + 128 * k for k in range(32)]
+        private = [0x200000 + 128 * k for k in range(64)]
+        addresses = [
+            rng.choice(shared) if rng.random() < 0.4 else rng.choice(private)
+            for _ in range(n_refs)
+        ]
+    elif style == "cold":
+        # Streaming: almost every reference is a fresh line.
+        addresses = [0x400000 + 128 * rng.randrange(50_000) for _ in range(n_refs)]
+    else:  # "repeat": runs of the same line back to back
+        addresses = []
+        while len(addresses) < n_refs:
+            line = 0x30000 + 128 * rng.randrange(200)
+            addresses.extend([line] * rng.randrange(1, 5))
+        addresses = addresses[:n_refs]
+    writes = [rng.random() < write_prob for _ in range(n_refs)]
+    return addresses, writes
+
+
+@pytest.mark.parametrize("write_prob", [0.0, 0.02, 0.15, 0.5])
+@pytest.mark.parametrize("style", ["hot", "shared", "cold", "repeat"])
+def test_access_batch_matches_scalar_walk(write_prob, style):
+    rng = random.Random(hash((style, write_prob)) & 0xFFFF)
+    batched, scalar = _build_pair()
+    n_cpus = batched.machine.n_cpus
+    for step in range(6):
+        cpu = rng.randrange(n_cpus)
+        addresses, writes = _random_stream(
+            rng, rng.randrange(50, 400), write_prob, style
+        )
+        misses_a, misses_b = [], []
+        counts_a = batched.access_batch(
+            cpu,
+            np.asarray(addresses, dtype=np.int64),
+            np.asarray(writes, dtype=bool),
+            miss_callback=lambda a, s: misses_a.append((a, s)),
+        )
+        counts_b = _drive_scalar(
+            scalar, cpu, addresses, writes, lambda a, s: misses_b.append((a, s))
+        )
+        assert counts_a == counts_b, (style, write_prob, step)
+        assert misses_a == misses_b, (style, write_prob, step)
+        _assert_same_state(batched, scalar)
+
+
+def test_access_batch_interleaved_cpus_share_coherence_state():
+    """Alternating cpus across chips exercises cross-chip invalidations
+    and remote-source classification through the batched path."""
+    rng = random.Random(99)
+    batched, scalar = _build_pair()
+    shared = [0x50000 + 128 * k for k in range(48)]
+    for step in range(12):
+        cpu = step % batched.machine.n_cpus
+        addresses = [rng.choice(shared) for _ in range(120)]
+        writes = [rng.random() < 0.1 for _ in range(120)]
+        counts_a = batched.access_batch(
+            cpu, np.asarray(addresses), np.asarray(writes, dtype=bool)
+        )
+        counts_b = _drive_scalar(
+            scalar, cpu, addresses, writes, lambda a, s: None
+        )
+        assert counts_a == counts_b, step
+        _assert_same_state(batched, scalar)
+
+
+def test_access_batch_empty_batch():
+    batched, _ = _build_pair()
+    counts = batched.access_batch(
+        0, np.asarray([], dtype=np.int64), np.asarray([], dtype=bool)
+    )
+    assert counts == [0] * 6
+    assert sum(sum(row) for row in batched.stats.counts) == 0
+
+
+def test_access_batch_write_heavy_bailout_is_equivalent():
+    """Above the write-share threshold the batch must bail to the
+    scalar walk before building prediction arrays -- same results."""
+    rng = random.Random(7)
+    batched, scalar = _build_pair()
+    addresses = [0x60000 + 128 * rng.randrange(64) for _ in range(200)]
+    writes = [True] * 120 + [False] * 80
+    counts_a = batched.access_batch(
+        1, np.asarray(addresses), np.asarray(writes, dtype=bool)
+    )
+    counts_b = _drive_scalar(scalar, 1, addresses, writes, lambda a, s: None)
+    assert counts_a == counts_b
+    _assert_same_state(batched, scalar)
+
+
+def test_access_batch_all_misses_bailout_is_equivalent():
+    """A cold cache makes every prediction a miss, triggering the
+    slow-position bailout."""
+    batched, scalar = _build_pair()
+    addresses = [0x700000 + 128 * k for k in range(300)]
+    writes = [False] * 300
+    misses_a, misses_b = [], []
+    counts_a = batched.access_batch(
+        2,
+        np.asarray(addresses),
+        np.asarray(writes, dtype=bool),
+        miss_callback=lambda a, s: misses_a.append((a, s)),
+    )
+    counts_b = _drive_scalar(
+        scalar, 2, addresses, writes, lambda a, s: misses_b.append((a, s))
+    )
+    assert counts_a == counts_b
+    assert misses_a == misses_b
+    _assert_same_state(batched, scalar)

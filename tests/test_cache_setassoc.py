@@ -93,6 +93,127 @@ class TestReplacement:
         assert cache.occupied_lines() == 0
 
 
+class TestLruEdgeCases:
+    """Edge cases of the array-backed LRU around re-insert/invalidate."""
+
+    def test_eviction_order_under_reinsert_chain(self):
+        # 4 sets, 2 ways: 0/4/8/12 all land in set 0.
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(0)
+        cache.insert(4)
+        assert cache.insert(0) is None  # re-insert: 0 is MRU again
+        assert cache.insert(8) == 4  # so 4, not 0, is the victim
+        assert cache.insert(12) == 0  # then 0 (older than 8)
+        assert cache.insert(4) == 8
+
+    def test_invalidate_mru_fills_freed_slot_first(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(0)
+        cache.insert(4)  # MRU
+        assert cache.invalidate(4)
+        # The freed slot must be refilled before anything is evicted.
+        assert cache.insert(8) is None
+        assert cache.contains(0) and cache.contains(8)
+        # Now the set is full again and 0 is the LRU.
+        assert cache.insert(12) == 0
+
+    def test_invalidate_lru_fills_freed_slot_first(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(0)  # LRU
+        cache.insert(4)
+        assert cache.invalidate(0)
+        assert cache.insert(8) is None
+        assert cache.contains(4) and cache.contains(8)
+        assert cache.insert(12) == 4
+
+    def test_touch_after_invalidate_misses(self):
+        cache = SetAssociativeCache("c", n_sets=4, ways=2)
+        cache.insert(0)
+        cache.invalidate(0)
+        assert not cache.touch(0)
+
+    def test_way_overflow_victim_sequence(self):
+        # Overflow one 4-way set repeatedly: victims must come out in
+        # exact insertion (LRU) order, wrapping as the set recycles.
+        cache = SetAssociativeCache("c", n_sets=2, ways=4)
+        lines = [2 * k for k in range(8)]  # all map to set 0
+        victims = [cache.insert(line) for line in lines]
+        assert victims == [None] * 4 + lines[:4]
+
+    def test_mixed_set_overflow_keeps_sets_independent(self):
+        cache = SetAssociativeCache("c", n_sets=2, ways=2)
+        assert cache.insert(0) is None
+        assert cache.insert(1) is None
+        assert cache.insert(2) is None
+        assert cache.insert(3) is None
+        # Set 0 overflows; set 1's lines are untouched.
+        assert cache.insert(4) == 0
+        assert cache.contains(1) and cache.contains(3)
+
+
+class _ListLru:
+    """Reference model: the original per-set list-based LRU cache."""
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        self.n_sets = n_sets
+        self.ways = ways
+        self.sets = [[] for _ in range(n_sets)]  # MRU last
+
+    def touch(self, line: int) -> bool:
+        bucket = self.sets[line % self.n_sets]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return True
+        return False
+
+    def insert(self, line: int):
+        bucket = self.sets[line % self.n_sets]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return None
+        victim = bucket.pop(0) if len(bucket) == self.ways else None
+        bucket.append(line)
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        bucket = self.sets[line % self.n_sets]
+        if line in bucket:
+            bucket.remove(line)
+            return True
+        return False
+
+    def resident(self):
+        return sorted(line for bucket in self.sets for line in bucket)
+
+
+class TestGoldenTraceEquivalence:
+    """The array-backed cache must replay a long recorded reference
+    trace exactly like the list-based implementation it replaced."""
+
+    @pytest.mark.parametrize(
+        "n_sets,ways", [(8, 2), (16, 4), (7, 3), (1, 4)]
+    )
+    def test_10k_reference_trace_matches_reference_lru(self, n_sets, ways):
+        import random
+
+        rng = random.Random(0xC0FFEE + n_sets * ways)
+        cache = SetAssociativeCache("c", n_sets=n_sets, ways=ways)
+        model = _ListLru(n_sets, ways)
+        n_lines = n_sets * ways * 3  # enough pressure to force evictions
+        for step in range(10_000):
+            line = rng.randrange(n_lines)
+            op = rng.random()
+            if op < 0.55:
+                assert cache.touch(line) == model.touch(line), step
+            elif op < 0.92:
+                assert cache.insert(line) == model.insert(line), step
+            else:
+                assert cache.invalidate(line) == model.invalidate(line), step
+        assert sorted(cache.resident_lines()) == model.resident()
+
+
 class TestProperties:
     @given(
         lines=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),

@@ -1,0 +1,110 @@
+"""Tests for the parallel experiment runner (repro.experiments.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.experiments.parallel import (
+    SimTask,
+    default_jobs,
+    resolve_jobs,
+    run_labelled,
+    run_tasks,
+)
+from repro.sched.placement import PlacementPolicy
+
+
+def _tiny_tasks(n_rounds=40, seed=7):
+    return [
+        SimTask(
+            label=policy.value,
+            workload_factory=PAPER_WORKLOADS["microbenchmark"],
+            config=evaluation_config(policy, n_rounds=n_rounds, seed=seed),
+        )
+        for policy in (
+            PlacementPolicy.DEFAULT_LINUX,
+            PlacementPolicy.ROUND_ROBIN,
+        )
+    ]
+
+
+class TestJobResolution:
+    def test_none_defaults_to_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert default_jobs() == 1
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_env_var_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+        assert resolve_jobs(None) == 4
+
+    def test_env_var_zero_means_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == (os.cpu_count() or 1)
+
+
+class TestRunTasks:
+    def test_empty_task_list(self):
+        assert run_tasks([]) == []
+
+    def test_sequential_matches_parallel(self):
+        """Worker processes must reproduce the inline results exactly:
+        every task carries its own seed, so placement cannot matter."""
+        tasks = _tiny_tasks()
+        seq = run_tasks(tasks, jobs=1)
+        par = run_tasks(tasks, jobs=2)
+        assert len(seq) == len(par) == len(tasks)
+        for s, p in zip(seq, par):
+            assert s.throughput == p.throughput
+            assert s.remote_stall_fraction == p.remote_stall_fraction
+            assert np.array_equal(
+                s.full_breakdown.cycles_by_cause,
+                p.full_breakdown.cycles_by_cause,
+            )
+            assert s.full_breakdown.instructions == p.full_breakdown.instructions
+            assert np.array_equal(s.access_counts, p.access_counts)
+
+    def test_results_in_task_order(self):
+        tasks = _tiny_tasks()
+        results = run_tasks(tasks, jobs=2)
+        for task, result in zip(tasks, results):
+            assert result.config_policy == task.label
+
+
+class TestRunLabelled:
+    def test_keys_are_labels(self):
+        tasks = _tiny_tasks()
+        results = run_labelled(tasks)
+        assert list(results) == [t.label for t in tasks]
+
+    def test_duplicate_labels_rejected(self):
+        task = _tiny_tasks()[0]
+        with pytest.raises(ValueError):
+            run_labelled([task, task])
+
+
+class TestSweepIntegration:
+    def test_policy_sweep_parallel_matches_sequential(self):
+        from repro.experiments import run_policy_sweep
+
+        factory = PAPER_WORKLOADS["microbenchmark"]
+        seq = run_policy_sweep(factory, n_rounds=40, seed=5, jobs=1)
+        par = run_policy_sweep(factory, n_rounds=40, seed=5, jobs=2)
+        assert list(seq) == list(par)
+        for label in seq:
+            assert seq[label].throughput == par[label].throughput

@@ -1,0 +1,163 @@
+"""Equivalence tests: ``ShMapTable.observe_many`` vs scalar ``observe``.
+
+The batched path splits samples into order-free (already-latched filter
+entries) and order-sensitive (free entries, handled scalar in original
+order); its contract is bit-identical shMap counters, filter state and
+accounting for any input.  These tests replay identical random sample
+streams through both paths across filter geometries, saturation limits
+and grab caps, including the non-power-of-two and out-of-range-region
+fallbacks.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.clustering.shmap import ShMapConfig, ShMapTable
+
+
+def _table_state(table):
+    per_tid = {
+        tid: (shmap.as_array().tolist(), shmap.samples_recorded)
+        for tid, shmap in table._shmaps.items()
+    }
+    filt = table.filter
+    return (
+        per_tid,
+        list(filt._entries),
+        filt._entries_np.tolist(),
+        dict(filt._grabs_by_tid),
+        filt.admitted,
+        filt.rejected,
+        table.total_samples,
+    )
+
+
+def _random_samples(rng, n, n_tids, region_span, region_bytes):
+    tids = [rng.randrange(n_tids) for _ in range(n)]
+    addresses = [region_bytes * rng.randrange(region_span) for _ in range(n)]
+    return tids, addresses
+
+
+@pytest.mark.parametrize(
+    "n_entries,counter_max,cap",
+    [
+        (256, 255, 64),
+        (256, 3, 64),  # saturation reached quickly
+        (100, 255, 64),  # non-power-of-two entry count
+        (64, 255, 2),  # aggressive grab cap
+        (64, 255, 0),  # cap disabled
+    ],
+)
+def test_observe_many_matches_scalar_observe(n_entries, counter_max, cap):
+    config = ShMapConfig(
+        n_entries=n_entries,
+        counter_max=counter_max,
+        max_filter_entries_per_thread=cap,
+    )
+    batched = ShMapTable(config)
+    scalar = ShMapTable(config)
+    rng = random.Random(n_entries * 1000 + counter_max + cap)
+    for batch in range(4):
+        tids, addresses = _random_samples(
+            rng,
+            n=rng.randrange(200, 800),
+            n_tids=12,
+            region_span=4 * n_entries,
+            region_bytes=config.region_bytes,
+        )
+        batched.observe_many(tids, addresses)
+        for tid, address in zip(tids, addresses):
+            scalar.observe(tid, address)
+        assert _table_state(batched) == _table_state(scalar), batch
+
+
+def test_observe_many_within_batch_latch_repeats():
+    """A region latched early in a batch must admit its own repeats
+    later in the same batch (the live-table re-read)."""
+    config = ShMapConfig(n_entries=16)
+    batched = ShMapTable(config)
+    scalar = ShMapTable(config)
+    # The same fresh region five times, from two threads.
+    tids = [1, 2, 1, 1, 2]
+    addresses = [config.region_bytes * 7] * 5
+    batched.observe_many(tids, addresses)
+    for tid, address in zip(tids, addresses):
+        scalar.observe(tid, address)
+    assert _table_state(batched) == _table_state(scalar)
+    assert batched.filter.admitted == 5
+
+
+def test_observe_many_grab_cap_is_order_sensitive_and_exact():
+    """With cap=1, which regions a thread latches depends on sample
+    order; the batched path must reproduce the sequential outcome."""
+    config = ShMapConfig(n_entries=64, max_filter_entries_per_thread=1)
+    batched = ShMapTable(config)
+    scalar = ShMapTable(config)
+    rng = random.Random(5)
+    tids, addresses = _random_samples(rng, 300, 4, 200, config.region_bytes)
+    batched.observe_many(tids, addresses)
+    for tid, address in zip(tids, addresses):
+        scalar.observe(tid, address)
+    assert _table_state(batched) == _table_state(scalar)
+
+
+def test_observe_many_out_of_range_regions_fall_back():
+    """Regions at or above 2**32 leave the uint64-exact hash range, so
+    the batch must take the scalar fallback -- and still match."""
+    config = ShMapConfig(n_entries=256)
+    batched = ShMapTable(config)
+    scalar = ShMapTable(config)
+    rng = random.Random(11)
+    big = 1 << 33
+    tids = [rng.randrange(6) for _ in range(500)]
+    addresses = [
+        config.region_bytes * (big + rng.randrange(1000)) for _ in range(500)
+    ]
+    batched.observe_many(tids, addresses)
+    for tid, address in zip(tids, addresses):
+        scalar.observe(tid, address)
+    assert _table_state(batched) == _table_state(scalar)
+
+
+def test_observe_many_empty_batch_is_a_no_op():
+    table = ShMapTable(ShMapConfig())
+    table.observe_many([], [])
+    assert table.total_samples == 0
+    assert table.filter.admitted == 0
+
+
+def test_observe_many_after_reset_relatches_cleanly():
+    config = ShMapConfig(n_entries=64)
+    batched = ShMapTable(config)
+    scalar = ShMapTable(config)
+    rng = random.Random(21)
+    tids, addresses = _random_samples(rng, 400, 8, 300, config.region_bytes)
+    batched.observe_many(tids, addresses)
+    for tid, address in zip(tids, addresses):
+        scalar.observe(tid, address)
+    batched.reset()
+    scalar.reset()
+    assert batched.filter._entries_np.tolist() == [-1] * 64
+    tids, addresses = _random_samples(rng, 400, 8, 300, config.region_bytes)
+    batched.observe_many(tids, addresses)
+    for tid, address in zip(tids, addresses):
+        scalar.observe(tid, address)
+    assert _table_state(batched) == _table_state(scalar)
+
+
+def test_record_many_saturates_like_scalar_record():
+    from repro.clustering.shmap import ShMap
+
+    config = ShMapConfig(n_entries=8, counter_max=5)
+    a = ShMap(1, config)
+    b = ShMap(1, config)
+    counts = np.array([0, 1, 3, 7, 2, 0, 9, 5], dtype=np.int64)
+    a.record_many(counts)
+    for entry, k in enumerate(counts.tolist()):
+        for _ in range(k):
+            b.record(entry)
+    assert a.as_array().tolist() == b.as_array().tolist()
+    assert a.samples_recorded == b.samples_recorded
+    assert max(a.as_array().tolist()) == 5
