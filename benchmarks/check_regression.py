@@ -81,12 +81,46 @@ def main(argv=None) -> int:
         print(f"updated {args.baseline} means from {args.bench_json}")
         return 0
 
+    # Resolve every name across both sections before checking anything,
+    # so a rename or a dropped benchmark reports the complete set of
+    # mismatches in one run instead of failing on the first lookup.
+    baseline_means = baseline.get("means", {})
+    seed_means = baseline.get("seed_means", {})
+    expected = set(baseline_means)
+    if args.speedup_gate:
+        expected |= set(GATED_SPEEDUPS)
+    missing_fresh = sorted(expected - set(fresh))
+    missing_seed = (
+        sorted(set(GATED_SPEEDUPS) - set(seed_means))
+        if args.speedup_gate
+        else []
+    )
+    unknown_fresh = sorted(set(fresh) - set(baseline_means))
+
     failures = []
-    for name, base_mean in baseline["means"].items():
+    if missing_fresh:
+        failures.append(
+            f"benchmarks in the baseline but missing from "
+            f"{args.bench_json} (renamed or not collected?): "
+            + ", ".join(missing_fresh)
+        )
+    if missing_seed:
+        failures.append(
+            "speedup-gated benchmarks missing from the baseline's "
+            "seed_means section: " + ", ".join(missing_seed)
+        )
+    if unknown_fresh:
+        # Informational: new benchmarks are not a failure, but flag them
+        # so baselines do not silently fall behind the suite.
+        print(
+            "note: not in baseline (new benchmark? recapture with "
+            "--update): " + ", ".join(unknown_fresh)
+        )
+
+    for name, base_mean in baseline_means.items():
         mean = fresh.get(name)
         if mean is None:
-            failures.append(f"{name}: missing from {args.bench_json}")
-            continue
+            continue  # already reported in the missing_fresh summary
         ratio = mean / base_mean
         marker = ""
         if ratio > 1.0 + args.tolerance:
@@ -100,11 +134,10 @@ def main(argv=None) -> int:
 
     if args.speedup_gate:
         for name in GATED_SPEEDUPS:
-            seed_mean = baseline["seed_means"][name]
+            seed_mean = seed_means.get(name)
             mean = fresh.get(name)
-            if mean is None:
-                failures.append(f"{name}: missing from {args.bench_json}")
-                continue
+            if seed_mean is None or mean is None:
+                continue  # already reported in the missing summaries
             speedup = seed_mean / mean
             status = "ok" if speedup >= args.min_speedup else "FAIL"
             print(f"{name:40s} speedup vs seed {speedup:5.2f}x "

@@ -15,9 +15,14 @@ import numpy as np
 
 from repro.cache import CacheHierarchy
 from repro.clustering import OnePassClusterer, ShMapTable
+from repro.obs import NULL_RECORDER, MetricsRegistry, RingBufferRecorder
 from repro.pmu import RemoteAccessCaptureEngine
 from repro.cache.stats import IDX_REMOTE_L2
+from repro.sched import PlacementPolicy
+from repro.sim import SimConfig
+from repro.sim.engine import Simulator
 from repro.topology import openpower_720
+from repro.workloads import ScoreboardMicrobenchmark
 
 from .streams import (
     build_cache_walk_stream,
@@ -103,3 +108,41 @@ def test_bench_onepass_clusterer(benchmark):
 
     result = benchmark(clusterer.cluster, vectors)
     assert result.n_clusters == 4
+
+
+def _run_short_sim(recorder):
+    """One small but complete engine run (the tracing-overhead probe).
+
+    Workload construction is included in both variants, so the pair's
+    difference isolates what the recorder adds to the engine loop.
+    """
+    workload = ScoreboardMicrobenchmark(
+        n_scoreboards=2, threads_per_scoreboard=4
+    )
+    config = SimConfig(
+        policy=PlacementPolicy.CLUSTERED, n_rounds=20, seed=5
+    )
+    simulator = Simulator(
+        workload, config, recorder=recorder, metrics=MetricsRegistry()
+    )
+    return simulator.run()
+
+
+def test_bench_engine_round_null_recorder(benchmark):
+    """Engine rounds with tracing disabled (the default NullRecorder).
+
+    Paired with ``test_bench_engine_round_tracing`` below; both are in
+    ``BENCH_BASELINE.json``, so the CI smoke gate catches a tracing
+    change that leaks cost into the disabled path (this one regresses)
+    as well as a runaway enabled path (that one regresses).
+    """
+    benchmark(_run_short_sim, NULL_RECORDER)
+
+
+def test_bench_engine_round_tracing(benchmark):
+    """Engine rounds with a ring-buffer recorder capturing every event."""
+
+    def run_traced():
+        _run_short_sim(RingBufferRecorder(capacity=65_536))
+
+    benchmark(run_traced)

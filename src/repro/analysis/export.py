@@ -56,10 +56,16 @@ def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
                 "mean_cycle": p.mean_cycle,
                 "remote_stall_fraction": p.remote_stall_fraction,
                 "ipc": p.ipc,
+                "controller_phase": p.controller_phase,
             }
             for p in result.timeline
         ],
+        "metrics_registry": dict(result.metrics),
     }
+    if result.task_seed is not None:
+        payload["task_seed"] = result.task_seed
+    if result.worker_pid is not None:
+        payload["worker_pid"] = result.worker_pid
     if result.capture_stats is not None:
         stats = result.capture_stats
         payload["capture"] = {

@@ -386,6 +386,26 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def publish_metrics(self, registry) -> None:
+        """Publish access and coherence totals into a metrics registry.
+
+        Called once at the end of a run (per-reference live updates
+        would tax the hot path for numbers :class:`AccessStats` already
+        accumulates).  Counters are *incremented* by the totals, so
+        publishing the same hierarchy twice double-counts -- the engine
+        owns the call.
+        """
+        per_source = self.stats.as_array().sum(axis=0)
+        from .stats import SOURCE_ORDER
+
+        for index, source in enumerate(SOURCE_ORDER):
+            registry.counter(
+                "cache_accesses_total", source=source.value
+            ).inc(int(per_source[index]))
+        registry.gauge("cache_remote_access_fraction").set(
+            self.stats.remote_fraction()
+        )
+
     def chip_holds(self, chip: int, line: int) -> bool:
         """True if the chip's L2 or L3 currently holds ``line``."""
         return self.l2_caches[chip].contains(line) or self.l3_caches[

@@ -20,8 +20,18 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
-from .analysis.export import experiment_to_json
+import json
+
+from .analysis.export import experiment_to_json, sim_result_to_dict
 from .analysis.report import format_table
+from .obs import (
+    KIND_MIGRATION,
+    KIND_PHASE_TRANSITION,
+    MetricsRegistry,
+    RingBufferRecorder,
+    observe,
+    write_chrome_trace,
+)
 from . import experiments as exp
 
 #: experiment id -> (description, runner entry point)
@@ -40,6 +50,7 @@ _RUNNERS: Dict[str, str] = {
     "phase-change": "EXT: mid-run phase change and re-clustering",
     "smt-aware": "EXT2: SMT-aware vs random intra-chip seating",
     "churn": "EXT4: connection churn vs clustering quality",
+    "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
 }
 
 
@@ -293,7 +304,53 @@ def _run_phase_change(args, out: Optional[Path]) -> None:
     _write(out, "phase_change.json", experiment_to_json("phase_change", rows))
 
 
+def _run_trace(args, out: Optional[Path]) -> None:
+    """Run one workload under one policy with tracing + metrics on.
+
+    The ambient session recorder (installed by ``main`` for ``--trace``)
+    collects the events; ``main`` writes the trace file afterwards, so
+    this runner only drives the simulation and prints a digest.
+    """
+    from .experiments.common import PAPER_WORKLOADS, evaluation_config
+    from .obs import session as obs_session
+    from .sched.placement import PlacementPolicy
+    from .sim.engine import Simulator
+
+    workload = PAPER_WORKLOADS[args.workload]()
+    config = evaluation_config(
+        PlacementPolicy(args.policy), n_rounds=args.rounds, seed=args.seed
+    )
+    simulator = Simulator(workload, config)
+    result = simulator.run()
+
+    recorder = obs_session.active_recorder()
+    events = recorder.events()
+    transitions = [e for e in events if e.kind == KIND_PHASE_TRANSITION]
+    migrations = [e for e in events if e.kind == KIND_MIGRATION]
+    print(
+        f"{workload.name} / {args.policy}: {args.rounds} rounds, "
+        f"{result.n_clustering_rounds} clustering round(s), "
+        f"remote stall {result.remote_stall_fraction:.1%}"
+    )
+    print(
+        f"events: {len(events)} recorded, {recorder.dropped} dropped; "
+        f"{len(transitions)} phase transition(s), "
+        f"{len(migrations)} migration(s)"
+    )
+    for event in transitions:
+        print(
+            f"  cycle {event.cycle:>12,}: "
+            f"{event.data['from_phase']} -> {event.data['to_phase']}"
+        )
+    _write(
+        out,
+        "trace_run.json",
+        json.dumps(sim_result_to_dict(result), indent=2, sort_keys=True),
+    )
+
+
 _DISPATCH: Dict[str, Callable] = {
+    "trace": _run_trace,
     "fig1": _run_fig1,
     "fig3": _run_fig3,
     "fig5": _run_fig5,
@@ -350,6 +407,40 @@ def build_parser() -> argparse.ArgumentParser:
             "applied by experiments that accept a base configuration"
         ),
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help=(
+            "record a structured event trace while running and write it "
+            "as Chrome trace-event JSON (open in https://ui.perfetto.dev); "
+            "the 'trace' subcommand defaults this to trace.json.  "
+            "Sequential runs only: --jobs workers do not feed the trace."
+        ),
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=262_144,
+        help="event ring-buffer capacity; oldest events beyond it are "
+             "dropped (default: 262144)",
+    )
+    parser.add_argument(
+        "--metrics", nargs="?", const="-", default=None, metavar="PATH",
+        help=(
+            "collect the run's metrics registry and write it as flat "
+            "JSON to PATH ('-' or no value: print to stdout)"
+        ),
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(
+            ("microbenchmark", "volanomark", "specjbb", "rubis")
+        ), default="microbenchmark",
+        help="workload for the 'trace' subcommand (default: microbenchmark)",
+    )
+    parser.add_argument(
+        "--policy", choices=(
+            "default_linux", "round_robin", "hand_optimized", "clustered"
+        ), default="clustered",
+        help="placement policy for the 'trace' subcommand "
+             "(default: clustered)",
+    )
     return parser
 
 
@@ -361,8 +452,6 @@ def main(argv: Optional[list] = None) -> int:
     if args.config is not None:
         # Validate early so typos fail before minutes of simulation; the
         # loaded overrides also provide rounds/seed defaults.
-        import json
-
         from .sim.config import SimConfig
 
         overrides = json.loads(args.config.read_text())
@@ -375,11 +464,42 @@ def main(argv: Optional[list] = None) -> int:
         for name in sorted(_RUNNERS):
             print(f"{name:22s} {_RUNNERS[name]}")
         return 0
-    targets = sorted(_DISPATCH) if args.experiment == "all" else [args.experiment]
-    for name in targets:
-        print(f"### {name}: {_RUNNERS[name]}")
-        _DISPATCH[name](args, args.out)
-        print()
+    if args.experiment == "trace" and args.trace is None:
+        args.trace = Path("trace.json")
+    if args.trace_capacity < 1:
+        parser.error("--trace-capacity must be >= 1")
+    recorder = (
+        RingBufferRecorder(capacity=args.trace_capacity)
+        if args.trace is not None
+        else None
+    )
+    registry = MetricsRegistry() if args.metrics is not None else None
+
+    # "all" regenerates the paper artefacts; the trace subcommand is an
+    # observability tool, not an artefact, so it is not part of "all".
+    if args.experiment == "all":
+        targets = sorted(name for name in _DISPATCH if name != "trace")
+    else:
+        targets = [args.experiment]
+    with observe(recorder=recorder, registry=registry):
+        for name in targets:
+            print(f"### {name}: {_RUNNERS[name]}")
+            _DISPATCH[name](args, args.out)
+            print()
+
+    if recorder is not None:
+        write_chrome_trace(args.trace, recorder.events())
+        print(
+            f"wrote {len(recorder)} trace events "
+            f"({recorder.dropped} dropped) to {args.trace}"
+        )
+    if registry is not None:
+        text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+        if args.metrics == "-":
+            print(text)
+        else:
+            Path(args.metrics).write_text(text)
+            print(f"wrote metrics to {args.metrics}")
     return 0
 
 

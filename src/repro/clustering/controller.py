@@ -27,6 +27,13 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..obs import (
+    KIND_CLUSTER_FORMED,
+    KIND_DETECTION,
+    KIND_PHASE_TRANSITION,
+    MetricsRegistry,
+    NULL_RECORDER,
+)
 from ..pmu.power5 import RemoteAccessCaptureEngine
 from ..pmu.sampling import DataSample
 from ..pmu.stall import BreakdownSnapshot, StallBreakdown
@@ -129,6 +136,8 @@ class ClusteringController:
         planner: MigrationPlanner,
         config: Optional[ControllerConfig] = None,
         remote_event_counter: Optional[Callable[[], int]] = None,
+        recorder=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """
         Args:
@@ -136,6 +145,11 @@ class ClusteringController:
                 cache accesses (machine-wide lifetime total).  Used by
                 the adaptive temporal sampling to estimate the remote
                 access rate; when absent the configured period is kept.
+            recorder: trace recorder receiving phase transitions,
+                detection outcomes and cluster formations (default:
+                the no-op recorder).
+            metrics: registry for dwell-time histograms and detection
+                counters (default: a private throwaway registry).
         """
         self.scheduler = scheduler
         self.stall_breakdown = stall_breakdown
@@ -151,6 +165,23 @@ class ClusteringController:
         self.planner = planner
         self.config = config if config is not None else ControllerConfig()
         self._remote_event_counter = remote_event_counter
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._dwell_hist = {
+            phase: self._metrics.histogram(
+                "controller_phase_dwell_cycles", phase=phase.value
+            )
+            for phase in Phase
+        }
+        self._detection_counters = {
+            outcome: self._metrics.counter(
+                "controller_detections_total", outcome=outcome
+            )
+            for outcome in ("actionable", "futile", "starved")
+        }
+        self._phase_entered_cycle = 0
 
         self.phase = Phase.MONITORING
         self.history: List[ClusteringEvent] = []
@@ -219,6 +250,26 @@ class ClusteringController:
             self.shmap_registry.observe_many(process_id, tids, addresses)
 
     # ------------------------------------------------------------------
+    def _set_phase(self, phase: Phase, now_cycle: int) -> None:
+        """Transition the state machine, recording dwell time and the
+        transition event."""
+        if phase is self.phase:
+            return
+        previous = self.phase
+        self._dwell_hist[previous].observe(
+            max(0, now_cycle - self._phase_entered_cycle)
+        )
+        self.phase = phase
+        self._phase_entered_cycle = now_cycle
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_PHASE_TRANSITION,
+                cycle=now_cycle,
+                from_phase=previous.value,
+                to_phase=phase.value,
+            )
+
+    # ------------------------------------------------------------------
     def on_tick(self, now_cycle: int) -> Optional[ClusteringEvent]:
         """Advance the state machine; called between scheduling quanta.
 
@@ -255,7 +306,7 @@ class ClusteringController:
             self._enter_detection(now_cycle)
 
     def _enter_detection(self, now_cycle: int) -> None:
-        self.phase = Phase.DETECTING
+        self._set_phase(Phase.DETECTING, now_cycle)
         self._detect_start_cycle = now_cycle
         self.shmap_registry.reset()
         self._adapt_sampling_period()
@@ -298,32 +349,49 @@ class ClusteringController:
         self.capture_engine.stop()
         if collected < self.config.min_samples_on_timeout:
             # Nothing to cluster on; resume monitoring.
-            self.detection_log.append(
-                DetectionRecord(
-                    start_cycle=self._detect_start_cycle,
-                    end_cycle=now_cycle,
-                    samples=collected,
-                    completed=False,
-                    actionable=False,
-                )
-            )
-            self._resume_monitoring(now_cycle)
-            return None
-        event = self._cluster_and_migrate(now_cycle)
-        self.detection_log.append(
-            DetectionRecord(
+            record = DetectionRecord(
                 start_cycle=self._detect_start_cycle,
                 end_cycle=now_cycle,
                 samples=collected,
-                completed=not timed_out,
-                actionable=event is not None,
+                completed=False,
+                actionable=False,
             )
+            self.detection_log.append(record)
+            self._record_detection(record, outcome="starved")
+            self._resume_monitoring(now_cycle)
+            return None
+        event = self._cluster_and_migrate(now_cycle)
+        record = DetectionRecord(
+            start_cycle=self._detect_start_cycle,
+            end_cycle=now_cycle,
+            samples=collected,
+            completed=not timed_out,
+            actionable=event is not None,
+        )
+        self.detection_log.append(record)
+        self._record_detection(
+            record, outcome="actionable" if event is not None else "futile"
         )
         self._resume_monitoring(now_cycle)
         return event
 
+    def _record_detection(
+        self, record: DetectionRecord, outcome: str
+    ) -> None:
+        self._detection_counters[outcome].inc()
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_DETECTION,
+                cycle=record.end_cycle,
+                samples=record.samples,
+                completed=record.completed,
+                actionable=record.actionable,
+                outcome=outcome,
+                tracking_cycles=record.end_cycle - record.start_cycle,
+            )
+
     def _resume_monitoring(self, now_cycle: int) -> None:
-        self.phase = Phase.MONITORING
+        self._set_phase(Phase.MONITORING, now_cycle)
         self._window_start_cycle = now_cycle
         self._window_snapshot = self.stall_breakdown.snapshot()
 
@@ -389,6 +457,19 @@ class ClusteringController:
         self._last_migration_cycle = now_cycle
         # A productive round resets the futile-detection backoff.
         self._effective_cooldown = self.config.migration_cooldown_cycles
+        self._metrics.counter("controller_migrations_executed_total").inc(
+            executed
+        )
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_CLUSTER_FORMED,
+                cycle=now_cycle,
+                n_clusters=result.n_clusters,
+                sizes=sorted(result.sizes(), reverse=True),
+                unclustered=len(result.unclustered),
+                migrations_executed=executed,
+                **plan.summary(),
+            )
         event = ClusteringEvent(
             activated_at_cycle=self._detect_start_cycle,
             migrated_at_cycle=now_cycle,

@@ -46,6 +46,16 @@ class MigrationPlan:
             loads[machine.chip_of(cpu)] += 1
         return loads
 
+    def summary(self) -> Dict[str, int]:
+        """Flat counts for trace events and metrics."""
+        return {
+            "threads_planned": len(self.target_cpu),
+            "clusters_placed": sum(
+                1 for chip in self.cluster_chip.values() if chip >= 0
+            ),
+            "clusters_neutralized": len(self.neutralized_clusters),
+        }
+
 
 class MigrationPlanner:
     """Builds a :class:`MigrationPlan` from a clustering result."""

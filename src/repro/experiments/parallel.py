@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..obs import merge_snapshots
 from ..sim.config import SimConfig
 from ..sim.engine import run_simulation
 from ..sim.results import SimResult
@@ -54,8 +55,33 @@ class SimTask:
 
 
 def _execute_task(task: SimTask) -> SimResult:
-    """Worker entry point (module-level so it pickles by reference)."""
-    return run_simulation(task.workload_factory(), task.config)
+    """Worker entry point (module-level so it pickles by reference).
+
+    Results are stamped with the task's seed and the executing worker's
+    pid, and failures are re-raised with both -- so one bad task out of
+    a fan-out is reproducible from logs alone (rebuild the config with
+    that seed and rerun sequentially).
+    """
+    try:
+        result = run_simulation(task.workload_factory(), task.config)
+    except Exception as error:
+        raise RuntimeError(
+            f"sweep task {task.label!r} failed "
+            f"(seed={task.config.seed}, worker_pid={os.getpid()}): {error}"
+        ) from error
+    result.task_seed = task.config.seed
+    result.worker_pid = os.getpid()
+    return result
+
+
+def aggregate_metrics(results: Iterable[SimResult]) -> dict:
+    """Merge the per-run metrics snapshots of a sweep into one view.
+
+    Counters and histograms add across runs; gauges keep the last run's
+    value.  Worker processes cannot share a registry, so aggregation
+    happens here, over the snapshots each :class:`SimResult` carries.
+    """
+    return merge_snapshots(r.metrics for r in results if r.metrics)
 
 
 def default_jobs() -> int:

@@ -1,0 +1,65 @@
+"""Observability: metrics registry, event tracing, trace exporters.
+
+The cross-cutting layer the simulation publishes its dynamic behaviour
+through.  See docs/observability.md for the event taxonomy, exporter
+formats and overhead characteristics.
+"""
+
+from .chrome_trace import to_chrome_trace, write_chrome_trace
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    series_name,
+)
+from .recorder import (
+    KIND_CAPTURE_START,
+    KIND_CAPTURE_STOP,
+    KIND_CLUSTER_FORMED,
+    KIND_DETECTION,
+    KIND_MIGRATION,
+    KIND_PHASE_TRANSITION,
+    KIND_QUANTUM,
+    KIND_ROUND_END,
+    KIND_ROUND_START,
+    KIND_SAMPLING_PERIOD,
+    KIND_STEAL,
+    NULL_RECORDER,
+    NullRecorder,
+    RingBufferRecorder,
+    TraceEvent,
+)
+from .session import active_recorder, active_registry, observe
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "series_name",
+    "TraceEvent",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "RingBufferRecorder",
+    "KIND_ROUND_START",
+    "KIND_ROUND_END",
+    "KIND_QUANTUM",
+    "KIND_PHASE_TRANSITION",
+    "KIND_DETECTION",
+    "KIND_CLUSTER_FORMED",
+    "KIND_MIGRATION",
+    "KIND_STEAL",
+    "KIND_SAMPLING_PERIOD",
+    "KIND_CAPTURE_START",
+    "KIND_CAPTURE_STOP",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "active_recorder",
+    "active_registry",
+    "observe",
+]

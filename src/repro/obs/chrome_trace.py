@@ -1,0 +1,181 @@
+"""Export recorded trace events as Chrome trace-event JSON.
+
+The output is the ``{"traceEvents": [...]}`` JSON object format that
+Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly:
+
+* one track per hardware context (``cpu0`` ... ``cpuN-1``) carrying a
+  complete ("X") slice per executed quantum, named after the thread
+  that ran;
+* one ``controller`` track carrying the clustering controller's phase
+  as long slices (MONITORING / DETECTING) with detections, cluster
+  formations and sampling-period changes as instant events;
+* migrations and load-balance steals as instant events on the
+  *destination* cpu's track.
+
+Timestamps are simulated cycles written into the ``ts``/``dur``
+microsecond fields one-to-one, so "1 us" in the viewer reads as one
+cycle; there is no wall-clock in a simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .recorder import (
+    KIND_MIGRATION,
+    KIND_PHASE_TRANSITION,
+    KIND_QUANTUM,
+    KIND_ROUND_END,
+    KIND_ROUND_START,
+    KIND_STEAL,
+    TraceEvent,
+)
+
+#: single simulated machine = one trace process
+_PID = 0
+
+
+def _metadata(name_kind: str, tid: Optional[int], name: str) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "M",
+        "pid": _PID,
+        "name": name_kind,
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    n_cpus: Optional[int] = None,
+    process_name: str = "repro simulation",
+) -> Dict[str, Any]:
+    """Convert recorded events into a Chrome trace-event document.
+
+    Args:
+        events: events oldest-first (``recorder.events()``).
+        n_cpus: cpu-track count; inferred from the events when omitted.
+        process_name: display name of the single trace process.
+    """
+    if n_cpus is None:
+        n_cpus = 1 + max((e.cpu for e in events if e.cpu >= 0), default=-1)
+    controller_tid = n_cpus  #: track below the last cpu
+    end_ts = max((e.cycle for e in events), default=0)
+
+    trace: List[Dict[str, Any]] = [
+        _metadata("process_name", None, process_name)
+    ]
+    for cpu in range(n_cpus):
+        trace.append(_metadata("thread_name", cpu, f"cpu{cpu}"))
+    trace.append(_metadata("thread_name", controller_tid, "controller"))
+
+    phase_open: Optional[Dict[str, Any]] = None
+
+    def close_phase(ts: int) -> None:
+        nonlocal phase_open
+        if phase_open is not None:
+            phase_open["dur"] = max(0, ts - phase_open["ts"])
+            phase_open = None
+
+    def open_phase(name: str, ts: int) -> None:
+        nonlocal phase_open
+        phase_open = {
+            "ph": "X",
+            "pid": _PID,
+            "tid": controller_tid,
+            "ts": ts,
+            "dur": 0,
+            "name": name.upper(),
+            "cat": "phase",
+        }
+        trace.append(phase_open)
+
+    for event in events:
+        kind = event.kind
+        if kind == KIND_QUANTUM:
+            trace.append(
+                {
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": event.cpu,
+                    "ts": int(event.data.get("start", event.cycle)),
+                    "dur": int(event.data.get("dur", 0)),
+                    "name": f"t{event.tid}",
+                    "cat": "quantum",
+                    "args": {"tid": event.tid, **event.data},
+                }
+            )
+        elif kind == KIND_PHASE_TRANSITION:
+            if phase_open is None and "from_phase" in event.data:
+                # The buffer starts mid-run (or at run start): backfill
+                # the phase that was active before this transition.
+                open_phase(event.data["from_phase"], 0)
+            close_phase(event.cycle)
+            open_phase(event.data.get("to_phase", "?"), event.cycle)
+            trace.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": controller_tid,
+                    "ts": event.cycle,
+                    "s": "t",
+                    "name": kind,
+                    "cat": "controller",
+                    "args": dict(event.data),
+                }
+            )
+        elif kind in (KIND_MIGRATION, KIND_STEAL):
+            target = event.data.get("to_cpu", event.cpu)
+            trace.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": int(target) if target is not None else event.cpu,
+                    "ts": event.cycle,
+                    "s": "t",
+                    "name": f"{kind} t{event.tid}",
+                    "cat": kind,
+                    "args": {"tid": event.tid, **event.data},
+                }
+            )
+        elif kind in (KIND_ROUND_START, KIND_ROUND_END):
+            # Round boundaries carry no duration information beyond the
+            # quanta themselves; skip them to keep the trace lean.
+            continue
+        else:
+            trace.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": controller_tid,
+                    "ts": event.cycle,
+                    "s": "t",
+                    "name": kind,
+                    "cat": "controller",
+                    "args": dict(event.data),
+                }
+            )
+    close_phase(end_ts)
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated cycles (1 us = 1 cycle)"},
+    }
+
+
+def write_chrome_trace(
+    path: "Path | str",
+    events: Iterable[TraceEvent],
+    n_cpus: Optional[int] = None,
+    **kwargs: Any,
+) -> Path:
+    """Serialise :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    document = to_chrome_trace(list(events), n_cpus=n_cpus, **kwargs)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True))
+    return path

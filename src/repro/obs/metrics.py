@@ -1,0 +1,243 @@
+"""Labeled metrics: counters, gauges and histograms for simulation runs.
+
+A :class:`MetricsRegistry` is the write-side API the engine, scheduler,
+clustering controller, capture engine and cache hierarchy publish into.
+Series are identified by a metric name plus a set of labels (e.g.
+``migrations_total{reason=cluster}``), Prometheus-style, so sweeps can
+aggregate across runs without schema coordination.
+
+Design constraints:
+
+* **Cheap on the hot path.**  ``counter()``/``gauge()``/``histogram()``
+  are get-or-create and return the instrument object; callers that
+  publish repeatedly hold the instrument and call ``inc()``/``observe()``
+  directly -- an attribute bump, no dict lookup.
+* **Mergeable across processes.**  The parallel sweep runner ships
+  :meth:`MetricsRegistry.snapshot` dicts (plain JSON types) back from
+  worker processes; :func:`merge_snapshots` folds them -- counters and
+  histograms add, gauges keep the last value seen.
+* **Bounded cardinality.**  A registry refuses to create more than
+  ``max_series`` series so a label mistake (e.g. labelling by address)
+  fails loudly instead of eating memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default histogram bucket upper bounds (cycles-flavoured, log-spaced)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value (e.g. the current sampling period)."""
+
+    __slots__ = ("value", "updated")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.updated = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updated = True
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the
+    rest.  ``counts[i]`` is the number of observations <= ``buckets[i]``
+    (non-cumulative per bucket, unlike Prometheus exposition, because
+    non-cumulative merges element-wise).
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def series_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Flat display/merge key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metric series of one run."""
+
+    def __init__(self, max_series: int = 4096) -> None:
+        self.max_series = max_series
+        self._series: Dict[_SeriesKey, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, name: str, labels: Dict[str, Any]) -> _SeriesKey:
+        return name, tuple(
+            sorted((key, str(value)) for key, value in labels.items())
+        )
+
+    def _get_or_create(self, name: str, labels: Dict[str, Any], factory):
+        key = self._key(name, labels)
+        instrument = self._series.get(key)
+        if instrument is None:
+            if len(self._series) >= self.max_series:
+                raise RuntimeError(
+                    f"metrics registry overflow: refusing series "
+                    f"{series_name(*key)!r} beyond max_series="
+                    f"{self.max_series} (runaway label cardinality?)"
+                )
+            instrument = self._series[key] = factory()
+        return instrument
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        instrument = self._get_or_create(name, labels, Counter)
+        if not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} already registered as another type")
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        instrument = self._get_or_create(name, labels, Gauge)
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"{name!r} already registered as another type")
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        factory = (
+            Histogram if buckets is None else (lambda: Histogram(buckets))
+        )
+        instrument = self._get_or_create(name, labels, factory)
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} already registered as another type")
+        return instrument
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat, JSON-serialisable, mergeable view of every series.
+
+        Counters become ints, gauges floats, histograms dicts with
+        ``type/buckets/counts/sum/count`` -- the shapes
+        :func:`merge_snapshots` understands.
+        """
+        out: Dict[str, Any] = {}
+        for (name, labels), instrument in sorted(self._series.items()):
+            flat = series_name(name, labels)
+            if isinstance(instrument, Counter):
+                out[flat] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[flat] = float(instrument.value)
+            else:
+                out[flat] = {
+                    "type": "histogram",
+                    "buckets": list(instrument.buckets),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.total,
+                    "count": instrument.count,
+                }
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (cross-run aggregation)."""
+        for (name, labels), theirs in other._series.items():
+            if isinstance(theirs, Counter):
+                self.counter(name, **dict(labels)).inc(theirs.value)
+            elif isinstance(theirs, Gauge):
+                if theirs.updated:
+                    self.gauge(name, **dict(labels)).set(theirs.value)
+            else:
+                mine = self.histogram(
+                    name, buckets=theirs.buckets, **dict(labels)
+                )
+                if mine.buckets != theirs.buckets:
+                    raise ValueError(
+                        f"cannot merge {name!r}: bucket bounds differ"
+                    )
+                for index, count in enumerate(theirs.counts):
+                    mine.counts[index] += count
+                mine.total += theirs.total
+                mine.count += theirs.count
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate :meth:`MetricsRegistry.snapshot` dicts from many runs.
+
+    Counters (ints) add; gauges (floats) keep the last snapshot's value;
+    histogram dicts merge element-wise.  Used by the parallel sweep
+    runner, where each worker process returns its own snapshot.
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            current = merged.get(key)
+            if current is None:
+                if isinstance(value, dict):
+                    value = {
+                        **value,
+                        "buckets": list(value["buckets"]),
+                        "counts": list(value["counts"]),
+                    }
+                merged[key] = value
+            elif isinstance(value, dict):
+                if current["buckets"] != value["buckets"]:
+                    raise ValueError(
+                        f"cannot merge {key!r}: bucket bounds differ"
+                    )
+                current["counts"] = [
+                    a + b for a, b in zip(current["counts"], value["counts"])
+                ]
+                current["sum"] += value["sum"]
+                current["count"] += value["count"]
+            elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                merged[key] = value
+            elif isinstance(value, int) and isinstance(current, int):
+                merged[key] = current + value
+            else:
+                # Gauges serialise as floats: last value wins.
+                merged[key] = value
+    return merged

@@ -1,0 +1,142 @@
+"""Structured event tracing: typed events into a bounded ring buffer.
+
+The simulation's dynamic story -- rounds, controller phase transitions,
+detections, migrations, load-balance steals, sampling-rate changes --
+is emitted as :class:`TraceEvent` records through a recorder object.
+Two recorders exist:
+
+* :class:`NullRecorder` (the default, shared :data:`NULL_RECORDER`
+  singleton): ``enabled`` is False and :meth:`~NullRecorder.emit` is a
+  no-op.  Instrumented call sites guard event *construction* behind
+  ``recorder.enabled``, so the disabled path allocates nothing and adds
+  only a predicate check -- the hot loops stay within benchmark noise
+  (see ``benchmarks/test_bench_hotpaths.py`` and the CI overhead gate).
+* :class:`RingBufferRecorder`: keeps the most recent ``capacity``
+  events in a preallocated ring; older events are overwritten and
+  counted in :attr:`~RingBufferRecorder.dropped`, so an unbounded run
+  cannot eat memory but the tail of the story is always intact.
+
+Recorders carry the simulation clock: the engine stamps
+``recorder.now`` once per round, and every ``emit()`` without an
+explicit ``cycle`` inherits it.  That keeps instrumented components
+(scheduler, balancer, controller) free of clock plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: event kinds emitted by the instrumented components; see
+#: docs/observability.md for the full taxonomy and payload schemas
+KIND_ROUND_START = "round.start"
+KIND_ROUND_END = "round.end"
+KIND_QUANTUM = "quantum"
+KIND_PHASE_TRANSITION = "phase.transition"
+KIND_DETECTION = "detection.complete"
+KIND_CLUSTER_FORMED = "cluster.formed"
+KIND_MIGRATION = "migration"
+KIND_STEAL = "steal"
+KIND_SAMPLING_PERIOD = "sampling.period"
+KIND_CAPTURE_START = "capture.start"
+KIND_CAPTURE_STOP = "capture.stop"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed event.  ``cpu``/``tid`` are -1 when not applicable."""
+
+    kind: str
+    cycle: int
+    cpu: int = -1
+    tid: int = -1
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class NullRecorder:
+    """Zero-cost default: records nothing, drops everything."""
+
+    enabled = False
+    #: the simulation clock; writable so the engine's per-round stamp
+    #: does not need to special-case the disabled recorder
+    now = 0
+    dropped = 0
+    total_emitted = 0
+
+    def emit(
+        self,
+        kind: str,
+        cpu: int = -1,
+        tid: int = -1,
+        cycle: int = None,
+        **data: Any,
+    ) -> None:
+        pass
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared no-op recorder; safe because it holds no per-run state
+NULL_RECORDER = NullRecorder()
+
+
+class RingBufferRecorder:
+    """Bounded recorder keeping the most recent ``capacity`` events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.now = 0
+        self.dropped = 0
+        self.total_emitted = 0
+        self._ring: List[TraceEvent] = [None] * capacity  # type: ignore
+        self._next = 0  #: next write slot
+        self._filled = 0
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        cpu: int = -1,
+        tid: int = -1,
+        cycle: int = None,
+        **data: Any,
+    ) -> None:
+        """Record one event, stamped with ``cycle`` or the current clock."""
+        event = TraceEvent(
+            kind=kind,
+            cycle=self.now if cycle is None else cycle,
+            cpu=cpu,
+            tid=tid,
+            data=data,
+        )
+        if self._filled == self.capacity:
+            self.dropped += 1
+        else:
+            self._filled += 1
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+        self.total_emitted += 1
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def events(self) -> List[TraceEvent]:
+        """Recorded events, oldest first."""
+        if self._filled < self.capacity:
+            return [e for e in self._ring[: self._filled]]
+        return self._ring[self._next:] + self._ring[: self._next]
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity  # type: ignore
+        self._next = 0
+        self._filled = 0
+        self.dropped = 0
+        self.total_emitted = 0

@@ -1,0 +1,59 @@
+"""Process-wide observability session: an ambient recorder + registry.
+
+The CLI's ``--trace``/``--metrics`` flags must observe *existing*
+experiment runners without threading a recorder through every runner
+signature.  This module holds the ambient pair: a
+:class:`~repro.sim.engine.Simulator` built without explicit ``recorder``
+/``metrics`` arguments picks up the session recorder, and merges its
+per-run registry into the session registry when the run finishes.
+
+Scope notes:
+
+* The session is per-process.  Parallel sweep workers
+  (:mod:`repro.experiments.parallel`) do not inherit it; their metrics
+  travel back inside each :class:`~repro.sim.results.SimResult` and are
+  folded with :func:`~repro.obs.metrics.merge_snapshots` instead.
+* Sessions nest (the context manager restores the previous pair), but
+  there is deliberately no thread-local magic: the simulator is
+  single-threaded and the CLI is the only expected user.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .recorder import NULL_RECORDER
+
+_active_recorder = NULL_RECORDER
+_active_registry: Optional[MetricsRegistry] = None
+
+
+def active_recorder():
+    """The ambient recorder (the shared NullRecorder outside a session)."""
+    return _active_recorder
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The ambient registry, or None when no session collects metrics."""
+    return _active_registry
+
+
+@contextmanager
+def observe(recorder=None, registry: Optional[MetricsRegistry] = None):
+    """Install ``recorder``/``registry`` as the ambient pair.
+
+    Either may be None to leave that half unchanged.  Yields the
+    ``(recorder, registry)`` pair actually in effect.
+    """
+    global _active_recorder, _active_registry
+    previous: Tuple = (_active_recorder, _active_registry)
+    if recorder is not None:
+        _active_recorder = recorder
+    if registry is not None:
+        _active_registry = registry
+    try:
+        yield (_active_recorder, _active_registry)
+    finally:
+        _active_recorder, _active_registry = previous

@@ -34,6 +34,13 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..cache.stats import REMOTE_SOURCE_INDICES
+from ..obs import (
+    KIND_CAPTURE_START,
+    KIND_CAPTURE_STOP,
+    KIND_SAMPLING_PERIOD,
+    MetricsRegistry,
+    NULL_RECORDER,
+)
 from .counters import HardwareCounter
 from .events import PmuEvent
 from .sampling import ContinuousSamplingRegister, DataSample
@@ -93,6 +100,8 @@ class RemoteAccessCaptureEngine:
         sample_cost_cycles: int = DEFAULT_SAMPLE_COST_CYCLES,
         consumer: Optional[SampleConsumer] = None,
         event_sources: Sequence[int] = REMOTE_SOURCE_INDICES,
+        recorder=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """
         Args:
@@ -112,6 +121,10 @@ class RemoteAccessCaptureEngine:
                 this knob: "filter out all cache misses that are
                 satisfied from remote L3 caches and remote memory" --
                 pass ``(IDX_REMOTE_L3, IDX_MEMORY)``.
+            recorder: trace recorder for capture start/stop and
+                sampling-period-change events (default: no-op).
+            metrics: registry receiving the per-cpu delivered-sample
+                counters (default: a private throwaway registry).
         """
         if period < 1:
             raise ValueError("sampling period must be >= 1")
@@ -141,6 +154,14 @@ class RemoteAccessCaptureEngine:
         self._skid_pending = [False] * n_cpus
         self.stats = CaptureStatistics(per_cpu_overhead=[0] * n_cpus)
         self._pending_cost = 0
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        #: per-cpu delivered-sample counters, pre-bound so the delivery
+        #: path pays one list index + one attribute bump
+        self._sample_counters = [
+            metrics.counter("pmu_samples_total", cpu=cpu)
+            for cpu in range(n_cpus)
+        ]
 
     # ------------------------------------------------------------------
     def _draw_period(self) -> int:
@@ -173,6 +194,7 @@ class RemoteAccessCaptureEngine:
         if sample is None:
             return
         self.stats.samples_delivered += 1
+        self._sample_counters[cpu].inc()
         if sample.source_index in self.event_sources:
             self.stats.samples_remote += 1
         cost = self.sample_cost_cycles
@@ -186,18 +208,30 @@ class RemoteAccessCaptureEngine:
     def start(self) -> None:
         """Enable capture (entering the sharing-detection phase)."""
         self.enabled = True
+        if self._recorder.enabled:
+            self._recorder.emit(KIND_CAPTURE_START, period=self.base_period)
 
     def stop(self) -> None:
         """Disable capture (back to stall-breakdown monitoring)."""
         self.enabled = False
         self._skid_pending = [False] * len(self._skid_pending)
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_CAPTURE_STOP,
+                samples_delivered=self.stats.samples_delivered,
+            )
 
     def set_period(self, period: int) -> None:
         """Retarget the temporal sampling period (adaptive control)."""
         if period < 1:
             raise ValueError("sampling period must be >= 1")
+        previous = self.base_period
         self.base_period = period
         self.period_jitter = min(self.period_jitter, period - 1)
+        if period != previous and self._recorder.enabled:
+            self._recorder.emit(
+                KIND_SAMPLING_PERIOD, period=period, previous=previous
+            )
 
     def on_l1_miss(
         self, cpu: int, address: int, tid: int, source_index: int, cycle: int

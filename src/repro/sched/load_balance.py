@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import KIND_STEAL, MetricsRegistry, NULL_RECORDER
 from ..topology.machine import Machine
 from .runqueue import RunQueueSet
 from .thread import SimThread
@@ -48,6 +49,8 @@ class LoadBalancer:
         proactive_enabled: bool = True,
         intra_chip_only: bool = False,
         proactive_interval: int = 8,
+        recorder=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """
         Args:
@@ -59,6 +62,11 @@ class LoadBalancer:
                 (used after cluster migration so balancing cannot
                 scatter a cluster across chips again).
             proactive_interval: scheduler ticks between proactive passes.
+            recorder: trace recorder steals are emitted into (default:
+                the no-op recorder).
+            metrics: registry receiving the steal counters (default: a
+                private throwaway registry, so call sites without
+                observability stay unchanged).
         """
         self.machine = machine
         self.runqueues = runqueues
@@ -68,6 +76,14 @@ class LoadBalancer:
         self.proactive_interval = max(1, proactive_interval)
         self.stats = BalanceStats()
         self._ticks = 0
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._reactive_counter = metrics.counter(
+            "sched_migrations_total", reason="reactive"
+        )
+        self._proactive_counter = metrics.counter(
+            "sched_migrations_total", reason="proactive"
+        )
 
     # ------------------------------------------------------------------
     def _candidate_cpus(self, cpu: int) -> list:
@@ -104,6 +120,15 @@ class LoadBalancer:
             thread.cross_chip_migrations += 1
         self._record_move(donor, idle_cpu)
         self.stats.reactive_pulls += 1
+        self._reactive_counter.inc()
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_STEAL,
+                tid=thread.tid,
+                from_cpu=donor,
+                to_cpu=idle_cpu,
+                reason="reactive",
+            )
         self.runqueues[idle_cpu].enqueue(thread)
         return thread
 
@@ -143,6 +168,15 @@ class LoadBalancer:
                 self._record_move(busiest, idlest)
                 self.runqueues[idlest].enqueue(thread)
                 self.stats.proactive_moves += 1
+                self._proactive_counter.inc()
+                if self._recorder.enabled:
+                    self._recorder.emit(
+                        KIND_STEAL,
+                        tid=thread.tid,
+                        from_cpu=busiest,
+                        to_cpu=idlest,
+                        reason="proactive",
+                    )
                 moved += 1
                 improved = True
             if not improved:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import KIND_MIGRATION, MetricsRegistry, NULL_RECORDER
 from ..topology.machine import Machine
 from .load_balance import LoadBalancer
 from .placement import PlacementPolicy, place_threads
@@ -31,16 +32,28 @@ class Scheduler:
         policy: PlacementPolicy,
         rng: np.random.Generator,
         intra_chip_balancing_after_clustering: bool = True,
+        recorder=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        """``recorder``/``metrics`` are the observability sinks shared
+        with the owning simulator; both default to no-op stand-ins so
+        direct construction (tests, ad-hoc studies) stays unchanged."""
         self.machine = machine
         self.policy = policy
         self.rng = rng
         self.runqueues = RunQueueSet(machine.n_cpus)
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._migration_counter = metrics.counter(
+            "sched_migrations_total", reason="cluster"
+        )
         self.balancer = LoadBalancer(
             machine,
             self.runqueues,
             reactive_enabled=policy.balancing_enabled,
             proactive_enabled=policy.balancing_enabled,
+            recorder=self._recorder,
+            metrics=metrics,
         )
         #: after the clustering controller migrates, restrict balancing
         #: to intra-chip moves (the Section 4.5 planned extension)
@@ -120,10 +133,21 @@ class Scheduler:
             return
         self.runqueues[source_cpu].steal(thread)
         thread.migrations += 1
-        if not self.machine.same_chip(source_cpu, target_cpu):
+        cross_chip = not self.machine.same_chip(source_cpu, target_cpu)
+        if cross_chip:
             thread.cross_chip_migrations += 1
         self.runqueues[target_cpu].enqueue(thread)
         self._migrations_requested += 1
+        self._migration_counter.inc()
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_MIGRATION,
+                tid=thread.tid,
+                from_cpu=source_cpu,
+                to_cpu=target_cpu,
+                cross_chip=cross_chip,
+                reason="cluster",
+            )
 
     def enable_intra_chip_balancing(self) -> None:
         """Post-clustering mode: balance only within chips."""

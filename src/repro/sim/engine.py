@@ -29,6 +29,13 @@ import numpy as np
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.stats import SOURCE_ORDER
 from ..clustering.controller import ClusteringController
+from ..obs import (
+    KIND_QUANTUM,
+    KIND_ROUND_END,
+    KIND_ROUND_START,
+    MetricsRegistry,
+)
+from ..obs import session as obs_session
 from ..clustering.migration import MigrationPlanner
 from ..clustering.onepass import OnePassClusterer
 from ..clustering.shmap import ShMapTable
@@ -46,10 +53,24 @@ from .results import SimResult, ThreadSummary, TimelinePoint
 class Simulator:
     """One reproducible simulation of a workload under a policy."""
 
-    def __init__(self, workload: WorkloadModel, config: SimConfig) -> None:
+    def __init__(
+        self,
+        workload: WorkloadModel,
+        config: SimConfig,
+        recorder=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        """``recorder`` defaults to the ambient session recorder (the
+        no-op NullRecorder outside a ``repro.obs.observe`` block);
+        ``metrics`` defaults to a fresh per-run registry whose snapshot
+        lands in ``SimResult.metrics``."""
         config.validate()
         self.config = config
         self.workload = workload
+        self.recorder = (
+            recorder if recorder is not None else obs_session.active_recorder()
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spec = config.resolve_machine()
         self.machine = self.spec.machine
         n_cpus = self.machine.n_cpus
@@ -71,8 +92,16 @@ class Simulator:
             skid_probability=config.sampling_skid_probability,
             sample_cost_cycles=config.sample_cost_cycles,
             event_sources=config.sampling_event_sources,
+            recorder=self.recorder,
+            metrics=self.metrics,
         )
-        self.scheduler = Scheduler(self.machine, config.policy, self._sched_rng)
+        self.scheduler = Scheduler(
+            self.machine,
+            config.policy,
+            self._sched_rng,
+            recorder=self.recorder,
+            metrics=self.metrics,
+        )
         self.scheduler.admit(workload.threads)
 
         self.shmap_table = ShMapTable(config.shmap_config)
@@ -98,6 +127,8 @@ class Simulator:
                 # The always-on HPC counting remote cache accesses: the
                 # adaptive sampling reads it to estimate the remote rate.
                 remote_event_counter=self.hierarchy.stats.remote_accesses,
+                recorder=self.recorder,
+                metrics=self.metrics,
             )
 
         # Hot-path lookup tables.
@@ -153,12 +184,20 @@ class Simulator:
         timeline: List[TimelinePoint] = []
         last_snapshot = self.stall.snapshot()
         last_cycle = 0.0
+        recorder = self.recorder
+        tracing = recorder.enabled
 
         for round_index in range(n_rounds):
+            if tracing:
+                recorder.now = int(self.mean_cycle)
+                recorder.emit(KIND_ROUND_START, index=round_index)
             self._run_round()
             self.scheduler.tick()
             if round_callback is not None:
                 round_callback(round_index, self)
+            if tracing:
+                recorder.now = int(self.mean_cycle)
+                recorder.emit(KIND_ROUND_END, index=round_index)
             if self.controller is not None:
                 event = self.controller.on_tick(int(self.mean_cycle))
                 if event is not None:
@@ -183,12 +222,18 @@ class Simulator:
                         mean_cycle=now,
                         remote_stall_fraction=delta.remote_stall_fraction,
                         ipc=delta.instructions / elapsed,
+                        controller_phase=(
+                            self.controller.phase.value
+                            if self.controller is not None
+                            else ""
+                        ),
                     )
                 )
                 last_snapshot = snapshot
                 last_cycle = now
 
         final_snapshot = self.stall.snapshot()
+        self._publish_run_metrics(final_snapshot)
         return SimResult(
             config_policy=config.policy.value,
             workload_name=self.workload.name,
@@ -210,7 +255,30 @@ class Simulator:
             shmap_matrix=self._shmap_matrix,
             shmap_tids=self._shmap_tids,
             sampling_overhead_cycles=self.capture.stats.overhead_cycles,
+            metrics=self.metrics.snapshot(),
         )
+
+    def _publish_run_metrics(self, final_snapshot) -> None:
+        """Fold end-of-run totals into the registry and the session.
+
+        Live instruments (migration counters, phase dwell histograms,
+        per-cpu sample counters) accumulated during the run; whole-run
+        aggregates that would tax the hot path if kept live are
+        published here instead.
+        """
+        metrics = self.metrics
+        metrics.counter("sim_rounds_total").inc(self.config.n_rounds)
+        metrics.counter("sim_instructions_total").inc(
+            final_snapshot.instructions
+        )
+        metrics.gauge("sim_elapsed_cycles").set(self.mean_cycle)
+        metrics.gauge("pmu_sampling_overhead_cycles").set(
+            self.capture.stats.overhead_cycles
+        )
+        self.hierarchy.publish_metrics(metrics)
+        session_registry = obs_session.active_registry()
+        if session_registry is not None and session_registry is not metrics:
+            session_registry.merge(metrics)
 
     # ------------------------------------------------------------------
     def _run_round(self) -> None:
@@ -332,6 +400,19 @@ class Simulator:
         self._clocks[cpu] += total_cycles
         thread.cycles_run += int(total_cycles)
         thread.instructions_completed += instructions
+        if self.recorder.enabled:
+            # One "X" slice per executed quantum on the cpu's own clock
+            # (per-cpu clocks drift apart; recorder.now is the mean).
+            self.recorder.emit(
+                KIND_QUANTUM,
+                cpu=cpu,
+                tid=tid,
+                cycle=now,
+                start=now,
+                dur=int(total_cycles),
+                instructions=instructions,
+                references=n_references,
+            )
         if n_references:
             miss_rate = 1.0 - counts[0] / n_references
             # EWMA so one odd quantum cannot flip placement decisions.
@@ -363,6 +444,11 @@ class Simulator:
         return summaries
 
 
-def run_simulation(workload: WorkloadModel, config: SimConfig) -> SimResult:
+def run_simulation(
+    workload: WorkloadModel,
+    config: SimConfig,
+    recorder=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SimResult:
     """Convenience wrapper: build a simulator and run it."""
-    return Simulator(workload, config).run()
+    return Simulator(workload, config, recorder=recorder, metrics=metrics).run()

@@ -11,7 +11,7 @@ matrix recorded at the last clustering round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -31,6 +31,10 @@ class TimelinePoint:
     remote_stall_fraction: float
     #: aggregate IPC since the previous timeline point
     ipc: float
+    #: active clustering-controller phase when the point was taken
+    #: ("monitoring"/"detecting"; "" for policies without a controller),
+    #: so timelines segment by phase without replaying a trace
+    controller_phase: str = ""
 
 
 @dataclass
@@ -79,6 +83,14 @@ class SimResult:
     shmap_tids: List[int] = field(default_factory=list)
     #: cycles spent in PMU sampling handlers (runtime overhead)
     sampling_overhead_cycles: int = 0
+    #: flat metrics snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`)
+    #: taken at run end; mergeable across runs with
+    #: :func:`repro.obs.merge_snapshots`
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: provenance stamped by the parallel sweep runner so a failed or
+    #: surprising task is reproducible from logs alone
+    task_seed: Optional[int] = None
+    worker_pid: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.sim",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

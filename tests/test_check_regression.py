@@ -1,0 +1,153 @@
+"""Tests for benchmarks/check_regression.py (batch error reporting)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def write_bench_json(path, means):
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+
+
+def write_baseline(path, means, seed_means=None):
+    path.write_text(
+        json.dumps({"means": means, "seed_means": seed_means or {}})
+    )
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return tmp_path / "bench.json", tmp_path / "baseline.json"
+
+
+class TestHappyPath:
+    def test_within_tolerance_passes(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 1.0, "test_b": 2.0})
+        write_baseline(baseline, {"test_a": 1.0, "test_b": 1.9})
+        rc = check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--tolerance", "0.25"]
+        )
+        assert rc == 0
+        assert "all benchmarks within tolerance" in capsys.readouterr().out
+
+    def test_regression_fails(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 2.0})
+        write_baseline(baseline, {"test_a": 1.0})
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestBatchMissingReporting:
+    def test_all_missing_names_reported_in_one_pass(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_kept": 1.0})
+        write_baseline(
+            baseline,
+            {"test_kept": 1.0, "test_gone_a": 1.0, "test_gone_b": 1.0},
+        )
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        # Both absentees named in the same run, in one message.
+        assert "test_gone_a" in err and "test_gone_b" in err
+        assert "renamed or not collected" in err
+
+    def test_missing_seed_means_reported_not_keyerror(self, paths, capsys):
+        bench, baseline = paths
+        gated = list(check_regression.GATED_SPEEDUPS)
+        write_bench_json(bench, {name: 1.0 for name in gated})
+        write_baseline(
+            baseline,
+            {name: 1.0 for name in gated},
+            seed_means={gated[0]: 5.0},  # gated[1] absent
+        )
+        rc = check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--speedup-gate"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert gated[1] in err
+        assert "seed_means" in err
+
+    def test_new_benchmark_is_informational_only(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 1.0, "test_brand_new": 1.0})
+        write_baseline(baseline, {"test_a": 1.0})
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 0
+        assert "test_brand_new" in capsys.readouterr().out
+
+
+class TestSpeedupGate:
+    def test_speedup_below_gate_fails(self, paths, capsys):
+        bench, baseline = paths
+        gated = list(check_regression.GATED_SPEEDUPS)
+        write_bench_json(bench, {name: 1.0 for name in gated})
+        write_baseline(
+            baseline,
+            {name: 1.0 for name in gated},
+            seed_means={name: 1.5 for name in gated},  # only 1.5x faster
+        )
+        rc = check_regression.main(
+            [
+                str(bench),
+                "--baseline",
+                str(baseline),
+                "--speedup-gate",
+                "--min-speedup",
+                "2.0",
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        for name in gated:
+            assert name in err
+
+    def test_speedup_above_gate_passes(self, paths):
+        bench, baseline = paths
+        gated = list(check_regression.GATED_SPEEDUPS)
+        write_bench_json(bench, {name: 1.0 for name in gated})
+        write_baseline(
+            baseline,
+            {name: 1.0 for name in gated},
+            seed_means={name: 3.0 for name in gated},
+        )
+        rc = check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--speedup-gate"]
+        )
+        assert rc == 0
+
+
+class TestUpdate:
+    def test_update_rewrites_means_only(self, paths):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 2.0})
+        write_baseline(baseline, {"test_a": 1.0}, seed_means={"test_a": 9.0})
+        rc = check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--update"]
+        )
+        assert rc == 0
+        data = json.loads(baseline.read_text())
+        assert data["means"] == {"test_a": 2.0}
+        assert data["seed_means"] == {"test_a": 9.0}

@@ -1,0 +1,114 @@
+"""Golden-file test for the Chrome trace-event exporter.
+
+The golden file (``tests/data/chrome_trace_golden.json``) pins the
+exact JSON the exporter produces for a small, hand-written event
+sequence: metadata naming, track assignment, phase-slice closing,
+instant-event placement.  Any schema change must update the golden
+file deliberately (see the regeneration snippet in the test below) --
+the file is what Perfetto compatibility is asserted against.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    KIND_CLUSTER_FORMED,
+    KIND_MIGRATION,
+    KIND_PHASE_TRANSITION,
+    KIND_QUANTUM,
+    KIND_ROUND_END,
+    KIND_ROUND_START,
+    KIND_STEAL,
+    RingBufferRecorder,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "chrome_trace_golden.json"
+
+
+def golden_events():
+    """A tiny but representative run: 2 cpus, one phase cycle."""
+    recorder = RingBufferRecorder(capacity=64)
+    recorder.emit(KIND_ROUND_START, cycle=0, round=0)
+    recorder.emit(KIND_QUANTUM, cpu=0, tid=0, cycle=0, start=0, dur=100,
+                  instructions=80, references=40)
+    recorder.emit(KIND_QUANTUM, cpu=1, tid=1, cycle=0, start=0, dur=120,
+                  instructions=90, references=45)
+    recorder.emit(KIND_ROUND_END, cycle=120, round=0)
+    recorder.emit(KIND_PHASE_TRANSITION, cycle=120,
+                  from_phase="monitoring", to_phase="detecting")
+    recorder.emit(KIND_QUANTUM, cpu=0, tid=1, cycle=120, start=120, dur=110,
+                  instructions=70, references=35)
+    recorder.emit(KIND_STEAL, tid=0, cycle=150, from_cpu=1, to_cpu=0,
+                  reason="reactive")
+    recorder.emit(KIND_CLUSTER_FORMED, cycle=200, n_clusters=1,
+                  sizes=[2], unclustered=0, migrations_executed=1)
+    recorder.emit(KIND_MIGRATION, tid=1, cycle=200, from_cpu=0, to_cpu=1,
+                  cross_chip=True, reason="cluster")
+    recorder.emit(KIND_PHASE_TRANSITION, cycle=230,
+                  from_phase="detecting", to_phase="monitoring")
+    return recorder.events()
+
+
+def test_matches_golden_file():
+    # Regenerate after a deliberate schema change with:
+    #   PYTHONPATH=src:tests python -c "import test_obs_chrome_trace as t; \
+    #       from repro.obs import write_chrome_trace; \
+    #       write_chrome_trace(t.GOLDEN_PATH, t.golden_events())"
+    document = to_chrome_trace(golden_events())
+    assert document == json.loads(GOLDEN_PATH.read_text())
+
+
+def test_write_round_trips(tmp_path):
+    path = write_chrome_trace(tmp_path / "trace.json", golden_events())
+    assert json.loads(path.read_text()) == to_chrome_trace(golden_events())
+
+
+class TestSchema:
+    """Structural invariants Perfetto relies on, independent of golden."""
+
+    def setup_method(self):
+        self.doc = to_chrome_trace(golden_events())
+        self.events = self.doc["traceEvents"]
+
+    def test_top_level_shape(self):
+        assert set(self.doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(self.events, list)
+
+    def test_thread_metadata_names_every_track(self):
+        names = {
+            (e["tid"], e["args"]["name"])
+            for e in self.events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {(0, "cpu0"), (1, "cpu1"), (2, "controller")}
+
+    def test_quantum_slices_are_complete_events(self):
+        quanta = [e for e in self.events if e.get("cat") == "quantum"]
+        assert len(quanta) == 3
+        for slice_ in quanta:
+            assert slice_["ph"] == "X"
+            assert isinstance(slice_["ts"], int)
+            assert isinstance(slice_["dur"], int)
+            assert slice_["tid"] in (0, 1)
+
+    def test_phase_slices_tile_the_run(self):
+        phases = [e for e in self.events if e.get("cat") == "phase"]
+        spans = sorted((e["ts"], e["dur"], e["name"]) for e in phases)
+        assert spans == [
+            (0, 120, "MONITORING"),
+            (120, 110, "DETECTING"),
+            (230, 0, "MONITORING"),
+        ]
+
+    def test_migration_lands_on_destination_track(self):
+        (mig,) = [e for e in self.events if e.get("cat") == "migration"]
+        assert mig["ph"] == "i"
+        assert mig["tid"] == 1  # to_cpu
+        assert mig["args"]["from_cpu"] == 0
+
+    def test_round_markers_are_dropped(self):
+        assert not any(
+            e.get("name", "").startswith("round.") for e in self.events
+        )

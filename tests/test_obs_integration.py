@@ -1,0 +1,194 @@
+"""End-to-end observability: a traced clustered run tells its story.
+
+One clustered microbenchmark simulation runs once (module-scoped) with
+a ring-buffer recorder and a metrics registry attached; every test
+then asserts a different view of the same run -- events, metrics,
+timeline phases, export payload, the ambient session, and the parallel
+runner's provenance stamping.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.experiments.parallel import SimTask, aggregate_metrics, run_tasks
+from repro.obs import (
+    KIND_CAPTURE_START,
+    KIND_CLUSTER_FORMED,
+    KIND_MIGRATION,
+    KIND_PHASE_TRANSITION,
+    KIND_QUANTUM,
+    MetricsRegistry,
+    RingBufferRecorder,
+    active_recorder,
+    active_registry,
+    observe,
+    to_chrome_trace,
+)
+from repro.analysis.export import sim_result_to_dict
+from repro.sched.placement import PlacementPolicy
+from repro.sim.engine import Simulator
+
+
+N_ROUNDS = 250
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    recorder = RingBufferRecorder(capacity=262_144)
+    registry = MetricsRegistry()
+    simulator = Simulator(
+        PAPER_WORKLOADS["microbenchmark"](),
+        evaluation_config(PlacementPolicy.CLUSTERED, n_rounds=N_ROUNDS),
+        recorder=recorder,
+        metrics=registry,
+    )
+    result = simulator.run()
+    return recorder, registry, result
+
+
+class TestEventStream:
+    def test_full_phase_cycle_recorded(self, traced_run):
+        recorder, _, _ = traced_run
+        transitions = [
+            e.data["to_phase"]
+            for e in recorder.events()
+            if e.kind == KIND_PHASE_TRANSITION
+        ]
+        # monitoring -> detecting -> ... -> monitoring: one full cycle.
+        assert "detecting" in transitions
+        assert "monitoring" in transitions[transitions.index("detecting"):]
+
+    def test_migrations_carry_thread_and_route(self, traced_run):
+        recorder, _, result = traced_run
+        migrations = [
+            e for e in recorder.events() if e.kind == KIND_MIGRATION
+        ]
+        assert migrations, "clustered run must migrate threads"
+        for event in migrations:
+            assert event.tid >= 0
+            assert event.data["from_cpu"] != event.data["to_cpu"]
+        assert len(migrations) == sum(
+            t.migrations for t in result.thread_summaries
+        )
+
+    def test_quanta_cover_every_cpu(self, traced_run):
+        recorder, _, result = traced_run
+        n_cpus = result.access_counts.shape[0]
+        cpus = {
+            e.cpu for e in recorder.events() if e.kind == KIND_QUANTUM
+        }
+        assert cpus == set(range(n_cpus))
+
+    def test_capture_lifecycle_present(self, traced_run):
+        recorder, _, _ = traced_run
+        kinds = {e.kind for e in recorder.events()}
+        assert KIND_CAPTURE_START in kinds
+        assert KIND_CLUSTER_FORMED in kinds
+
+    def test_event_cycles_monotonic_per_round_stamp(self, traced_run):
+        recorder, _, result = traced_run
+        cycles = [
+            e.cycle for e in recorder.events() if e.kind == "round.start"
+        ]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] <= result.elapsed_cycles
+
+    def test_chrome_export_of_real_run(self, traced_run):
+        recorder, _, result = traced_run
+        doc = to_chrome_trace(
+            recorder.events(), n_cpus=result.access_counts.shape[0]
+        )
+        phases = [
+            e for e in doc["traceEvents"] if e.get("cat") == "phase"
+        ]
+        names = [e["name"] for e in phases]
+        assert "MONITORING" in names and "DETECTING" in names
+        for slice_ in phases:
+            assert slice_["dur"] >= 0
+
+
+class TestMetrics:
+    def test_registry_and_result_snapshot_agree(self, traced_run):
+        _, registry, result = traced_run
+        assert result.metrics == registry.snapshot()
+
+    def test_core_series_present(self, traced_run):
+        _, _, result = traced_run
+        assert result.metrics["sim_rounds_total"] == N_ROUNDS
+        assert result.metrics["sched_migrations_total{reason=cluster}"] > 0
+        assert result.metrics["sim_elapsed_cycles"] == pytest.approx(
+            float(result.elapsed_cycles)
+        )
+        assert any(
+            key.startswith("pmu_samples_total") for key in result.metrics
+        )
+        assert any(
+            key.startswith("cache_accesses_total") for key in result.metrics
+        )
+
+    def test_phase_dwell_histogram_observed(self, traced_run):
+        _, _, result = traced_run
+        dwell = result.metrics[
+            "controller_phase_dwell_cycles{phase=monitoring}"
+        ]
+        assert dwell["type"] == "histogram"
+        assert dwell["count"] >= 1
+
+
+class TestTimelineAndExport:
+    def test_timeline_carries_controller_phase(self, traced_run):
+        _, _, result = traced_run
+        phases = {p.controller_phase for p in result.timeline}
+        assert phases == {"monitoring", "detecting"}
+
+    def test_export_payload_includes_observability(self, traced_run):
+        _, _, result = traced_run
+        payload = sim_result_to_dict(result)
+        assert payload["metrics_registry"] == result.metrics
+        assert {p["controller_phase"] for p in payload["timeline"]} == {
+            "monitoring",
+            "detecting",
+        }
+
+
+class TestSessionAmbient:
+    def test_observe_scopes_the_active_pair(self):
+        recorder = RingBufferRecorder(capacity=16)
+        registry = MetricsRegistry()
+        assert active_recorder().enabled is False
+        with observe(recorder=recorder, registry=registry):
+            assert active_recorder() is recorder
+            assert active_registry() is registry
+        assert active_recorder().enabled is False
+        assert active_registry() is None
+
+    def test_simulator_picks_up_session_recorder(self):
+        recorder = RingBufferRecorder(capacity=4096)
+        registry = MetricsRegistry()
+        with observe(recorder=recorder, registry=registry):
+            simulator = Simulator(
+                PAPER_WORKLOADS["microbenchmark"](),
+                evaluation_config(PlacementPolicy.ROUND_ROBIN, n_rounds=8),
+            )
+            simulator.run()
+        assert len(recorder) > 0
+        assert registry.snapshot()["sim_rounds_total"] == 8
+
+
+class TestParallelProvenance:
+    def test_results_stamped_with_seed_and_pid(self):
+        tasks = [
+            SimTask(
+                label=f"seed{seed}",
+                workload_factory=PAPER_WORKLOADS["microbenchmark"],
+                config=evaluation_config(
+                    PlacementPolicy.ROUND_ROBIN, n_rounds=8, seed=seed
+                ),
+            )
+            for seed in (3, 4)
+        ]
+        results = run_tasks(tasks, jobs=1)
+        assert [r.task_seed for r in results] == [3, 4]
+        assert all(isinstance(r.worker_pid, int) for r in results)
+        merged = aggregate_metrics(results)
+        assert merged["sim_rounds_total"] == 16

@@ -1,0 +1,148 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    series_name,
+)
+
+
+class TestSeriesNaming:
+    def test_bare_name(self):
+        assert series_name("sim_rounds_total", ()) == "sim_rounds_total"
+
+    def test_labels_render_prometheus_style(self):
+        name = series_name(
+            "sched_migrations_total", (("reason", "cluster"),)
+        )
+        assert name == "sched_migrations_total{reason=cluster}"
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", reason="a")
+        b = registry.counter("x_total", reason="a")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_label_order_is_insensitive(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", cpu=0, reason="a")
+        b = registry.counter("x_total", reason="a", cpu=0)
+        assert a is b
+        assert len(registry) == 1
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", reason="a")
+        b = registry.counter("x_total", reason="b")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_cardinality_cap_fails_loudly(self):
+        registry = MetricsRegistry(max_series=4)
+        for i in range(4):
+            registry.counter("x_total", i=i)
+        with pytest.raises(RuntimeError, match="max_series"):
+            registry.counter("x_total", i=99)
+        # Existing series are still reachable after the refusal.
+        assert registry.counter("x_total", i=0) is not None
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", reason="a")
+        with pytest.raises(TypeError):
+            registry.gauge("x", reason="a")
+        with pytest.raises(TypeError):
+            registry.histogram("x", reason="a")
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge(self):
+        gauge = Gauge()
+        assert gauge.updated is False
+        gauge.set(1.5)
+        assert (gauge.value, gauge.updated) == (1.5, True)
+
+    def test_histogram_buckets(self):
+        hist = Histogram(buckets=(10, 100))
+        for value in (5, 50, 500, 7):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # <=10, <=100, +inf
+        assert hist.count == 4
+        assert hist.total == 562
+        assert hist.mean == pytest.approx(562 / 4)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(100, 10))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshotAndMerge:
+    def _populated(self, n):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc(n)
+        registry.gauge("period").set(n * 10.0)
+        hist = registry.histogram("dwell", buckets=(10, 100), phase="m")
+        hist.observe(n)
+        return registry
+
+    def test_snapshot_shapes(self):
+        snap = self._populated(2).snapshot()
+        assert snap["runs_total"] == 2
+        assert snap["period"] == 20.0
+        hist = snap["dwell{phase=m}"]
+        assert hist["type"] == "histogram"
+        assert hist["buckets"] == [10, 100]
+        assert hist["counts"] == [1, 0, 0]
+        assert (hist["sum"], hist["count"]) == (2, 1)
+
+    def test_registry_merge(self):
+        ours = self._populated(1)
+        ours.merge(self._populated(5))
+        snap = ours.snapshot()
+        assert snap["runs_total"] == 6
+        assert snap["period"] == 50.0  # last writer wins
+        assert snap["dwell{phase=m}"]["counts"] == [2, 0, 0]
+
+    def test_merge_snapshots_across_processes(self):
+        snaps = [self._populated(n).snapshot() for n in (1, 2, 200)]
+        merged = merge_snapshots(snaps)
+        assert merged["runs_total"] == 203
+        assert merged["period"] == 2000.0
+        hist = merged["dwell{phase=m}"]
+        assert hist["counts"] == [2, 0, 1]
+        assert (hist["sum"], hist["count"]) == (203, 3)
+
+    def test_merge_snapshots_does_not_mutate_inputs(self):
+        snaps = [self._populated(1).snapshot(), self._populated(2).snapshot()]
+        merge_snapshots(snaps)
+        assert snaps[0]["dwell{phase=m}"]["counts"] == [1, 0, 0]
+
+    def test_merge_snapshots_bucket_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1, 3)).observe(1)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_empty_is_empty(self):
+        assert merge_snapshots([]) == {}

@@ -1,0 +1,97 @@
+"""Tests for the trace recorders (repro.obs.recorder)."""
+
+import pytest
+
+from repro.obs import (
+    KIND_MIGRATION,
+    KIND_QUANTUM,
+    NULL_RECORDER,
+    NullRecorder,
+    RingBufferRecorder,
+    TraceEvent,
+)
+
+
+class TestNullRecorder:
+    def test_disabled_and_empty(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        recorder.emit(KIND_QUANTUM, cpu=0, tid=1, cycle=10, dur=5)
+        assert recorder.events() == []
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+        assert recorder.total_emitted == 0
+
+    def test_shared_singleton_is_a_null_recorder(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+        assert NULL_RECORDER.enabled is False
+
+    def test_clock_attribute_is_writable(self):
+        # The engine stamps recorder.now unconditionally each round.
+        recorder = NullRecorder()
+        recorder.now = 12345
+        assert recorder.now == 12345
+
+
+class TestRingBufferRecorder:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferRecorder(capacity=0)
+
+    def test_records_in_order_below_capacity(self):
+        recorder = RingBufferRecorder(capacity=8)
+        for i in range(5):
+            recorder.emit(KIND_QUANTUM, cpu=i, tid=i, cycle=i * 100)
+        events = recorder.events()
+        assert [e.cycle for e in events] == [0, 100, 200, 300, 400]
+        assert len(recorder) == 5
+        assert recorder.dropped == 0
+        assert recorder.total_emitted == 5
+
+    def test_capacity_wrap_keeps_newest_oldest_first(self):
+        recorder = RingBufferRecorder(capacity=4)
+        for i in range(10):
+            recorder.emit(KIND_QUANTUM, tid=i, cycle=i)
+        events = recorder.events()
+        assert len(recorder) == 4
+        assert [e.tid for e in events] == [6, 7, 8, 9]
+        assert [e.cycle for e in events] == [6, 7, 8, 9]
+
+    def test_drop_counting(self):
+        recorder = RingBufferRecorder(capacity=3)
+        for i in range(8):
+            recorder.emit(KIND_QUANTUM, cycle=i)
+        assert recorder.dropped == 5
+        assert recorder.total_emitted == 8
+        assert len(recorder) == 3
+
+    def test_emit_inherits_recorder_clock(self):
+        recorder = RingBufferRecorder(capacity=4)
+        recorder.now = 777
+        recorder.emit(KIND_MIGRATION, tid=3, from_cpu=0, to_cpu=2)
+        (event,) = recorder.events()
+        assert event.cycle == 777
+        assert event.data == {"from_cpu": 0, "to_cpu": 2}
+
+    def test_explicit_cycle_beats_clock(self):
+        recorder = RingBufferRecorder(capacity=4)
+        recorder.now = 777
+        recorder.emit(KIND_QUANTUM, cycle=42)
+        assert recorder.events()[0].cycle == 42
+
+    def test_clear_resets_everything(self):
+        recorder = RingBufferRecorder(capacity=2)
+        for i in range(5):
+            recorder.emit(KIND_QUANTUM, cycle=i)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.events() == []
+        assert recorder.dropped == 0
+        assert recorder.total_emitted == 0
+
+    def test_events_are_typed(self):
+        recorder = RingBufferRecorder(capacity=2)
+        recorder.emit(KIND_QUANTUM, cpu=1, tid=2, cycle=3, dur=4)
+        (event,) = recorder.events()
+        assert isinstance(event, TraceEvent)
+        assert (event.kind, event.cpu, event.tid) == (KIND_QUANTUM, 1, 2)
