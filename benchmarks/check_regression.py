@@ -67,11 +67,14 @@ def main(argv=None) -> int:
                              "instead of checking")
     args = parser.parse_args(argv)
 
-    for path in (args.bench_json, args.baseline):
-        if not path.is_file():
-            parser.error(f"no such file: {path}")
+    if not args.bench_json.is_file():
+        parser.error(f"no such file: {args.bench_json}")
     fresh = load_means(args.bench_json)
-    baseline = json.loads(args.baseline.read_text())
+    baseline = (
+        json.loads(args.baseline.read_text())
+        if args.baseline.is_file()
+        else {}
+    )
 
     if args.update:
         baseline["means"] = {
@@ -81,10 +84,30 @@ def main(argv=None) -> int:
         print(f"updated {args.baseline} means from {args.bench_json}")
         return 0
 
+    # A gate with nothing to gate against must fail loudly: comparing
+    # against a missing or empty baseline would "pass" every run and
+    # regressions would merge unnoticed until someone read the numbers.
+    if not args.baseline.is_file():
+        print(
+            f"FAILED: baseline {args.baseline} does not exist -- nothing "
+            f"to compare against.  Capture one with:\n"
+            f"  python benchmarks/check_regression.py {args.bench_json} "
+            f"--baseline {args.baseline} --update",
+            file=sys.stderr,
+        )
+        return 1
+    if not baseline.get("means"):
+        print(
+            f"FAILED: baseline {args.baseline} has no 'means' section -- "
+            f"every check would pass vacuously.  Recapture with --update.",
+            file=sys.stderr,
+        )
+        return 1
+
     # Resolve every name across both sections before checking anything,
     # so a rename or a dropped benchmark reports the complete set of
     # mismatches in one run instead of failing on the first lookup.
-    baseline_means = baseline.get("means", {})
+    baseline_means = baseline["means"]
     seed_means = baseline.get("seed_means", {})
     expected = set(baseline_means)
     if args.speedup_gate:

@@ -62,6 +62,8 @@ def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
         ],
         "metrics_registry": dict(result.metrics),
     }
+    if result.workload_stats:
+        payload["workload_stats"] = dict(result.workload_stats)
     if result.task_seed is not None:
         payload["task_seed"] = result.task_seed
     if result.worker_pid is not None:

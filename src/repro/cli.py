@@ -8,6 +8,14 @@ Usage (after ``pip install -e .``)::
     python -m repro fig5 --out results/  # writes PGM images + JSON
     python -m repro all --out results/   # every experiment
 
+Long sweeps can checkpoint and survive interruption (see
+docs/experiments.md)::
+
+    python -m repro fig6 --jobs 0 --manifest runs/fig6.manifest \\
+        --retries 2 --task-timeout 600 --allow-partial
+    # ... Ctrl-C, OOM, reboot ...
+    python -m repro fig6 --jobs 0 --manifest runs/fig6.manifest --resume
+
 Each subcommand prints the same table as the corresponding benchmark
 and, with ``--out DIR``, writes a JSON record (plus PGM images for
 fig5) into the directory.
@@ -68,6 +76,73 @@ def _write_bytes(out_dir: Optional[Path], name: str, data: bytes) -> None:
     (out_dir / name).write_bytes(data)
 
 
+#: experiments that fan a task list through the resilient sweep runner
+#: and therefore honour --manifest/--resume/--task-timeout/--retries/
+#: --allow-partial
+_SWEEP_EXPERIMENTS = frozenset(
+    {"fig6", "sec74", "ablation-activation", "ablation-tolerance", "churn"}
+)
+
+
+def _resilience_requested(args) -> bool:
+    return bool(
+        args.manifest is not None
+        or args.resume
+        or args.task_timeout is not None
+        or args.retries
+        or args.allow_partial
+    )
+
+
+def _exec_policy(args, name: str):
+    """The ExecutionPolicy for one sweep experiment, or None.
+
+    Under ``all`` each sweep gets its own manifest file derived from
+    --manifest (``runs/sweep.json`` -> ``runs/sweep-fig6.json``), so
+    resuming ``all`` resumes every sweep independently.
+    """
+    if not _resilience_requested(args):
+        return None
+    from .experiments.resilience import ExecutionPolicy, RetryPolicy
+
+    manifest = args.manifest
+    if manifest is not None and args.experiment == "all":
+        suffix = manifest.suffix or ".json"
+        manifest = manifest.with_name(f"{manifest.stem}-{name}{suffix}")
+    return ExecutionPolicy(
+        manifest_path=manifest,
+        resume=args.resume,
+        task_timeout=args.task_timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        allow_partial=args.allow_partial,
+    )
+
+
+def _report_sweep(name: str, policy, out: Optional[Path]) -> None:
+    """Print the sweep's manifest digest and archive it next to the
+    experiment's JSON, so a partial run's gaps are named, not silent."""
+    if policy is None or policy.manifest_path is None:
+        return
+    from .experiments.manifest import RunManifest
+
+    summary = RunManifest.load(policy.manifest_path).summary()
+    counts = summary["counts"]
+    print(
+        f"sweep manifest {policy.manifest_path}: {counts['done']} done, "
+        f"{counts['failed']} failed, {counts['pending']} pending"
+    )
+    for entry in summary["quarantined"]:
+        print(
+            f"  quarantined {entry['label']!r}: {entry['error_kind']} "
+            f"after {entry['attempts']} attempt(s) -- {entry['error']}"
+        )
+    _write(
+        out,
+        f"{name.replace('-', '_')}_sweep.json",
+        json.dumps(summary, indent=2, sort_keys=True),
+    )
+
+
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
@@ -113,7 +188,10 @@ def _run_fig5(args, out: Optional[Path]) -> None:
 
 
 def _run_fig6(args, out: Optional[Path]) -> None:
-    study = exp.run_fig6_fig7(n_rounds=args.rounds, seed=args.seed, jobs=args.jobs)
+    policy = _exec_policy(args, "fig6")
+    study = exp.run_fig6_fig7(
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs, policy=policy
+    )
     print(
         format_table(
             ["workload", "policy", "remote frac", "reduction", "IPC", "speedup"],
@@ -132,6 +210,7 @@ def _run_fig6(args, out: Optional[Path]) -> None:
         for r in study.rows
     ]
     _write(out, "fig6_fig7.json", experiment_to_json("fig6_fig7", rows))
+    _report_sweep("fig6", policy, out)
 
 
 def _run_fig8(args, out: Optional[Path]) -> None:
@@ -177,7 +256,10 @@ def _run_sec64(args, out: Optional[Path]) -> None:
 
 
 def _run_sec74(args, out: Optional[Path]) -> None:
-    study = exp.run_sec74(n_rounds=args.rounds, seed=args.seed, jobs=args.jobs)
+    policy = _exec_policy(args, "sec74")
+    study = exp.run_sec74(
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs, policy=policy
+    )
     rows = []
     for point in study.points:
         rows.append(
@@ -193,6 +275,7 @@ def _run_sec74(args, out: Optional[Path]) -> None:
         ["machine", "chips", "baseline remote", "hand gain", "clustered gain"],
         [tuple(r.values()) for r in rows]))
     _write(out, "sec74.json", experiment_to_json("sec74", rows))
+    _report_sweep("sec74", policy, out)
 
 
 def _run_ablation_clustering(args, out: Optional[Path]) -> None:
@@ -227,8 +310,9 @@ def _run_ablation_similarity(args, out: Optional[Path]) -> None:
 
 
 def _run_ablation_activation(args, out: Optional[Path]) -> None:
+    policy = _exec_policy(args, "ablation-activation")
     study = exp.run_ablation_activation(
-        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs, policy=policy
     )
     rows = [
         dict(threshold=p.threshold, activated=p.activated,
@@ -240,11 +324,13 @@ def _run_ablation_activation(args, out: Optional[Path]) -> None:
                        [tuple(r.values()) for r in rows], float_format="{:.4f}"))
     _write(out, "ablation_activation.json",
            experiment_to_json("ablation_activation", rows))
+    _report_sweep("ablation-activation", policy, out)
 
 
 def _run_ablation_tolerance(args, out: Optional[Path]) -> None:
+    policy = _exec_policy(args, "ablation-tolerance")
     study = exp.run_ablation_tolerance(
-        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs, policy=policy
     )
     rows = [
         dict(tolerance=p.tolerance, speedup=p.speedup_vs_default,
@@ -256,6 +342,7 @@ def _run_ablation_tolerance(args, out: Optional[Path]) -> None:
                         "imbalance"], [tuple(r.values()) for r in rows]))
     _write(out, "ablation_tolerance.json",
            experiment_to_json("ablation_tolerance", rows))
+    _report_sweep("ablation-tolerance", policy, out)
 
 
 def _run_smt_aware(args, out: Optional[Path]) -> None:
@@ -272,7 +359,10 @@ def _run_smt_aware(args, out: Optional[Path]) -> None:
 
 
 def _run_churn(args, out: Optional[Path]) -> None:
-    study = exp.run_churn_study(n_rounds=args.rounds, seed=args.seed)
+    policy = _exec_policy(args, "churn")
+    study = exp.run_churn_study(
+        n_rounds=args.rounds, seed=args.seed, jobs=args.jobs, policy=policy
+    )
     rows = [
         dict(lifetime=p.label, closed=p.connections_closed,
              rounds=p.clustering_rounds, baseline_remote=p.baseline_remote,
@@ -285,6 +375,7 @@ def _run_churn(args, out: Optional[Path]) -> None:
          "clustered remote", "speedup", "overhead"],
         [tuple(r.values()) for r in rows], float_format="{:.4f}"))
     _write(out, "churn.json", experiment_to_json("churn", rows))
+    _report_sweep("churn", policy, out)
 
 
 def _run_phase_change(args, out: Optional[Path]) -> None:
@@ -401,6 +492,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for JSON (and PGM) outputs",
     )
     parser.add_argument(
+        "--manifest", type=Path, default=None, metavar="PATH",
+        help=(
+            "checkpoint sweep progress into a run manifest at PATH "
+            "(results land in PATH.results/); sweep experiments only. "
+            "With 'all', each sweep gets PATH-<experiment>"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume from an existing --manifest: completed tasks load "
+            "from their checkpoints, failed ones are re-run"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock budget per task; a worker past it is terminated "
+            "and the task retried (forces supervised workers)"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help=(
+            "retry a failed/hung/crashed task up to N times with "
+            "exponential backoff before quarantining it (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help=(
+            "finish the sweep with exhausted tasks quarantined in the "
+            "manifest instead of aborting at the first failure"
+        ),
+    )
+    parser.add_argument(
         "--config", type=Path, default=None,
         help=(
             "JSON file of SimConfig overrides (see SimConfig.to_dict); "
@@ -449,6 +576,13 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error(f"--task-timeout must be > 0, got {args.task_timeout}")
+    if args.resume and args.manifest is None:
+        parser.error("--resume requires --manifest (there is nothing to "
+                     "resume from)")
     if args.config is not None:
         # Validate early so typos fail before minutes of simulation; the
         # loaded overrides also provide rounds/seed defaults.
@@ -481,10 +615,24 @@ def main(argv: Optional[list] = None) -> int:
         targets = sorted(name for name in _DISPATCH if name != "trace")
     else:
         targets = [args.experiment]
+    if _resilience_requested(args) and args.experiment not in _SWEEP_EXPERIMENTS:
+        if args.experiment != "all":
+            print(
+                "note: --manifest/--resume/--task-timeout/--retries/"
+                f"--allow-partial only apply to sweep experiments "
+                f"({', '.join(sorted(_SWEEP_EXPERIMENTS))}); "
+                f"{args.experiment} runs unchanged"
+            )
+    from .experiments.resilience import SweepError
+
     with observe(recorder=recorder, registry=registry):
         for name in targets:
             print(f"### {name}: {_RUNNERS[name]}")
-            _DISPATCH[name](args, args.out)
+            try:
+                _DISPATCH[name](args, args.out)
+            except SweepError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
             print()
 
     if recorder is not None:

@@ -28,7 +28,16 @@ from .fig3_stall_breakdown import StallBreakdownReport, run_fig3
 from .fig5_shmaps import FIG5_WORKLOADS, ShMapFigure, run_fig5, run_fig5_for
 from .fig6_fig7_placement import PlacementStudy, run_fig6_fig7
 from .fig8_overhead import CAPTURE_PERCENTAGES, SamplingStudy, run_fig8
+from .manifest import RunManifest, TaskRecord, task_fingerprint
 from .parallel import SimTask, default_jobs, run_labelled, run_tasks
+from .resilience import (
+    ExecutionPolicy,
+    RetryPolicy,
+    SweepError,
+    SweepOutcome,
+    TaskFailure,
+    run_resilient,
+)
 from .phase_change import PhaseChangeReport, run_phase_change
 from .sec64_spatial import SHMAP_SIZES, SpatialStudy, run_sec64
 from .smt_aware import SmtAwareStudy, run_smt_aware
@@ -83,4 +92,13 @@ __all__ = [
     "default_jobs",
     "run_labelled",
     "run_tasks",
+    "RunManifest",
+    "TaskRecord",
+    "task_fingerprint",
+    "ExecutionPolicy",
+    "RetryPolicy",
+    "SweepError",
+    "SweepOutcome",
+    "TaskFailure",
+    "run_resilient",
 ]

@@ -18,12 +18,16 @@ about to die, while the replacements arrive unpinned and unbalanced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from functools import partial
+from typing import TYPE_CHECKING, List, Optional
 
 from ..sched.placement import PlacementPolicy
-from ..sim.engine import run_simulation
 from ..workloads import ChurningWorkload, Rubis
 from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, evaluation_config
+from .parallel import SimTask, run_labelled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .resilience import ExecutionPolicy
 
 #: Swept mean connection lifetimes in quanta (None = persistent).
 LIFETIMES = (None, 120, 30, 8)
@@ -74,27 +78,56 @@ def _make_workload(lifetime: Optional[int], seed: int) -> ChurningWorkload:
     )
 
 
+def _lifetime_label(lifetime: Optional[int]) -> str:
+    return "persistent" if lifetime is None else str(lifetime)
+
+
 def run_churn_study(
     lifetimes: tuple = LIFETIMES,
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> ChurnStudy:
-    """Sweep connection lifetime; compare clustered vs default Linux."""
+    """Sweep connection lifetime; compare clustered vs default Linux.
+
+    The lifetime x {baseline, clustered} grid is one flat task list, so
+    ``jobs`` fans it across worker processes.  Connection counts travel
+    back via :attr:`SimResult.workload_stats` (the workload object
+    itself stays in the worker).  Under a partial-result execution
+    policy, a lifetime with either half of its pair quarantined is
+    dropped -- speedup needs both runs.
+    """
+    tasks = []
+    for lifetime in lifetimes:
+        factory = partial(_make_workload, lifetime, seed)
+        label = _lifetime_label(lifetime)
+        tasks.append(
+            SimTask(
+                label=f"{label}/baseline",
+                workload_factory=factory,
+                config=evaluation_config(
+                    PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed
+                ),
+            )
+        )
+        tasks.append(
+            SimTask(
+                label=f"{label}/clustered",
+                workload_factory=factory,
+                config=evaluation_config(
+                    PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+                ),
+            )
+        )
+    results = run_labelled(tasks, jobs=jobs, policy=policy)
     study = ChurnStudy()
     for lifetime in lifetimes:
-        baseline = run_simulation(
-            _make_workload(lifetime, seed),
-            evaluation_config(
-                PlacementPolicy.DEFAULT_LINUX, n_rounds=n_rounds, seed=seed
-            ),
-        )
-        workload = _make_workload(lifetime, seed)
-        clustered = run_simulation(
-            workload,
-            evaluation_config(
-                PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
-            ),
-        )
+        label = _lifetime_label(lifetime)
+        baseline = results.get(f"{label}/baseline")
+        clustered = results.get(f"{label}/clustered")
+        if baseline is None or clustered is None:
+            continue
         speedup = (
             clustered.throughput / baseline.throughput - 1.0
             if baseline.throughput
@@ -103,7 +136,9 @@ def run_churn_study(
         study.points.append(
             ChurnPoint(
                 mean_lifetime=lifetime,
-                connections_closed=workload.connections_closed,
+                connections_closed=int(
+                    clustered.workload_stats.get("connections_closed", 0)
+                ),
                 clustering_rounds=clustered.n_clustering_rounds,
                 baseline_remote=baseline.remote_stall_fraction,
                 clustered_remote=clustered.remote_stall_fraction,

@@ -9,13 +9,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..clustering import purity
 from ..sched.placement import PlacementPolicy
 from ..sim.config import SimConfig
 from ..sim.results import SimResult
 from .parallel import SimTask, run_labelled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .resilience import ExecutionPolicy
 from ..workloads import (
     Rubis,
     ScoreboardMicrobenchmark,
@@ -79,6 +82,7 @@ def run_policy_sweep(
     n_rounds: int = DEFAULT_N_ROUNDS,
     seed: int = DEFAULT_SEED,
     jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
     **overrides: object,
 ) -> Dict[str, SimResult]:
     """Run one workload under every placement policy.
@@ -88,18 +92,22 @@ def run_policy_sweep(
     ``jobs`` fans the policies across processes (see
     :mod:`repro.experiments.parallel`); results are identical to the
     sequential sweep because every run is seeded independently.
+    ``policy`` (an :class:`~repro.experiments.resilience.
+    ExecutionPolicy`) adds retries/timeouts/checkpointing; under
+    ``allow_partial`` quarantined placements are simply absent from the
+    returned mapping.
     """
     tasks = [
         SimTask(
-            label=policy.value,
+            label=placement.value,
             workload_factory=workload_factory,
             config=evaluation_config(
-                policy, n_rounds=n_rounds, seed=seed, **overrides
+                placement, n_rounds=n_rounds, seed=seed, **overrides
             ),
         )
-        for policy in policies or ALL_POLICIES
+        for placement in policies or ALL_POLICIES
     ]
-    return run_labelled(tasks, jobs=jobs)
+    return run_labelled(tasks, jobs=jobs, policy=policy)
 
 
 @dataclass

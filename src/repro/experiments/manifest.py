@@ -1,0 +1,307 @@
+"""Run manifests: the durable record of a sweep's tasks and outcomes.
+
+A multi-hour sweep (the §7.4 32-way grid, a threshold ablation at full
+rounds) must survive the failures the paper's own scheme is designed to
+ride out: a hung worker, an OOM-killed process, an operator's Ctrl-C, a
+machine reboot.  The manifest is the piece that makes that possible --
+a JSON file on disk, rewritten atomically after every task completion,
+that records for each task of the sweep:
+
+* its **identity** -- the label and a fingerprint (SHA-256 over the
+  label plus the canonical ``SimConfig.to_dict`` JSON), so a resume can
+  refuse to continue a manifest whose task list no longer matches;
+* its **status** -- ``pending`` / ``done`` / ``failed`` -- plus the
+  attempt count, the seed each attempt actually ran with, the executing
+  worker pid and wall-clock duration;
+* its **result digest** -- SHA-256 of the pickled
+  :class:`~repro.sim.results.SimResult` stored next to the manifest, so
+  a resumed sweep can verify a checkpointed result before trusting it.
+
+Completed results are pickled into a sibling ``<manifest>.results/``
+directory, one file per task named by fingerprint prefix.  On resume
+(:meth:`RunManifest.reconcile`) tasks whose checkpoint loads and
+verifies are *not* re-run; everything else (pending, failed, or a
+corrupt checkpoint) is.  Failed tasks are quarantined, not erased: the
+record keeps the error text and failure kind so partial-sweep analysis
+can name exactly what is missing and why.
+
+The schema is documented for humans in docs/experiments.md; bump
+:data:`MANIFEST_VERSION` when changing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.results import SimResult
+    from .parallel import SimTask
+
+#: bump when the on-disk schema changes; load() refuses newer versions
+MANIFEST_VERSION = 1
+
+STATUS_PENDING = "pending"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+def task_fingerprint(task: "SimTask") -> str:
+    """Stable identity of one task: label + canonical config JSON.
+
+    Workload factories are not part of the fingerprint (callables have
+    no canonical serialisation); the label is the caller's contract that
+    the same label means the same workload recipe.
+    """
+    canonical = json.dumps(
+        {"label": task.label, "config": task.config.to_dict()},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def result_digest(payload: bytes) -> str:
+    """Digest of a checkpointed result's on-disk bytes."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ManifestError(RuntimeError):
+    """A manifest cannot be loaded or does not match the sweep."""
+
+
+@dataclass
+class TaskRecord:
+    """One task's durable state within a manifest."""
+
+    label: str
+    fingerprint: str
+    seed: int
+    status: str = STATUS_PENDING
+    attempts: int = 0
+    #: seed the recorded outcome actually ran with (retries may re-seed)
+    seed_used: Optional[int] = None
+    result_digest: Optional[str] = None
+    error: Optional[str] = None
+    #: "error" (exception), "crash" (died without reporting), "timeout"
+    error_kind: Optional[str] = None
+    worker_pid: Optional[int] = None
+    duration_s: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status == STATUS_DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.status == STATUS_FAILED
+
+
+class RunManifest:
+    """The on-disk ledger of one sweep.
+
+    Construct with :meth:`create` (fresh sweep) or :meth:`reconcile`
+    (create-or-resume); every mutation rewrites the JSON atomically
+    (temp file + ``os.replace``) so a kill mid-write can never leave a
+    truncated manifest.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.records: Dict[str, TaskRecord] = {}
+
+    # ------------------------------------------------------------ setup
+    @classmethod
+    def create(cls, path: Path, tasks: Sequence["SimTask"]) -> "RunManifest":
+        """Fresh manifest for ``tasks``; overwrites any previous file."""
+        manifest = cls(path)
+        for task in tasks:
+            manifest.records[task.label] = TaskRecord(
+                label=task.label,
+                fingerprint=task_fingerprint(task),
+                seed=task.config.seed,
+            )
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, path: Path) -> "RunManifest":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ManifestError(f"cannot read manifest {path}: {error}")
+        if data.get("version", 0) > MANIFEST_VERSION:
+            raise ManifestError(
+                f"manifest {path} has version {data.get('version')}; this "
+                f"code understands <= {MANIFEST_VERSION}"
+            )
+        manifest = cls(path)
+        for entry in data.get("tasks", []):
+            record = TaskRecord(**entry)
+            manifest.records[record.label] = record
+        return manifest
+
+    @classmethod
+    def reconcile(
+        cls, path: Path, tasks: Sequence["SimTask"], resume: bool
+    ) -> "RunManifest":
+        """Create-or-resume: the entry point the resilient runner uses.
+
+        With ``resume`` and an existing file, the loaded manifest must
+        describe exactly this task list (same labels, same
+        fingerprints) -- a changed sweep cannot silently inherit stale
+        checkpoints.  ``done`` records keep their checkpoints; failed
+        records are reset to pending with a fresh attempt budget.
+        Without ``resume`` (or without an existing file) a fresh
+        manifest is created.
+        """
+        path = Path(path)
+        if not resume or not path.exists():
+            return cls.create(path, tasks)
+        manifest = cls.load(path)
+        expected = {task.label: task_fingerprint(task) for task in tasks}
+        stale = sorted(set(manifest.records) - set(expected))
+        missing = sorted(set(expected) - set(manifest.records))
+        mismatched = sorted(
+            label
+            for label, fingerprint in expected.items()
+            if label in manifest.records
+            and manifest.records[label].fingerprint != fingerprint
+        )
+        if stale or missing or mismatched:
+            problems = []
+            if missing:
+                problems.append(f"missing from manifest: {missing}")
+            if stale:
+                problems.append(f"not in this sweep: {stale}")
+            if mismatched:
+                problems.append(f"config changed: {mismatched}")
+            raise ManifestError(
+                f"cannot resume {path}: the sweep's task list does not "
+                f"match the manifest ({'; '.join(problems)}).  Delete the "
+                f"manifest to start over."
+            )
+        for record in manifest.records.values():
+            if record.failed:
+                record.status = STATUS_PENDING
+                record.attempts = 0
+                record.error = record.error_kind = None
+        manifest.save()
+        return manifest
+
+    # ---------------------------------------------------------- storage
+    @property
+    def results_dir(self) -> Path:
+        return self.path.with_name(self.path.name + ".results")
+
+    def _result_path(self, record: TaskRecord) -> Path:
+        return self.results_dir / f"{record.fingerprint[:16]}.pkl"
+
+    def save(self) -> None:
+        """Atomic rewrite of the manifest JSON."""
+        payload = {
+            "version": MANIFEST_VERSION,
+            "tasks": [asdict(r) for r in self.records.values()],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.path)
+
+    # ------------------------------------------------------- transitions
+    def record_success(
+        self,
+        label: str,
+        result: "SimResult",
+        attempts: int,
+        seed_used: int,
+        duration_s: float,
+    ) -> None:
+        """Checkpoint a completed task: pickle the result, then commit
+        the manifest entry (in that order, so a ``done`` status always
+        has a readable checkpoint behind it)."""
+        record = self.records[label]
+        payload = pickle.dumps(result)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self._result_path(record)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(path)
+        record.status = STATUS_DONE
+        record.attempts = attempts
+        record.seed_used = seed_used
+        record.result_digest = result_digest(payload)
+        record.error = record.error_kind = None
+        record.worker_pid = result.worker_pid
+        record.duration_s = round(duration_s, 6)
+        self.save()
+
+    def record_failure(
+        self,
+        label: str,
+        error: str,
+        kind: str,
+        attempts: int,
+        seed_used: int,
+        worker_pid: Optional[int] = None,
+    ) -> None:
+        """Quarantine a task that exhausted its attempt budget."""
+        record = self.records[label]
+        record.status = STATUS_FAILED
+        record.attempts = attempts
+        record.seed_used = seed_used
+        record.error = error
+        record.error_kind = kind
+        record.worker_pid = worker_pid
+        self.save()
+
+    def load_result(self, label: str) -> Optional["SimResult"]:
+        """A checkpointed result, or None if absent/corrupt.
+
+        The stored bytes must match the recorded digest; a mismatch
+        (partial write before the schema made that impossible, manual
+        tampering) degrades to re-running the task, never to trusting
+        bad data.
+        """
+        record = self.records[label]
+        if not record.done or record.result_digest is None:
+            return None
+        path = self._result_path(record)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        if result_digest(payload) != record.result_digest:
+            return None
+        return pickle.loads(payload)
+
+    # ----------------------------------------------------------- queries
+    def quarantined(self) -> List[TaskRecord]:
+        return [r for r in self.records.values() if r.failed]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {STATUS_PENDING: 0, STATUS_DONE: 0, STATUS_FAILED: 0}
+        for record in self.records.values():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        """Flat JSON-serialisable digest for export and CLI reporting."""
+        return {
+            "manifest": str(self.path),
+            "counts": self.counts(),
+            "quarantined": [
+                {
+                    "label": r.label,
+                    "seed": r.seed,
+                    "attempts": r.attempts,
+                    "error": r.error,
+                    "error_kind": r.error_kind,
+                }
+                for r in self.quarantined()
+            ],
+        }

@@ -21,6 +21,13 @@ Determinism is preserved by construction:
 ``jobs=0`` means "one worker per CPU".  Anything that must pickle
 (workload factories, configs) is kept to plain classes, ``partial``
 objects and dataclasses; see ``PAPER_WORKLOADS`` in ``common.py``.
+
+Fault tolerance is layered on, not baked in: passing an
+:class:`~repro.experiments.resilience.ExecutionPolicy` via ``policy``
+routes execution through :func:`~repro.experiments.resilience.
+run_resilient` -- per-task timeouts, bounded retries with backoff,
+manifest checkpoint/resume, and quarantine-under-``allow_partial``.
+Without a policy the plain pool below runs unchanged.
 """
 
 from __future__ import annotations
@@ -28,7 +35,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .resilience import ExecutionPolicy
 
 from ..obs import merge_snapshots
 from ..sim.config import SimConfig
@@ -108,8 +118,10 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def run_tasks(
-    tasks: Iterable[SimTask], jobs: Optional[int] = None
-) -> List[SimResult]:
+    tasks: Iterable[SimTask],
+    jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
+) -> "List[Optional[SimResult]]":
     """Execute the tasks, in parallel when ``jobs`` allows, and return
     their results in task order.
 
@@ -117,8 +129,21 @@ def run_tasks(
     tasks run inline -- same process, same order, no pickling -- which
     is both the deterministic reference behaviour and the fallback for
     factories that cannot pickle.
+
+    With a ``policy`` (see :mod:`repro.experiments.resilience`),
+    execution is supervised: retries, timeouts, checkpoint/resume.  A
+    task quarantined under ``policy.allow_partial`` leaves ``None`` in
+    its slot; without ``allow_partial`` a failure raises
+    :class:`~repro.experiments.resilience.SweepError`.
     """
     task_list = list(tasks)
+    if policy is not None:
+        from .resilience import SweepError, run_resilient
+
+        outcome = run_resilient(task_list, jobs=jobs, policy=policy)
+        if outcome.failures and not policy.allow_partial:
+            raise SweepError(outcome.failures)
+        return outcome.results
     workers = min(resolve_jobs(jobs), len(task_list))
     if workers <= 1:
         return [_execute_task(task) for task in task_list]
@@ -127,11 +152,20 @@ def run_tasks(
 
 
 def run_labelled(
-    tasks: Sequence[SimTask], jobs: Optional[int] = None
+    tasks: Sequence[SimTask],
+    jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> "dict[str, SimResult]":
     """:func:`run_tasks`, re-keyed by each task's label (labels must be
-    unique within one sweep)."""
+    unique within one sweep).  Tasks quarantined under a partial-result
+    policy are *omitted* from the mapping -- callers look labels up
+    with ``.get`` and degrade accordingly."""
     labels = [task.label for task in tasks]
     if len(set(labels)) != len(labels):
         raise ValueError("task labels must be unique within a sweep")
-    return dict(zip(labels, run_tasks(tasks, jobs=jobs)))
+    results = run_tasks(tasks, jobs=jobs, policy=policy)
+    return {
+        label: result
+        for label, result in zip(labels, results)
+        if result is not None
+    }

@@ -1,0 +1,576 @@
+"""Resilient sweep execution: retries, timeouts, checkpoint/resume.
+
+:mod:`repro.experiments.parallel` answers "how do independent
+simulation tasks fan across processes"; this module answers "what
+happens when one of them misbehaves".  The failure model mirrors the
+paper's own design principle -- *fail inert, not destructively*:
+
+* a task that **raises** is retried with exponential backoff up to a
+  bounded attempt count;
+* a task that **hangs** past a wall-clock timeout has its worker
+  process terminated and is retried the same way;
+* a worker that **dies without reporting** (OOM kill, segfault,
+  ``os._exit``) is detected by its closed result pipe and retried;
+* a task that exhausts its budget is **quarantined**: recorded in the
+  manifest with its error and kind, surfaced in metrics and export, and
+  -- under ``allow_partial`` -- skipped while the rest of the sweep
+  completes;
+* with a manifest attached, every completion is **checkpointed**, so an
+  interrupted sweep (Ctrl-C, reboot) resumes from disk and re-runs only
+  unfinished tasks.
+
+Determinism is kept attempt-by-attempt: attempt 1 runs the task's own
+seed, attempt *n* runs :meth:`RetryPolicy.seed_for_attempt` -- a pure
+function of (base seed, attempt) -- so any retry chain can be replayed
+exactly from the manifest alone.  Backoff jitter is likewise derived
+from the task seed, not wall-clock entropy.
+
+Execution modes:
+
+* **inline** (one worker, no timeout): tasks run in this process, the
+  same deterministic reference path as ``run_tasks(jobs=1)``, with
+  retries and checkpointing layered on.  ``KeyboardInterrupt``
+  checkpoints the manifest before propagating.
+* **supervised processes** (otherwise): each task attempt runs in its
+  own ``multiprocessing.Process`` with a result pipe, up to ``jobs``
+  concurrently.  One process per *attempt* (not a shared pool) is what
+  makes a hung or dying worker killable without collateral damage.
+
+Observability: the parent publishes ``sweep_*`` counters into the
+ambient session registry (:func:`repro.obs.active_registry`) and emits
+``task.retry`` trace events; per-run metrics still ride each
+``SimResult`` as usual.  See docs/experiments.md for the user-facing
+story and docs/observability.md for the series.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import KIND_TASK_RETRY
+from ..obs.session import active_recorder, active_registry
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from .manifest import RunManifest
+from .parallel import SimTask
+
+FAILURE_ERROR = "error"
+FAILURE_CRASH = "crash"
+FAILURE_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts *total* attempts (1 = no retries).  The
+    delay before attempt ``n`` (n >= 2) is
+    ``backoff_base * backoff_factor**(n - 2)``, scaled by a jitter
+    factor in ``[1 - backoff_jitter, 1 + backoff_jitter]`` derived from
+    the task seed -- deterministic, so two runs of the same failing
+    sweep pace identically.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    #: re-seed retries (attempt n > 1 runs seed_for_attempt(seed, n)).
+    #: The simulation is deterministic, so retrying a *simulation* error
+    #: with the same seed would fail identically; re-seeding gives the
+    #: retry a fresh RNG path while staying replayable.
+    reseed_retries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff_base >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+
+    def seed_for_attempt(self, base_seed: int, attempt: int) -> int:
+        """The seed attempt ``attempt`` (1-based) runs with."""
+        if attempt <= 1 or not self.reseed_retries:
+            return base_seed
+        digest = hashlib.sha256(
+            f"retry-seed:{base_seed}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    def delay_before(self, attempt: int, base_seed: int) -> float:
+        """Seconds to back off before attempt ``attempt`` (>= 2)."""
+        if attempt <= 1:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        if self.backoff_jitter:
+            digest = hashlib.sha256(
+                f"retry-jitter:{base_seed}:{attempt}".encode()
+            ).digest()
+            unit = digest[0] / 255.0 * 2.0 - 1.0  # [-1, 1]
+            delay *= 1.0 + self.backoff_jitter * unit
+        return max(0.0, delay)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Everything ``run_resilient`` needs beyond the task list."""
+
+    #: manifest path; None disables checkpointing (retries/timeouts
+    #: still apply)
+    manifest_path: Optional[Path] = None
+    #: resume from an existing manifest instead of starting fresh
+    resume: bool = False
+    #: per-task wall-clock timeout in seconds (None = unbounded);
+    #: requires supervised-process execution, which it forces on
+    task_timeout: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: complete the sweep with failed tasks quarantined instead of
+    #: aborting at the first exhausted task
+    allow_partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.resume and self.manifest_path is None:
+            raise ValueError("resume requires a manifest_path")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+
+
+@dataclass
+class TaskFailure:
+    """A quarantined task: what failed, how, and with what provenance."""
+
+    label: str
+    seed: int
+    attempts: int
+    error: str
+    kind: str  # FAILURE_ERROR / FAILURE_CRASH / FAILURE_TIMEOUT
+    worker_pid: Optional[int] = None
+
+
+class SweepError(RuntimeError):
+    """A sweep aborted on a quarantined task (allow_partial off)."""
+
+    def __init__(self, failures: Dict[str, TaskFailure]) -> None:
+        self.failures = failures
+        lines = ", ".join(
+            f"{f.label!r} ({f.kind} after {f.attempts} attempt(s): {f.error})"
+            for f in failures.values()
+        )
+        super().__init__(
+            f"sweep aborted: {len(failures)} task(s) failed -- {lines}.  "
+            f"Re-run with allow_partial (--allow-partial) to quarantine "
+            f"failures and complete the rest."
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """What a resilient sweep produced, in task order."""
+
+    #: one slot per task; None where the task was quarantined
+    results: List[Optional[SimResult]]
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
+    #: tasks restored from a manifest checkpoint without re-running
+    resumed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def labelled(self, tasks: Sequence[SimTask]) -> Dict[str, SimResult]:
+        """label -> result for the tasks that succeeded."""
+        return {
+            task.label: result
+            for task, result in zip(tasks, self.results)
+            if result is not None
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _attempt_config(task: SimTask, seed: int):
+    config = task.config
+    if seed != config.seed:
+        config = replace(config, seed=seed)
+    return config
+
+
+def _supervised_child(conn, task: SimTask, seed: int) -> None:
+    """Entry point of one supervised task attempt.
+
+    Reports ``("ok", result)`` or ``("error", message, pid)`` through
+    the pipe; a worker that dies before sending anything is detected by
+    the parent as a crash via the closed pipe.
+    """
+    try:
+        result = run_simulation(task.workload_factory(), _attempt_config(task, seed))
+        result.task_seed = seed
+        result.worker_pid = os.getpid()
+        conn.send(("ok", result))
+    except BaseException as error:  # noqa: BLE001 -- report, parent decides
+        message = f"{type(error).__name__}: {error}"
+        try:
+            conn.send(("error", message, os.getpid()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_inline(task: SimTask, seed: int) -> SimResult:
+    result = run_simulation(task.workload_factory(), _attempt_config(task, seed))
+    result.task_seed = seed
+    result.worker_pid = os.getpid()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _Sweep:
+    """Mutable state of one resilient sweep execution."""
+
+    def __init__(
+        self,
+        tasks: Sequence[SimTask],
+        workers: int,
+        policy: ExecutionPolicy,
+    ) -> None:
+        labels = [task.label for task in tasks]
+        if len(set(labels)) != len(labels):
+            raise ValueError("task labels must be unique within a sweep")
+        self.tasks = list(tasks)
+        self.workers = workers
+        self.policy = policy
+        self.outcome = SweepOutcome(results=[None] * len(tasks))
+        self.manifest: Optional[RunManifest] = None
+        if policy.manifest_path is not None:
+            self.manifest = RunManifest.reconcile(
+                policy.manifest_path, tasks, resume=policy.resume
+            )
+        self._registry = active_registry()
+        self._recorder = active_recorder()
+        self._started: Dict[int, float] = {}  # index -> attempt start time
+
+    # ------------------------------------------------------------ hooks
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        if self._registry is not None:
+            self._registry.counter(name, **labels).inc(amount)
+
+    def restore_checkpoints(self) -> List[int]:
+        """Load completed results from the manifest; return the indices
+        still needing execution."""
+        remaining = []
+        for index, task in enumerate(self.tasks):
+            result = (
+                self.manifest.load_result(task.label) if self.manifest else None
+            )
+            if result is not None:
+                self.outcome.results[index] = result
+                self.outcome.resumed += 1
+            else:
+                remaining.append(index)
+        if self.outcome.resumed:
+            self._count("sweep_tasks_resumed_total", self.outcome.resumed)
+        return remaining
+
+    def on_success(
+        self, index: int, result: SimResult, attempt: int, seed: int
+    ) -> None:
+        self.outcome.results[index] = result
+        task = self.tasks[index]
+        if self.manifest is not None:
+            self.manifest.record_success(
+                task.label,
+                result,
+                attempts=attempt,
+                seed_used=seed,
+                duration_s=time.monotonic() - self._started.get(index, time.monotonic()),
+            )
+        self._count("sweep_tasks_completed_total")
+
+    def on_attempt_failed(
+        self,
+        index: int,
+        attempt: int,
+        seed: int,
+        error: str,
+        kind: str,
+        worker_pid: Optional[int],
+    ) -> Optional[float]:
+        """Record a failed attempt.
+
+        Returns the backoff delay before the next attempt, or None when
+        the budget is exhausted and the task is quarantined.
+        """
+        task = self.tasks[index]
+        if kind == FAILURE_TIMEOUT:
+            self.outcome.timeouts += 1
+            self._count("sweep_task_timeouts_total")
+        if attempt < self.policy.retry.max_attempts:
+            self.outcome.retries += 1
+            self._count("sweep_task_retries_total", kind=kind)
+            delay = self.policy.retry.delay_before(attempt + 1, task.config.seed)
+            if self._recorder.enabled:
+                self._recorder.emit(
+                    KIND_TASK_RETRY,
+                    label=task.label,
+                    attempt=attempt,
+                    failure_kind=kind,
+                    error=error,
+                    delay_s=round(delay, 6),
+                )
+            return delay
+        failure = TaskFailure(
+            label=task.label,
+            seed=task.config.seed,
+            attempts=attempt,
+            error=error,
+            kind=kind,
+            worker_pid=worker_pid,
+        )
+        self.outcome.failures[task.label] = failure
+        self._count("sweep_tasks_quarantined_total", kind=kind)
+        if self.manifest is not None:
+            self.manifest.record_failure(
+                task.label,
+                error=error,
+                kind=kind,
+                attempts=attempt,
+                seed_used=seed,
+                worker_pid=worker_pid,
+            )
+        return None
+
+    def checkpoint(self) -> None:
+        if self.manifest is not None:
+            self.manifest.save()
+
+
+def _run_inline_sweep(sweep: _Sweep, remaining: List[int]) -> None:
+    """Sequential execution with retries; the deterministic reference
+    path (same process, same order as ``run_tasks(jobs=1)``)."""
+    policy = sweep.policy
+    for index in remaining:
+        task = sweep.tasks[index]
+        attempt = 0
+        while True:
+            attempt += 1
+            seed = policy.retry.seed_for_attempt(task.config.seed, attempt)
+            sweep._started[index] = time.monotonic()
+            try:
+                result = _run_inline(task, seed)
+            except KeyboardInterrupt:
+                sweep.checkpoint()
+                raise
+            except Exception as error:  # noqa: BLE001 -- retried/quarantined
+                delay = sweep.on_attempt_failed(
+                    index,
+                    attempt,
+                    seed,
+                    error=f"{type(error).__name__}: {error}",
+                    kind=FAILURE_ERROR,
+                    worker_pid=os.getpid(),
+                )
+                if delay is None:
+                    if not policy.allow_partial:
+                        return  # fail fast; caller raises SweepError
+                    break
+                if delay:
+                    time.sleep(delay)
+                continue
+            sweep.on_success(index, result, attempt, seed)
+            break
+
+
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    seed: int
+    process: multiprocessing.Process
+    conn: object
+    deadline: Optional[float]
+
+
+def _terminate(process: multiprocessing.Process) -> None:
+    """Stop a worker hard: terminate, then kill if it lingers."""
+    process.terminate()
+    process.join(timeout=2.0)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=2.0)
+
+
+def _run_supervised_sweep(sweep: _Sweep, remaining: List[int]) -> None:
+    """Supervised-process execution: one process per attempt, up to
+    ``workers`` concurrent, wall-clock deadlines enforced."""
+    policy = sweep.policy
+    context = multiprocessing.get_context()
+    #: (index, attempt, not_before) awaiting a worker slot
+    pending: List[tuple] = [(index, 1, 0.0) for index in remaining]
+    running: Dict[object, _Running] = {}
+    aborted = False
+
+    def launch(index: int, attempt: int) -> None:
+        task = sweep.tasks[index]
+        seed = policy.retry.seed_for_attempt(task.config.seed, attempt)
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_supervised_child,
+            args=(child_conn, task, seed),
+            daemon=True,
+        )
+        sweep._started[index] = time.monotonic()
+        process.start()
+        child_conn.close()  # the parent's copy; the child keeps its own
+        deadline = (
+            time.monotonic() + policy.task_timeout
+            if policy.task_timeout is not None
+            else None
+        )
+        running[parent_conn] = _Running(
+            index=index,
+            attempt=attempt,
+            seed=seed,
+            process=process,
+            conn=parent_conn,
+            deadline=deadline,
+        )
+
+    def settle_failure(state: _Running, error: str, kind: str, pid) -> None:
+        nonlocal aborted
+        delay = sweep.on_attempt_failed(
+            state.index, state.attempt, state.seed, error, kind, pid
+        )
+        if delay is not None:
+            pending.append(
+                (state.index, state.attempt + 1, time.monotonic() + delay)
+            )
+        elif not policy.allow_partial:
+            aborted = True
+
+    try:
+        while (pending or running) and not aborted:
+            now = time.monotonic()
+            # Fill free slots with eligible (backoff elapsed) tasks, in
+            # task order so a no-failure sweep schedules exactly like
+            # the plain runner.
+            pending.sort(key=lambda item: (item[2], item[0]))
+            while len(running) < sweep.workers and pending:
+                index, attempt, not_before = pending[0]
+                if not_before > now:
+                    break
+                pending.pop(0)
+                launch(index, attempt)
+            if not running:
+                # Everyone is backing off; sleep until the earliest
+                # retry becomes eligible.
+                time.sleep(max(0.0, pending[0][2] - time.monotonic()))
+                continue
+            # Wait for the first completion, crash, deadline or
+            # backoff-eligibility, whichever comes first.
+            wait_until = min(
+                [s.deadline for s in running.values() if s.deadline is not None]
+                + [item[2] for item in pending[:1] if item[2] > now]
+                or [now + 0.5]
+            )
+            ready = connection_wait(
+                list(running), timeout=max(0.0, wait_until - time.monotonic())
+            )
+            for conn in ready:
+                state = running.pop(conn)
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    message = None
+                conn.close()
+                state.process.join()
+                if message is not None and message[0] == "ok":
+                    sweep.on_success(
+                        state.index, message[1], state.attempt, state.seed
+                    )
+                elif message is not None:
+                    settle_failure(
+                        state,
+                        error=f"sweep task {sweep.tasks[state.index].label!r} "
+                        f"failed (seed={state.seed}, worker_pid="
+                        f"{message[2]}): {message[1]}",
+                        kind=FAILURE_ERROR,
+                        pid=message[2],
+                    )
+                else:
+                    settle_failure(
+                        state,
+                        error=f"worker pid {state.process.pid} died without "
+                        f"reporting (exitcode {state.process.exitcode})",
+                        kind=FAILURE_CRASH,
+                        pid=state.process.pid,
+                    )
+            # Deadline enforcement for whoever is still running.
+            now = time.monotonic()
+            for conn in [
+                c
+                for c, s in running.items()
+                if s.deadline is not None and s.deadline <= now
+            ]:
+                state = running.pop(conn)
+                _terminate(state.process)
+                conn.close()
+                settle_failure(
+                    state,
+                    error=f"timed out after {policy.task_timeout:.1f}s "
+                    f"(worker pid {state.process.pid} terminated)",
+                    kind=FAILURE_TIMEOUT,
+                    pid=state.process.pid,
+                )
+    except KeyboardInterrupt:
+        for state in running.values():
+            _terminate(state.process)
+            state.conn.close()
+        sweep.checkpoint()
+        raise
+    if aborted:
+        for state in running.values():
+            _terminate(state.process)
+            state.conn.close()
+        sweep.checkpoint()
+
+
+def run_resilient(
+    tasks: Sequence[SimTask],
+    jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
+) -> SweepOutcome:
+    """Execute ``tasks`` under ``policy``; never raises for task
+    failures (the outcome carries them -- callers decide, see
+    :class:`SweepError`).
+
+    With the default policy this degrades to plain bounded execution:
+    one attempt, no timeout, no manifest.
+    """
+    from .parallel import resolve_jobs
+
+    policy = policy or ExecutionPolicy()
+    task_list = list(tasks)
+    workers = min(resolve_jobs(jobs), max(1, len(task_list)))
+    sweep = _Sweep(task_list, workers, policy)
+    remaining = sweep.restore_checkpoints()
+    if remaining:
+        if workers <= 1 and policy.task_timeout is None:
+            _run_inline_sweep(sweep, remaining)
+        else:
+            _run_supervised_sweep(sweep, remaining)
+    sweep._count("sweep_runs_total")
+    return sweep.outcome

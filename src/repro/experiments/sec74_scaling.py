@@ -17,14 +17,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..sched.placement import PlacementPolicy
 from ..sim.results import SimResult
 from ..topology.presets import openpower_720, power5_32way
 from ..workloads import SpecJbb
 from .common import DEFAULT_N_ROUNDS, DEFAULT_SEED, evaluation_config
-from .parallel import SimTask, run_tasks
+from .parallel import SimTask, run_labelled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .resilience import ExecutionPolicy
 
 POLICIES = [
     PlacementPolicy.DEFAULT_LINUX,
@@ -70,11 +73,16 @@ def run_sec74(
     seed: int = DEFAULT_SEED,
     include_small_machine: bool = True,
     jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> ScalingStudy:
     """SPECjbb on the 2-chip and 8-chip machines.
 
     The machine x policy grid is one flat task list, so ``jobs`` can
-    overlap the (slow) 32-way runs with the 2-chip ones.
+    overlap the (slow) 32-way runs with the 2-chip ones.  Under a
+    partial-result execution policy, a machine whose grid is incomplete
+    (any of its three placements quarantined) is dropped from the study
+    -- its gains all normalise to the missing cells -- and stays
+    visible in the sweep's manifest instead.
     """
     machines = []
     if include_small_machine:
@@ -82,12 +90,12 @@ def run_sec74(
     machines.append(("32-way Power5 (8 chips)", power5_32way(cache_scale=16), 8, 8, 4))
     tasks = []
     for label, spec, n_chips, n_warehouses, threads_per in machines:
-        for policy in POLICIES:
-            config = evaluation_config(policy, n_rounds=n_rounds, seed=seed)
+        for placement in POLICIES:
+            config = evaluation_config(placement, n_rounds=n_rounds, seed=seed)
             config.machine_spec = spec
             tasks.append(
                 SimTask(
-                    label=f"{label}/{policy.value}",
+                    label=f"{label}/{placement.value}",
                     workload_factory=partial(
                         SpecJbb,
                         n_warehouses=n_warehouses,
@@ -96,13 +104,14 @@ def run_sec74(
                     config=config,
                 )
             )
-    results = run_tasks(tasks, jobs=jobs)
+    results = run_labelled(tasks, jobs=jobs, policy=policy)
     study = ScalingStudy()
-    index = 0
     for label, spec, n_chips, n_warehouses, threads_per in machines:
         point = ScalingPoint(machine=label, n_chips=n_chips)
-        for policy in POLICIES:
-            point.results[policy.value] = results[index]
-            index += 1
-        study.points.append(point)
+        for placement in POLICIES:
+            result = results.get(f"{label}/{placement.value}")
+            if result is not None:
+                point.results[placement.value] = result
+        if len(point.results) == len(POLICIES):
+            study.points.append(point)
     return study

@@ -27,6 +27,7 @@ from .recorder import (
     KIND_ROUND_START,
     KIND_SAMPLING_PERIOD,
     KIND_STEAL,
+    KIND_TASK_RETRY,
     NULL_RECORDER,
     NullRecorder,
     RingBufferRecorder,
@@ -57,6 +58,7 @@ __all__ = [
     "KIND_SAMPLING_PERIOD",
     "KIND_CAPTURE_START",
     "KIND_CAPTURE_STOP",
+    "KIND_TASK_RETRY",
     "to_chrome_trace",
     "write_chrome_trace",
     "active_recorder",

@@ -40,6 +40,10 @@ KIND_STEAL = "steal"
 KIND_SAMPLING_PERIOD = "sampling.period"
 KIND_CAPTURE_START = "capture.start"
 KIND_CAPTURE_STOP = "capture.stop"
+#: emitted by the resilient sweep runner (parent process) when a task
+#: attempt fails and is rescheduled; payload: label, attempt,
+#: failure_kind (error/crash/timeout), error, delay_s
+KIND_TASK_RETRY = "task.retry"
 
 
 @dataclass(frozen=True)

@@ -256,6 +256,7 @@ class Simulator:
             shmap_tids=self._shmap_tids,
             sampling_overhead_cycles=self.capture.stats.overhead_cycles,
             metrics=self.metrics.snapshot(),
+            workload_stats=dict(self.workload.run_stats()),
         )
 
     def _publish_run_metrics(self, final_snapshot) -> None:

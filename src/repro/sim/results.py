@@ -87,6 +87,11 @@ class SimResult:
     #: taken at run end; mergeable across runs with
     #: :func:`repro.obs.merge_snapshots`
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: workload-side counters (:meth:`repro.workloads.base.WorkloadModel.
+    #: run_stats`), e.g. a churning workload's ``connections_closed`` --
+    #: collected here because the workload object itself never crosses
+    #: back from a parallel sweep worker
+    workload_stats: Dict[str, Any] = field(default_factory=dict)
     #: provenance stamped by the parallel sweep runner so a failed or
     #: surprising task is reproducible from logs alone
     task_seed: Optional[int] = None

@@ -169,6 +169,16 @@ class WorkloadModel(abc.ABC):
         connections); the engine admits them to the scheduler."""
         return []
 
+    def run_stats(self) -> Dict[str, float]:
+        """Workload-side counters for the finished run.
+
+        Collected by the engine into ``SimResult.workload_stats`` so
+        they survive the trip back from parallel sweep workers (where
+        the workload object itself never leaves the worker process).
+        Keys must be JSON-serialisable scalars.
+        """
+        return {}
+
     def invalidate_streams(self) -> None:
         """Drop cached per-thread traffic mixes.
 

@@ -151,6 +151,11 @@ class ChurningWorkload(WorkloadModel):
         self._spawned = []
         return spawned
 
+    def run_stats(self) -> Dict[str, float]:
+        """Churn accounting, shipped home in ``SimResult.workload_stats``
+        so parallel sweep workers do not strand it."""
+        return {"connections_closed": self.connections_closed}
+
     def describe(self) -> str:
         lifetime = (
             "persistent"

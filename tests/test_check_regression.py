@@ -139,6 +139,54 @@ class TestSpeedupGate:
         assert rc == 0
 
 
+class TestMissingBaseline:
+    """A gate without a baseline must fail, not pass vacuously."""
+
+    def test_missing_baseline_file_is_a_hard_failure(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 1.0})
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "--update" in err  # tells the operator how to recover
+
+    def test_empty_means_section_is_a_hard_failure(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 1.0})
+        write_baseline(baseline, {})
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "no 'means' section" in capsys.readouterr().err
+
+    def test_absent_means_key_is_a_hard_failure(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 1.0})
+        baseline.write_text(json.dumps({"seed_means": {"test_a": 1.0}}))
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "no 'means' section" in capsys.readouterr().err
+
+    def test_update_bootstraps_missing_baseline(self, paths):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 1.0})
+        rc = check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--update"]
+        )
+        assert rc == 0
+        assert json.loads(baseline.read_text())["means"] == {"test_a": 1.0}
+        # and the freshly captured baseline immediately gates
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert rc == 0
+
+    def test_missing_bench_json_is_still_a_usage_error(self, paths):
+        bench, baseline = paths
+        write_baseline(baseline, {"test_a": 1.0})
+        with pytest.raises(SystemExit) as excinfo:
+            check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert excinfo.value.code == 2
+
+
 class TestUpdate:
     def test_update_rewrites_means_only(self, paths):
         bench, baseline = paths

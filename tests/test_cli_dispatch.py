@@ -91,7 +91,12 @@ class TestStubbedDispatch:
 
         monkeypatch.setattr(cli.exp, "run_churn_study", fake)
         cli.main(["churn", "--rounds", "99", "--seed", "42"])
-        assert captured == {"n_rounds": 99, "seed": 42}
+        assert captured == {
+            "n_rounds": 99,
+            "seed": 42,
+            "jobs": None,
+            "policy": None,
+        }
 
     def test_no_out_dir_writes_nothing(self, monkeypatch, tmp_path, capsys):
         monkeypatch.setattr(
@@ -111,7 +116,12 @@ class TestStubbedDispatch:
         config_path = tmp_path / "config.json"
         config_path.write_text(json.dumps({"n_rounds": 77, "seed": 5}))
         cli.main(["churn", "--config", str(config_path)])
-        assert captured == {"n_rounds": 77, "seed": 5}
+        assert captured == {
+            "n_rounds": 77,
+            "seed": 5,
+            "jobs": None,
+            "policy": None,
+        }
 
     def test_bad_config_file_fails_loudly(self, tmp_path):
         config_path = tmp_path / "config.json"

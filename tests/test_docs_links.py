@@ -1,0 +1,115 @@
+"""Tests for tools/check_docs.py, plus the live-repo documentation gate.
+
+The last test runs the checker against this checkout, so a broken
+intra-repo link or an orphaned docs/*.md fails the tier-1 suite, not
+just the CI docs job.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SCRIPT = REPO_ROOT / "tools" / "check_docs.py"
+_spec = importlib.util.spec_from_file_location("check_docs", _SCRIPT)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def make_repo(tmp_path, readme="", architecture="", extra=None):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(readme)
+    (tmp_path / "docs" / "architecture.md").write_text(architecture)
+    for name, text in (extra or {}).items():
+        (tmp_path / name).write_text(text)
+    return tmp_path
+
+
+class TestLinkResolution:
+    def test_resolving_links_pass(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="[arch](docs/architecture.md)",
+            architecture="[back](../README.md)",
+        )
+        assert check_docs.check_links(root) == []
+
+    def test_broken_link_reported_with_source_file(self, tmp_path):
+        root = make_repo(tmp_path, readme="[gone](docs/missing.md)")
+        problems = check_docs.check_links(root)
+        assert len(problems) == 1
+        assert "README.md" in problems[0]
+        assert "docs/missing.md" in problems[0]
+
+    def test_external_links_and_anchors_ignored(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme=(
+                "[web](https://example.com) [mail](mailto:a@b.c) "
+                "[anchor](#section)"
+            ),
+        )
+        assert check_docs.check_links(root) == []
+
+    def test_fragment_suffix_stripped_before_resolving(self, tmp_path):
+        root = make_repo(
+            tmp_path, readme="[arch](docs/architecture.md#section)"
+        )
+        assert check_docs.check_links(root) == []
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="```python\n# [fake](does/not/exist.md)\n```\n",
+        )
+        assert check_docs.check_links(root) == []
+
+
+class TestDocsReachability:
+    def test_unreferenced_doc_reported(self, tmp_path):
+        root = make_repo(
+            tmp_path, extra={"docs/orphan.md": "# nobody links here"}
+        )
+        problems = check_docs.check_docs_referenced(root)
+        assert len(problems) == 1
+        assert "orphan.md" in problems[0]
+
+    def test_reference_from_readme_suffices(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="see docs/guide.md",
+            extra={"docs/guide.md": "# guide"},
+        )
+        assert check_docs.check_docs_referenced(root) == []
+
+    def test_relative_link_from_architecture_suffices(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            architecture="[guide](guide.md)",
+            extra={"docs/guide.md": "# guide"},
+        )
+        assert check_docs.check_docs_referenced(root) == []
+
+
+class TestMain:
+    def test_clean_repo_exits_zero(self, tmp_path, capsys):
+        root = make_repo(tmp_path, readme="see docs/architecture.md")
+        assert check_docs.main([str(root)]) == 0
+        assert "docs OK" in capsys.readouterr().out
+
+    def test_problems_exit_one_with_count(self, tmp_path, capsys):
+        root = make_repo(
+            tmp_path,
+            readme="[gone](nope.md)",
+            extra={"docs/orphan.md": "x"},
+        )
+        assert check_docs.main([str(root)]) == 1
+        err = capsys.readouterr().err
+        assert "nope.md" in err
+        assert "orphan.md" in err
+        assert "2 documentation problem(s)" in err
+
+
+class TestThisRepository:
+    def test_repo_docs_are_clean(self):
+        assert check_docs.check_links(REPO_ROOT) == []
+        assert check_docs.check_docs_referenced(REPO_ROOT) == []

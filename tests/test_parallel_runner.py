@@ -86,11 +86,38 @@ class TestRunTasks:
             assert result.config_policy == task.label
 
 
+def _broken_factory():
+    raise ValueError("injected workload construction failure")
+
+
+class TestWorkerFailures:
+    """A failing task must surface its provenance, not just a stack."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exception_carries_label_seed_and_pid(self, jobs):
+        tasks = _tiny_tasks()
+        tasks[1] = SimTask(
+            label="broken",
+            workload_factory=_broken_factory,
+            config=tasks[1].config,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            run_tasks(tasks, jobs=jobs)
+        message = str(excinfo.value)
+        assert "'broken'" in message
+        assert f"seed={tasks[1].config.seed}" in message
+        assert "worker_pid=" in message
+        assert "injected workload construction failure" in message
+
+
 class TestRunLabelled:
     def test_keys_are_labels(self):
         tasks = _tiny_tasks()
         results = run_labelled(tasks)
         assert list(results) == [t.label for t in tasks]
+
+    def test_empty_task_list(self):
+        assert run_labelled([]) == {}
 
     def test_duplicate_labels_rejected(self):
         task = _tiny_tasks()[0]

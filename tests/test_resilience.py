@@ -1,0 +1,462 @@
+"""Fault-injection tests for the resilient sweep runner.
+
+Workers here misbehave on purpose -- raise, hang, die without a word --
+and the assertions pin down the recovery contract: bounded retries with
+deterministic backoff, wall-clock timeouts, quarantine under
+``allow_partial``, and manifest checkpoint/resume that survives a
+mid-sweep KeyboardInterrupt with byte-identical exported results.
+
+Fault factories communicate across attempts through flag files (the
+supervised runner forks one process per attempt; the filesystem is the
+only state they share), which also keeps every factory picklable-free:
+``fork`` passes them by reference.
+"""
+
+import json
+import os
+import time
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import sim_result_to_dict
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.experiments.manifest import (
+    ManifestError,
+    RunManifest,
+    task_fingerprint,
+)
+from repro.experiments.parallel import SimTask, run_labelled, run_tasks
+from repro.experiments.resilience import (
+    FAILURE_CRASH,
+    FAILURE_ERROR,
+    FAILURE_TIMEOUT,
+    ExecutionPolicy,
+    RetryPolicy,
+    SweepError,
+    run_resilient,
+)
+from repro.sched.placement import PlacementPolicy
+
+N_ROUNDS = 30
+
+#: fast backoff so retry chains do not slow the suite down
+FAST_RETRY = partial(RetryPolicy, backoff_base=0.01, backoff_jitter=0.0)
+
+
+def _task(label, factory=None, seed=7):
+    return SimTask(
+        label=label,
+        workload_factory=factory or PAPER_WORKLOADS["microbenchmark"],
+        config=evaluation_config(
+            PlacementPolicy.DEFAULT_LINUX, n_rounds=N_ROUNDS, seed=seed
+        ),
+    )
+
+
+# -------------------------------------------------------- fault factories
+def _fail_once(flag: Path):
+    """Raise on the first call; behave normally afterwards."""
+    if not flag.exists():
+        flag.write_text("tripped")
+        raise RuntimeError("injected failure")
+    return PAPER_WORKLOADS["microbenchmark"]()
+
+
+def _always_raise():
+    raise RuntimeError("always broken")
+
+
+def _crash():
+    os._exit(17)
+
+
+def _hang_once(flag: Path):
+    """Hang (longer than any test timeout) on the first call only."""
+    if not flag.exists():
+        flag.write_text("tripped")
+        time.sleep(120)
+    return PAPER_WORKLOADS["microbenchmark"]()
+
+
+def _interrupt_once(flag: Path):
+    """Simulate the operator's Ctrl-C landing mid-sweep, once."""
+    if not flag.exists():
+        flag.write_text("tripped")
+        raise KeyboardInterrupt
+    return PAPER_WORKLOADS["microbenchmark"]()
+
+
+# ---------------------------------------------------------- RetryPolicy
+class TestRetryPolicy:
+    def test_first_attempt_keeps_base_seed(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.seed_for_attempt(42, 1) == 42
+
+    def test_retry_seeds_deterministic_and_distinct(self):
+        policy = RetryPolicy(max_attempts=3)
+        second = policy.seed_for_attempt(42, 2)
+        assert second == policy.seed_for_attempt(42, 2)
+        assert second != 42
+        assert second != policy.seed_for_attempt(42, 3)
+        assert second != policy.seed_for_attempt(43, 2)
+
+    def test_reseeding_can_be_disabled(self):
+        policy = RetryPolicy(max_attempts=3, reseed_retries=False)
+        assert policy.seed_for_attempt(42, 2) == 42
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=1.0, backoff_factor=2.0,
+            backoff_jitter=0.0,
+        )
+        assert policy.delay_before(1, 7) == 0.0
+        assert policy.delay_before(2, 7) == 1.0
+        assert policy.delay_before(3, 7) == 2.0
+        assert policy.delay_before(4, 7) == 4.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=2, backoff_base=1.0,
+                             backoff_jitter=0.5)
+        delay = policy.delay_before(2, 7)
+        assert delay == policy.delay_before(2, 7)
+        assert 0.5 <= delay <= 1.5
+        assert delay != policy.delay_before(2, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=1.0)
+
+    def test_execution_policy_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(resume=True)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(task_timeout=0.0)
+
+
+# --------------------------------------------------------- retry + error
+class TestRetries:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_failure_retried_to_success(self, tmp_path, jobs):
+        tasks = [
+            _task("good"),
+            _task("flaky", partial(_fail_once, tmp_path / "flag")),
+        ]
+        outcome = run_resilient(
+            tasks, jobs=jobs,
+            policy=ExecutionPolicy(retry=FAST_RETRY(max_attempts=2)),
+        )
+        assert outcome.complete
+        assert outcome.retries == 1
+        assert outcome.timeouts == 0
+        assert all(r is not None for r in outcome.results)
+
+    def test_retry_reseeds_deterministically(self, tmp_path):
+        retry = FAST_RETRY(max_attempts=2)
+        task = _task("flaky", partial(_fail_once, tmp_path / "flag"))
+        outcome = run_resilient(
+            [task], jobs=1, policy=ExecutionPolicy(retry=retry)
+        )
+        result = outcome.results[0]
+        assert result.task_seed == retry.seed_for_attempt(
+            task.config.seed, 2
+        )
+
+    def test_exhausted_budget_fails_fast_by_default(self):
+        tasks = [_task("broken", _always_raise)]
+        with pytest.raises(SweepError) as excinfo:
+            run_tasks(
+                tasks, jobs=1,
+                policy=ExecutionPolicy(retry=FAST_RETRY(max_attempts=2)),
+            )
+        failure = excinfo.value.failures["broken"]
+        assert failure.kind == FAILURE_ERROR
+        assert failure.attempts == 2
+        assert "always broken" in failure.error
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_allow_partial_quarantines_and_completes(self, jobs):
+        tasks = [_task("broken", _always_raise), _task("good")]
+        outcome = run_resilient(
+            tasks, jobs=jobs,
+            policy=ExecutionPolicy(
+                retry=FAST_RETRY(max_attempts=2), allow_partial=True
+            ),
+        )
+        assert outcome.results[0] is None
+        assert outcome.results[1] is not None
+        assert outcome.failures["broken"].kind == FAILURE_ERROR
+        # run_labelled omits the quarantined slot entirely
+        labelled = outcome.labelled(tasks)
+        assert list(labelled) == ["good"]
+
+
+# -------------------------------------------------------- crash + hang
+class TestCrashAndTimeout:
+    def test_dead_worker_detected_as_crash(self):
+        tasks = [_task("dies", _crash), _task("good")]
+        outcome = run_resilient(
+            tasks, jobs=2,
+            policy=ExecutionPolicy(
+                retry=FAST_RETRY(max_attempts=2), allow_partial=True
+            ),
+        )
+        failure = outcome.failures["dies"]
+        assert failure.kind == FAILURE_CRASH
+        assert "exitcode 17" in failure.error
+        assert outcome.results[1] is not None
+
+    def test_hung_worker_times_out_then_succeeds(self, tmp_path):
+        tasks = [_task("hangs", partial(_hang_once, tmp_path / "flag"))]
+        outcome = run_resilient(
+            tasks, jobs=1,
+            policy=ExecutionPolicy(
+                task_timeout=1.0, retry=FAST_RETRY(max_attempts=2)
+            ),
+        )
+        assert outcome.complete
+        assert outcome.timeouts == 1
+        assert outcome.retries == 1
+
+    def test_hung_worker_quarantined_when_budget_exhausted(self, tmp_path):
+        manifest = tmp_path / "sweep.json"
+        tasks = [
+            _task("hangs", partial(_hang_once, tmp_path / "flag")),
+            _task("good"),
+        ]
+        # max_attempts=1: the single timeout exhausts the budget
+        outcome = run_resilient(
+            tasks, jobs=2,
+            policy=ExecutionPolicy(
+                manifest_path=manifest,
+                task_timeout=1.0,
+                retry=FAST_RETRY(max_attempts=1),
+                allow_partial=True,
+            ),
+        )
+        failure = outcome.failures["hangs"]
+        assert failure.kind == FAILURE_TIMEOUT
+        assert "timed out after 1.0s" in failure.error
+        record = RunManifest.load(manifest).records["hangs"]
+        assert record.failed
+        assert record.error_kind == FAILURE_TIMEOUT
+        assert record.attempts == 1
+
+
+# ------------------------------------------------------------- manifest
+class TestManifest:
+    def test_fingerprint_covers_label_and_config(self):
+        base = _task("a")
+        assert task_fingerprint(base) == task_fingerprint(_task("a"))
+        assert task_fingerprint(base) != task_fingerprint(_task("b"))
+        assert task_fingerprint(base) != task_fingerprint(_task("a", seed=8))
+
+    def test_completed_sweep_is_fully_checkpointed(self, tmp_path):
+        manifest_path = tmp_path / "sweep.json"
+        tasks = [_task("a"), _task("b", seed=9)]
+        run_resilient(
+            [*tasks], jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path),
+        )
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.counts() == {"pending": 0, "done": 2, "failed": 0}
+        for task in tasks:
+            restored = manifest.load_result(task.label)
+            assert restored is not None
+            assert restored.task_seed == task.config.seed
+
+    def test_resume_skips_checkpointed_tasks(self, tmp_path):
+        manifest_path = tmp_path / "sweep.json"
+        tasks = [_task("a"), _task("b", seed=9)]
+        run_resilient(
+            tasks, jobs=1, policy=ExecutionPolicy(manifest_path=manifest_path)
+        )
+        # Same labels/configs but factories that would fail if called:
+        # a resumed sweep must trust its verified checkpoints instead.
+        poisoned = [
+            _task("a", _always_raise),
+            _task("b", _always_raise, seed=9),
+        ]
+        outcome = run_resilient(
+            poisoned, jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path, resume=True),
+        )
+        assert outcome.complete
+        assert outcome.resumed == 2
+
+    def test_corrupt_checkpoint_is_rerun_not_trusted(self, tmp_path):
+        manifest_path = tmp_path / "sweep.json"
+        tasks = [_task("a"), _task("b", seed=9)]
+        run_resilient(
+            tasks, jobs=1, policy=ExecutionPolicy(manifest_path=manifest_path)
+        )
+        manifest = RunManifest.load(manifest_path)
+        checkpoint = manifest._result_path(manifest.records["a"])
+        checkpoint.write_bytes(b"garbage")
+        outcome = run_resilient(
+            tasks, jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path, resume=True),
+        )
+        assert outcome.complete
+        assert outcome.resumed == 1  # only the intact checkpoint
+
+    def test_resume_rejects_changed_task_list(self, tmp_path):
+        manifest_path = tmp_path / "sweep.json"
+        run_resilient(
+            [_task("a")], jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path),
+        )
+        with pytest.raises(ManifestError, match="config changed"):
+            run_resilient(
+                [_task("a", seed=8)], jobs=1,
+                policy=ExecutionPolicy(
+                    manifest_path=manifest_path, resume=True
+                ),
+            )
+        with pytest.raises(ManifestError, match="missing from manifest"):
+            run_resilient(
+                [_task("a"), _task("new")], jobs=1,
+                policy=ExecutionPolicy(
+                    manifest_path=manifest_path, resume=True
+                ),
+            )
+
+    def test_without_resume_manifest_starts_fresh(self, tmp_path):
+        manifest_path = tmp_path / "sweep.json"
+        run_resilient(
+            [_task("a")], jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path),
+        )
+        # A different sweep may reuse the path when not resuming.
+        run_resilient(
+            [_task("b")], jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path),
+        )
+        manifest = RunManifest.load(manifest_path)
+        assert list(manifest.records) == ["b"]
+
+    def test_failed_tasks_reset_to_pending_on_resume(self, tmp_path):
+        manifest_path = tmp_path / "sweep.json"
+        flag = tmp_path / "flag"
+        tasks = [_task("flaky", partial(_fail_once, flag))]
+        outcome = run_resilient(
+            tasks, jobs=1,
+            policy=ExecutionPolicy(
+                manifest_path=manifest_path, allow_partial=True
+            ),
+        )
+        assert outcome.failures  # one attempt, no retries: quarantined
+        outcome = run_resilient(
+            tasks, jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path, resume=True),
+        )
+        assert outcome.complete  # flag now set; the re-run succeeds
+        assert RunManifest.load(manifest_path).records["flaky"].done
+
+
+# -------------------------------------------- interruption + resume
+class TestInterruptResume:
+    def test_sigint_checkpoints_then_resume_is_byte_identical(self, tmp_path):
+        """The tentpole acceptance check: Ctrl-C mid-sweep, resume, and
+        the exported JSON matches an uninterrupted run byte for byte."""
+        flag = tmp_path / "flag"
+
+        def sweep_tasks():
+            return [
+                _task("first"),
+                _task("interrupted", partial(_interrupt_once, flag)),
+                _task("last", seed=11),
+            ]
+
+        manifest_path = tmp_path / "sweep.json"
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient(
+                sweep_tasks(), jobs=1,
+                policy=ExecutionPolicy(manifest_path=manifest_path),
+            )
+        # The interrupt landed after task 1 completed: its checkpoint
+        # must already be durable.
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.records["first"].done
+        assert not manifest.records["interrupted"].done
+
+        outcome = run_resilient(
+            sweep_tasks(), jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest_path, resume=True),
+        )
+        assert outcome.complete
+        assert outcome.resumed == 1
+
+        reference = run_resilient(sweep_tasks(), jobs=1)
+        assert reference.complete
+        for resumed, fresh in zip(outcome.results, reference.results):
+            assert (
+                json.dumps(sim_result_to_dict(resumed), sort_keys=True)
+                == json.dumps(sim_result_to_dict(fresh), sort_keys=True)
+            )
+
+
+# ------------------------------------------------------- observability
+class TestSweepMetrics:
+    def test_counters_and_retry_events_published(self, tmp_path):
+        from repro.obs import (
+            KIND_TASK_RETRY,
+            MetricsRegistry,
+            RingBufferRecorder,
+            observe,
+        )
+
+        registry = MetricsRegistry()
+        recorder = RingBufferRecorder(capacity=1024)
+        tasks = [
+            _task("good"),
+            _task("flaky", partial(_fail_once, tmp_path / "flag")),
+        ]
+        with observe(recorder=recorder, registry=registry):
+            run_resilient(
+                tasks, jobs=1,
+                policy=ExecutionPolicy(retry=FAST_RETRY(max_attempts=2)),
+            )
+        snapshot = registry.snapshot()
+        assert snapshot["sweep_tasks_completed_total"] == 2
+        assert snapshot["sweep_task_retries_total{kind=error}"] == 1
+        assert snapshot["sweep_runs_total"] == 1
+        retries = [e for e in recorder.events() if e.kind == KIND_TASK_RETRY]
+        assert len(retries) == 1
+        assert retries[0].data["label"] == "flaky"
+        assert retries[0].data["failure_kind"] == FAILURE_ERROR
+
+
+# ---------------------------------------------- plumbing through sweeps
+class TestDriverIntegration:
+    def test_policy_sweep_under_execution_policy(self, tmp_path):
+        from repro.experiments import run_policy_sweep
+
+        manifest_path = tmp_path / "sweep.json"
+        results = run_policy_sweep(
+            PAPER_WORKLOADS["microbenchmark"],
+            n_rounds=N_ROUNDS,
+            seed=5,
+            policy=ExecutionPolicy(manifest_path=manifest_path),
+        )
+        plain = run_policy_sweep(
+            PAPER_WORKLOADS["microbenchmark"], n_rounds=N_ROUNDS, seed=5
+        )
+        assert list(results) == list(plain)
+        for label in plain:
+            assert results[label].throughput == plain[label].throughput
+        counts = RunManifest.load(manifest_path).counts()
+        assert counts["done"] == len(plain)
+
+    def test_run_labelled_omits_quarantined(self):
+        tasks = [_task("broken", _always_raise), _task("good")]
+        results = run_labelled(
+            tasks,
+            policy=ExecutionPolicy(allow_partial=True),
+        )
+        assert list(results) == ["good"]

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Check the repo's markdown documentation for drift.
+
+Two invariants, both cheap and both the kind that silently rot:
+
+1. every intra-repo markdown link (``[text](relative/path)``) resolves
+   to an existing file;
+2. every ``docs/*.md`` is reachable from the entry points -- referenced
+   by name from README.md or docs/architecture.md -- so no document can
+   exist that a reader browsing from the README cannot find.
+
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are out of scope: the first needs a network, the second
+a markdown renderer, and CI should need neither.
+
+Usage::
+
+    python tools/check_docs.py [repo_root]
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: markdown files whose links are checked
+DOC_GLOBS = ("*.md", "docs/*.md")
+
+#: files that must reference every docs/*.md
+INDEX_FILES = ("README.md", "docs/architecture.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _strip_fenced_code(text: str) -> str:
+    """Drop fenced code blocks: example links inside them are not
+    navigation and may be deliberately fictional."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def iter_doc_files(root: Path):
+    for pattern in DOC_GLOBS:
+        yield from sorted(root.glob(pattern))
+
+
+def check_links(root: Path) -> list:
+    problems = []
+    for doc in iter_doc_files(root):
+        text = _strip_fenced_code(doc.read_text())
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_docs_referenced(root: Path) -> list:
+    index_text = ""
+    for name in INDEX_FILES:
+        path = root / name
+        if path.is_file():
+            index_text += path.read_text()
+    problems = []
+    for doc in sorted((root / "docs").glob("*.md")):
+        if f"docs/{doc.name}" in INDEX_FILES:
+            continue  # entry points are reachable by definition
+        if f"docs/{doc.name}" in index_text or f"({doc.name})" in index_text:
+            continue
+        problems.append(
+            f"docs/{doc.name}: not referenced from any of "
+            f"{', '.join(INDEX_FILES)} -- unreachable from the entry points"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check_links(root) + check_docs_referenced(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs OK: all links resolve, all docs reachable")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
