@@ -20,6 +20,7 @@ from .common import (
     PAPER_WORKLOADS,
     ClusterAccuracy,
     evaluation_config,
+    policy_sweep_tasks,
     run_policy_sweep,
     score_clustering,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "PAPER_WORKLOADS",
     "ClusterAccuracy",
     "evaluation_config",
+    "policy_sweep_tasks",
     "run_policy_sweep",
     "score_clustering",
     "LatencyReport",

@@ -76,6 +76,34 @@ def evaluation_config(
     return config
 
 
+def policy_sweep_tasks(
+    workload_factory: WorkloadFactory,
+    policies: Optional[List[PlacementPolicy]] = None,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    seed: int = DEFAULT_SEED,
+    label_prefix: str = "",
+    **overrides: object,
+) -> List[SimTask]:
+    """The task list behind one workload's placement sweep.
+
+    ``label_prefix`` qualifies the task labels (``"specjbb/"`` ->
+    ``"specjbb/clustered"``) so that sweeps over several workloads can
+    share one flat task list -- and one manifest -- without their task
+    identities colliding (labels feed the manifest fingerprint; see
+    :func:`repro.experiments.manifest.task_fingerprint`).
+    """
+    return [
+        SimTask(
+            label=f"{label_prefix}{placement.value}",
+            workload_factory=workload_factory,
+            config=evaluation_config(
+                placement, n_rounds=n_rounds, seed=seed, **overrides
+            ),
+        )
+        for placement in policies or ALL_POLICIES
+    ]
+
+
 def run_policy_sweep(
     workload_factory: WorkloadFactory,
     policies: Optional[List[PlacementPolicy]] = None,
@@ -95,18 +123,18 @@ def run_policy_sweep(
     ``policy`` (an :class:`~repro.experiments.resilience.
     ExecutionPolicy`) adds retries/timeouts/checkpointing; under
     ``allow_partial`` quarantined placements are simply absent from the
-    returned mapping.
+    returned mapping.  Task labels are the bare placement values, so a
+    manifest attached here describes exactly one workload -- multi-
+    workload drivers build one flat list via :func:`policy_sweep_tasks`
+    with a ``label_prefix`` instead.
     """
-    tasks = [
-        SimTask(
-            label=placement.value,
-            workload_factory=workload_factory,
-            config=evaluation_config(
-                placement, n_rounds=n_rounds, seed=seed, **overrides
-            ),
-        )
-        for placement in policies or ALL_POLICIES
-    ]
+    tasks = policy_sweep_tasks(
+        workload_factory,
+        policies=policies,
+        n_rounds=n_rounds,
+        seed=seed,
+        **overrides,
+    )
     return run_labelled(tasks, jobs=jobs, policy=policy)
 
 

@@ -19,13 +19,15 @@ from ..sim.results import SimResult
 if TYPE_CHECKING:  # pragma: no cover
     from .resilience import ExecutionPolicy
 from .common import (
+    ALL_POLICIES,
     DEFAULT_N_ROUNDS,
     DEFAULT_SEED,
     PAPER_WORKLOADS,
     ClusterAccuracy,
-    run_policy_sweep,
+    policy_sweep_tasks,
     score_clustering,
 )
+from .parallel import run_labelled
 
 BASELINE = "default_linux"
 
@@ -79,23 +81,41 @@ def run_fig6_fig7(
 ) -> PlacementStudy:
     """The full placement sweep behind Figures 6 and 7.
 
-    Under a partial-result execution policy, a quarantined placement
-    drops its rows; a quarantined *baseline* drops the whole workload
-    (every cell normalises to it), with the gap visible in the sweep's
-    manifest rather than as fabricated numbers.
+    The workload x placement grid runs as one flat task list (like the
+    Section 7.4 machine grid), labelled ``workload/placement`` -- so
+    ``jobs`` overlaps runs across workloads, and a manifest attached
+    via ``policy`` identifies every cell of the grid uniquely, making
+    resume safe across the whole figure.  Under a partial-result
+    execution policy, a quarantined placement drops its rows; a
+    quarantined *baseline* drops the whole workload (every cell
+    normalises to it), with the gap visible in the sweep's manifest
+    rather than as fabricated numbers.
     """
     study = PlacementStudy()
     names = workload_names or list(PAPER_WORKLOADS)
+    tasks = []
+    for name in names:
+        tasks.extend(
+            policy_sweep_tasks(
+                PAPER_WORKLOADS[name],
+                n_rounds=n_rounds,
+                seed=seed,
+                label_prefix=f"{name}/",
+            )
+        )
+    sweep = run_labelled(tasks, jobs=jobs, policy=policy)
     for name in names:
         factory = PAPER_WORKLOADS[name]
-        results = run_policy_sweep(
-            factory, n_rounds=n_rounds, seed=seed, jobs=jobs, policy=policy
-        )
+        results = {
+            placement.value: result
+            for placement in ALL_POLICIES
+            if (result := sweep.get(f"{name}/{placement.value}")) is not None
+        }
         study.results[name] = results
         baseline = results.get(BASELINE)
         if baseline is None:
             continue
-        for policy, result in results.items():
+        for placement, result in results.items():
             reduction = 0.0
             if baseline.remote_stall_fraction > 0:
                 reduction = 1.0 - (
@@ -109,7 +129,7 @@ def run_fig6_fig7(
             study.rows.append(
                 PlacementRow(
                     workload=name,
-                    policy=policy,
+                    policy=placement,
                     remote_stall_fraction=result.remote_stall_fraction,
                     remote_stall_reduction=reduction,
                     throughput=result.throughput,

@@ -141,7 +141,14 @@ class RunManifest:
             )
         manifest = cls(path)
         for entry in data.get("tasks", []):
-            record = TaskRecord(**entry)
+            try:
+                record = TaskRecord(**entry)
+            except TypeError as error:
+                raise ManifestError(
+                    f"manifest {path} has a task entry this schema does "
+                    f"not understand ({error}): {entry!r}.  Delete the "
+                    f"manifest to start over."
+                )
             manifest.records[record.label] = record
         return manifest
 

@@ -82,6 +82,22 @@ class TestFig6Fig7:
         with pytest.raises(KeyError):
             study.row("microbenchmark", "nonexistent")
 
+    def test_multi_workload_study(self):
+        names = ["microbenchmark", "volanomark"]
+        study = run_fig6_fig7(workload_names=names, n_rounds=150, seed=3)
+        assert len(study.rows) == 8  # two workloads x four policies
+        assert {r.workload for r in study.rows} == set(names)
+        for name in names:
+            assert study.row(name, "default_linux").speedup == 0.0
+            assert set(study.results[name]) == {
+                "default_linux", "round_robin", "hand_optimized", "clustered"
+            }
+        # Each workload's cells come from its own runs, not a shared one.
+        assert (
+            study.row("microbenchmark", "default_linux").throughput
+            != study.row("volanomark", "default_linux").throughput
+        )
+
 
 class TestFig8:
     def test_two_point_sweep(self):

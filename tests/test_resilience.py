@@ -340,6 +340,17 @@ class TestManifest:
         manifest = RunManifest.load(manifest_path)
         assert list(manifest.records) == ["b"]
 
+    def test_load_rejects_unknown_task_schema(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "tasks": [
+                {"label": "a", "fingerprint": "x", "seed": 1, "bogus": 2}
+            ],
+        }))
+        with pytest.raises(ManifestError, match="task entry"):
+            RunManifest.load(path)
+
     def test_failed_tasks_reset_to_pending_on_resume(self, tmp_path):
         manifest_path = tmp_path / "sweep.json"
         flag = tmp_path / "flag"
@@ -460,3 +471,45 @@ class TestDriverIntegration:
             policy=ExecutionPolicy(allow_partial=True),
         )
         assert list(results) == ["good"]
+
+    def test_fig6_manifest_identifies_every_workload_cell(self, tmp_path):
+        """One fig6 manifest covers the whole workload x placement grid:
+        labels are workload-qualified, so resume restores each
+        workload's own checkpoints rather than the first workload's."""
+        from repro.experiments import ALL_POLICIES, run_fig6_fig7
+        from repro.obs import MetricsRegistry, observe
+
+        manifest_path = tmp_path / "fig6.json"
+        names = ["microbenchmark", "volanomark"]
+        study = run_fig6_fig7(
+            workload_names=names, n_rounds=N_ROUNDS, seed=5,
+            policy=ExecutionPolicy(manifest_path=manifest_path),
+        )
+        manifest = RunManifest.load(manifest_path)
+        assert sorted(manifest.records) == sorted(
+            f"{name}/{placement.value}"
+            for name in names
+            for placement in ALL_POLICIES
+        )
+        assert manifest.counts()["done"] == 8
+        # Distinct workloads produced distinct results, not one
+        # workload's numbers recorded twice.
+        first, second = (study.results[name] for name in names)
+        assert first["default_linux"].throughput != second[
+            "default_linux"
+        ].throughput
+
+        registry = MetricsRegistry()
+        with observe(registry=registry):
+            resumed = run_fig6_fig7(
+                workload_names=names, n_rounds=N_ROUNDS, seed=5,
+                policy=ExecutionPolicy(
+                    manifest_path=manifest_path, resume=True
+                ),
+            )
+        # Every cell restored from its checkpoint, none re-run...
+        assert registry.snapshot()["sweep_tasks_resumed_total"] == 8
+        # ...and each workload got its own rows back.
+        assert [
+            (r.workload, r.policy, r.throughput) for r in resumed.rows
+        ] == [(r.workload, r.policy, r.throughput) for r in study.rows]
