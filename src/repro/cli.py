@@ -59,6 +59,7 @@ _RUNNERS: Dict[str, str] = {
     "smt-aware": "EXT2: SMT-aware vs random intra-chip seating",
     "churn": "EXT4: connection churn vs clustering quality",
     "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
+    "verify": "VERIFY: differential + invariant campaign over paired paths",
 }
 
 
@@ -407,7 +408,8 @@ def _run_trace(args, out: Optional[Path]) -> None:
     from .sched.placement import PlacementPolicy
     from .sim.engine import Simulator
 
-    workload = PAPER_WORKLOADS[args.workload]()
+    workload_name = (args.workload or ["microbenchmark"])[0]
+    workload = PAPER_WORKLOADS[workload_name]()
     config = evaluation_config(
         PlacementPolicy(args.policy), n_rounds=args.rounds, seed=args.seed
     )
@@ -440,8 +442,53 @@ def _run_trace(args, out: Optional[Path]) -> None:
     )
 
 
+def _run_verify(args, out: Optional[Path]) -> None:
+    """Run the differential + invariant verification campaign.
+
+    Exercises every requested paired execution path (batched vs scalar
+    walk, observe_many vs observe, pooled vs inline sweep, resumed vs
+    fresh) across the paper workloads and seeds, then fails the command
+    if any pair diverged or any invariant broke.
+    """
+    from .verify import DEFAULT_PATHS, VerificationError, run_campaign
+
+    paths = (
+        tuple(p for p in args.paths.split(",") if p)
+        if args.paths
+        else DEFAULT_PATHS
+    )
+    workloads = args.workload  # None = all paper workloads
+    report = run_campaign(
+        paths=paths,
+        workloads=workloads,
+        seeds=args.seeds,
+        base_seed=args.seed,
+        n_rounds=args.rounds,
+        progress=print,
+    )
+    print(
+        f"verify: {len(report.verdicts)} cells, {report.total_runs} runs, "
+        f"{report.total_mismatches} mismatches, "
+        f"{report.total_violations} invariant violations"
+    )
+    for line in report.summary_lines():
+        print(line)
+    _write(
+        out,
+        "verify.json",
+        json.dumps(report.to_dict(), indent=2, sort_keys=True),
+    )
+    if not report.ok:
+        raise VerificationError(
+            f"verification campaign failed: {report.total_mismatches} "
+            f"mismatches, {report.total_violations} invariant violations "
+            f"across {len(report.failing())} cell(s)"
+        )
+
+
 _DISPATCH: Dict[str, Callable] = {
     "trace": _run_trace,
+    "verify": _run_verify,
     "fig1": _run_fig1,
     "fig3": _run_fig3,
     "fig5": _run_fig5,
@@ -474,8 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id ('list' to describe them, 'all' to run every one)",
     )
     parser.add_argument(
-        "--rounds", type=int, default=450,
-        help="simulation rounds per run (default: 450)",
+        "--rounds", type=int, default=None,
+        help=(
+            "simulation rounds per run (default: 450; the verify "
+            "subcommand defaults to 150)"
+        ),
     )
     parser.add_argument(
         "--seed", type=int, default=3, help="master seed (default: 3)"
@@ -558,8 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workload", choices=sorted(
             ("microbenchmark", "volanomark", "specjbb", "rubis")
-        ), default="microbenchmark",
-        help="workload for the 'trace' subcommand (default: microbenchmark)",
+        ), action="append", default=None,
+        help=(
+            "workload for the 'trace' and 'verify' subcommands; repeat "
+            "to give 'verify' several (trace default: microbenchmark; "
+            "verify default: all four)"
+        ),
     )
     parser.add_argument(
         "--policy", choices=(
@@ -567,6 +621,21 @@ def build_parser() -> argparse.ArgumentParser:
         ), default="clustered",
         help="placement policy for the 'trace' subcommand "
              "(default: clustered)",
+    )
+    parser.add_argument(
+        "--paths", default=None, metavar="P1,P2,...",
+        help=(
+            "comma-separated differential paths for the 'verify' "
+            "subcommand: batched-walk, observe-many, parallel-sweep, "
+            "resume (default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help=(
+            "number of consecutive seeds (starting at --seed) for the "
+            "'verify' campaign (default: 1)"
+        ),
     )
     return parser
 
@@ -576,6 +645,18 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+    if args.paths is not None:
+        from .verify import PATHS
+
+        requested = [p for p in args.paths.split(",") if p]
+        unknown = [p for p in requested if p not in PATHS]
+        if not requested or unknown:
+            parser.error(
+                f"--paths must name verification paths from "
+                f"{', '.join(sorted(PATHS))}; got {args.paths!r}"
+            )
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.task_timeout is not None and args.task_timeout <= 0:
@@ -600,6 +681,15 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.experiment == "trace" and args.trace is None:
         args.trace = Path("trace.json")
+    if args.rounds is None:
+        # Verification cells run several simulations each; 150 rounds is
+        # enough for a full detect-cluster-migrate round on the paper
+        # workloads and keeps multi-seed campaigns fast.
+        from .verify import DEFAULT_VERIFY_ROUNDS
+
+        args.rounds = (
+            DEFAULT_VERIFY_ROUNDS if args.experiment == "verify" else 450
+        )
     if args.trace_capacity < 1:
         parser.error("--trace-capacity must be >= 1")
     recorder = (
@@ -609,10 +699,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     registry = MetricsRegistry() if args.metrics is not None else None
 
-    # "all" regenerates the paper artefacts; the trace subcommand is an
-    # observability tool, not an artefact, so it is not part of "all".
+    # "all" regenerates the paper artefacts; the trace and verify
+    # subcommands are tooling, not artefacts, so neither is part of it.
     if args.experiment == "all":
-        targets = sorted(name for name in _DISPATCH if name != "trace")
+        targets = sorted(
+            name for name in _DISPATCH if name not in ("trace", "verify")
+        )
     else:
         targets = [args.experiment]
     if _resilience_requested(args) and args.experiment not in _SWEEP_EXPERIMENTS:
@@ -624,13 +716,14 @@ def main(argv: Optional[list] = None) -> int:
                 f"{args.experiment} runs unchanged"
             )
     from .experiments.resilience import SweepError
+    from .verify import VerificationError
 
     with observe(recorder=recorder, registry=registry):
         for name in targets:
             print(f"### {name}: {_RUNNERS[name]}")
             try:
                 _DISPATCH[name](args, args.out)
-            except SweepError as error:
+            except (SweepError, VerificationError) as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 1
             print()

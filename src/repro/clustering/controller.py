@@ -93,6 +93,80 @@ class ControllerConfig:
     #: cap on the backed-off cooldown
     max_cooldown_cycles: int = 20_000_000
 
+    def __post_init__(self) -> None:
+        """Reject inconsistent tunables at construction.
+
+        Silently-accepted nonsense here surfaces far away: a negative
+        window never closes, and ``min_period > max_period`` makes the
+        clamp in ``_adapt_sampling_period`` emit periods *below* the
+        configured overhead bound (``min(max_period, period)`` runs
+        first, then ``max(min_period, ...)`` lifts the result past it).
+        """
+        if not 0.0 <= self.activation_threshold <= 1.0:
+            raise ValueError(
+                "activation_threshold must be in [0, 1], got "
+                f"{self.activation_threshold}"
+            )
+        if self.monitor_window_cycles <= 0:
+            raise ValueError(
+                f"monitor_window_cycles must be positive, got "
+                f"{self.monitor_window_cycles}"
+            )
+        if self.samples_needed < 0:
+            raise ValueError(
+                f"samples_needed must be >= 0, got {self.samples_needed}"
+            )
+        if self.detection_timeout_cycles <= 0:
+            raise ValueError(
+                f"detection_timeout_cycles must be positive, got "
+                f"{self.detection_timeout_cycles}"
+            )
+        if self.min_samples_on_timeout < 0:
+            raise ValueError(
+                f"min_samples_on_timeout must be >= 0, got "
+                f"{self.min_samples_on_timeout}"
+            )
+        if self.migration_cooldown_cycles < 0:
+            raise ValueError(
+                f"migration_cooldown_cycles must be >= 0, got "
+                f"{self.migration_cooldown_cycles}"
+            )
+        if self.detection_target_cycles <= 0:
+            raise ValueError(
+                f"detection_target_cycles must be positive, got "
+                f"{self.detection_target_cycles}"
+            )
+        if self.min_period < 1:
+            raise ValueError(
+                f"min_period must be >= 1, got {self.min_period}"
+            )
+        if self.max_period < 0:
+            raise ValueError(
+                f"max_period must be >= 0 (0 = keep the capture "
+                f"engine's period), got {self.max_period}"
+            )
+        if 0 < self.max_period < self.min_period:
+            raise ValueError(
+                f"min_period ({self.min_period}) must not exceed "
+                f"max_period ({self.max_period}) when max_period is set"
+            )
+        if self.min_actionable_cluster_size < 1:
+            raise ValueError(
+                f"min_actionable_cluster_size must be >= 1, got "
+                f"{self.min_actionable_cluster_size}"
+            )
+        if self.futile_backoff_factor < 1.0:
+            raise ValueError(
+                f"futile_backoff_factor must be >= 1, got "
+                f"{self.futile_backoff_factor}"
+            )
+        if self.max_cooldown_cycles < self.migration_cooldown_cycles:
+            raise ValueError(
+                f"max_cooldown_cycles ({self.max_cooldown_cycles}) must "
+                f"be >= migration_cooldown_cycles "
+                f"({self.migration_cooldown_cycles})"
+            )
+
 
 @dataclass(frozen=True)
 class DetectionRecord:
@@ -216,10 +290,23 @@ class ClusteringController:
     def _process_of_tid(self, tid: int) -> int:
         process = self._process_of.get(tid)
         if process is None:
+            # Rebuild from *live* threads only.  Churn workloads retire
+            # tids for the life of the run, and every refresh used to
+            # re-admit all of them, so the cache grew without bound.
             self._process_of = {
-                t.tid: t.process_id for t in self.scheduler.threads
+                t.tid: t.process_id
+                for t in self.scheduler.threads
+                if t.state is not ThreadState.FINISHED
             }
-            process = self._process_of.get(tid, 0)
+            process = self._process_of.get(tid)
+            if process is None:
+                # A sample from a thread that exited between delivery
+                # and this flush: attribute it correctly but do not
+                # cache the dead tid.
+                for thread in self.scheduler.threads:
+                    if thread.tid == tid:
+                        return thread.process_id
+                return 0
         return process
 
     def _on_sample(self, sample: DataSample) -> None:

@@ -153,13 +153,22 @@ class MigrationPlanner:
                     chip_members[chip].append(tid)
 
         # Non-clustered threads fill remaining imbalance -- staying put
-        # when their current chip has room.
+        # only while the home chip is within one thread of the lightest
+        # chip (and under the cap).  A looser stay-home rule would admit
+        # threads to a nearly-full chip while emptier chips exist,
+        # leaving exactly the residual imbalance Section 4.5's "balance
+        # out any remaining differences" step is meant to erase.
         for tid in unclustered:
             chip = None
             if current_chip is not None:
                 home = current_chip.get(tid)
-                if home is not None and len(chip_members[home]) < load_cap:
-                    chip = home
+                if home is not None:
+                    home_load = len(chip_members[home])
+                    min_load = min(
+                        len(members) for members in chip_members.values()
+                    )
+                    if home_load < load_cap and home_load - min_load <= 1:
+                        chip = home
             if chip is None:
                 chip = min(
                     range(n_chips), key=lambda c: (len(chip_members[c]), c)

@@ -98,12 +98,26 @@ def default_jobs() -> int:
     """Worker count when the caller does not specify one.
 
     ``REPRO_JOBS`` (0 = one per CPU) wins; otherwise sequential, so
-    parallelism is always an explicit opt-in.
+    parallelism is always an explicit opt-in.  A malformed value fails
+    with a message naming the variable rather than a bare ``int()``
+    traceback: the setting usually comes from a shell profile or CI
+    environment far from the command that trips over it.
     """
     env = os.environ.get("REPRO_JOBS", "").strip()
-    if env:
-        return resolve_jobs(int(env))
-    return 1
+    if not env:
+        return 1
+    try:
+        jobs = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer >= 0 (0 = one worker per "
+            f"CPU), got {env!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(
+            f"REPRO_JOBS must be >= 0 (0 = one worker per CPU), got {jobs}"
+        )
+    return resolve_jobs(jobs)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

@@ -28,6 +28,8 @@ from .recorder import (
     KIND_SAMPLING_PERIOD,
     KIND_STEAL,
     KIND_TASK_RETRY,
+    KIND_VERIFY_INVARIANT,
+    KIND_VERIFY_MISMATCH,
     NULL_RECORDER,
     NullRecorder,
     RingBufferRecorder,
@@ -59,6 +61,8 @@ __all__ = [
     "KIND_CAPTURE_START",
     "KIND_CAPTURE_STOP",
     "KIND_TASK_RETRY",
+    "KIND_VERIFY_INVARIANT",
+    "KIND_VERIFY_MISMATCH",
     "to_chrome_trace",
     "write_chrome_trace",
     "active_recorder",

@@ -44,6 +44,13 @@ KIND_CAPTURE_STOP = "capture.stop"
 #: attempt fails and is rescheduled; payload: label, attempt,
 #: failure_kind (error/crash/timeout), error, delay_s
 KIND_TASK_RETRY = "task.retry"
+#: emitted by the differential verification harness (repro.verify) when
+#: a paired-path run diverges; payload: path, workload, seed,
+#: n_mismatches, first (first few mismatch locations)
+KIND_VERIFY_MISMATCH = "verify.mismatch"
+#: emitted by the invariant checker when a declared invariant fails;
+#: payload: invariant, detail (plus cycle via the event clock)
+KIND_VERIFY_INVARIANT = "verify.invariant_violation"
 
 
 @dataclass(frozen=True)

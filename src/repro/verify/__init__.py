@@ -1,0 +1,70 @@
+"""Differential testing and invariant checking (the verification layer).
+
+The repository keeps paired implementations of several hot paths --
+batched vs scalar cache walk, ``observe_many`` vs sequential
+``observe``, process-pool vs inline sweeps, manifest-resumed vs fresh
+runs -- all contracted to be observably identical.  This package makes
+that contract executable:
+
+* :mod:`~repro.verify.digest` -- canonical end states, SHA-256 digests
+  and a structural diff with named divergence points;
+* :mod:`~repro.verify.invariants` -- declared runtime invariants
+  checked against a live simulator every controller round;
+* :mod:`~repro.verify.differential` -- one runner per paired path;
+* :mod:`~repro.verify.campaign` -- randomized seeds x workloads x paths
+  campaigns behind ``python -m repro verify``.
+
+See docs/verification.md for the design and the invariant catalogue.
+"""
+
+from .campaign import (
+    DEFAULT_VERIFY_ROUNDS,
+    CampaignReport,
+    VerificationError,
+    run_campaign,
+)
+from .differential import (
+    DEFAULT_PATHS,
+    PATHS,
+    PathRunReport,
+    run_batched_walk,
+    run_observe_many,
+    run_parallel_sweep,
+    run_resume,
+)
+from .digest import (
+    Mismatch,
+    diff_states,
+    result_state,
+    state_digest,
+    table_state,
+)
+from .invariants import (
+    INVARIANTS,
+    InvariantChecker,
+    InvariantViolation,
+    run_with_invariants,
+)
+
+__all__ = [
+    "CampaignReport",
+    "DEFAULT_PATHS",
+    "DEFAULT_VERIFY_ROUNDS",
+    "INVARIANTS",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Mismatch",
+    "PATHS",
+    "PathRunReport",
+    "VerificationError",
+    "diff_states",
+    "result_state",
+    "run_batched_walk",
+    "run_campaign",
+    "run_observe_many",
+    "run_parallel_sweep",
+    "run_resume",
+    "run_with_invariants",
+    "state_digest",
+    "table_state",
+]

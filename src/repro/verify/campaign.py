@@ -1,0 +1,186 @@
+"""Randomized differential campaigns: seeds x workloads x paths.
+
+One campaign cell runs one paired execution path on one paper workload
+at one seed and yields a :class:`PathRunReport`.  The campaign sweeps
+the grid, publishes ``verify_*`` metrics to the ambient registry, emits
+``verify.mismatch`` trace events for every diverging cell, and folds
+everything into a :class:`CampaignReport` the CLI can print and the CI
+smoke job can gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..experiments.common import PAPER_WORKLOADS
+from ..obs import (
+    KIND_VERIFY_MISMATCH,
+    MetricsRegistry,
+    active_recorder,
+    active_registry,
+)
+from .differential import DEFAULT_PATHS, PATHS, PathRunReport
+
+#: rounds per simulation in a campaign cell: long enough for the
+#: clustering controller to complete at least one detect-cluster-migrate
+#: round on the paper workloads, short enough that a multi-seed campaign
+#: over all four paths stays in CI-smoke territory
+DEFAULT_VERIFY_ROUNDS = 150
+
+
+class VerificationError(RuntimeError):
+    """Raised (by callers that opt in) when a campaign found divergence."""
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one verification campaign."""
+
+    verdicts: List[PathRunReport] = field(default_factory=list)
+    base_seed: int = 0
+    n_rounds: int = DEFAULT_VERIFY_ROUNDS
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def total_mismatches(self) -> int:
+        return sum(len(v.mismatches) for v in self.verdicts)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(v.violations) for v in self.verdicts)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(v.runs for v in self.verdicts)
+
+    def failing(self) -> List[PathRunReport]:
+        return [v for v in self.verdicts if not v.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "base_seed": self.base_seed,
+            "n_rounds": self.n_rounds,
+            "cells": len(self.verdicts),
+            "runs": self.total_runs,
+            "mismatches": self.total_mismatches,
+            "invariant_violations": self.total_violations,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-path rollup plus failing-cell detail."""
+        lines: List[str] = []
+        by_path: Dict[str, List[PathRunReport]] = {}
+        for verdict in self.verdicts:
+            by_path.setdefault(verdict.path, []).append(verdict)
+        for path, verdicts in sorted(by_path.items()):
+            bad = [v for v in verdicts if not v.ok]
+            status = "ok" if not bad else f"{len(bad)} FAILING"
+            runs = sum(v.runs for v in verdicts)
+            lines.append(
+                f"  {path:<16} {len(verdicts)} cells, {runs} runs: {status}"
+            )
+        for verdict in self.failing():
+            lines.append(
+                f"  FAIL {verdict.path} workload={verdict.workload} "
+                f"seed={verdict.seed}: {len(verdict.mismatches)} "
+                f"mismatches, {len(verdict.violations)} violations"
+            )
+            for mismatch in verdict.mismatches[:5]:
+                lines.append(f"    diff {mismatch}")
+            for violation in verdict.violations[:5]:
+                lines.append(f"    inv  {violation}")
+        return lines
+
+
+def run_campaign(
+    paths: Sequence[str] = DEFAULT_PATHS,
+    workloads: Optional[Sequence[str]] = None,
+    seeds: int = 1,
+    base_seed: int = 3,
+    n_rounds: int = DEFAULT_VERIFY_ROUNDS,
+    workdir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Run the full differential + invariant campaign.
+
+    Args:
+        paths: differential pairs to exercise (keys of
+            :data:`~repro.verify.differential.PATHS`).
+        workloads: paper workload names (default: all four).
+        seeds: how many consecutive seeds, starting at ``base_seed``.
+        base_seed: first seed of the campaign.
+        n_rounds: rounds per simulation.
+        workdir: scratch directory for resume manifests (default: a
+            temporary directory per cell).
+        progress: optional sink for one line per completed cell.
+    """
+    unknown = [p for p in paths if p not in PATHS]
+    if unknown:
+        raise ValueError(
+            f"unknown verification paths {unknown}; "
+            f"available: {sorted(PATHS)}"
+        )
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    names = list(workloads) if workloads is not None else sorted(PAPER_WORKLOADS)
+
+    report = CampaignReport(base_seed=base_seed, n_rounds=n_rounds)
+    # Outside an observe() session the ambient registry is None; a
+    # private one keeps the verify_* bookkeeping alive either way.
+    registry = active_registry() or MetricsRegistry()
+    recorder = active_recorder()
+    cells = registry.counter("verify_cells_total")
+    runs = registry.counter("verify_runs_total")
+    for seed_index in range(seeds):
+        seed = base_seed + seed_index
+        for workload in names:
+            for path in paths:
+                cell_workdir = (
+                    Path(workdir) / f"{path}-{workload}-s{seed}"
+                    if workdir is not None
+                    else None
+                )
+                verdict = PATHS[path](
+                    workload,
+                    seed,
+                    n_rounds,
+                    workdir=cell_workdir,
+                    recorder=recorder,
+                    metrics=registry,
+                )
+                report.verdicts.append(verdict)
+                cells.inc()
+                runs.inc(verdict.runs)
+                registry.counter(
+                    "verify_mismatches_total", path=path
+                ).inc(len(verdict.mismatches))
+                if verdict.mismatches and recorder.enabled:
+                    recorder.emit(
+                        KIND_VERIFY_MISMATCH,
+                        path=path,
+                        workload=workload,
+                        seed=seed,
+                        n_mismatches=len(verdict.mismatches),
+                        first=[str(m) for m in verdict.mismatches[:3]],
+                    )
+                if progress is not None:
+                    status = (
+                        "ok"
+                        if verdict.ok
+                        else (
+                            f"{len(verdict.mismatches)} mismatches, "
+                            f"{len(verdict.violations)} violations"
+                        )
+                    )
+                    progress(
+                        f"verify {path} workload={workload} seed={seed}: "
+                        f"{status}"
+                    )
+    return report

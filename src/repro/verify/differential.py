@@ -1,0 +1,349 @@
+"""Paired-path differential runners.
+
+The repository deliberately keeps two implementations of several hot
+paths -- a scalar reference and a batched/parallel/resumable
+counterpart -- with the contract that they are *observably identical*.
+Each function here drives one such pair through the same workload and
+configuration and diffs the complete canonical end state:
+
+* ``batched-walk``   -- engine with ``batched_pipeline`` on vs off
+  (vectorized cache walk + batched sample delivery vs the scalar
+  reference loop);
+* ``observe-many``   -- :meth:`ShMapTable.observe_many` vs the
+  sequential :meth:`ShMapTable.observe` loop, over an interleaved
+  multi-thread sample stream, uncapped and under a tight per-thread
+  filter grab cap (the in-batch latching races);
+* ``parallel-sweep`` -- :func:`run_tasks` through a process pool vs
+  inline execution;
+* ``resume``         -- a sweep resumed from a manifest's checkpoints vs
+  the fresh run that wrote them.
+
+Every runner also carries the invariant checker on its reference
+simulation, so a campaign exercises both verification legs at once.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..clustering.shmap import ShMapConfig, ShMapTable
+from ..experiments.common import PAPER_WORKLOADS, evaluation_config
+from ..experiments.parallel import SimTask, run_tasks
+from ..experiments.resilience import ExecutionPolicy, run_resilient
+from ..sched.placement import PlacementPolicy
+from ..sim.config import SimConfig
+from .digest import Mismatch, diff_states, result_state, table_state
+from .invariants import InvariantViolation, run_with_invariants
+
+
+@dataclass
+class PathRunReport:
+    """Outcome of one paired-path run on one (workload, seed) cell."""
+
+    path: str
+    workload: str
+    seed: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+    #: simulations (or table replays) executed for this cell
+    runs: int = 0
+    #: runner-specific context (clustering rounds seen, samples fed...)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "workload": self.workload,
+            "seed": self.seed,
+            "ok": self.ok,
+            "runs": self.runs,
+            "mismatches": [
+                {"path": m.path, "left": m.left, "right": m.right}
+                for m in self.mismatches
+            ],
+            "violations": [
+                {
+                    "invariant": v.invariant,
+                    "cycle": v.cycle,
+                    "detail": v.detail,
+                }
+                for v in self.violations
+            ],
+            "detail": self.detail,
+        }
+
+
+def _base_config(seed: int, n_rounds: int) -> SimConfig:
+    return evaluation_config(
+        PlacementPolicy.CLUSTERED, n_rounds=n_rounds, seed=seed
+    )
+
+
+def _factory(workload: str) -> Callable:
+    try:
+        return PAPER_WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{sorted(PAPER_WORKLOADS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+def run_batched_walk(
+    workload: str,
+    seed: int,
+    n_rounds: int,
+    workdir: Optional[Path] = None,
+    recorder=None,
+    metrics=None,
+) -> PathRunReport:
+    """Batched cache walk + sample delivery vs the scalar reference."""
+    factory = _factory(workload)
+    report = PathRunReport("batched-walk", workload, seed)
+    config = _base_config(seed, n_rounds)
+    batched, report.violations = run_with_invariants(
+        factory(),
+        replace(config, batched_pipeline=True),
+        recorder=recorder,
+        metrics=metrics,
+    )
+    scalar, scalar_violations = run_with_invariants(
+        factory(),
+        replace(config, batched_pipeline=False),
+        recorder=recorder,
+        metrics=metrics,
+    )
+    report.violations = report.violations + scalar_violations
+    report.runs = 2
+    report.mismatches = diff_states(
+        result_state(scalar), result_state(batched)
+    )
+    report.detail = {
+        "clustering_rounds": len(batched.clustering_events),
+        "samples_delivered": (
+            batched.capture_stats.samples_delivered
+            if batched.capture_stats
+            else 0
+        ),
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+def _sample_stream(workload: str, seed: int, n_batches: int = 6):
+    """A deterministic, thread-interleaved (tids, addresses) stream.
+
+    Drawn from the real workload's reference generator so the region
+    collision structure matches what the capture engine would deliver,
+    then permuted so consecutive samples hop between threads -- the
+    ordering that stresses in-batch filter latching.
+    """
+    model = _factory(workload)()
+    rng = np.random.default_rng([seed, 0x7E51F1ED])
+    tids: List[int] = []
+    addresses: List[int] = []
+    for _ in range(n_batches):
+        for thread in model.threads:
+            batch = model.generate_batch(thread, rng, 64)
+            tids.extend([thread.tid] * len(batch.addresses))
+            addresses.extend(int(a) for a in batch.addresses)
+    order = rng.permutation(len(tids))
+    return (
+        [tids[i] for i in order],
+        [addresses[i] for i in order],
+        rng,
+    )
+
+
+def _chunk_sizes(rng, total: int) -> List[int]:
+    """Varied chunk sizes covering 1-sample and multi-hundred batches."""
+    sizes: List[int] = []
+    remaining = total
+    while remaining > 0:
+        size = int(rng.choice([1, 2, 3, 7, 16, 33, 64, 128, 257]))
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def run_observe_many(
+    workload: str,
+    seed: int,
+    n_rounds: int,
+    workdir: Optional[Path] = None,
+    recorder=None,
+    metrics=None,
+) -> PathRunReport:
+    """``observe_many`` vs sequential ``observe`` on one sample stream.
+
+    Replayed twice: once with the evaluation shMap configuration, and
+    once with a deliberately tiny filter and per-thread grab cap so the
+    batch spans filter exhaustion and cap-enforced rejections -- the
+    regime where a vectorized walk is most tempted to diverge from the
+    sample-at-a-time semantics.
+    """
+    report = PathRunReport("observe-many", workload, seed)
+    tids, addresses, rng = _sample_stream(workload, seed)
+    base = _base_config(seed, n_rounds)
+    starved = ShMapConfig(
+        n_entries=32,
+        counter_max=base.shmap_config.counter_max,
+        region_bytes=base.shmap_config.region_bytes,
+        max_filter_entries_per_thread=2,
+    )
+    for variant, shmap_config in (
+        ("evaluation", base.shmap_config),
+        ("starvation-cap", starved),
+    ):
+        sequential = ShMapTable(shmap_config)
+        for tid, address in zip(tids, addresses):
+            sequential.observe(tid, address)
+        batched = ShMapTable(shmap_config)
+        cursor = 0
+        for size in _chunk_sizes(rng, len(tids)):
+            batched.observe_many(
+                tids[cursor : cursor + size],
+                addresses[cursor : cursor + size],
+            )
+            cursor += size
+        report.runs += 2
+        for mismatch in diff_states(
+            table_state(sequential), table_state(batched)
+        ):
+            report.mismatches.append(
+                Mismatch(
+                    f"{variant}.{mismatch.path}",
+                    mismatch.left,
+                    mismatch.right,
+                )
+            )
+    report.detail = {"samples": len(tids)}
+    return report
+
+
+# ----------------------------------------------------------------------
+def _sweep_tasks(workload: str, seed: int, n_rounds: int) -> List[SimTask]:
+    factory = _factory(workload)
+    return [
+        SimTask(
+            label=f"verify/{workload}/{policy.value}",
+            workload_factory=factory,
+            config=evaluation_config(policy, n_rounds=n_rounds, seed=seed),
+        )
+        for policy in (
+            PlacementPolicy.DEFAULT_LINUX,
+            PlacementPolicy.CLUSTERED,
+        )
+    ]
+
+
+def _diff_result_lists(
+    labels: List[str], left: List, right: List
+) -> List[Mismatch]:
+    mismatches: List[Mismatch] = []
+    for label, a, b in zip(labels, left, right):
+        if a is None or b is None:
+            mismatches.append(
+                Mismatch(
+                    f"{label}.present",
+                    str(a is not None),
+                    str(b is not None),
+                )
+            )
+            continue
+        for mismatch in diff_states(result_state(a), result_state(b)):
+            mismatches.append(
+                Mismatch(f"{label}.{mismatch.path}", mismatch.left, mismatch.right)
+            )
+    return mismatches
+
+
+def run_parallel_sweep(
+    workload: str,
+    seed: int,
+    n_rounds: int,
+    workdir: Optional[Path] = None,
+    recorder=None,
+    metrics=None,
+) -> PathRunReport:
+    """Process-pool sweep vs inline sequential execution."""
+    report = PathRunReport("parallel-sweep", workload, seed)
+    tasks = _sweep_tasks(workload, seed, n_rounds)
+    labels = [task.label for task in tasks]
+    sequential = run_tasks(tasks, jobs=1)
+    pooled = run_tasks(tasks, jobs=2)
+    report.runs = len(tasks) * 2
+    report.mismatches = _diff_result_lists(labels, sequential, pooled)
+    report.detail = {"tasks": labels}
+    return report
+
+
+def run_resume(
+    workload: str,
+    seed: int,
+    n_rounds: int,
+    workdir: Optional[Path] = None,
+    recorder=None,
+    metrics=None,
+) -> PathRunReport:
+    """Manifest-resumed sweep vs the fresh run that checkpointed it."""
+    report = PathRunReport("resume", workload, seed)
+    tasks = _sweep_tasks(workload, seed, n_rounds)
+    labels = [task.label for task in tasks]
+
+    def _run(directory: Path) -> None:
+        manifest = directory / "verify-manifest.json"
+        fresh = run_resilient(
+            tasks,
+            jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest, resume=False),
+        )
+        resumed = run_resilient(
+            tasks,
+            jobs=1,
+            policy=ExecutionPolicy(manifest_path=manifest, resume=True),
+        )
+        report.runs = len(tasks)
+        report.detail = {
+            "tasks": labels,
+            "checkpoints_restored": resumed.resumed,
+        }
+        if resumed.resumed != len(tasks):
+            report.mismatches.append(
+                Mismatch(
+                    "resumed_count", str(len(tasks)), str(resumed.resumed)
+                )
+            )
+        report.mismatches.extend(
+            _diff_result_lists(labels, fresh.results, resumed.results)
+        )
+
+    if workdir is not None:
+        Path(workdir).mkdir(parents=True, exist_ok=True)
+        _run(Path(workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            _run(Path(tmp))
+    return report
+
+
+#: path name -> runner; the public catalogue of differential pairs
+PATHS: Dict[str, Callable[..., PathRunReport]] = {
+    "batched-walk": run_batched_walk,
+    "observe-many": run_observe_many,
+    "parallel-sweep": run_parallel_sweep,
+    "resume": run_resume,
+}
+
+DEFAULT_PATHS = tuple(PATHS)

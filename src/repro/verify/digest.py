@@ -1,0 +1,276 @@
+"""Canonical end-state extraction and structural diffing.
+
+Differential testing needs two things from a run: a *canonical state* --
+every observable outcome flattened into JSON-safe primitives, with
+incidental provenance (worker pids) stripped -- and a *structural diff*
+that names exactly where two states diverge instead of answering only
+yes/no.  A digest (SHA-256 over the canonical JSON) gives the cheap
+equality check; the diff gives the mismatch report a human can act on.
+
+The canonical form is intentionally exhaustive: stall breakdowns,
+per-cpu access counts, capture statistics, every clustering event's
+result *and* migration plan, detection log, timeline, per-thread
+summaries, the shMap matrix snapshot, metrics registry snapshot and
+workload stats.  Two execution paths that claim equivalence must agree
+on all of it bit for bit -- the simulation is deterministic, so there is
+no tolerance band to hide behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..clustering.shmap import ShMapTable
+from ..sim.results import SimResult
+
+#: fields stripped from canonical states: legitimate run provenance, but
+#: dependent on *which process* executed the run, not on its outcome
+PROVENANCE_FIELDS = ("worker_pid",)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One point of divergence between two canonical states.
+
+    ``path`` is a dotted/indexed locator into the canonical state
+    (``clustering_events[0].plan.target_cpu.17``); ``left``/``right``
+    are compact reprs of the diverging values.
+    """
+
+    path: str
+    left: str
+    right: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}: {self.left} != {self.right}"
+
+
+def _compact(value: Any, limit: int = 120) -> str:
+    text = repr(value)
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert to JSON-safe primitives (exact, not lossy)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def _breakdown_state(snapshot) -> Dict[str, Any]:
+    return {
+        "cycles_by_cause": snapshot.cycles_by_cause.tolist(),
+        "instructions": int(snapshot.instructions),
+    }
+
+
+def result_state(result: SimResult) -> Dict[str, Any]:
+    """The canonical, JSON-safe end state of one simulation run."""
+    capture = None
+    if result.capture_stats is not None:
+        stats = result.capture_stats
+        capture = {
+            "remote_accesses_seen": stats.remote_accesses_seen,
+            "l1_misses_seen": stats.l1_misses_seen,
+            "overflows": stats.overflows,
+            "samples_delivered": stats.samples_delivered,
+            "samples_remote": stats.samples_remote,
+            "overhead_cycles": stats.overhead_cycles,
+            "per_cpu_overhead": list(stats.per_cpu_overhead),
+        }
+    events = []
+    for event in result.clustering_events:
+        events.append(
+            {
+                "activated_at_cycle": event.activated_at_cycle,
+                "migrated_at_cycle": event.migrated_at_cycle,
+                "samples_used": event.samples_used,
+                "migrations_executed": event.migrations_executed,
+                "remote_stall_fraction_at_activation": (
+                    event.remote_stall_fraction_at_activation
+                ),
+                "result": {
+                    "clusters": [list(c) for c in event.result.clusters],
+                    "representatives": list(event.result.representatives),
+                    "assignment": _jsonify(event.result.assignment),
+                    "unclustered": list(event.result.unclustered),
+                    "comparisons": event.result.comparisons,
+                },
+                "plan": {
+                    "target_cpu": _jsonify(event.plan.target_cpu),
+                    "cluster_chip": _jsonify(event.plan.cluster_chip),
+                    "neutralized_clusters": list(
+                        event.plan.neutralized_clusters
+                    ),
+                },
+            }
+        )
+    state = {
+        "policy": result.config_policy,
+        "workload": result.workload_name,
+        "n_rounds": result.n_rounds,
+        "elapsed_cycles": float(result.elapsed_cycles),
+        "window_elapsed_cycles": float(result.window_elapsed_cycles),
+        "full_breakdown": _breakdown_state(result.full_breakdown),
+        "window_breakdown": _breakdown_state(result.window_breakdown),
+        "access_counts": result.access_counts.tolist(),
+        "capture": capture,
+        "clustering_events": events,
+        "detection_log": [
+            {
+                "start_cycle": r.start_cycle,
+                "end_cycle": r.end_cycle,
+                "samples": r.samples,
+                "completed": r.completed,
+                "actionable": r.actionable,
+            }
+            for r in result.detection_log
+        ],
+        "timeline": [
+            {
+                "round_index": p.round_index,
+                "mean_cycle": p.mean_cycle,
+                "remote_stall_fraction": p.remote_stall_fraction,
+                "ipc": p.ipc,
+                "controller_phase": p.controller_phase,
+            }
+            for p in result.timeline
+        ],
+        "threads": [
+            {
+                "tid": t.tid,
+                "name": t.name,
+                "sharing_group": t.sharing_group,
+                "detected_cluster": t.detected_cluster,
+                "final_cpu": t.final_cpu,
+                "final_chip": t.final_chip,
+                "migrations": t.migrations,
+                "cross_chip_migrations": t.cross_chip_migrations,
+                "instructions": t.instructions,
+                "cycles": t.cycles,
+            }
+            for t in result.thread_summaries
+        ],
+        "shmap_matrix": (
+            result.shmap_matrix.tolist()
+            if result.shmap_matrix is not None
+            else None
+        ),
+        "shmap_tids": list(result.shmap_tids),
+        "sampling_overhead_cycles": result.sampling_overhead_cycles,
+        "metrics": _jsonify(result.metrics),
+        "workload_stats": _jsonify(result.workload_stats),
+        "task_seed": result.task_seed,
+    }
+    return state
+
+
+def table_state(table: ShMapTable) -> Dict[str, Any]:
+    """The canonical state of one shMap table: filter, signatures,
+    accounting -- everything :meth:`~repro.clustering.shmap.ShMapTable.
+    observe_many` promises to keep identical to the sequential walk."""
+    shmap_filter = table.filter
+    return {
+        "config": {
+            "n_entries": table.config.n_entries,
+            "counter_max": table.config.counter_max,
+            "region_bytes": table.config.region_bytes,
+            "max_filter_entries_per_thread": (
+                table.config.max_filter_entries_per_thread
+            ),
+        },
+        "total_samples": table.total_samples,
+        "admitted": shmap_filter.admitted,
+        "rejected": shmap_filter.rejected,
+        "filter_entries": [
+            shmap_filter.region_at(entry)
+            for entry in range(table.config.n_entries)
+        ],
+        "grabs": {
+            str(tid): shmap_filter.grabs_of(tid) for tid in sorted(table.tids())
+        },
+        "shmaps": {
+            str(tid): {
+                "counters": table.shmap_of(tid).as_array().tolist(),
+                "samples_recorded": table.shmap_of(tid).samples_recorded,
+            }
+            for tid in table.tids()
+        },
+    }
+
+
+def state_digest(state: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of a state."""
+    canonical = json.dumps(_jsonify(state), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def diff_states(
+    left: Any, right: Any, path: str = "", limit: int = 1000
+) -> List[Mismatch]:
+    """Structural diff of two canonical states.
+
+    Walks dicts by key union and sequences by index, reporting every
+    leaf where the two sides differ (exact comparison -- both paths of a
+    differential pair are deterministic).  ``limit`` bounds the report
+    size for pathologically divergent states.
+    """
+    mismatches: List[Mismatch] = []
+    _diff_into(_jsonify(left), _jsonify(right), path, mismatches, limit)
+    return mismatches
+
+
+def _diff_into(
+    left: Any,
+    right: Any,
+    path: str,
+    out: List[Mismatch],
+    limit: int,
+) -> None:
+    if len(out) >= limit:
+        return
+    if isinstance(left, dict) and isinstance(right, dict):
+        for key in sorted(set(left) | set(right), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in left:
+                out.append(Mismatch(sub, "<absent>", _compact(right[key])))
+            elif key not in right:
+                out.append(Mismatch(sub, _compact(left[key]), "<absent>"))
+            else:
+                _diff_into(left[key], right[key], sub, out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if isinstance(left, list) and isinstance(right, list):
+        if len(left) != len(right):
+            out.append(
+                Mismatch(
+                    f"{path}.length" if path else "length",
+                    str(len(left)),
+                    str(len(right)),
+                )
+            )
+        for index in range(min(len(left), len(right))):
+            _diff_into(
+                left[index], right[index], f"{path}[{index}]", out, limit
+            )
+            if len(out) >= limit:
+                return
+        return
+    if left != right:
+        out.append(Mismatch(path or "<root>", _compact(left), _compact(right)))

@@ -1,0 +1,323 @@
+"""Runtime invariant checking for the clustering pipeline.
+
+Differential testing catches paths that disagree with each other; it
+cannot catch both paths being wrong the same way.  The second leg of the
+verification subsystem therefore checks *declared invariants* -- facts
+that must hold at every controller round regardless of which execution
+path produced the state:
+
+* **plan coverage** -- a migration plan covers every live (non-finished)
+  thread exactly once, and every target cpu exists on the machine;
+* **load cap** -- the per-chip loads implied by the plan stay within the
+  planner's ``load_cap`` (``ceil(even_share) + tolerance * even_share``);
+* **filter immutability** -- a latched shMap filter entry never changes
+  region until the filter is reset ("Once an entry in shMap_filter is
+  marked by a thread, it is not changed until the filter is cleared");
+* **counter bounds** -- saturating shMap counters stay within
+  ``[0, counter_max]``;
+* **sample accounting** -- ``admitted + rejected == total_samples`` per
+  table, and the per-thread ``samples_recorded`` sum to ``admitted``.
+
+:class:`InvariantChecker` attaches to a live :class:`~repro.sim.engine.
+Simulator`: it wraps ``controller.on_tick`` so plan invariants are
+checked on the exact :class:`~repro.clustering.controller.
+ClusteringEvent` the round produced (the engine's ``round_callback``
+runs *before* the round's ``on_tick``, so a callback alone would never
+see the final round's plan), and doubles as a round callback for the
+per-round shMap checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import KIND_VERIFY_INVARIANT, MetricsRegistry, NULL_RECORDER
+from ..sched.thread import ThreadState
+from ..sim.engine import Simulator
+from ..sim.results import SimResult
+
+#: the declared invariants, by the name violations are reported under
+INVARIANTS = (
+    "plan_coverage",
+    "plan_load_cap",
+    "filter_immutable",
+    "counter_bounds",
+    "sample_accounting",
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant failure, with enough context to reproduce it."""
+
+    invariant: str
+    cycle: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant} @ {self.cycle}] {self.detail}"
+
+
+class InvariantChecker:
+    """Checks the declared invariants against a running simulator.
+
+    Usage::
+
+        sim = Simulator(workload, config)
+        checker = InvariantChecker()
+        callback = checker.attach(sim)
+        result = sim.run(round_callback=callback)
+        checker.finish()
+        assert not checker.violations
+    """
+
+    def __init__(
+        self,
+        recorder=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.violations: List[InvariantViolation] = []
+        self.checks = 0  #: individual invariant evaluations performed
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._simulator: Optional[Simulator] = None
+        #: process id -> (total_samples watermark, entry -> latched region)
+        self._filter_snapshots: Dict[int, Tuple[int, Dict[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, simulator: Simulator):
+        """Hook into ``simulator`` and return its round callback.
+
+        Wraps ``controller.on_tick`` (when the policy runs a controller)
+        so every completed round's migration plan is checked at plan
+        time; the returned callable performs the per-round shMap checks
+        and must be passed to :meth:`Simulator.run` as
+        ``round_callback``.
+        """
+        self._simulator = simulator
+        controller = simulator.controller
+        if controller is not None:
+            inner_on_tick = controller.on_tick
+
+            def checked_on_tick(now_cycle: int):
+                event = inner_on_tick(now_cycle)
+                if event is not None:
+                    self._check_plan(event, int(now_cycle))
+                return event
+
+            controller.on_tick = checked_on_tick  # type: ignore[method-assign]
+
+        def round_callback(round_index: int, sim: Simulator) -> None:
+            self._check_shmap_state(int(sim.mean_cycle))
+
+        return round_callback
+
+    def finish(self) -> None:
+        """Run one final state check after :meth:`Simulator.run` returns.
+
+        The engine calls ``controller.on_tick`` *after* the round
+        callback each round, so the state left by the last tick is only
+        covered by this final pass.
+        """
+        if self._simulator is not None:
+            self._check_shmap_state(int(self._simulator.mean_cycle))
+
+    # ------------------------------------------------------------------
+    def _report(self, invariant: str, cycle: int, detail: str) -> None:
+        violation = InvariantViolation(invariant, cycle, detail)
+        self.violations.append(violation)
+        self._metrics.counter(
+            "verify_invariant_violations_total", invariant=invariant
+        ).inc()
+        if self._recorder.enabled:
+            self._recorder.emit(
+                KIND_VERIFY_INVARIANT,
+                cycle=cycle,
+                invariant=invariant,
+                detail=detail,
+            )
+
+    # ------------------------------------------------------------------
+    def _check_plan(self, event, cycle: int) -> None:
+        """Plan coverage and load-cap invariants, on a fresh event."""
+        simulator = self._simulator
+        assert simulator is not None
+        plan = event.plan
+        machine = simulator.machine
+        n_cpus = machine.n_cpus
+
+        self.checks += 1
+        live = {
+            thread.tid
+            for thread in simulator.scheduler.threads
+            if thread.state is not ThreadState.FINISHED
+        }
+        planned = set(plan.target_cpu)
+        missing = sorted(live - planned)
+        if missing:
+            self._report(
+                "plan_coverage",
+                cycle,
+                f"plan omits live tids {missing[:10]} "
+                f"({len(missing)} missing of {len(live)} live)",
+            )
+        phantom = sorted(planned - live)
+        if phantom:
+            self._report(
+                "plan_coverage",
+                cycle,
+                f"plan places non-live tids {phantom[:10]}",
+            )
+        bad_cpus = {
+            tid: cpu
+            for tid, cpu in plan.target_cpu.items()
+            if not 0 <= cpu < n_cpus
+        }
+        if bad_cpus:
+            self._report(
+                "plan_coverage",
+                cycle,
+                f"plan targets nonexistent cpus: {bad_cpus}",
+            )
+
+        self.checks += 1
+        total = len(plan.target_cpu)
+        if total:
+            even_share = total / machine.n_chips
+            tolerance = simulator.controller.planner.imbalance_tolerance
+            load_cap = math.ceil(even_share) + tolerance * even_share
+            # Recomputed from valid targets only, so a plan that already
+            # failed the cpu-validity check above cannot crash this one.
+            loads: Dict[int, int] = {
+                chip: 0 for chip in range(machine.n_chips)
+            }
+            for cpu in plan.target_cpu.values():
+                if 0 <= cpu < n_cpus:
+                    loads[machine.chip_of(cpu)] += 1
+            for chip, load in sorted(loads.items()):
+                if load > load_cap:
+                    self._report(
+                        "plan_load_cap",
+                        cycle,
+                        f"chip {chip} load {load} exceeds cap "
+                        f"{load_cap:.2f} (total={total}, "
+                        f"tolerance={tolerance})",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_shmap_state(self, cycle: int) -> None:
+        """Filter immutability, counter bounds, sample accounting."""
+        simulator = self._simulator
+        assert simulator is not None
+        controller = simulator.controller
+        if controller is None:
+            return
+        for process_id, table in sorted(
+            controller.shmap_registry._tables.items()
+        ):
+            self._check_table(process_id, table, cycle)
+
+    def _check_table(self, process_id: int, table, cycle: int) -> None:
+        config = table.config
+        shmap_filter = table.filter
+
+        # Filter immutability: entries latched at the last observation
+        # must hold the same region now, unless the filter was reset in
+        # between (detected by the total-samples watermark going
+        # backwards -- reset() zeroes it).
+        self.checks += 1
+        watermark, latched = self._filter_snapshots.get(
+            process_id, (0, {})
+        )
+        if table.total_samples < watermark:
+            latched = {}
+        current = {
+            entry: shmap_filter.region_at(entry)
+            for entry in range(config.n_entries)
+            if shmap_filter.region_at(entry) is not None
+        }
+        for entry, region in latched.items():
+            now_region = current.get(entry)
+            if now_region != region:
+                self._report(
+                    "filter_immutable",
+                    cycle,
+                    f"process {process_id} filter entry {entry} changed "
+                    f"from region {region} to {now_region} without reset",
+                )
+        self._filter_snapshots[process_id] = (table.total_samples, current)
+
+        # Saturating counter bounds.
+        self.checks += 1
+        for tid in table.tids():
+            counters = table.shmap_of(tid).as_array()
+            if counters.size == 0:
+                continue
+            low = int(counters.min())
+            high = int(counters.max())
+            if low < 0 or high > config.counter_max:
+                self._report(
+                    "counter_bounds",
+                    cycle,
+                    f"process {process_id} tid {tid} counters outside "
+                    f"[0, {config.counter_max}]: min={low} max={high}",
+                )
+
+        # Sample accounting: every filtered sample is either admitted or
+        # rejected, and the admitted ones all land in some thread's map.
+        self.checks += 1
+        admitted = shmap_filter.admitted
+        rejected = shmap_filter.rejected
+        if admitted + rejected != table.total_samples:
+            self._report(
+                "sample_accounting",
+                cycle,
+                f"process {process_id}: admitted({admitted}) + "
+                f"rejected({rejected}) != total_samples"
+                f"({table.total_samples})",
+            )
+        recorded = sum(
+            table.shmap_of(tid).samples_recorded for tid in table.tids()
+        )
+        if recorded != admitted:
+            self._report(
+                "sample_accounting",
+                cycle,
+                f"process {process_id}: sum(samples_recorded)={recorded} "
+                f"!= admitted({admitted})",
+            )
+
+
+def run_with_invariants(
+    workload,
+    config,
+    recorder=None,
+    metrics: Optional[MetricsRegistry] = None,
+    round_callback=None,
+) -> Tuple[SimResult, List[InvariantViolation]]:
+    """Run one simulation with the invariant checker attached.
+
+    Returns the result together with every violation observed.  An
+    additional ``round_callback`` is chained after the checker's own.
+
+    ``metrics`` receives only the checker's ``verify_*`` series.  The
+    simulator always gets its own per-run registry (the engine merges it
+    into the ambient session): sharing one registry across the paired
+    runs of a differential would leak the first run's counts into the
+    second run's ``SimResult.metrics`` snapshot and fail the diff on
+    bookkeeping rather than behaviour.
+    """
+    simulator = Simulator(workload, config, recorder=recorder)
+    checker = InvariantChecker(recorder=recorder, metrics=metrics)
+    check_round = checker.attach(simulator)
+
+    def combined(round_index: int, sim: Simulator) -> None:
+        check_round(round_index, sim)
+        if round_callback is not None:
+            round_callback(round_index, sim)
+
+    result = simulator.run(round_callback=combined)
+    checker.finish()
+    return result, checker.violations

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.obs",
+    "repro.verify",
 ]
 
 

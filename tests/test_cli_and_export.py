@@ -71,9 +71,13 @@ class TestCliParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["fig3"])
-        assert args.rounds == 450
+        # None at parse time: main() resolves 450 for experiments and
+        # the shorter verify default for the verification campaign.
+        assert args.rounds is None
         assert args.seed == 3
         assert args.out is None
+        assert args.seeds == 1
+        assert args.paths is None
 
 
 class TestCliExecution:

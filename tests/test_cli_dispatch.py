@@ -128,3 +128,56 @@ class TestStubbedDispatch:
         config_path.write_text(json.dumps({"not_a_field": 1}))
         with pytest.raises(KeyError):
             cli.main(["churn", "--config", str(config_path)])
+
+
+class TestVerifyDispatch:
+    def _stub_report(self, ok=True):
+        from repro.verify import CampaignReport
+        from repro.verify.differential import PathRunReport
+        from repro.verify.digest import Mismatch
+
+        verdict = PathRunReport("observe-many", "microbenchmark", 3, runs=2)
+        if not ok:
+            verdict.mismatches.append(Mismatch("x", "1", "2"))
+        return CampaignReport(verdicts=[verdict], base_seed=3)
+
+    def test_verify_command_writes_json(self, monkeypatch, out_dir, capsys):
+        captured = {}
+
+        def fake(**kwargs):
+            captured.update(kwargs)
+            return self._stub_report(ok=True)
+
+        monkeypatch.setattr("repro.verify.run_campaign", fake)
+        assert cli.main(
+            ["verify", "--paths", "observe-many", "--seeds", "2",
+             "--workload", "microbenchmark", "--out", str(out_dir)]
+        ) == 0
+        assert captured["seeds"] == 2
+        assert captured["paths"] == ("observe-many",)
+        assert captured["workloads"] == ["microbenchmark"]
+        # verify defaults to the short campaign round count.
+        assert captured["n_rounds"] == 150
+        data = json.loads((out_dir / "verify.json").read_text())
+        assert data["ok"] is True
+        assert "0 mismatches" in capsys.readouterr().out
+
+    def test_verify_failure_returns_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.verify.run_campaign",
+            lambda **kw: self._stub_report(ok=False),
+        )
+        assert cli.main(["verify", "--paths", "observe-many"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_path_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.main(["verify", "--paths", "no-such-path"])
+
+    def test_zero_seeds_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.main(["verify", "--seeds", "0"])
+
+    def test_verify_is_dispatchable_and_described(self):
+        assert "verify" in cli._DISPATCH
+        assert "verify" in cli._RUNNERS

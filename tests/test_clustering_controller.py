@@ -259,6 +259,81 @@ class TestIterationAndBackoff:
         assert controller._effective_cooldown == 1_000
 
 
+class TestControllerConfigValidation:
+    def test_defaults_are_valid(self):
+        ControllerConfig()
+
+    def test_min_period_above_max_period_rejected(self):
+        """min_period > max_period would make the clamp in
+        _adapt_sampling_period emit periods below the overhead bound."""
+        with pytest.raises(ValueError, match="min_period"):
+            ControllerConfig(min_period=10, max_period=5)
+
+    def test_max_period_zero_means_unset(self):
+        ControllerConfig(min_period=10, max_period=0)
+
+    def test_equal_min_and_max_period_allowed(self):
+        ControllerConfig(min_period=7, max_period=7)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(activation_threshold=-0.1),
+            dict(activation_threshold=1.5),
+            dict(monitor_window_cycles=0),
+            dict(monitor_window_cycles=-1000),
+            dict(samples_needed=-1),
+            dict(detection_timeout_cycles=0),
+            dict(min_samples_on_timeout=-5),
+            dict(migration_cooldown_cycles=-1),
+            dict(detection_target_cycles=0),
+            dict(min_period=0),
+            dict(max_period=-1),
+            dict(min_actionable_cluster_size=0),
+            dict(futile_backoff_factor=0.5),
+            dict(migration_cooldown_cycles=10**9, max_cooldown_cycles=10),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ControllerConfig(**kwargs)
+
+
+class TestProcessCachePruning:
+    def test_finished_tids_pruned_on_refresh(self):
+        """Regression: churn workloads retire tids for the life of the
+        run; a cache refresh must not re-admit every dead tid or the
+        map grows without bound."""
+        from repro.sched.thread import ThreadState
+
+        controller, _, _, _, threads = make_rig()
+        assert (
+            controller._process_of_tid(threads[0].tid)
+            == threads[0].process_id
+        )
+        threads[1].state = ThreadState.FINISHED
+        # A miss on an unknown tid forces a full rebuild.
+        controller._process_of_tid(10**6)
+        assert threads[1].tid not in controller._process_of
+        assert threads[0].tid in controller._process_of
+
+    def test_sample_from_finished_thread_still_attributed(self):
+        """A sample delivered just before its thread exited is still
+        attributed to the right process -- without caching the dead
+        tid."""
+        from repro.sched.thread import ThreadState
+
+        controller, _, _, _, threads = make_rig()
+        threads[2].process_id = 3
+        threads[2].state = ThreadState.FINISHED
+        assert controller._process_of_tid(threads[2].tid) == 3
+        assert threads[2].tid not in controller._process_of
+
+    def test_unknown_tid_falls_back_to_process_zero(self):
+        controller, *_ = make_rig()
+        assert controller._process_of_tid(10**6) == 0
+
+
 class TestAdaptiveSampling:
     def test_period_adapts_to_remote_rate(self):
         remote_count = [0]

@@ -97,6 +97,58 @@ class TestLoadBalance:
             make_planner(tolerance=-1)
 
 
+class TestUnclusteredStayHome:
+    def test_stays_on_home_chip_when_loads_are_balanced(self):
+        """With both chips equally loaded, an unclustered thread keeps
+        its current chip instead of being pulled to the lowest index."""
+        planner = make_planner()
+        plan = planner.plan(
+            [[0], [1]], unclustered=[2], current_chip={0: 0, 1: 1, 2: 1}
+        )
+        # Without the stay-home rule the tie-break would pick chip 0.
+        assert planner.machine.chip_of(plan.target_cpu[2]) == 1
+
+    def test_leaves_home_chip_more_than_one_above_minimum(self):
+        """Home under the cap is not enough: a thread whose home chip is
+        two or more threads above the lightest chip must move there,
+        otherwise the 'balance out remaining differences' step leaves a
+        residual imbalance."""
+        planner = make_planner(tolerance=1.0)
+        # Cluster [0, 1] lands on chip 0 (load 2); chip 1 is empty.  The
+        # cap is 3.5, so a home-under-cap rule alone would keep tid 2 on
+        # chip 0 at home_load 2 vs min_load 0.
+        plan = planner.plan(
+            [[0, 1]], unclustered=[2], current_chip={0: 0, 1: 0, 2: 0}
+        )
+        assert planner.machine.chip_of(plan.target_cpu[2]) == 1
+
+    def test_stays_within_one_thread_of_minimum(self):
+        planner = make_planner(tolerance=1.0)
+        # Chips at loads 1 and 0 after the singleton cluster: home chip 0
+        # is exactly one above the minimum, so tid 2 may stay put.
+        plan = planner.plan(
+            [[0]], unclustered=[2], current_chip={0: 0, 2: 0}
+        )
+        assert planner.machine.chip_of(plan.target_cpu[2]) == 0
+
+    def test_full_home_chip_forces_move(self):
+        planner = make_planner(tolerance=0.0)
+        # Cap is ceil(2) = 2 with zero tolerance; home chip 0 already
+        # holds the cluster [0, 1], so tid 2 cannot stay regardless of
+        # the balance term.
+        plan = planner.plan(
+            [[0, 1]], unclustered=[2, 3],
+            current_chip={0: 0, 1: 0, 2: 0, 3: 1},
+        )
+        assert planner.machine.chip_of(plan.target_cpu[2]) == 1
+
+    def test_no_current_chip_behaves_as_before(self):
+        planner = make_planner()
+        plan = planner.plan([[0, 1]], unclustered=[2, 3])
+        loads = plan.chip_loads(planner.machine)
+        assert abs(loads[0] - loads[1]) <= 1
+
+
 class TestLargerMachines:
     def test_eight_chips_eight_clusters(self):
         machine = build_machine(8, 2, 2)

@@ -57,6 +57,26 @@ class TestJobResolution:
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert default_jobs() == (os.cpu_count() or 1)
 
+    def test_env_var_non_integer_names_the_variable(self, monkeypatch):
+        """A typo'd REPRO_JOBS must fail with a message that names the
+        environment variable, not a bare int() traceback."""
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        with pytest.raises(ValueError, match=r"REPRO_JOBS.*'abc'"):
+            default_jobs()
+
+    def test_env_var_negative_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ValueError, match=r"REPRO_JOBS.*-2"):
+            default_jobs()
+
+    def test_env_var_whitespace_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "  3  ")
+        assert default_jobs() == 3
+
+    def test_env_var_empty_means_sequential(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert default_jobs() == 1
+
 
 class TestRunTasks:
     def test_empty_task_list(self):

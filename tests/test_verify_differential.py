@@ -1,0 +1,159 @@
+"""Tests for the paired-path differential runners and the campaign.
+
+Includes the batch/sequential equivalence coverage for
+``ShMapTable.observe_many`` under the per-thread starvation cap
+(``max_filter_entries_per_thread``), driven through the differential
+harness: interleaved multi-thread streams where filter latching inside
+one batch decides which later samples are admitted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.shmap import ShMapConfig, ShMapTable
+from repro.verify import (
+    CampaignReport,
+    DEFAULT_PATHS,
+    PATHS,
+    diff_states,
+    run_batched_walk,
+    run_campaign,
+    run_observe_many,
+    run_parallel_sweep,
+    run_resume,
+    table_state,
+)
+
+
+class TestPathCatalogue:
+    def test_all_four_paths_registered(self):
+        assert set(DEFAULT_PATHS) == {
+            "batched-walk",
+            "observe-many",
+            "parallel-sweep",
+            "resume",
+        }
+        assert set(PATHS) == set(DEFAULT_PATHS)
+
+
+class TestObserveManyPath:
+    def test_harness_reports_clean(self):
+        report = run_observe_many("microbenchmark", seed=11, n_rounds=60)
+        assert report.ok
+        assert report.runs == 4  # evaluation + starvation-cap variants
+        assert report.detail["samples"] > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_observe_many("nope", seed=1, n_rounds=60)
+
+
+def _interleaved_stream(seed, n_threads=6, n_regions=10, n_samples=400):
+    """Threads racing for the same few regions, shuffled together."""
+    rng = np.random.default_rng(seed)
+    tids = rng.integers(1, n_threads + 1, size=n_samples)
+    regions = rng.integers(0, n_regions, size=n_samples)
+    addresses = regions * 128 + rng.integers(0, 128, size=n_samples)
+    return [int(t) for t in tids], [int(a) for a in addresses]
+
+
+class TestObserveManyStarvationCap:
+    """Satellite coverage: batch/sequential equivalence when the grab
+    cap creates in-batch latching races."""
+
+    @pytest.mark.parametrize("cap", [1, 2, 4, 0])
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 400])
+    def test_batched_matches_sequential_under_cap(self, cap, chunk):
+        config = ShMapConfig(
+            n_entries=16, max_filter_entries_per_thread=cap
+        )
+        tids, addresses = _interleaved_stream(seed=cap * 101 + chunk)
+
+        sequential = ShMapTable(config)
+        for tid, address in zip(tids, addresses):
+            sequential.observe(tid, address)
+
+        batched = ShMapTable(config)
+        for start in range(0, len(tids), chunk):
+            batched.observe_many(
+                tids[start : start + chunk],
+                addresses[start : start + chunk],
+            )
+
+        assert (
+            diff_states(table_state(sequential), table_state(batched)) == []
+        )
+
+    def test_cap_actually_bites(self):
+        """The scenario must exercise rejections, or the equivalence
+        test above proves nothing about the cap path."""
+        config = ShMapConfig(n_entries=16, max_filter_entries_per_thread=1)
+        table = ShMapTable(config)
+        tids, addresses = _interleaved_stream(seed=5)
+        table.observe_many(tids, addresses)
+        assert table.filter.rejected > 0
+        assert any(
+            table.filter.grabs_of(tid) == 1 for tid in table.tids()
+        )
+
+
+class TestSimulationPaths:
+    def test_batched_walk_clean(self):
+        report = run_batched_walk("microbenchmark", seed=3, n_rounds=150)
+        assert report.ok
+        assert report.runs == 2
+        assert report.detail["clustering_rounds"] >= 1
+
+    def test_parallel_sweep_clean(self):
+        report = run_parallel_sweep("microbenchmark", seed=3, n_rounds=60)
+        assert report.ok
+        assert report.runs == 4
+
+    def test_resume_clean(self, tmp_path):
+        report = run_resume(
+            "microbenchmark", seed=3, n_rounds=60, workdir=tmp_path
+        )
+        assert report.ok
+        assert report.detail["checkpoints_restored"] == 2
+        assert (tmp_path / "verify-manifest.json").exists()
+
+
+class TestCampaign:
+    def test_small_campaign_reports_clean(self):
+        lines = []
+        report = run_campaign(
+            paths=("observe-many",),
+            workloads=["microbenchmark"],
+            seeds=2,
+            base_seed=7,
+            n_rounds=60,
+            progress=lines.append,
+        )
+        assert isinstance(report, CampaignReport)
+        assert report.ok
+        assert len(report.verdicts) == 2
+        assert {v.seed for v in report.verdicts} == {7, 8}
+        assert len(lines) == 2
+        data = report.to_dict()
+        assert data["ok"] is True
+        assert data["cells"] == 2
+        assert report.summary_lines()
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError, match="unknown verification paths"):
+            run_campaign(paths=("no-such-path",), seeds=1)
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            run_campaign(paths=("observe-many",), seeds=0)
+
+    def test_failing_verdict_fails_the_report(self):
+        report = run_campaign(
+            paths=("observe-many",),
+            workloads=["microbenchmark"],
+            seeds=1,
+            n_rounds=60,
+        )
+        report.verdicts[0].mismatches.append(object())
+        assert not report.ok
+        assert report.failing() == [report.verdicts[0]]

@@ -1,0 +1,142 @@
+"""Tests for canonical state extraction and diffing (repro.verify.digest)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.shmap import ShMapConfig, ShMapTable
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.sched.placement import PlacementPolicy
+from repro.sim.engine import run_simulation
+from repro.verify import diff_states, result_state, state_digest, table_state
+
+
+class TestDiffStates:
+    def test_equal_states_produce_no_mismatches(self):
+        state = {"a": 1, "b": [1, 2, {"c": 3.5}]}
+        assert diff_states(state, dict(state)) == []
+
+    def test_leaf_difference_names_the_path(self):
+        left = {"outer": {"inner": [10, 20]}}
+        right = {"outer": {"inner": [10, 21]}}
+        mismatches = diff_states(left, right)
+        assert len(mismatches) == 1
+        assert mismatches[0].path == "outer.inner[1]"
+        assert mismatches[0].left == "20"
+        assert mismatches[0].right == "21"
+
+    def test_missing_key_reported_as_absent(self):
+        mismatches = diff_states({"a": 1}, {"a": 1, "b": 2})
+        assert len(mismatches) == 1
+        assert mismatches[0].path == "b"
+        assert mismatches[0].left == "<absent>"
+
+    def test_list_length_difference(self):
+        mismatches = diff_states({"xs": [1, 2, 3]}, {"xs": [1, 2]})
+        paths = {m.path for m in mismatches}
+        assert "xs.length" in paths
+
+    def test_numpy_arrays_compare_by_value(self):
+        left = {"arr": np.arange(4)}
+        right = {"arr": [0, 1, 2, 3]}
+        assert diff_states(left, right) == []
+
+    def test_type_difference_is_a_mismatch(self):
+        assert diff_states({"a": 1}, {"a": "1"})
+
+    def test_limit_bounds_the_report(self):
+        left = {"xs": list(range(100))}
+        right = {"xs": [x + 1 for x in range(100)]}
+        assert len(diff_states(left, right, limit=10)) == 10
+
+
+class TestStateDigest:
+    def test_equal_states_equal_digests(self):
+        a = {"k": [1, 2], "m": {"x": 1.5}}
+        b = {"m": {"x": 1.5}, "k": [1, 2]}
+        assert state_digest(a) == state_digest(b)
+
+    def test_different_states_differ(self):
+        assert state_digest({"k": 1}) != state_digest({"k": 2})
+
+    def test_numpy_values_are_canonicalized(self):
+        a = {"n": np.int64(7), "f": np.float64(0.5), "v": np.array([1, 2])}
+        b = {"n": 7, "f": 0.5, "v": [1, 2]}
+        assert state_digest(a) == state_digest(b)
+
+
+class TestResultState:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=150, seed=3
+        )
+        return run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+
+    def test_state_is_json_safe_and_complete(self, result):
+        state = result_state(result)
+        for key in (
+            "full_breakdown",
+            "window_breakdown",
+            "access_counts",
+            "capture",
+            "clustering_events",
+            "detection_log",
+            "timeline",
+            "threads",
+            "shmap_matrix",
+            "metrics",
+            "workload_stats",
+        ):
+            assert key in state
+        # Digestible end-to-end (would raise on non-JSON leaves).
+        state_digest(state)
+
+    def test_provenance_excluded(self, result):
+        assert "worker_pid" not in result_state(result)
+
+    def test_identical_runs_identical_states(self, result):
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=150, seed=3
+        )
+        again = run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+        assert diff_states(result_state(result), result_state(again)) == []
+        assert state_digest(result_state(result)) == state_digest(
+            result_state(again)
+        )
+
+    def test_different_seed_different_state(self, result):
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=150, seed=4
+        )
+        other = run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+        assert diff_states(result_state(result), result_state(other))
+
+
+class TestTableState:
+    def _fed_table(self, config=None):
+        table = ShMapTable(config or ShMapConfig())
+        for tid in (1, 2, 3):
+            for region in range(8):
+                table.observe(tid, (region * 7 + tid) * 128)
+        return table
+
+    def test_captures_filter_and_signatures(self):
+        state = table_state(self._fed_table())
+        assert state["total_samples"] == 24
+        assert state["admitted"] + state["rejected"] == 24
+        assert set(state["shmaps"]) == {"1", "2", "3"}
+        assert any(r is not None for r in state["filter_entries"])
+
+    def test_identical_feeds_identical_states(self):
+        a = table_state(self._fed_table())
+        b = table_state(self._fed_table())
+        assert diff_states(a, b) == []
+
+    def test_divergent_feeds_are_detected(self):
+        a = self._fed_table()
+        b = self._fed_table()
+        b.observe(9, 9 * 128)
+        mismatches = diff_states(table_state(a), table_state(b))
+        assert mismatches
+        paths = {m.path for m in mismatches}
+        assert "total_samples" in paths

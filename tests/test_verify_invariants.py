@@ -1,0 +1,227 @@
+"""Tests for the invariant checker (repro.verify.invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.migration import MigrationPlan, MigrationPlanner
+from repro.clustering.shmap import ShMapConfig, ShMapTable
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.obs import MetricsRegistry
+from repro.sched import SimThread
+from repro.sched.placement import PlacementPolicy
+from repro.sched.thread import ThreadState
+from repro.sim.engine import run_simulation
+from repro.topology import build_machine
+from repro.verify import (
+    InvariantChecker,
+    diff_states,
+    result_state,
+    run_with_invariants,
+)
+from repro.verify.digest import state_digest
+
+
+class TestCleanRun:
+    def test_no_violations_on_reference_workload(self):
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=150, seed=3
+        )
+        result, violations = run_with_invariants(
+            PAPER_WORKLOADS["microbenchmark"](), config
+        )
+        assert violations == []
+        # The run actually exercised the clustering machinery.
+        assert result.clustering_events
+
+    def test_checker_does_not_perturb_the_run(self):
+        """Attaching the checker must leave the simulation bit-for-bit
+        identical to an unchecked run."""
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=150, seed=3
+        )
+        checked, violations = run_with_invariants(
+            PAPER_WORKLOADS["microbenchmark"](), config
+        )
+        plain = run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+        assert violations == []
+        assert diff_states(result_state(plain), result_state(checked)) == []
+        assert state_digest(result_state(plain)) == state_digest(
+            result_state(checked)
+        )
+
+    def test_violations_publish_metrics(self):
+        registry = MetricsRegistry()
+        checker = InvariantChecker(metrics=registry)
+        table = ShMapTable(ShMapConfig())
+        table.observe(1, 128)
+        table.filter.admitted += 1  # corrupt the accounting
+        checker._check_table(0, table, cycle=10)
+        snapshot = registry.snapshot()
+        assert any(
+            name.startswith("verify_invariant_violations_total")
+            for name in snapshot
+        )
+
+
+class TestTableInvariants:
+    def _checker(self):
+        return InvariantChecker()
+
+    def _table(self, **overrides):
+        defaults = dict(n_entries=64)
+        defaults.update(overrides)
+        table = ShMapTable(ShMapConfig(**defaults))
+        for tid in (1, 2):
+            for region in range(6):
+                table.observe(tid, (region * 5 + tid) * 128)
+        return table
+
+    def test_clean_table_passes(self):
+        checker = self._checker()
+        checker._check_table(0, self._table(), cycle=0)
+        assert checker.violations == []
+        assert checker.checks > 0
+
+    def test_counter_overflow_detected(self):
+        checker = self._checker()
+        table = self._table(counter_max=10)
+        tid = table.tids()[0]
+        table.shmap_of(tid)._counters[0] = 99
+        checker._check_table(0, table, cycle=5)
+        assert any(
+            v.invariant == "counter_bounds" for v in checker.violations
+        )
+
+    def test_negative_counter_detected(self):
+        checker = self._checker()
+        table = self._table()
+        tid = table.tids()[0]
+        table.shmap_of(tid)._counters[0] = -1
+        checker._check_table(0, table, cycle=5)
+        assert any(
+            v.invariant == "counter_bounds" for v in checker.violations
+        )
+
+    def test_broken_sample_accounting_detected(self):
+        checker = self._checker()
+        table = self._table()
+        table.filter.rejected += 3
+        checker._check_table(0, table, cycle=5)
+        assert any(
+            v.invariant == "sample_accounting" for v in checker.violations
+        )
+
+    def test_filter_mutation_detected(self):
+        checker = self._checker()
+        table = self._table()
+        checker._check_table(0, table, cycle=5)  # snapshot latched entries
+        latched = [
+            entry
+            for entry in range(table.config.n_entries)
+            if table.filter.region_at(entry) is not None
+        ]
+        table.filter._entries[latched[0]] = 123_456  # illegal relatch
+        checker._check_table(0, table, cycle=6)
+        assert any(
+            v.invariant == "filter_immutable" for v in checker.violations
+        )
+
+    def test_reset_clears_the_immutability_snapshot(self):
+        checker = self._checker()
+        table = self._table()
+        checker._check_table(0, table, cycle=5)
+        table.reset()
+        table.observe(7, 999 * 128)  # fresh latches after a legal reset
+        checker._check_table(0, table, cycle=6)
+        assert checker.violations == []
+
+
+class _StubScheduler:
+    def __init__(self, threads):
+        self.threads = threads
+
+
+class _StubController:
+    def __init__(self, planner):
+        self.planner = planner
+
+
+class _StubSimulator:
+    def __init__(self, machine, threads, planner):
+        self.machine = machine
+        self.scheduler = _StubScheduler(threads)
+        self.controller = _StubController(planner)
+        self.mean_cycle = 0.0
+
+
+class _StubEvent:
+    def __init__(self, plan):
+        self.plan = plan
+
+
+class TestPlanInvariants:
+    def _rig(self, n_threads=4):
+        machine = build_machine(2, 2, 2)
+        threads = [
+            SimThread(tid=i, name=f"t{i}", sharing_group=0)
+            for i in range(n_threads)
+        ]
+        planner = MigrationPlanner(
+            machine, np.random.default_rng(0), imbalance_tolerance=0.5
+        )
+        checker = InvariantChecker()
+        checker._simulator = _StubSimulator(machine, threads, planner)
+        return checker, machine, threads
+
+    def _plan(self, target_cpu):
+        return MigrationPlan(target_cpu=dict(target_cpu))
+
+    def test_complete_plan_passes(self):
+        checker, machine, threads = self._rig()
+        plan = self._plan({0: 0, 1: 1, 2: 4, 3: 5})
+        checker._check_plan(_StubEvent(plan), cycle=100)
+        assert checker.violations == []
+
+    def test_missing_live_thread_detected(self):
+        checker, machine, threads = self._rig()
+        plan = self._plan({0: 0, 1: 1, 2: 4})  # tid 3 omitted
+        checker._check_plan(_StubEvent(plan), cycle=100)
+        assert any(
+            v.invariant == "plan_coverage" and "omits" in v.detail
+            for v in checker.violations
+        )
+
+    def test_finished_thread_may_be_omitted(self):
+        checker, machine, threads = self._rig()
+        threads[3].state = ThreadState.FINISHED
+        plan = self._plan({0: 0, 1: 1, 2: 4})
+        checker._check_plan(_StubEvent(plan), cycle=100)
+        assert checker.violations == []
+
+    def test_phantom_thread_detected(self):
+        checker, machine, threads = self._rig()
+        plan = self._plan({0: 0, 1: 1, 2: 4, 3: 5, 99: 2})
+        checker._check_plan(_StubEvent(plan), cycle=100)
+        assert any(
+            v.invariant == "plan_coverage" and "non-live" in v.detail
+            for v in checker.violations
+        )
+
+    def test_nonexistent_cpu_detected(self):
+        checker, machine, threads = self._rig()
+        plan = self._plan({0: 0, 1: 1, 2: 4, 3: 64})
+        checker._check_plan(_StubEvent(plan), cycle=100)
+        assert any(
+            v.invariant == "plan_coverage" and "cpus" in v.detail
+            for v in checker.violations
+        )
+
+    def test_load_cap_violation_detected(self):
+        checker, machine, threads = self._rig(n_threads=8)
+        # All eight threads piled onto chip 0 (cpus 0-3): load 8 vs a
+        # cap of ceil(4) + 0.5 * 4 = 6.
+        plan = self._plan({tid: tid % 4 for tid in range(8)})
+        checker._check_plan(_StubEvent(plan), cycle=100)
+        assert any(
+            v.invariant == "plan_load_cap" for v in checker.violations
+        )
