@@ -110,17 +110,19 @@ def test_bench_onepass_clusterer(benchmark):
     assert result.n_clusters == 4
 
 
-def _run_short_sim(recorder):
+def _run_short_sim(recorder, **config_overrides):
     """One small but complete engine run (the tracing-overhead probe).
 
-    Workload construction is included in both variants, so the pair's
-    difference isolates what the recorder adds to the engine loop.
+    Workload construction is included in every variant, so a pair's
+    difference isolates what the recorder (or the flight recorder's
+    window tracker) adds to the engine loop.
     """
     workload = ScoreboardMicrobenchmark(
         n_scoreboards=2, threads_per_scoreboard=4
     )
     config = SimConfig(
-        policy=PlacementPolicy.CLUSTERED, n_rounds=20, seed=5
+        policy=PlacementPolicy.CLUSTERED, n_rounds=20, seed=5,
+        **config_overrides,
     )
     simulator = Simulator(
         workload, config, recorder=recorder, metrics=MetricsRegistry()
@@ -146,3 +148,15 @@ def test_bench_engine_round_tracing(benchmark):
         _run_short_sim(RingBufferRecorder(capacity=65_536))
 
     benchmark(run_traced)
+
+
+def test_bench_engine_round_timeseries(benchmark):
+    """Engine rounds with the flight recorder windowing every 5 rounds.
+
+    Paired with ``test_bench_engine_round_null_recorder`` (timeseries
+    off -- the tracker is None and the loop pays one comparison per
+    round); this one bounds the *enabled* cost of sampling the counter
+    closure and closing windows.
+    """
+    result = benchmark(_run_short_sim, NULL_RECORDER, timeseries_interval=5)
+    assert result.windows

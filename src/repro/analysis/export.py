@@ -62,6 +62,8 @@ def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
         ],
         "metrics_registry": dict(result.metrics),
     }
+    if result.windows:
+        payload["windows"] = [dict(w) for w in result.windows]
     if result.workload_stats:
         payload["workload_stats"] = dict(result.workload_stats)
     if result.task_seed is not None:

@@ -59,6 +59,8 @@ _RUNNERS: Dict[str, str] = {
     "smt-aware": "EXT2: SMT-aware vs random intra-chip seating",
     "churn": "EXT4: connection churn vs clustering quality",
     "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
+    "report": "OBS: flight-recorder run(s) rendered as a self-contained "
+              "HTML report (+ JSONL export)",
     "verify": "VERIFY: differential + invariant campaign over paired paths",
 }
 
@@ -440,6 +442,73 @@ def _run_trace(args, out: Optional[Path]) -> None:
         "trace_run.json",
         json.dumps(sim_result_to_dict(result), indent=2, sort_keys=True),
     )
+    if args.report is not None:
+        _write_run_reports(
+            args, {f"{workload_name}/{args.policy}": result}
+        )
+
+
+def _write_run_reports(args, results) -> None:
+    """Analyse finished runs and write the HTML report + JSONL export."""
+    from .experiments.parallel import aggregate_metrics
+    from .obs import analyze_sweep, write_report, write_report_jsonl
+
+    analyses = analyze_sweep(results)
+    metrics = aggregate_metrics(results.values())
+    trace_href = str(args.trace) if args.trace is not None else None
+    html_path = write_report(
+        args.report, analyses, metrics=metrics, trace_href=trace_href
+    )
+    jsonl_path = write_report_jsonl(
+        Path(args.report).with_suffix(".jsonl"), analyses, metrics=metrics
+    )
+    alerts = sum(len(a.alerts) for a in analyses.values())
+    print(
+        f"wrote report to {html_path} (data: {jsonl_path}); "
+        f"{alerts} alert(s)"
+    )
+    for label, analysis in analyses.items():
+        for alert in analysis.alerts:
+            print(f"  [{alert.severity}] {label}: {alert.message}")
+
+
+def _run_report(args, out: Optional[Path]) -> None:
+    """Run workload(s) with the flight recorder on and render the report.
+
+    Each requested workload (default: the fig6 microbenchmark) runs
+    under ``--policy`` with windowed time-series collection and harness
+    self-profiling enabled; the derived analytics (stall breakdown,
+    remote-stall share, cluster quality, effectiveness checks) land in
+    a self-contained HTML artifact plus a JSONL export.
+    """
+    from .experiments.common import PAPER_WORKLOADS, evaluation_config
+    from .sched.placement import PlacementPolicy
+    from .sim.engine import DEFAULT_WINDOW_ROUNDS, run_simulation
+
+    interval = args.window_rounds or DEFAULT_WINDOW_ROUNDS
+    results = {}
+    for workload_name in args.workload or ["microbenchmark"]:
+        config = evaluation_config(
+            PlacementPolicy(args.policy),
+            n_rounds=args.rounds,
+            seed=args.seed,
+            timeseries_interval=interval,
+            self_profile=True,
+        )
+        result = run_simulation(PAPER_WORKLOADS[workload_name](), config)
+        label = f"{workload_name}/{args.policy}"
+        results[label] = result
+        print(
+            f"{label}: {len(result.windows)} window(s) of {interval} "
+            f"round(s); final remote stall "
+            f"{result.remote_stall_fraction:.1%}"
+        )
+        _write(
+            out,
+            f"report_{workload_name}.json",
+            json.dumps(sim_result_to_dict(result), indent=2, sort_keys=True),
+        )
+    _write_run_reports(args, results)
 
 
 def _run_verify(args, out: Optional[Path]) -> None:
@@ -488,6 +557,7 @@ def _run_verify(args, out: Optional[Path]) -> None:
 
 _DISPATCH: Dict[str, Callable] = {
     "trace": _run_trace,
+    "report": _run_report,
     "verify": _run_verify,
     "fig1": _run_fig1,
     "fig3": _run_fig3,
@@ -599,6 +669,22 @@ def build_parser() -> argparse.ArgumentParser:
              "dropped (default: 262144)",
     )
     parser.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help=(
+            "render a self-contained HTML flight-recorder report to PATH "
+            "(JSONL export lands at PATH with a .jsonl suffix); applies "
+            "to the 'report' and 'trace' subcommands; 'report' defaults "
+            "this to report.html"
+        ),
+    )
+    parser.add_argument(
+        "--window-rounds", type=int, default=0, metavar="N",
+        help=(
+            "engine rounds per flight-recorder window for the 'report' "
+            "subcommand (0 = the engine default of 25)"
+        ),
+    )
+    parser.add_argument(
         "--metrics", nargs="?", const="-", default=None, metavar="PATH",
         help=(
             "collect the run's metrics registry and write it as flat "
@@ -681,6 +767,15 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.experiment == "trace" and args.trace is None:
         args.trace = Path("trace.json")
+    if args.experiment == "report" and args.report is None:
+        args.report = Path("report.html")
+    if args.window_rounds < 0:
+        parser.error(f"--window-rounds must be >= 0, got {args.window_rounds}")
+    if args.report is not None and args.experiment not in ("report", "trace"):
+        print(
+            "note: --report applies to the 'report' and 'trace' "
+            f"subcommands; {args.experiment} runs unchanged"
+        )
     if args.rounds is None:
         # Verification cells run several simulations each; 150 rounds is
         # enough for a full detect-cluster-migrate round on the paper
@@ -699,11 +794,14 @@ def main(argv: Optional[list] = None) -> int:
     )
     registry = MetricsRegistry() if args.metrics is not None else None
 
-    # "all" regenerates the paper artefacts; the trace and verify
-    # subcommands are tooling, not artefacts, so neither is part of it.
+    # "all" regenerates the paper artefacts; the trace, report and
+    # verify subcommands are tooling, not artefacts, so none is part
+    # of it.
     if args.experiment == "all":
         targets = sorted(
-            name for name in _DISPATCH if name not in ("trace", "verify")
+            name
+            for name in _DISPATCH
+            if name not in ("trace", "report", "verify")
         )
     else:
         targets = [args.experiment]
@@ -729,11 +827,24 @@ def main(argv: Optional[list] = None) -> int:
             print()
 
     if recorder is not None:
-        write_chrome_trace(args.trace, recorder.events())
+        write_chrome_trace(
+            args.trace,
+            recorder.events(),
+            dropped=recorder.dropped,
+            total_emitted=recorder.total_emitted,
+        )
         print(
             f"wrote {len(recorder)} trace events "
             f"({recorder.dropped} dropped) to {args.trace}"
         )
+        if recorder.dropped:
+            print(
+                f"warning: the ring buffer overwrote {recorder.dropped} "
+                f"of {recorder.total_emitted} events; the trace covers "
+                f"only the tail of the run.  Rerun with a larger "
+                f"--trace-capacity for full coverage.",
+                file=sys.stderr,
+            )
     if registry is not None:
         text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
         if args.metrics == "-":

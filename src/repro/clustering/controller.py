@@ -31,6 +31,7 @@ from ..obs import (
     KIND_CLUSTER_FORMED,
     KIND_DETECTION,
     KIND_PHASE_TRANSITION,
+    NULL_TIMESERIES,
     MetricsRegistry,
     NULL_RECORDER,
 )
@@ -92,6 +93,11 @@ class ControllerConfig:
     futile_backoff_factor: float = 2.0
     #: cap on the backed-off cooldown
     max_cooldown_cycles: int = 20_000_000
+    #: ablation knob: when False the controller monitors, detects and
+    #: clusters as usual but never executes the planned migrations --
+    #: isolating detection cost from placement benefit, and the workload
+    #: the migration-effectiveness check (repro.obs.analysis) must flag
+    execute_migrations: bool = True
 
     def __post_init__(self) -> None:
         """Reject inconsistent tunables at construction.
@@ -212,6 +218,7 @@ class ClusteringController:
         remote_event_counter: Optional[Callable[[], int]] = None,
         recorder=None,
         metrics: Optional[MetricsRegistry] = None,
+        timeseries=None,
     ) -> None:
         """
         Args:
@@ -224,6 +231,9 @@ class ClusteringController:
                 the no-op recorder).
             metrics: registry for dwell-time histograms and detection
                 counters (default: a private throwaway registry).
+            timeseries: time-series store receiving exact-cycle phase
+                markers, so windows (round-granular) can be pinned to
+                the precise transition cycle (default: the no-op store).
         """
         self.scheduler = scheduler
         self.stall_breakdown = stall_breakdown
@@ -240,6 +250,9 @@ class ClusteringController:
         self.config = config if config is not None else ControllerConfig()
         self._remote_event_counter = remote_event_counter
         self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._timeseries = (
+            timeseries if timeseries is not None else NULL_TIMESERIES
+        )
         self._metrics = (
             metrics if metrics is not None else MetricsRegistry()
         )
@@ -354,6 +367,10 @@ class ClusteringController:
                 cycle=now_cycle,
                 from_phase=previous.value,
                 to_phase=phase.value,
+            )
+        if self._timeseries.enabled:
+            self._timeseries.note_phase_transition(
+                now_cycle, previous.value, phase.value
             )
 
     # ------------------------------------------------------------------
@@ -529,16 +546,18 @@ class ClusteringController:
         )
 
         executed = 0
+        execute = self.config.execute_migrations
         for tid, target_cpu in plan.target_cpu.items():
             thread = threads_by_tid.get(tid)
             if thread is None or thread.state is not ThreadState.READY:
                 continue
             cluster_index = result.assignment.get(tid, -1)
             thread.detected_cluster = cluster_index
-            self.scheduler.migrate(thread, target_cpu, pin_to_chip=True)
-            executed += 1
+            if execute:
+                self.scheduler.migrate(thread, target_cpu, pin_to_chip=True)
+                executed += 1
 
-        if self.config.enable_intra_chip_balancing:
+        if execute and self.config.enable_intra_chip_balancing:
             self.scheduler.enable_intra_chip_balancing()
 
         self._last_migration_cycle = now_cycle

@@ -33,8 +33,9 @@ Without a policy the plain pool below runs unchanged.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,6 +63,16 @@ class SimTask:
     label: str
     workload_factory: WorkloadFactory
     config: SimConfig
+    #: wall-clock (``time.time``) at submission, stamped by the runner;
+    #: lets the executing worker report queue wait without any channel
+    #: back to the parent (wall clocks are shared across processes on
+    #: one machine, unlike ``perf_counter``)
+    enqueued_at: Optional[float] = None
+
+
+def _stamp_enqueue_time(tasks: "List[SimTask]") -> "List[SimTask]":
+    now = time.time()
+    return [replace(task, enqueued_at=now) for task in tasks]
 
 
 def _execute_task(task: SimTask) -> SimResult:
@@ -71,7 +82,19 @@ def _execute_task(task: SimTask) -> SimResult:
     pid, and failures are re-raised with both -- so one bad task out of
     a fan-out is reproducible from logs alone (rebuild the config with
     that seed and rerun sequentially).
+
+    Each result's metrics snapshot additionally carries this worker's
+    self-profile as integer-millisecond counters (integers so
+    :func:`~repro.obs.merge_snapshots` *adds* them across runs; floats
+    would merge as gauges): ``sweep_worker_busy_ms_total{pid=...}``,
+    ``sweep_worker_queue_wait_ms_total{pid=...}`` and
+    ``sweep_worker_tasks_total{pid=...}`` -- the inputs to the report's
+    per-worker utilization view.
     """
+    queue_wait_ms = 0
+    if task.enqueued_at is not None:
+        queue_wait_ms = max(0, int((time.time() - task.enqueued_at) * 1e3))
+    started = time.perf_counter()
     try:
         result = run_simulation(task.workload_factory(), task.config)
     except Exception as error:
@@ -79,8 +102,15 @@ def _execute_task(task: SimTask) -> SimResult:
             f"sweep task {task.label!r} failed "
             f"(seed={task.config.seed}, worker_pid={os.getpid()}): {error}"
         ) from error
+    busy_ms = int((time.perf_counter() - started) * 1e3)
+    pid = os.getpid()
     result.task_seed = task.config.seed
-    result.worker_pid = os.getpid()
+    result.worker_pid = pid
+    result.metrics[f"sweep_worker_busy_ms_total{{pid={pid}}}"] = busy_ms
+    result.metrics[f"sweep_worker_queue_wait_ms_total{{pid={pid}}}"] = (
+        queue_wait_ms
+    )
+    result.metrics[f"sweep_worker_tasks_total{{pid={pid}}}"] = 1
     return result
 
 
@@ -150,7 +180,7 @@ def run_tasks(
     its slot; without ``allow_partial`` a failure raises
     :class:`~repro.experiments.resilience.SweepError`.
     """
-    task_list = list(tasks)
+    task_list = _stamp_enqueue_time(list(tasks))
     if policy is not None:
         from .resilience import SweepError, run_resilient
 

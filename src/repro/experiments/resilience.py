@@ -54,7 +54,7 @@ from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from ..obs import KIND_TASK_RETRY
+from ..obs import KIND_TASK_RETRY, TIME_BUCKETS
 from ..obs.session import active_recorder, active_registry
 from ..sim.engine import run_simulation
 from ..sim.results import SimResult
@@ -290,15 +290,24 @@ class _Sweep:
     ) -> None:
         self.outcome.results[index] = result
         task = self.tasks[index]
+        duration_s = time.monotonic() - self._started.get(
+            index, time.monotonic()
+        )
         if self.manifest is not None:
             self.manifest.record_success(
                 task.label,
                 result,
                 attempts=attempt,
                 seed_used=seed,
-                duration_s=time.monotonic() - self._started.get(index, time.monotonic()),
+                duration_s=duration_s,
             )
         self._count("sweep_tasks_completed_total")
+        # Parent-side task wall-time distribution: the sweep runner's
+        # own self-profile (p50/p95/p99 surface in snapshots).
+        if self._registry is not None:
+            self._registry.histogram(
+                "sweep_task_seconds", buckets=TIME_BUCKETS
+            ).observe(duration_s)
 
     def on_attempt_failed(
         self,

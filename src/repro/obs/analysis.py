@@ -1,0 +1,452 @@
+"""Derived metrics over windowed time-series: the flight recorder's
+read side.
+
+Raw windows (:mod:`repro.obs.timeseries`) carry per-window deltas of
+cumulative counters.  This module turns them into the quantities the
+paper argues with -- per-window CPI stall-breakdown fractions, the
+remote-stall share, cluster quality against the reference clustering --
+and runs *checks* over them, Prometheus-recording-rule style:
+
+* **Migration effectiveness**: after an actionable clustering round the
+  remote-stall fraction must drop within K windows; a violation emits a
+  ``migration_ineffective`` alert.  This is the paper's core claim
+  turned into a monitor -- an ablation run that clusters but never
+  migrates (``ControllerConfig.execute_migrations = False``) trips it.
+* **Sustained remote stalls**: a run with *no* actionable clustering
+  whose trailing windows all sit above the threshold gets a
+  ``remote_stall_sustained`` alert -- the "nobody is even trying"
+  signal for un-clustered policies on sharing-heavy workloads.
+
+Alerts are emitted as ``analysis.alert`` trace events and counted in
+``obs_alerts_total{alert=...}`` metrics, so sweeps surface them through
+the same exporters as everything else.
+
+Import discipline: this module is imported by ``repro.obs.__init__``,
+which instrumented packages (pmu, clustering, sched) import in turn --
+so anything outside ``repro.obs`` is imported lazily inside functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .recorder import KIND_ANALYSIS_ALERT
+from .timeseries import Window
+
+#: stall causes whose cycles count as remote-access stalls (string form
+#: of StallCause.DCACHE_REMOTE_L2/L3; kept local to avoid pmu imports)
+REMOTE_CAUSES = ("dcache_remote_l2", "dcache_remote_l3")
+
+STALL_PREFIX = "stall_cycles{cause="
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunables of the derived checks."""
+
+    #: windows after an actionable clustering round in which the
+    #: remote-stall fraction must have dropped (the K of the check)
+    effectiveness_windows: int = 3
+    #: required relative drop: the best following window must be below
+    #: ``pre * (1 - min_drop_fraction)``
+    min_drop_fraction: float = 0.25
+    #: migrations from an already-low base are not required to drop
+    #: further; below this pre-migration fraction the check passes
+    min_pre_fraction: float = 0.10
+    #: remote-stall share that counts as "high" for the sustained check
+    sustained_threshold: float = 0.20
+    #: trailing windows that must all be high to fire the sustained alert
+    sustained_min_windows: int = 5
+
+    def __post_init__(self) -> None:
+        if self.effectiveness_windows < 1:
+            raise ValueError("effectiveness_windows must be >= 1")
+        if not 0.0 < self.min_drop_fraction <= 1.0:
+            raise ValueError("min_drop_fraction must be in (0, 1]")
+        if self.sustained_min_windows < 1:
+            raise ValueError("sustained_min_windows must be >= 1")
+
+
+@dataclass(frozen=True)
+class WindowDerived:
+    """One window with its derived per-window quantities."""
+
+    index: int
+    start_round: int
+    end_round: int
+    start_cycle: float
+    end_cycle: float
+    phase: str
+    boundary: str
+    elapsed_cycles: float
+    instructions: float
+    total_stall_cycles: float  #: all causes, completion included
+    ipc: float
+    cpi: float
+    #: share of the window's cycles per stall cause (sums to ~1)
+    stall_fractions: Dict[str, float]
+    remote_stall_fraction: float
+    migrations: float  #: cluster-reason migrations in the window
+    migrations_executed: float
+    detections_actionable: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "phase": self.phase,
+            "boundary": self.boundary,
+            "elapsed_cycles": self.elapsed_cycles,
+            "instructions": self.instructions,
+            "total_stall_cycles": self.total_stall_cycles,
+            "ipc": self.ipc,
+            "cpi": self.cpi,
+            "stall_fractions": dict(self.stall_fractions),
+            "remote_stall_fraction": self.remote_stall_fraction,
+            "migrations": self.migrations,
+            "migrations_executed": self.migrations_executed,
+            "detections_actionable": self.detections_actionable,
+        }
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired check: a named violation anchored to a window."""
+
+    name: str  #: migration_ineffective / remote_stall_sustained
+    severity: str  #: "warning" or "critical"
+    window_index: int
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "severity": self.severity,
+            "window_index": self.window_index,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+
+@dataclass
+class RunAnalysis:
+    """Everything the report renders for one run."""
+
+    windows: List[WindowDerived] = field(default_factory=list)
+    alerts: List[Alert] = field(default_factory=list)
+    #: purity/ARI of the detected clustering (None when the run never
+    #: clustered or carried no shMap snapshot)
+    cluster_quality: Optional[Dict[str, Any]] = None
+    workload: str = ""
+    policy: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "windows": [w.to_dict() for w in self.windows],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "cluster_quality": self.cluster_quality,
+        }
+
+
+# ----------------------------------------------------------------------
+# Window derivation
+# ----------------------------------------------------------------------
+def _as_window(window) -> Window:
+    if isinstance(window, Window):
+        return window
+    return Window.from_dict(window)
+
+
+def derive_windows(windows: Sequence[Any]) -> List[WindowDerived]:
+    """Compute per-window derived quantities from raw windows.
+
+    Accepts :class:`Window` objects or their ``to_dict`` forms (what
+    ``SimResult.windows`` carries back from sweep workers).
+    """
+    derived: List[WindowDerived] = []
+    for raw in windows:
+        window = _as_window(raw)
+        series = window.series
+        fractions: Dict[str, float] = {}
+        total = 0.0
+        for key, value in series.items():
+            if key.startswith(STALL_PREFIX):
+                total += value
+        if total > 0:
+            for key, value in series.items():
+                if key.startswith(STALL_PREFIX):
+                    cause = key[len(STALL_PREFIX):-1]
+                    fractions[cause] = value / total
+        remote = sum(fractions.get(cause, 0.0) for cause in REMOTE_CAUSES)
+        instructions = series.get("instructions", 0.0)
+        elapsed = series.get("cycles", 0.0) or window.elapsed_cycles
+        derived.append(
+            WindowDerived(
+                index=window.index,
+                start_round=window.start_round,
+                end_round=window.end_round,
+                start_cycle=window.start_cycle,
+                end_cycle=window.end_cycle,
+                phase=window.phase,
+                boundary=window.boundary,
+                elapsed_cycles=elapsed,
+                instructions=instructions,
+                total_stall_cycles=total,
+                ipc=instructions / elapsed if elapsed > 0 else 0.0,
+                cpi=total / instructions if instructions > 0 else 0.0,
+                stall_fractions=fractions,
+                remote_stall_fraction=remote,
+                migrations=series.get("migrations{reason=cluster}", 0.0),
+                migrations_executed=series.get("migrations_executed", 0.0),
+                detections_actionable=series.get(
+                    "detections{outcome=actionable}", 0.0
+                ),
+            )
+        )
+    return derived
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+def check_migration_effectiveness(
+    derived: Sequence[WindowDerived],
+    config: AnalysisConfig,
+) -> List[Alert]:
+    """The remote-stall fraction must drop within K windows of every
+    actionable clustering round (whether or not migrations executed --
+    an actionable round that moves nothing is exactly the failure)."""
+    alerts: List[Alert] = []
+    for position, window in enumerate(derived):
+        if window.detections_actionable <= 0:
+            continue
+        pre = window.remote_stall_fraction
+        if pre < config.min_pre_fraction:
+            continue
+        following = derived[
+            position + 1: position + 1 + config.effectiveness_windows
+        ]
+        if not following:
+            continue  # the run ended at the migration; nothing to judge
+        best = min(f.remote_stall_fraction for f in following)
+        required = pre * (1.0 - config.min_drop_fraction)
+        if best > required:
+            alerts.append(
+                Alert(
+                    name="migration_ineffective",
+                    severity="critical",
+                    window_index=window.index,
+                    message=(
+                        f"remote-stall fraction failed to drop within "
+                        f"{len(following)} window(s) of the clustering "
+                        f"round in window {window.index}: best "
+                        f"{best:.3f} vs required <= {required:.3f} "
+                        f"(pre {pre:.3f}, migrations executed: "
+                        f"{int(window.migrations_executed)})"
+                    ),
+                    data={
+                        "pre_fraction": pre,
+                        "best_following_fraction": best,
+                        "required_fraction": required,
+                        "windows_checked": len(following),
+                        "migrations_executed": window.migrations_executed,
+                    },
+                )
+            )
+    return alerts
+
+
+def check_sustained_remote(
+    derived: Sequence[WindowDerived],
+    config: AnalysisConfig,
+) -> List[Alert]:
+    """A run that never clustered actionably, whose trailing windows all
+    sit above the threshold, is leaving the paper's win on the table."""
+    if any(w.detections_actionable > 0 for w in derived):
+        return []
+    tail = [w for w in derived if w.elapsed_cycles > 0]
+    tail = tail[-config.sustained_min_windows:]
+    if len(tail) < config.sustained_min_windows:
+        return []
+    if all(
+        w.remote_stall_fraction >= config.sustained_threshold for w in tail
+    ):
+        last = tail[-1]
+        return [
+            Alert(
+                name="remote_stall_sustained",
+                severity="warning",
+                window_index=last.index,
+                message=(
+                    f"remote-stall fraction stayed >= "
+                    f"{config.sustained_threshold:.0%} for the last "
+                    f"{len(tail)} windows (latest "
+                    f"{last.remote_stall_fraction:.3f}) with no "
+                    f"actionable clustering round in the run"
+                ),
+                data={
+                    "threshold": config.sustained_threshold,
+                    "windows": len(tail),
+                    "latest_fraction": last.remote_stall_fraction,
+                },
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Cluster quality vs the reference clustering
+# ----------------------------------------------------------------------
+def cluster_quality(
+    result,
+    similarity_threshold: float = 25.0,
+    noise_floor: int = 2,
+) -> Optional[Dict[str, Any]]:
+    """Purity vs ground truth and ARI vs the hierarchical reference.
+
+    ``result`` is a :class:`~repro.sim.results.SimResult` (duck-typed).
+    Returns None when the run never clustered or recorded no shMap
+    matrix (e.g. non-clustered policies).
+    """
+    assignment = (
+        result.detected_assignment()
+        if hasattr(result, "detected_assignment")
+        else {}
+    )
+    if not assignment:
+        return None
+
+    truth = {
+        summary.tid: summary.sharing_group
+        for summary in result.thread_summaries
+    }
+    common = sorted(tid for tid in assignment if tid in truth)
+    quality: Dict[str, Any] = {"n_threads": len(common)}
+    if common:
+        from ..clustering.reference import purity
+
+        quality["purity_vs_truth"] = purity(
+            [assignment[tid] for tid in common],
+            [truth[tid] for tid in common],
+        )
+
+    matrix = getattr(result, "shmap_matrix", None)
+    tids = list(getattr(result, "shmap_tids", []) or [])
+    if matrix is not None and len(tids):
+        from ..clustering.reference import (
+            adjusted_rand_index,
+            hierarchical_cluster,
+        )
+
+        vectors = {tid: matrix[row] for row, tid in enumerate(tids)}
+        reference = hierarchical_cluster(
+            vectors, similarity_threshold, noise_floor=noise_floor
+        )
+        overlap = sorted(
+            tid for tid in reference.assignment if tid in assignment
+        )
+        if overlap:
+            quality["ari_vs_reference"] = adjusted_rand_index(
+                [assignment[tid] for tid in overlap],
+                [reference.assignment[tid] for tid in overlap],
+            )
+            quality["reference_clusters"] = reference.n_clusters
+    return quality
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _emit_alerts(
+    alerts: Sequence[Alert],
+    recorder,
+    metrics: Optional[MetricsRegistry],
+) -> None:
+    from . import session as obs_session
+
+    if recorder is None:
+        recorder = obs_session.active_recorder()
+    if metrics is None:
+        metrics = obs_session.active_registry()
+    for alert in alerts:
+        if recorder.enabled:
+            recorder.emit(
+                KIND_ANALYSIS_ALERT,
+                alert=alert.name,
+                severity=alert.severity,
+                window=alert.window_index,
+                message=alert.message,
+            )
+        if metrics is not None:
+            metrics.counter("obs_alerts_total", alert=alert.name).inc()
+
+
+def analyze_windows(
+    windows: Sequence[Any],
+    config: Optional[AnalysisConfig] = None,
+    recorder=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RunAnalysis:
+    """Derive per-window metrics and run every check over raw windows.
+
+    Fired alerts are emitted as ``analysis.alert`` events on
+    ``recorder`` (default: the ambient session recorder) and counted in
+    ``obs_alerts_total{alert=...}`` on ``metrics`` (default: the ambient
+    session registry, if any).
+    """
+    config = config if config is not None else AnalysisConfig()
+    derived = derive_windows(windows)
+    alerts = check_migration_effectiveness(derived, config)
+    alerts += check_sustained_remote(derived, config)
+    _emit_alerts(alerts, recorder, metrics)
+    return RunAnalysis(windows=derived, alerts=alerts)
+
+
+def analyze_run(
+    result,
+    config: Optional[AnalysisConfig] = None,
+    recorder=None,
+    metrics: Optional[MetricsRegistry] = None,
+    similarity_threshold: float = 25.0,
+    noise_floor: int = 2,
+) -> RunAnalysis:
+    """Full analysis of one :class:`~repro.sim.results.SimResult`:
+    window derivation, checks, and cluster quality."""
+    analysis = analyze_windows(
+        getattr(result, "windows", []) or [],
+        config=config,
+        recorder=recorder,
+        metrics=metrics,
+    )
+    analysis.workload = getattr(result, "workload_name", "")
+    analysis.policy = getattr(result, "config_policy", "")
+    analysis.cluster_quality = cluster_quality(
+        result,
+        similarity_threshold=similarity_threshold,
+        noise_floor=noise_floor,
+    )
+    return analysis
+
+
+def analyze_sweep(
+    results: Mapping[str, Any],
+    config: Optional[AnalysisConfig] = None,
+    recorder=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, RunAnalysis]:
+    """Analyze every labelled run of a sweep; keyed like the input."""
+    return {
+        label: analyze_run(
+            result, config=config, recorder=recorder, metrics=metrics
+        )
+        for label, result in results.items()
+        if result is not None
+    }

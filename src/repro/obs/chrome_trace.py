@@ -53,6 +53,8 @@ def to_chrome_trace(
     events: Sequence[TraceEvent],
     n_cpus: Optional[int] = None,
     process_name: str = "repro simulation",
+    dropped: int = 0,
+    total_emitted: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Convert recorded events into a Chrome trace-event document.
 
@@ -60,6 +62,12 @@ def to_chrome_trace(
         events: events oldest-first (``recorder.events()``).
         n_cpus: cpu-track count; inferred from the events when omitted.
         process_name: display name of the single trace process.
+        dropped: ring-buffer overwrites (``recorder.dropped``); recorded
+            in ``otherData`` so a viewer of the artifact knows the trace
+            window is partial.
+        total_emitted: events emitted over the recorder's lifetime
+            (``recorder.total_emitted``); with ``dropped`` this gives
+            the retained fraction.
     """
     if n_cpus is None:
         n_cpus = 1 + max((e.cpu for e in events if e.cpu >= 0), default=-1)
@@ -161,10 +169,20 @@ def to_chrome_trace(
             )
     close_phase(end_ts)
 
+    other: Dict[str, Any] = {"clock": "simulated cycles (1 us = 1 cycle)"}
+    if total_emitted is not None:
+        other["events_retained"] = len(events)
+        other["events_emitted"] = int(total_emitted)
+    if dropped:
+        other["events_dropped"] = int(dropped)
+        other["partial"] = (
+            "ring buffer overwrote the oldest events; the trace window "
+            "covers only the tail of the run"
+        )
     return {
         "traceEvents": trace,
         "displayTimeUnit": "ms",
-        "otherData": {"clock": "simulated cycles (1 us = 1 cycle)"},
+        "otherData": other,
     }
 
 
@@ -172,10 +190,18 @@ def write_chrome_trace(
     path: "Path | str",
     events: Iterable[TraceEvent],
     n_cpus: Optional[int] = None,
+    dropped: int = 0,
+    total_emitted: Optional[int] = None,
     **kwargs: Any,
 ) -> Path:
     """Serialise :func:`to_chrome_trace` to ``path``; returns the path."""
     path = Path(path)
-    document = to_chrome_trace(list(events), n_cpus=n_cpus, **kwargs)
+    document = to_chrome_trace(
+        list(events),
+        n_cpus=n_cpus,
+        dropped=dropped,
+        total_emitted=total_emitted,
+        **kwargs,
+    )
     path.write_text(json.dumps(document, indent=1, sort_keys=True))
     return path

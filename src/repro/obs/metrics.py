@@ -16,19 +16,33 @@ Design constraints:
   :meth:`MetricsRegistry.snapshot` dicts (plain JSON types) back from
   worker processes; :func:`merge_snapshots` folds them -- counters and
   histograms add, gauges keep the last value seen.
-* **Bounded cardinality.**  A registry refuses to create more than
-  ``max_series`` series so a label mistake (e.g. labelling by address)
-  fails loudly instead of eating memory.
+* **Bounded cardinality.**  A registry stops storing new series past
+  ``max_series``: further creations get detached (unstored) instruments
+  so callers keep working, a one-time ``RuntimeWarning`` fires, and the
+  drop count is published as ``obs_series_dropped_total`` in every
+  snapshot -- a label mistake (e.g. labelling by address) is observable
+  instead of eating memory or crashing the run.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: default histogram bucket upper bounds (cycles-flavoured, log-spaced)
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8,
 )
+
+#: bucket bounds for wall-clock durations in seconds (harness
+#: self-profiling: engine stages, sweep task wall time, queue waits)
+TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+    1.0, 3.0, 10.0, 30.0, 120.0,
+)
+
+#: series name the registry publishes its own saturation drops under
+SERIES_DROPPED_NAME = "obs_series_dropped_total"
 
 
 class Counter:
@@ -89,6 +103,59 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        Linearly interpolates within the bucket containing the q-th
+        observation, assuming uniform spread inside each bucket.  The
+        overflow (+inf) bucket has no upper bound, so observations
+        landing there clamp to the highest finite bound.  Returns 0.0
+        for an empty histogram.
+        """
+        return quantile_from_buckets(self.buckets, self.counts, q)
+
+
+def quantile_from_buckets(
+    buckets: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Interpolated quantile from non-cumulative bucket counts.
+
+    Shared by :meth:`Histogram.quantile` and :func:`merge_snapshots`
+    (which must recompute quantiles after folding counts -- the stale
+    per-snapshot p50/p95/p99 of the inputs cannot be averaged).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if index >= len(buckets):
+                # Overflow bucket: unbounded above, clamp to the
+                # highest finite bound.
+                return float(buckets[-1])
+            lower = float(buckets[index - 1]) if index > 0 else 0.0
+            upper = float(buckets[index])
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * fraction
+        cumulative += count
+    return float(buckets[-1]) if buckets else 0.0
+
+
+def _snapshot_quantiles(
+    buckets: Sequence[float], counts: Sequence[int]
+) -> Dict[str, float]:
+    return {
+        "p50": quantile_from_buckets(buckets, counts, 0.50),
+        "p95": quantile_from_buckets(buckets, counts, 0.95),
+        "p99": quantile_from_buckets(buckets, counts, 0.99),
+    }
+
 
 _SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -107,6 +174,11 @@ class MetricsRegistry:
     def __init__(self, max_series: int = 4096) -> None:
         self.max_series = max_series
         self._series: Dict[_SeriesKey, Any] = {}
+        #: series refused at the ``max_series`` cap -- published in
+        #: snapshots as ``obs_series_dropped_total`` (kept out of
+        #: ``_series`` so the self-metric cannot itself eat a slot)
+        self.series_dropped = 0
+        self._saturation_warned = False
 
     # ------------------------------------------------------------------
     def _key(self, name: str, labels: Dict[str, Any]) -> _SeriesKey:
@@ -119,11 +191,23 @@ class MetricsRegistry:
         instrument = self._series.get(key)
         if instrument is None:
             if len(self._series) >= self.max_series:
-                raise RuntimeError(
-                    f"metrics registry overflow: refusing series "
-                    f"{series_name(*key)!r} beyond max_series="
-                    f"{self.max_series} (runaway label cardinality?)"
-                )
+                # Saturation: hand back a detached instrument so the
+                # caller keeps working, count the drop, and warn once.
+                # A label-cardinality mistake is observable instead of
+                # fatal (`obs_series_dropped_total` in every snapshot).
+                self.series_dropped += 1
+                if not self._saturation_warned:
+                    self._saturation_warned = True
+                    warnings.warn(
+                        f"metrics registry saturated: dropping series "
+                        f"{series_name(*key)!r} and all further new "
+                        f"series beyond max_series={self.max_series} "
+                        f"(runaway label cardinality?); drops are "
+                        f"counted in {SERIES_DROPPED_NAME}",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                return factory()
             instrument = self._series[key] = factory()
         return instrument
 
@@ -179,11 +263,17 @@ class MetricsRegistry:
                     "counts": list(instrument.counts),
                     "sum": instrument.total,
                     "count": instrument.count,
+                    **_snapshot_quantiles(
+                        instrument.buckets, instrument.counts
+                    ),
                 }
+        if self.series_dropped:
+            out[SERIES_DROPPED_NAME] = self.series_dropped
         return out
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (cross-run aggregation)."""
+        self.series_dropped += other.series_dropped
         for (name, labels), theirs in other._series.items():
             if isinstance(theirs, Counter):
                 self.counter(name, **dict(labels)).inc(theirs.value)
@@ -233,6 +323,12 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 ]
                 current["sum"] += value["sum"]
                 current["count"] += value["count"]
+                if "p50" in current or "p50" in value:
+                    current.update(
+                        _snapshot_quantiles(
+                            current["buckets"], current["counts"]
+                        )
+                    )
             elif isinstance(value, bool) or not isinstance(value, (int, float)):
                 merged[key] = value
             elif isinstance(value, int) and isinstance(current, int):

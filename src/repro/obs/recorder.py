@@ -51,6 +51,10 @@ KIND_VERIFY_MISMATCH = "verify.mismatch"
 #: emitted by the invariant checker when a declared invariant fails;
 #: payload: invariant, detail (plus cycle via the event clock)
 KIND_VERIFY_INVARIANT = "verify.invariant_violation"
+#: emitted by the derived-metrics engine (repro.obs.analysis) when a
+#: windowed check fails -- e.g. remote-stall fraction failed to drop
+#: within K windows of a migration; payload: alert, window, detail
+KIND_ANALYSIS_ALERT = "analysis.alert"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,695 @@
+"""Self-contained HTML run reports over flight-recorder analyses.
+
+``repro report`` (and ``--report`` on other subcommands) renders one
+HTML artifact per run or sweep: a controller-phase timeline, the
+per-window remote-stall line, the stall-breakdown stacked area, per-
+worker utilization for parallel sweeps, the alert table, and harness
+self-profiling quantiles -- everything inline (CSS + SVG, no external
+assets), so the file can be attached to a CI run or mailed around.  A
+JSONL export carries the same data for tooling.
+
+Chart conventions: categorical series take the fixed palette order
+(blue, orange, aqua, yellow); remote-stall quantities are orange in
+every chart so the entity keeps its color across views; status colors
+(critical red, warning amber) are reserved for the alert table and
+always paired with an icon + label.  Dark mode is selected (own steps,
+not an automatic flip) via CSS custom properties.  Every chart has a
+data-table view; marks carry native ``<title>`` tooltips.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .analysis import RunAnalysis, WindowDerived
+
+#: stall-cause -> stacked-area group (palette slot order 1..4)
+STALL_GROUPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("completion", ("completion",)),
+    ("dcache remote", ("dcache_remote_l2", "dcache_remote_l3")),
+    (
+        "dcache local+mem",
+        ("dcache_local_l2", "dcache_local_l3", "dcache_memory"),
+    ),
+    (
+        "other stalls",
+        (
+            "icache_miss",
+            "branch_mispredict",
+            "fixed_point",
+            "floating_point",
+            "other",
+        ),
+    ),
+)
+
+_WORKER_SERIES = re.compile(
+    r"^sweep_worker_(?P<what>busy_ms_total|queue_wait_ms_total|tasks_total)"
+    r"\{pid=(?P<pid>\d+)\}$"
+)
+_STAGE_SERIES = re.compile(r"^engine_stage_seconds\{stage=(?P<stage>[^}]+)\}$")
+
+_STYLE = """
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary);
+  background: var(--page);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #c98500;
+}
+.viz-root h1 { font-size: 1.3rem; margin: 0 0 4px; }
+.viz-root h2 { font-size: 1.05rem; margin: 28px 0 8px; }
+.viz-root .sub { color: var(--text-secondary); margin: 0 0 16px; }
+.viz-root .card {
+  background: var(--surface-1);
+  border: 1px solid var(--grid);
+  border-radius: 8px;
+  padding: 16px;
+  margin: 12px 0;
+}
+.viz-root svg { display: block; max-width: 100%; }
+.viz-root .legend {
+  display: flex; gap: 16px; flex-wrap: wrap;
+  font-size: 0.8rem; color: var(--text-secondary); margin: 6px 0 0;
+}
+.viz-root .legend .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: baseline;
+}
+.viz-root table {
+  border-collapse: collapse; font-size: 0.8rem; margin-top: 8px;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th, .viz-root td {
+  border-bottom: 1px solid var(--grid); padding: 4px 10px;
+  text-align: right;
+}
+.viz-root th:first-child, .viz-root td:first-child { text-align: left; }
+.viz-root th { color: var(--text-secondary); font-weight: 600; }
+.viz-root details summary {
+  cursor: pointer; color: var(--text-secondary); font-size: 0.8rem;
+  margin-top: 8px;
+}
+.viz-root .alert-critical { color: var(--status-critical); font-weight: 600; }
+.viz-root .alert-warning { color: var(--status-warning); font-weight: 600; }
+.viz-root .alert-msg { text-align: left; color: var(--text-primary); }
+.viz-root a { color: var(--series-1); }
+.viz-root .ok { color: var(--text-secondary); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+# ----------------------------------------------------------------------
+# SVG helpers (pure string building; coordinates computed here)
+# ----------------------------------------------------------------------
+_W, _H, _PAD_L, _PAD_R, _PAD_T, _PAD_B = 720, 200, 46, 10, 8, 22
+
+
+def _x_scale(windows: Sequence[WindowDerived]) -> Tuple[float, float]:
+    lo = windows[0].start_round
+    hi = max(w.end_round for w in windows)
+    span = max(1, hi - lo)
+    return lo, (_W - _PAD_L - _PAD_R) / span
+
+
+def _x(round_index: float, lo: float, scale: float) -> float:
+    return _PAD_L + (round_index - lo) * scale
+
+
+def _y(fraction: float, top: float = 1.0) -> float:
+    usable = _H - _PAD_T - _PAD_B
+    clamped = min(max(fraction, 0.0), top)
+    return _PAD_T + usable * (1.0 - clamped / top)
+
+
+def _grid_and_axis(y_top: float, y_label: str) -> List[str]:
+    parts = []
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = _y(tick)
+        parts.append(
+            f'<line x1="{_PAD_L}" y1="{y:.1f}" x2="{_W - _PAD_R}" '
+            f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_PAD_L - 6}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-size="10" fill="var(--muted)">'
+            f"{tick * y_top:.0%}</text>"
+        )
+    parts.append(
+        f'<text x="{_PAD_L - 38}" y="{_PAD_T + 2}" font-size="10" '
+        f'fill="var(--muted)">{_esc(y_label)}</text>'
+    )
+    return parts
+
+
+def _round_axis(
+    windows: Sequence[WindowDerived], lo: float, scale: float
+) -> str:
+    hi = max(w.end_round for w in windows)
+    return (
+        f'<line x1="{_PAD_L}" y1="{_H - _PAD_B}" x2="{_W - _PAD_R}" '
+        f'y2="{_H - _PAD_B}" stroke="var(--axis)" stroke-width="1"/>'
+        f'<text x="{_PAD_L}" y="{_H - 6}" font-size="10" '
+        f'fill="var(--muted)">round {int(lo)}</text>'
+        f'<text x="{_W - _PAD_R}" y="{_H - 6}" text-anchor="end" '
+        f'font-size="10" fill="var(--muted)">round {int(hi)}</text>'
+    )
+
+
+def _svg_phase_lane(windows: Sequence[WindowDerived]) -> str:
+    """One horizontal lane: each window a segment colored by its phase."""
+    if not windows:
+        return ""
+    lo, scale = _x_scale(windows)
+    height = 46
+    parts = [
+        f'<svg viewBox="0 0 {_W} {height}" role="img" '
+        f'aria-label="controller phase timeline">'
+    ]
+    for window in windows:
+        x0 = _x(window.start_round, lo, scale)
+        x1 = _x(window.end_round + 1, lo, scale)
+        color = (
+            "var(--series-1)"
+            if window.phase == "detecting"
+            else "var(--grid)"
+        )
+        tooltip = (
+            f"window {window.index}: rounds {window.start_round}-"
+            f"{window.end_round}, phase {window.phase or 'none'} "
+            f"({window.boundary} boundary)"
+        )
+        parts.append(
+            f'<rect x="{x0:.1f}" y="10" width="{max(1.0, x1 - x0 - 1):.1f}" '
+            f'height="16" rx="2" fill="{color}">'
+            f"<title>{_esc(tooltip)}</title></rect>"
+        )
+        if window.migrations_executed > 0:
+            xm = (x0 + x1) / 2
+            parts.append(
+                f'<path d="M {xm:.1f} 30 l 4 7 l -8 0 z" '
+                f'fill="var(--series-2)">'
+                f"<title>{int(window.migrations_executed)} migration(s) "
+                f"executed in window {window.index}</title></path>"
+            )
+    parts.append("</svg>")
+    legend = (
+        '<div class="legend">'
+        '<span><span class="swatch" style="background:var(--series-1)">'
+        "</span>detecting</span>"
+        '<span><span class="swatch" style="background:var(--grid)">'
+        "</span>monitoring</span>"
+        '<span><span class="swatch" style="background:var(--series-2)">'
+        "</span>&#9650; migrations executed</span></div>"
+    )
+    return "".join(parts) + legend
+
+
+def _svg_remote_line(windows: Sequence[WindowDerived]) -> str:
+    """Per-window remote-stall fraction (orange: the remote entity)."""
+    if not windows:
+        return ""
+    lo, scale = _x_scale(windows)
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="remote-stall fraction per window">'
+    ]
+    parts += _grid_and_axis(1.0, "remote share")
+    points = []
+    for window in windows:
+        x = _x(window.end_round, lo, scale)
+        y = _y(window.remote_stall_fraction)
+        points.append(f"{x:.1f},{y:.1f}")
+    parts.append(
+        f'<polyline points="{" ".join(points)}" fill="none" '
+        f'stroke="var(--series-2)" stroke-width="2" '
+        f'stroke-linejoin="round"/>'
+    )
+    for window in windows:
+        x = _x(window.end_round, lo, scale)
+        y = _y(window.remote_stall_fraction)
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+            f'fill="var(--series-2)">'
+            f"<title>window {window.index} (rounds {window.start_round}-"
+            f"{window.end_round}, {window.phase or 'no controller'}): "
+            f"remote stall {window.remote_stall_fraction:.1%}"
+            f"</title></circle>"
+        )
+        if window.migrations_executed > 0:
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{_PAD_T}" x2="{x:.1f}" '
+                f'y2="{_H - _PAD_B}" stroke="var(--series-2)" '
+                f'stroke-width="1" stroke-dasharray="3 3" opacity="0.6">'
+                f"<title>migration in window {window.index}</title></line>"
+            )
+    parts.append(_round_axis(windows, lo, scale))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_stall_area(windows: Sequence[WindowDerived]) -> str:
+    """Stacked area of the four stall groups, palette order 1..4."""
+    if not windows:
+        return ""
+    lo, scale = _x_scale(windows)
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="stall-breakdown fractions per window">'
+    ]
+    parts += _grid_and_axis(1.0, "cycle share")
+    xs = [_x(w.end_round, lo, scale) for w in windows]
+    baseline = [0.0] * len(windows)
+    for slot, (label, causes) in enumerate(STALL_GROUPS, start=1):
+        tops = []
+        for i, window in enumerate(windows):
+            share = sum(
+                window.stall_fractions.get(cause, 0.0) for cause in causes
+            )
+            tops.append(baseline[i] + share)
+        upper = [
+            f"{xs[i]:.1f},{_y(tops[i]):.1f}" for i in range(len(windows))
+        ]
+        lower = [
+            f"{xs[i]:.1f},{_y(baseline[i]):.1f}"
+            for i in reversed(range(len(windows)))
+        ]
+        mean_share = sum(
+            t - b for t, b in zip(tops, baseline)
+        ) / len(windows)
+        parts.append(
+            f'<polygon points="{" ".join(upper + lower)}" '
+            f'fill="var(--series-{slot})" stroke="var(--surface-1)" '
+            f'stroke-width="1" fill-opacity="0.85">'
+            f"<title>{_esc(label)}: mean {mean_share:.1%} of cycles"
+            f"</title></polygon>"
+        )
+        baseline = tops
+    parts.append(_round_axis(windows, lo, scale))
+    parts.append("</svg>")
+    legend = ['<div class="legend">']
+    for slot, (label, _) in enumerate(STALL_GROUPS, start=1):
+        legend.append(
+            f'<span><span class="swatch" '
+            f'style="background:var(--series-{slot})"></span>'
+            f"{_esc(label)}</span>"
+        )
+    legend.append("</div>")
+    return "".join(parts) + "".join(legend)
+
+
+def _svg_worker_bars(workers: Dict[str, Dict[str, float]]) -> str:
+    """Per-worker busy time as horizontal bars (single series: blue)."""
+    if not workers:
+        return ""
+    pids = sorted(workers)
+    row_h, pad_l = 22, 80
+    height = len(pids) * row_h + 24
+    max_busy = max(w.get("busy_ms_total", 0.0) for w in workers.values())
+    if max_busy <= 0:
+        max_busy = 1.0
+    parts = [
+        f'<svg viewBox="0 0 {_W} {height}" role="img" '
+        f'aria-label="per-worker busy time">'
+    ]
+    for row, pid in enumerate(pids):
+        info = workers[pid]
+        busy = info.get("busy_ms_total", 0.0)
+        tasks = int(info.get("tasks_total", 0))
+        wait = info.get("queue_wait_ms_total", 0.0)
+        y = 8 + row * row_h
+        width = (_W - pad_l - _PAD_R) * busy / max_busy
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{y + 12}" text-anchor="end" '
+            f'font-size="11" fill="var(--text-secondary)">pid {pid}</text>'
+        )
+        parts.append(
+            f'<rect x="{pad_l}" y="{y}" width="{max(1.0, width):.1f}" '
+            f'height="14" rx="4" fill="var(--series-1)">'
+            f"<title>worker {pid}: {busy:.0f} ms busy across {tasks} "
+            f"task(s); {wait:.0f} ms queue wait</title></rect>"
+        )
+        parts.append(
+            f'<text x="{pad_l + max(1.0, width) + 6:.1f}" y="{y + 11}" '
+            f'font-size="10" fill="var(--muted)">{busy:.0f} ms / '
+            f"{tasks} task(s)</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# HTML sections
+# ----------------------------------------------------------------------
+def _windows_table(windows: Sequence[WindowDerived]) -> str:
+    rows = []
+    for w in windows:
+        rows.append(
+            f"<tr><td>{w.index}</td><td>{w.start_round}-{w.end_round}</td>"
+            f"<td>{_esc(w.phase or '-')}</td><td>{_esc(w.boundary)}</td>"
+            f"<td>{_fmt(w.remote_stall_fraction)}</td>"
+            f"<td>{_fmt(w.ipc, 2)}</td><td>{_fmt(w.cpi, 2)}</td>"
+            f"<td>{int(w.migrations_executed)}</td></tr>"
+        )
+    return (
+        "<details><summary>Data table</summary><table>"
+        "<tr><th>window</th><th>rounds</th><th>phase</th><th>boundary</th>"
+        "<th>remote frac</th><th>IPC</th><th>CPI</th><th>migrations</th>"
+        "</tr>" + "".join(rows) + "</table></details>"
+    )
+
+
+def _alerts_section(analyses: Mapping[str, RunAnalysis]) -> str:
+    rows = []
+    for label, analysis in analyses.items():
+        for alert in analysis.alerts:
+            icon, css = (
+                ("&#10006;", "alert-critical")
+                if alert.severity == "critical"
+                else ("&#9888;", "alert-warning")
+            )
+            rows.append(
+                f'<tr><td>{_esc(label)}</td><td class="{css}">{icon} '
+                f"{_esc(alert.severity)}</td><td>{_esc(alert.name)}</td>"
+                f"<td>{alert.window_index}</td>"
+                f'<td class="alert-msg">{_esc(alert.message)}</td></tr>'
+            )
+    if not rows:
+        return (
+            '<div class="card"><h2>Alerts</h2>'
+            '<p class="ok">No alerts: every check passed.</p></div>'
+        )
+    return (
+        '<div class="card"><h2>Alerts</h2><table>'
+        "<tr><th>run</th><th>severity</th><th>alert</th><th>window</th>"
+        "<th>message</th></tr>" + "".join(rows) + "</table></div>"
+    )
+
+
+def _workers_from_metrics(
+    metrics: Optional[Mapping[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    workers: Dict[str, Dict[str, float]] = {}
+    for key, value in (metrics or {}).items():
+        match = _WORKER_SERIES.match(key)
+        if match and isinstance(value, (int, float)):
+            workers.setdefault(match.group("pid"), {})[
+                match.group("what")
+            ] = float(value)
+    return workers
+
+
+def _stages_section(metrics: Optional[Mapping[str, Any]]) -> str:
+    rows = []
+    for key, value in sorted((metrics or {}).items()):
+        match = _STAGE_SERIES.match(key)
+        if not match or not isinstance(value, dict):
+            continue
+        rows.append(
+            f"<tr><td>{_esc(match.group('stage'))}</td>"
+            f"<td>{value.get('count', 0)}</td>"
+            f"<td>{value.get('p50', 0.0) * 1e3:.3f}</td>"
+            f"<td>{value.get('p95', 0.0) * 1e3:.3f}</td>"
+            f"<td>{value.get('p99', 0.0) * 1e3:.3f}</td></tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        '<div class="card"><h2>Harness self-profile</h2>'
+        "<table><tr><th>stage</th><th>samples</th><th>p50 (ms)</th>"
+        "<th>p95 (ms)</th><th>p99 (ms)</th></tr>"
+        + "".join(rows)
+        + "</table></div>"
+    )
+
+
+def _quality_line(analysis: RunAnalysis) -> str:
+    quality = analysis.cluster_quality
+    if not quality:
+        return ""
+    bits = []
+    if "purity_vs_truth" in quality:
+        bits.append(f"purity vs truth {quality['purity_vs_truth']:.2f}")
+    if "ari_vs_reference" in quality:
+        bits.append(
+            f"ARI vs hierarchical reference "
+            f"{quality['ari_vs_reference']:.2f} "
+            f"({quality.get('reference_clusters', '?')} reference "
+            f"cluster(s))"
+        )
+    if not bits:
+        return ""
+    return (
+        f'<p class="sub">Cluster quality: {_esc("; ".join(bits))} over '
+        f"{quality.get('n_threads', 0)} thread(s).</p>"
+    )
+
+
+def _run_section(label: str, analysis: RunAnalysis) -> str:
+    windows = analysis.windows
+    header = _esc(label)
+    if not windows:
+        return (
+            f'<div class="card"><h2>{header}</h2>'
+            f'<p class="sub">No flight-recorder windows: the run was '
+            f"executed without time-series collection.</p></div>"
+        )
+    n_alerts = len(analysis.alerts)
+    summary = (
+        f"{len(windows)} window(s), rounds {windows[0].start_round}-"
+        f"{max(w.end_round for w in windows)}; "
+        f"final remote-stall fraction "
+        f"{windows[-1].remote_stall_fraction:.1%}; "
+        f"{n_alerts} alert(s)"
+    )
+    return (
+        f'<div class="card"><h2>{header}</h2>'
+        f'<p class="sub">{_esc(summary)}</p>'
+        f"{_quality_line(analysis)}"
+        f"<h2>Controller phases</h2>{_svg_phase_lane(windows)}"
+        f"<h2>Remote-stall fraction per window</h2>"
+        f"{_svg_remote_line(windows)}"
+        f"<h2>CPI stall breakdown per window</h2>"
+        f"{_svg_stall_area(windows)}"
+        f"{_windows_table(windows)}</div>"
+    )
+
+
+def _document(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_STYLE}</style></head>"
+        f'<body class="viz-root">{body}</body></html>'
+    )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def render_run_report(
+    analysis: RunAnalysis,
+    title: Optional[str] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    trace_href: Optional[str] = None,
+) -> str:
+    """One run's analysis as a self-contained HTML document."""
+    label = " / ".join(
+        part for part in (analysis.workload, analysis.policy) if part
+    ) or "run"
+    title = title or f"repro report: {label}"
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        '<p class="sub">Phase-aware flight recorder: windowed '
+        "time-series, derived stall analytics and checks.</p>",
+    ]
+    if trace_href:
+        body.append(
+            f'<p class="sub">Event trace: <a href="{_esc(trace_href)}">'
+            f"{_esc(trace_href)}</a> (open in "
+            f'<a href="https://ui.perfetto.dev">Perfetto</a>)</p>'
+        )
+    body.append(_run_section(label, analysis))
+    body.append(_alerts_section({label: analysis}))
+    body.append(_stages_section(metrics or {}))
+    return _document(title, "".join(body))
+
+
+def render_sweep_report(
+    analyses: Mapping[str, RunAnalysis],
+    title: str = "repro sweep report",
+    metrics: Optional[Mapping[str, Any]] = None,
+    trace_href: Optional[str] = None,
+) -> str:
+    """A labelled sweep's analyses as one self-contained HTML document,
+    with per-worker utilization parsed from the merged metrics."""
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">{len(analyses)} run(s) analysed.</p>',
+    ]
+    if trace_href:
+        body.append(
+            f'<p class="sub">Event trace: <a href="{_esc(trace_href)}">'
+            f"{_esc(trace_href)}</a></p>"
+        )
+    body.append(_alerts_section(analyses))
+    workers = _workers_from_metrics(metrics)
+    if workers:
+        body.append(
+            '<div class="card"><h2>Per-worker utilization</h2>'
+            + _svg_worker_bars(workers)
+            + "</div>"
+        )
+    body.append(_stages_section(metrics or {}))
+    for label, analysis in analyses.items():
+        body.append(_run_section(label, analysis))
+    return _document(title, "".join(body))
+
+
+def write_report(
+    path,
+    analyses: Mapping[str, RunAnalysis],
+    title: Optional[str] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    trace_href: Optional[str] = None,
+) -> Path:
+    """Write the HTML report (run report for a single analysis, sweep
+    report otherwise) and return the path written."""
+    path = Path(path)
+    if len(analyses) == 1:
+        ((label, analysis),) = analyses.items()
+        text = render_run_report(
+            analysis,
+            title=title or f"repro report: {label}",
+            metrics=metrics,
+            trace_href=trace_href,
+        )
+    else:
+        text = render_sweep_report(
+            analyses,
+            title=title or "repro sweep report",
+            metrics=metrics,
+            trace_href=trace_href,
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def write_report_jsonl(
+    path,
+    analyses: Mapping[str, RunAnalysis],
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Line-oriented export of the same data the HTML renders.
+
+    One ``meta`` line, then per run: ``window`` lines, ``alert`` lines
+    and an optional ``cluster_quality`` line; a final ``metrics`` line
+    carries the merged snapshot when provided.  Each line is a complete
+    JSON object, so tooling can stream without loading the file whole.
+    """
+    path = Path(path)
+    lines: List[str] = [
+        json.dumps(
+            {
+                "type": "meta",
+                "runs": list(analyses),
+                "alerts_total": sum(
+                    len(a.alerts) for a in analyses.values()
+                ),
+            },
+            sort_keys=True,
+        )
+    ]
+    for label, analysis in analyses.items():
+        for window in analysis.windows:
+            lines.append(
+                json.dumps(
+                    {"type": "window", "run": label, **window.to_dict()},
+                    sort_keys=True,
+                )
+            )
+        for alert in analysis.alerts:
+            lines.append(
+                json.dumps(
+                    {"type": "alert", "run": label, **alert.to_dict()},
+                    sort_keys=True,
+                )
+            )
+        if analysis.cluster_quality:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "cluster_quality",
+                        "run": label,
+                        **analysis.cluster_quality,
+                    },
+                    sort_keys=True,
+                )
+            )
+    if metrics:
+        lines.append(
+            json.dumps(
+                {"type": "metrics", "metrics": dict(metrics)},
+                sort_keys=True,
+            )
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,19 +1,23 @@
-"""Process-wide observability session: an ambient recorder + registry.
+"""Process-wide observability session: ambient recorder + registry +
+time-series store.
 
-The CLI's ``--trace``/``--metrics`` flags must observe *existing*
-experiment runners without threading a recorder through every runner
-signature.  This module holds the ambient pair: a
+The CLI's ``--trace``/``--metrics``/``--report`` flags must observe
+*existing* experiment runners without threading a recorder through every
+runner signature.  This module holds the ambient triple: a
 :class:`~repro.sim.engine.Simulator` built without explicit ``recorder``
-/``metrics`` arguments picks up the session recorder, and merges its
-per-run registry into the session registry when the run finishes.
+/``metrics`` arguments picks up the session recorder, merges its per-run
+registry into the session registry when the run finishes, and -- when an
+enabled session time-series store is installed -- folds its closed
+windows into it too.
 
 Scope notes:
 
 * The session is per-process.  Parallel sweep workers
   (:mod:`repro.experiments.parallel`) do not inherit it; their metrics
-  travel back inside each :class:`~repro.sim.results.SimResult` and are
-  folded with :func:`~repro.obs.metrics.merge_snapshots` instead.
-* Sessions nest (the context manager restores the previous pair), but
+  travel back inside each :class:`~repro.sim.results.SimResult` (as do
+  their windows, via ``SimResult.windows``) and are folded with
+  :func:`~repro.obs.metrics.merge_snapshots` instead.
+* Sessions nest (the context manager restores the previous triple), but
   there is deliberately no thread-local magic: the simulator is
   single-threaded and the CLI is the only expected user.
 """
@@ -25,9 +29,11 @@ from typing import Optional, Tuple
 
 from .metrics import MetricsRegistry
 from .recorder import NULL_RECORDER
+from .timeseries import NULL_TIMESERIES
 
 _active_recorder = NULL_RECORDER
 _active_registry: Optional[MetricsRegistry] = None
+_active_timeseries = NULL_TIMESERIES
 
 
 def active_recorder():
@@ -40,20 +46,33 @@ def active_registry() -> Optional[MetricsRegistry]:
     return _active_registry
 
 
-@contextmanager
-def observe(recorder=None, registry: Optional[MetricsRegistry] = None):
-    """Install ``recorder``/``registry`` as the ambient pair.
+def active_timeseries():
+    """The ambient time-series store (the shared NullTimeSeriesStore
+    outside a session)."""
+    return _active_timeseries
 
-    Either may be None to leave that half unchanged.  Yields the
-    ``(recorder, registry)`` pair actually in effect.
+
+@contextmanager
+def observe(
+    recorder=None,
+    registry: Optional[MetricsRegistry] = None,
+    timeseries=None,
+):
+    """Install ``recorder``/``registry``/``timeseries`` ambiently.
+
+    Any may be None to leave that slot unchanged.  Yields the
+    ``(recorder, registry)`` pair actually in effect (the historical
+    shape; read the store back with :func:`active_timeseries`).
     """
-    global _active_recorder, _active_registry
-    previous: Tuple = (_active_recorder, _active_registry)
+    global _active_recorder, _active_registry, _active_timeseries
+    previous: Tuple = (_active_recorder, _active_registry, _active_timeseries)
     if recorder is not None:
         _active_recorder = recorder
     if registry is not None:
         _active_registry = registry
+    if timeseries is not None:
+        _active_timeseries = timeseries
     try:
         yield (_active_recorder, _active_registry)
     finally:
-        _active_recorder, _active_registry = previous
+        _active_recorder, _active_registry, _active_timeseries = previous

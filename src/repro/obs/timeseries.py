@@ -1,0 +1,265 @@
+"""Windowed time-series: phase-attributed metric windows over a run.
+
+End-of-run snapshots (PR 2) answer *what* a run cost; they cannot answer
+*when* the clustering controller paid off.  This module adds the flight
+recorder: the engine closes a :class:`Window` every N rounds -- and
+early, whenever the controller changes phase -- so every window is
+attributable to exactly one controller phase (monitoring/detecting) and
+carries the *deltas* of a curated set of cumulative counters (stall
+cycles by cause, instructions, migrations, detection outcomes) over its
+span.  The derived-metrics engine (:mod:`repro.obs.analysis`) and the
+HTML report (:mod:`repro.obs.report`) are read-side consumers.
+
+Design rules, mirroring the recorder:
+
+* **Zero-cost when disabled.**  :data:`NULL_TIMESERIES` has ``enabled``
+  False; the engine only constructs a :class:`WindowTracker` when
+  ``SimConfig.timeseries_interval > 0`` or an enabled ambient store is
+  installed, so the default per-round cost is one ``is None`` check.
+* **Cheap deltas, not snapshots.**  The tracker samples cumulative
+  values once per *window* (not per round) and stores differences; no
+  registry-wide dict is built on the hot path.
+* **Bounded.**  :class:`TimeSeriesStore` is a ring: past ``max_windows``
+  the oldest window is overwritten and counted in ``dropped``, so an
+  unbounded sweep cannot eat memory and the tail is always intact.
+* **No pmu imports.**  Window series are keyed by plain strings (stall
+  causes by their ``.value``); the engine does the enum-to-string
+  conversion so this module never imports :mod:`repro.pmu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: window-boundary reasons
+BOUNDARY_INTERVAL = "interval"  #: the round interval elapsed
+BOUNDARY_PHASE = "phase"  #: the controller changed phase
+BOUNDARY_FINAL = "final"  #: the run ended mid-window
+
+
+@dataclass(frozen=True)
+class Window:
+    """One closed window: a phase-attributed span of rounds.
+
+    ``series`` maps series name to the *delta* of that cumulative
+    counter over the window (e.g. ``stall_cycles{cause=dcache_remote_l2}``
+    -> cycles charged during this window).  ``phase`` is the controller
+    phase when the window *opened*; a phase-boundary window ends at the
+    round in which the transition happened.
+    """
+
+    index: int
+    start_round: int  #: first round included (0-based)
+    end_round: int  #: last round included
+    start_cycle: float
+    end_cycle: float
+    phase: str  #: "monitoring"/"detecting"; "" without a controller
+    boundary: str  #: why the window closed (interval/phase/final)
+    series: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_rounds(self) -> int:
+        return self.end_round - self.start_round + 1
+
+    @property
+    def elapsed_cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (what ``SimResult.windows`` carries across
+        process boundaries and into exported archives)."""
+        return {
+            "index": self.index,
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "phase": self.phase,
+            "boundary": self.boundary,
+            "series": dict(self.series),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Window":
+        return cls(
+            index=data["index"],
+            start_round=data["start_round"],
+            end_round=data["end_round"],
+            start_cycle=data["start_cycle"],
+            end_cycle=data["end_cycle"],
+            phase=data["phase"],
+            boundary=data["boundary"],
+            series=dict(data.get("series", {})),
+        )
+
+
+class NullTimeSeriesStore:
+    """Zero-cost default: stores nothing, drops everything."""
+
+    enabled = False
+    dropped = 0
+    total_appended = 0
+
+    def append(self, window: Window) -> None:
+        pass
+
+    def note_phase_transition(
+        self, cycle: int, from_phase: str, to_phase: str
+    ) -> None:
+        pass
+
+    def windows(self) -> List[Window]:
+        return []
+
+    def phase_transitions(self) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared no-op store; safe because it holds no per-run state
+NULL_TIMESERIES = NullTimeSeriesStore()
+
+
+class TimeSeriesStore:
+    """Ring-buffered home for closed windows and phase markers.
+
+    The engine writes a per-run store; the CLI can additionally install
+    one as the ambient session store (``observe(timeseries=...)``), in
+    which case each run's windows are folded in at run end -- the same
+    pattern the metrics registry uses.
+    """
+
+    enabled = True
+
+    def __init__(self, max_windows: int = 4096) -> None:
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self.max_windows = max_windows
+        self.dropped = 0
+        self.total_appended = 0
+        self._ring: List[Window] = [None] * max_windows  # type: ignore
+        self._next = 0
+        self._filled = 0
+        #: exact-cycle phase markers from the controller (the window
+        #: boundary is round-granular; these pin the precise cycle)
+        self._transitions: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def append(self, window: Window) -> None:
+        if self._filled == self.max_windows:
+            self.dropped += 1
+        else:
+            self._filled += 1
+        self._ring[self._next] = window
+        self._next = (self._next + 1) % self.max_windows
+        self.total_appended += 1
+
+    def note_phase_transition(
+        self, cycle: int, from_phase: str, to_phase: str
+    ) -> None:
+        self._transitions.append(
+            {"cycle": cycle, "from_phase": from_phase, "to_phase": to_phase}
+        )
+
+    # ------------------------------------------------------------------
+    def windows(self) -> List[Window]:
+        """Retained windows, oldest first."""
+        if self._filled < self.max_windows:
+            return [w for w in self._ring[: self._filled]]
+        return self._ring[self._next:] + self._ring[: self._next]
+
+    def phase_transitions(self) -> List[Dict[str, Any]]:
+        return list(self._transitions)
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def clear(self) -> None:
+        self._ring = [None] * self.max_windows  # type: ignore
+        self._next = 0
+        self._filled = 0
+        self.dropped = 0
+        self.total_appended = 0
+        self._transitions = []
+
+
+class WindowTracker:
+    """Engine-side driver: turns per-round ticks into closed windows.
+
+    ``sample`` returns the current *cumulative* value of every tracked
+    series; the tracker samples at window boundaries only and stores
+    per-window deltas.  A window closes when ``interval`` rounds have
+    accumulated, when the controller phase observed at round end differs
+    from the phase the window opened under, or at :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        store,
+        interval: int,
+        sample: Callable[[], Dict[str, float]],
+        phase: str = "",
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.store = store
+        self.interval = interval
+        self._sample = sample
+        self._prev = sample()
+        self._open_round = 0
+        self._open_cycle = 0.0
+        self._open_phase = phase
+        self._n_closed = 0
+        self._rounds_seen = 0
+        #: the run's own windows, oldest first (unbounded: a run closes
+        #: at most n_rounds/interval + transitions windows)
+        self.windows: List[Window] = []
+
+    # ------------------------------------------------------------------
+    def on_round_end(self, round_index: int, cycle: float, phase: str) -> None:
+        """Called by the engine after every round (controller ticked)."""
+        self._rounds_seen += 1
+        if phase != self._open_phase:
+            # The transition happened during this round: close the open
+            # window at it, attributed to the phase it opened under.
+            self._close(round_index, cycle, BOUNDARY_PHASE, phase)
+        elif self._rounds_seen >= self.interval:
+            self._close(round_index, cycle, BOUNDARY_INTERVAL, phase)
+
+    def finish(self, round_index: int, cycle: float) -> None:
+        """Close the trailing partial window at run end."""
+        if self._rounds_seen > 0:
+            self._close(round_index, cycle, BOUNDARY_FINAL, self._open_phase)
+
+    # ------------------------------------------------------------------
+    def _close(
+        self, end_round: int, end_cycle: float, boundary: str, next_phase: str
+    ) -> None:
+        current = self._sample()
+        previous = self._prev
+        series = {
+            key: value - previous.get(key, 0.0)
+            for key, value in current.items()
+        }
+        window = Window(
+            index=self._n_closed,
+            start_round=self._open_round,
+            end_round=end_round,
+            start_cycle=self._open_cycle,
+            end_cycle=end_cycle,
+            phase=self._open_phase,
+            boundary=boundary,
+            series=series,
+        )
+        self.windows.append(window)
+        if self.store.enabled:
+            self.store.append(window)
+        self._n_closed += 1
+        self._prev = current
+        self._open_round = end_round + 1
+        self._open_cycle = end_cycle
+        self._open_phase = next_phase
+        self._rounds_seen = 0

@@ -130,6 +130,16 @@ class SimConfig:
     #: rounds between timeline samples (for figures over time)
     timeline_interval: int = 10
 
+    # ----------------------------------------------------- observability
+    #: rounds per flight-recorder window (repro.obs.timeseries); 0
+    #: disables collection unless an enabled ambient session store is
+    #: installed, in which case the engine's default width applies
+    timeseries_interval: int = 0
+    #: harness self-profiling: per-stage wall-time histograms
+    #: (engine_stage_seconds{stage=...}) -- off by default because the
+    #: perf_counter calls are measurable on the hot loop
+    self_profile: bool = False
+
     # ------------------------------------------------------------ (de)serialisation
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot of every scalar setting.
@@ -185,11 +195,14 @@ class SimConfig:
                 "min_actionable_cluster_size": self.controller_config.min_actionable_cluster_size,
                 "futile_backoff_factor": self.controller_config.futile_backoff_factor,
                 "max_cooldown_cycles": self.controller_config.max_cooldown_cycles,
+                "execute_migrations": self.controller_config.execute_migrations,
             },
             "imbalance_tolerance": self.imbalance_tolerance,
             "intra_chip_placement": self.intra_chip_placement,
             "seed": self.seed,
             "timeline_interval": self.timeline_interval,
+            "timeseries_interval": self.timeseries_interval,
+            "self_profile": self.self_profile,
         }
 
     @classmethod
@@ -254,3 +267,5 @@ class SimConfig:
             raise ValueError("sampling_period must be >= 1")
         if self.timeline_interval <= 0:
             raise ValueError("timeline_interval must be positive")
+        if self.timeseries_interval < 0:
+            raise ValueError("timeseries_interval must be >= 0 (0 = off)")

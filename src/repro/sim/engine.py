@@ -33,7 +33,9 @@ from ..obs import (
     KIND_QUANTUM,
     KIND_ROUND_END,
     KIND_ROUND_START,
+    TIME_BUCKETS,
     MetricsRegistry,
+    WindowTracker,
 )
 from ..obs import session as obs_session
 from ..clustering.migration import MigrationPlanner
@@ -49,6 +51,10 @@ from ..workloads.base import WorkloadModel
 from .config import SimConfig
 from .results import SimResult, ThreadSummary, TimelinePoint
 
+#: window width (rounds) when time-series collection is enabled by an
+#: ambient session store without an explicit SimConfig interval
+DEFAULT_WINDOW_ROUNDS = 25
+
 
 class Simulator:
     """One reproducible simulation of a workload under a policy."""
@@ -59,11 +65,15 @@ class Simulator:
         config: SimConfig,
         recorder=None,
         metrics: Optional[MetricsRegistry] = None,
+        timeseries=None,
     ) -> None:
         """``recorder`` defaults to the ambient session recorder (the
         no-op NullRecorder outside a ``repro.obs.observe`` block);
         ``metrics`` defaults to a fresh per-run registry whose snapshot
-        lands in ``SimResult.metrics``."""
+        lands in ``SimResult.metrics``; ``timeseries`` defaults to the
+        ambient session store (the no-op NullTimeSeriesStore outside a
+        session) -- windows are collected when either that store is
+        enabled or ``config.timeseries_interval > 0``."""
         config.validate()
         self.config = config
         self.workload = workload
@@ -71,6 +81,11 @@ class Simulator:
             recorder if recorder is not None else obs_session.active_recorder()
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeseries = (
+            timeseries
+            if timeseries is not None
+            else obs_session.active_timeseries()
+        )
         self.spec = config.resolve_machine()
         self.machine = self.spec.machine
         n_cpus = self.machine.n_cpus
@@ -129,6 +144,7 @@ class Simulator:
                 remote_event_counter=self.hierarchy.stats.remote_accesses,
                 recorder=self.recorder,
                 metrics=self.metrics,
+                timeseries=self.timeseries,
             )
 
         # Hot-path lookup tables.
@@ -187,25 +203,59 @@ class Simulator:
         recorder = self.recorder
         tracing = recorder.enabled
 
+        tracker = self._make_window_tracker()
+        profile = config.self_profile
+        if profile:
+            from time import perf_counter
+
+            stage_hist = {
+                stage: self.metrics.histogram(
+                    "engine_stage_seconds", buckets=TIME_BUCKETS, stage=stage
+                )
+                for stage in ("round", "sched_tick", "controller_tick")
+            }
+
         for round_index in range(n_rounds):
             if tracing:
                 recorder.now = int(self.mean_cycle)
                 recorder.emit(KIND_ROUND_START, index=round_index)
-            self._run_round()
-            self.scheduler.tick()
+            if profile:
+                t0 = perf_counter()
+                self._run_round()
+                t1 = perf_counter()
+                self.scheduler.tick()
+                stage_hist["round"].observe(t1 - t0)
+                stage_hist["sched_tick"].observe(perf_counter() - t1)
+            else:
+                self._run_round()
+                self.scheduler.tick()
             if round_callback is not None:
                 round_callback(round_index, self)
             if tracing:
                 recorder.now = int(self.mean_cycle)
                 recorder.emit(KIND_ROUND_END, index=round_index)
             if self.controller is not None:
+                if profile:
+                    t0 = perf_counter()
                 event = self.controller.on_tick(int(self.mean_cycle))
+                if profile:
+                    stage_hist["controller_tick"].observe(perf_counter() - t0)
                 if event is not None:
                     # Keep the signatures that produced this clustering
                     # (the next detection phase will reset the tables).
                     registry = self.controller.shmap_registry
                     self._shmap_matrix = registry.combined_matrix()
                     self._shmap_tids = registry.combined_tids()
+            if tracker is not None:
+                tracker.on_round_end(
+                    round_index,
+                    self.mean_cycle,
+                    (
+                        self.controller.phase.value
+                        if self.controller is not None
+                        else ""
+                    ),
+                )
 
             if round_index + 1 == measure_round:
                 window_snapshot = self.stall.snapshot()
@@ -232,6 +282,9 @@ class Simulator:
                 last_snapshot = snapshot
                 last_cycle = now
 
+        if tracker is not None:
+            tracker.finish(n_rounds - 1, self.mean_cycle)
+
         final_snapshot = self.stall.snapshot()
         self._publish_run_metrics(final_snapshot)
         return SimResult(
@@ -257,6 +310,11 @@ class Simulator:
             sampling_overhead_cycles=self.capture.stats.overhead_cycles,
             metrics=self.metrics.snapshot(),
             workload_stats=dict(self.workload.run_stats()),
+            windows=(
+                [w.to_dict() for w in tracker.windows]
+                if tracker is not None
+                else []
+            ),
         )
 
     def _publish_run_metrics(self, final_snapshot) -> None:
@@ -280,6 +338,65 @@ class Simulator:
         session_registry = obs_session.active_registry()
         if session_registry is not None and session_registry is not metrics:
             session_registry.merge(metrics)
+
+    # ------------------------------------------------------------------
+    def _make_window_tracker(self) -> Optional[WindowTracker]:
+        """The flight recorder's write side, or None when disabled.
+
+        Enabled by ``SimConfig.timeseries_interval > 0`` or an enabled
+        (ambient or explicit) time-series store; disabled runs pay one
+        ``is None`` check per round.
+        """
+        interval = self.config.timeseries_interval
+        if interval <= 0 and not self.timeseries.enabled:
+            return None
+        metrics = self.metrics
+        self._ts_migration_counters = {
+            reason: metrics.counter("sched_migrations_total", reason=reason)
+            for reason in ("cluster", "reactive", "proactive")
+        }
+        self._ts_detection_counters = {
+            outcome: metrics.counter(
+                "controller_detections_total", outcome=outcome
+            )
+            for outcome in ("actionable", "futile", "starved")
+        }
+        self._ts_migrations_executed = metrics.counter(
+            "controller_migrations_executed_total"
+        )
+        return WindowTracker(
+            self.timeseries,
+            interval if interval > 0 else DEFAULT_WINDOW_ROUNDS,
+            self._timeseries_sample,
+            phase=(
+                self.controller.phase.value
+                if self.controller is not None
+                else ""
+            ),
+        )
+
+    def _timeseries_sample(self) -> dict:
+        """Current cumulative values of the windowed series.
+
+        Called once per window boundary, not per round.  Stall causes
+        are keyed by their string value so the obs layer never imports
+        pmu enums (pmu imports obs, not vice versa).
+        """
+        snapshot = self.stall.snapshot()
+        sample = {
+            "cycles": self.mean_cycle,
+            "instructions": float(snapshot.instructions),
+            "remote_accesses": float(self.hierarchy.stats.remote_accesses()),
+            "samples_delivered": float(self.capture.stats.samples_delivered),
+            "migrations_executed": float(self._ts_migrations_executed.value),
+        }
+        for cause, cycles in snapshot.as_dict().items():
+            sample[f"stall_cycles{{cause={cause.value}}}"] = float(cycles)
+        for reason, counter in self._ts_migration_counters.items():
+            sample[f"migrations{{reason={reason}}}"] = float(counter.value)
+        for outcome, counter in self._ts_detection_counters.items():
+            sample[f"detections{{outcome={outcome}}}"] = float(counter.value)
+        return sample
 
     # ------------------------------------------------------------------
     def _run_round(self) -> None:

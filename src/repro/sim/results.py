@@ -92,6 +92,11 @@ class SimResult:
     #: collected here because the workload object itself never crosses
     #: back from a parallel sweep worker
     workload_stats: Dict[str, Any] = field(default_factory=dict)
+    #: flight-recorder windows (:meth:`repro.obs.Window.to_dict` dicts),
+    #: phase-attributed per-window counter deltas; empty unless
+    #: ``SimConfig.timeseries_interval > 0`` or a session store was
+    #: enabled -- plain dicts so they survive sweep-worker pickling
+    windows: List[Dict[str, Any]] = field(default_factory=list)
     #: provenance stamped by the parallel sweep runner so a failed or
     #: surprising task is reproducible from logs alone
     task_seed: Optional[int] = None

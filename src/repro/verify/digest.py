@@ -32,6 +32,11 @@ from ..sim.results import SimResult
 #: dependent on *which process* executed the run, not on its outcome
 PROVENANCE_FIELDS = ("worker_pid",)
 
+#: metric series stripped from canonical states: harness self-profiling
+#: (wall-clock timings, pid-labeled worker utilization) depends on which
+#: process ran the simulation and how fast, not on what it computed
+PROVENANCE_METRIC_PREFIXES = ("sweep_worker_", "engine_stage_seconds")
+
 
 @dataclass(frozen=True)
 class Mismatch:
@@ -173,7 +178,13 @@ def result_state(result: SimResult) -> Dict[str, Any]:
         ),
         "shmap_tids": list(result.shmap_tids),
         "sampling_overhead_cycles": result.sampling_overhead_cycles,
-        "metrics": _jsonify(result.metrics),
+        "metrics": _jsonify(
+            {
+                key: value
+                for key, value in result.metrics.items()
+                if not key.startswith(PROVENANCE_METRIC_PREFIXES)
+            }
+        ),
         "workload_stats": _jsonify(result.workload_stats),
         "task_seed": result.task_seed,
     }

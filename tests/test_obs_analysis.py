@@ -1,0 +1,258 @@
+"""Derived-metrics engine tests (repro.obs.analysis): unit tests over
+synthetic windows plus the PR's acceptance criteria over real runs --
+the fig6 clustered workload shows the post-migration remote-stall drop
+in its windows, and the migration-effectiveness alert fires on an
+ablation run whose controller clusters but never migrates.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.obs import (
+    KIND_ANALYSIS_ALERT,
+    AnalysisConfig,
+    MetricsRegistry,
+    RingBufferRecorder,
+    Window,
+    analyze_run,
+    analyze_sweep,
+    analyze_windows,
+    derive_windows,
+)
+from repro.sched.placement import PlacementPolicy
+from repro.sim.engine import run_simulation
+
+N_ROUNDS = 300
+INTERVAL = 20
+
+
+def make_window(index, remote=0.0, actionable=0.0, executed=0.0,
+                cycles=1000.0, instructions=800.0):
+    """A synthetic raw window with a controllable remote-stall share."""
+    remote_cycles = cycles * remote
+    series = {
+        "cycles": cycles,
+        "instructions": instructions,
+        "stall_cycles{cause=completion}": cycles - remote_cycles,
+        "stall_cycles{cause=dcache_remote_l2}": remote_cycles,
+        "detections{outcome=actionable}": actionable,
+        "migrations_executed": executed,
+        "migrations{reason=cluster}": executed,
+    }
+    return Window(
+        index=index,
+        start_round=index * 10,
+        end_round=index * 10 + 9,
+        start_cycle=index * cycles,
+        end_cycle=(index + 1) * cycles,
+        phase="monitoring",
+        boundary="interval",
+        series=series,
+    )
+
+
+class TestDeriveWindows:
+    def test_fractions_and_rates(self):
+        (derived,) = derive_windows([make_window(0, remote=0.25)])
+        assert derived.remote_stall_fraction == pytest.approx(0.25)
+        assert derived.stall_fractions["completion"] == pytest.approx(0.75)
+        assert derived.ipc == pytest.approx(800.0 / 1000.0)
+        assert derived.cpi == pytest.approx(1000.0 / 800.0)
+
+    def test_accepts_dict_form(self):
+        raw = make_window(0, remote=0.5).to_dict()
+        (derived,) = derive_windows([raw])
+        assert derived.remote_stall_fraction == pytest.approx(0.5)
+
+    def test_empty_window_is_all_zero(self):
+        window = Window(0, 0, 9, 0.0, 0.0, "", "interval", series={})
+        (derived,) = derive_windows([window])
+        assert derived.remote_stall_fraction == 0.0
+        assert derived.ipc == 0.0
+        assert derived.cpi == 0.0
+
+
+class TestEffectivenessCheck:
+    def test_drop_within_k_windows_passes(self):
+        windows = [
+            make_window(0, remote=0.05),
+            make_window(1, remote=0.22, actionable=1, executed=8),
+            make_window(2, remote=0.21),
+            make_window(3, remote=0.02),  # drop inside K=3
+            make_window(4, remote=0.02),
+        ]
+        analysis = analyze_windows(windows, metrics=MetricsRegistry())
+        assert analysis.alerts == []
+
+    def test_no_drop_fires_critical_alert(self):
+        windows = [
+            make_window(0, remote=0.22, actionable=1, executed=0),
+            make_window(1, remote=0.21),
+            make_window(2, remote=0.22),
+            make_window(3, remote=0.23),
+        ]
+        registry = MetricsRegistry()
+        recorder = RingBufferRecorder(capacity=16)
+        analysis = analyze_windows(
+            windows, recorder=recorder, metrics=registry
+        )
+        (alert,) = [
+            a for a in analysis.alerts if a.name == "migration_ineffective"
+        ]
+        assert alert.severity == "critical"
+        assert alert.window_index == 0
+        # Emitted as trace event + counted in metrics.
+        events = [
+            e for e in recorder.events() if e.kind == KIND_ANALYSIS_ALERT
+        ]
+        assert events and events[0].data["alert"] == "migration_ineffective"
+        snap = registry.snapshot()
+        assert snap["obs_alerts_total{alert=migration_ineffective}"] >= 1
+
+    def test_low_pre_fraction_is_exempt(self):
+        windows = [
+            make_window(0, remote=0.05, actionable=1, executed=4),
+            make_window(1, remote=0.05),
+            make_window(2, remote=0.05),
+            make_window(3, remote=0.05),
+        ]
+        analysis = analyze_windows(windows, metrics=MetricsRegistry())
+        assert analysis.alerts == []
+
+    def test_run_ending_at_migration_not_judged(self):
+        windows = [make_window(0, remote=0.3, actionable=1, executed=4)]
+        analysis = analyze_windows(windows, metrics=MetricsRegistry())
+        assert analysis.alerts == []
+
+
+class TestSustainedCheck:
+    def test_sustained_high_remote_without_clustering_warns(self):
+        windows = [make_window(i, remote=0.25) for i in range(6)]
+        analysis = analyze_windows(windows, metrics=MetricsRegistry())
+        (alert,) = analysis.alerts
+        assert alert.name == "remote_stall_sustained"
+        assert alert.severity == "warning"
+
+    def test_actionable_round_suppresses_sustained(self):
+        windows = [
+            make_window(i, remote=0.25, actionable=(1 if i == 0 else 0))
+            for i in range(6)
+        ]
+        config = AnalysisConfig(min_pre_fraction=0.5)  # mute the other check
+        analysis = analyze_windows(
+            windows, config=config, metrics=MetricsRegistry()
+        )
+        assert analysis.alerts == []
+
+    def test_short_runs_do_not_warn(self):
+        windows = [make_window(i, remote=0.25) for i in range(3)]
+        analysis = analyze_windows(windows, metrics=MetricsRegistry())
+        assert analysis.alerts == []
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(effectiveness_windows=0)
+        with pytest.raises(ValueError):
+            AnalysisConfig(min_drop_fraction=0.0)
+        with pytest.raises(ValueError):
+            AnalysisConfig(sustained_min_windows=0)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: real runs
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def clustered_run():
+    """The fig6 clustered workload with the flight recorder on."""
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED,
+        n_rounds=N_ROUNDS,
+        timeseries_interval=INTERVAL,
+    )
+    return run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+
+
+@pytest.fixture(scope="module")
+def ablation_run():
+    """Clustering enabled but migrations disabled: detections stay
+    actionable, nothing moves, remote stalls never drop."""
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED,
+        n_rounds=N_ROUNDS,
+        timeseries_interval=INTERVAL,
+    )
+    config.controller_config = replace(
+        config.controller_config, execute_migrations=False
+    )
+    return run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+
+
+class TestAcceptance:
+    def test_windows_show_post_migration_drop(self, clustered_run):
+        analysis = analyze_run(clustered_run, metrics=MetricsRegistry())
+        assert len(analysis.windows) >= 5
+        migration_positions = [
+            i
+            for i, w in enumerate(analysis.windows)
+            if w.migrations_executed > 0
+        ]
+        assert migration_positions, "the clustered run never migrated"
+        position = migration_positions[0]
+        pre = analysis.windows[position].remote_stall_fraction
+        post = min(
+            w.remote_stall_fraction
+            for w in analysis.windows[position + 1: position + 4]
+        )
+        assert pre > 0.1
+        assert post < pre * 0.5, (
+            f"remote stalls did not drop after migration: {pre} -> {post}"
+        )
+        # And therefore the effectiveness check stays quiet.
+        assert not any(
+            a.name == "migration_ineffective" for a in analysis.alerts
+        )
+
+    def test_windows_are_phase_attributed(self, clustered_run):
+        phases = {w.phase for w in derive_windows(clustered_run.windows)}
+        assert "monitoring" in phases
+        assert "detecting" in phases
+
+    def test_ablation_without_migrations_fires_alert(self, ablation_run):
+        registry = MetricsRegistry()
+        analysis = analyze_run(ablation_run, metrics=registry)
+        names = [a.name for a in analysis.alerts]
+        assert "migration_ineffective" in names
+        snap = registry.snapshot()
+        assert snap["obs_alerts_total{alert=migration_ineffective}"] >= 1
+        # The ablation run still *detected* -- it just never moved.
+        assert ablation_run.metrics.get(
+            "controller_migrations_executed_total", 0
+        ) == 0
+
+    def test_cluster_quality_against_reference(self, clustered_run):
+        analysis = analyze_run(clustered_run, metrics=MetricsRegistry())
+        quality = analysis.cluster_quality
+        assert quality is not None
+        assert quality["purity_vs_truth"] >= 0.9
+        assert quality["ari_vs_reference"] >= 0.9
+
+    def test_default_linux_gets_sustained_warning(self):
+        config = evaluation_config(
+            PlacementPolicy.DEFAULT_LINUX,
+            n_rounds=N_ROUNDS,
+            timeseries_interval=INTERVAL,
+        )
+        result = run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+        analysis = analyze_run(result, metrics=MetricsRegistry())
+        assert [a.name for a in analysis.alerts] == ["remote_stall_sustained"]
+
+    def test_analyze_sweep_skips_quarantined(self, clustered_run):
+        analyses = analyze_sweep(
+            {"ok": clustered_run, "failed": None},
+            metrics=MetricsRegistry(),
+        )
+        assert set(analyses) == {"ok"}

@@ -112,3 +112,72 @@ class TestSchema:
         assert not any(
             e.get("name", "").startswith("round.") for e in self.events
         )
+
+
+class TestEdgeCases:
+    def test_empty_recorder_exports_valid_document(self):
+        document = to_chrome_trace([])
+        # Metadata only: the process name (no cpu tracks to name) plus
+        # the controller track.
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "process_name" in names
+        assert all(e["ph"] == "M" for e in document["traceEvents"])
+        json.dumps(document)  # serialisable
+
+    def test_events_after_clear_start_fresh(self):
+        recorder = RingBufferRecorder(capacity=64)
+        recorder.emit(KIND_QUANTUM, cpu=0, tid=0, cycle=0, start=0, dur=10)
+        recorder.clear()
+        assert recorder.dropped == 0 and recorder.total_emitted == 0
+        recorder.emit(KIND_QUANTUM, cpu=1, tid=7, cycle=5, start=5, dur=20)
+        document = to_chrome_trace(recorder.events())
+        quanta = [
+            e for e in document["traceEvents"] if e.get("cat") == "quantum"
+        ]
+        assert [(e["tid"], e["name"]) for e in quanta] == [(1, "t7")]
+
+    def test_partial_sweep_track_inference(self):
+        # Only cpu 3 appears (e.g. a partial worker's view); track
+        # metadata still names cpu0..cpu3 so tids resolve.
+        recorder = RingBufferRecorder(capacity=8)
+        recorder.emit(KIND_QUANTUM, cpu=3, tid=2, cycle=0, start=0, dur=10)
+        document = to_chrome_trace(recorder.events())
+        thread_names = [
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["name"] == "thread_name"
+        ]
+        assert thread_names == ["cpu0", "cpu1", "cpu2", "cpu3", "controller"]
+
+    def test_dropped_metadata_marks_partial_trace(self):
+        recorder = RingBufferRecorder(capacity=2)
+        for i in range(5):
+            recorder.emit(KIND_QUANTUM, cpu=0, tid=0, cycle=i, start=i, dur=1)
+        document = to_chrome_trace(
+            recorder.events(),
+            dropped=recorder.dropped,
+            total_emitted=recorder.total_emitted,
+        )
+        other = document["otherData"]
+        assert other["events_dropped"] == 3
+        assert other["events_emitted"] == 5
+        assert other["events_retained"] == 2
+        assert "partial" in other
+
+    def test_no_drop_keeps_metadata_lean(self):
+        document = to_chrome_trace(golden_events())
+        assert "events_dropped" not in document["otherData"]
+        assert "partial" not in document["otherData"]
+
+    def test_write_passes_drop_counts_through(self, tmp_path):
+        recorder = RingBufferRecorder(capacity=2)
+        for i in range(4):
+            recorder.emit(KIND_QUANTUM, cpu=0, tid=0, cycle=i, start=i, dur=1)
+        path = write_chrome_trace(
+            tmp_path / "trace.json",
+            recorder.events(),
+            dropped=recorder.dropped,
+            total_emitted=recorder.total_emitted,
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["events_dropped"] == 2

@@ -47,14 +47,45 @@ class TestRegistry:
         assert a is not b
         assert len(registry) == 2
 
-    def test_cardinality_cap_fails_loudly(self):
+    def test_cardinality_cap_drops_and_counts(self):
         registry = MetricsRegistry(max_series=4)
         for i in range(4):
             registry.counter("x_total", i=i)
-        with pytest.raises(RuntimeError, match="max_series"):
-            registry.counter("x_total", i=99)
-        # Existing series are still reachable after the refusal.
+        # Saturation: new series are dropped (detached instrument), the
+        # drop is counted, and a one-time warning fires.
+        with pytest.warns(RuntimeWarning, match="max_series"):
+            detached = registry.counter("x_total", i=99)
+        detached.inc()  # usable, just not stored
+        assert len(registry) == 4
+        assert registry.series_dropped == 1
+        # Second drop: counted, but no second warning.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            registry.counter("x_total", i=100)
+        assert registry.series_dropped == 2
+        # The drop counter is visible in snapshots without itself
+        # consuming a series slot.
+        snapshot = registry.snapshot()
+        assert snapshot["obs_series_dropped_total"] == 2
+        assert "x_total{i=99}" not in snapshot
+        # Existing series are still reachable after saturation.
         assert registry.counter("x_total", i=0) is not None
+
+    def test_series_dropped_merges_and_survives_snapshot_merge(self):
+        a = MetricsRegistry(max_series=1)
+        b = MetricsRegistry(max_series=1)
+        a.counter("x_total")
+        b.counter("x_total").inc(2)
+        with pytest.warns(RuntimeWarning):
+            a.counter("y_total", i=1)
+        with pytest.warns(RuntimeWarning):
+            b.counter("y_total", i=2)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["obs_series_dropped_total"] == 2
+        a.merge(b)
+        assert a.series_dropped == 2
 
     def test_type_conflict_raises(self):
         registry = MetricsRegistry()
@@ -146,3 +177,62 @@ class TestSnapshotAndMerge:
 
     def test_merge_empty_is_empty(self):
         assert merge_snapshots([]) == {}
+
+
+class TestQuantiles:
+    """Bucket-interpolated quantiles (Histogram.quantile + snapshots)."""
+
+    def test_quantile_bounds_validation(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert h.quantile(0.5) == 0.0
+
+    def test_interpolation_within_bucket(self):
+        from repro.obs import quantile_from_buckets
+
+        # 4 observations in (0, 10]: the median sits at rank 2 of 4,
+        # i.e. halfway through the bucket -> 5.0 by interpolation.
+        assert quantile_from_buckets((10.0,), [4, 0], 0.5) == pytest.approx(
+            5.0
+        )
+        # Across buckets: 2 in (0,10], 2 in (10,20]; p75 -> rank 3 of 4,
+        # halfway through the second bucket -> 15.0.
+        assert quantile_from_buckets(
+            (10.0, 20.0), [2, 2, 0], 0.75
+        ) == pytest.approx(15.0)
+
+    def test_overflow_bucket_clamps_to_highest_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_snapshot_carries_p50_p95_p99(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = registry.snapshot()["lat"]
+        assert set(snap) >= {"p50", "p95", "p99"}
+        assert snap["p50"] == pytest.approx(h.quantile(0.5))
+        assert snap["p99"] <= 100.0
+
+    def test_merge_snapshots_recomputes_quantiles(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        b = MetricsRegistry()
+        hb = b.histogram("lat", buckets=(1.0, 10.0))
+        for _ in range(99):
+            hb.observe(5.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        # p50 must reflect the folded distribution (dominated by b), not
+        # either input's stale value.
+        assert merged["lat"]["p50"] > 1.0
+        assert merged["lat"]["p50"] == pytest.approx(
+            b.histogram("lat", buckets=(1.0, 10.0)).quantile(0.5), rel=0.2
+        )

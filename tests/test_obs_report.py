@@ -1,0 +1,186 @@
+"""HTML/JSONL report tests (repro.obs.report) and the `repro report`
+CLI subcommand, including the acceptance path: a seeded run with
+``--report`` produces a self-contained HTML artifact whose windows show
+the post-migration remote-stall drop."""
+
+import json
+import re
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.obs import (
+    Alert,
+    MetricsRegistry,
+    RunAnalysis,
+    analyze_run,
+    render_run_report,
+    render_sweep_report,
+    write_report,
+    write_report_jsonl,
+)
+from repro.obs.report import _workers_from_metrics
+from repro.sched.placement import PlacementPolicy
+from repro.sim.engine import run_simulation
+
+
+@pytest.fixture(scope="module")
+def clustered_analysis():
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED,
+        n_rounds=300,
+        timeseries_interval=20,
+        self_profile=True,
+    )
+    result = run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+    return analyze_run(result, metrics=MetricsRegistry()), result
+
+
+class TestRunReport:
+    def test_self_contained_html(self, clustered_analysis):
+        analysis, result = clustered_analysis
+        html = render_run_report(analysis, metrics=result.metrics)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
+        # Self-contained: no external scripts, stylesheets or images.
+        assert "<script" not in html
+        assert 'rel="stylesheet"' not in html
+        assert "<img" not in html
+        # The charts are inline SVG with native tooltips and a legend.
+        assert "<svg" in html and "<title>" in html
+        assert "dcache remote" in html
+        # Dark mode is a selected palette, not an automatic flip.
+        assert "prefers-color-scheme: dark" in html
+
+    def test_windows_table_shows_drop(self, clustered_analysis):
+        analysis, result = clustered_analysis
+        html = render_run_report(analysis, metrics=result.metrics)
+        fractions = [
+            float(m)
+            for m in re.findall(r"remote stall (\d+\.\d+)%", html)
+        ]
+        assert fractions, "no per-window remote-stall tooltips rendered"
+        assert max(fractions) > 10.0  # pre-migration plateau
+        assert min(fractions) < max(fractions) * 0.5  # the drop is visible
+
+    def test_self_profile_stages_rendered(self, clustered_analysis):
+        analysis, result = clustered_analysis
+        html = render_run_report(analysis, metrics=result.metrics)
+        assert "Harness self-profile" in html
+        assert "sched_tick" in html
+
+    def test_trace_link_rendered(self, clustered_analysis):
+        analysis, _ = clustered_analysis
+        html = render_run_report(analysis, trace_href="trace.json")
+        assert 'href="trace.json"' in html
+        assert "perfetto" in html.lower()
+
+    def test_alert_table_with_icon_and_label(self):
+        analysis = RunAnalysis(
+            alerts=[
+                Alert(
+                    name="migration_ineffective",
+                    severity="critical",
+                    window_index=4,
+                    message="remote stalls did not drop",
+                )
+            ]
+        )
+        html = render_run_report(analysis)
+        # Status is never color alone: icon + severity label.
+        assert "&#10006;" in html and "critical" in html
+        assert "migration_ineffective" in html
+
+    def test_empty_analysis_renders(self):
+        html = render_run_report(RunAnalysis())
+        assert "without time-series" in html
+
+
+class TestSweepReport:
+    def test_worker_utilization_from_merged_metrics(self, clustered_analysis):
+        analysis, _ = clustered_analysis
+        metrics = {
+            "sweep_worker_busy_ms_total{pid=100}": 400,
+            "sweep_worker_queue_wait_ms_total{pid=100}": 12,
+            "sweep_worker_tasks_total{pid=100}": 2,
+            "sweep_worker_busy_ms_total{pid=200}": 250,
+            "sweep_worker_tasks_total{pid=200}": 1,
+        }
+        assert set(_workers_from_metrics(metrics)) == {"100", "200"}
+        html = render_sweep_report(
+            {"a": analysis, "b": RunAnalysis()}, metrics=metrics
+        )
+        assert "Per-worker utilization" in html
+        assert "pid 100" in html and "pid 200" in html
+
+    def test_write_report_picks_layout_by_run_count(
+        self, clustered_analysis, tmp_path
+    ):
+        analysis, _ = clustered_analysis
+        single = write_report(tmp_path / "one.html", {"only": analysis})
+        assert "repro report: only" in single.read_text()
+        multi = write_report(
+            tmp_path / "two.html", {"a": analysis, "b": RunAnalysis()}
+        )
+        assert "2 run(s) analysed" in multi.read_text()
+
+
+class TestJsonlExport:
+    def test_every_line_parses_and_types_cover_content(
+        self, clustered_analysis, tmp_path
+    ):
+        analysis, result = clustered_analysis
+        path = write_report_jsonl(
+            tmp_path / "report.jsonl",
+            {"run": analysis},
+            metrics=result.metrics,
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        types = [line["type"] for line in lines]
+        assert types[0] == "meta"
+        assert types.count("window") == len(analysis.windows)
+        assert "cluster_quality" in types
+        assert types[-1] == "metrics"
+        window_lines = [l for l in lines if l["type"] == "window"]
+        assert all("remote_stall_fraction" in l for l in window_lines)
+
+
+class TestCliReport:
+    def test_report_subcommand_writes_artifacts(self, tmp_path, capsys):
+        report_path = tmp_path / "out" / "run.html"
+        assert (
+            cli.main(
+                [
+                    "report",
+                    "--rounds",
+                    "250",
+                    "--report",
+                    str(report_path),
+                    "--out",
+                    str(tmp_path / "json"),
+                ]
+            )
+            == 0
+        )
+        html = report_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        jsonl = (tmp_path / "out" / "run.jsonl").read_text().splitlines()
+        assert all(json.loads(line) for line in jsonl)
+        payload = json.loads(
+            (tmp_path / "json" / "report_microbenchmark.json").read_text()
+        )
+        assert payload["windows"], "exported run carries no windows"
+        output = capsys.readouterr().out
+        assert "wrote report" in output
+
+    def test_report_in_dispatch_and_excluded_from_all(self):
+        assert "report" in cli._DISPATCH
+        assert "report" in cli._RUNNERS
+        parser = cli.build_parser()
+        args = parser.parse_args(["all"])
+        assert args.experiment == "all"
+
+    def test_window_rounds_validation(self):
+        with pytest.raises(SystemExit):
+            cli.main(["report", "--window-rounds", "-1"])

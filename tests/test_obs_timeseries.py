@@ -1,0 +1,151 @@
+"""Unit tests for the windowed time-series store (repro.obs.timeseries)."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TIMESERIES,
+    TimeSeriesStore,
+    Window,
+    WindowTracker,
+)
+from repro.obs.timeseries import (
+    BOUNDARY_FINAL,
+    BOUNDARY_INTERVAL,
+    BOUNDARY_PHASE,
+)
+
+
+class FakeCounters:
+    """A mutable counter set whose snapshot feeds a WindowTracker."""
+
+    def __init__(self):
+        self.values = {"cycles": 0.0, "instructions": 0.0}
+
+    def advance(self, cycles, instructions):
+        self.values["cycles"] += cycles
+        self.values["instructions"] += instructions
+
+    def sample(self):
+        return dict(self.values)
+
+
+class TestWindow:
+    def test_round_trip_dict(self):
+        window = Window(
+            index=3,
+            start_round=50,
+            end_round=74,
+            start_cycle=1000.0,
+            end_cycle=2000.0,
+            phase="monitoring",
+            boundary=BOUNDARY_INTERVAL,
+            series={"cycles": 1000.0},
+        )
+        clone = Window.from_dict(window.to_dict())
+        assert clone == window
+        assert clone.n_rounds == 25
+        assert clone.elapsed_cycles == 1000.0
+
+
+class TestNullStore:
+    def test_disabled_and_inert(self):
+        assert NULL_TIMESERIES.enabled is False
+        NULL_TIMESERIES.note_phase_transition(1.0, "a", "b")
+        assert NULL_TIMESERIES.windows() == []
+        assert NULL_TIMESERIES.phase_transitions() == []
+        assert len(NULL_TIMESERIES) == 0
+
+
+class TestStoreRing:
+    def test_ring_drops_oldest(self):
+        store = TimeSeriesStore(max_windows=2)
+        tracker = WindowTracker(store, interval=1, sample=lambda: {})
+        for i in range(5):
+            tracker.on_round_end(i, float(i), "")
+        assert len(store) == 2
+        assert store.dropped == 3
+        assert store.total_appended == 5
+        assert [w.index for w in store.windows()] == [3, 4]
+
+    def test_clear_resets(self):
+        store = TimeSeriesStore(max_windows=4)
+        tracker = WindowTracker(store, interval=1, sample=lambda: {})
+        tracker.on_round_end(0, 1.0, "")
+        store.note_phase_transition(1.0, "a", "b")
+        store.clear()
+        assert len(store) == 0
+        assert store.dropped == 0
+        assert store.phase_transitions() == []
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(max_windows=0)
+
+
+class TestWindowTracker:
+    def test_interval_boundaries_and_deltas(self):
+        counters = FakeCounters()
+        tracker = WindowTracker(
+            TimeSeriesStore(), interval=2, sample=counters.sample
+        )
+        for round_index in range(4):
+            counters.advance(100, 50)
+            tracker.on_round_end(round_index, counters.values["cycles"], "")
+        assert len(tracker.windows) == 2
+        first, second = tracker.windows
+        assert (first.start_round, first.end_round) == (0, 1)
+        assert (second.start_round, second.end_round) == (2, 3)
+        assert first.boundary == BOUNDARY_INTERVAL
+        # Deltas, not cumulative totals.
+        assert first.series["cycles"] == 200.0
+        assert second.series["cycles"] == 200.0
+        assert second.series["instructions"] == 100.0
+
+    def test_phase_transition_closes_window_early(self):
+        counters = FakeCounters()
+        tracker = WindowTracker(
+            TimeSeriesStore(),
+            interval=10,
+            sample=counters.sample,
+            phase="monitoring",
+        )
+        counters.advance(100, 50)
+        tracker.on_round_end(0, 100.0, "monitoring")
+        counters.advance(100, 50)
+        tracker.on_round_end(1, 200.0, "detecting")  # transition here
+        assert len(tracker.windows) == 1
+        window = tracker.windows[0]
+        assert window.boundary == BOUNDARY_PHASE
+        # The window is attributed to the phase it OPENED under.
+        assert window.phase == "monitoring"
+        assert window.end_round == 1
+        # The next window opens under the new phase.
+        for i in range(2, 12):
+            tracker.on_round_end(i, 200.0 + i, "detecting")
+        assert tracker.windows[1].phase == "detecting"
+
+    def test_finish_closes_partial_window(self):
+        counters = FakeCounters()
+        tracker = WindowTracker(
+            TimeSeriesStore(), interval=10, sample=counters.sample
+        )
+        counters.advance(10, 5)
+        tracker.on_round_end(0, 10.0, "")
+        tracker.finish(0, 10.0)
+        assert len(tracker.windows) == 1
+        assert tracker.windows[0].boundary == BOUNDARY_FINAL
+        # finish() with nothing open is a no-op.
+        tracker.finish(0, 10.0)
+        assert len(tracker.windows) == 1
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WindowTracker(TimeSeriesStore(), interval=0, sample=dict)
+
+    def test_store_records_phase_transitions(self):
+        store = TimeSeriesStore()
+        store.note_phase_transition(10.0, "monitoring", "detecting")
+        (transition,) = store.phase_transitions()
+        assert transition["from_phase"] == "monitoring"
+        assert transition["to_phase"] == "detecting"
+        assert transition["cycle"] == 10.0
