@@ -1,0 +1,454 @@
+/* Columnar cache-walk kernel: the C twin of CacheHierarchy.access().
+ *
+ * The simulation's reference walk is pure integer state-machine work --
+ * set-associative LRU lookups, victim-cache retirement, directory
+ * bookkeeping -- executed once per memory reference.  Python spends
+ * ~2 microseconds per reference on it, which caps the engine-round
+ * throughput the columnar pipeline needs.  This kernel executes the
+ * identical state machine over a whole round's concatenated reference
+ * stream (per-CPU segments, in CPU order) and reports the satisfaction
+ * source of every reference, so the Python side only post-processes
+ * columnar outputs.
+ *
+ * Exactness contract: every mutation below mirrors one statement in
+ * repro/cache/cache.py, hierarchy.py or coherence.py; all arithmetic is
+ * int64, so results are bit-identical to the Python walk.  The victim
+ * of a full set is the lowest-indexed slot with the minimum age,
+ * matching ``row.index(min(row))``; empty slots carry age 0 and ticks
+ * start at 1, so fill-before-evict order matches too.
+ *
+ * Compiled on demand by repro.cache.fastwalk (cc -O2 -shared -fPIC);
+ * when no compiler is available the Python fallback path is used
+ * instead, with identical results.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* satisfaction-source indices, mirroring repro.cache.stats.SOURCE_ORDER */
+#define SRC_L1 0
+#define SRC_LOCAL_L2 1
+#define SRC_LOCAL_L3 2
+#define SRC_REMOTE_L2 3
+#define SRC_REMOTE_L3 4
+#define SRC_MEMORY 5
+#define N_SOURCES 6
+
+typedef struct {
+    int64_t n_sets;
+    int64_t ways;
+    int64_t tick;
+    int64_t hits;
+    int64_t misses;
+    int64_t *line_at; /* n_sets * ways, -1 = empty */
+    int64_t *age;     /* n_sets * ways, 0 = empty  */
+} Cache;
+
+/* Open-addressing line -> holder-chip-bitmask map (the coherence
+ * directory).  Keys are never removed; a mask of 0 means "no holder"
+ * which is exactly CoherenceDirectory dropping the dict entry. */
+typedef struct {
+    int64_t cap;   /* power of two */
+    int64_t count; /* keys present (mask may be 0) */
+    int64_t *keys; /* -1 = empty slot */
+    uint64_t *masks;
+} Dir;
+
+typedef struct {
+    int64_t n_cpus;
+    int64_t n_cores;
+    int64_t n_chips;
+    int64_t *cpu_to_core;
+    int64_t *cpu_to_chip;
+    /* chip -> its core ids (ascending), flat with per-chip count */
+    int64_t *chip_cores;
+    int64_t *chip_core_count;
+    int64_t max_cores_per_chip;
+    Cache *l1; /* per core */
+    Cache *l2; /* per chip */
+    Cache *l3; /* per chip */
+    Dir dir;
+    int64_t invalidations_sent;
+    int64_t lines_ever_shared;
+} Walk;
+
+/* ------------------------------------------------------------------ */
+static void cache_init(Cache *c, int64_t n_sets, int64_t ways) {
+    int64_t n = n_sets * ways;
+    c->n_sets = n_sets;
+    c->ways = ways;
+    c->tick = 0;
+    c->hits = 0;
+    c->misses = 0;
+    c->line_at = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    c->age = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    for (int64_t i = 0; i < n; i++) c->line_at[i] = -1;
+}
+
+static void cache_destroy(Cache *c) {
+    free(c->line_at);
+    free(c->age);
+}
+
+/* SetAssociativeCache.touch */
+static inline int cache_touch(Cache *c, int64_t line) {
+    int64_t base = (line % c->n_sets) * c->ways;
+    for (int64_t w = 0; w < c->ways; w++) {
+        if (c->line_at[base + w] == line) {
+            c->age[base + w] = ++c->tick;
+            c->hits++;
+            return 1;
+        }
+    }
+    c->misses++;
+    return 0;
+}
+
+/* SetAssociativeCache.contains */
+static inline int cache_contains(const Cache *c, int64_t line) {
+    int64_t base = (line % c->n_sets) * c->ways;
+    for (int64_t w = 0; w < c->ways; w++)
+        if (c->line_at[base + w] == line) return 1;
+    return 0;
+}
+
+/* SetAssociativeCache.insert; returns evicted victim line or -1 */
+static inline int64_t cache_insert(Cache *c, int64_t line) {
+    int64_t base = (line % c->n_sets) * c->ways;
+    int64_t tick = ++c->tick;
+    int64_t min_w = 0;
+    int64_t min_age;
+    for (int64_t w = 0; w < c->ways; w++) {
+        if (c->line_at[base + w] == line) {
+            /* re-inserting a present line refreshes its LRU position */
+            c->age[base + w] = tick;
+            return -1;
+        }
+    }
+    min_age = c->age[base];
+    for (int64_t w = 1; w < c->ways; w++) {
+        if (c->age[base + w] < min_age) {
+            min_age = c->age[base + w];
+            min_w = w;
+        }
+    }
+    {
+        int64_t slot = base + min_w;
+        int64_t victim = c->line_at[slot];
+        c->line_at[slot] = line;
+        c->age[slot] = tick;
+        return victim; /* -1 when the slot was empty */
+    }
+}
+
+/* SetAssociativeCache.invalidate */
+static inline void cache_invalidate(Cache *c, int64_t line) {
+    int64_t base = (line % c->n_sets) * c->ways;
+    for (int64_t w = 0; w < c->ways; w++) {
+        if (c->line_at[base + w] == line) {
+            c->line_at[base + w] = -1;
+            c->age[base + w] = 0;
+            return;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+static void dir_init(Dir *d, int64_t cap) {
+    d->cap = cap;
+    d->count = 0;
+    d->keys = (int64_t *)malloc((size_t)cap * sizeof(int64_t));
+    d->masks = (uint64_t *)calloc((size_t)cap, sizeof(uint64_t));
+    for (int64_t i = 0; i < cap; i++) d->keys[i] = -1;
+}
+
+static inline int64_t dir_slot(const Dir *d, int64_t line) {
+    uint64_t h = (uint64_t)line * 0x9E3779B97F4A7C15ULL;
+    int64_t mask = d->cap - 1;
+    int64_t i = (int64_t)(h >> 17) & mask;
+    while (d->keys[i] != line && d->keys[i] != -1) i = (i + 1) & mask;
+    return i;
+}
+
+static void dir_grow(Dir *d) {
+    Dir bigger;
+    dir_init(&bigger, d->cap * 2);
+    for (int64_t i = 0; i < d->cap; i++) {
+        if (d->keys[i] != -1 && d->masks[i] != 0) {
+            int64_t j = dir_slot(&bigger, d->keys[i]);
+            bigger.keys[j] = d->keys[i];
+            bigger.masks[j] = d->masks[i];
+            bigger.count++;
+        }
+    }
+    free(d->keys);
+    free(d->masks);
+    *d = bigger;
+}
+
+/* returns current mask (0 = not held anywhere) */
+static inline uint64_t dir_get(const Dir *d, int64_t line) {
+    int64_t i = dir_slot(d, line);
+    return d->keys[i] == line ? d->masks[i] : 0;
+}
+
+static inline void dir_set(Dir *d, int64_t line, uint64_t mask) {
+    int64_t i = dir_slot(d, line);
+    if (d->keys[i] != line) {
+        d->keys[i] = line;
+        d->count++;
+        if (d->count * 4 >= d->cap * 3) {
+            dir_grow(d);
+            i = dir_slot(d, line);
+            d->keys[i] = line;
+            d->count++;
+        }
+    }
+    d->masks[i] = mask;
+}
+
+static inline int popcount64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(x);
+#else
+    int n = 0;
+    while (x) { x &= x - 1; n++; }
+    return n;
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* CacheHierarchy._purge_chip_l1s */
+static inline void purge_chip_l1s(Walk *wk, int64_t chip, int64_t line) {
+    int64_t *cores = wk->chip_cores + chip * wk->max_cores_per_chip;
+    int64_t n = wk->chip_core_count[chip];
+    for (int64_t i = 0; i < n; i++) cache_invalidate(&wk->l1[cores[i]], line);
+}
+
+/* CacheHierarchy._retire_to_l3 */
+static inline void retire_to_l3(Walk *wk, int64_t chip, int64_t victim) {
+    int64_t displaced = cache_insert(&wk->l3[chip], victim);
+    if (displaced >= 0) {
+        /* the displaced line has now left the chip entirely */
+        uint64_t mask = dir_get(&wk->dir, displaced);
+        dir_set(&wk->dir, displaced, mask & ~(1ULL << chip));
+        purge_chip_l1s(wk, chip, displaced);
+    }
+}
+
+/* CacheHierarchy._install_at_chip (insert, add_holder, then retire) */
+static inline void install_at_chip(Walk *wk, int64_t chip, int64_t line) {
+    int64_t victim = cache_insert(&wk->l2[chip], line);
+    uint64_t bit = 1ULL << chip;
+    uint64_t mask = dir_get(&wk->dir, line);
+    if (mask == 0) {
+        dir_set(&wk->dir, line, bit);
+    } else if (!(mask & bit)) {
+        if (popcount64(mask) == 1) wk->lines_ever_shared++;
+        dir_set(&wk->dir, line, mask | bit);
+    }
+    if (victim >= 0) retire_to_l3(wk, chip, victim);
+}
+
+/* CacheHierarchy._promote_from_l3 */
+static inline void promote_from_l3(Walk *wk, int64_t chip, int64_t line) {
+    cache_invalidate(&wk->l3[chip], line);
+    {
+        int64_t victim = cache_insert(&wk->l2[chip], line);
+        if (victim >= 0) retire_to_l3(wk, chip, victim);
+    }
+}
+
+/* CacheHierarchy._service_chip_miss */
+static inline int service_chip_miss(Walk *wk, int64_t chip, int64_t line) {
+    uint64_t others = dir_get(&wk->dir, line) & ~(1ULL << chip);
+    if (!others) return SRC_MEMORY;
+    for (int64_t c = 0; c < wk->n_chips; c++)
+        if ((others >> c) & 1)
+            if (cache_contains(&wk->l2[c], line)) return SRC_REMOTE_L2;
+    return SRC_REMOTE_L3;
+}
+
+/* CacheHierarchy._handle_write */
+static inline void handle_write(Walk *wk, int64_t writer_core,
+                                int64_t writer_chip, int64_t line) {
+    uint64_t wbit = 1ULL << writer_chip;
+    uint64_t mask = dir_get(&wk->dir, line);
+    uint64_t victims = mask & ~wbit;
+    if (victims) {
+        wk->invalidations_sent += popcount64(victims);
+        dir_set(&wk->dir, line, mask & wbit);
+        for (int64_t c = 0; c < wk->n_chips; c++) {
+            if ((victims >> c) & 1) {
+                cache_invalidate(&wk->l2[c], line);
+                cache_invalidate(&wk->l3[c], line);
+                purge_chip_l1s(wk, c, line);
+            }
+        }
+    }
+    {
+        int64_t *cores = wk->chip_cores + writer_chip * wk->max_cores_per_chip;
+        int64_t n = wk->chip_core_count[writer_chip];
+        for (int64_t i = 0; i < n; i++)
+            if (cores[i] != writer_core)
+                cache_invalidate(&wk->l1[cores[i]], line);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Public API (loaded via ctypes)                                      */
+/* ------------------------------------------------------------------ */
+
+/* cfg layout: [n_cpus, n_cores, n_chips,
+ *              l1_sets, l1_ways, l2_sets, l2_ways, l3_sets, l3_ways]
+ * followed by cpu_to_core[n_cpus] and cpu_to_chip[n_cpus] in maps,
+ * and core_to_chip[n_cores] in core_chips. */
+Walk *walk_new(const int64_t *cfg, const int64_t *maps,
+               const int64_t *core_chips) {
+    Walk *wk = (Walk *)calloc(1, sizeof(Walk));
+    int64_t n_cpus = cfg[0], n_cores = cfg[1], n_chips = cfg[2];
+    if (n_chips > 64) { free(wk); return 0; }
+    wk->n_cpus = n_cpus;
+    wk->n_cores = n_cores;
+    wk->n_chips = n_chips;
+    wk->cpu_to_core = (int64_t *)malloc((size_t)n_cpus * sizeof(int64_t));
+    wk->cpu_to_chip = (int64_t *)malloc((size_t)n_cpus * sizeof(int64_t));
+    memcpy(wk->cpu_to_core, maps, (size_t)n_cpus * sizeof(int64_t));
+    memcpy(wk->cpu_to_chip, maps + n_cpus, (size_t)n_cpus * sizeof(int64_t));
+    wk->max_cores_per_chip = n_cores;
+    wk->chip_cores =
+        (int64_t *)malloc((size_t)(n_chips * n_cores) * sizeof(int64_t));
+    wk->chip_core_count = (int64_t *)calloc((size_t)n_chips, sizeof(int64_t));
+    for (int64_t core = 0; core < n_cores; core++) {
+        int64_t chip = core_chips[core];
+        wk->chip_cores[chip * n_cores + wk->chip_core_count[chip]++] = core;
+    }
+    wk->l1 = (Cache *)malloc((size_t)n_cores * sizeof(Cache));
+    wk->l2 = (Cache *)malloc((size_t)n_chips * sizeof(Cache));
+    wk->l3 = (Cache *)malloc((size_t)n_chips * sizeof(Cache));
+    for (int64_t i = 0; i < n_cores; i++) cache_init(&wk->l1[i], cfg[3], cfg[4]);
+    for (int64_t i = 0; i < n_chips; i++) cache_init(&wk->l2[i], cfg[5], cfg[6]);
+    for (int64_t i = 0; i < n_chips; i++) cache_init(&wk->l3[i], cfg[7], cfg[8]);
+    dir_init(&wk->dir, 1 << 15);
+    return wk;
+}
+
+void walk_free(Walk *wk) {
+    if (!wk) return;
+    for (int64_t i = 0; i < wk->n_cores; i++) cache_destroy(&wk->l1[i]);
+    for (int64_t i = 0; i < wk->n_chips; i++) cache_destroy(&wk->l2[i]);
+    for (int64_t i = 0; i < wk->n_chips; i++) cache_destroy(&wk->l3[i]);
+    free(wk->l1);
+    free(wk->l2);
+    free(wk->l3);
+    free(wk->cpu_to_core);
+    free(wk->cpu_to_chip);
+    free(wk->chip_cores);
+    free(wk->chip_core_count);
+    free(wk->dir.keys);
+    free(wk->dir.masks);
+    free(wk);
+}
+
+/* One round: per-CPU segments processed in order.  seg_offsets has
+ * n_segs + 1 entries; segment s covers [seg_offsets[s], seg_offsets[s+1])
+ * of lines/writes/sources_out and belongs to seg_cpus[s].  counts_out
+ * is n_segs * 6 and receives per-segment source counts. */
+void walk_round(Walk *wk, int64_t n_segs, const int64_t *seg_cpus,
+                const int64_t *seg_offsets, const int64_t *lines,
+                const uint8_t *writes, uint8_t *sources_out,
+                int64_t *counts_out) {
+    for (int64_t s = 0; s < n_segs; s++) {
+        int64_t cpu = seg_cpus[s];
+        int64_t core = wk->cpu_to_core[cpu];
+        int64_t chip = wk->cpu_to_chip[cpu];
+        Cache *l1 = &wk->l1[core];
+        Cache *l2 = &wk->l2[chip];
+        Cache *l3 = &wk->l3[chip];
+        int64_t *counts = counts_out + s * N_SOURCES;
+        int64_t lo = seg_offsets[s], hi = seg_offsets[s + 1];
+        for (int64_t i = lo; i < hi; i++) {
+            int64_t line = lines[i];
+            int source;
+            if (cache_touch(l1, line)) {
+                source = SRC_L1;
+            } else if (cache_touch(l2, line)) {
+                source = SRC_LOCAL_L2;
+                cache_insert(l1, line); /* _fill_l1: victims are silent */
+            } else if (cache_touch(l3, line)) {
+                source = SRC_LOCAL_L3;
+                promote_from_l3(wk, chip, line);
+                cache_insert(l1, line);
+            } else {
+                source = service_chip_miss(wk, chip, line);
+                install_at_chip(wk, chip, line);
+                cache_insert(l1, line);
+            }
+            if (writes[i]) handle_write(wk, core, chip, line);
+            counts[source]++;
+            sources_out[i] = (uint8_t)source;
+        }
+    }
+}
+
+void walk_counters(const Walk *wk, int64_t *out) {
+    out[0] = wk->invalidations_sent;
+    out[1] = wk->lines_ever_shared;
+}
+
+/* Dump one cache's state for writeback/verification.  level: 1/2/3.
+ * line_at/ages must hold n_sets*ways entries; meta receives
+ * [tick, hits, misses].  Returns n_sets*ways. */
+int64_t walk_cache_state(const Walk *wk, int64_t level, int64_t index,
+                         int64_t *line_at, int64_t *ages, int64_t *meta) {
+    const Cache *c =
+        level == 1 ? &wk->l1[index] : level == 2 ? &wk->l2[index] : &wk->l3[index];
+    int64_t n = c->n_sets * c->ways;
+    memcpy(line_at, c->line_at, (size_t)n * sizeof(int64_t));
+    memcpy(ages, c->age, (size_t)n * sizeof(int64_t));
+    meta[0] = c->tick;
+    meta[1] = c->hits;
+    meta[2] = c->misses;
+    return n;
+}
+
+int64_t walk_dir_size(const Walk *wk) {
+    int64_t n = 0;
+    for (int64_t i = 0; i < wk->dir.cap; i++)
+        if (wk->dir.keys[i] != -1 && wk->dir.masks[i] != 0) n++;
+    return n;
+}
+
+void walk_dir_dump(const Walk *wk, int64_t *lines_out, uint64_t *masks_out) {
+    int64_t n = 0;
+    for (int64_t i = 0; i < wk->dir.cap; i++) {
+        if (wk->dir.keys[i] != -1 && wk->dir.masks[i] != 0) {
+            lines_out[n] = wk->dir.keys[i];
+            masks_out[n] = wk->dir.masks[i];
+            n++;
+        }
+    }
+}
+
+/* Seed the kernel with existing Python-side cache state (tests, mid-run
+ * adoption).  Slot layout is copied verbatim. */
+void walk_load_cache(Walk *wk, int64_t level, int64_t index,
+                     const int64_t *line_at, const int64_t *ages,
+                     const int64_t *meta) {
+    Cache *c =
+        level == 1 ? &wk->l1[index] : level == 2 ? &wk->l2[index] : &wk->l3[index];
+    int64_t n = c->n_sets * c->ways;
+    memcpy(c->line_at, line_at, (size_t)n * sizeof(int64_t));
+    memcpy(c->age, ages, (size_t)n * sizeof(int64_t));
+    c->tick = meta[0];
+    c->hits = meta[1];
+    c->misses = meta[2];
+}
+
+void walk_load_dir(Walk *wk, int64_t n, const int64_t *lines,
+                   const uint64_t *masks, const int64_t *counters) {
+    for (int64_t i = 0; i < n; i++) dir_set(&wk->dir, lines[i], masks[i]);
+    wk->invalidations_sent = counters[0];
+    wk->lines_ever_shared = counters[1];
+}

@@ -1,0 +1,364 @@
+"""On-demand compiled cache-walk kernel (the columnar round's engine room).
+
+The columnar pipeline executes one simulation round as a single batched
+reference pass.  The reference walk itself -- LRU lookups, victim-cache
+retirement, coherence directory updates -- is inherently sequential
+integer work that NumPy cannot vectorize (every reference's outcome
+depends on the state the previous one left behind), so this module
+compiles ``_fastwalk.c``, a statement-for-statement C twin of
+:meth:`CacheHierarchy.access`, into a shared library at first use and
+drives it through :mod:`ctypes`.
+
+Availability is best-effort: if no C compiler is present (or anything
+about the build fails), :func:`kernel_available` reports False and the
+columnar pipeline falls back to the existing vectorized-Python batch
+walk with identical results, only slower.  Set ``REPRO_FASTWALK=0`` to
+force the fallback (used by the differential tests to cover both legs).
+
+The kernel is seeded from the Python-side cache state when adopted and
+written back on release, so the Python objects remain the single source
+of truth before and after a run; mid-run, the kernel state is
+authoritative and the per-round source counts are folded into
+:class:`~repro.cache.stats.AccessStats` by the hierarchy.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("_fastwalk.c")
+
+_lib: Optional[ctypes.CDLL] = None
+_lib_error: Optional[str] = None
+_loaded = False
+
+_i64p = ctypes.POINTER(ctypes.c_int64)
+_u8p = ctypes.POINTER(ctypes.c_uint8)
+_u64p = ctypes.POINTER(ctypes.c_uint64)
+
+
+def _build_dir() -> Path:
+    tag = f"repro-fastwalk-{os.getuid() if hasattr(os, 'getuid') else 'u'}"
+    return Path(tempfile.gettempdir()) / tag
+
+
+def _compile() -> Path:
+    source = _SOURCE.read_text()
+    digest = hashlib.sha256(
+        (source + sys.version + np.__version__).encode()
+    ).hexdigest()[:16]
+    out_dir = _build_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    lib_path = out_dir / f"_fastwalk-{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    tmp_path = lib_path.with_suffix(f".{os.getpid()}.tmp")
+    for compiler in ("cc", "gcc", "clang"):
+        try:
+            result = subprocess.run(
+                [
+                    compiler,
+                    "-O2",
+                    "-fPIC",
+                    "-shared",
+                    "-o",
+                    str(tmp_path),
+                    str(_SOURCE),
+                ],
+                capture_output=True,
+                timeout=120,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if result.returncode == 0:
+            # Atomic publish so concurrent builders never load a torn file.
+            os.replace(tmp_path, lib_path)
+            return lib_path
+    raise RuntimeError(f"no working C compiler for {_SOURCE.name}")
+
+
+def _bind(lib: ctypes.CDLL) -> None:
+    lib.walk_new.argtypes = [_i64p, _i64p, _i64p]
+    lib.walk_new.restype = ctypes.c_void_p
+    lib.walk_free.argtypes = [ctypes.c_void_p]
+    lib.walk_free.restype = None
+    lib.walk_round.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        _i64p,
+        _i64p,
+        _i64p,
+        _u8p,
+        _u8p,
+        _i64p,
+    ]
+    lib.walk_round.restype = None
+    lib.walk_counters.argtypes = [ctypes.c_void_p, _i64p]
+    lib.walk_counters.restype = None
+    lib.walk_cache_state.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        ctypes.c_int64,
+        _i64p,
+        _i64p,
+        _i64p,
+    ]
+    lib.walk_cache_state.restype = ctypes.c_int64
+    lib.walk_dir_size.argtypes = [ctypes.c_void_p]
+    lib.walk_dir_size.restype = ctypes.c_int64
+    lib.walk_dir_dump.argtypes = [ctypes.c_void_p, _i64p, _u64p]
+    lib.walk_dir_dump.restype = None
+    lib.walk_load_cache.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        ctypes.c_int64,
+        _i64p,
+        _i64p,
+        _i64p,
+    ]
+    lib.walk_load_cache.restype = None
+    lib.walk_load_dir.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        _i64p,
+        _u64p,
+        _i64p,
+    ]
+    lib.walk_load_dir.restype = None
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    global _lib, _lib_error, _loaded
+    if _loaded:
+        return _lib
+    _loaded = True
+    if os.environ.get("REPRO_FASTWALK", "1") == "0":
+        _lib_error = "disabled via REPRO_FASTWALK=0"
+        return None
+    try:
+        lib = ctypes.CDLL(str(_compile()))
+        _bind(lib)
+        _lib = lib
+    except Exception as exc:  # any build/load failure means "no kernel"
+        _lib_error = str(exc)
+        _lib = None
+    return _lib
+
+
+def kernel_available() -> bool:
+    """True when the compiled walk kernel can be used in this process."""
+    return _load() is not None
+
+
+def kernel_error() -> Optional[str]:
+    """Why the kernel is unavailable (None when it loaded fine)."""
+    _load()
+    return _lib_error
+
+
+def _i64(arr: np.ndarray) -> "ctypes.pointer":
+    return arr.ctypes.data_as(_i64p)
+
+
+def _u8(arr: np.ndarray) -> "ctypes.pointer":
+    return arr.ctypes.data_as(_u8p)
+
+
+class FastWalk:
+    """One kernel instance bound to one :class:`CacheHierarchy`.
+
+    Constructing a FastWalk copies the hierarchy's current cache,
+    directory, and hit/miss state into the kernel; :meth:`writeback`
+    copies it all back.  Between those two points the Python-side slot
+    tables are stale and must not be consulted -- the columnar engine
+    routes every reference through :meth:`run_round`.
+    """
+
+    def __init__(self, hierarchy) -> None:
+        lib = _load()
+        if lib is None:
+            raise RuntimeError(f"fastwalk kernel unavailable: {_lib_error}")
+        self._lib = lib
+        self.hierarchy = hierarchy
+        machine = hierarchy.machine
+        spec = hierarchy.spec
+        cfg = np.array(
+            [
+                machine.n_cpus,
+                machine.n_cores,
+                machine.n_chips,
+                spec.l1_geometry.n_sets,
+                spec.l1_geometry.associativity,
+                spec.l2_geometry.n_sets,
+                spec.l2_geometry.associativity,
+                spec.l3_geometry.n_sets,
+                spec.l3_geometry.associativity,
+            ],
+            dtype=np.int64,
+        )
+        maps = np.array(
+            hierarchy._cpu_to_core + hierarchy._cpu_to_chip, dtype=np.int64
+        )
+        core_chips = np.empty(machine.n_cores, dtype=np.int64)
+        for chip, cores in enumerate(hierarchy._cores_of_chip):
+            for core in cores:
+                core_chips[core] = chip
+        handle = lib.walk_new(_i64(cfg), _i64(maps), _i64(core_chips))
+        if not handle:
+            raise RuntimeError("walk_new failed (topology unsupported)")
+        self._handle = handle
+        self._load_state()
+
+    # ------------------------------------------------------------------
+    def _caches(self) -> List[Tuple[int, int, object]]:
+        h = self.hierarchy
+        out: List[Tuple[int, int, object]] = []
+        out.extend((1, i, c) for i, c in enumerate(h.l1_caches))
+        out.extend((2, i, c) for i, c in enumerate(h.l2_caches))
+        out.extend((3, i, c) for i, c in enumerate(h.l3_caches))
+        return out
+
+    def _load_state(self) -> None:
+        lib = self._lib
+        for level, index, cache in self._caches():
+            if (
+                not cache._slot_of
+                and cache._tick == 0
+                and cache.hits == 0
+                and cache.misses == 0
+            ):
+                # Pristine cache: walk_new already starts empty (all
+                # slots -1, ages 0, tick 0), so there is nothing to ship.
+                continue
+            line_at = np.array(cache._line_at, dtype=np.int64)
+            ages = np.array(cache._ages, dtype=np.int64)
+            meta = np.array(
+                [cache._tick, cache.hits, cache.misses], dtype=np.int64
+            )
+            lib.walk_load_cache(
+                self._handle, level, index, _i64(line_at), _i64(ages), _i64(meta)
+            )
+        directory = self.hierarchy.directory
+        holders = directory._holders
+        n = len(holders)
+        lines = np.empty(n, dtype=np.int64)
+        masks = np.empty(n, dtype=np.uint64)
+        for i, (line, chips) in enumerate(holders.items()):
+            mask = 0
+            for chip in chips:
+                mask |= 1 << chip
+            lines[i] = line
+            masks[i] = mask
+        counters = np.array(
+            [directory.invalidations_sent, directory.lines_ever_shared],
+            dtype=np.int64,
+        )
+        lib.walk_load_dir(
+            self._handle,
+            n,
+            _i64(lines),
+            masks.ctypes.data_as(_u64p),
+            _i64(counters),
+        )
+
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        seg_cpus: np.ndarray,
+        seg_offsets: np.ndarray,
+        lines: np.ndarray,
+        writes: np.ndarray,
+        sources_out: np.ndarray,
+        counts_out: np.ndarray,
+    ) -> None:
+        """Walk one round of per-CPU segments through the kernel.
+
+        ``seg_offsets`` has ``len(seg_cpus) + 1`` entries; segment ``s``
+        covers ``lines[seg_offsets[s]:seg_offsets[s+1]]`` on CPU
+        ``seg_cpus[s]``.  ``sources_out`` (uint8, per reference) and
+        ``counts_out`` (int64, ``(n_segs, 6)``) receive the results.
+        """
+        self._lib.walk_round(
+            self._handle,
+            len(seg_cpus),
+            _i64(seg_cpus),
+            _i64(seg_offsets),
+            _i64(lines),
+            _u8(writes),
+            _u8(sources_out),
+            _i64(counts_out),
+        )
+
+    # ------------------------------------------------------------------
+    def writeback(self) -> None:
+        """Copy kernel cache/directory state back into the Python objects."""
+        lib = self._lib
+        for level, index, cache in self._caches():
+            n = cache._n_sets * cache._ways
+            line_at = np.empty(n, dtype=np.int64)
+            ages = np.empty(n, dtype=np.int64)
+            meta = np.empty(3, dtype=np.int64)
+            lib.walk_cache_state(
+                self._handle, level, index, _i64(line_at), _i64(ages), _i64(meta)
+            )
+            cache._line_at = line_at.tolist()
+            cache._ages = ages.tolist()
+            occupied = np.flatnonzero(line_at >= 0)
+            cache._slot_of = dict(
+                zip(line_at[occupied].tolist(), occupied.tolist())
+            )
+            if cache._np_lines_flat is not None:
+                np.copyto(cache._np_lines_flat, line_at)
+            cache._tick = int(meta[0])
+            cache.hits = int(meta[1])
+            cache.misses = int(meta[2])
+        directory = self.hierarchy.directory
+        n = int(lib.walk_dir_size(self._handle))
+        lines = np.empty(n, dtype=np.int64)
+        masks = np.empty(n, dtype=np.uint64)
+        lib.walk_dir_dump(
+            self._handle, _i64(lines), masks.ctypes.data_as(_u64p)
+        )
+        n_chips = self.hierarchy.machine.n_chips
+        # Few distinct masks exist (2^n_chips at most, a handful in
+        # practice), so decode each once; every entry still gets its own
+        # set object because callers mutate holder sets in place.
+        chips_of_mask = {}
+        lines_list = lines.tolist()
+        masks_list = masks.tolist()
+        holders = {}
+        for i in range(n):
+            mask = masks_list[i]
+            chips = chips_of_mask.get(mask)
+            if chips is None:
+                chips = tuple(
+                    chip for chip in range(n_chips) if (mask >> chip) & 1
+                )
+                chips_of_mask[mask] = chips
+            holders[lines_list[i]] = set(chips)
+        directory._holders.clear()
+        directory._holders.update(holders)
+        counters = np.empty(2, dtype=np.int64)
+        lib.walk_counters(self._handle, _i64(counters))
+        directory.invalidations_sent = int(counters[0])
+        directory.lines_ever_shared = int(counters[1])
+
+    def close(self) -> None:
+        handle, self._handle = getattr(self, "_handle", None), None
+        if handle:
+            self._lib.walk_free(handle)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -22,7 +22,7 @@ and integer dispatch keeps the engine's cycle-charging loop cheap.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -86,6 +86,9 @@ class CacheHierarchy:
             sorted({machine.core_of(cpu) for cpu in machine.cpus_of_chip(chip)})
             for chip in range(machine.n_chips)
         ]
+        #: compiled walk kernel while the columnar pipeline owns the
+        #: hierarchy state (see :meth:`begin_columnar_rounds`)
+        self._walker = None
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -314,6 +317,100 @@ class CacheHierarchy:
                 if source:
                     miss_callback(address, source)
         return counts
+
+    # ------------------------------------------------------------------
+    # The columnar round pipeline (segment-offset batch entry point)
+    # ------------------------------------------------------------------
+    def begin_columnar_rounds(self) -> bool:
+        """Adopt the compiled walk kernel for upcoming round batches.
+
+        Returns True when the kernel is active; False means
+        :meth:`access_round` will run on the Python batch walk instead
+        (identical results).  Must be paired with
+        :meth:`end_columnar_rounds`, which writes kernel state back into
+        the Python cache/directory objects.
+        """
+        if self._walker is not None:
+            return True
+        from . import fastwalk
+
+        if not fastwalk.kernel_available():
+            return False
+        self._walker = fastwalk.FastWalk(self)
+        return True
+
+    def end_columnar_rounds(self) -> None:
+        """Release the kernel, restoring Python-side state authority."""
+        walker, self._walker = self._walker, None
+        if walker is not None:
+            walker.writeback()
+            walker.close()
+
+    @property
+    def columnar_kernel_active(self) -> bool:
+        return self._walker is not None
+
+    def access_round(
+        self,
+        seg_cpus: "np.ndarray",
+        seg_offsets: "np.ndarray",
+        addresses: "np.ndarray",
+        writes: "np.ndarray",
+    ) -> Tuple["np.ndarray", List["np.ndarray"], List["np.ndarray"]]:
+        """Service one round's references, concatenated across CPUs.
+
+        Segment ``s`` covers ``addresses[seg_offsets[s]:seg_offsets[s+1]]``
+        issued by CPU ``seg_cpus[s]``; segments execute in order, exactly
+        like per-CPU :meth:`access_batch` calls.  Returns
+        ``(counts, miss_addresses, miss_sources)`` where ``counts`` is an
+        ``(n_segs, 6)`` int64 table of per-source reference counts and
+        the two lists hold, per segment and in reference order, the
+        addresses and source indices of every non-L1 reference (the
+        events :meth:`access` callers feed the PMU).  Statistics are
+        updated as :meth:`access` would.
+        """
+        n_segs = len(seg_cpus)
+        counts = np.zeros((n_segs, 6), dtype=np.int64)
+        miss_addresses: List[np.ndarray] = []
+        miss_sources: List[np.ndarray] = []
+        stats_counts = self.stats.counts
+        if self._walker is not None and len(addresses):
+            lines = addresses >> self._line_shift
+            sources = np.empty(len(addresses), dtype=np.uint8)
+            self._walker.run_round(
+                np.ascontiguousarray(seg_cpus, dtype=np.int64),
+                np.ascontiguousarray(seg_offsets, dtype=np.int64),
+                np.ascontiguousarray(lines, dtype=np.int64),
+                np.ascontiguousarray(writes).view(np.uint8),
+                sources,
+                counts,
+            )
+            for s in range(n_segs):
+                lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+                seg_sources = sources[lo:hi]
+                miss_pos = np.flatnonzero(seg_sources)
+                miss_addresses.append(addresses[lo + miss_pos])
+                miss_sources.append(seg_sources[miss_pos])
+                row = stats_counts[seg_cpus[s]]
+                seg_counts = counts[s]
+                for j in range(6):
+                    row[j] += int(seg_counts[j])
+            return counts, miss_addresses, miss_sources
+        for s in range(n_segs):
+            lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+            collected_addresses: List[int] = []
+            collected_sources: List[int] = []
+
+            def _collect(address, source, _a=collected_addresses, _s=collected_sources):
+                _a.append(address)
+                _s.append(source)
+
+            counts[s] = self.access_batch(
+                int(seg_cpus[s]), addresses[lo:hi], writes[lo:hi], _collect
+            )
+            miss_addresses.append(np.asarray(collected_addresses, dtype=np.int64))
+            miss_sources.append(np.asarray(collected_sources, dtype=np.uint8))
+        return counts, miss_addresses, miss_sources
 
     # ------------------------------------------------------------------
     # Miss servicing

@@ -33,7 +33,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..cache.stats import REMOTE_SOURCE_INDICES
+from ..cache.stats import REMOTE_SOURCE_INDICES, SOURCE_ORDER
 from ..obs import (
     KIND_CAPTURE_START,
     KIND_CAPTURE_STOP,
@@ -154,6 +154,16 @@ class RemoteAccessCaptureEngine:
         self._skid_pending = [False] * n_cpus
         self.stats = CaptureStatistics(per_cpu_overhead=[0] * n_cpus)
         self._pending_cost = 0
+        #: source-index -> counts-toward-the-event, for the batch absorb
+        #: (source indices are tiny, so a lookup table beats set tests)
+        self._event_source_lut = np.zeros(len(SOURCE_ORDER), dtype=bool)
+        for source in self.event_sources:
+            self._event_source_lut[source] = True
+        # Bound-method accumulator state (see :meth:`bind_quantum`).
+        self._q_cpu = 0
+        self._q_tid = 0
+        self._q_cycle = 0
+        self._q_cost = 0
         self._recorder = recorder if recorder is not None else NULL_RECORDER
         metrics = metrics if metrics is not None else MetricsRegistry()
         #: per-cpu delivered-sample counters, pre-bound so the delivery
@@ -257,3 +267,145 @@ class RemoteAccessCaptureEngine:
         cost = self._pending_cost
         self._pending_cost = 0
         return cost
+
+    # ------------------------------------------------------------------
+    # Quantum-granular entry points (the batched/columnar pipelines)
+    # ------------------------------------------------------------------
+    def bind_quantum(self, cpu: int, tid: int, cycle: int) -> None:
+        """Arm :meth:`accumulate_miss` for one quantum's miss stream.
+
+        The batched cache walk wants a plain ``(address, source)``
+        callback; binding the quantum context here lets it pass the
+        bound method :meth:`accumulate_miss` directly instead of
+        allocating a fresh closure (and cost cell) per quantum.
+        """
+        self._q_cpu = cpu
+        self._q_tid = tid
+        self._q_cycle = cycle
+        self._q_cost = 0
+
+    def accumulate_miss(self, address: int, source_index: int) -> None:
+        """Miss callback accumulating overflow-handler cost; see
+        :meth:`bind_quantum` and :meth:`take_quantum_cost`."""
+        self._q_cost += self.on_l1_miss(
+            self._q_cpu, address, self._q_tid, source_index, self._q_cycle
+        )
+
+    def take_quantum_cost(self) -> int:
+        """Cycles of handler overhead accrued since :meth:`bind_quantum`."""
+        cost, self._q_cost = self._q_cost, 0
+        return cost
+
+    def absorb_quantum(
+        self,
+        cpu: int,
+        tid: int,
+        cycle: int,
+        addresses: "np.ndarray",
+        source_indices: "np.ndarray",
+    ) -> int:
+        """Batch-equivalent of :meth:`on_l1_miss` over a quantum's misses.
+
+        ``addresses``/``source_indices`` hold every L1 miss of one
+        thread's quantum, in reference order.  Observably identical to
+        the per-miss loop -- same RNG draw sequence, same delivery order
+        and samples, same statistics and counter state -- but the
+        (dominant) misses that neither deliver a pending skid sample nor
+        step the overflow counter are skipped in bulk.
+
+        Returns the overflow-handling cycles to charge to the thread.
+        """
+        if not self.enabled:
+            return 0
+        n_misses = len(addresses)
+        if n_misses == 0:
+            return 0
+        stats = self.stats
+        stats.l1_misses_seen += n_misses
+        counter = self._counters[cpu]
+        qualifying = np.flatnonzero(
+            self._event_source_lut[source_indices]
+        ).tolist()
+        cost = 0
+        sample_cost = self.sample_cost_cycles
+        rng = self._rng
+        skid_probability = self.skid_probability
+        # A skid delivery fires at the first miss after its overflow; an
+        # incoming pending flag (set in an earlier quantum) fires at
+        # miss 0.  ``delivery_index`` tracks where the armed delivery
+        # lands; ``n_misses`` means "after this quantum" (stays pending).
+        pending = self._skid_pending[cpu]
+        delivery_index = 0 if pending else n_misses
+        stats.remote_accesses_seen += len(qualifying)
+        if counter.enabled and qualifying:
+            counter.total += len(qualifying)
+            value = counter.value
+            threshold = counter.overflow_threshold
+            if threshold is None:
+                counter.value = value + len(qualifying)
+            else:
+                for index in qualifying:
+                    if pending and delivery_index <= index:
+                        # The deferred register read happens on the
+                        # first miss after the overflow, before that
+                        # miss is counted.
+                        self._deliver_absorbed(
+                            cpu, addresses, source_indices, delivery_index,
+                            tid, cycle,
+                        )
+                        cost += sample_cost
+                        pending = False
+                    value += 1
+                    while value >= threshold:
+                        value -= threshold
+                        stats.overflows += 1
+                        if rng.random() < skid_probability:
+                            if not pending:
+                                pending = True
+                                delivery_index = index + 1
+                        else:
+                            self._deliver_absorbed(
+                                cpu, addresses, source_indices, index,
+                                tid, cycle,
+                            )
+                            cost += sample_cost
+                        threshold = self._draw_period()
+                counter.value = value
+                counter.set_overflow(threshold, self._make_handler(cpu))
+        if pending and delivery_index < n_misses:
+            self._deliver_absorbed(
+                cpu, addresses, source_indices, delivery_index, tid, cycle
+            )
+            cost += sample_cost
+            pending = False
+        self._skid_pending[cpu] = pending
+        register = self._registers[cpu]
+        register.update(
+            int(addresses[n_misses - 1]),
+            tid,
+            int(source_indices[n_misses - 1]),
+            cycle,
+        )
+        register.updates += n_misses - 1
+        return cost
+
+    def _deliver_absorbed(
+        self, cpu, addresses, source_indices, index, tid, cycle
+    ) -> None:
+        """Deliver the sample the register would hold at miss ``index``."""
+        sample = DataSample(
+            address=int(addresses[index]),
+            tid=tid,
+            source_index=int(source_indices[index]),
+            cycle=cycle,
+        )
+        stats = self.stats
+        stats.samples_delivered += 1
+        self._sample_counters[cpu].inc()
+        if sample.source_index in self.event_sources:
+            stats.samples_remote += 1
+        cost = self.sample_cost_cycles
+        stats.overhead_cycles += cost
+        stats.per_cpu_overhead[cpu] += cost
+        if self.consumer is not None:
+            self.consumer(sample)

@@ -134,6 +134,25 @@ class StallBreakdown:
     def charge_cause(self, cpu: int, cause: StallCause, cycles: int) -> None:
         self._cycles[cpu][CAUSE_INDEX[cause]] += cycles
 
+    def charge_round(self, cycles, instructions) -> None:
+        """Charge one round's worth of cycles for every cpu at once.
+
+        ``cycles`` is an ``(n_cpus, n_causes)`` nested sequence of int
+        cycle charges (CAUSE_ORDER positions) and ``instructions`` a
+        per-cpu sequence of completed instructions.  Equivalent to the
+        per-cpu ``charge*`` calls the scalar round loop makes -- all
+        charges are plain integer additions, so only the totals matter.
+        """
+        n_causes = self._n_causes
+        instructions_acc = self._instructions
+        for cpu, row in enumerate(self._cycles):
+            inc = cycles[cpu]
+            for index in range(n_causes):
+                value = inc[index]
+                if value:
+                    row[index] += value
+            instructions_acc[cpu] += instructions[cpu]
+
     # ------------------------------------------------------------ reads
     def snapshot(self) -> BreakdownSnapshot:
         """Machine-wide totals, immutable; cheap enough per window."""

@@ -82,6 +82,17 @@ class Scheduler:
             self.balancer.reactive_pull(cpu)
         return queue.pop_next()
 
+    def pick_all(self) -> List[Optional[SimThread]]:
+        """Dispatch one thread per cpu for a round, in cpu order.
+
+        Picks are order-dependent (an idle cpu's reactive pull can steal
+        work a later cpu would otherwise have dispatched), so this is
+        the per-cpu :meth:`pick_next` loop packaged for the columnar
+        round pipeline -- same sequence, same results.
+        """
+        pick_next = self.pick_next
+        return [pick_next(cpu) for cpu in range(self.machine.n_cpus)]
+
     def quantum_expired(self, cpu: int, thread: SimThread) -> None:
         """Requeue a thread whose quantum ended (round-robin tail)."""
         if thread.state is ThreadState.FINISHED:

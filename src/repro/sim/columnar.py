@@ -1,0 +1,264 @@
+"""The columnar (struct-of-arrays) round core.
+
+The scalar engine executes a round as eight independent per-CPU quanta,
+each interleaving generation, cache walk, PMU capture, and cycle
+charging in Python.  This module re-expresses the same round as four
+columnar passes over per-CPU arrays:
+
+1. **pick/occupancy** -- one :meth:`Scheduler.pick_all` dispatch and a
+   per-core busy count (the SMT occupancy table);
+2. **generation** -- :meth:`WorkloadModel.generate_batch_many` draws
+   every running thread's quantum in CPU order (RNG sequence identical
+   to per-thread calls);
+3. **reference pass** -- all quanta concatenate into one segmented
+   stream for :meth:`CacheHierarchy.access_round` (the compiled walk
+   kernel when available), followed by per-CPU
+   :meth:`RemoteAccessCaptureEngine.absorb_quantum` calls in CPU order;
+4. **charging** -- contention factors and the per-thread L1-miss-rate
+   EWMA in one tiny sequential pass (their serial dependency chain is
+   per-CPU-ordered reads of sibling miss rates), then all cycle charges
+   as vectorized float64 arithmetic folded into the stall breakdown via
+   :meth:`StallBreakdown.charge_round`.
+
+Exactness: the scalar path interleaves the four concerns per CPU, but
+every cross-CPU data dependency flows forward in CPU order -- the cache
+walk is contention-independent, capture state (RNG, counters, consumer)
+is touched in CPU order, and contention reads sibling EWMA values
+exactly as of the sibling's last completed quantum.  Reordering into
+passes therefore preserves every observable sequence.  Float arithmetic
+keeps the scalar's operand order (``counts * stall * contention``,
+left-associated) and ``int()`` truncation points, so per-thread cycles,
+stall tables, and clocks are bit-identical -- the ``columnar-vs-scalar``
+differential path gates this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..obs import KIND_QUANTUM
+from ..pmu.stall import CAUSE_INDEX_BY_SOURCE_INDEX, IDX_COMPLETION
+from ..sched.thread import ThreadState
+
+
+class ColumnarRoundState:
+    """Preallocated per-round tables bound to one simulator.
+
+    Holds everything :meth:`run_round` reuses across rounds: per-CPU
+    clock views, per-thread charge vectors, per-core occupancy, the
+    per-source stall-cycle table, and the cause-matrix scratch space.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        machine = sim.machine
+        self.n_cpus = machine.n_cpus
+        self.n_causes = len(sim.stall._cycles[0])
+        #: per-source stall cycles (float view for vector charging)
+        self.stall_by_source = [float(c) for c in sim._stall_by_source]
+        #: satisfaction source -> stall-cause column (source 0 is an L1
+        #: hit and never charged; keep a placeholder for direct indexing)
+        self.cause_of_source = [-1] + [
+            CAUSE_INDEX_BY_SOURCE_INDEX[s] for s in range(1, 6)
+        ]
+        self.other_rates = list(sim._other_rates)
+        self.other_idx = sim._other_idx
+        self.core_of = list(sim._core_of)
+        self.siblings_of = [list(s) for s in sim._siblings_of]
+        # Reused per-round scratch tables (struct-of-arrays round state).
+        n = self.n_cpus
+        self.contention = np.ones(n, dtype=np.float64)
+        self.instructions = np.zeros(n, dtype=np.int64)
+        self.counts_by_cpu = np.zeros((n, 6), dtype=np.int64)
+        self.capture_cost = np.zeros(n, dtype=np.int64)
+        self.cause_matrix = np.zeros((n, self.n_causes), dtype=np.int64)
+        self.seg_cpus = np.empty(n, dtype=np.int64)
+        self.seg_offsets = np.empty(n + 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> None:
+        """Execute one round; observably identical to the scalar loop."""
+        sim = self.sim
+        config = sim.config
+
+        # -- pass 1: dispatch + SMT occupancy -------------------------
+        running = sim.scheduler.pick_all()
+        busy_per_core = sim._busy_per_core
+        for core in range(len(busy_per_core)):
+            busy_per_core[core] = 0
+        core_of = self.core_of
+        for cpu, thread in enumerate(running):
+            if thread is not None:
+                busy_per_core[core_of[cpu]] += 1
+
+        # -- pass 2: reference generation (CPU-ordered RNG draws) -----
+        batches = sim.workload.generate_batch_many(
+            running, sim._traffic_rng, config.quantum_references
+        )
+
+        # -- pass 3a: the segmented cache walk ------------------------
+        seg_cpus = self.seg_cpus
+        seg_offsets = self.seg_offsets
+        seg_arrays: List[np.ndarray] = []
+        seg_writes: List[np.ndarray] = []
+        n_segs = 0
+        offset = 0
+        seg_offsets[0] = 0
+        for cpu, batch in enumerate(batches):
+            if batch is None or len(batch.addresses) == 0:
+                continue
+            seg_cpus[n_segs] = cpu
+            offset += len(batch.addresses)
+            n_segs += 1
+            seg_offsets[n_segs] = offset
+            seg_arrays.append(batch.addresses)
+            seg_writes.append(batch.is_write)
+
+        counts_by_cpu = self.counts_by_cpu
+        counts_by_cpu[:] = 0
+        self.capture_cost[:] = 0
+        clocks = sim._clocks
+        if n_segs:
+            addresses = (
+                seg_arrays[0]
+                if n_segs == 1
+                else np.concatenate(seg_arrays)
+            )
+            writes = (
+                seg_writes[0] if n_segs == 1 else np.concatenate(seg_writes)
+            )
+            counts, miss_addresses, miss_sources = sim.hierarchy.access_round(
+                seg_cpus[:n_segs], seg_offsets[: n_segs + 1], addresses, writes
+            )
+            counts_by_cpu[seg_cpus[:n_segs]] = counts
+
+            # -- pass 3b: PMU capture, per CPU in order ---------------
+            if sim.capture.enabled:
+                absorb = sim.capture.absorb_quantum
+                capture_cost = self.capture_cost
+                for s in range(n_segs):
+                    if len(miss_addresses[s]) == 0:
+                        continue
+                    cpu = int(seg_cpus[s])
+                    capture_cost[cpu] = absorb(
+                        cpu,
+                        running[cpu].tid,
+                        int(clocks[cpu]),
+                        miss_addresses[s],
+                        miss_sources[s],
+                    )
+
+        # -- pass 4a: contention factors + miss-rate EWMA -------------
+        # Sequential by necessity: cpu k's contention reads its
+        # sibling's EWMA as updated by cpus < k this round (the scalar
+        # interleaving), then cpu k's own EWMA updates.
+        contention = self.contention
+        instructions = self.instructions
+        factor = config.smt_contention_factor
+        sensitivity = config.smt_memory_sensitivity
+        counts0 = counts_by_cpu[:, 0].tolist()
+        active_any = False
+        for cpu, thread in enumerate(running):
+            if thread is None:
+                contention[cpu] = 1.0
+                instructions[cpu] = 0
+                continue
+            active_any = True
+            if busy_per_core[core_of[cpu]] > 1:
+                value = factor
+                if sensitivity > 0.0:
+                    for sibling in self.siblings_of[cpu]:
+                        other = running[sibling]
+                        if other is not None:
+                            value += sensitivity * other.l1_miss_rate
+                            break
+            else:
+                value = 1.0
+            contention[cpu] = value
+            batch = batches[cpu]
+            instructions[cpu] = batch.instructions
+            n_references = len(batch.addresses)
+            if n_references:
+                miss_rate = 1.0 - counts0[cpu] / n_references
+                thread.l1_miss_rate = (
+                    0.7 * thread.l1_miss_rate + 0.3 * miss_rate
+                )
+
+        if not active_any:
+            self._finish_round(running)
+            return
+
+        # -- pass 4b: vectorized cycle charging -----------------------
+        # Operand order matches the scalar loop exactly: completion is
+        # ``instructions * cpi * contention`` left-associated; each
+        # dcache source charges ``counts * stall * contention``; int()
+        # truncation (toward zero == floor for non-negative values) via
+        # astype(int64) at the same points.
+        cause_matrix = self.cause_matrix
+        cause_matrix[:] = 0
+        completion = instructions * config.completion_cpi * contention
+        cause_matrix[:, IDX_COMPLETION] = completion.astype(np.int64)
+        total_cycles = completion.copy()
+        stall_by_source = self.stall_by_source
+        cause_of_source = self.cause_of_source
+        for source in range(1, 6):
+            cycles = counts_by_cpu[:, source] * stall_by_source[source]
+            cycles *= contention
+            cause_matrix[:, cause_of_source[source]] += cycles.astype(
+                np.int64
+            )
+            total_cycles += cycles
+        for cause_index, rate in self.other_rates:
+            cycles = instructions * rate * contention
+            cause_matrix[:, cause_index] += cycles.astype(np.int64)
+            total_cycles += cycles
+        capture_cost = self.capture_cost
+        if sim.capture.enabled:
+            cause_matrix[:, self.other_idx] += capture_cost
+            total_cycles += capture_cost
+        sim.stall.charge_round(
+            cause_matrix.tolist(), instructions.tolist()
+        )
+
+        # -- thread/clock writeback + per-quantum trace ---------------
+        totals = total_cycles.tolist()
+        instructions_list = instructions.tolist()
+        recorder = sim.recorder
+        tracing = recorder.enabled
+        for cpu, thread in enumerate(running):
+            if thread is None:
+                continue
+            total = totals[cpu]
+            now = int(clocks[cpu])
+            clocks[cpu] += total
+            thread.cycles_run += int(total)
+            thread.instructions_completed += instructions_list[cpu]
+            if tracing:
+                recorder.emit(
+                    KIND_QUANTUM,
+                    cpu=cpu,
+                    tid=thread.tid,
+                    cycle=now,
+                    start=now,
+                    dur=int(total),
+                    instructions=instructions_list[cpu],
+                    references=len(batches[cpu].addresses),
+                )
+
+        self._finish_round(running)
+
+    # ------------------------------------------------------------------
+    def _finish_round(self, running: List[Optional[object]]) -> None:
+        """Quantum-end lifecycle, identical to the scalar round tail."""
+        sim = self.sim
+        for cpu, thread in enumerate(running):
+            if thread is None:
+                continue
+            if sim.workload.on_quantum_complete(thread):
+                thread.state = ThreadState.FINISHED
+            sim.scheduler.quantum_expired(cpu, thread)
+        spawned = sim.workload.drain_spawned()
+        if spawned:
+            sim.scheduler.admit(spawned)

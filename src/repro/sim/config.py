@@ -63,6 +63,15 @@ class SimConfig:
     #: loop; both produce bit-identical results (tested), so this exists
     #: as the equivalence oracle and an escape hatch, not a semantic knob.
     batched_pipeline: bool = True
+    #: execute whole rounds through the columnar struct-of-arrays core
+    #: (:mod:`repro.sim.columnar`): one batched pick pass, one cross-CPU
+    #: segmented reference pass (compiled walk kernel when a C compiler
+    #: is available), and one vectorized charging pass.  False falls
+    #: back to the per-CPU round loop; both produce bit-identical
+    #: results (gated by the ``columnar-vs-scalar`` differential path),
+    #: so like ``batched_pipeline`` this is an oracle switch, not a
+    #: semantic knob.
+    columnar_pipeline: bool = True
 
     # ------------------------------------------------- cycle accounting
     #: completion cycles per instruction (the CPI floor)
@@ -158,6 +167,7 @@ class SimConfig:
             "n_rounds": self.n_rounds,
             "measurement_start_fraction": self.measurement_start_fraction,
             "batched_pipeline": self.batched_pipeline,
+            "columnar_pipeline": self.columnar_pipeline,
             "completion_cpi": self.completion_cpi,
             "smt_contention_factor": self.smt_contention_factor,
             "smt_memory_sensitivity": self.smt_memory_sensitivity,

@@ -48,6 +48,7 @@ from ..sched.placement import PlacementPolicy
 from ..sched.scheduler import Scheduler
 from ..sched.thread import ThreadState
 from ..workloads.base import WorkloadModel
+from .columnar import ColumnarRoundState
 from .config import SimConfig
 from .results import SimResult, ThreadSummary, TimelinePoint
 
@@ -174,6 +175,11 @@ class Simulator:
         self._batched = config.batched_pipeline
 
         self._clocks = [0.0] * n_cpus
+        #: columnar (struct-of-arrays) round core; None runs the scalar
+        #: oracle loop instead (``SimConfig.columnar_pipeline = False``)
+        self._columnar: Optional[ColumnarRoundState] = (
+            ColumnarRoundState(self) if config.columnar_pipeline else None
+        )
         self._shmap_matrix: Optional[np.ndarray] = None
         self._shmap_tids: List[int] = []
 
@@ -215,72 +221,85 @@ class Simulator:
                 for stage in ("round", "sched_tick", "controller_tick")
             }
 
-        for round_index in range(n_rounds):
-            if tracing:
-                recorder.now = int(self.mean_cycle)
-                recorder.emit(KIND_ROUND_START, index=round_index)
-            if profile:
-                t0 = perf_counter()
-                self._run_round()
-                t1 = perf_counter()
-                self.scheduler.tick()
-                stage_hist["round"].observe(t1 - t0)
-                stage_hist["sched_tick"].observe(perf_counter() - t1)
-            else:
-                self._run_round()
-                self.scheduler.tick()
-            if round_callback is not None:
-                round_callback(round_index, self)
-            if tracing:
-                recorder.now = int(self.mean_cycle)
-                recorder.emit(KIND_ROUND_END, index=round_index)
-            if self.controller is not None:
+        if self._columnar is not None:
+            # Hand cache/directory state to the compiled walk kernel for
+            # the duration of the round loop (a no-op Python-fallback
+            # when unavailable); written back in the finally.
+            self.hierarchy.begin_columnar_rounds()
+        try:
+            for round_index in range(n_rounds):
+                if tracing:
+                    recorder.now = int(self.mean_cycle)
+                    recorder.emit(KIND_ROUND_START, index=round_index)
                 if profile:
                     t0 = perf_counter()
-                event = self.controller.on_tick(int(self.mean_cycle))
-                if profile:
-                    stage_hist["controller_tick"].observe(perf_counter() - t0)
-                if event is not None:
-                    # Keep the signatures that produced this clustering
-                    # (the next detection phase will reset the tables).
-                    registry = self.controller.shmap_registry
-                    self._shmap_matrix = registry.combined_matrix()
-                    self._shmap_tids = registry.combined_tids()
-            if tracker is not None:
-                tracker.on_round_end(
-                    round_index,
-                    self.mean_cycle,
-                    (
-                        self.controller.phase.value
-                        if self.controller is not None
-                        else ""
-                    ),
-                )
-
-            if round_index + 1 == measure_round:
-                window_snapshot = self.stall.snapshot()
-                window_start_cycle = self.mean_cycle
-
-            if (round_index + 1) % config.timeline_interval == 0:
-                snapshot = self.stall.snapshot()
-                delta = snapshot.delta(last_snapshot)
-                now = self.mean_cycle
-                elapsed = max(1.0, now - last_cycle)
-                timeline.append(
-                    TimelinePoint(
-                        round_index=round_index + 1,
-                        mean_cycle=now,
-                        remote_stall_fraction=delta.remote_stall_fraction,
-                        ipc=delta.instructions / elapsed,
-                        controller_phase=(
+                    self._run_round()
+                    t1 = perf_counter()
+                    self.scheduler.tick()
+                    stage_hist["round"].observe(t1 - t0)
+                    stage_hist["sched_tick"].observe(perf_counter() - t1)
+                else:
+                    self._run_round()
+                    self.scheduler.tick()
+                if round_callback is not None:
+                    round_callback(round_index, self)
+                if tracing:
+                    recorder.now = int(self.mean_cycle)
+                    recorder.emit(KIND_ROUND_END, index=round_index)
+                if self.controller is not None:
+                    if profile:
+                        t0 = perf_counter()
+                    event = self.controller.on_tick(int(self.mean_cycle))
+                    if profile:
+                        stage_hist["controller_tick"].observe(
+                            perf_counter() - t0
+                        )
+                    if event is not None:
+                        # Keep the signatures that produced this
+                        # clustering (the next detection phase will
+                        # reset the tables).
+                        registry = self.controller.shmap_registry
+                        self._shmap_matrix = registry.combined_matrix()
+                        self._shmap_tids = registry.combined_tids()
+                if tracker is not None:
+                    tracker.on_round_end(
+                        round_index,
+                        self.mean_cycle,
+                        (
                             self.controller.phase.value
                             if self.controller is not None
                             else ""
                         ),
                     )
-                )
-                last_snapshot = snapshot
-                last_cycle = now
+
+                if round_index + 1 == measure_round:
+                    window_snapshot = self.stall.snapshot()
+                    window_start_cycle = self.mean_cycle
+
+                if (round_index + 1) % config.timeline_interval == 0:
+                    snapshot = self.stall.snapshot()
+                    delta = snapshot.delta(last_snapshot)
+                    now = self.mean_cycle
+                    elapsed = max(1.0, now - last_cycle)
+                    timeline.append(
+                        TimelinePoint(
+                            round_index=round_index + 1,
+                            mean_cycle=now,
+                            remote_stall_fraction=delta.remote_stall_fraction,
+                            ipc=delta.instructions / elapsed,
+                            controller_phase=(
+                                self.controller.phase.value
+                                if self.controller is not None
+                                else ""
+                            ),
+                        )
+                    )
+                    last_snapshot = snapshot
+                    last_cycle = now
+        finally:
+            # Write kernel-side cache/directory state back to the
+            # Python objects before anything below inspects them.
+            self.hierarchy.end_columnar_rounds()
 
         if tracker is not None:
             tracker.finish(n_rounds - 1, self.mean_cycle)
@@ -400,8 +419,10 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def _run_round(self) -> None:
-        n_cpus = self.machine.n_cpus
-        running = [self.scheduler.pick_next(cpu) for cpu in range(n_cpus)]
+        if self._columnar is not None:
+            self._columnar.run_round()
+            return
+        running = self.scheduler.pick_all()
 
         busy_per_core = self._busy_per_core
         for core in range(len(busy_per_core)):
@@ -462,17 +483,19 @@ class Simulator:
             capture_cost = 0
             miss_callback = None
             if self.capture.enabled:
-                on_miss = self.capture.on_l1_miss
-                cost_cell = [0]
-
-                def miss_callback(address, source):
-                    cost_cell[0] += on_miss(cpu, address, tid, source, now)
+                # Bound-method accumulator: the capture engine holds the
+                # (cpu, tid, cycle) context and the running handler cost
+                # for the quantum, so the walk invokes one prebound
+                # callable per miss instead of a fresh closure over a
+                # cost cell every quantum.
+                self.capture.bind_quantum(cpu, tid, now)
+                miss_callback = self.capture.accumulate_miss
 
             counts = self.hierarchy.access_batch(
                 cpu, batch.addresses, batch.is_write, miss_callback
             )
             if miss_callback is not None:
-                capture_cost = cost_cell[0]
+                capture_cost = self.capture.take_quantum_cost()
             n_references = len(batch.addresses)
         else:
             addresses = batch.addresses.tolist()

@@ -28,6 +28,7 @@ from .differential import (
     PATHS,
     PathRunReport,
     run_batched_walk,
+    run_columnar_vs_scalar,
     run_observe_many,
     run_parallel_sweep,
     run_resume,
@@ -60,6 +61,7 @@ __all__ = [
     "diff_states",
     "result_state",
     "run_batched_walk",
+    "run_columnar_vs_scalar",
     "run_campaign",
     "run_observe_many",
     "run_parallel_sweep",

@@ -9,6 +9,9 @@ configuration and diffs the complete canonical end state:
 * ``batched-walk``   -- engine with ``batched_pipeline`` on vs off
   (vectorized cache walk + batched sample delivery vs the scalar
   reference loop);
+* ``columnar-vs-scalar`` -- engine with ``columnar_pipeline`` on vs off
+  (whole-round struct-of-arrays passes, including the compiled walk
+  kernel when available, vs the per-CPU scalar round);
 * ``observe-many``   -- :meth:`ShMapTable.observe_many` vs the
   sequential :meth:`ShMapTable.observe` loop, over an interleaved
   multi-thread sample stream, uncapped and under a tight per-thread
@@ -133,6 +136,60 @@ def run_batched_walk(
         "samples_delivered": (
             batched.capture_stats.samples_delivered
             if batched.capture_stats
+            else 0
+        ),
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+def run_columnar_vs_scalar(
+    workload: str,
+    seed: int,
+    n_rounds: int,
+    workdir: Optional[Path] = None,
+    recorder=None,
+    metrics=None,
+) -> PathRunReport:
+    """Columnar (struct-of-arrays) round core vs the scalar round loop.
+
+    The columnar engine executes each round as whole-round passes --
+    one dispatch, one generation sweep, one segmented cache walk
+    (through the compiled kernel when available), batch PMU absorption,
+    and vectorized cycle charging -- where the scalar loop interleaves
+    everything per CPU.  The contract is byte-identical end states.
+    The report's detail records whether the compiled walk kernel was
+    actually exercised, so a green run on a box without a C compiler is
+    distinguishable from one that verified the kernel too.
+    """
+    from ..cache import fastwalk
+
+    factory = _factory(workload)
+    report = PathRunReport("columnar-vs-scalar", workload, seed)
+    config = _base_config(seed, n_rounds)
+    columnar, report.violations = run_with_invariants(
+        factory(),
+        replace(config, columnar_pipeline=True),
+        recorder=recorder,
+        metrics=metrics,
+    )
+    scalar, scalar_violations = run_with_invariants(
+        factory(),
+        replace(config, columnar_pipeline=False),
+        recorder=recorder,
+        metrics=metrics,
+    )
+    report.violations = report.violations + scalar_violations
+    report.runs = 2
+    report.mismatches = diff_states(
+        result_state(scalar), result_state(columnar)
+    )
+    report.detail = {
+        "walk_kernel": fastwalk.kernel_available(),
+        "clustering_rounds": len(columnar.clustering_events),
+        "samples_delivered": (
+            columnar.capture_stats.samples_delivered
+            if columnar.capture_stats
             else 0
         ),
     }
@@ -341,6 +398,7 @@ def run_resume(
 #: path name -> runner; the public catalogue of differential pairs
 PATHS: Dict[str, Callable[..., PathRunReport]] = {
     "batched-walk": run_batched_walk,
+    "columnar-vs-scalar": run_columnar_vs_scalar,
     "observe-many": run_observe_many,
     "parallel-sweep": run_parallel_sweep,
     "resume": run_resume,

@@ -55,6 +55,34 @@ class TrafficStream:
             raise ValueError("write_fraction must be within [0, 1]")
 
 
+#: word alignment of generated references (mirrors the default of
+#: :meth:`repro.memory.regions.Region.sample_addresses`)
+_ADDRESS_ALIGNMENT = 8
+_ALIGNMENT_MASK = ~np.int64(_ADDRESS_ALIGNMENT - 1)
+
+
+def _plan_arrays(active: Sequence[TrafficStream]) -> tuple:
+    """Per-stream draw parameters as arrays, for vectorized batches.
+
+    ``spans`` is float64 because offsets are drawn as ``u * span`` from
+    one uniform vector covering the whole batch (see
+    :func:`_compose_planned`); hot fractions fold into the span exactly
+    as :meth:`Region.sample_addresses` computes it.
+    """
+    bases = np.array([s.region.base for s in active], dtype=np.int64)
+    spans = np.array(
+        [
+            max(_ADDRESS_ALIGNMENT, int(s.region.size * s.hot_fraction))
+            for s in active
+        ],
+        dtype=np.float64,
+    )
+    write_fractions = np.array(
+        [s.write_fraction for s in active], dtype=np.float64
+    )
+    return bases, spans, write_fractions
+
+
 def compose_traffic(
     rng: np.random.Generator,
     streams: Sequence[TrafficStream],
@@ -76,25 +104,57 @@ def compose_traffic(
         )
     weights = np.asarray([s.weight for s in active], dtype=np.float64)
     weights = weights / weights.sum()
-    counts = rng.multinomial(n_references, weights)
+    return _compose_planned(
+        rng,
+        weights,
+        _plan_arrays(active),
+        n_references,
+        instructions_per_reference,
+    )
 
-    addresses: List[np.ndarray] = []
-    writes: List[np.ndarray] = []
-    for stream, count in zip(active, counts):
-        if count == 0:
-            continue
-        addresses.append(
-            stream.region.sample_addresses(
-                rng, int(count), hot_fraction=stream.hot_fraction
-            )
+
+def _compose_planned(
+    rng: np.random.Generator,
+    weights: np.ndarray,
+    arrays: tuple,
+    n_references: int,
+    instructions_per_reference: int = 4,
+) -> AccessBatch:
+    """The drawing core of :func:`compose_traffic`.
+
+    One batch costs a fixed handful of whole-batch array operations
+    regardless of stream count: a multinomial for the mix, one uniform
+    vector scaled per-reference by the stream's span (uniform over the
+    span, like per-stream ``sample_addresses`` draws), one uniform
+    vector against the stream's write fraction, and one permutation to
+    interleave the streams.  Callers that issue many batches per thread
+    cache ``weights``/``arrays`` (pure functions of the stream list --
+    see :meth:`WorkloadModel._traffic_plan`) and come straight here.
+    """
+    bases, spans, write_fractions = arrays
+    if len(spans) == 1:
+        # Single stream: references are i.i.d., so no mix to draw and
+        # nothing to interleave.
+        offsets = (rng.random(n_references) * spans[0]).astype(np.int64)
+        offsets &= _ALIGNMENT_MASK
+        offsets += bases[0]
+        writes = rng.random(n_references) < write_fractions[0]
+        return AccessBatch(
+            addresses=offsets,
+            is_write=writes,
+            instructions=n_references * instructions_per_reference,
         )
-        writes.append(rng.random(int(count)) < stream.write_fraction)
-    joined_addresses = np.concatenate(addresses)
-    joined_writes = np.concatenate(writes)
-    order = rng.permutation(len(joined_addresses))
+    counts = rng.multinomial(n_references, weights)
+    offsets = (rng.random(n_references) * np.repeat(spans, counts)).astype(
+        np.int64
+    )
+    offsets &= _ALIGNMENT_MASK
+    offsets += np.repeat(bases, counts)
+    writes = rng.random(n_references) < np.repeat(write_fractions, counts)
+    order = rng.permutation(n_references)
     return AccessBatch(
-        addresses=joined_addresses[order],
-        is_write=joined_writes[order],
+        addresses=offsets[order],
+        is_write=writes[order],
         instructions=n_references * instructions_per_reference,
     )
 
@@ -115,6 +175,9 @@ class WorkloadModel(abc.ABC):
         self.allocator = RegionAllocator(line_bytes=line_bytes)
         self._threads: List[SimThread] = []
         self._streams_cache: Dict[int, List[TrafficStream]] = {}
+        #: tid -> (active streams, normalized weights), derived from
+        #: ``_streams_cache`` and invalidated with it
+        self._plan_cache: Dict[int, tuple] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -187,17 +250,65 @@ class WorkloadModel(abc.ABC):
         consulted again.
         """
         self._streams_cache.clear()
+        self._plan_cache.clear()
+
+    def _traffic_plan(self, thread: SimThread) -> tuple:
+        """Cached (normalized weights, draw arrays) for a thread; the
+        weights slot is None when the thread has no positive-weight
+        streams."""
+        tid = thread.tid
+        plan = self._plan_cache.get(tid)
+        if plan is None:
+            streams = self._streams_cache.get(tid)
+            if streams is None:
+                streams = self.streams_for(thread)
+                self._streams_cache[tid] = streams
+            active = [s for s in streams if s.weight > 0]
+            if active:
+                weights = np.asarray(
+                    [s.weight for s in active], dtype=np.float64
+                )
+                weights = weights / weights.sum()
+                plan = (weights, _plan_arrays(active))
+            else:
+                plan = (None, None)
+            self._plan_cache[tid] = plan
+        return plan
 
     def generate_batch(
         self, thread: SimThread, rng: np.random.Generator, n_references: int
     ) -> AccessBatch:
         """One scheduling quantum's worth of references for ``thread``."""
-        streams = self._streams_cache.get(thread.tid)
-        if streams is None:
-            streams = self.streams_for(thread)
-            self._streams_cache[thread.tid] = streams
+        weights, arrays = self._traffic_plan(thread)
         scaled = max(1, int(n_references * self.batch_scale(thread)))
-        return compose_traffic(rng, streams, scaled)
+        if weights is None or scaled <= 0:
+            return AccessBatch(
+                addresses=np.empty(0, dtype=np.int64),
+                is_write=np.empty(0, dtype=bool),
+                instructions=max(0, scaled) * 4,
+            )
+        return _compose_planned(rng, weights, arrays, scaled)
+
+    def generate_batch_many(
+        self,
+        threads: Sequence[Optional[SimThread]],
+        rng: np.random.Generator,
+        n_references: int,
+    ) -> List[Optional[AccessBatch]]:
+        """One quantum of references for each thread, in sequence.
+
+        ``None`` entries (idle cpus) yield ``None``.  RNG draws are
+        issued thread by thread in list order, so the result -- and the
+        generator state afterwards -- matches calling
+        :meth:`generate_batch` per thread in the same order.  Exists so
+        the columnar round pipeline amortizes per-thread stream lookup
+        and dispatch over the whole round.
+        """
+        generate = self.generate_batch
+        return [
+            None if thread is None else generate(thread, rng, n_references)
+            for thread in threads
+        ]
 
     # ------------------------------------------------------------------
     # Region helpers for subclasses

@@ -1,0 +1,173 @@
+"""Differential tests: compiled walk kernel vs the Python batch walk.
+
+:meth:`CacheHierarchy.access_round` runs on the compiled ``_fastwalk``
+kernel when one is adopted (``begin_columnar_rounds``) and on the Python
+batch walk otherwise, and promises identical results either way.  These
+tests drive twin hierarchies -- one holding the kernel, one not --
+through the same randomized multi-segment rounds and compare per-source
+counts, per-reference miss streams, statistics, and (after writeback)
+the complete cache/LRU/coherence state.
+
+Skipped wholesale when no C compiler is available; the Python leg is
+then the only implementation and is covered by the access_batch suite.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache import fastwalk
+from repro.cache.hierarchy import CacheHierarchy
+from repro.topology.presets import openpower_720
+
+pytestmark = pytest.mark.skipif(
+    not fastwalk.kernel_available(),
+    reason=f"fastwalk kernel unavailable: {fastwalk.kernel_error()}",
+)
+
+
+def _build_pair():
+    spec = openpower_720()
+    return CacheHierarchy(spec), CacheHierarchy(spec)
+
+
+def _random_round(rng, n_cpus):
+    """Segments for a random subset of cpus, mixed access styles."""
+    cpus = sorted(rng.sample(range(n_cpus), rng.randrange(1, n_cpus + 1)))
+    addresses, writes, seg_cpus, seg_offsets = [], [], [], [0]
+    shared = [0x80000 + 128 * k for k in range(48)]
+    for cpu in cpus:
+        n_refs = rng.randrange(0, 300)
+        pool_base = 0x100000 + 0x40000 * cpu
+        private = [pool_base + 128 * k for k in range(80)]
+        for _ in range(n_refs):
+            roll = rng.random()
+            if roll < 0.35:
+                addresses.append(rng.choice(shared))
+            elif roll < 0.9:
+                addresses.append(rng.choice(private))
+            else:  # cold streaming reference
+                addresses.append(0x4000000 + 128 * rng.randrange(100_000))
+            writes.append(rng.random() < 0.12)
+        seg_cpus.append(cpu)
+        seg_offsets.append(len(addresses))
+    return (
+        np.asarray(seg_cpus, dtype=np.int64),
+        np.asarray(seg_offsets, dtype=np.int64),
+        np.asarray(addresses, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+    )
+
+
+def _assert_same_state(kernel_side, python_side):
+    """Full observable-state equality (call after writeback)."""
+    for group in ("l1_caches", "l2_caches", "l3_caches"):
+        for a, b in zip(getattr(kernel_side, group), getattr(python_side, group)):
+            assert a._line_at == b._line_at, a.name
+            assert a._ages == b._ages, a.name
+            assert a._slot_of == b._slot_of, a.name
+            assert a._tick == b._tick, a.name
+            assert a.hits == b.hits, a.name
+            assert a.misses == b.misses, a.name
+    holders_a = {l: sorted(c) for l, c in kernel_side.directory._holders.items()}
+    holders_b = {l: sorted(c) for l, c in python_side.directory._holders.items()}
+    assert holders_a == holders_b
+    assert (
+        kernel_side.directory.invalidations_sent
+        == python_side.directory.invalidations_sent
+    )
+    assert (
+        kernel_side.directory.lines_ever_shared
+        == python_side.directory.lines_ever_shared
+    )
+    assert np.array_equal(kernel_side.stats.counts, python_side.stats.counts)
+
+
+def _drive_both(kernel_side, python_side, rng, n_rounds):
+    n_cpus = kernel_side.machine.n_cpus
+    for step in range(n_rounds):
+        seg_cpus, seg_offsets, addresses, writes = _random_round(rng, n_cpus)
+        counts_a, miss_addr_a, miss_src_a = kernel_side.access_round(
+            seg_cpus, seg_offsets, addresses, writes
+        )
+        counts_b, miss_addr_b, miss_src_b = python_side.access_round(
+            seg_cpus, seg_offsets, addresses, writes
+        )
+        assert np.array_equal(counts_a, counts_b), step
+        for s in range(len(seg_cpus)):
+            assert np.array_equal(miss_addr_a[s], miss_addr_b[s]), (step, s)
+            assert np.array_equal(miss_src_a[s], miss_src_b[s]), (step, s)
+        assert np.array_equal(
+            kernel_side.stats.counts, python_side.stats.counts
+        ), step
+
+
+@pytest.mark.parametrize("seed", [11, 23, 57])
+def test_kernel_round_matches_python_walk(seed):
+    rng = random.Random(seed)
+    kernel_side, python_side = _build_pair()
+    assert kernel_side.begin_columnar_rounds() is True
+    assert kernel_side.columnar_kernel_active
+    assert not python_side.columnar_kernel_active
+    try:
+        _drive_both(kernel_side, python_side, rng, n_rounds=10)
+    finally:
+        kernel_side.end_columnar_rounds()
+    assert not kernel_side.columnar_kernel_active
+    _assert_same_state(kernel_side, python_side)
+
+
+def test_kernel_adopts_non_pristine_state():
+    """Warm both hierarchies through the scalar path first, then adopt
+    the kernel on one -- exercises the full ``_load_state`` ship (the
+    pristine-cache shortcut must not fire) and proves mid-run state
+    carries over exactly."""
+    rng = random.Random(5)
+    kernel_side, python_side = _build_pair()
+    warm = [0x90000 + 128 * k for k in range(200)]
+    for step in range(400):
+        cpu = step % kernel_side.machine.n_cpus
+        address = rng.choice(warm)
+        write = rng.random() < 0.2
+        kernel_side.access(cpu, address, write)
+        python_side.access(cpu, address, write)
+    # The warmup must have left non-trivial state to ship.
+    assert any(c._slot_of for c in kernel_side.l1_caches)
+    assert kernel_side.directory._holders
+    assert kernel_side.begin_columnar_rounds() is True
+    try:
+        _drive_both(kernel_side, python_side, rng, n_rounds=6)
+    finally:
+        kernel_side.end_columnar_rounds()
+    _assert_same_state(kernel_side, python_side)
+
+
+def test_kernel_round_empty_segments():
+    """Zero-length segments and an all-empty round are serviced without
+    touching any state."""
+    kernel_side, python_side = _build_pair()
+    assert kernel_side.begin_columnar_rounds() is True
+    try:
+        seg_cpus = np.asarray([0, 3], dtype=np.int64)
+        seg_offsets = np.asarray([0, 0, 0], dtype=np.int64)
+        empty_addr = np.empty(0, dtype=np.int64)
+        empty_writes = np.empty(0, dtype=bool)
+        counts, miss_addr, miss_src = kernel_side.access_round(
+            seg_cpus, seg_offsets, empty_addr, empty_writes
+        )
+        assert counts.sum() == 0
+        assert all(len(a) == 0 for a in miss_addr)
+        assert all(len(s) == 0 for s in miss_src)
+    finally:
+        kernel_side.end_columnar_rounds()
+    _assert_same_state(kernel_side, python_side)
+
+
+def test_begin_end_columnar_rounds_idempotent():
+    hierarchy, _ = _build_pair()
+    assert hierarchy.begin_columnar_rounds() is True
+    assert hierarchy.begin_columnar_rounds() is True  # already adopted
+    hierarchy.end_columnar_rounds()
+    hierarchy.end_columnar_rounds()  # no walker: safe no-op
+    assert not hierarchy.columnar_kernel_active

@@ -22,6 +22,11 @@ SEED = 3
 def _run(policy, batched):
     config = evaluation_config(policy, n_rounds=N_ROUNDS, seed=SEED)
     config.batched_pipeline = batched
+    # The columnar round core dispatches before ``batched_pipeline`` is
+    # consulted; force the per-CPU loop so this suite keeps comparing
+    # the batched walk against the one-access-per-reference oracle
+    # (tests/test_sim_columnar.py covers columnar vs scalar).
+    config.columnar_pipeline = False
     return run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
 
 

@@ -1,0 +1,174 @@
+"""Columnar round core vs the scalar round loop, whole-simulation.
+
+``SimConfig.columnar_pipeline`` selects between the struct-of-arrays
+round core (:mod:`repro.sim.columnar`, default) and the per-CPU scalar
+loop.  Like the batched pipeline before it, the columnar core is an
+optimisation, not a model change: every observable output must be
+byte-identical, including when the compiled walk kernel is unavailable
+and :meth:`CacheHierarchy.access_round` falls back to the Python batch
+walk.
+"""
+
+from dataclasses import replace
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.sched.placement import PlacementPolicy
+from repro.sched.thread import SimThread
+from repro.sim.engine import Simulator, run_simulation
+from repro.verify.digest import result_state, state_digest
+from repro.workloads.base import TrafficStream, WorkloadModel
+from repro.workloads.churn import ChurningWorkload
+
+N_ROUNDS = 150
+SEED = 3
+
+
+def _digest(workload_factory, config):
+    result = run_simulation(workload_factory(), config)
+    return state_digest(result_state(result))
+
+
+def _assert_equal_digests(workload_factory, config):
+    columnar = _digest(
+        workload_factory, replace(config, columnar_pipeline=True)
+    )
+    scalar = _digest(
+        workload_factory, replace(config, columnar_pipeline=False)
+    )
+    assert columnar == scalar
+
+
+@pytest.mark.parametrize("seed", [1, 3, 42])
+@pytest.mark.parametrize("workload", ["microbenchmark", "volanomark"])
+def test_columnar_matches_scalar(workload, seed):
+    """The acceptance matrix: seeds x workloads at full round count."""
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED, n_rounds=N_ROUNDS, seed=seed
+    )
+    _assert_equal_digests(PAPER_WORKLOADS[workload], config)
+
+
+def test_columnar_matches_scalar_with_smt_sensitivity():
+    """Contention factors read co-runner miss-rate EWMAs mid-round; the
+    columnar pass must preserve the scalar's CPU-ordered interleaving
+    of contention reads and EWMA updates."""
+    config = replace(
+        evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=N_ROUNDS, seed=SEED
+        ),
+        smt_memory_sensitivity=0.5,
+    )
+    _assert_equal_digests(PAPER_WORKLOADS["microbenchmark"], config)
+
+
+def test_columnar_matches_scalar_capture_heavy():
+    """A short sampling period maximises overflow/skid traffic through
+    the batch absorb path."""
+    config = replace(
+        evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=N_ROUNDS, seed=SEED
+        ),
+        sampling_period=50,
+    )
+    _assert_equal_digests(PAPER_WORKLOADS["volanomark"], config)
+
+
+def test_columnar_matches_scalar_under_churn():
+    """Thread churn exercises mid-run admission (drain_spawned) and
+    FINISHED threads leaving the dispatch tables."""
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED, n_rounds=N_ROUNDS, seed=SEED
+    )
+    _assert_equal_digests(
+        lambda: ChurningWorkload(
+            PAPER_WORKLOADS["volanomark"](), 12, seed=5
+        ),
+        config,
+    )
+
+
+def test_columnar_matches_scalar_python_fallback(monkeypatch):
+    """With the compiled kernel unavailable, the columnar core must run
+    the Python batch walk and still match the scalar loop exactly."""
+    import repro.cache.fastwalk as fastwalk
+
+    monkeypatch.setattr(fastwalk, "kernel_available", lambda: False)
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED, n_rounds=60, seed=SEED
+    )
+    workload = PAPER_WORKLOADS["microbenchmark"]
+    sim = Simulator(workload(), replace(config, columnar_pipeline=True))
+    assert sim.hierarchy.begin_columnar_rounds() is False
+    columnar = state_digest(result_state(sim.run()))
+    scalar = _digest(workload, replace(config, columnar_pipeline=False))
+    assert columnar == scalar
+
+
+class _EphemeralWorkload(WorkloadModel):
+    """A few short-lived threads, one of them traffic-less.
+
+    Threads finish after a fixed number of quanta with no replacements,
+    so the run's tail executes rounds where every runqueue is empty --
+    the all-idle edge the columnar round must charge (nothing) exactly
+    like the scalar loop.  Thread 0 has no positive-weight streams, so
+    its quanta are zero-reference but still charge completion cycles.
+    """
+
+    name = "ephemeral"
+
+    def __init__(self, n_threads: int = 3, lifetime: int = 5) -> None:
+        self._lifetime = lifetime
+        self._n = n_threads
+        self._quanta = {}
+        super().__init__()
+
+    def _build(self) -> None:
+        self._region = self._global_region("shared", 8 * 1024)
+        for tid in range(self._n):
+            self._new_thread(tid, f"eph{tid}", group=0)
+            self._quanta[tid] = 0
+
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        if thread.tid == 0:
+            return [TrafficStream(region=self._region, weight=0.0)]
+        return [
+            TrafficStream(
+                region=self._region, weight=1.0, write_fraction=0.2
+            )
+        ]
+
+    def on_quantum_complete(self, thread: SimThread) -> bool:
+        self._quanta[thread.tid] = self._quanta.get(thread.tid, 0) + 1
+        return self._quanta[thread.tid] >= self._lifetime
+
+
+def test_columnar_matches_scalar_all_idle_tail():
+    config = evaluation_config(PlacementPolicy.CLUSTERED, n_rounds=40, seed=SEED)
+    _assert_equal_digests(_EphemeralWorkload, config)
+
+
+def test_columnar_is_the_default_and_round_trips_config():
+    config = evaluation_config(PlacementPolicy.CLUSTERED, n_rounds=5, seed=SEED)
+    assert config.columnar_pipeline is True
+    from repro.sim.config import SimConfig
+
+    restored = SimConfig.from_dict(
+        replace(config, columnar_pipeline=False).to_dict()
+    )
+    assert restored.columnar_pipeline is False
+
+
+def test_kernel_released_after_run():
+    """The engine must write kernel state back and release it, so
+    post-run consumers (reports, figure probes) see live Python caches."""
+    config = evaluation_config(PlacementPolicy.CLUSTERED, n_rounds=10, seed=SEED)
+    sim = Simulator(PAPER_WORKLOADS["microbenchmark"](), config)
+    sim.run()
+    assert sim.hierarchy.columnar_kernel_active is False
+    # Writeback left real content behind (the run produced misses).
+    assert any(cache.misses for cache in sim.hierarchy.l2_caches)
+    assert sum(len(c._slot_of) for c in sim.hierarchy.l1_caches) > 0

@@ -26,9 +26,10 @@ from repro.verify import (
 
 
 class TestPathCatalogue:
-    def test_all_four_paths_registered(self):
+    def test_all_paths_registered(self):
         assert set(DEFAULT_PATHS) == {
             "batched-walk",
+            "columnar-vs-scalar",
             "observe-many",
             "parallel-sweep",
             "resume",
