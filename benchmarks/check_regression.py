@@ -38,6 +38,19 @@ import sys
 from pathlib import Path
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_BASELINE.json"
+HISTORY_NAME = "BENCH_HISTORY.jsonl"
+
+
+def _history_module():
+    """Load the sibling history.py whether or not benchmarks/ is a
+    package on sys.path (this file is often exec'd as a script)."""
+    import importlib.util
+
+    path = Path(__file__).resolve().parent / "history.py"
+    spec = importlib.util.spec_from_file_location("bench_history", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 #: benchmarks the batched/columnar pipelines must keep >= --min-speedup
 #: over seed (the engine-round entries gate the columnar round core
@@ -70,11 +83,28 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline's means from this run "
                              "instead of checking")
+    parser.add_argument("--history", type=Path, default=None, metavar="PATH",
+                        help="append this run's means to a JSONL history "
+                             f"(default: {HISTORY_NAME} next to the "
+                             "baseline; see benchmarks/history.py trend)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not record this run in the history")
     args = parser.parse_args(argv)
 
     if not args.bench_json.is_file():
         parser.error(f"no such file: {args.bench_json}")
     fresh = load_means(args.bench_json)
+    if not args.no_history:
+        history_path = (
+            args.history
+            if args.history is not None
+            else args.baseline.parent / HISTORY_NAME
+        )
+        entry = _history_module().record_run(fresh, history_path)
+        print(
+            f"recorded run in {history_path} "
+            f"(commit {entry['commit']}, machine {entry['machine']!r})"
+        )
     baseline = (
         json.loads(args.baseline.read_text())
         if args.baseline.is_file()
@@ -145,20 +175,38 @@ def main(argv=None) -> int:
             "--update): " + ", ".join(unknown_fresh)
         )
 
-    for name, base_mean in baseline_means.items():
+    # The speedup/regression table prints on success and failure alike:
+    # a green run should still show where each benchmark sits vs the
+    # baseline (and vs seed where the baseline knows it).
+    print(f"{'benchmark':40s} {'seed us':>10s} {'current us':>11s} "
+          f"{'baseline us':>12s}  {'ratio':>6s}")
+    regressions = []  # (ratio, message): sorted so the worst leads
+    for name, base_mean in sorted(baseline_means.items()):
         mean = fresh.get(name)
         if mean is None:
             continue  # already reported in the missing_fresh summary
         ratio = mean / base_mean
+        seed_mean = seed_means.get(name)
+        seed_text = (
+            f"{seed_mean * 1e6:10.0f}"
+            if seed_mean is not None
+            else f"{'--':>10s}"
+        )
         marker = ""
         if ratio > 1.0 + args.tolerance:
             marker = "  << REGRESSION"
-            failures.append(
+            regressions.append((
+                ratio,
                 f"{name}: {mean * 1e6:.0f} us vs baseline "
-                f"{base_mean * 1e6:.0f} us ({ratio:.2f}x)"
-            )
-        print(f"{name:40s} {mean * 1e6:10.0f} us  "
-              f"baseline {base_mean * 1e6:10.0f} us  {ratio:5.2f}x{marker}")
+                f"{base_mean * 1e6:.0f} us ({ratio:.2f}x)",
+            ))
+        print(f"{name:40s} {seed_text} {mean * 1e6:11.0f} "
+              f"{base_mean * 1e6:12.0f}  {ratio:5.2f}x{marker}")
+    # The offending benchmark must lead the failure message: order the
+    # regressions worst-first and put them ahead of the bookkeeping
+    # failures (missing names etc.) collected above.
+    regressions.sort(key=lambda item: item[0], reverse=True)
+    failures[:0] = [message for _, message in regressions]
 
     if args.speedup_gate:
         for name in GATED_SPEEDUPS:
@@ -177,7 +225,7 @@ def main(argv=None) -> int:
                 )
 
     if failures:
-        print("\nFAILED:", file=sys.stderr)
+        print(f"\nFAILED (worst first): {failures[0]}", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1

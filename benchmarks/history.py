@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Append-only benchmark history and cross-run drift detection.
+
+``BENCH_BASELINE.json`` is a single snapshot: it catches a regression
+against the last captured numbers, but a slow creep -- 5% here, 8%
+there, recaptured away each time -- is invisible.  This module gives
+the gate a trajectory: every ``check_regression.py`` run appends one
+JSON line (commit, machine, timestamp, per-benchmark means) to
+``BENCH_HISTORY.jsonl``, and the ``trend`` command compares the newest
+entry against the median of the preceding same-machine runs, flagging
+any benchmark that drifted past a threshold in either direction.
+
+Usage::
+
+    python benchmarks/history.py trend [--history PATH] [--threshold 0.5]
+
+The history is machine-specific data in an append-only log: corrupt or
+foreign lines are skipped, never fatal, so a merge conflict or a torn
+write cannot brick the trend check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+HISTORY_NAME = "BENCH_HISTORY.jsonl"
+DEFAULT_HISTORY_PATH = Path(__file__).resolve().parent.parent / HISTORY_NAME
+
+#: same-machine prior runs the trend baseline is the median of
+DEFAULT_WINDOW = 8
+#: flag when the latest mean is this far from the median (fraction)
+DEFAULT_THRESHOLD = 0.5
+#: prior runs required before trend says anything (medians of one or
+#: two noisy runs flag everything)
+DEFAULT_MIN_RUNS = 3
+
+
+def current_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() or "unknown" if out.returncode == 0 else "unknown"
+
+
+def record_run(
+    means: Dict[str, float],
+    history_path: Path,
+    commit: Optional[str] = None,
+    machine: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append one run's means to the history; returns the entry written.
+
+    A single ``write()`` of one complete line on an append-mode handle,
+    the same torn-read-safe discipline as the telemetry spools.
+    """
+    entry = {
+        "t": time.time() if timestamp is None else timestamp,
+        "commit": commit if commit is not None else current_commit(),
+        "machine": machine if machine is not None else platform.node(),
+        "means": {name: float(mean) for name, mean in sorted(means.items())},
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(history_path: Path) -> List[Dict[str, Any]]:
+    """Entries in file order; corrupt/foreign lines are skipped."""
+    entries: List[Dict[str, Any]] = []
+    try:
+        text = Path(history_path).read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("means"), dict):
+            entries.append(entry)
+    return entries
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def detect_drift(
+    entries: List[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_runs: int = DEFAULT_MIN_RUNS,
+) -> List[Dict[str, Any]]:
+    """Compare the newest entry to the median of its predecessors.
+
+    Only same-machine predecessors count (baselines are machine
+    specific), the baseline is the median of up to ``window`` of them
+    (medians shrug off one noisy run), and nothing is flagged until
+    ``min_runs`` priors exist.  Returns one finding per drifted
+    benchmark: ``{name, latest, median, ratio, direction}`` with
+    direction ``slower`` or ``faster`` -- unexplained speedups are
+    usually a benchmark accidentally doing less work, so both tails
+    are reported.
+    """
+    if not entries:
+        return []
+    latest = entries[-1]
+    priors = [
+        e for e in entries[:-1] if e.get("machine") == latest.get("machine")
+    ][-window:]
+    if len(priors) < min_runs:
+        return []
+    findings: List[Dict[str, Any]] = []
+    for name, mean in sorted(latest["means"].items()):
+        history = [
+            e["means"][name]
+            for e in priors
+            if isinstance(e["means"].get(name), (int, float))
+        ]
+        if len(history) < min_runs:
+            continue
+        median = _median([float(v) for v in history])
+        if median <= 0:
+            continue
+        ratio = float(mean) / median
+        if ratio > 1.0 + threshold or ratio < 1.0 / (1.0 + threshold):
+            findings.append(
+                {
+                    "name": name,
+                    "latest": float(mean),
+                    "median": median,
+                    "ratio": ratio,
+                    "direction": "slower" if ratio > 1.0 else "faster",
+                }
+            )
+    findings.sort(key=lambda f: abs(f["ratio"] - 1.0), reverse=True)
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    trend = sub.add_parser(
+        "trend", help="flag cross-run drift in the benchmark history"
+    )
+    trend.add_argument("--history", type=Path, default=DEFAULT_HISTORY_PATH)
+    trend.add_argument("--window", type=int, default=DEFAULT_WINDOW)
+    trend.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="drift fraction vs the median that trips the flag "
+             f"(default: {DEFAULT_THRESHOLD})",
+    )
+    trend.add_argument("--min-runs", type=int, default=DEFAULT_MIN_RUNS)
+    args = parser.parse_args(argv)
+
+    entries = load_history(args.history)
+    if not entries:
+        print(f"no history at {args.history} (nothing recorded yet)")
+        return 0
+    latest = entries[-1]
+    machine = latest.get("machine")
+    priors = sum(
+        1 for e in entries[:-1] if e.get("machine") == machine
+    )
+    print(
+        f"{args.history}: {len(entries)} run(s), latest commit "
+        f"{latest.get('commit')} on {machine!r} "
+        f"({priors} prior same-machine run(s))"
+    )
+    if priors < args.min_runs:
+        print(
+            f"trend needs >= {args.min_runs} prior same-machine runs; "
+            f"recording only"
+        )
+        return 0
+    findings = detect_drift(
+        entries,
+        window=args.window,
+        threshold=args.threshold,
+        min_runs=args.min_runs,
+    )
+    if not findings:
+        print(
+            f"no drift beyond {args.threshold:.0%} of the "
+            f"{min(priors, args.window)}-run median"
+        )
+        return 0
+    print(f"\nFAILED: {len(findings)} benchmark(s) drifted:", file=sys.stderr)
+    for f in findings:
+        print(
+            f"  {f['name']}: {f['latest'] * 1e6:.0f} us vs median "
+            f"{f['median'] * 1e6:.0f} us ({f['ratio']:.2f}x, "
+            f"{f['direction']})",
+            file=sys.stderr,
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,8 +61,14 @@ _RUNNERS: Dict[str, str] = {
     "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
     "report": "OBS: flight-recorder run(s) rendered as a self-contained "
               "HTML report (+ JSONL export)",
+    "top": "OBS: live dashboard over a spooling sweep (reads --spool-dir "
+           "telemetry + --manifest progress; --once for scripting)",
     "verify": "VERIFY: differential + invariant campaign over paired paths",
 }
+
+
+class AlertGate(RuntimeError):
+    """--fail-on-alert tripped: critical alerts fired during the run."""
 
 
 def _write(out_dir: Optional[Path], name: str, text: str) -> None:
@@ -118,6 +124,7 @@ def _exec_policy(args, name: str):
         task_timeout=args.task_timeout,
         retry=RetryPolicy(max_attempts=args.retries + 1),
         allow_partial=args.allow_partial,
+        heartbeat_stall_s=args.stall_after,
     )
 
 
@@ -448,8 +455,11 @@ def _run_trace(args, out: Optional[Path]) -> None:
         )
 
 
-def _write_run_reports(args, results) -> None:
-    """Analyse finished runs and write the HTML report + JSONL export."""
+def _write_run_reports(args, results):
+    """Analyse finished runs and write the HTML report + JSONL export.
+
+    Returns the per-label analyses so callers can gate on what fired
+    (``--fail-on-alert``)."""
     from .experiments.parallel import aggregate_metrics
     from .obs import analyze_sweep, write_report, write_report_jsonl
 
@@ -470,6 +480,7 @@ def _write_run_reports(args, results) -> None:
     for label, analysis in analyses.items():
         for alert in analysis.alerts:
             print(f"  [{alert.severity}] {label}: {alert.message}")
+    return analyses
 
 
 def _run_report(args, out: Optional[Path]) -> None:
@@ -508,7 +519,57 @@ def _run_report(args, out: Optional[Path]) -> None:
             f"report_{workload_name}.json",
             json.dumps(sim_result_to_dict(result), indent=2, sort_keys=True),
         )
-    _write_run_reports(args, results)
+    analyses = _write_run_reports(args, results)
+    if args.fail_on_alert:
+        critical = [
+            (label, alert)
+            for label, analysis in analyses.items()
+            for alert in analysis.alerts
+            if alert.severity == "critical"
+        ]
+        if critical:
+            raise AlertGate(
+                f"{len(critical)} critical alert(s) fired: "
+                + "; ".join(
+                    f"{label}: {alert.name}" for label, alert in critical
+                )
+            )
+
+
+def _run_top(args, out: Optional[Path]) -> None:
+    """Live dashboard over a spooling sweep's telemetry directory.
+
+    Refreshes until the manifest reports the sweep complete; ``--once``
+    renders a single frame (for scripts/CI).  ``--fail-on-alert`` turns
+    spooled critical alerts into a nonzero exit via :class:`AlertGate`.
+    """
+    from .obs.live import TopOptions, run_top
+    from .obs.stream import spool_settings_from_env
+
+    spool_dir = args.spool_dir
+    flush_s = None
+    if spool_dir is None:
+        settings = spool_settings_from_env()
+        if settings is not None:
+            spool_dir, flush_s, _ = settings
+    if spool_dir is None:
+        raise AlertGate(
+            "repro top needs --spool-dir (or REPRO_SPOOL_DIR): point it "
+            "at the directory a sweep was started with"
+        )
+    options = TopOptions(
+        spool_dir=Path(spool_dir),
+        manifest_path=args.manifest,
+        interval_s=args.interval,
+        once=args.once,
+        fail_on_alert=args.fail_on_alert,
+        stall_after_s=args.stall_after,
+        prom_path=args.prom,
+    )
+    if flush_s is not None:
+        options.flush_interval_s = flush_s
+    if run_top(options) != 0:
+        raise AlertGate("critical alert(s) in the spooled telemetry")
 
 
 def _run_verify(args, out: Optional[Path]) -> None:
@@ -558,6 +619,7 @@ def _run_verify(args, out: Optional[Path]) -> None:
 _DISPATCH: Dict[str, Callable] = {
     "trace": _run_trace,
     "report": _run_report,
+    "top": _run_top,
     "verify": _run_verify,
     "fig1": _run_fig1,
     "fig3": _run_fig3,
@@ -723,6 +785,45 @@ def build_parser() -> argparse.ArgumentParser:
             "'verify' campaign (default: 1)"
         ),
     )
+    parser.add_argument(
+        "--spool-dir", type=Path, default=None, metavar="DIR",
+        help=(
+            "stream live telemetry (heartbeats, metric deltas, alerts) "
+            "from every worker into per-worker JSONL spools under DIR "
+            "(sets REPRO_SPOOL_DIR for workers); 'repro top' reads the "
+            "same directory"
+        ),
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval for the 'top' dashboard (default: 2)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="'top' renders one frame and exits (scripting/CI)",
+    )
+    parser.add_argument(
+        "--fail-on-alert", action="store_true",
+        help=(
+            "exit nonzero when any critical alert fired ('report' gates "
+            "on the run analyses, 'top' on the spooled alert stream)"
+        ),
+    )
+    parser.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help=(
+            "heartbeat age past which a spooling worker counts as "
+            "stalled (sweeps emit sweep.worker_stalled; 'top' flags the "
+            "row); default: 3 spool flush intervals"
+        ),
+    )
+    parser.add_argument(
+        "--prom", type=Path, default=None, metavar="PATH",
+        help=(
+            "'top' writes the live metric aggregate as Prometheus "
+            "exposition text to PATH on every refresh"
+        ),
+    )
     return parser
 
 
@@ -750,6 +851,21 @@ def main(argv: Optional[list] = None) -> int:
     if args.resume and args.manifest is None:
         parser.error("--resume requires --manifest (there is nothing to "
                      "resume from)")
+    if args.interval <= 0:
+        parser.error(f"--interval must be > 0, got {args.interval}")
+    if args.stall_after is not None and args.stall_after <= 0:
+        parser.error(f"--stall-after must be > 0, got {args.stall_after}")
+    if args.spool_dir is not None:
+        # Exported through the environment so worker processes (forked
+        # or spawned) pick it up with no extra plumbing; 'top' only
+        # reads the directory.
+        import os as _os
+
+        from .obs.stream import SPOOL_DIR_ENV
+
+        args.spool_dir.mkdir(parents=True, exist_ok=True)
+        if args.experiment != "top":
+            _os.environ[SPOOL_DIR_ENV] = str(args.spool_dir)
     if args.config is not None:
         # Validate early so typos fail before minutes of simulation; the
         # loaded overrides also provide rounds/seed defaults.
@@ -794,19 +910,19 @@ def main(argv: Optional[list] = None) -> int:
     )
     registry = MetricsRegistry() if args.metrics is not None else None
 
-    # "all" regenerates the paper artefacts; the trace, report and
+    # "all" regenerates the paper artefacts; the trace, report, top and
     # verify subcommands are tooling, not artefacts, so none is part
     # of it.
     if args.experiment == "all":
         targets = sorted(
             name
             for name in _DISPATCH
-            if name not in ("trace", "report", "verify")
+            if name not in ("trace", "report", "top", "verify")
         )
     else:
         targets = [args.experiment]
     if _resilience_requested(args) and args.experiment not in _SWEEP_EXPERIMENTS:
-        if args.experiment != "all":
+        if args.experiment not in ("all", "top"):
             print(
                 "note: --manifest/--resume/--task-timeout/--retries/"
                 f"--allow-partial only apply to sweep experiments "
@@ -821,7 +937,7 @@ def main(argv: Optional[list] = None) -> int:
             print(f"### {name}: {_RUNNERS[name]}")
             try:
                 _DISPATCH[name](args, args.out)
-            except (SweepError, VerificationError) as error:
+            except (AlertGate, SweepError, VerificationError) as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 1
             print()
@@ -855,5 +971,22 @@ def main(argv: Optional[list] = None) -> int:
     return 0
 
 
+def cli_entry(argv: Optional[list] = None) -> int:
+    """``main`` plus pipe etiquette: ``repro top | head`` must not
+    traceback when the reader closes stdout mid-frame."""
+    try:
+        return main(argv)
+    except BrokenPipeError:
+        import os
+
+        # Point the interpreter's final stdout flush at devnull so it
+        # does not raise the same error again during shutdown.  Only
+        # when stdout is the real one: under a test harness's capture
+        # there is no pipe to appease and fd 1 belongs to the harness.
+        if sys.stdout is sys.__stdout__:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    sys.exit(cli_entry())

@@ -312,3 +312,32 @@ class RunManifest:
                 for r in self.quarantined()
             ],
         }
+
+    def progress(self) -> Dict[str, object]:
+        """What a live dashboard needs: counts, retries, and the mean
+        completed-task duration (the input to an ETA estimate)."""
+        durations = [
+            r.duration_s
+            for r in self.records.values()
+            if r.done and r.duration_s is not None
+        ]
+        return {
+            "counts": self.counts(),
+            "total": len(self.records),
+            "retried": sum(
+                1
+                for r in self.records.values()
+                if r.done and r.attempts > 1
+            ),
+            "mean_duration_s": (
+                sum(durations) / len(durations) if durations else None
+            ),
+            "quarantined": [
+                {
+                    "label": r.label,
+                    "attempts": r.attempts,
+                    "error_kind": r.error_kind,
+                }
+                for r in self.quarantined()
+            ],
+        }

@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from .resilience import ExecutionPolicy
 
-from ..obs import merge_snapshots
+from ..obs import install_spool_from_env, merge_snapshots
 from ..sim.config import SimConfig
 from ..sim.engine import run_simulation
 from ..sim.results import SimResult
@@ -90,14 +90,30 @@ def _execute_task(task: SimTask) -> SimResult:
     ``sweep_worker_queue_wait_ms_total{pid=...}`` and
     ``sweep_worker_tasks_total{pid=...}`` -- the inputs to the report's
     per-worker utilization view.
+
+    When ``REPRO_SPOOL_DIR`` is set (the CLI's ``--spool-dir``), the
+    worker additionally streams telemetry while it runs: the engine's
+    per-round hook flushes heartbeats and metric deltas through the
+    ambient spool installed here, and task start/finish markers plus
+    any windowed-analysis alerts are spooled on completion -- the feed
+    ``repro top`` renders live.
     """
     queue_wait_ms = 0
     if task.enqueued_at is not None:
         queue_wait_ms = max(0, int((time.time() - task.enqueued_at) * 1e3))
+    spool = install_spool_from_env()
+    if spool.enabled:
+        spool.task_started(task.label)
     started = time.perf_counter()
     try:
         result = run_simulation(task.workload_factory(), task.config)
     except Exception as error:
+        if spool.enabled:
+            spool.task_finished(
+                task.label,
+                ok=False,
+                duration_s=time.perf_counter() - started,
+            )
         raise RuntimeError(
             f"sweep task {task.label!r} failed "
             f"(seed={task.config.seed}, worker_pid={os.getpid()}): {error}"
@@ -111,6 +127,24 @@ def _execute_task(task: SimTask) -> SimResult:
         queue_wait_ms
     )
     result.metrics[f"sweep_worker_tasks_total{{pid={pid}}}"] = 1
+    if spool.enabled:
+        # Windowed alerts only (analyze_run's cluster-quality pass needs
+        # the full result and is the report pipeline's job, not the
+        # streaming path's).
+        alerts = []
+        if result.windows:
+            from ..obs import analyze_windows
+
+            alerts = [
+                a.to_dict()
+                for a in analyze_windows(result.windows).alerts
+            ]
+        spool.task_finished(
+            task.label,
+            duration_s=busy_ms / 1e3,
+            metrics=result.metrics,
+            alerts=alerts,
+        )
     return result
 
 

@@ -54,8 +54,14 @@ from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from ..obs import KIND_TASK_RETRY, TIME_BUCKETS
+from ..obs import KIND_TASK_RETRY, KIND_WORKER_STALLED, TIME_BUCKETS
 from ..obs.session import active_recorder, active_registry
+from ..obs.stream import (
+    StallMonitor,
+    default_stall_after_s,
+    install_spool_from_env,
+    spool_settings_from_env,
+)
 from ..sim.engine import run_simulation
 from ..sim.results import SimResult
 from .manifest import RunManifest
@@ -135,12 +141,19 @@ class ExecutionPolicy:
     #: complete the sweep with failed tasks quarantined instead of
     #: aborting at the first exhausted task
     allow_partial: bool = False
+    #: heartbeat age (seconds) past which a spooling supervised worker
+    #: is reported as stalled (``sweep.worker_stalled`` event) -- an
+    #: early warning well before ``task_timeout`` kills it.  None picks
+    #: three flush intervals; only active when spooling is enabled.
+    heartbeat_stall_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.resume and self.manifest_path is None:
             raise ValueError("resume requires a manifest_path")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if self.heartbeat_stall_s is not None and self.heartbeat_stall_s <= 0:
+            raise ValueError("heartbeat_stall_s must be positive")
 
 
 @dataclass
@@ -212,13 +225,44 @@ def _supervised_child(conn, task: SimTask, seed: int) -> None:
     Reports ``("ok", result)`` or ``("error", message, pid)`` through
     the pipe; a worker that dies before sending anything is detected by
     the parent as a crash via the closed pipe.
+
+    With ``REPRO_SPOOL_DIR`` set the attempt streams telemetry like the
+    plain pool's workers do (heartbeats + metric deltas while running,
+    task marks and windowed alerts on completion) -- this is also what
+    the parent's :class:`~repro.obs.stream.StallMonitor` watches to
+    report a hung attempt before its timeout fires.
     """
+    spool = install_spool_from_env()
+    if spool.enabled:
+        spool.task_started(task.label)
+    started = time.perf_counter()
     try:
         result = run_simulation(task.workload_factory(), _attempt_config(task, seed))
         result.task_seed = seed
         result.worker_pid = os.getpid()
+        if spool.enabled:
+            alerts = []
+            if result.windows:
+                from ..obs import analyze_windows
+
+                alerts = [
+                    a.to_dict()
+                    for a in analyze_windows(result.windows).alerts
+                ]
+            spool.task_finished(
+                task.label,
+                duration_s=time.perf_counter() - started,
+                metrics=result.metrics,
+                alerts=alerts,
+            )
         conn.send(("ok", result))
     except BaseException as error:  # noqa: BLE001 -- report, parent decides
+        if spool.enabled:
+            spool.task_finished(
+                task.label,
+                ok=False,
+                duration_s=time.perf_counter() - started,
+            )
         message = f"{type(error).__name__}: {error}"
         try:
             conn.send(("error", message, os.getpid()))
@@ -262,6 +306,17 @@ class _Sweep:
         self._registry = active_registry()
         self._recorder = active_recorder()
         self._started: Dict[int, float] = {}  # index -> attempt start time
+        # Stale-heartbeat watch: only meaningful when workers spool
+        # telemetry (supervised mode; the inline path *is* this process
+        # and cannot observe itself hanging).
+        self.stall_monitor: Optional[StallMonitor] = None
+        settings = spool_settings_from_env()
+        if settings is not None:
+            directory, flush_s, _ = settings
+            self.stall_monitor = StallMonitor(
+                directory,
+                policy.heartbeat_stall_s or default_stall_after_s(flush_s),
+            )
 
     # ------------------------------------------------------------ hooks
     def _count(self, name: str, amount: int = 1, **labels) -> None:
@@ -361,6 +416,23 @@ class _Sweep:
                 worker_pid=worker_pid,
             )
         return None
+
+    def check_stalls(self) -> None:
+        """Report supervised workers whose heartbeat went stale mid-task
+        (``sweep.worker_stalled``): the early warning that a task is
+        hung, long before ``task_timeout`` terminates it.  Each stall
+        episode reports once; recovery re-arms the report."""
+        if self.stall_monitor is None:
+            return
+        for view in self.stall_monitor.check():
+            self._count("sweep_worker_stalled_total")
+            if self._recorder.enabled:
+                self._recorder.emit(
+                    KIND_WORKER_STALLED,
+                    label=view.current_label,
+                    pid=view.pid,
+                    age_s=round(view.heartbeat_age_s() or 0.0, 3),
+                )
 
     def checkpoint(self) -> None:
         if self.manifest is not None:
@@ -495,9 +567,17 @@ def _run_supervised_sweep(sweep: _Sweep, remaining: List[int]) -> None:
                 + [item[2] for item in pending[:1] if item[2] > now]
                 or [now + 0.5]
             )
+            if sweep.stall_monitor is not None:
+                # Keep waking up at the monitor's cadence so a stalled
+                # worker is reported promptly even under a long (or
+                # absent) task timeout.
+                wait_until = min(
+                    wait_until, now + sweep.stall_monitor.poll_interval_s
+                )
             ready = connection_wait(
                 list(running), timeout=max(0.0, wait_until - time.monotonic())
             )
+            sweep.check_stalls()
             for conn in ready:
                 state = running.pop(conn)
                 try:

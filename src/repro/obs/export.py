@@ -1,0 +1,351 @@
+"""Metric exporters: Prometheus text format and JSON lines.
+
+Any snapshot the registry family produces -- ``MetricsRegistry.
+snapshot()``, a sweep aggregate from ``merge_snapshots``, or the live
+aggregate a :class:`~repro.obs.stream.SpoolCollector` folds from worker
+spools -- can be rendered for external systems without new plumbing:
+
+* :func:`to_prometheus` emits Prometheus exposition text (version
+  0.0.4), the format a ``/metrics`` endpoint serves.  Counters and
+  gauges are one sample each; histograms become the conventional
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+* :func:`snapshot_to_json_lines` emits one self-describing JSON object
+  per series, for log shippers and ad-hoc ``jq``.
+
+There is also an in-tree :func:`validate_prometheus_text` -- a
+dependency-free syntax checker CI uses to assert the exposition output
+actually parses (names, label escaping, bucket monotonicity), since the
+container has no prometheus client library to do it for us.
+
+Snapshot keys are the flat ``name{k=v,...}`` form produced by
+:func:`~repro.obs.metrics.series_name`; :func:`parse_series_key` is its
+inverse.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHAR_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHAR_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a flat ``name{k=v,...}`` series key back into parts.
+
+    The label block was rendered from ``sorted()`` string pairs with no
+    escaping, so values cannot contain ``,`` or ``}``; everything after
+    the first ``=`` of each pair is the value.
+    """
+    if "{" not in key or not key.endswith("}"):
+        return key, {}
+    name, _, block = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in block[:-1].split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _sanitize_name(name: str) -> str:
+    name = _INVALID_CHAR_RE.sub("_", name)
+    if not name or not _NAME_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _sanitize_label(name: str) -> str:
+    name = _INVALID_LABEL_CHAR_RE.sub("_", name)
+    if not name or not _LABEL_NAME_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(
+    snapshot: Dict[str, Any], help_text: Optional[Dict[str, str]] = None
+) -> str:
+    """Render a snapshot as Prometheus exposition text.
+
+    Type inference follows the snapshot value shapes: dicts are
+    histograms, ints counters, floats gauges, anything else is skipped
+    (snapshots hold only those three).  Series sharing a metric name
+    are grouped under one ``# TYPE`` header.
+    """
+    help_text = help_text or {}
+    groups: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+    kinds: Dict[str, str] = {}
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        raw_name, labels = parse_series_key(key)
+        name = _sanitize_name(raw_name)
+        if isinstance(value, dict):
+            kind = "histogram"
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, int):
+            kind = "counter"
+        elif isinstance(value, float):
+            kind = "gauge"
+        else:
+            continue
+        # A name must expose one consistent type; on a clash (possible
+        # only via hand-built snapshots) the first occurrence wins.
+        if kinds.setdefault(name, kind) != kind:
+            continue
+        groups.setdefault(name, []).append((labels, value))
+
+    lines: List[str] = []
+    for name, series in groups.items():
+        kind = kinds[name]
+        if name in help_text:
+            escaped = help_text[name].replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in series:
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                    list(value["buckets"]) + [math.inf], value["counts"]
+                ):
+                    cumulative += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = (
+                        "+Inf" if math.isinf(bound) else _format_value(
+                            float(bound)
+                        )
+                    )
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(float(value['sum']))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} "
+                    f"{int(value['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot_to_json_lines(
+    snapshot: Dict[str, Any], meta: Optional[Dict[str, Any]] = None
+) -> str:
+    """One JSON object per series (plus an optional leading meta line)."""
+    lines: List[str] = []
+    if meta is not None:
+        lines.append(json.dumps({"type": "meta", **meta}, sort_keys=True))
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        name, labels = parse_series_key(key)
+        entry: Dict[str, Any] = {"name": name, "labels": labels}
+        if isinstance(value, dict):
+            entry["type"] = "histogram"
+            entry["sum"] = value["sum"]
+            entry["count"] = value["count"]
+            entry["buckets"] = list(value["buckets"])
+            entry["counts"] = list(value["counts"])
+            for quantile in ("p50", "p95", "p99"):
+                if quantile in value:
+                    entry[quantile] = value[quantile]
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        elif isinstance(value, int):
+            entry["type"] = "counter"
+            entry["value"] = value
+        else:
+            entry["type"] = "gauge"
+            entry["value"] = value
+        lines.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# In-tree exposition-format checker (no external deps)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"( (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+def _split_label_block(block: str) -> Optional[List[str]]:
+    """Split ``{a="x",b="y"}`` into pairs, honouring escaped quotes."""
+    inner = block[1:-1]
+    if not inner:
+        return []
+    pairs: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in inner:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes:
+        return None
+    pairs.append("".join(current))
+    return pairs
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Syntax-check Prometheus exposition text; returns problem strings.
+
+    Checks: line grammar, metric/label name charsets, parseable values,
+    ``# TYPE`` consistency, and for histograms that ``le`` buckets are
+    cumulative (non-decreasing), end with ``+Inf``, and agree with the
+    ``_count`` sample.  An empty return means the text parses.
+    """
+    problems: List[str] = []
+    declared_types: Dict[str, str] = {}
+    histogram_buckets: Dict[str, List[Tuple[float, float]]] = {}
+    histogram_counts: Dict[str, float] = {}
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3:
+                    problems.append(f"line {number}: bare # {parts[1]}")
+                elif parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        problems.append(
+                            f"line {number}: invalid TYPE declaration"
+                        )
+                    else:
+                        declared_types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        value_text = match.group("value")
+        if value_text not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_text)
+            except ValueError:
+                problems.append(
+                    f"line {number}: unparseable value {value_text!r}"
+                )
+                continue
+        labels: Dict[str, str] = {}
+        block = match.group("labels")
+        if block:
+            pairs = _split_label_block(block)
+            if pairs is None:
+                problems.append(
+                    f"line {number}: unbalanced quotes in labels"
+                )
+                continue
+            for pair in pairs:
+                pair_match = _LABEL_PAIR_RE.match(pair)
+                if not pair_match:
+                    problems.append(
+                        f"line {number}: bad label pair {pair!r}"
+                    )
+                    break
+                labels[pair_match.group("label")] = pair_match.group("value")
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared_types:
+                base = name[: -len(suffix)]
+                break
+        if base is not None and declared_types.get(base) == "histogram":
+            series = json.dumps(
+                {k: v for k, v in sorted(labels.items()) if k != "le"}
+            )
+            key = f"{base}|{series}"
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    problems.append(
+                        f"line {number}: histogram bucket without le label"
+                    )
+                    continue
+                bound = math.inf if le == "+Inf" else float(le)
+                histogram_buckets.setdefault(key, []).append(
+                    (bound, float(value_text))
+                )
+            elif name.endswith("_count"):
+                histogram_counts[key] = float(value_text)
+
+    for key, buckets in histogram_buckets.items():
+        name = key.split("|", 1)[0]
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        if bounds != sorted(bounds):
+            problems.append(f"{name}: bucket bounds not ascending")
+        if not bounds or not math.isinf(bounds[-1]):
+            problems.append(f"{name}: bucket series does not end at +Inf")
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            problems.append(f"{name}: cumulative bucket counts decrease")
+        expected = histogram_counts.get(key)
+        if expected is not None and counts and counts[-1] != expected:
+            problems.append(
+                f"{name}: +Inf bucket {counts[-1]} != _count {expected}"
+            )
+    return problems

@@ -1,0 +1,318 @@
+"""``repro top``: a live terminal dashboard over a running sweep.
+
+Reads the two durable artefacts a spooled sweep maintains -- the run
+manifest (task ledger, :mod:`repro.experiments.manifest`) and the
+per-worker telemetry spools (:mod:`repro.obs.stream`) -- and renders
+them as a refreshing text dashboard: task counts and ETA, per-worker
+busy%/rounds-per-second/heartbeat age with stalled workers flagged, and
+a tail of fired alerts.  Neither artefact is written by this module;
+``top`` can therefore run from any shell against a sweep started
+elsewhere, attach mid-run, and survive the sweep's workers dying.
+
+``--once`` renders a single frame and exits (scripting/CI);
+``--fail-on-alert`` turns any spooled critical alert into a nonzero
+exit so smoke jobs can gate on e.g. ``migration_ineffective``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .stream import (
+    DEFAULT_FLUSH_INTERVAL_S,
+    SpoolCollector,
+    default_stall_after_s,
+)
+
+#: ANSI: clear screen + home, used between refreshes in loop mode
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+@dataclass
+class TopOptions:
+    """Everything ``run_top`` needs beyond the output stream."""
+
+    spool_dir: Optional[Path] = None
+    manifest_path: Optional[Path] = None
+    interval_s: float = 2.0
+    once: bool = False
+    fail_on_alert: bool = False
+    #: heartbeat age that flags a worker as stalled (None = 3 flush
+    #: intervals, the same default as the resilient runner)
+    stall_after_s: Optional[float] = None
+    flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S
+    #: write the live aggregate as Prometheus text here each refresh
+    prom_path: Optional[Path] = None
+
+    def resolved_stall_after(self) -> float:
+        if self.stall_after_s is not None:
+            return self.stall_after_s
+        return default_stall_after_s(self.flush_interval_s)
+
+
+@dataclass
+class SweepStatus:
+    """One renderable frame of sweep state (plain data, test-friendly)."""
+
+    now: float
+    manifest_path: Optional[Path] = None
+    counts: Dict[str, int] = field(default_factory=dict)
+    total_tasks: int = 0
+    retried: int = 0
+    mean_duration_s: Optional[float] = None
+    eta_s: Optional[float] = None
+    workers: List[Dict[str, Any]] = field(default_factory=list)
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
+    critical_alerts: int = 0
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    stall_after_s: float = 0.0
+
+    @property
+    def running(self) -> int:
+        return sum(1 for w in self.workers if w["label"] is not None)
+
+    @property
+    def complete(self) -> bool:
+        """True once the manifest has no pending work and no worker is
+        mid-task (meaningless without a manifest: always False)."""
+        if not self.counts:
+            return False
+        return self.counts.get("pending", 0) == 0 and self.running == 0
+
+
+def build_status(
+    collector: SpoolCollector,
+    manifest_path: Optional[Path],
+    stall_after_s: float,
+    now: Optional[float] = None,
+) -> SweepStatus:
+    """Poll the spools, load the manifest, and assemble one frame."""
+    wall = time.time() if now is None else now
+    collector.poll()
+    status = SweepStatus(
+        now=wall, manifest_path=manifest_path, stall_after_s=stall_after_s
+    )
+
+    if manifest_path is not None and Path(manifest_path).exists():
+        from ..experiments.manifest import ManifestError, RunManifest
+
+        try:
+            progress = RunManifest.load(manifest_path).progress()
+        except ManifestError:
+            progress = None  # mid-rewrite or foreign file; next poll
+        if progress is not None:
+            status.counts = progress["counts"]
+            status.total_tasks = progress["total"]
+            status.retried = progress["retried"]
+            status.mean_duration_s = progress["mean_duration_s"]
+            status.quarantined = progress["quarantined"]
+
+    for view in sorted(collector.workers.values(), key=lambda v: v.worker_id):
+        age = view.heartbeat_age_s(wall)
+        status.workers.append(
+            {
+                "worker": view.worker_id,
+                "pid": view.pid,
+                "busy": view.busy_fraction(),
+                "rounds_per_s": view.rounds_per_s(),
+                "age_s": age,
+                "label": view.current_label,
+                "tasks_done": view.tasks_done,
+                "stalled": (
+                    age is not None
+                    and age > stall_after_s
+                    and view.current_label is not None
+                ),
+                "truncated": view.truncated,
+            }
+        )
+
+    status.alerts = list(collector.alerts)
+    status.critical_alerts = len(collector.critical_alerts())
+
+    # ETA: pending work over active workers at the historical mean task
+    # duration -- coarse on purpose (it is a progress cue, not a promise).
+    pending = status.counts.get("pending", 0)
+    active = sum(
+        1
+        for w in status.workers
+        if w["age_s"] is not None and w["age_s"] <= stall_after_s
+    )
+    if pending and status.mean_duration_s:
+        status.eta_s = pending * status.mean_duration_s / max(1, active)
+    return status
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 120:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _fmt_percent(fraction: Optional[float]) -> str:
+    return "--" if fraction is None else f"{fraction * 100:3.0f}%"
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    return "--" if rate is None else f"{rate:.1f}"
+
+
+def render_status(status: SweepStatus) -> str:
+    """One dashboard frame as plain text (no ANSI except via caller)."""
+    lines: List[str] = []
+    clock = time.strftime("%H:%M:%S", time.localtime(status.now))
+    header = f"repro top @ {clock}"
+    if status.manifest_path is not None:
+        header += f" -- manifest {status.manifest_path}"
+    lines.append(header)
+
+    if status.counts:
+        done = status.counts.get("done", 0)
+        failed = status.counts.get("failed", 0)
+        pending = status.counts.get("pending", 0)
+        line = (
+            f"tasks: {done}/{status.total_tasks} done, {failed} failed, "
+            f"{pending} pending, {status.running} running"
+        )
+        if status.retried:
+            line += f", {status.retried} retried"
+        lines.append(line)
+        eta = "--"
+        if status.complete:
+            eta = "complete"
+        elif status.eta_s is not None:
+            eta = f"~{_fmt_duration(status.eta_s)}"
+        mean = (
+            _fmt_duration(status.mean_duration_s)
+            if status.mean_duration_s
+            else "--"
+        )
+        lines.append(f"ETA: {eta} (mean task {mean})")
+    else:
+        lines.append("tasks: no manifest (pass --manifest to see progress)")
+
+    if status.workers:
+        lines.append("")
+        lines.append(
+            f"{'WORKER':>8s} {'BUSY%':>6s} {'ROUNDS/S':>9s} "
+            f"{'HB AGE':>8s} {'DONE':>5s}  TASK"
+        )
+        for worker in status.workers:
+            label = worker["label"] or "(idle)"
+            flags = ""
+            if worker["stalled"]:
+                flags += "  << STALLED"
+            if worker["truncated"]:
+                flags += "  [spool truncated]"
+            lines.append(
+                f"{str(worker['worker']):>8s} "
+                f"{_fmt_percent(worker['busy']):>6s} "
+                f"{_fmt_rate(worker['rounds_per_s']):>9s} "
+                f"{_fmt_duration(worker['age_s']):>8s} "
+                f"{worker['tasks_done']:>5d}  {label}{flags}"
+            )
+    else:
+        lines.append("workers: no heartbeats yet (spooling enabled?)")
+
+    if status.quarantined:
+        lines.append("")
+        lines.append(f"quarantined ({len(status.quarantined)}):")
+        for entry in status.quarantined[-5:]:
+            lines.append(
+                f"  {entry['label']!r}: {entry['error_kind']} after "
+                f"{entry['attempts']} attempt(s)"
+            )
+
+    if status.alerts:
+        lines.append("")
+        warnings = len(status.alerts) - status.critical_alerts
+        lines.append(
+            f"alerts: {status.critical_alerts} critical, "
+            f"{warnings} warning (most recent last)"
+        )
+        for record in status.alerts[-5:]:
+            alert = record.get("alert", {})
+            lines.append(
+                f"  [{alert.get('severity', '?')}] "
+                f"{record.get('label', '?')}: "
+                f"{alert.get('name', '?')} -- "
+                f"{alert.get('message', '')[:100]}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_top(
+    options: TopOptions,
+    stdout=None,
+    sleep=time.sleep,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Render the dashboard until the sweep completes (or forever
+    without a manifest; Ctrl-C exits cleanly).  Returns the exit code:
+    nonzero only under ``fail_on_alert`` with critical alerts spooled.
+
+    ``stdout``/``sleep``/``max_frames`` exist for tests and embedding.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    if options.spool_dir is None:
+        raise ValueError(
+            "repro top needs a spool directory (--spool-dir or "
+            "REPRO_SPOOL_DIR) to read telemetry from"
+        )
+    collector = SpoolCollector(options.spool_dir)
+    stall_after = options.resolved_stall_after()
+    frames = 0
+    status = None
+    try:
+        while True:
+            status = build_status(
+                collector, options.manifest_path, stall_after
+            )
+            frame = render_status(status)
+            if options.once:
+                out.write(frame + "\n")
+            else:
+                out.write(CLEAR_SCREEN + frame + "\n")
+            if hasattr(out, "flush"):
+                out.flush()
+            if options.prom_path is not None:
+                from .export import to_prometheus
+
+                Path(options.prom_path).write_text(
+                    to_prometheus(collector.metrics)
+                )
+            frames += 1
+            if options.once or status.complete:
+                break
+            if max_frames is not None and frames >= max_frames:
+                break
+            sleep(options.interval_s)
+    except KeyboardInterrupt:
+        pass
+    if (
+        options.fail_on_alert
+        and status is not None
+        and status.critical_alerts
+    ):
+        out.write(
+            f"FAILED: {status.critical_alerts} critical alert(s) in "
+            f"{options.spool_dir}\n"
+        )
+        return 1
+    return 0

@@ -299,7 +299,12 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
 
     Counters (ints) add; gauges (floats) keep the last snapshot's value;
     histogram dicts merge element-wise.  Used by the parallel sweep
-    runner, where each worker process returns its own snapshot.
+    runner (each worker process returns its own snapshot) and by the
+    streaming spool collector, which folds *partial* deltas one at a
+    time -- so the merge must be associative: histogram quantiles are
+    always recomputed from the folded counts (on first sight too),
+    never carried from an input, or ``merge(merge(a, b), c)`` and
+    ``merge(a, merge(b, c))`` would disagree on p50/p95/p99.
     """
     merged: Dict[str, Any] = {}
     for snapshot in snapshots:
@@ -311,6 +316,9 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                         **value,
                         "buckets": list(value["buckets"]),
                         "counts": list(value["counts"]),
+                        **_snapshot_quantiles(
+                            value["buckets"], value["counts"]
+                        ),
                     }
                 merged[key] = value
             elif isinstance(value, dict):
@@ -323,12 +331,9 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 ]
                 current["sum"] += value["sum"]
                 current["count"] += value["count"]
-                if "p50" in current or "p50" in value:
-                    current.update(
-                        _snapshot_quantiles(
-                            current["buckets"], current["counts"]
-                        )
-                    )
+                current.update(
+                    _snapshot_quantiles(current["buckets"], current["counts"])
+                )
             elif isinstance(value, bool) or not isinstance(value, (int, float)):
                 merged[key] = value
             elif isinstance(value, int) and isinstance(current, int):

@@ -44,6 +44,10 @@ KIND_CAPTURE_STOP = "capture.stop"
 #: attempt fails and is rescheduled; payload: label, attempt,
 #: failure_kind (error/crash/timeout), error, delay_s
 KIND_TASK_RETRY = "task.retry"
+#: emitted by the resilient sweep runner (parent process) when a
+#: spooling worker's heartbeat goes stale mid-task -- the early warning
+#: before the task timeout fires; payload: label, pid, age_s
+KIND_WORKER_STALLED = "sweep.worker_stalled"
 #: emitted by the differential verification harness (repro.verify) when
 #: a paired-path run diverges; payload: path, workload, seed,
 #: n_mismatches, first (first few mismatch locations)

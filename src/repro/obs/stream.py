@@ -1,0 +1,613 @@
+"""Streaming telemetry: per-worker JSONL spools and a live collector.
+
+Everything else in :mod:`repro.obs` is post-hoc -- metrics merge from
+``SimResult.metrics`` after a task finishes, reports render after a run
+ends.  During a long multi-worker sweep the operator is blind until
+completion.  This module is the write/read pair that fixes that:
+
+* **Write side** -- a :class:`SpoolWriter` installed in each worker
+  process appends newline-delimited JSON records to a per-worker spool
+  file: periodic *heartbeats* (pid, cumulative rounds, busy time,
+  current task), incremental *snapshot deltas* of the run's metrics
+  registry (so folding every delta reproduces the final snapshot), task
+  start/finish markers, and fired *alerts*.  Appends are single
+  ``write()`` calls of one complete line, so concurrent readers never
+  see torn records; files are size-capped so a runaway sweep cannot eat
+  the disk.
+* **Read side** -- a :class:`SpoolCollector` tails every spool file in
+  a directory incrementally (it remembers per-file offsets and
+  tolerates a partial trailing line), folds snapshot deltas through
+  :func:`~repro.obs.metrics.merge_snapshots` into a live aggregate, and
+  tracks the freshest heartbeat per worker.  ``repro top``
+  (:mod:`repro.obs.live`), the Prometheus/JSONL exporters
+  (:mod:`repro.obs.export`) and the resilient runner's stale-worker
+  check (:class:`StallMonitor`) all read through it.
+
+Activation is environment-driven so worker processes need no plumbing:
+setting ``REPRO_SPOOL_DIR`` (the CLI's ``--spool-dir`` does) makes
+:func:`install_spool_from_env` -- called at worker entry points --
+build a writer for the current pid.  Without the variable the ambient
+spool is the shared :data:`NULL_SPOOL`, whose ``enabled`` is False; the
+engine's per-round hook is a single attribute check, so disabled
+spooling costs nothing measurable (the same zero-cost rule as the
+recorder, gated by the engine-round benchmarks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .metrics import merge_snapshots, quantile_from_buckets
+
+#: directory that enables spooling when set (the CLI's --spool-dir)
+SPOOL_DIR_ENV = "REPRO_SPOOL_DIR"
+#: seconds between in-run flushes (heartbeat + snapshot delta)
+SPOOL_FLUSH_ENV = "REPRO_SPOOL_FLUSH_S"
+#: per-worker spool size cap in bytes
+SPOOL_MAX_BYTES_ENV = "REPRO_SPOOL_MAX_BYTES"
+
+DEFAULT_FLUSH_INTERVAL_S = 1.0
+DEFAULT_MAX_SPOOL_BYTES = 32 * 1024 * 1024
+
+#: rounds between wall-clock checks inside the engine hook; keeps the
+#: enabled path to one comparison per round and one clock read per batch
+ROUNDS_PER_CLOCK_CHECK = 16
+
+#: record types in a spool file
+REC_HEARTBEAT = "heartbeat"
+REC_SNAPSHOT = "snapshot"
+REC_TASK = "task"
+REC_ALERT = "alert"
+REC_TRUNCATED = "truncated"
+
+SPOOL_GLOB = "worker-*.jsonl"
+
+
+# ----------------------------------------------------------------------
+# Snapshot deltas
+# ----------------------------------------------------------------------
+def snapshot_delta(
+    previous: Dict[str, Any], current: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The incremental difference between two registry snapshots.
+
+    Counters and histogram counts subtract; gauges (floats) and
+    non-numeric values pass through when changed.  Folding every delta
+    a run flushed (in order) with :func:`merge_snapshots` reproduces
+    the run's final snapshot, which is what makes partial flushes
+    aggregate exactly like whole-run results.
+    """
+    delta: Dict[str, Any] = {}
+    for key, value in current.items():
+        prev = previous.get(key)
+        if isinstance(value, dict):
+            if prev is None:
+                counts = list(value["counts"])
+                total = value["sum"]
+                count = value["count"]
+            else:
+                counts = [
+                    c - p for c, p in zip(value["counts"], prev["counts"])
+                ]
+                total = value["sum"] - prev["sum"]
+                count = value["count"] - prev["count"]
+                if count == 0 and not any(counts):
+                    continue
+            buckets = list(value["buckets"])
+            delta[key] = {
+                "type": "histogram",
+                "buckets": buckets,
+                "counts": counts,
+                "sum": total,
+                "count": count,
+                "p50": quantile_from_buckets(buckets, counts, 0.50),
+                "p95": quantile_from_buckets(buckets, counts, 0.95),
+                "p99": quantile_from_buckets(buckets, counts, 0.99),
+            }
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            if value != prev:
+                delta[key] = value
+        elif isinstance(value, int) and isinstance(prev, int):
+            if value != prev:
+                delta[key] = value - prev
+        elif prev is None or value != prev:
+            # New counter (prev None, int) or a gauge: carry as-is.
+            delta[key] = value
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Write side
+# ----------------------------------------------------------------------
+class NullSpool:
+    """Zero-cost default: spooling disabled, every method a no-op."""
+
+    enabled = False
+    pid = -1
+
+    def on_round(self, registry) -> None:
+        pass
+
+    def task_started(self, label: str) -> None:
+        pass
+
+    def task_finished(self, label, ok=True, duration_s=0.0,
+                      metrics=None, alerts=()) -> None:
+        pass
+
+    def flush(self, registry=None) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: shared no-op spool; safe because it holds no per-run state
+NULL_SPOOL = NullSpool()
+
+
+class SpoolWriter:
+    """Appends one worker's telemetry to ``<dir>/worker-<pid>.jsonl``.
+
+    Records are complete JSON lines written with a single ``write()``
+    on an append-mode descriptor, so a concurrently tailing collector
+    never reads a torn record (it additionally skips a partial trailing
+    line).  Once ``max_bytes`` is reached a final ``truncated`` marker
+    is written and everything further is counted in
+    :attr:`records_dropped` instead of growing the file.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: Path,
+        worker_id: Optional[str] = None,
+        flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S,
+        max_bytes: int = DEFAULT_MAX_SPOOL_BYTES,
+    ) -> None:
+        if flush_interval_s <= 0:
+            raise ValueError("flush_interval_s must be positive")
+        if max_bytes < 4096:
+            raise ValueError("max_bytes must be >= 4096")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.pid = os.getpid()
+        self.worker_id = worker_id or str(self.pid)
+        self.path = self.directory / f"worker-{self.worker_id}.jsonl"
+        self.flush_interval_s = flush_interval_s
+        self.max_bytes = max_bytes
+        self.records_written = 0
+        self.records_dropped = 0
+        self._bytes_written = 0
+        self._truncated = False
+        self._seq = 0
+        self._rounds = 0
+        self._tasks_done = 0
+        self._busy_ms_done = 0
+        self._current_label: Optional[str] = None
+        self._task_started_at: Optional[float] = None
+        self._prev_snapshot: Dict[str, Any] = {}
+        self._rounds_since_check = 0
+        self._last_flush = time.monotonic()
+        self._started_at = time.time()
+        # Append mode: the file survives a worker that re-installs after
+        # a fork, and several sequential tasks share one spool.
+        self._file = open(self.path, "ab")
+
+    # ------------------------------------------------------------ write
+    def _write_record(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        payload = line.encode()
+        if self._bytes_written + len(payload) > self.max_bytes:
+            self.records_dropped += 1
+            if not self._truncated:
+                self._truncated = True
+                marker = (
+                    json.dumps(
+                        {
+                            "type": REC_TRUNCATED,
+                            "pid": self.pid,
+                            "t": time.time(),
+                        }
+                    )
+                    + "\n"
+                ).encode()
+                self._file.write(marker)
+                self._file.flush()
+                self._bytes_written += len(marker)
+            return
+        self._file.write(payload)
+        self._file.flush()
+        self._bytes_written += len(payload)
+        self.records_written += 1
+
+    def _busy_ms(self) -> int:
+        busy = self._busy_ms_done
+        if self._task_started_at is not None:
+            busy += int((time.monotonic() - self._task_started_at) * 1e3)
+        return busy
+
+    def _heartbeat(self) -> None:
+        self._seq += 1
+        self._write_record(
+            {
+                "type": REC_HEARTBEAT,
+                "pid": self.pid,
+                "seq": self._seq,
+                "t": time.time(),
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "rounds": self._rounds,
+                "tasks_done": self._tasks_done,
+                "busy_ms": self._busy_ms(),
+                "label": self._current_label,
+            }
+        )
+
+    def flush(self, registry=None) -> None:
+        """Write a heartbeat now, plus the registry's snapshot delta."""
+        self._last_flush = time.monotonic()
+        self._heartbeat()
+        if registry is not None:
+            self._flush_snapshot(registry.snapshot())
+
+    def _flush_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        delta = snapshot_delta(self._prev_snapshot, snapshot)
+        if delta:
+            self._write_record(
+                {
+                    "type": REC_SNAPSHOT,
+                    "pid": self.pid,
+                    "t": time.time(),
+                    "label": self._current_label,
+                    "metrics": delta,
+                }
+            )
+        self._prev_snapshot = snapshot
+
+    # ------------------------------------------------------- engine hook
+    def on_round(self, registry) -> None:
+        """Per-round hook the engine calls (only when ``enabled``).
+
+        Counts rounds cheaply and reads the clock once per
+        ``ROUNDS_PER_CLOCK_CHECK`` rounds; flushes a heartbeat +
+        snapshot delta when the flush interval elapsed.
+        """
+        self._rounds += 1
+        self._rounds_since_check += 1
+        if self._rounds_since_check < ROUNDS_PER_CLOCK_CHECK:
+            return
+        self._rounds_since_check = 0
+        if time.monotonic() - self._last_flush >= self.flush_interval_s:
+            self.flush(registry)
+
+    # ------------------------------------------------------- task marks
+    def task_started(self, label: str) -> None:
+        self._current_label = label
+        self._task_started_at = time.monotonic()
+        self._prev_snapshot = {}
+        self._write_record(
+            {
+                "type": REC_TASK,
+                "status": "started",
+                "pid": self.pid,
+                "t": time.time(),
+                "label": label,
+            }
+        )
+        self._heartbeat()
+
+    def task_finished(
+        self,
+        label: str,
+        ok: bool = True,
+        duration_s: float = 0.0,
+        metrics: Optional[Dict[str, Any]] = None,
+        alerts=(),
+    ) -> None:
+        """Mark a task complete; ``metrics`` is its final full snapshot
+        (flushed as a delta against the last in-run flush, so the
+        spool's folded aggregate matches ``SimResult.metrics``)."""
+        if self._task_started_at is not None:
+            self._busy_ms_done += int(
+                (time.monotonic() - self._task_started_at) * 1e3
+            )
+        self._task_started_at = None
+        self._tasks_done += 1
+        if metrics is not None:
+            self._flush_snapshot(metrics)
+        for alert in alerts:
+            self.emit_alert(label, alert)
+        self._write_record(
+            {
+                "type": REC_TASK,
+                "status": "finished" if ok else "failed",
+                "pid": self.pid,
+                "t": time.time(),
+                "label": label,
+                "duration_s": round(duration_s, 6),
+            }
+        )
+        self._current_label = None
+        self._heartbeat()
+        self._last_flush = time.monotonic()
+
+    def emit_alert(self, label: str, alert: Dict[str, Any]) -> None:
+        """Spool one fired analysis alert (``Alert.to_dict`` shape)."""
+        self._write_record(
+            {
+                "type": REC_ALERT,
+                "pid": self.pid,
+                "t": time.time(),
+                "label": label,
+                "alert": dict(alert),
+            }
+        )
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Ambient installation
+# ----------------------------------------------------------------------
+_active_spool = NULL_SPOOL
+
+
+def active_spool():
+    """The process's ambient spool (the shared NullSpool by default)."""
+    return _active_spool
+
+
+def install_spool(spool) -> None:
+    """Install ``spool`` as this process's ambient spool."""
+    global _active_spool
+    _active_spool = spool
+
+
+def spool_settings_from_env():
+    """(directory, flush_interval_s, max_bytes) from the environment,
+    or None when ``REPRO_SPOOL_DIR`` is unset/empty."""
+    directory = os.environ.get(SPOOL_DIR_ENV, "").strip()
+    if not directory:
+        return None
+    flush_s = float(os.environ.get(SPOOL_FLUSH_ENV, "") or
+                    DEFAULT_FLUSH_INTERVAL_S)
+    max_bytes = int(os.environ.get(SPOOL_MAX_BYTES_ENV, "") or
+                    DEFAULT_MAX_SPOOL_BYTES)
+    return Path(directory), flush_s, max_bytes
+
+
+def install_spool_from_env():
+    """Ensure this process's ambient spool matches the environment.
+
+    Called at worker entry points (:mod:`repro.experiments.parallel`,
+    the supervised child in :mod:`repro.experiments.resilience`).  A
+    fork inherits the parent's module global, so a spool whose pid is
+    not ours is replaced with a fresh per-pid writer; with the
+    environment unset this is a cheap no-op returning the NullSpool.
+    """
+    global _active_spool
+    settings = spool_settings_from_env()
+    if settings is None:
+        if _active_spool.enabled:
+            _active_spool = NULL_SPOOL
+        return _active_spool
+    directory, flush_s, max_bytes = settings
+    if (
+        _active_spool.enabled
+        and _active_spool.pid == os.getpid()
+        and getattr(_active_spool, "directory", None) == directory
+    ):
+        return _active_spool
+    _active_spool = SpoolWriter(
+        directory, flush_interval_s=flush_s, max_bytes=max_bytes
+    )
+    return _active_spool
+
+
+# ----------------------------------------------------------------------
+# Read side
+# ----------------------------------------------------------------------
+class WorkerView:
+    """Live state of one worker, folded from its spool records."""
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.pid: Optional[int] = None
+        self.last_heartbeat: Optional[Dict[str, Any]] = None
+        self.prev_heartbeat: Optional[Dict[str, Any]] = None
+        self.current_label: Optional[str] = None
+        self.tasks_done = 0
+        self.truncated = False
+
+    # Rates come from the last two heartbeats, so they reflect *recent*
+    # throughput, not a lifetime average that flattens stalls.
+    def rounds_per_s(self) -> Optional[float]:
+        if self.last_heartbeat is None or self.prev_heartbeat is None:
+            return None
+        dt = self.last_heartbeat["t"] - self.prev_heartbeat["t"]
+        if dt <= 0:
+            return None
+        return (
+            self.last_heartbeat["rounds"] - self.prev_heartbeat["rounds"]
+        ) / dt
+
+    def busy_fraction(self) -> Optional[float]:
+        if self.last_heartbeat is None or self.prev_heartbeat is None:
+            return None
+        dt = self.last_heartbeat["t"] - self.prev_heartbeat["t"]
+        if dt <= 0:
+            return None
+        busy = (
+            self.last_heartbeat["busy_ms"] - self.prev_heartbeat["busy_ms"]
+        ) / 1e3
+        return max(0.0, min(1.0, busy / dt))
+
+    def heartbeat_age_s(self, now: Optional[float] = None) -> Optional[float]:
+        if self.last_heartbeat is None:
+            return None
+        return (time.time() if now is None else now) - self.last_heartbeat["t"]
+
+
+class SpoolCollector:
+    """Incrementally folds a spool directory into a live aggregate.
+
+    ``poll()`` reads only the bytes appended since the previous poll
+    (per-file offsets), so a dashboard refreshing every second stays
+    cheap no matter how long the sweep has run.  Lines that fail to
+    parse -- including a partial trailing line still being written --
+    are deferred to the next poll or counted in ``corrupt_lines``.
+    """
+
+    def __init__(self, directory: Path, alert_tail: int = 50) -> None:
+        self.directory = Path(directory)
+        self.alert_tail = alert_tail
+        self.metrics: Dict[str, Any] = {}
+        self.workers: Dict[str, WorkerView] = {}
+        self.alerts: List[Dict[str, Any]] = []
+        self.corrupt_lines = 0
+        self._offsets: Dict[Path, int] = {}
+
+    # ------------------------------------------------------------ poll
+    def poll(self) -> int:
+        """Ingest new records from every spool file; returns how many."""
+        ingested = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in sorted(self.directory.glob(SPOOL_GLOB)):
+            ingested += self._poll_file(path)
+        return ingested
+
+    def _poll_file(self, path: Path) -> int:
+        offset = self._offsets.get(path, 0)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            return 0
+        if not chunk:
+            return 0
+        # Only complete lines advance the offset: a torn tail is re-read
+        # whole on the next poll once the writer finishes it.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return 0
+        complete, self._offsets[path] = chunk[: end + 1], offset + end + 1
+        worker_id = path.stem[len("worker-"):]
+        view = self.workers.get(worker_id)
+        if view is None:
+            view = self.workers[worker_id] = WorkerView(worker_id)
+        ingested = 0
+        for line in complete.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                self.corrupt_lines += 1
+                continue
+            self._ingest(view, record)
+            ingested += 1
+        return ingested
+
+    def _ingest(self, view: WorkerView, record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        if kind == REC_HEARTBEAT:
+            view.prev_heartbeat = view.last_heartbeat
+            view.last_heartbeat = record
+            view.pid = record.get("pid")
+            view.current_label = record.get("label")
+            view.tasks_done = record.get("tasks_done", view.tasks_done)
+        elif kind == REC_SNAPSHOT:
+            self.metrics = merge_snapshots(
+                [self.metrics, record.get("metrics", {})]
+            )
+        elif kind == REC_TASK:
+            view.pid = record.get("pid", view.pid)
+            if record.get("status") == "started":
+                view.current_label = record.get("label")
+            else:
+                view.current_label = None
+        elif kind == REC_ALERT:
+            self.alerts.append(record)
+            del self.alerts[: -self.alert_tail]
+        elif kind == REC_TRUNCATED:
+            view.truncated = True
+
+    # --------------------------------------------------------- queries
+    def critical_alerts(self) -> List[Dict[str, Any]]:
+        return [
+            a
+            for a in self.alerts
+            if a.get("alert", {}).get("severity") == "critical"
+        ]
+
+    def stale_workers(
+        self, stall_after_s: float, now: Optional[float] = None
+    ) -> List[WorkerView]:
+        """Workers mid-task whose heartbeat is older than the cutoff."""
+        stale = []
+        for view in self.workers.values():
+            age = view.heartbeat_age_s(now)
+            if (
+                age is not None
+                and age > stall_after_s
+                and view.current_label is not None
+            ):
+                stale.append(view)
+        return stale
+
+
+class StallMonitor:
+    """The resilient runner's stale-heartbeat check, parent side.
+
+    Wraps a :class:`SpoolCollector` and reports each (pid, task label)
+    at most once per stall episode: a worker that resumes heartbeating
+    (or moves on to another task) re-arms its report.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        stall_after_s: float,
+        poll_interval_s: float = 0.5,
+    ) -> None:
+        if stall_after_s <= 0:
+            raise ValueError("stall_after_s must be positive")
+        self.stall_after_s = stall_after_s
+        self.poll_interval_s = poll_interval_s
+        self.collector = SpoolCollector(directory)
+        self._reported: set = set()
+        self._last_poll = 0.0
+
+    def check(self, now: Optional[float] = None) -> List[WorkerView]:
+        """Poll the spools; return workers newly observed as stalled."""
+        wall = time.time() if now is None else now
+        self.collector.poll()
+        stalled = self.collector.stale_workers(self.stall_after_s, now=wall)
+        stalled_keys = set()
+        fresh: List[WorkerView] = []
+        for view in stalled:
+            key = (view.pid, view.current_label)
+            stalled_keys.add(key)
+            if key not in self._reported:
+                self._reported.add(key)
+                fresh.append(view)
+        # Re-arm workers that recovered so a second stall reports again.
+        self._reported &= stalled_keys
+        return fresh
+
+
+def default_stall_after_s(flush_interval_s: float) -> float:
+    """The stall cutoff when none is configured: three flush intervals
+    (one in flight, one of scheduling slack, one of margin)."""
+    return 3.0 * flush_interval_s

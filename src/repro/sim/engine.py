@@ -36,6 +36,7 @@ from ..obs import (
     TIME_BUCKETS,
     MetricsRegistry,
     WindowTracker,
+    active_spool,
 )
 from ..obs import session as obs_session
 from ..clustering.migration import MigrationPlanner
@@ -208,6 +209,11 @@ class Simulator:
         last_cycle = 0.0
         recorder = self.recorder
         tracing = recorder.enabled
+        # Streaming telemetry: the ambient spool is the shared NullSpool
+        # unless REPRO_SPOOL_DIR is set, so the disabled path costs one
+        # bool check per round (same zero-cost rule as the recorder).
+        spool = active_spool()
+        spooling = spool.enabled
 
         tracker = self._make_window_tracker()
         profile = config.self_profile
@@ -246,6 +252,8 @@ class Simulator:
                 if tracing:
                     recorder.now = int(self.mean_cycle)
                     recorder.emit(KIND_ROUND_END, index=round_index)
+                if spooling:
+                    spool.on_round(self.metrics)
                 if self.controller is not None:
                     if profile:
                         t0 = perf_counter()

@@ -1,0 +1,154 @@
+"""Tests for the benchmark history / trend tooling (benchmarks/history.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_module(name, filename):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "benchmarks" / filename
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def history():
+    return load_module("bench_history_under_test", "history.py")
+
+
+def seed_history(history, path, n_runs, means, machine="box"):
+    for i in range(n_runs):
+        history.record_run(
+            means,
+            path,
+            commit=f"c{i}",
+            machine=machine,
+            timestamp=float(i),
+        )
+
+
+class TestRecordAndLoad:
+    def test_append_only_jsonl(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        entry = history.record_run(
+            {"bench_a": 0.001}, path, commit="abc", machine="box"
+        )
+        history.record_run({"bench_a": 0.002}, path, commit="def",
+                           machine="box")
+        assert entry["commit"] == "abc"
+        entries = history.load_history(path)
+        assert [e["commit"] for e in entries] == ["abc", "def"]
+        assert entries[1]["means"]["bench_a"] == 0.002
+
+    def test_corrupt_lines_are_skipped(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        history.record_run({"a": 1.0}, path, commit="x", machine="m")
+        with open(path, "a") as handle:
+            handle.write("garbage\n")
+            handle.write(json.dumps({"not": "an entry"}) + "\n")
+        history.record_run({"a": 2.0}, path, commit="y", machine="m")
+        assert len(history.load_history(path)) == 2
+
+    def test_missing_file_loads_empty(self, history, tmp_path):
+        assert history.load_history(tmp_path / "none.jsonl") == []
+
+    def test_commit_and_machine_default(self, history, tmp_path):
+        entry = history.record_run({"a": 1.0}, tmp_path / "h.jsonl")
+        assert entry["commit"]
+        assert entry["machine"]
+
+
+class TestDetectDrift:
+    def test_flags_injected_2x_slowdown(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 5, {"bench_a": 0.001, "bench_b": 0.002})
+        # The latest run: bench_a doubled, bench_b steady.
+        history.record_run(
+            {"bench_a": 0.002, "bench_b": 0.002}, path,
+            commit="bad", machine="box", timestamp=99.0,
+        )
+        findings = history.detect_drift(history.load_history(path))
+        assert [f["name"] for f in findings] == ["bench_a"]
+        assert findings[0]["ratio"] == pytest.approx(2.0)
+        assert findings[0]["direction"] == "slower"
+
+    def test_flags_suspicious_speedup_too(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 5, {"bench_a": 0.004})
+        history.record_run({"bench_a": 0.001}, path, commit="odd",
+                           machine="box", timestamp=99.0)
+        findings = history.detect_drift(history.load_history(path))
+        assert findings and findings[0]["direction"] == "faster"
+
+    def test_quiet_history_has_no_findings(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 6, {"bench_a": 0.001})
+        history.record_run({"bench_a": 0.0011}, path, commit="z",
+                           machine="box", timestamp=99.0)
+        assert history.detect_drift(history.load_history(path)) == []
+
+    def test_needs_min_same_machine_priors(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 2, {"bench_a": 0.001})
+        history.record_run({"bench_a": 0.01}, path, commit="w",
+                           machine="box", timestamp=99.0)
+        assert history.detect_drift(history.load_history(path)) == []
+
+    def test_other_machines_do_not_pollute_the_baseline(self, history,
+                                                        tmp_path):
+        path = tmp_path / "hist.jsonl"
+        # Another (slower) machine's runs must not drag the median up.
+        seed_history(history, path, 5, {"bench_a": 0.010}, machine="slowbox")
+        seed_history(history, path, 5, {"bench_a": 0.001}, machine="box")
+        history.record_run({"bench_a": 0.002}, path, commit="bad",
+                           machine="box", timestamp=99.0)
+        findings = history.detect_drift(history.load_history(path))
+        assert [f["name"] for f in findings] == ["bench_a"]
+
+    def test_median_shrugs_off_one_noisy_prior(self, history, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 4, {"bench_a": 0.001})
+        history.record_run({"bench_a": 0.009}, path, commit="noisy",
+                           machine="box", timestamp=50.0)
+        history.record_run({"bench_a": 0.0011}, path, commit="fine",
+                           machine="box", timestamp=99.0)
+        assert history.detect_drift(history.load_history(path)) == []
+
+
+class TestTrendCommand:
+    def test_trend_exits_nonzero_on_drift(self, history, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 5, {"bench_a": 0.001})
+        history.record_run({"bench_a": 0.002}, path, commit="bad",
+                           machine="box", timestamp=99.0)
+        code = history.main(["trend", "--history", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "bench_a" in captured.err
+        assert "2.00x" in captured.err
+
+    def test_trend_passes_quiet_history(self, history, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 6, {"bench_a": 0.001})
+        code = history.main(["trend", "--history", str(path)])
+        assert code == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_trend_tolerates_missing_history(self, history, tmp_path):
+        assert history.main(
+            ["trend", "--history", str(tmp_path / "none.jsonl")]
+        ) == 0
+
+    def test_trend_short_history_records_only(self, history, tmp_path,
+                                              capsys):
+        path = tmp_path / "hist.jsonl"
+        seed_history(history, path, 2, {"bench_a": 0.001})
+        assert history.main(["trend", "--history", str(path)]) == 0
+        assert "recording only" in capsys.readouterr().out

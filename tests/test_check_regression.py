@@ -199,3 +199,97 @@ class TestUpdate:
         data = json.loads(baseline.read_text())
         assert data["means"] == {"test_a": 2.0}
         assert data["seed_means"] == {"test_a": 9.0}
+
+
+class TestResultTable:
+    def test_table_prints_on_success(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 0.001})
+        write_baseline(
+            baseline, {"test_a": 0.001}, seed_means={"test_a": 0.004}
+        )
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "benchmark" in out and "ratio" in out
+        assert "seed us" in out and "current us" in out
+        # seed 4000us, current/baseline 1000us, ratio 1.00x on one row
+        assert "4000" in out and "1.00x" in out
+
+    def test_seed_column_degrades_to_dashes(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 0.001})
+        write_baseline(baseline, {"test_a": 0.001})
+        check_regression.main([str(bench), "--baseline", str(baseline)])
+        assert "--" in capsys.readouterr().out
+
+    def test_worst_regression_leads_the_failure_message(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(
+            bench, {"test_mild": 1.5, "test_awful": 9.0, "test_fine": 1.0}
+        )
+        write_baseline(
+            baseline, {"test_mild": 1.0, "test_awful": 1.0, "test_fine": 1.0}
+        )
+        rc = check_regression.main([str(bench), "--baseline", str(baseline)])
+        err = capsys.readouterr().err
+        assert rc == 1
+        first_line = [line for line in err.splitlines() if line][0]
+        assert "FAILED" in first_line and "test_awful" in first_line
+        # worst-first ordering in the detail list too
+        assert err.index("test_awful") < err.index("test_mild")
+
+
+class TestHistoryStamping:
+    def test_run_is_recorded_next_to_the_baseline(self, paths, capsys):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 0.001})
+        write_baseline(baseline, {"test_a": 0.001})
+        check_regression.main([str(bench), "--baseline", str(baseline)])
+        history = baseline.parent / check_regression.HISTORY_NAME
+        assert history.is_file()
+        entries = [
+            json.loads(line) for line in history.read_text().splitlines()
+        ]
+        assert len(entries) == 1
+        assert entries[0]["means"]["test_a"] == 0.001
+        assert "recorded run" in capsys.readouterr().out
+
+    def test_each_check_appends_one_entry(self, paths):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 0.001})
+        write_baseline(baseline, {"test_a": 0.001})
+        for _ in range(3):
+            check_regression.main([str(bench), "--baseline", str(baseline)])
+        history = baseline.parent / check_regression.HISTORY_NAME
+        assert len(history.read_text().splitlines()) == 3
+
+    def test_update_runs_are_recorded_too(self, paths):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 0.001})
+        check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--update"]
+        )
+        assert (baseline.parent / check_regression.HISTORY_NAME).is_file()
+
+    def test_no_history_suppresses_recording(self, paths):
+        bench, baseline = paths
+        write_bench_json(bench, {"test_a": 0.001})
+        write_baseline(baseline, {"test_a": 0.001})
+        check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--no-history"]
+        )
+        assert not (baseline.parent / check_regression.HISTORY_NAME).exists()
+
+    def test_explicit_history_path_wins(self, paths, tmp_path):
+        bench, baseline = paths
+        elsewhere = tmp_path / "sub" / "hist.jsonl"
+        elsewhere.parent.mkdir()
+        write_bench_json(bench, {"test_a": 0.001})
+        write_baseline(baseline, {"test_a": 0.001})
+        check_regression.main(
+            [str(bench), "--baseline", str(baseline),
+             "--history", str(elsewhere)]
+        )
+        assert elsewhere.is_file()
+        assert not (baseline.parent / check_regression.HISTORY_NAME).exists()

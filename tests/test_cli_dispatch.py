@@ -181,3 +181,129 @@ class TestVerifyDispatch:
     def test_verify_is_dispatchable_and_described(self):
         assert "verify" in cli._DISPATCH
         assert "verify" in cli._RUNNERS
+
+
+class TestTopDispatch:
+    def _beat_line(self, t=1.0):
+        return json.dumps(
+            {"type": "heartbeat", "pid": 7, "seq": 1, "t": t, "rounds": 3,
+             "tasks_done": 0, "busy_ms": 0, "label": "task"}
+        ) + "\n"
+
+    def test_top_is_dispatchable_and_described(self):
+        assert "top" in cli._DISPATCH
+        assert "top" in cli._RUNNERS
+        # 'all' must not try to run the dashboard as an experiment.
+        parser = cli.build_parser()
+        assert parser.parse_args(["all"]).experiment == "all"
+
+    def test_top_once_renders_and_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "worker-w1.jsonl").write_text(self._beat_line())
+        assert cli.main(
+            ["top", "--once", "--spool-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "WORKER" in out
+
+    def test_top_without_spool_dir_fails(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_SPOOL_DIR", raising=False)
+        assert cli.main(["top", "--once"]) == 1
+        assert "spool-dir" in capsys.readouterr().err
+
+    def test_top_reads_spool_dir_from_env(self, tmp_path, monkeypatch,
+                                          capsys):
+        (tmp_path / "worker-w1.jsonl").write_text(self._beat_line())
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(tmp_path))
+        assert cli.main(["top", "--once"]) == 0
+        assert "repro top" in capsys.readouterr().out
+
+    def test_top_fail_on_alert_gates_criticals(self, tmp_path, capsys):
+        (tmp_path / "worker-w1.jsonl").write_text(
+            json.dumps(
+                {"type": "alert", "pid": 7, "t": 1.0, "label": "task",
+                 "alert": {"name": "bad", "severity": "critical"}}
+            ) + "\n"
+        )
+        assert cli.main(
+            ["top", "--once", "--fail-on-alert", "--spool-dir",
+             str(tmp_path)]
+        ) == 1
+        assert "critical alert" in capsys.readouterr().err
+
+    def test_top_writes_prometheus_export(self, tmp_path, capsys):
+        from repro.obs.export import validate_prometheus_text
+
+        (tmp_path / "spool").mkdir()
+        (tmp_path / "spool" / "worker-w1.jsonl").write_text(
+            json.dumps(
+                {"type": "snapshot", "pid": 7, "t": 1.0, "label": "task",
+                 "metrics": {"rounds_total": 9}}
+            ) + "\n"
+        )
+        prom = tmp_path / "metrics.prom"
+        assert cli.main(
+            ["top", "--once", "--spool-dir", str(tmp_path / "spool"),
+             "--prom", str(prom)]
+        ) == 0
+        text = prom.read_text()
+        assert "rounds_total 9" in text
+        assert validate_prometheus_text(text) == []
+
+    def test_interval_and_stall_after_validation(self):
+        with pytest.raises(SystemExit):
+            cli.main(["top", "--interval", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["top", "--stall-after", "-1"])
+
+
+class TestReportAlertGate:
+    def _fake_analyses(self, severity):
+        from types import SimpleNamespace
+
+        return {
+            "microbenchmark/default_linux": SimpleNamespace(
+                alerts=[SimpleNamespace(name="probe", severity=severity)]
+            )
+        }
+
+    def test_fail_on_alert_trips_on_critical(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.setattr(
+            cli,
+            "_write_run_reports",
+            lambda args, results: self._fake_analyses("critical"),
+        )
+        rc = cli.main(
+            ["report", "--rounds", "250", "--fail-on-alert",
+             "--report", str(tmp_path / "run.html"),
+             "--out", str(tmp_path / "json")]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "critical" in err and "probe" in err
+
+    def test_fail_on_alert_ignores_warnings(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            cli,
+            "_write_run_reports",
+            lambda args, results: self._fake_analyses("warning"),
+        )
+        assert cli.main(
+            ["report", "--rounds", "250", "--fail-on-alert",
+             "--report", str(tmp_path / "run.html"),
+             "--out", str(tmp_path / "json")]
+        ) == 0
+
+
+class TestCliEntry:
+    def test_broken_pipe_exits_quietly(self, monkeypatch):
+        def raises(argv=None):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(cli, "main", raises)
+        assert cli.cli_entry([]) == 141
+
+    def test_passthrough_return_code(self, monkeypatch):
+        monkeypatch.setattr(cli, "main", lambda argv=None: 0)
+        assert cli.cli_entry([]) == 0

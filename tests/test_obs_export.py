@@ -1,0 +1,134 @@
+"""Tests for the metric exporters (repro.obs.export)."""
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.obs.export import (
+    parse_series_key,
+    snapshot_to_json_lines,
+    to_prometheus,
+    validate_prometheus_text,
+)
+
+
+def registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("migrations_total", reason="cluster").inc(3)
+    registry.counter("migrations_total", reason="balance").inc(1)
+    registry.gauge("sampling_period").set(2048.0)
+    hist = registry.histogram("latency_cycles", buckets=(10.0, 100.0))
+    for value in (5.0, 50.0, 500.0):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestParseSeriesKey:
+    def test_bare_name(self):
+        assert parse_series_key("rounds_total") == ("rounds_total", {})
+
+    def test_labels_round_trip(self):
+        name, labels = parse_series_key("m_total{cpu=0,reason=cluster}")
+        assert name == "m_total"
+        assert labels == {"cpu": "0", "reason": "cluster"}
+
+    def test_value_may_contain_equals(self):
+        _, labels = parse_series_key("m{expr=a=b}")
+        assert labels == {"expr": "a=b"}
+
+
+class TestToPrometheus:
+    def test_counter_gauge_histogram_render(self):
+        text = to_prometheus(registry_snapshot())
+        assert "# TYPE migrations_total counter" in text
+        assert 'migrations_total{reason="cluster"} 3' in text
+        assert "# TYPE sampling_period gauge" in text
+        assert "# TYPE latency_cycles histogram" in text
+        # Cumulative buckets from the repo's non-cumulative counts.
+        assert 'latency_cycles_bucket{le="10.0"} 1' in text
+        assert 'latency_cycles_bucket{le="100.0"} 2' in text
+        assert 'latency_cycles_bucket{le="+Inf"} 3' in text
+        assert "latency_cycles_sum 555.0" in text
+        assert "latency_cycles_count 3" in text
+
+    def test_one_type_header_per_metric_name(self):
+        text = to_prometheus(registry_snapshot())
+        assert text.count("# TYPE migrations_total counter") == 1
+
+    def test_help_text_renders(self):
+        text = to_prometheus(
+            {"x_total": 1}, help_text={"x_total": "a counter"}
+        )
+        assert "# HELP x_total a counter" in text
+
+    def test_invalid_chars_sanitised(self):
+        text = to_prometheus({"bad-name{mode=fast-path}": 2})
+        assert "bad_name" in text
+        assert 'mode="fast-path"' in text  # label values stay verbatim
+
+    def test_own_output_validates(self):
+        problems = validate_prometheus_text(to_prometheus(registry_snapshot()))
+        assert problems == []
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus({}) == ""
+
+
+class TestJsonLines:
+    def test_one_object_per_series_plus_meta(self):
+        text = snapshot_to_json_lines(
+            registry_snapshot(), meta={"sweep": "fig6"}
+        )
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert lines[0] == {"type": "meta", "sweep": "fig6"}
+        by_type = {}
+        for entry in lines[1:]:
+            by_type.setdefault(entry["type"], []).append(entry)
+        assert len(by_type["counter"]) == 2
+        assert by_type["gauge"][0]["value"] == 2048.0
+        hist = by_type["histogram"][0]
+        assert hist["count"] == 3
+        assert "p95" in hist
+
+
+class TestValidator:
+    def test_flags_bad_sample_line(self):
+        assert validate_prometheus_text("not a metric line at all\n")
+
+    def test_flags_bad_value(self):
+        problems = validate_prometheus_text("x_total abc\n")
+        assert any("unparseable value" in p for p in problems)
+
+    def test_flags_unbalanced_quotes(self):
+        problems = validate_prometheus_text('x_total{a="b} 1\n')
+        assert problems
+
+    def test_flags_decreasing_histogram_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("decrease" in p for p in problems)
+
+    def test_flags_histogram_not_ending_at_inf(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="1.0"} 5\n' "h_count 5\n"
+        problems = validate_prometheus_text(text)
+        assert any("+Inf" in p for p in problems)
+
+    def test_flags_count_bucket_disagreement(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 7\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("_count" in p for p in problems)
+
+    def test_accepts_escaped_quotes_in_label_values(self):
+        assert validate_prometheus_text('x_total{a="b\\"c"} 1\n') == []
+
+    def test_accepts_special_values_and_timestamps(self):
+        assert validate_prometheus_text("x NaN\ny +Inf 1700000000\n") == []

@@ -1,0 +1,284 @@
+"""Tests for the live sweep dashboard (repro.obs.live / repro top)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.stream import REC_ALERT, REC_HEARTBEAT, SpoolCollector
+from repro.obs.live import (
+    SweepStatus,
+    TopOptions,
+    build_status,
+    render_status,
+    run_top,
+)
+
+
+def write_spool(tmp_path, worker="w1", beats=(), alerts=()):
+    path = tmp_path / f"worker-{worker}.jsonl"
+    with open(path, "a") as handle:
+        for beat in beats:
+            handle.write(json.dumps({"type": REC_HEARTBEAT, **beat}) + "\n")
+        for alert in alerts:
+            handle.write(json.dumps({"type": REC_ALERT, **alert}) + "\n")
+
+
+def write_manifest(path, records):
+    path.write_text(json.dumps({"version": 1, "tasks": records}))
+
+
+def task_record(label, status="done", attempts=1, duration_s=1.0):
+    return {
+        "label": label,
+        "fingerprint": "f" * 64,
+        "seed": 3,
+        "status": status,
+        "attempts": attempts,
+        "duration_s": duration_s,
+    }
+
+
+def beat(t, label="task-a", pid=11, rounds=10, busy_ms=0, seq=1):
+    return {
+        "pid": pid,
+        "seq": seq,
+        "t": t,
+        "rounds": rounds,
+        "tasks_done": 0,
+        "busy_ms": busy_ms,
+        "label": label,
+    }
+
+
+class TestBuildStatus:
+    def test_counts_come_from_manifest(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        write_manifest(
+            manifest,
+            [
+                task_record("a"),
+                task_record("b", status="pending", duration_s=None),
+                task_record("c", status="failed", duration_s=None),
+            ],
+        )
+        status = build_status(
+            SpoolCollector(tmp_path), manifest, stall_after_s=3.0, now=10.0
+        )
+        assert status.counts == {"pending": 1, "done": 1, "failed": 1}
+        assert status.total_tasks == 3
+        assert status.mean_duration_s == 1.0
+
+    def test_retried_counts_multi_attempt_done_tasks(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        write_manifest(
+            manifest, [task_record("a", attempts=3), task_record("b")]
+        )
+        status = build_status(
+            SpoolCollector(tmp_path), manifest, stall_after_s=3.0, now=10.0
+        )
+        assert status.retried == 1
+
+    def test_eta_scales_pending_by_active_workers(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        write_manifest(
+            manifest,
+            [task_record("a", duration_s=2.0)]
+            + [
+                task_record(f"p{i}", status="pending", duration_s=None)
+                for i in range(4)
+            ],
+        )
+        write_spool(tmp_path, "w1", beats=[beat(t=99.5)])
+        write_spool(tmp_path, "w2", beats=[beat(t=99.6, pid=12)])
+        status = build_status(
+            SpoolCollector(tmp_path), manifest, stall_after_s=3.0, now=100.0
+        )
+        # 4 pending x 2s mean / 2 active workers
+        assert status.eta_s == pytest.approx(4.0)
+
+    def test_stalled_worker_flagged(self, tmp_path):
+        write_spool(tmp_path, "w1", beats=[beat(t=10.0)])
+        status = build_status(
+            SpoolCollector(tmp_path), None, stall_after_s=3.0, now=100.0
+        )
+        assert status.workers[0]["stalled"] is True
+
+    def test_complete_requires_manifest_and_idle_workers(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        write_manifest(manifest, [task_record("a")])
+        write_spool(tmp_path, "w1", beats=[beat(t=99.9, label=None)])
+        status = build_status(
+            SpoolCollector(tmp_path), manifest, stall_after_s=3.0, now=100.0
+        )
+        assert status.complete
+        no_manifest = build_status(
+            SpoolCollector(tmp_path), None, stall_after_s=3.0, now=100.0
+        )
+        assert not no_manifest.complete
+
+    def test_critical_alerts_counted(self, tmp_path):
+        write_spool(
+            tmp_path,
+            "w1",
+            alerts=[
+                {"label": "a", "alert": {"name": "x", "severity": "critical"}},
+                {"label": "a", "alert": {"name": "y", "severity": "warning"}},
+            ],
+        )
+        status = build_status(
+            SpoolCollector(tmp_path), None, stall_after_s=3.0, now=1.0
+        )
+        assert status.critical_alerts == 1
+        assert len(status.alerts) == 2
+
+
+class TestRender:
+    def test_render_shows_counts_workers_and_alerts(self, tmp_path):
+        status = SweepStatus(
+            now=100.0,
+            counts={"done": 2, "failed": 0, "pending": 1},
+            total_tasks=3,
+            retried=1,
+            mean_duration_s=2.0,
+            eta_s=4.0,
+            workers=[
+                {
+                    "worker": "11",
+                    "pid": 11,
+                    "busy": 0.97,
+                    "rounds_per_s": 41.2,
+                    "age_s": 0.4,
+                    "label": "vol/clustered",
+                    "tasks_done": 2,
+                    "stalled": False,
+                    "truncated": False,
+                }
+            ],
+            alerts=[
+                {
+                    "label": "vol/clustered",
+                    "alert": {
+                        "name": "migration_ineffective",
+                        "severity": "critical",
+                        "message": "remote stalls did not drop",
+                    },
+                }
+            ],
+            critical_alerts=1,
+        )
+        frame = render_status(status)
+        assert "2/3 done" in frame
+        assert "1 retried" in frame
+        assert "~4.0s" in frame
+        assert "vol/clustered" in frame
+        assert "97%" in frame
+        assert "migration_ineffective" in frame
+        assert "1 critical" in frame
+
+    def test_stalled_marker_renders(self):
+        status = SweepStatus(
+            now=0.0,
+            workers=[
+                {
+                    "worker": "9",
+                    "pid": 9,
+                    "busy": None,
+                    "rounds_per_s": None,
+                    "age_s": 12.0,
+                    "label": "t",
+                    "tasks_done": 0,
+                    "stalled": True,
+                    "truncated": False,
+                }
+            ],
+        )
+        assert "STALLED" in render_status(status)
+
+    def test_empty_state_renders_hints(self):
+        frame = render_status(SweepStatus(now=0.0))
+        assert "no manifest" in frame
+        assert "no heartbeats" in frame
+
+
+class TestRunTop:
+    def test_once_renders_single_frame(self, tmp_path):
+        write_spool(tmp_path, "w1", beats=[beat(t=1.0)])
+        out = io.StringIO()
+        code = run_top(
+            TopOptions(spool_dir=tmp_path, once=True), stdout=out
+        )
+        assert code == 0
+        assert "repro top" in out.getvalue()
+        assert "\x1b" not in out.getvalue()  # no ANSI under --once
+
+    def test_fail_on_alert_returns_nonzero(self, tmp_path):
+        write_spool(
+            tmp_path,
+            "w1",
+            alerts=[
+                {"label": "a", "alert": {"name": "x", "severity": "critical"}}
+            ],
+        )
+        out = io.StringIO()
+        code = run_top(
+            TopOptions(spool_dir=tmp_path, once=True, fail_on_alert=True),
+            stdout=out,
+        )
+        assert code == 1
+        assert "critical alert" in out.getvalue()
+
+    def test_warning_alerts_do_not_trip_the_gate(self, tmp_path):
+        write_spool(
+            tmp_path,
+            "w1",
+            alerts=[
+                {"label": "a", "alert": {"name": "x", "severity": "warning"}}
+            ],
+        )
+        code = run_top(
+            TopOptions(spool_dir=tmp_path, once=True, fail_on_alert=True),
+            stdout=io.StringIO(),
+        )
+        assert code == 0
+
+    def test_loop_exits_when_sweep_completes(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        write_manifest(manifest, [task_record("a")])
+        sleeps = []
+        code = run_top(
+            TopOptions(
+                spool_dir=tmp_path, manifest_path=manifest, interval_s=0.01
+            ),
+            stdout=io.StringIO(),
+            sleep=sleeps.append,
+        )
+        assert code == 0
+        assert sleeps == []  # complete on the first frame: no sleep
+
+    def test_prom_export_written_each_frame(self, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        path = spool / "worker-w1.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "snapshot",
+                    "pid": 1,
+                    "t": 1.0,
+                    "label": "t",
+                    "metrics": {"rounds_total": 5},
+                }
+            )
+            + "\n"
+        )
+        prom = tmp_path / "metrics.prom"
+        run_top(
+            TopOptions(spool_dir=spool, once=True, prom_path=prom),
+            stdout=io.StringIO(),
+        )
+        assert "rounds_total 5" in prom.read_text()
+
+    def test_requires_spool_dir(self):
+        with pytest.raises(ValueError):
+            run_top(TopOptions(spool_dir=None, once=True), stdout=io.StringIO())

@@ -236,3 +236,76 @@ class TestQuantiles:
         assert merged["lat"]["p50"] == pytest.approx(
             b.histogram("lat", buckets=(1.0, 10.0)).quantile(0.5), rel=0.2
         )
+
+
+class TestMergeAssociativity:
+    """merge_snapshots must be chunking-independent: the spool collector
+    folds per-worker deltas in whatever order and grouping they arrive,
+    so folding the same observation stream through different chunkings
+    has to land on identical histograms and quantiles."""
+
+    BUCKETS = (1.0, 10.0, 100.0, 1000.0)
+
+    def _snapshot_of(self, observations):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=self.BUCKETS)
+        for value in observations:
+            hist.observe(value)
+        registry.counter("rounds_total").inc(len(observations))
+        return registry.snapshot()
+
+    def _fold_chunked(self, observations, cut_points):
+        bounds = [0] + sorted(cut_points) + [len(observations)]
+        snaps = [
+            self._snapshot_of(observations[lo:hi])
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+        return merge_snapshots(snaps)
+
+    def test_two_chunkings_agree_by_hand(self):
+        observations = [0.5, 5.0, 50.0, 500.0, 5000.0, 2.0]
+        whole = self._fold_chunked(observations, [])
+        split = self._fold_chunked(observations, [1, 4])
+        assert whole == split
+
+    def test_merge_is_associative_over_chunkings(self):
+        try:
+            from hypothesis import given, settings
+            from hypothesis import strategies as st
+        except ImportError:  # pragma: no cover - hypothesis is in the image
+            pytest.skip("hypothesis not installed")
+
+        observation_lists = st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e4,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=40,
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            observations=observation_lists,
+            data=st.data(),
+        )
+        def check(observations, data):
+            n = len(observations)
+            cuts_a = data.draw(
+                st.lists(st.integers(0, n), max_size=6), label="cuts_a"
+            )
+            cuts_b = data.draw(
+                st.lists(st.integers(0, n), max_size=6), label="cuts_b"
+            )
+            fold_a = self._fold_chunked(observations, cuts_a)
+            fold_b = self._fold_chunked(observations, cuts_b)
+            assert fold_a["rounds_total"] == fold_b["rounds_total"] == n
+            hist_a, hist_b = fold_a["lat"], fold_b["lat"]
+            assert hist_a["counts"] == hist_b["counts"]
+            assert hist_a["count"] == hist_b["count"] == n
+            assert hist_a["sum"] == pytest.approx(hist_b["sum"])
+            for quantile in ("p50", "p95", "p99"):
+                assert hist_a[quantile] == hist_b[quantile]
+
+        check()

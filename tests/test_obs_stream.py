@@ -1,0 +1,356 @@
+"""Tests for the streaming telemetry spools (repro.obs.stream)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots
+from repro.obs.stream import (
+    DEFAULT_FLUSH_INTERVAL_S,
+    NULL_SPOOL,
+    REC_ALERT,
+    REC_HEARTBEAT,
+    REC_SNAPSHOT,
+    REC_TASK,
+    REC_TRUNCATED,
+    SPOOL_DIR_ENV,
+    SPOOL_FLUSH_ENV,
+    SpoolCollector,
+    SpoolWriter,
+    StallMonitor,
+    active_spool,
+    default_stall_after_s,
+    install_spool,
+    install_spool_from_env,
+    snapshot_delta,
+    spool_settings_from_env,
+)
+
+
+def read_records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract(self):
+        assert snapshot_delta({"a": 3}, {"a": 5}) == {"a": 2}
+
+    def test_unchanged_counter_is_omitted(self):
+        assert snapshot_delta({"a": 3}, {"a": 3}) == {}
+
+    def test_new_counter_carries_whole_value(self):
+        assert snapshot_delta({}, {"a": 7}) == {"a": 7}
+
+    def test_gauges_pass_through_when_changed(self):
+        assert snapshot_delta({"g": 1.5}, {"g": 2.5}) == {"g": 2.5}
+        assert snapshot_delta({"g": 1.5}, {"g": 1.5}) == {}
+
+    def test_histograms_subtract_elementwise(self):
+        def hist(counts, total, count):
+            return {
+                "type": "histogram",
+                "buckets": [1.0, 2.0],
+                "counts": counts,
+                "sum": total,
+                "count": count,
+            }
+
+        delta = snapshot_delta(
+            {"h": hist([1, 0, 0], 0.5, 1)}, {"h": hist([2, 1, 0], 2.5, 3)}
+        )
+        assert delta["h"]["counts"] == [1, 1, 0]
+        assert delta["h"]["sum"] == 2.0
+        assert delta["h"]["count"] == 2
+        assert "p50" in delta["h"]
+
+    def test_unchanged_histogram_is_omitted(self):
+        hist = {
+            "type": "histogram",
+            "buckets": [1.0],
+            "counts": [2, 0],
+            "sum": 1.0,
+            "count": 2,
+        }
+        assert snapshot_delta({"h": hist}, {"h": dict(hist)}) == {}
+
+    def test_fold_of_deltas_reproduces_final_snapshot(self):
+        registry = MetricsRegistry()
+        snaps = []
+        prev = {}
+        hist = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for step in range(5):
+            registry.counter("rounds_total").inc(3)
+            hist.observe(float(step * 7))
+            registry.gauge("period").set(float(step))
+            cur = registry.snapshot()
+            snaps.append(snapshot_delta(prev, cur))
+            prev = cur
+        folded = merge_snapshots(snaps)
+        final = registry.snapshot()
+        assert folded["rounds_total"] == final["rounds_total"]
+        assert folded["period"] == final["period"]
+        assert folded["lat"]["counts"] == final["lat"]["counts"]
+        assert folded["lat"]["count"] == final["lat"]["count"]
+        assert folded["lat"]["p95"] == final["lat"]["p95"]
+
+
+class TestSpoolWriter:
+    def test_task_lifecycle_records(self, tmp_path):
+        writer = SpoolWriter(tmp_path, worker_id="w1")
+        registry = MetricsRegistry()
+        registry.counter("rounds_total").inc(4)
+        writer.task_started("task-a")
+        writer.flush(registry)
+        writer.task_finished(
+            "task-a", duration_s=0.5, metrics=registry.snapshot()
+        )
+        writer.close()
+        records = read_records(tmp_path / "worker-w1.jsonl")
+        kinds = [r["type"] for r in records]
+        assert kinds.count(REC_TASK) == 2
+        assert REC_HEARTBEAT in kinds
+        assert REC_SNAPSHOT in kinds
+        task_records = [r for r in records if r["type"] == REC_TASK]
+        assert task_records[0]["status"] == "started"
+        assert task_records[1]["status"] == "finished"
+        assert task_records[1]["duration_s"] == 0.5
+
+    def test_heartbeats_carry_progress(self, tmp_path):
+        writer = SpoolWriter(tmp_path, worker_id="w1")
+        writer.task_started("t")
+        writer.task_finished("t")
+        writer.close()
+        beats = [
+            r
+            for r in read_records(tmp_path / "worker-w1.jsonl")
+            if r["type"] == REC_HEARTBEAT
+        ]
+        assert beats[-1]["tasks_done"] == 1
+        assert beats[-1]["label"] is None  # idle after finish
+        assert beats[0]["label"] == "t"
+        assert [b["seq"] for b in beats] == sorted(b["seq"] for b in beats)
+
+    def test_size_cap_truncates_once_and_counts_drops(self, tmp_path):
+        writer = SpoolWriter(tmp_path, worker_id="w1", max_bytes=4096)
+        for i in range(200):
+            writer.emit_alert("t", {"name": "x" * 64, "severity": "warning"})
+        writer.close()
+        records = read_records(tmp_path / "worker-w1.jsonl")
+        markers = [r for r in records if r["type"] == REC_TRUNCATED]
+        assert len(markers) == 1
+        assert writer.records_dropped > 0
+        size = (tmp_path / "worker-w1.jsonl").stat().st_size
+        assert size <= 4096 + 200  # cap plus one marker line
+
+    def test_alert_records_wrap_alert_dict(self, tmp_path):
+        writer = SpoolWriter(tmp_path, worker_id="w1")
+        writer.task_finished(
+            "t",
+            alerts=[{"name": "migration_ineffective", "severity": "critical"}],
+        )
+        writer.close()
+        alerts = [
+            r
+            for r in read_records(tmp_path / "worker-w1.jsonl")
+            if r["type"] == REC_ALERT
+        ]
+        assert alerts[0]["alert"]["name"] == "migration_ineffective"
+        assert alerts[0]["label"] == "t"
+
+    def test_on_round_flushes_after_interval(self, tmp_path):
+        writer = SpoolWriter(
+            tmp_path, worker_id="w1", flush_interval_s=0.01
+        )
+        registry = MetricsRegistry()
+        writer._last_flush -= 1.0  # force "interval elapsed"
+        for _ in range(64):  # >= ROUNDS_PER_CLOCK_CHECK
+            registry.counter("rounds_total").inc()
+            writer.on_round(registry)
+        writer.close()
+        kinds = [r["type"] for r in read_records(tmp_path / "worker-w1.jsonl")]
+        assert REC_HEARTBEAT in kinds
+        assert REC_SNAPSHOT in kinds
+
+    def test_validates_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            SpoolWriter(tmp_path, flush_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SpoolWriter(tmp_path, max_bytes=16)
+
+
+class TestEnvInstallation:
+    @pytest.fixture(autouse=True)
+    def restore_spool(self, monkeypatch):
+        monkeypatch.delenv(SPOOL_DIR_ENV, raising=False)
+        monkeypatch.delenv(SPOOL_FLUSH_ENV, raising=False)
+        yield
+        install_spool(NULL_SPOOL)
+
+    def test_disabled_without_env(self):
+        assert spool_settings_from_env() is None
+        assert install_spool_from_env() is NULL_SPOOL
+        assert not active_spool().enabled
+
+    def test_env_settings_parse(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SPOOL_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(SPOOL_FLUSH_ENV, "0.25")
+        directory, flush_s, max_bytes = spool_settings_from_env()
+        assert directory == tmp_path
+        assert flush_s == 0.25
+        assert max_bytes > 0
+
+    def test_install_creates_writer_for_this_pid(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SPOOL_DIR_ENV, str(tmp_path))
+        spool = install_spool_from_env()
+        try:
+            assert spool.enabled
+            assert spool.pid == os.getpid()
+            # Idempotent within one process: same writer comes back.
+            assert install_spool_from_env() is spool
+        finally:
+            spool.close()
+
+    def test_inherited_foreign_pid_writer_is_replaced(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(SPOOL_DIR_ENV, str(tmp_path))
+        inherited = SpoolWriter(tmp_path, worker_id="parent")
+        inherited.pid = os.getpid() + 1  # simulate a fork inheritance
+        install_spool(inherited)
+        spool = install_spool_from_env()
+        try:
+            assert spool is not inherited
+            assert spool.pid == os.getpid()
+        finally:
+            inherited.close()
+            spool.close()
+
+    def test_clearing_env_uninstalls(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SPOOL_DIR_ENV, str(tmp_path))
+        spool = install_spool_from_env()
+        spool.close()
+        monkeypatch.delenv(SPOOL_DIR_ENV)
+        assert install_spool_from_env() is NULL_SPOOL
+
+
+class TestSpoolCollector:
+    def test_round_trip_folds_metrics_and_views(self, tmp_path):
+        registry = MetricsRegistry()
+        writer = SpoolWriter(tmp_path, worker_id="w1")
+        writer.task_started("t1")
+        registry.counter("rounds_total").inc(10)
+        writer.flush(registry)
+        registry.counter("rounds_total").inc(5)
+        writer.task_finished("t1", metrics=registry.snapshot())
+        writer.close()
+
+        collector = SpoolCollector(tmp_path)
+        assert collector.poll() > 0
+        assert collector.metrics["rounds_total"] == 15
+        view = collector.workers["w1"]
+        assert view.tasks_done == 1
+        assert view.current_label is None
+        # Second poll with no new data is a no-op.
+        assert collector.poll() == 0
+
+    def test_partial_trailing_line_is_deferred(self, tmp_path):
+        path = tmp_path / "worker-w1.jsonl"
+        complete = json.dumps(
+            {"type": REC_HEARTBEAT, "pid": 1, "seq": 1, "t": 1.0,
+             "rounds": 5, "tasks_done": 0, "busy_ms": 0, "label": "t"}
+        )
+        path.write_text(complete + "\n" + '{"type": "heart')
+        collector = SpoolCollector(tmp_path)
+        assert collector.poll() == 1
+        assert collector.corrupt_lines == 0
+        # Writer finishes the torn line -> it is ingested whole.
+        with open(path, "a") as handle:
+            handle.write('beat", "pid": 1, "seq": 2, "t": 2.0, "rounds": 9,'
+                         ' "tasks_done": 0, "busy_ms": 0, "label": "t"}\n')
+        assert collector.poll() == 1
+        assert collector.workers["w1"].last_heartbeat["seq"] == 2
+
+    def test_corrupt_line_is_counted_not_fatal(self, tmp_path):
+        (tmp_path / "worker-w1.jsonl").write_text("not json at all\n")
+        collector = SpoolCollector(tmp_path)
+        assert collector.poll() == 0
+        assert collector.corrupt_lines == 1
+
+    def test_alert_tail_is_bounded_and_criticals_filtered(self, tmp_path):
+        writer = SpoolWriter(tmp_path, worker_id="w1")
+        for i in range(10):
+            severity = "critical" if i % 2 else "warning"
+            writer.emit_alert("t", {"name": f"a{i}", "severity": severity})
+        writer.close()
+        collector = SpoolCollector(tmp_path, alert_tail=4)
+        collector.poll()
+        assert len(collector.alerts) == 4
+        assert all(
+            a["alert"]["severity"] == "critical"
+            for a in collector.critical_alerts()
+        )
+
+    def test_missing_directory_is_empty_not_error(self, tmp_path):
+        collector = SpoolCollector(tmp_path / "nope")
+        assert collector.poll() == 0
+
+
+class TestWorkerViewRates:
+    def _beat(self, t, rounds, busy_ms, label="t"):
+        return {"t": t, "rounds": rounds, "busy_ms": busy_ms,
+                "tasks_done": 0, "label": label}
+
+    def test_rates_from_last_two_heartbeats(self, tmp_path):
+        collector = SpoolCollector(tmp_path)
+        view = collector.workers.setdefault("w", __import__(
+            "repro.obs.stream", fromlist=["WorkerView"]
+        ).WorkerView("w"))
+        view.prev_heartbeat = self._beat(10.0, 100, 0)
+        view.last_heartbeat = self._beat(12.0, 150, 1000)
+        assert view.rounds_per_s() == pytest.approx(25.0)
+        assert view.busy_fraction() == pytest.approx(0.5)
+        assert view.heartbeat_age_s(now=13.0) == pytest.approx(1.0)
+
+    def test_single_heartbeat_has_no_rate(self, tmp_path):
+        from repro.obs.stream import WorkerView
+
+        view = WorkerView("w")
+        view.last_heartbeat = self._beat(10.0, 100, 0)
+        assert view.rounds_per_s() is None
+        assert view.busy_fraction() is None
+        assert view.heartbeat_age_s(now=11.0) == pytest.approx(1.0)
+
+
+class TestStallMonitor:
+    def _spool_heartbeat(self, tmp_path, t, label="task"):
+        with open(tmp_path / "worker-w1.jsonl", "a") as handle:
+            handle.write(json.dumps(
+                {"type": REC_HEARTBEAT, "pid": 42, "seq": 1, "t": t,
+                 "rounds": 1, "tasks_done": 0, "busy_ms": 0, "label": label}
+            ) + "\n")
+
+    def test_reports_once_per_episode_and_rearms(self, tmp_path):
+        monitor = StallMonitor(tmp_path, stall_after_s=1.0)
+        self._spool_heartbeat(tmp_path, t=100.0)
+        assert monitor.check(now=100.5) == []  # fresh
+        stalled = monitor.check(now=102.0)  # 2s old > 1s cutoff
+        assert [v.pid for v in stalled] == [42]
+        assert monitor.check(now=103.0) == []  # same episode: no repeat
+        self._spool_heartbeat(tmp_path, t=103.5)  # recovery
+        assert monitor.check(now=103.6) == []
+        assert [v.pid for v in monitor.check(now=105.0)] == [42]  # re-armed
+
+    def test_idle_worker_never_stalls(self, tmp_path):
+        monitor = StallMonitor(tmp_path, stall_after_s=1.0)
+        self._spool_heartbeat(tmp_path, t=100.0, label=None)
+        assert monitor.check(now=200.0) == []
+
+    def test_default_cutoff_is_three_flush_intervals(self):
+        assert default_stall_after_s(DEFAULT_FLUSH_INTERVAL_S) == pytest.approx(
+            3.0 * DEFAULT_FLUSH_INTERVAL_S
+        )
+
+    def test_validates_cutoff(self, tmp_path):
+        with pytest.raises(ValueError):
+            StallMonitor(tmp_path, stall_after_s=0.0)

@@ -513,3 +513,69 @@ class TestDriverIntegration:
         assert [
             (r.workload, r.policy, r.throughput) for r in resumed.rows
         ] == [(r.workload, r.policy, r.throughput) for r in study.rows]
+
+
+def _sleepy_factory(delay_s: float):
+    """Stop heartbeating for longer than the stall cutoff, then run
+    normally -- the task itself succeeds."""
+    time.sleep(delay_s)
+    return PAPER_WORKLOADS["microbenchmark"]()
+
+
+class TestStallDetection:
+    """A worker whose heartbeat goes stale mid-task must raise the
+    sweep.worker_stalled early warning without changing the result."""
+
+    def _run_sleepy(self, tmp_path, monkeypatch, spool: bool):
+        from repro.obs import MetricsRegistry, RingBufferRecorder, observe
+        from repro.obs.stream import SPOOL_DIR_ENV, SPOOL_FLUSH_ENV
+
+        if spool:
+            spool_dir = tmp_path / "spool"
+            spool_dir.mkdir(exist_ok=True)
+            monkeypatch.setenv(SPOOL_DIR_ENV, str(spool_dir))
+            monkeypatch.setenv(SPOOL_FLUSH_ENV, "0.05")
+        else:
+            monkeypatch.delenv(SPOOL_DIR_ENV, raising=False)
+            monkeypatch.delenv(SPOOL_FLUSH_ENV, raising=False)
+        registry = MetricsRegistry()
+        recorder = RingBufferRecorder(capacity=1024)
+        tasks = [_task("sleepy", partial(_sleepy_factory, 1.2))]
+        with observe(recorder=recorder, registry=registry):
+            outcome = run_resilient(
+                tasks, jobs=1,
+                policy=ExecutionPolicy(
+                    task_timeout=60.0,  # forces the supervised runner
+                    heartbeat_stall_s=0.3,
+                ),
+            )
+        return outcome, registry.snapshot(), recorder.events()
+
+    def test_stale_heartbeat_warns_without_perturbing_result(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import KIND_WORKER_STALLED
+        from repro.verify.digest import result_state, state_digest
+
+        outcome, snapshot, events = self._run_sleepy(
+            tmp_path, monkeypatch, spool=True
+        )
+        assert outcome.complete
+        assert snapshot["sweep_worker_stalled_total"] >= 1
+        stalls = [e for e in events if e.kind == KIND_WORKER_STALLED]
+        assert stalls
+        assert stalls[0].data["label"] == "sleepy"
+        assert stalls[0].data["age_s"] > 0.3
+
+        # Same sweep without spooling: no stall warning is possible, and
+        # the simulation result digest must be bit-identical.
+        plain, plain_snapshot, plain_events = self._run_sleepy(
+            tmp_path, monkeypatch, spool=False
+        )
+        assert "sweep_worker_stalled_total" not in plain_snapshot
+        assert not [
+            e for e in plain_events if e.kind == KIND_WORKER_STALLED
+        ]
+        assert state_digest(result_state(outcome.results[0])) == state_digest(
+            result_state(plain.results[0])
+        )
