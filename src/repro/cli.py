@@ -58,6 +58,8 @@ _RUNNERS: Dict[str, str] = {
     "phase-change": "EXT: mid-run phase change and re-clustering",
     "smt-aware": "EXT2: SMT-aware vs random intra-chip seating",
     "churn": "EXT4: connection churn vs clustering quality",
+    "fleet": "EXT5: fleet-scale sharing-aware placement (replanned vs "
+             "random/load-only baselines; --nodes, --replans)",
     "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
     "report": "OBS: flight-recorder run(s) rendered as a self-contained "
               "HTML report (+ JSONL export)",
@@ -89,7 +91,14 @@ def _write_bytes(out_dir: Optional[Path], name: str, data: bytes) -> None:
 #: and therefore honour --manifest/--resume/--task-timeout/--retries/
 #: --allow-partial
 _SWEEP_EXPERIMENTS = frozenset(
-    {"fig6", "sec74", "ablation-activation", "ablation-tolerance", "churn"}
+    {
+        "fig6",
+        "sec74",
+        "ablation-activation",
+        "ablation-tolerance",
+        "churn",
+        "fleet",
+    }
 )
 
 
@@ -388,6 +397,67 @@ def _run_churn(args, out: Optional[Path]) -> None:
     _report_sweep("churn", policy, out)
 
 
+def _run_fleet(args, out: Optional[Path]) -> None:
+    """EXT5: the fleet-scale placement study (see docs/fleet.md).
+
+    Runs the shared churn-model population under random, load-only and
+    sharing-aware-replanned placement on a --nodes-node fleet, printing
+    one row per strategy.  Honours the resilience flags: node probes
+    shard through the sweep runner (per-iteration manifests derived
+    from --manifest), and the fleet loop itself checkpoints next to
+    them, so an interrupted 100-node run resumes with --resume.
+    """
+    policy = _exec_policy(args, "fleet")
+    study = exp.run_fleet_study(
+        n_nodes=args.nodes,
+        replans=args.replans,
+        seed=args.seed,
+        jobs=args.jobs,
+        policy=policy,
+        progress=print,
+    )
+    rows = [row.to_dict() for row in study.rows]
+    print(format_table(
+        ["strategy", "fleet remote stall", "measured", "iterations",
+         "migrations", "converged", "reduction vs random"],
+        [(row.strategy, row.fleet_remote_stall_fraction,
+          row.measured_remote_stall_fraction, row.iterations,
+          row.migrations, row.converged, row.reduction_vs_random)
+         for row in study.rows], float_format="{:.4f}"))
+    sharing = study.by_strategy("sharing")
+    print(
+        f"sharing replan: converged={sharing.converged} after "
+        f"{sharing.iterations_to_converge} migrating iteration(s), "
+        f"{sharing.migrations} migration(s); remote-stall reduction vs "
+        f"random {sharing.reduction_vs_random:.1%}"
+    )
+    _write(
+        out,
+        "fleet.json",
+        experiment_to_json(
+            "fleet",
+            rows,
+            parameters=study.spec.to_dict() if study.spec else None,
+        ),
+    )
+    # The fleet run derives one manifest per (strategy, iteration) from
+    # --manifest rather than writing the base file, so summarize the
+    # whole family instead of _report_sweep's single manifest.
+    if policy is not None and policy.manifest_path is not None:
+        from .experiments.manifest import RunManifest
+
+        base = policy.manifest_path
+        suffix = base.suffix or ".json"
+        for manifest in sorted(base.parent.glob(f"{base.stem}-*{suffix}")):
+            if manifest.name.endswith(f".ckpt{suffix}"):
+                continue  # fleet checkpoints live beside the manifests
+            counts = RunManifest.load(manifest).summary()["counts"]
+            print(
+                f"sweep manifest {manifest}: {counts['done']} done, "
+                f"{counts['failed']} failed, {counts['pending']} pending"
+            )
+
+
 def _run_phase_change(args, out: Optional[Path]) -> None:
     report = exp.run_phase_change(seed=args.seed)
     rows = [
@@ -635,6 +705,7 @@ _DISPATCH: Dict[str, Callable] = {
     "phase-change": _run_phase_change,
     "smt-aware": _run_smt_aware,
     "churn": _run_churn,
+    "fleet": _run_fleet,
 }
 
 
@@ -774,8 +845,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--paths", default=None, metavar="P1,P2,...",
         help=(
             "comma-separated differential paths for the 'verify' "
-            "subcommand: batched-walk, observe-many, parallel-sweep, "
+            "subcommand: batched-walk, columnar-vs-scalar, "
+            "fleet-replan-vs-fresh, observe-many, parallel-sweep, "
             "resume (default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=10, metavar="N",
+        help="fleet size for the 'fleet' experiment (default: 10)",
+    )
+    parser.add_argument(
+        "--replans", type=int, default=3, metavar="N",
+        help=(
+            "migrating replan iterations for the 'fleet' experiment's "
+            "sharing strategy (one extra iteration proves convergence; "
+            "default: 3)"
         ),
     )
     parser.add_argument(
@@ -846,6 +930,10 @@ def main(argv: Optional[list] = None) -> int:
             )
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.nodes < 1:
+        parser.error(f"--nodes must be >= 1, got {args.nodes}")
+    if args.replans < 1:
+        parser.error(f"--replans must be >= 1, got {args.replans}")
     if args.task_timeout is not None and args.task_timeout <= 0:
         parser.error(f"--task-timeout must be > 0, got {args.task_timeout}")
     if args.resume and args.manifest is None:
@@ -911,13 +999,14 @@ def main(argv: Optional[list] = None) -> int:
     registry = MetricsRegistry() if args.metrics is not None else None
 
     # "all" regenerates the paper artefacts; the trace, report, top and
-    # verify subcommands are tooling, not artefacts, so none is part
+    # verify subcommands are tooling, and the fleet study scales with
+    # --nodes rather than the paper's fixed machines, so none is part
     # of it.
     if args.experiment == "all":
         targets = sorted(
             name
             for name in _DISPATCH
-            if name not in ("trace", "report", "top", "verify")
+            if name not in ("trace", "report", "top", "verify", "fleet")
         )
     else:
         targets = [args.experiment]

@@ -18,6 +18,7 @@ from .reference import (
     rand_index,
 )
 from .shmap import ShMap, ShMapConfig, ShMapFilter, ShMapRegistry, ShMapTable
+from .summary import ClusterSummary, cluster_summaries, group_sample_shares
 from .similarity import (
     DEFAULT_GLOBAL_FRACTION,
     DEFAULT_NOISE_FLOOR,
@@ -50,6 +51,9 @@ __all__ = [
     "ShMapFilter",
     "ShMapRegistry",
     "ShMapTable",
+    "ClusterSummary",
+    "cluster_summaries",
+    "group_sample_shares",
     "DEFAULT_GLOBAL_FRACTION",
     "DEFAULT_NOISE_FLOOR",
     "DEFAULT_SIMILARITY_THRESHOLD",

@@ -1,0 +1,122 @@
+"""Per-run cluster summaries: the node-to-fleet reporting interface.
+
+A node simulation learns who shares with whom (the shMap) and how
+intensely (sample mass per thread).  The fleet controller
+(:mod:`repro.fleet.controller`) plans *across* nodes and only needs a
+digest of that knowledge -- which threads cluster together and what
+fraction of the observed sharing traffic each group carries -- not the
+raw matrix.  This module computes that digest from a finished
+:class:`~repro.sim.results.SimResult`.
+
+Two views are exported:
+
+* :func:`cluster_summaries` -- one row per *detected* cluster (the
+  one-pass clusterer's output at the last clustering round);
+* :func:`group_sample_shares` -- observed shMap sample mass per
+  *ground-truth* sharing group, normalised to sum to 1.  Fleet node
+  workloads label each co-located group fragment with a local group
+  index, so this is the map a node reports upstream: "of the sharing I
+  could see, group i accounted for share_i".
+
+Both return empty when the run recorded no shMap snapshot (policies
+without a controller, or runs too short to reach a clustering round);
+callers fall back to declared intensities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """One detected cluster, digested for cross-level reporting."""
+
+    cluster: int
+    tids: tuple
+    #: shMap sample mass of the cluster's threads (row sums)
+    sample_weight: float
+    #: this cluster's fraction of the run's total sample mass
+    share_of_samples: float
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.tids)
+
+    def to_dict(self) -> dict:
+        return {
+            "cluster": self.cluster,
+            "tids": list(self.tids),
+            "n_threads": self.n_threads,
+            "sample_weight": self.sample_weight,
+            "share_of_samples": self.share_of_samples,
+        }
+
+
+def _row_weights(result: "SimResult") -> Dict[int, float]:
+    """tid -> shMap row sum at the last clustering round."""
+    if result.shmap_matrix is None or not result.shmap_tids:
+        return {}
+    sums = np.asarray(result.shmap_matrix, dtype=float).sum(axis=1)
+    return {
+        tid: float(sums[row]) for row, tid in enumerate(result.shmap_tids)
+    }
+
+
+def cluster_summaries(result: "SimResult") -> List[ClusterSummary]:
+    """Digest the final clustering round into per-cluster rows.
+
+    Unclustered threads (assignment -1) are reported as cluster -1 so
+    their sample mass is visible rather than silently dropped.
+    """
+    weights = _row_weights(result)
+    assignment = result.detected_assignment()
+    if not weights or not assignment:
+        return []
+    total = sum(weights.values())
+    per_cluster: Dict[int, List[int]] = {}
+    for tid in sorted(assignment):
+        per_cluster.setdefault(assignment[tid], []).append(tid)
+    out = []
+    for cluster in sorted(per_cluster):
+        tids = tuple(per_cluster[cluster])
+        weight = sum(weights.get(tid, 0.0) for tid in tids)
+        out.append(
+            ClusterSummary(
+                cluster=cluster,
+                tids=tids,
+                sample_weight=weight,
+                share_of_samples=(weight / total) if total > 0 else 0.0,
+            )
+        )
+    return out
+
+
+def group_sample_shares(result: "SimResult") -> Dict[int, float]:
+    """Observed sharing intensity per ground-truth group, summing to 1.
+
+    Groups threads by ``ThreadSummary.sharing_group`` (the label the
+    workload assigned, e.g. a fleet node's local group index) and
+    attributes each thread's shMap row mass to its group.  Empty when
+    the run has no shMap snapshot.
+    """
+    weights = _row_weights(result)
+    if not weights:
+        return {}
+    per_group: Dict[int, float] = {}
+    for summary in result.thread_summaries:
+        per_group[summary.sharing_group] = per_group.get(
+            summary.sharing_group, 0.0
+        ) + weights.get(summary.tid, 0.0)
+    total = sum(per_group.values())
+    if total <= 0:
+        return {}
+    return {
+        group: mass / total for group, mass in sorted(per_group.items())
+    }

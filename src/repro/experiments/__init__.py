@@ -24,6 +24,13 @@ from .common import (
     run_policy_sweep,
     score_clustering,
 )
+from .fleet_study import (
+    FLEET_STRATEGIES,
+    FleetStrategyRow,
+    FleetStudy,
+    fleet_study_spec,
+    run_fleet_study,
+)
 from .fig1_latencies import LatencyReport, run_fig1
 from .fig3_stall_breakdown import StallBreakdownReport, run_fig3
 from .fig5_shmaps import FIG5_WORKLOADS, ShMapFigure, run_fig5, run_fig5_for
@@ -88,6 +95,11 @@ __all__ = [
     "ChurnStudy",
     "LIFETIMES",
     "run_churn_study",
+    "FLEET_STRATEGIES",
+    "FleetStrategyRow",
+    "FleetStudy",
+    "fleet_study_spec",
+    "run_fleet_study",
     "ScalingStudy",
     "run_sec74",
     "SimTask",

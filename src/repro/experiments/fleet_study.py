@@ -1,0 +1,225 @@
+"""EXT5: fleet-scale placement -- sharing-aware replanning vs baselines.
+
+The paper's evaluation asks "does migrating sharers onto one chip
+reduce remote stalls?"; this study asks the same question one topology
+level up.  Three strategies place the same churn-model population on
+the same fleet:
+
+* ``random``   -- uniform over nodes with room (frozen; no replanning);
+* ``load-only`` -- least-loaded first, the classic balancer that
+  scatters every sharing group (frozen; no replanning);
+* ``sharing``  -- starts from the *identical random placement* and lets
+  the :class:`~repro.fleet.controller.FleetController` replan
+  iteratively until no in-budget move improves the modelled cost.
+
+Reported per strategy: the fleet-wide remote-stall fraction (measured
+within-node stalls plus the modelled cross-node charge), the reduction
+relative to the random baseline, and -- for ``sharing`` -- how many
+replan iterations convergence took and how many migrations it spent.
+The migration budget is scaled with fleet size (a 100-node fleet gets
+a proportionally larger per-round budget) so convergence stays within
+a few iterations at every scale, mirroring Section 7.4's scaling sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fleet import FleetRunResult, FleetSpec
+    from .resilience import ExecutionPolicy
+
+#: strategies compared, in report order
+FLEET_STRATEGIES = ("random", "load-only", "sharing")
+
+
+def fleet_study_spec(
+    n_nodes: int = 10,
+    seed: int = 3,
+    node_rounds: int = 36,
+    node_quantum_references: int = 80,
+) -> "FleetSpec":
+    """The study's fleet, sized for convergence within a few rounds.
+
+    The per-round migration budget scales with the fleet: a random
+    placement splits nearly every group, and consolidating a group of k
+    fragments takes k-1 moves, so the total repair work grows linearly
+    with node count.  ``4 x n_nodes`` keeps iterations-to-convergence
+    roughly scale-invariant (about a population's worth of fragment
+    moves per round).
+    """
+    from ..fleet import FleetSpec
+
+    return FleetSpec(
+        n_nodes=n_nodes,
+        migration_budget=max(16, 4 * n_nodes),
+        node_rounds=node_rounds,
+        node_quantum_references=node_quantum_references,
+        seed=seed,
+    )
+
+
+@dataclass
+class FleetStrategyRow:
+    """One strategy's outcome on the shared population."""
+
+    strategy: str
+    fleet_remote_stall_fraction: float
+    measured_remote_stall_fraction: float
+    cross_node_stall_cycles: float
+    iterations: int
+    migrations: int
+    converged: bool
+    iterations_to_converge: Optional[int]
+    #: 1 - (this strategy's fleet stall / random's); positive = better
+    reduction_vs_random: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "fleet_remote_stall_fraction": self.fleet_remote_stall_fraction,
+            "measured_remote_stall_fraction": (
+                self.measured_remote_stall_fraction
+            ),
+            "cross_node_stall_cycles": self.cross_node_stall_cycles,
+            "iterations": self.iterations,
+            "migrations": self.migrations,
+            "converged": self.converged,
+            "iterations_to_converge": self.iterations_to_converge,
+            "reduction_vs_random": self.reduction_vs_random,
+        }
+
+
+@dataclass
+class FleetStudy:
+    """The EXT5 comparison: one row per placement strategy."""
+
+    spec: Optional["FleetSpec"] = None
+    rows: List[FleetStrategyRow] = field(default_factory=list)
+    #: the sharing run's full iteration history (stall trajectory)
+    sharing_history: List[dict] = field(default_factory=list)
+
+    def by_strategy(self, strategy: str) -> FleetStrategyRow:
+        for row in self.rows:
+            if row.strategy == strategy:
+                return row
+        raise KeyError(strategy)
+
+    @property
+    def sharing_beats_random(self) -> bool:
+        return self.by_strategy("sharing").reduction_vs_random > 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict() if self.spec else None,
+            "rows": [row.to_dict() for row in self.rows],
+            "sharing_history": self.sharing_history,
+        }
+
+
+def _strategy_policy(
+    policy: Optional["ExecutionPolicy"], strategy: str
+) -> Optional["ExecutionPolicy"]:
+    """Give each strategy its own manifest lineage (the fleet run then
+    derives per-iteration manifests from it)."""
+    if policy is None or policy.manifest_path is None:
+        return policy
+    from dataclasses import replace
+
+    manifest = policy.manifest_path
+    suffix = manifest.suffix or ".json"
+    return replace(
+        policy,
+        manifest_path=manifest.with_name(
+            f"{manifest.stem}-{strategy}{suffix}"
+        ),
+    )
+
+
+def _strategy_checkpoint(
+    policy: Optional["ExecutionPolicy"], strategy: str
+) -> Optional[Path]:
+    """Fleet checkpoint next to the manifests, when resilience is on."""
+    if policy is None or policy.manifest_path is None:
+        return None
+    return policy.manifest_path.parent / f"fleet-{strategy}.ckpt.json"
+
+
+def run_fleet_study(
+    n_nodes: int = 10,
+    replans: int = 3,
+    seed: int = 3,
+    n_groups: Optional[int] = None,
+    churn_mean_lifetime: int = 0,
+    node_rounds: int = 36,
+    node_quantum_references: int = 80,
+    jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
+    progress=None,
+) -> FleetStudy:
+    """Run the three strategies and fold them into a :class:`FleetStudy`.
+
+    ``replans`` bounds the sharing strategy's migrating rounds; the run
+    gets one extra iteration so the empty plan that *proves* convergence
+    fits inside the budget.  Baselines are frozen placements measured
+    once.  With a resilient ``policy`` carrying ``resume=True``, each
+    strategy resumes from its own fleet checkpoint (and its node probes
+    resume from their per-iteration manifests).
+    """
+    from ..fleet import remote_stall_reduction_vs, run_fleet
+
+    spec = fleet_study_spec(
+        n_nodes=n_nodes,
+        seed=seed,
+        node_rounds=node_rounds,
+        node_quantum_references=node_quantum_references,
+    )
+    study = FleetStudy(spec=spec)
+    results: dict = {}
+    for strategy in FLEET_STRATEGIES:
+        replanning = strategy == "sharing"
+        checkpoint = _strategy_checkpoint(policy, strategy)
+        results[strategy] = run_fleet(
+            spec,
+            strategy=strategy,
+            iterations=(replans + 1) if replanning else 1,
+            n_groups=n_groups,
+            churn_mean_lifetime=churn_mean_lifetime if replanning else 0,
+            jobs=jobs,
+            policy=_strategy_policy(policy, strategy),
+            checkpoint_path=checkpoint,
+            resume=bool(
+                policy is not None
+                and policy.resume
+                and checkpoint is not None
+                and checkpoint.is_file()
+            ),
+            progress=progress,
+        )
+    random_result = results["random"]
+    for strategy in FLEET_STRATEGIES:
+        result = results[strategy]
+        metrics = result.final_metrics
+        study.rows.append(
+            FleetStrategyRow(
+                strategy=strategy,
+                fleet_remote_stall_fraction=result.fleet_remote_stall_fraction,
+                measured_remote_stall_fraction=metrics.get(
+                    "measured_remote_stall_fraction", 0.0
+                ),
+                cross_node_stall_cycles=metrics.get(
+                    "cross_node_stall_cycles", 0.0
+                ),
+                iterations=len(result.iterations),
+                migrations=result.migrations_total,
+                converged=result.converged,
+                iterations_to_converge=result.iterations_to_converge,
+                reduction_vs_random=remote_stall_reduction_vs(
+                    random_result, result
+                ),
+            )
+        )
+    study.sharing_history = results["sharing"].iterations
+    return study

@@ -1,0 +1,99 @@
+"""Fleet-scale sharing-aware placement: the paper's idea, one level up.
+
+The paper migrates sharing threads onto one *chip*; this package
+migrates sharing process groups onto one *node*.  A fleet is N nodes,
+each an instance of the existing simulated machine; a
+:class:`FleetController` runs the plan-simulate-replan loop --
+probe dirty nodes through the resilient sweep runner, fold measured
+sharing back into the placement cost model, plan fragment moves under
+load-cap / anti-affinity / migration-budget constraints, apply,
+repeat until an empty plan (convergence).
+
+See docs/fleet.md for the model, constraint semantics and CLI
+walkthrough.
+"""
+
+from .churn import DEFAULT_GROUP_PROFILE, GroupChurnModel
+from .controller import (
+    MIN_GAIN,
+    FleetController,
+    FleetFullError,
+    FleetMigration,
+    FleetPlan,
+)
+from .model import (
+    FleetSpec,
+    FleetState,
+    ProcessGroup,
+    Violation,
+    cross_node_cost,
+    fleet_cost,
+    imbalance_cost,
+    split_factor,
+)
+from .node import (
+    FleetNodeWorkload,
+    Fragment,
+    NodeReport,
+    empty_node_report,
+    node_config,
+    node_fragments,
+    node_seed,
+    node_tasks,
+    summarize_node,
+)
+from .run import (
+    CHECKPOINT_VERSION,
+    STRATEGIES,
+    FleetCheckpointError,
+    FleetRun,
+    FleetRunResult,
+    fleet_stall_metrics,
+    initial_placement,
+    load_only_placement,
+    merged_shares,
+    random_placement,
+    remote_stall_reduction_vs,
+    run_fleet,
+    sharing_placement,
+)
+
+__all__ = [
+    "DEFAULT_GROUP_PROFILE",
+    "GroupChurnModel",
+    "MIN_GAIN",
+    "FleetController",
+    "FleetFullError",
+    "FleetMigration",
+    "FleetPlan",
+    "FleetSpec",
+    "FleetState",
+    "ProcessGroup",
+    "Violation",
+    "cross_node_cost",
+    "fleet_cost",
+    "imbalance_cost",
+    "split_factor",
+    "FleetNodeWorkload",
+    "Fragment",
+    "NodeReport",
+    "empty_node_report",
+    "node_config",
+    "node_fragments",
+    "node_seed",
+    "node_tasks",
+    "summarize_node",
+    "CHECKPOINT_VERSION",
+    "STRATEGIES",
+    "FleetCheckpointError",
+    "FleetRun",
+    "FleetRunResult",
+    "fleet_stall_metrics",
+    "initial_placement",
+    "load_only_placement",
+    "merged_shares",
+    "random_placement",
+    "remote_stall_reduction_vs",
+    "run_fleet",
+    "sharing_placement",
+]

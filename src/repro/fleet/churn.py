@@ -1,0 +1,137 @@
+"""Fleet-level churn: process groups arrive and depart between replans.
+
+The connection-churn study (EXT4) showed the *node-level* controller
+racing connection lifetimes; the fleet controller faces the same race
+one level up -- services deploy, scale and retire while the placement
+loop runs.  This module reuses the shape of
+:class:`~repro.workloads.churn.ChurningWorkload`: every group draws a
+lifetime (in replan iterations) around a mean with jitter, and an
+expired group is replaced by a fresh one with a new gid, so the fleet's
+population stays roughly constant while its composition drifts.
+
+All randomness flows from one :class:`numpy.random.Generator`; the
+generator state serialises into the fleet checkpoint
+(:mod:`repro.fleet.run`), so a resumed run draws the identical arrival
+sequence a fresh run would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .model import ProcessGroup
+
+#: (n_threads, share, anti_affinity-or-None) templates groups are drawn
+#: from: mostly mid-size sharing groups, some large, plus paired
+#: "replica" services carrying anti-affinity keys.
+DEFAULT_GROUP_PROFILE: Tuple[Tuple[int, float, Optional[str]], ...] = (
+    (4, 0.18, None),
+    (6, 0.22, None),
+    (8, 0.18, None),
+    (4, 0.30, "replica"),
+    (12, 0.12, None),
+)
+
+
+class GroupChurnModel:
+    """Drives group arrivals/departures across replan iterations.
+
+    Args:
+        profile: templates new groups are drawn from (uniformly).
+        mean_lifetime: mean group lifetime in replan iterations; 0
+            disables churn entirely (groups are immortal).
+        lifetime_jitter: lifetimes are uniform over
+            ``mean * [1 - jitter, 1 + jitter]``.
+        seed: all draws flow from this.
+    """
+
+    def __init__(
+        self,
+        profile: Sequence[Tuple[int, float, Optional[str]]] = DEFAULT_GROUP_PROFILE,
+        mean_lifetime: int = 8,
+        lifetime_jitter: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if mean_lifetime < 0:
+            raise ValueError("mean_lifetime must be >= 0")
+        if not 0.0 <= lifetime_jitter <= 1.0:
+            raise ValueError("lifetime_jitter must be in [0, 1]")
+        self.profile = tuple(
+            (int(n), float(share), key) for n, share, key in profile
+        )
+        if not self.profile:
+            raise ValueError("profile must not be empty")
+        self.mean_lifetime = mean_lifetime
+        self.lifetime_jitter = lifetime_jitter
+        self._rng = np.random.default_rng(seed)
+        self._next_gid = 0
+        self._expiry: Dict[int, int] = {}  #: gid -> iteration of death
+        self.groups_closed = 0
+
+    # ------------------------------------------------------------------
+    def _draw_lifetime(self) -> int:
+        if self.mean_lifetime == 0:
+            return -1  # immortal
+        low = max(1, int(self.mean_lifetime * (1.0 - self.lifetime_jitter)))
+        high = max(low, int(self.mean_lifetime * (1.0 + self.lifetime_jitter)))
+        return int(self._rng.integers(low, high + 1))
+
+    def spawn(self, iteration: int) -> ProcessGroup:
+        """Create one fresh group, due to expire after its lifetime."""
+        index = int(self._rng.integers(0, len(self.profile)))
+        n_threads, share, key = self.profile[index]
+        gid = self._next_gid
+        self._next_gid += 1
+        lifetime = self._draw_lifetime()
+        self._expiry[gid] = -1 if lifetime < 0 else iteration + lifetime
+        return ProcessGroup(
+            gid=gid, n_threads=n_threads, share=share, anti_affinity=key
+        )
+
+    def initial_population(self, n_groups: int) -> List[ProcessGroup]:
+        return [self.spawn(iteration=0) for _ in range(n_groups)]
+
+    def step(
+        self, iteration: int, groups: Dict[int, ProcessGroup]
+    ) -> Tuple[List[int], List[ProcessGroup]]:
+        """Advance one replan iteration: expire due groups, spawn
+        replacements.
+
+        Returns ``(departed_gids, arrived_groups)``; the caller owns the
+        placement bookkeeping (freeing a departed group's slots, admitting
+        arrivals through the controller).
+        """
+        departed = sorted(
+            gid
+            for gid in groups
+            if 0 <= self._expiry.get(gid, -1) <= iteration
+        )
+        for gid in departed:
+            self._expiry.pop(gid, None)
+            self.groups_closed += 1
+        arrived = [self.spawn(iteration) for _ in departed]
+        return departed, arrived
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (see repro.fleet.run): the full mutable state,
+    # including the generator, round-trips through JSON.
+    def state_dict(self) -> dict:
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "next_gid": self._next_gid,
+            "expiry": {str(gid): exp for gid, exp in self._expiry.items()},
+            "groups_closed": self.groups_closed,
+        }
+
+    def load_state_dict(self, data: dict) -> None:
+        self._rng.bit_generator.state = data["rng_state"]
+        self._next_gid = int(data["next_gid"])
+        self._expiry = {
+            int(gid): int(exp) for gid, exp in data["expiry"].items()
+        }
+        self.groups_closed = int(data["groups_closed"])
+
+    def run_stats(self) -> Dict[str, float]:
+        return {"groups_closed": self.groups_closed}

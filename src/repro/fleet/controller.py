@@ -1,0 +1,383 @@
+"""The fleet controller: iterative sharing-aware placement planning.
+
+The node-level controller migrates threads so that each detected
+sharing cluster lands on one chip.  One level up, the
+:class:`FleetController` does the same for *process groups across
+nodes*, in the plan-simulate-replan shape DRS-style balancers use:
+
+1. **simulate** -- probe every node whose resident mix changed
+   (:mod:`repro.fleet.node`), collecting measured remote stalls and
+   measured per-group sharing intensity;
+2. **plan** -- greedy best-improvement search over group-fragment
+   moves against the placement cost model
+   (:func:`repro.fleet.model.fleet_cost`), subject to the hard
+   constraints: per-node load cap, anti-affinity rules, and the
+   per-round migration budget;
+3. **apply & replan** -- commit the plan, go to 1.  An empty plan is
+   convergence: no single in-budget move improves the modelled cost.
+
+The planner is deterministic (sorted iteration everywhere, no RNG) and
+pure: it never mutates the state it is given -- it returns a
+:class:`FleetPlan` the caller applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import (
+    FleetSpec,
+    FleetState,
+    ProcessGroup,
+    Violation,
+    fleet_cost,
+    split_factor,
+)
+
+#: improvements below this are noise, not signal: the planner stops
+#: rather than shuffling fragments for vanishing gains (DRS calls the
+#: analogous knob "migration threshold")
+MIN_GAIN = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetMigration:
+    """Move ``n_threads`` of group ``gid`` from node ``src`` to ``dst``."""
+
+    gid: int
+    src: int
+    dst: int
+    n_threads: int
+    #: modelled cost reduction this move was predicted to deliver
+    gain: float
+    #: True when the move repairs an anti-affinity violation (such
+    #: moves are planned first and accepted even at zero modelled gain)
+    fixes_violation: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "gid": self.gid,
+            "src": self.src,
+            "dst": self.dst,
+            "n_threads": self.n_threads,
+            "gain": self.gain,
+            "fixes_violation": self.fixes_violation,
+        }
+
+
+@dataclass
+class FleetPlan:
+    """One replan round's output: ordered migrations plus provenance."""
+
+    migrations: List[FleetMigration] = field(default_factory=list)
+    #: modelled cost before / after applying the plan
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+    #: True when the budget ran out while net-improving moves remained;
+    #: the next replan round picks up where this one stopped
+    budget_exhausted: bool = False
+    #: anti-affinity violations that could not be repaired (no feasible
+    #: destination under the load cap)
+    unresolved_violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.migrations
+
+    @property
+    def gain(self) -> float:
+        return self.cost_before - self.cost_after
+
+    def to_dict(self) -> dict:
+        return {
+            "migrations": [m.to_dict() for m in self.migrations],
+            "cost_before": self.cost_before,
+            "cost_after": self.cost_after,
+            "budget_exhausted": self.budget_exhausted,
+            "unresolved_violations": [
+                v.to_dict() for v in self.unresolved_violations
+            ],
+        }
+
+
+class FleetController:
+    """Plans sharing-aware placements under constraints."""
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        group: ProcessGroup,
+    ) -> List[int]:
+        """Place an arriving group, whole-node first.
+
+        Preference order: the least-loaded node that fits the whole
+        group without breaking the cap or an anti-affinity rule; then
+        least-loaded feasible nodes fragment by fragment (arrivals may
+        not fit whole -- the replan loop consolidates them later).
+        Returns the nodes used.  Raises :class:`FleetFullError` when
+        the fleet cannot hold the group at all.
+        """
+        used: List[int] = []
+        remaining = group.n_threads
+        whole = self._feasible_nodes(state, groups, group, remaining)
+        if whole:
+            state.place(group.gid, whole[0], remaining)
+            groups[group.gid] = group
+            return [whole[0]]
+        while remaining > 0:
+            candidates = self._feasible_nodes(state, groups, group, 1)
+            candidates = [n for n in candidates if n not in used]
+            if not candidates:
+                state.remove_group(group.gid)  # roll back partial placement
+                raise FleetFullError(
+                    f"group {group.gid} ({group.n_threads} threads) does "
+                    f"not fit: fleet at capacity or anti-affinity blocked"
+                )
+            node = candidates[0]
+            room = self.spec.load_cap - state.node_load(node)
+            placed = min(room, remaining)
+            state.place(group.gid, node, placed)
+            used.append(node)
+            remaining -= placed
+        groups[group.gid] = group
+        return used
+
+    def _feasible_nodes(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        group: ProcessGroup,
+        n_threads: int,
+    ) -> List[int]:
+        """Nodes that can take ``n_threads`` of ``group``, least-loaded
+        first (ties broken by node index for determinism)."""
+        out = []
+        for node in range(state.n_nodes):
+            if state.node_load(node) + n_threads > self.spec.load_cap:
+                continue
+            if self._would_violate(state, groups, group, node):
+                continue
+            out.append(node)
+        return sorted(out, key=lambda n: (state.node_load(n), n))
+
+    def _would_violate(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        group: ProcessGroup,
+        node: int,
+    ) -> bool:
+        if group.anti_affinity is None:
+            return False
+        for gid in state.groups_on(node):
+            if gid == group.gid:
+                continue
+            other = groups.get(gid)
+            if other is not None and other.anti_affinity == group.anti_affinity:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        shares: Optional[Dict[int, float]] = None,
+    ) -> FleetPlan:
+        """One replan round: repair violations, then consolidate splits.
+
+        Greedy best-improvement: at each step, evaluate every candidate
+        fragment move (smallest fragment of each split group toward the
+        nodes holding its other fragments, plus violation repairs),
+        apply the best one, repeat until the migration budget is spent
+        or no move clears :data:`MIN_GAIN`.
+        """
+        work = state.copy()
+        plan = FleetPlan(
+            cost_before=fleet_cost(work, groups, self.spec, shares)
+        )
+        budget = self.spec.migration_budget
+
+        # Phase 1: anti-affinity repairs -- correctness before cost.
+        for violation in work.violations(groups):
+            # Keep the largest offender on the node, evict the rest.
+            offenders = sorted(
+                violation.gids,
+                key=lambda gid: (work.fragments(gid).get(violation.node, 0), -gid),
+            )[:-1]
+            for gid in offenders:
+                if budget <= 0:
+                    plan.budget_exhausted = True
+                    break
+                move = self._eviction_move(work, groups, gid, violation.node, shares)
+                if move is None:
+                    continue
+                work.move(move.gid, move.src, move.dst, move.n_threads)
+                plan.migrations.append(move)
+                budget -= 1
+            if plan.budget_exhausted:
+                break
+        plan.unresolved_violations = work.violations(groups)
+
+        # Phase 2: greedy consolidation of split groups.
+        while budget > 0:
+            move = self._best_move(work, groups, shares)
+            if move is None:
+                break
+            work.move(move.gid, move.src, move.dst, move.n_threads)
+            plan.migrations.append(move)
+            budget -= 1
+        if budget == 0 and self._best_move(work, groups, shares) is not None:
+            plan.budget_exhausted = True
+
+        plan.cost_after = fleet_cost(work, groups, self.spec, shares)
+        return plan
+
+    def _eviction_move(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        gid: int,
+        node: int,
+        shares: Optional[Dict[int, float]],
+    ) -> Optional[FleetMigration]:
+        """Best feasible destination for the whole fragment of ``gid``
+        on ``node`` (violation repair); None when nowhere fits."""
+        group = groups[gid]
+        count = state.fragments(gid).get(node, 0)
+        if count <= 0:
+            return None
+        loads = state.loads()
+        best: Optional[Tuple[float, int]] = None
+        for dst in self._feasible_nodes(state, groups, group, count):
+            if dst == node:
+                continue
+            gain = self._move_gain(
+                state, groups, gid, node, dst, count, shares, loads
+            )
+            if best is None or gain > best[0]:
+                best = (gain, dst)
+        if best is None:
+            return None
+        return FleetMigration(
+            gid=gid,
+            src=node,
+            dst=best[1],
+            n_threads=count,
+            gain=best[0],
+            fixes_violation=True,
+        )
+
+    def _best_move(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        shares: Optional[Dict[int, float]],
+    ) -> Optional[FleetMigration]:
+        """The single fragment move with the highest modelled gain.
+
+        Candidates: for every split group, move each fragment onto any
+        node already holding another fragment of the same group
+        (consolidation never considers fresh nodes: moving *toward* the
+        group is the only way split cost falls).
+        """
+        best: Optional[FleetMigration] = None
+        loads = state.loads()
+        for gid in sorted(state.placement):
+            group = groups.get(gid)
+            if group is None:
+                continue
+            frags = state.fragments(gid)
+            if len(frags) < 2:
+                continue
+            for src in sorted(frags):
+                count = frags[src]
+                for dst in sorted(frags):
+                    if dst == src:
+                        continue
+                    if loads[dst] + count > self.spec.load_cap:
+                        continue
+                    if self._would_violate_move(state, groups, group, src, dst):
+                        continue
+                    gain = self._move_gain(
+                        state, groups, gid, src, dst, count, shares, loads
+                    )
+                    if gain <= MIN_GAIN:
+                        continue
+                    if best is None or gain > best.gain or (
+                        gain == best.gain
+                        and (gid, src, dst) < (best.gid, best.src, best.dst)
+                    ):
+                        best = FleetMigration(
+                            gid=gid,
+                            src=src,
+                            dst=dst,
+                            n_threads=count,
+                            gain=gain,
+                        )
+        return best
+
+    def _would_violate_move(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        group: ProcessGroup,
+        src: int,
+        dst: int,
+    ) -> bool:
+        # Destination already holds a fragment of this group, so only
+        # *other* groups with the same key matter.
+        return self._would_violate(state, groups, group, dst)
+
+    def _move_gain(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        gid: int,
+        src: int,
+        dst: int,
+        count: int,
+        shares: Optional[Dict[int, float]],
+        loads: List[int],
+    ) -> float:
+        """Exact :func:`fleet_cost` delta of one move, computed
+        incrementally: only the moved group's split term and the two
+        touched nodes' imbalance terms change (the load mean does not).
+        O(|group fragments|), where the naive diff is O(fleet)."""
+        group = groups[gid]
+        share = (shares or {}).get(gid, group.share)
+        frags = state.fragments(gid)
+        total = sum(frags.values())
+        after = dict(frags)
+        after[src] -= count
+        if after[src] == 0:
+            del after[src]
+        after[dst] = after.get(dst, 0) + count
+        split_gain = (
+            self.spec.cross_node_penalty
+            * share
+            * total
+            * (split_factor(frags) - split_factor(after))
+        )
+        n = state.n_nodes
+        mean = sum(loads) / n
+        before_imb = (loads[src] - mean) ** 2 + (loads[dst] - mean) ** 2
+        after_imb = (loads[src] - count - mean) ** 2 + (
+            loads[dst] + count - mean
+        ) ** 2
+        imb_gain = self.spec.imbalance_weight * (before_imb - after_imb) / n
+        return split_gain + imb_gain
+
+
+class FleetFullError(RuntimeError):
+    """An arriving group could not be admitted anywhere."""

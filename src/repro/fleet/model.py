@@ -1,0 +1,380 @@
+"""Fleet-level data model: nodes, process groups, placements.
+
+The paper's controller places *threads on chips* so that sharing is
+served by on-chip caches.  One topology level up, the same argument
+applies to *process groups on nodes*: a group of processes that share
+data (a scoreboard, a session table, a partition of a key space) pays
+a remote-access penalty for every fragment that lands on a different
+node, because shared hits become cross-node misses (Yavits et al.).
+This module defines the fleet-level vocabulary:
+
+* :class:`FleetSpec` -- how many nodes, what machine each node is, and
+  the placement constraints (per-node load cap, per-round migration
+  budget, the cross-node penalty weight);
+* :class:`ProcessGroup` -- one sharing group of processes, with a
+  declared sharing intensity and an optional anti-affinity key;
+* :class:`FleetState` -- where every group's threads currently are
+  (groups may be *split* across nodes -- that is exactly the condition
+  the controller exists to repair);
+* the placement cost model (:func:`split_factor`, :func:`fleet_cost`)
+  that the :class:`~repro.fleet.controller.FleetController` plans
+  against.
+
+Everything here is pure data + arithmetic: deterministic, picklable,
+JSON-serialisable.  Simulation happens in :mod:`repro.fleet.node`;
+planning in :mod:`repro.fleet.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Static description of the fleet and its placement constraints."""
+
+    #: number of nodes; each node is one simulated machine
+    n_nodes: int = 10
+    #: per-node machine shape (chips x cores x SMT).  Wider than the
+    #: paper's 2x2x2 eval box: a node must be able to host a whole
+    #: sharing group (up to ~12 processes) without drowning in
+    #: within-node contention, or consolidating would never pay.
+    node_chips: int = 2
+    node_cores_per_chip: int = 4
+    node_smt: int = 2
+    cache_scale: int = 16
+    #: hard cap on threads per node; placements beyond it are rejected.
+    #: Kept at the node's hardware context count: overcommitting a node
+    #: with sharing-heavy groups trades cross-node stalls for run-queue
+    #: and cross-chip contention, which defeats the comparison.
+    load_cap: int = 16
+    #: fleet migrations (group-fragment moves) allowed per replan round
+    migration_budget: int = 16
+    #: weight of the modelled cross-node sharing penalty in the cost
+    #: function (dimensionless; only the ordering of plans matters)
+    cross_node_penalty: float = 1.0
+    #: modelled network-stall cycles charged per cycle of split sharing
+    #: activity (share x split_factor x thread cycles) in the fleet-wide
+    #: stall metric.  Calibrated well above 1.0 because an inter-node
+    #: fabric access costs roughly an order of magnitude more than the
+    #: on-board cross-chip hop the engine measures -- splitting a
+    #: sharing group must read as *worse* than packing it onto one
+    #: (contended) node, or the metric would reward scattering.
+    remote_stall_penalty: float = 4.0
+    #: weight of the soft load-imbalance term in the cost function
+    imbalance_weight: float = 0.02
+    #: engine rounds per node simulation (small: a node sim is a probe,
+    #: not a paper artefact run)
+    node_rounds: int = 36
+    #: memory references per quantum in node simulations
+    node_quantum_references: int = 80
+    #: master seed; node sims, churn and random baselines derive from it
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.load_cap < 1:
+            raise ValueError("load_cap must be >= 1")
+        if self.migration_budget < 1:
+            raise ValueError("migration_budget must be >= 1")
+        if self.node_rounds < 1 or self.node_quantum_references < 1:
+            raise ValueError("node_rounds/node_quantum_references must be >= 1")
+        if self.remote_stall_penalty < 0.0:
+            raise ValueError("remote_stall_penalty must be >= 0")
+
+    @property
+    def node_cpus(self) -> int:
+        return self.node_chips * self.node_cores_per_chip * self.node_smt
+
+    @property
+    def capacity(self) -> int:
+        return self.n_nodes * self.load_cap
+
+    def to_dict(self) -> dict:
+        return {
+            "n_nodes": self.n_nodes,
+            "node_chips": self.node_chips,
+            "node_cores_per_chip": self.node_cores_per_chip,
+            "node_smt": self.node_smt,
+            "cache_scale": self.cache_scale,
+            "load_cap": self.load_cap,
+            "migration_budget": self.migration_budget,
+            "cross_node_penalty": self.cross_node_penalty,
+            "remote_stall_penalty": self.remote_stall_penalty,
+            "imbalance_weight": self.imbalance_weight,
+            "node_rounds": self.node_rounds,
+            "node_quantum_references": self.node_quantum_references,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ProcessGroup:
+    """One sharing group of processes (the fleet-level 'thread cluster').
+
+    ``share`` is the group's declared sharing intensity -- the fraction
+    of each member's references that hit the group-shared region, the
+    same quantity the scoreboard microbenchmark calls
+    ``scoreboard_share``.  Node simulations *measure* the realised
+    sharing (shMap sample mass per group) and the controller prefers the
+    measurement when one is available.
+
+    ``anti_affinity`` is an optional rule key: two groups carrying the
+    same key must not be co-resident on one node (think replicas of the
+    same service, which must not fate-share a machine).
+    """
+
+    gid: int
+    n_threads: int
+    share: float = 0.18
+    anti_affinity: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if not 0.0 < self.share < 1.0:
+            raise ValueError("share must be in (0, 1)")
+
+    def to_dict(self) -> dict:
+        return {
+            "gid": self.gid,
+            "n_threads": self.n_threads,
+            "share": self.share,
+            "anti_affinity": self.anti_affinity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcessGroup":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One anti-affinity rule broken on one node."""
+
+    node: int
+    key: str
+    gids: Tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {"node": self.node, "key": self.key, "gids": list(self.gids)}
+
+
+class FleetState:
+    """Where every group's threads are: ``gid -> {node -> thread count}``.
+
+    A group whose threads sit on more than one node is *split*; the
+    cost model charges it for the sharing traffic that must now cross
+    node boundaries.  The state is a plain mutable mapping with
+    invariant-preserving mutators -- the controller plans against
+    copies and commits winning plans through :meth:`apply`.
+    """
+
+    def __init__(
+        self, n_nodes: int, placement: Optional[Dict[int, Dict[int, int]]] = None
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.n_nodes = n_nodes
+        self.placement: Dict[int, Dict[int, int]] = {}
+        for gid, frags in (placement or {}).items():
+            self.placement[int(gid)] = {
+                int(node): int(count)
+                for node, count in frags.items()
+                if count > 0
+            }
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for gid, frags in self.placement.items():
+            for node, count in frags.items():
+                if not 0 <= node < self.n_nodes:
+                    raise ValueError(
+                        f"group {gid}: node {node} outside fleet of "
+                        f"{self.n_nodes}"
+                    )
+                if count < 1:
+                    raise ValueError(f"group {gid}: non-positive fragment")
+
+    def copy(self) -> "FleetState":
+        return FleetState(
+            self.n_nodes,
+            {gid: dict(frags) for gid, frags in self.placement.items()},
+        )
+
+    # ------------------------------------------------------------------
+    def node_load(self, node: int) -> int:
+        """Threads currently resident on ``node``."""
+        return sum(
+            frags.get(node, 0) for frags in self.placement.values()
+        )
+
+    def loads(self) -> List[int]:
+        loads = [0] * self.n_nodes
+        for frags in self.placement.values():
+            for node, count in frags.items():
+                loads[node] += count
+        return loads
+
+    def groups_on(self, node: int) -> List[int]:
+        return sorted(
+            gid for gid, frags in self.placement.items() if node in frags
+        )
+
+    def fragments(self, gid: int) -> Dict[int, int]:
+        return dict(self.placement.get(gid, {}))
+
+    def total_threads(self) -> int:
+        return sum(
+            sum(frags.values()) for frags in self.placement.values()
+        )
+
+    # ------------------------------------------------------------------
+    def place(self, gid: int, node: int, n_threads: int) -> None:
+        """Add ``n_threads`` of group ``gid`` to ``node`` (no cap check:
+        admission control is the controller's job, see
+        :meth:`~repro.fleet.controller.FleetController.admit`)."""
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside fleet of {self.n_nodes}")
+        frags = self.placement.setdefault(gid, {})
+        frags[node] = frags.get(node, 0) + n_threads
+
+    def remove_group(self, gid: int) -> None:
+        self.placement.pop(gid, None)
+
+    def move(self, gid: int, src: int, dst: int, n_threads: int) -> None:
+        """Move ``n_threads`` of ``gid`` from ``src`` to ``dst``."""
+        frags = self.placement.get(gid, {})
+        have = frags.get(src, 0)
+        if n_threads < 1 or have < n_threads:
+            raise ValueError(
+                f"group {gid}: cannot move {n_threads} thread(s) from "
+                f"node {src} (has {have})"
+            )
+        if src == dst:
+            raise ValueError("move source and destination are the same node")
+        frags[src] = have - n_threads
+        if frags[src] == 0:
+            del frags[src]
+        frags[dst] = frags.get(dst, 0) + n_threads
+
+    # ------------------------------------------------------------------
+    def violations(self, groups: Dict[int, ProcessGroup]) -> List[Violation]:
+        """Every anti-affinity rule currently broken.
+
+        Two or more groups with the same ``anti_affinity`` key resident
+        on one node is one violation (per node, per key).
+        """
+        per_node: Dict[int, Dict[str, List[int]]] = {}
+        for gid, frags in sorted(self.placement.items()):
+            group = groups.get(gid)
+            if group is None or group.anti_affinity is None:
+                continue
+            for node in frags:
+                per_node.setdefault(node, {}).setdefault(
+                    group.anti_affinity, []
+                ).append(gid)
+        out: List[Violation] = []
+        for node in sorted(per_node):
+            for key in sorted(per_node[node]):
+                gids = per_node[node][key]
+                if len(gids) > 1:
+                    out.append(Violation(node, key, tuple(sorted(gids))))
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical (sorted, string-keyed) form for JSON and digests."""
+        return {
+            "n_nodes": self.n_nodes,
+            "placement": {
+                str(gid): {
+                    str(node): count
+                    for node, count in sorted(frags.items())
+                }
+                for gid, frags in sorted(self.placement.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetState":
+        return cls(data["n_nodes"], data["placement"])
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+def split_factor(fragments: Dict[int, int]) -> float:
+    """How badly a group is split across nodes, in [0, 1).
+
+    The complement of the Herfindahl concentration of its fragments:
+    0.0 when all threads share one node, approaching 1 as the group
+    scatters.  For a group split evenly over k nodes this is 1 - 1/k --
+    the probability that a randomly chosen sharing partner is remote,
+    which is exactly the quantity that scales cross-node sharing misses
+    (the fleet-level twin of the paper's Section 7.4 argument that gains
+    grow with chip count).
+    """
+    total = sum(fragments.values())
+    if total <= 0:
+        return 0.0
+    return 1.0 - sum((c / total) ** 2 for c in fragments.values())
+
+
+def cross_node_cost(
+    state: FleetState,
+    groups: Dict[int, ProcessGroup],
+    shares: Optional[Dict[int, float]] = None,
+) -> float:
+    """Modelled cross-node sharing penalty of a placement.
+
+    Each group pays ``share x n_threads x split_factor`` (weighted by
+    the spec-independent constant 1.0 here; the caller applies
+    ``FleetSpec.cross_node_penalty``): sharing intensity times the
+    members affected times the probability a sharing partner is remote.
+    ``shares`` overrides the declared intensities with measured ones
+    (shMap sample mass from the node simulations) where available.
+    """
+    cost = 0.0
+    for gid, frags in state.placement.items():
+        group = groups.get(gid)
+        if group is None:
+            continue
+        share = (shares or {}).get(gid, group.share)
+        cost += share * sum(frags.values()) * split_factor(frags)
+    return cost
+
+
+def imbalance_cost(state: FleetState) -> float:
+    """Mean squared deviation of node loads from the fleet mean."""
+    loads = state.loads()
+    mean = sum(loads) / len(loads)
+    return sum((load - mean) ** 2 for load in loads) / len(loads)
+
+
+def fleet_cost(
+    state: FleetState,
+    groups: Dict[int, ProcessGroup],
+    spec: FleetSpec,
+    shares: Optional[Dict[int, float]] = None,
+) -> float:
+    """The objective the fleet controller minimises.
+
+    Cross-node sharing penalty plus a soft load-imbalance term.  Hard
+    constraints (load cap, anti-affinity) are not folded in as weights;
+    the planner rejects moves that break them outright.
+    """
+    return (
+        spec.cross_node_penalty * cross_node_cost(state, groups, shares)
+        + spec.imbalance_weight * imbalance_cost(state)
+    )

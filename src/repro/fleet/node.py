@@ -1,0 +1,310 @@
+"""One fleet node = one simulated machine running its resident fragments.
+
+A node simulation is a *probe*, not a paper artefact run: it is small
+(tens of rounds, a reduced quantum), runs the existing engine with the
+columnar pipeline on, and exists to measure two things the fleet
+controller cannot know a priori --
+
+* the node's realised remote-stall fraction under its current resident
+  mix (within-node cross-chip traffic), and
+* the *measured* sharing intensity of each resident group fragment
+  (shMap sample mass per group, via
+  :func:`repro.clustering.summary.group_sample_shares`), which the
+  controller prefers over declared intensities when planning.
+
+Node simulations are ordinary :class:`~repro.experiments.parallel.
+SimTask`s labelled ``iter<k>/node<n>``, so a fleet iteration shards
+across the resilient parallel runner exactly like any sweep: worker
+processes, manifests, checkpoints, retries, spooled live telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clustering.controller import ControllerConfig
+from ..clustering.summary import group_sample_shares
+from ..experiments.parallel import SimTask
+from ..sched.placement import PlacementPolicy
+from ..sched.thread import SimThread
+from ..sim.config import SimConfig
+from ..sim.results import SimResult
+from ..topology.presets import custom_machine
+from ..workloads.base import TrafficStream, WorkloadModel, resolve_sizing
+from .model import FleetSpec, FleetState, ProcessGroup
+
+#: fragment tuple: (gid, n_threads, share) -- primitives only, so the
+#: workload factory (a partial over this module-level class) pickles
+#: across sweep worker processes
+Fragment = Tuple[int, int, float]
+
+
+class FleetNodeWorkload(WorkloadModel):
+    """The resident mix of one node: one sharing region per group
+    fragment, scoreboard-microbenchmark traffic shape per thread.
+
+    ``fragments`` is a tuple of ``(gid, n_threads, share)``; the i-th
+    fragment's threads get ``sharing_group=i`` (the *local* group
+    index), so a finished run's per-group sample shares map back to
+    gids positionally.
+    """
+
+    name = "fleet-node"
+
+    def __init__(self, fragments: Sequence[Fragment]) -> None:
+        if not fragments:
+            raise ValueError("a node workload needs at least one fragment")
+        self.fragments = tuple(
+            (int(gid), int(n), float(share)) for gid, n, share in fragments
+        )
+        for gid, n, share in self.fragments:
+            if n < 1:
+                raise ValueError(f"fragment of group {gid}: no threads")
+            if not 0.0 < share < 1.0:
+                raise ValueError(
+                    f"fragment of group {gid}: share {share} outside (0, 1)"
+                )
+        self.sizing = resolve_sizing(None)
+        super().__init__()
+
+    def _build(self) -> None:
+        self._regions = [
+            self._cluster_region(
+                f"group{gid}", group=index, size=self.sizing.shared_bytes
+            )
+            for index, (gid, _, _) in enumerate(self.fragments)
+        ]
+        self._shares = [share for _, _, share in self.fragments]
+        self._private = {}
+        self._stacks = {}
+        tid = 0
+        for index, (gid, n_threads, _) in enumerate(self.fragments):
+            for member in range(n_threads):
+                thread = self._new_thread(
+                    tid, f"g{gid}.{member}", group=index
+                )
+                self._private[thread.tid] = self._private_region(
+                    tid, self.sizing.private_bytes
+                )
+                self._stacks[thread.tid] = self._stack_region(tid)
+                tid += 1
+
+    def streams_for(self, thread: SimThread) -> List[TrafficStream]:
+        index = thread.sharing_group
+        share = self._shares[index]
+        stack_share = 0.45
+        private_share = 1.0 - share - stack_share
+        if private_share < 0.05:  # very sharing-heavy groups
+            private_share = 0.05
+            stack_share = 1.0 - share - private_share
+        return [
+            TrafficStream(
+                region=self._stacks[thread.tid],
+                weight=stack_share,
+                write_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._private[thread.tid],
+                weight=private_share,
+                write_fraction=0.3,
+                hot_fraction=0.4,
+            ),
+            TrafficStream(
+                region=self._regions[index],
+                weight=share,
+                write_fraction=0.5,
+                hot_fraction=0.12,
+            ),
+        ]
+
+
+# ----------------------------------------------------------------------
+def node_fragments(
+    state: FleetState, groups: Dict[int, ProcessGroup], node: int
+) -> Tuple[Fragment, ...]:
+    """The (gid, n_threads, share) mix resident on ``node``, gid-sorted."""
+    out: List[Fragment] = []
+    for gid in state.groups_on(node):
+        count = state.fragments(gid).get(node, 0)
+        group = groups.get(gid)
+        if count > 0 and group is not None:
+            out.append((gid, count, group.share))
+    return tuple(out)
+
+
+def node_seed(spec: FleetSpec, iteration: int, node: int) -> int:
+    """Deterministic per-(iteration, node) seed derived from the master."""
+    return (
+        spec.seed * 1_000_003 + iteration * 8_191 + node * 131
+    ) % (2**31 - 1)
+
+
+def _node_controller_config() -> ControllerConfig:
+    """Controller pacing scaled to probe-sized runs.
+
+    The evaluation defaults (150k-cycle monitor window, 4k samples)
+    assume 450-round runs; a node probe has a few dozen rounds, so every
+    period shrinks proportionally -- otherwise the controller never
+    leaves MONITOR and the node reports no measured sharing.
+    """
+    return ControllerConfig(
+        activation_threshold=0.02,
+        monitor_window_cycles=25_000,
+        samples_needed=400,
+        detection_timeout_cycles=120_000,
+        min_samples_on_timeout=40,
+        migration_cooldown_cycles=120_000,
+    )
+
+
+def node_config(spec: FleetSpec, iteration: int, node: int) -> SimConfig:
+    """The SimConfig for one node probe at one fleet iteration."""
+    return SimConfig(
+        machine_spec=custom_machine(
+            spec.node_chips,
+            spec.node_cores_per_chip,
+            spec.node_smt,
+            cache_scale=spec.cache_scale,
+        ),
+        cache_scale=spec.cache_scale,
+        policy=PlacementPolicy.CLUSTERED,
+        quantum_references=spec.node_quantum_references,
+        n_rounds=spec.node_rounds,
+        measurement_start_fraction=0.3,
+        controller_config=_node_controller_config(),
+        seed=node_seed(spec, iteration, node),
+    )
+
+
+def node_tasks(
+    spec: FleetSpec,
+    state: FleetState,
+    groups: Dict[int, ProcessGroup],
+    iteration: int,
+    nodes: Sequence[int],
+) -> List[SimTask]:
+    """SimTasks for the given nodes (empty nodes are skipped: an idle
+    machine contributes no cycles and needs no probe)."""
+    tasks = []
+    for node in nodes:
+        fragments = node_fragments(state, groups, node)
+        if not fragments:
+            continue
+        tasks.append(
+            SimTask(
+                label=f"iter{iteration}/node{node}",
+                workload_factory=partial(
+                    FleetNodeWorkload, fragments=fragments
+                ),
+                config=node_config(spec, iteration, node),
+            )
+        )
+    return tasks
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class NodeReport:
+    """What one node probe tells the fleet controller.
+
+    Plain scalars + small dicts so reports round-trip through the fleet
+    checkpoint JSON byte-identically.
+    """
+
+    node: int
+    iteration: int
+    load: int
+    remote_stall_cycles: float
+    window_cycles: float
+    remote_stall_fraction: float
+    ipc: float
+    clustering_rounds: int
+    #: gid -> measured sharing intensity (shMap sample mass fraction,
+    #: rescaled by the node's mean declared share so intensities stay
+    #: comparable with declared ones); empty when the probe saw no
+    #: clustering round
+    measured_shares: Dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "iteration": self.iteration,
+            "load": self.load,
+            "remote_stall_cycles": self.remote_stall_cycles,
+            "window_cycles": self.window_cycles,
+            "remote_stall_fraction": self.remote_stall_fraction,
+            "ipc": self.ipc,
+            "clustering_rounds": self.clustering_rounds,
+            "measured_shares": {
+                str(gid): share
+                for gid, share in sorted(self.measured_shares.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeReport":
+        data = dict(data)
+        data["measured_shares"] = {
+            int(gid): share
+            for gid, share in data.get("measured_shares", {}).items()
+        }
+        return cls(**data)
+
+
+def empty_node_report(node: int, iteration: int) -> NodeReport:
+    return NodeReport(
+        node=node,
+        iteration=iteration,
+        load=0,
+        remote_stall_cycles=0.0,
+        window_cycles=0.0,
+        remote_stall_fraction=0.0,
+        ipc=0.0,
+        clustering_rounds=0,
+    )
+
+
+def summarize_node(
+    node: int,
+    iteration: int,
+    fragments: Sequence[Fragment],
+    result: SimResult,
+) -> NodeReport:
+    """Digest one finished probe into a :class:`NodeReport`.
+
+    Measured shares: the probe's per-local-group shMap sample-mass
+    fractions, rescaled so their mean matches the mean *declared* share
+    of the resident fragments -- the measurement refines the relative
+    intensities without changing the overall scale the cost model was
+    calibrated against.
+    """
+    measured: Dict[int, float] = {}
+    sample_shares = group_sample_shares(result)
+    if sample_shares:
+        declared_mean = sum(share for _, _, share in fragments) / len(
+            fragments
+        )
+        observed_mean = sum(sample_shares.values()) / len(fragments)
+        if observed_mean > 0:
+            for index, (gid, _, _) in enumerate(fragments):
+                observed = sample_shares.get(index)
+                if observed is not None:
+                    measured[gid] = min(
+                        0.95, observed * declared_mean / observed_mean
+                    )
+    return NodeReport(
+        node=node,
+        iteration=iteration,
+        load=sum(n for _, n, _ in fragments),
+        remote_stall_cycles=float(result.remote_stall_cycles),
+        # Aggregate cycles across the node's CPUs -- the same units as
+        # remote_stall_cycles, so fleet-level sums stay true fractions
+        # (window_elapsed_cycles is wall-clock and would mix units).
+        window_cycles=float(result.window_breakdown.total_cycles),
+        remote_stall_fraction=float(result.remote_stall_fraction),
+        ipc=float(result.throughput),
+        clustering_rounds=result.n_clustering_rounds,
+        measured_shares=measured,
+    )

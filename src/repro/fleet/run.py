@@ -1,0 +1,675 @@
+"""Fleet run orchestration: the plan-simulate-replan loop, durable.
+
+One :func:`run_fleet` call drives the whole fleet lifecycle:
+
+* build the initial population (via :class:`~repro.fleet.churn.
+  GroupChurnModel`) and the initial placement (``random``,
+  ``load-only`` or ``sharing``);
+* each iteration, probe every *dirty* node -- a node whose resident mix
+  changed -- through the resilient parallel runner (so a 100-node
+  iteration fans across workers, checkpoints into a manifest, retries
+  and resumes like any sweep), fold the probes into the fleet-wide
+  remote-stall metric, let the :class:`~repro.fleet.controller.
+  FleetController` plan, apply the plan, churn, repeat;
+* an empty plan is convergence;
+* after every iteration the complete mutable state (placement, live
+  groups, churn RNG, cached node reports, history) is checkpointed
+  atomically, so an interrupted fleet run resumes to a byte-identical
+  result (the ``fleet-replan-vs-fresh`` verification path holds this
+  to the same standard as the sweep runner's resume).
+
+Observability: iterations emit ``fleet.plan`` / ``fleet.migration`` /
+``fleet.converged`` events through the ambient recorder (``cycle``
+carries the iteration index -- fleet time is replan rounds, not engine
+cycles) and publish ``fleet_*`` gauges/counters into the ambient
+metrics registry.  Node probes themselves spool telemetry like any
+sweep task, so ``repro top`` works on a running fleet iteration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace as dc_replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.parallel import run_labelled
+from ..experiments.resilience import ExecutionPolicy
+from ..obs import session as obs_session
+from ..obs.recorder import (
+    KIND_FLEET_CONVERGED,
+    KIND_FLEET_MIGRATION,
+    KIND_FLEET_PLAN,
+)
+from .churn import DEFAULT_GROUP_PROFILE, GroupChurnModel
+from .controller import FleetController, FleetFullError, FleetPlan
+from .model import (
+    FleetSpec,
+    FleetState,
+    ProcessGroup,
+    fleet_cost,
+    split_factor,
+)
+from .node import (
+    NodeReport,
+    node_fragments,
+    node_tasks,
+    summarize_node,
+)
+
+CHECKPOINT_VERSION = 1
+
+#: placement strategies: the two baselines and the controller-driven one
+STRATEGIES = ("random", "load-only", "sharing")
+
+
+class FleetCheckpointError(RuntimeError):
+    """A fleet checkpoint is missing, corrupt, or from a different run."""
+
+
+# ----------------------------------------------------------------------
+# Initial placements
+# ----------------------------------------------------------------------
+def random_placement(
+    spec: FleetSpec, groups: Dict[int, ProcessGroup], seed: int
+) -> FleetState:
+    """Thread-by-thread uniform placement over nodes with room.
+
+    Respects the load cap (no real admission controller overcommits)
+    but is blind to sharing and anti-affinity -- the baseline the paper
+    would call 'default Linux', one level up.
+    """
+    rng = np.random.default_rng(seed)
+    state = FleetState(spec.n_nodes)
+    loads = [0] * spec.n_nodes
+    for gid in sorted(groups):
+        for _ in range(groups[gid].n_threads):
+            open_nodes = [
+                n for n in range(spec.n_nodes) if loads[n] < spec.load_cap
+            ]
+            if not open_nodes:
+                raise FleetFullError("fleet at capacity during placement")
+            node = open_nodes[int(rng.integers(0, len(open_nodes)))]
+            state.place(gid, node, 1)
+            loads[node] += 1
+    return state
+
+
+def load_only_placement(
+    spec: FleetSpec, groups: Dict[int, ProcessGroup]
+) -> FleetState:
+    """Thread-by-thread least-loaded placement, blind to sharing.
+
+    The classic load balancer: perfectly even loads, maximally split
+    sharing groups -- the fleet-level twin of the paper's observation
+    that sharing-oblivious balancing scatters each cluster over chips.
+    """
+    state = FleetState(spec.n_nodes)
+    loads = [0] * spec.n_nodes
+    for gid in sorted(groups):
+        for _ in range(groups[gid].n_threads):
+            node = min(range(spec.n_nodes), key=lambda n: (loads[n], n))
+            if loads[node] >= spec.load_cap:
+                raise FleetFullError("fleet at capacity during placement")
+            state.place(gid, node, 1)
+            loads[node] += 1
+    return state
+
+
+def sharing_placement(
+    spec: FleetSpec, groups: Dict[int, ProcessGroup]
+) -> FleetState:
+    """Whole-group admission through the controller (greedy bin-pack)."""
+    controller = FleetController(spec)
+    state = FleetState(spec.n_nodes)
+    registry: Dict[int, ProcessGroup] = {}
+    for gid in sorted(groups):
+        controller.admit(state, registry, groups[gid])
+    return state
+
+
+def initial_placement(
+    spec: FleetSpec,
+    groups: Dict[int, ProcessGroup],
+    strategy: str,
+) -> FleetState:
+    """The starting placement of a strategy.
+
+    Note that ``sharing`` starts from the *same* random placement as
+    the ``random`` baseline (same derived seed): the controller's value
+    is measured by how far its replan loop migrates an inherited,
+    sharing-oblivious fleet -- exactly the paper's setup, where the
+    clustering scheduler repairs the default scheduler's placement
+    rather than being handed a clean slate.  (Whole-group admission --
+    :func:`sharing_placement` -- still handles churn *arrivals*.)
+    """
+    if strategy in ("random", "sharing"):
+        return random_placement(spec, groups, seed=spec.seed + 2)
+    if strategy == "load-only":
+        return load_only_placement(spec, groups)
+    raise ValueError(
+        f"unknown placement strategy {strategy!r}; expected one of "
+        f"{STRATEGIES}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide metrics
+# ----------------------------------------------------------------------
+def merged_shares(reports: Dict[int, NodeReport]) -> Dict[int, float]:
+    """Fold per-node measured sharing intensities into one per-gid map
+    (mean across the nodes that measured the group)."""
+    acc: Dict[int, List[float]] = {}
+    for node in sorted(reports):
+        for gid, share in sorted(reports[node].measured_shares.items()):
+            acc.setdefault(gid, []).append(share)
+    return {
+        gid: sum(values) / len(values) for gid, values in sorted(acc.items())
+    }
+
+
+def fleet_stall_metrics(
+    spec: FleetSpec,
+    state: FleetState,
+    groups: Dict[int, ProcessGroup],
+    shares: Dict[int, float],
+    reports: Dict[int, NodeReport],
+) -> Dict[str, float]:
+    """The fleet-wide remote-stall accounting for one iteration.
+
+    Within-node remote stalls are *measured* (cross-chip traffic inside
+    each node probe).  Cross-node stalls are *modelled*: the engine does
+    not simulate inter-node coherence, so each split group is charged
+    ``share x split_factor x remote_stall_penalty`` of its threads'
+    cycles -- the sharing references that would have hit a co-resident
+    cache but must now cross the network fabric (see docs/fleet.md for
+    the model's derivation and its limits).
+    """
+    measured_stall = sum(
+        reports[node].remote_stall_cycles for node in sorted(reports)
+    )
+    measured_cycles = sum(
+        reports[node].window_cycles for node in sorted(reports)
+    )
+    total_threads = state.total_threads()
+    per_thread = measured_cycles / total_threads if total_threads else 0.0
+    cross = 0.0
+    for gid, frags in sorted(state.placement.items()):
+        group = groups.get(gid)
+        if group is None:
+            continue
+        share = shares.get(gid, group.share)
+        cross += (
+            share
+            * sum(frags.values())
+            * split_factor(frags)
+            * spec.remote_stall_penalty
+            * per_thread
+        )
+    denominator = measured_cycles + cross
+    return {
+        "measured_remote_stall_cycles": measured_stall,
+        "window_cycles": measured_cycles,
+        "cross_node_stall_cycles": cross,
+        "measured_remote_stall_fraction": (
+            measured_stall / measured_cycles if measured_cycles else 0.0
+        ),
+        "fleet_remote_stall_fraction": (
+            (measured_stall + cross) / denominator if denominator else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Run result
+# ----------------------------------------------------------------------
+@dataclass
+class FleetRunResult:
+    """Everything a fleet experiment needs from one strategy's run."""
+
+    strategy: str
+    spec: FleetSpec
+    replan: bool
+    iterations: List[Dict] = field(default_factory=list)
+    converged: bool = False
+    #: replan rounds that produced migrations before the empty plan
+    iterations_to_converge: Optional[int] = None
+    migrations_total: int = 0
+    groups_closed: int = 0
+    final_state: Optional[Dict] = None
+
+    @property
+    def final_metrics(self) -> Dict[str, float]:
+        return self.iterations[-1]["metrics"] if self.iterations else {}
+
+    @property
+    def fleet_remote_stall_fraction(self) -> float:
+        return self.final_metrics.get("fleet_remote_stall_fraction", 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "spec": self.spec.to_dict(),
+            "replan": self.replan,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "iterations_to_converge": self.iterations_to_converge,
+            "migrations_total": self.migrations_total,
+            "groups_closed": self.groups_closed,
+            "final_state": self.final_state,
+        }
+
+
+def remote_stall_reduction_vs(
+    baseline: FleetRunResult, candidate: FleetRunResult
+) -> float:
+    """1.0 = candidate eliminated all of baseline's fleet remote stall."""
+    base = baseline.fleet_remote_stall_fraction
+    if base == 0:
+        return 0.0
+    return 1.0 - candidate.fleet_remote_stall_fraction / base
+
+
+# ----------------------------------------------------------------------
+# The run loop
+# ----------------------------------------------------------------------
+class FleetRun:
+    """Mutable state of one fleet run; :func:`run_fleet` drives it."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        strategy: str = "sharing",
+        replan: Optional[bool] = None,
+        iterations: int = 4,
+        n_groups: Optional[int] = None,
+        churn_mean_lifetime: int = 0,
+        profile: Sequence[Tuple[int, float, Optional[str]]] = DEFAULT_GROUP_PROFILE,
+        checkpoint_path: Optional[Path] = None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.spec = spec
+        self.strategy = strategy
+        self.replan = (strategy == "sharing") if replan is None else replan
+        self.iterations = iterations
+        self.churn_mean_lifetime = churn_mean_lifetime
+        self.profile = tuple(
+            (int(n), float(share), key) for n, share, key in profile
+        )
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        if n_groups is None:
+            mean_size = sum(n for n, _, _ in self.profile) / len(self.profile)
+            n_groups = max(1, int(spec.capacity * 0.6 / mean_size))
+        self.n_groups = n_groups
+
+        self.controller = FleetController(spec)
+        self.churn = GroupChurnModel(
+            profile=self.profile,
+            mean_lifetime=churn_mean_lifetime,
+            seed=spec.seed + 1,
+        )
+        self.groups: Dict[int, ProcessGroup] = {}
+        self.state: Optional[FleetState] = None
+        self.node_reports: Dict[int, NodeReport] = {}
+        #: gid -> measured sharing intensity, *sticky*: the first probe
+        #: of a group fixes its intensity for the rest of the run.
+        #: Re-measuring after every migration would keep reshaping the
+        #: cost landscape (the declared-mean rescaling in
+        #: :func:`~repro.fleet.node.summarize_node` depends on each
+        #: node's resident mix), and a landscape that moves under the
+        #: planner stops it from ever reaching an empty plan.
+        self.measured_shares: Dict[int, float] = {}
+        self.dirty: List[int] = list(range(spec.n_nodes))
+        self.history: List[Dict] = []
+        self.next_iteration = 0
+        self.converged = False
+        self.iterations_to_converge: Optional[int] = None
+        self.migrations_total = 0
+
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> None:
+        population = self.churn.initial_population(self.n_groups)
+        self.groups = {group.gid: group for group in population}
+        self.state = initial_placement(self.spec, self.groups, self.strategy)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_dict(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "spec": self.spec.to_dict(),
+            "strategy": self.strategy,
+            "replan": self.replan,
+            "iterations": self.iterations,
+            "churn_mean_lifetime": self.churn_mean_lifetime,
+            "profile": [list(entry) for entry in self.profile],
+            "n_groups": self.n_groups,
+            "next_iteration": self.next_iteration,
+            "converged": self.converged,
+            "iterations_to_converge": self.iterations_to_converge,
+            "migrations_total": self.migrations_total,
+            "state": self.state.to_dict() if self.state else None,
+            "groups": [
+                self.groups[gid].to_dict() for gid in sorted(self.groups)
+            ],
+            "churn": self.churn.state_dict(),
+            "node_reports": {
+                str(node): self.node_reports[node].to_dict()
+                for node in sorted(self.node_reports)
+            },
+            "measured_shares": {
+                str(gid): self.measured_shares[gid]
+                for gid in sorted(self.measured_shares)
+            },
+            "dirty": sorted(self.dirty),
+            "history": self.history,
+        }
+
+    def save_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.checkpoint_path.with_suffix(
+            self.checkpoint_path.suffix + ".tmp"
+        )
+        tmp.write_text(
+            json.dumps(self.checkpoint_dict(), indent=2, sort_keys=True)
+        )
+        os.replace(tmp, self.checkpoint_path)
+
+    def load_checkpoint(self) -> None:
+        if self.checkpoint_path is None or not self.checkpoint_path.is_file():
+            raise FleetCheckpointError(
+                f"no fleet checkpoint at {self.checkpoint_path}"
+            )
+        try:
+            data = json.loads(self.checkpoint_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise FleetCheckpointError(
+                f"unreadable fleet checkpoint {self.checkpoint_path}: {error}"
+            ) from error
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise FleetCheckpointError(
+                f"fleet checkpoint version {data.get('version')!r} != "
+                f"{CHECKPOINT_VERSION}"
+            )
+        for key, expected in (
+            ("spec", self.spec.to_dict()),
+            ("strategy", self.strategy),
+            ("replan", self.replan),
+            ("churn_mean_lifetime", self.churn_mean_lifetime),
+            ("profile", [list(entry) for entry in self.profile]),
+        ):
+            if data.get(key) != expected:
+                raise FleetCheckpointError(
+                    f"fleet checkpoint {self.checkpoint_path} was written "
+                    f"by a different run: {key} differs "
+                    f"({data.get(key)!r} != {expected!r})"
+                )
+        self.n_groups = int(data["n_groups"])
+        self.next_iteration = int(data["next_iteration"])
+        self.converged = bool(data["converged"])
+        self.iterations_to_converge = data["iterations_to_converge"]
+        self.migrations_total = int(data["migrations_total"])
+        self.state = (
+            FleetState.from_dict(data["state"]) if data["state"] else None
+        )
+        self.groups = {
+            entry["gid"]: ProcessGroup.from_dict(entry)
+            for entry in data["groups"]
+        }
+        self.churn.load_state_dict(data["churn"])
+        self.node_reports = {
+            int(node): NodeReport.from_dict(report)
+            for node, report in data["node_reports"].items()
+        }
+        self.measured_shares = {
+            int(gid): share
+            for gid, share in data["measured_shares"].items()
+        }
+        self.dirty = [int(node) for node in data["dirty"]]
+        self.history = data["history"]
+
+    # ------------------------------------------------------------------
+    # One iteration
+    # ------------------------------------------------------------------
+    def _iteration_policy(
+        self, policy: Optional[ExecutionPolicy], iteration: int
+    ) -> Optional[ExecutionPolicy]:
+        """Per-iteration manifest derived from the caller's policy
+        (mirrors the CLI's per-experiment manifests under ``all``)."""
+        if policy is None or policy.manifest_path is None:
+            return policy
+        manifest = policy.manifest_path
+        suffix = manifest.suffix or ".json"
+        manifest = manifest.with_name(
+            f"{manifest.stem}-iter{iteration}{suffix}"
+        )
+        return dc_replace(
+            policy, manifest_path=manifest, resume=manifest.is_file()
+        )
+
+    def _probe_dirty_nodes(
+        self,
+        iteration: int,
+        jobs: Optional[int],
+        policy: Optional[ExecutionPolicy],
+    ) -> None:
+        assert self.state is not None
+        nodes = sorted(set(self.dirty))
+        tasks = node_tasks(self.spec, self.state, self.groups, iteration, nodes)
+        results = run_labelled(
+            tasks, jobs=jobs, policy=self._iteration_policy(policy, iteration)
+        )
+        for node in nodes:
+            fragments = node_fragments(self.state, self.groups, node)
+            if not fragments:
+                self.node_reports.pop(node, None)
+                continue
+            result = results.get(f"iter{iteration}/node{node}")
+            if result is None:  # quarantined under allow_partial
+                continue
+            self.node_reports[node] = summarize_node(
+                node, iteration, fragments, result
+            )
+        self.dirty = []
+
+    def _publish(self, metrics: Dict[str, float], n_violations: int) -> None:
+        registry = obs_session.active_registry()
+        if registry is None:
+            return
+        registry.gauge("fleet_nodes").set(self.spec.n_nodes)
+        registry.gauge("fleet_groups").set(len(self.groups))
+        registry.gauge("fleet_threads").set(
+            self.state.total_threads() if self.state else 0
+        )
+        registry.gauge("fleet_remote_stall_fraction").set(
+            metrics["fleet_remote_stall_fraction"]
+        )
+        registry.gauge("fleet_anti_affinity_violations").set(n_violations)
+        registry.counter("fleet_iterations_total").inc()
+
+    def run_iteration(
+        self,
+        jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> Dict:
+        """Probe, measure, plan, apply, churn -- one replan round."""
+        assert self.state is not None
+        iteration = self.next_iteration
+        recorder = obs_session.active_recorder()
+
+        self._probe_dirty_nodes(iteration, jobs, policy)
+        fresh = merged_shares(self.node_reports)
+        for gid in sorted(fresh):
+            self.measured_shares.setdefault(gid, fresh[gid])
+        for gid in [g for g in self.measured_shares if g not in self.groups]:
+            del self.measured_shares[gid]
+        shares = self.measured_shares
+        metrics = fleet_stall_metrics(
+            self.spec, self.state, self.groups, shares, self.node_reports
+        )
+        violations = self.state.violations(self.groups)
+
+        record: Dict = {
+            "iteration": iteration,
+            "n_groups": len(self.groups),
+            "n_threads": self.state.total_threads(),
+            "loads": self.state.loads(),
+            "cost": fleet_cost(self.state, self.groups, self.spec, shares),
+            "anti_affinity_violations": [v.to_dict() for v in violations],
+            "metrics": metrics,
+            "measured_groups": len(shares),
+        }
+
+        touched: set = set()
+        if self.replan:
+            plan = self.controller.plan(self.state, self.groups, shares)
+            recorder.emit(
+                KIND_FLEET_PLAN,
+                cycle=iteration,
+                iteration=iteration,
+                migrations=len(plan.migrations),
+                cost_before=plan.cost_before,
+                cost_after=plan.cost_after,
+                budget_exhausted=plan.budget_exhausted,
+            )
+            for move in plan.migrations:
+                self.state.move(move.gid, move.src, move.dst, move.n_threads)
+                touched.update((move.src, move.dst))
+                recorder.emit(
+                    KIND_FLEET_MIGRATION,
+                    cycle=iteration,
+                    gid=move.gid,
+                    src=move.src,
+                    dst=move.dst,
+                    n_threads=move.n_threads,
+                    gain=move.gain,
+                    fixes_violation=move.fixes_violation,
+                )
+            self.migrations_total += len(plan.migrations)
+            registry = obs_session.active_registry()
+            if registry is not None and plan.migrations:
+                registry.counter("fleet_migrations_total").inc(
+                    len(plan.migrations)
+                )
+            if registry is not None and plan.budget_exhausted:
+                registry.counter("fleet_budget_exhausted_total").inc()
+            record["plan"] = plan.to_dict()
+            if plan.empty:
+                self.converged = True
+                if self.iterations_to_converge is None:
+                    self.iterations_to_converge = iteration
+                recorder.emit(
+                    KIND_FLEET_CONVERGED, cycle=iteration, iteration=iteration
+                )
+        else:
+            record["plan"] = None
+            self.converged = True
+
+        departed: List[int] = []
+        arrived_gids: List[int] = []
+        if self.churn_mean_lifetime > 0:
+            departed, arrived = self.churn.step(iteration, self.groups)
+            for gid in departed:
+                touched.update(self.state.fragments(gid))
+                self.state.remove_group(gid)
+                self.groups.pop(gid, None)
+            for group in arrived:
+                used = self.controller.admit(self.state, self.groups, group)
+                touched.update(used)
+                arrived_gids.append(group.gid)
+            if departed or arrived_gids:
+                # Fresh work un-converges the fleet: the next round may
+                # find consolidating moves for the arrivals.
+                self.converged = False
+        record["departed"] = departed
+        record["arrived"] = arrived_gids
+
+        self._publish(metrics, len(violations))
+        self.dirty = sorted(touched)
+        self.history.append(record)
+        self.next_iteration = iteration + 1
+        self.save_checkpoint()
+        return record
+
+    # ------------------------------------------------------------------
+    def result(self) -> FleetRunResult:
+        return FleetRunResult(
+            strategy=self.strategy,
+            spec=self.spec,
+            replan=self.replan,
+            iterations=self.history,
+            converged=self.converged,
+            iterations_to_converge=self.iterations_to_converge,
+            migrations_total=self.migrations_total,
+            groups_closed=self.churn.groups_closed,
+            final_state=self.state.to_dict() if self.state else None,
+        )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    strategy: str = "sharing",
+    replan: Optional[bool] = None,
+    iterations: int = 4,
+    n_groups: Optional[int] = None,
+    churn_mean_lifetime: int = 0,
+    profile: Sequence[Tuple[int, float, Optional[str]]] = DEFAULT_GROUP_PROFILE,
+    jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint_path: Optional[Path] = None,
+    resume: bool = False,
+    max_iterations: Optional[int] = None,
+    progress=None,
+) -> FleetRunResult:
+    """Run one strategy to convergence (or the iteration budget).
+
+    ``max_iterations`` bounds how many iterations *this call* executes
+    -- with a ``checkpoint_path`` that is a deliberate interruption
+    point, and a later ``resume=True`` call picks up exactly where this
+    one stopped (byte-identical final result; verified by the
+    ``fleet-replan-vs-fresh`` differential path).
+    """
+    run = FleetRun(
+        spec,
+        strategy=strategy,
+        replan=replan,
+        iterations=iterations,
+        n_groups=n_groups,
+        churn_mean_lifetime=churn_mean_lifetime,
+        profile=profile,
+        checkpoint_path=checkpoint_path,
+    )
+    if resume:
+        run.load_checkpoint()
+    else:
+        run.bootstrap()
+    executed = 0
+    while run.next_iteration < run.iterations and not (
+        run.converged and run.next_iteration > 0
+    ):
+        if max_iterations is not None and executed >= max_iterations:
+            break
+        record = run.run_iteration(jobs=jobs, policy=policy)
+        executed += 1
+        if progress is not None:
+            plan = record.get("plan") or {}
+            progress(
+                f"fleet[{strategy}] iter {record['iteration']}: "
+                f"remote stall "
+                f"{record['metrics']['fleet_remote_stall_fraction']:.1%}, "
+                f"{len(plan.get('migrations', []))} migration(s)"
+            )
+    return run.result()

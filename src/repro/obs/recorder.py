@@ -59,6 +59,17 @@ KIND_VERIFY_INVARIANT = "verify.invariant_violation"
 #: windowed check fails -- e.g. remote-stall fraction failed to drop
 #: within K windows of a migration; payload: alert, window, detail
 KIND_ANALYSIS_ALERT = "analysis.alert"
+#: emitted by the fleet run loop (repro.fleet.run) once per replan
+#: round; ``cycle`` carries the fleet iteration index, not engine
+#: cycles; payload: iteration, migrations, cost_before, cost_after,
+#: budget_exhausted
+KIND_FLEET_PLAN = "fleet.plan"
+#: emitted per applied fleet migration; payload: gid, src, dst,
+#: n_threads, gain, fixes_violation (cycle = fleet iteration)
+KIND_FLEET_MIGRATION = "fleet.migration"
+#: emitted when a fleet replan round produces no migrations -- the
+#: controller's convergence signal; payload: iteration
+KIND_FLEET_CONVERGED = "fleet.converged"
 
 
 @dataclass(frozen=True)

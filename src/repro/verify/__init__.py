@@ -29,6 +29,7 @@ from .differential import (
     PathRunReport,
     run_batched_walk,
     run_columnar_vs_scalar,
+    run_fleet_replan_vs_fresh,
     run_observe_many,
     run_parallel_sweep,
     run_resume,
@@ -63,6 +64,7 @@ __all__ = [
     "run_batched_walk",
     "run_columnar_vs_scalar",
     "run_campaign",
+    "run_fleet_replan_vs_fresh",
     "run_observe_many",
     "run_parallel_sweep",
     "run_resume",

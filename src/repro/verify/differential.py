@@ -19,7 +19,10 @@ configuration and diffs the complete canonical end state:
 * ``parallel-sweep`` -- :func:`run_tasks` through a process pool vs
   inline execution;
 * ``resume``         -- a sweep resumed from a manifest's checkpoints vs
-  the fresh run that wrote them.
+  the fresh run that wrote them;
+* ``fleet-replan-vs-fresh`` -- a fleet plan-simulate-replan run
+  interrupted after its first iteration and resumed from its
+  checkpoint, vs the same run executed straight through.
 
 Every runner also carries the invariant checker on its reference
 simulation, so a campaign exercises both verification legs at once.
@@ -395,10 +398,77 @@ def run_resume(
     return report
 
 
+def run_fleet_replan_vs_fresh(
+    workload: str,
+    seed: int,
+    n_rounds: int,
+    workdir: Optional[Path] = None,
+    recorder=None,
+    metrics=None,
+) -> PathRunReport:
+    """Interrupted-and-resumed fleet run vs the uninterrupted one.
+
+    A fleet run checkpoints its complete mutable state (placement, live
+    groups, churn RNG, cached node reports, history) after every replan
+    iteration; this pair runs the same small fleet twice -- once
+    straight through, once stopped after its first iteration and
+    resumed from the checkpoint -- and diffs the full canonical results.
+    Churn is on, so the pair also proves the RNG state round-trips.
+
+    ``workload`` does not name an engine workload here (fleet nodes run
+    their own resident-mix workload); it perturbs the fleet seed so each
+    campaign cell exercises a different population, and labels the
+    report.
+    """
+    from ..fleet import FleetSpec, run_fleet
+
+    report = PathRunReport("fleet-replan-vs-fresh", workload, seed)
+    spec = FleetSpec(
+        n_nodes=4,
+        load_cap=24,
+        migration_budget=8,
+        node_rounds=max(8, min(n_rounds, 20)),
+        node_quantum_references=60,
+        seed=seed * 1009 + sum(workload.encode()) % 997,
+    )
+    settings = dict(
+        strategy="sharing", iterations=3, n_groups=6, churn_mean_lifetime=2
+    )
+
+    def _run(directory: Path) -> None:
+        checkpoint = directory / "fleet.ckpt.json"
+        fresh = run_fleet(spec, **settings)
+        interrupted = run_fleet(
+            spec, checkpoint_path=checkpoint, max_iterations=1, **settings
+        )
+        resumed = run_fleet(
+            spec, checkpoint_path=checkpoint, resume=True, **settings
+        )
+        report.runs = len(fresh.iterations) + len(resumed.iterations)
+        report.detail = {
+            "interrupted_after": len(interrupted.iterations),
+            "fresh_iterations": len(fresh.iterations),
+            "converged": fresh.converged,
+            "migrations": fresh.migrations_total,
+        }
+        report.mismatches.extend(
+            diff_states(fresh.to_dict(), resumed.to_dict())
+        )
+
+    if workdir is not None:
+        Path(workdir).mkdir(parents=True, exist_ok=True)
+        _run(Path(workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            _run(Path(tmp))
+    return report
+
+
 #: path name -> runner; the public catalogue of differential pairs
 PATHS: Dict[str, Callable[..., PathRunReport]] = {
     "batched-walk": run_batched_walk,
     "columnar-vs-scalar": run_columnar_vs_scalar,
+    "fleet-replan-vs-fresh": run_fleet_replan_vs_fresh,
     "observe-many": run_observe_many,
     "parallel-sweep": run_parallel_sweep,
     "resume": run_resume,

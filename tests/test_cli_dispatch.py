@@ -12,7 +12,31 @@ import pytest
 import repro.cli as cli
 from repro.experiments.ablations import ActivationPoint, ActivationStudy
 from repro.experiments.churn_study import ChurnPoint, ChurnStudy
+from repro.experiments.fleet_study import FleetStrategyRow, FleetStudy
 from repro.experiments.smt_aware import SmtAwarePoint, SmtAwareStudy
+
+
+def canned_fleet_study():
+    def row(strategy, stall, reduction, migrations=0, itc=None):
+        return FleetStrategyRow(
+            strategy=strategy,
+            fleet_remote_stall_fraction=stall,
+            measured_remote_stall_fraction=stall / 2,
+            cross_node_stall_cycles=100.0,
+            iterations=1 if strategy != "sharing" else 3,
+            migrations=migrations,
+            converged=True,
+            iterations_to_converge=itc,
+            reduction_vs_random=reduction,
+        )
+
+    return FleetStudy(
+        rows=[
+            row("random", 0.30, 0.0),
+            row("load-only", 0.32, -0.05),
+            row("sharing", 0.08, 0.73, migrations=14, itc=2),
+        ]
+    )
 
 
 @pytest.fixture
@@ -81,6 +105,40 @@ class TestStubbedDispatch:
         assert cli.main(["ablation-activation", "--out", str(out_dir)]) == 0
         data = json.loads((out_dir / "ablation_activation.json").read_text())
         assert data["rows"][0]["activated"] is True
+
+    def test_fleet_command(self, monkeypatch, out_dir, capsys):
+        captured = {}
+
+        def fake(**kwargs):
+            captured.update(kwargs)
+            return canned_fleet_study()
+
+        monkeypatch.setattr(cli.exp, "run_fleet_study", fake)
+        assert cli.main(
+            ["fleet", "--nodes", "12", "--replans", "2",
+             "--out", str(out_dir)]
+        ) == 0
+        assert captured["n_nodes"] == 12
+        assert captured["replans"] == 2
+        output = capsys.readouterr().out
+        assert "sharing replan: converged=True" in output
+        assert "reduction vs random" in output
+        data = json.loads((out_dir / "fleet.json").read_text())
+        assert data["rows"][2]["strategy"] == "sharing"
+        assert data["rows"][2]["reduction_vs_random"] == 0.73
+
+    @pytest.mark.parametrize("flags", [
+        ["fleet", "--nodes", "0"],
+        ["fleet", "--replans", "0"],
+    ])
+    def test_fleet_flag_validation(self, flags):
+        with pytest.raises(SystemExit):
+            cli.main(flags)
+
+    def test_fleet_is_dispatchable_and_described(self):
+        assert "fleet" in cli._RUNNERS
+        assert "fleet" in cli._DISPATCH
+        assert "placement" in cli._RUNNERS["fleet"]
 
     def test_rounds_and_seed_forwarded(self, monkeypatch):
         captured = {}

@@ -1,0 +1,76 @@
+"""Tests for per-run cluster summaries (the node-to-fleet digest)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.clustering.summary import cluster_summaries, group_sample_shares
+
+
+def fake_result(matrix, tids, assignment=None, groups=None):
+    """A SimResult stand-in with just the fields the digest reads."""
+    summaries = [
+        SimpleNamespace(tid=tid, sharing_group=group)
+        for tid, group in (groups or {}).items()
+    ]
+    return SimpleNamespace(
+        shmap_matrix=None if matrix is None else np.asarray(matrix, float),
+        shmap_tids=list(tids),
+        thread_summaries=summaries,
+        detected_assignment=lambda: dict(assignment or {}),
+    )
+
+
+class TestClusterSummaries:
+    def test_no_shmap_snapshot_yields_empty(self):
+        assert cluster_summaries(fake_result(None, [])) == []
+
+    def test_rows_grouped_by_detected_cluster(self):
+        # Threads 0,1 share heavily (cluster 0); thread 2 is alone.
+        matrix = [[0, 8, 0], [8, 0, 0], [0, 0, 2]]
+        result = fake_result(
+            matrix, tids=[0, 1, 2], assignment={0: 0, 1: 0, 2: 1}
+        )
+        rows = cluster_summaries(result)
+        assert [row.cluster for row in rows] == [0, 1]
+        assert rows[0].tids == (0, 1)
+        assert rows[0].n_threads == 2
+        assert rows[0].sample_weight == pytest.approx(16.0)
+        assert rows[0].share_of_samples == pytest.approx(16.0 / 18.0)
+        assert sum(row.share_of_samples for row in rows) == pytest.approx(1.0)
+
+    def test_unclustered_threads_reported_as_cluster_minus_one(self):
+        matrix = [[0, 4], [4, 0]]
+        result = fake_result(matrix, tids=[0, 1], assignment={0: 0, 1: -1})
+        rows = cluster_summaries(result)
+        assert [row.cluster for row in rows] == [-1, 0]
+        assert rows[0].tids == (1,)
+
+    def test_to_dict_is_json_shaped(self):
+        matrix = [[0, 4], [4, 0]]
+        result = fake_result(matrix, tids=[0, 1], assignment={0: 0, 1: 0})
+        row = cluster_summaries(result)[0].to_dict()
+        assert row["tids"] == [0, 1]
+        assert row["n_threads"] == 2
+
+
+class TestGroupSampleShares:
+    def test_no_shmap_snapshot_yields_empty(self):
+        assert group_sample_shares(fake_result(None, [])) == {}
+
+    def test_mass_attributed_to_ground_truth_groups(self):
+        # Group 0 = tids 0,1 (row mass 8 each); group 1 = tid 2 (mass 4).
+        matrix = [[0, 8, 0], [8, 0, 0], [0, 0, 4]]
+        result = fake_result(
+            matrix, tids=[0, 1, 2], groups={0: 0, 1: 0, 2: 1}
+        )
+        shares = group_sample_shares(result)
+        assert set(shares) == {0, 1}
+        assert shares[0] == pytest.approx(16.0 / 20.0)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_all_zero_mass_yields_empty(self):
+        matrix = [[0, 0], [0, 0]]
+        result = fake_result(matrix, tids=[0, 1], groups={0: 0, 1: 1})
+        assert group_sample_shares(result) == {}

@@ -1,8 +1,8 @@
 """Tests for tools/check_docs.py, plus the live-repo documentation gate.
 
 The last test runs the checker against this checkout, so a broken
-intra-repo link or an orphaned docs/*.md fails the tier-1 suite, not
-just the CI docs job.
+intra-repo link, a missing docs index, or an orphaned docs/*.md fails
+the tier-1 suite, not just the CI docs job.
 """
 
 import importlib.util
@@ -15,10 +15,10 @@ check_docs = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_docs)
 
 
-def make_repo(tmp_path, readme="", architecture="", extra=None):
+def make_repo(tmp_path, readme="see docs/README.md", index="", extra=None):
     (tmp_path / "docs").mkdir()
     (tmp_path / "README.md").write_text(readme)
-    (tmp_path / "docs" / "architecture.md").write_text(architecture)
+    (tmp_path / "docs" / "README.md").write_text(index)
     for name, text in (extra or {}).items():
         (tmp_path / name).write_text(text)
     return tmp_path
@@ -28,8 +28,8 @@ class TestLinkResolution:
     def test_resolving_links_pass(self, tmp_path):
         root = make_repo(
             tmp_path,
-            readme="[arch](docs/architecture.md)",
-            architecture="[back](../README.md)",
+            readme="[index](docs/README.md)",
+            index="[back](../README.md)",
         )
         assert check_docs.check_links(root) == []
 
@@ -52,7 +52,7 @@ class TestLinkResolution:
 
     def test_fragment_suffix_stripped_before_resolving(self, tmp_path):
         root = make_repo(
-            tmp_path, readme="[arch](docs/architecture.md#section)"
+            tmp_path, readme="[index](docs/README.md#section)"
         )
         assert check_docs.check_links(root) == []
 
@@ -65,6 +65,15 @@ class TestLinkResolution:
 
 
 class TestDocsReachability:
+    def test_missing_index_is_the_only_problem(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("no index link")
+        (tmp_path / "docs" / "orphan.md").write_text("x")
+        problems = check_docs.check_docs_referenced(tmp_path)
+        assert len(problems) == 1
+        assert "docs/README.md" in problems[0]
+        assert "missing" in problems[0]
+
     def test_unreferenced_doc_reported(self, tmp_path):
         root = make_repo(
             tmp_path, extra={"docs/orphan.md": "# nobody links here"}
@@ -72,34 +81,52 @@ class TestDocsReachability:
         problems = check_docs.check_docs_referenced(root)
         assert len(problems) == 1
         assert "orphan.md" in problems[0]
+        assert "docs/README.md" in problems[0]
 
-    def test_reference_from_readme_suffices(self, tmp_path):
+    def test_reference_from_index_suffices(self, tmp_path):
         root = make_repo(
             tmp_path,
-            readme="see docs/guide.md",
+            index="see docs/guide.md",
             extra={"docs/guide.md": "# guide"},
         )
         assert check_docs.check_docs_referenced(root) == []
 
-    def test_relative_link_from_architecture_suffices(self, tmp_path):
+    def test_relative_link_from_index_suffices(self, tmp_path):
         root = make_repo(
             tmp_path,
-            architecture="[guide](guide.md)",
+            index="[guide](guide.md)",
             extra={"docs/guide.md": "# guide"},
         )
         assert check_docs.check_docs_referenced(root) == []
+
+    def test_reference_from_readme_alone_does_not_suffice(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="see docs/README.md and docs/guide.md",
+            extra={"docs/guide.md": "# guide"},
+        )
+        problems = check_docs.check_docs_referenced(root)
+        assert len(problems) == 1
+        assert "guide.md" in problems[0]
+
+    def test_readme_must_link_the_index(self, tmp_path):
+        root = make_repo(tmp_path, readme="no docs mention at all")
+        problems = check_docs.check_docs_referenced(root)
+        assert len(problems) == 1
+        assert problems[0].startswith("README.md")
+        assert "docs/README.md" in problems[0]
 
 
 class TestMain:
     def test_clean_repo_exits_zero(self, tmp_path, capsys):
-        root = make_repo(tmp_path, readme="see docs/architecture.md")
+        root = make_repo(tmp_path)
         assert check_docs.main([str(root)]) == 0
         assert "docs OK" in capsys.readouterr().out
 
     def test_problems_exit_one_with_count(self, tmp_path, capsys):
         root = make_repo(
             tmp_path,
-            readme="[gone](nope.md)",
+            readme="[gone](nope.md) see docs/README.md",
             extra={"docs/orphan.md": "x"},
         )
         assert check_docs.main([str(root)]) == 1

@@ -1,0 +1,280 @@
+"""Tests for the fleet controller: admission, planning, constraints.
+
+Covers the edge cases the fleet subsystem is contractually held to:
+a node at its load cap rejecting placements, anti-affinity violation
+detection and repair priority, and migration-budget exhaustion
+mid-plan.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    MIN_GAIN,
+    FleetController,
+    FleetFullError,
+    FleetSpec,
+    FleetState,
+    ProcessGroup,
+    fleet_cost,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(n_nodes=3, load_cap=8, migration_budget=16)
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+class TestAdmission:
+    def test_whole_group_lands_on_least_loaded_node(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 4}, 2: {1: 2}})
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=4),
+            2: ProcessGroup(gid=2, n_threads=2),
+        }
+        used = controller.admit(
+            state, groups, ProcessGroup(gid=3, n_threads=5)
+        )
+        assert used == [2]
+        assert state.fragments(3) == {2: 5}
+        assert 3 in groups
+
+    def test_node_at_load_cap_rejects_placement(self):
+        """A full node never receives a fragment, whatever its rank."""
+        spec = small_spec()
+        controller = FleetController(spec)
+        # Node 0 is at cap; node 1 nearly; node 2 has room.
+        state = FleetState(spec.n_nodes, {1: {0: 8}, 2: {1: 7}})
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=8),
+            2: ProcessGroup(gid=2, n_threads=7),
+        }
+        controller.admit(state, groups, ProcessGroup(gid=3, n_threads=6))
+        assert state.node_load(0) == 8  # untouched: it was full
+        assert state.fragments(3) == {2: 6}
+
+    def test_group_splits_when_no_whole_node_fits(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 6}, 2: {1: 6}, 3: {2: 6}})
+        groups = {
+            gid: ProcessGroup(gid=gid, n_threads=6) for gid in (1, 2, 3)
+        }
+        used = controller.admit(
+            state, groups, ProcessGroup(gid=4, n_threads=5)
+        )
+        assert len(used) > 1
+        assert sum(state.fragments(4).values()) == 5
+        assert all(
+            state.node_load(node) <= spec.load_cap
+            for node in range(spec.n_nodes)
+        )
+
+    def test_fleet_at_capacity_raises_and_rolls_back(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 8}, 2: {1: 8}, 3: {2: 6}})
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=8),
+            2: ProcessGroup(gid=2, n_threads=8),
+            3: ProcessGroup(gid=3, n_threads=6),
+        }
+        with pytest.raises(FleetFullError):
+            controller.admit(state, groups, ProcessGroup(gid=4, n_threads=5))
+        # Partial placement rolled back: no orphan fragments remain.
+        assert state.fragments(4) == {}
+        assert 4 not in groups
+
+    def test_admission_respects_anti_affinity(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 2}})
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=2, anti_affinity="replica"),
+        }
+        twin = ProcessGroup(gid=2, n_threads=2, anti_affinity="replica")
+        used = controller.admit(state, groups, twin)
+        assert used != [0]
+        assert state.violations(groups) == []
+
+
+class TestPlanning:
+    def test_consolidated_fleet_yields_empty_plan(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 6}, 2: {1: 6}, 3: {2: 6}})
+        groups = {
+            gid: ProcessGroup(gid=gid, n_threads=6) for gid in (1, 2, 3)
+        }
+        plan = controller.plan(state, groups)
+        assert plan.empty
+        assert not plan.budget_exhausted
+        assert plan.cost_after == pytest.approx(plan.cost_before)
+
+    def test_plan_consolidates_a_split_group(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 3, 1: 3}})
+        groups = {1: ProcessGroup(gid=1, n_threads=6, share=0.3)}
+        plan = controller.plan(state, groups)
+        assert len(plan.migrations) == 1
+        move = plan.migrations[0]
+        assert move.gid == 1
+        assert {move.src, move.dst} == {0, 1}
+        assert move.gain > MIN_GAIN
+        assert plan.cost_after < plan.cost_before
+
+    def test_plan_never_mutates_its_input(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(spec.n_nodes, {1: {0: 3, 1: 3}})
+        groups = {1: ProcessGroup(gid=1, n_threads=6, share=0.3)}
+        before = json.dumps(state.to_dict(), sort_keys=True)
+        controller.plan(state, groups)
+        assert json.dumps(state.to_dict(), sort_keys=True) == before
+
+    def test_plan_is_deterministic(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        placement = {1: {0: 2, 1: 2, 2: 2}, 2: {0: 2, 2: 2}}
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=6, share=0.2),
+            2: ProcessGroup(gid=2, n_threads=4, share=0.2),
+        }
+        plans = [
+            controller.plan(FleetState(spec.n_nodes, placement), groups)
+            for _ in range(2)
+        ]
+        assert plans[0].to_dict() == plans[1].to_dict()
+
+    def test_violation_repair_planned_first_even_at_zero_gain(self):
+        spec = small_spec()
+        controller = FleetController(spec)
+        # Replicas co-resident on node 0 AND a juicy split group: the
+        # repair must come first in the plan regardless of gain.
+        state = FleetState(
+            spec.n_nodes, {1: {0: 2}, 2: {0: 2}, 3: {1: 4, 2: 4}}
+        )
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=2, anti_affinity="replica"),
+            2: ProcessGroup(gid=2, n_threads=2, anti_affinity="replica"),
+            3: ProcessGroup(gid=3, n_threads=8, share=0.5),
+        }
+        plan = controller.plan(state, groups)
+        assert plan.migrations[0].fixes_violation
+        assert plan.unresolved_violations == []
+        work = state.copy()
+        for move in plan.migrations:
+            work.move(move.gid, move.src, move.dst, move.n_threads)
+        assert work.violations(groups) == []
+
+    def test_unrepairable_violation_reported_not_silently_dropped(self):
+        # Every other node is at cap: the offender has nowhere to go.
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(
+            spec.n_nodes, {1: {0: 2}, 2: {0: 2}, 3: {1: 8}, 4: {2: 8}}
+        )
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=2, anti_affinity="replica"),
+            2: ProcessGroup(gid=2, n_threads=2, anti_affinity="replica"),
+            3: ProcessGroup(gid=3, n_threads=8),
+            4: ProcessGroup(gid=4, n_threads=8),
+        }
+        plan = controller.plan(state, groups)
+        assert len(plan.unresolved_violations) == 1
+        assert plan.unresolved_violations[0].key == "replica"
+
+    def test_budget_exhaustion_mid_plan_flags_and_stops(self):
+        """With budget 1 and two split groups, the plan spends its one
+        move on the best gain and reports the budget ran out."""
+        spec = small_spec(migration_budget=1)
+        controller = FleetController(spec)
+        state = FleetState(
+            spec.n_nodes, {1: {0: 3, 1: 3}, 2: {1: 2, 2: 2}}
+        )
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=6, share=0.4),
+            2: ProcessGroup(gid=2, n_threads=4, share=0.4),
+        }
+        plan = controller.plan(state, groups)
+        assert len(plan.migrations) == 1
+        assert plan.budget_exhausted
+        # The richer budget finishes the job in one round.
+        full = FleetController(small_spec(migration_budget=8)).plan(
+            state, groups
+        )
+        assert len(full.migrations) == 2
+        assert not full.budget_exhausted
+
+    def test_exhausted_plan_resumes_next_round(self):
+        """Applying a budget-limited plan and replanning finishes the
+        consolidation -- the loop picks up where the budget stopped."""
+        spec = small_spec(migration_budget=1)
+        controller = FleetController(spec)
+        state = FleetState(
+            spec.n_nodes, {1: {0: 3, 1: 3}, 2: {1: 2, 2: 2}}
+        )
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=6, share=0.4),
+            2: ProcessGroup(gid=2, n_threads=4, share=0.4),
+        }
+        rounds = 0
+        while rounds < 5:
+            plan = controller.plan(state, groups)
+            if plan.empty:
+                break
+            for move in plan.migrations:
+                state.move(move.gid, move.src, move.dst, move.n_threads)
+            rounds += 1
+        assert len(state.fragments(1)) == 1
+        assert len(state.fragments(2)) == 1
+
+    def test_moves_respect_load_cap(self):
+        # Consolidating group 1 onto either node would break the cap;
+        # the plan must leave it split.
+        spec = small_spec(load_cap=6)
+        controller = FleetController(spec)
+        state = FleetState(
+            spec.n_nodes, {1: {0: 4, 1: 4}, 2: {0: 2}, 3: {1: 2}}
+        )
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=8, share=0.5),
+            2: ProcessGroup(gid=2, n_threads=2),
+            3: ProcessGroup(gid=3, n_threads=2),
+        }
+        plan = controller.plan(state, groups)
+        work = state.copy()
+        for move in plan.migrations:
+            work.move(move.gid, move.src, move.dst, move.n_threads)
+        assert all(
+            work.node_load(node) <= spec.load_cap
+            for node in range(spec.n_nodes)
+        )
+
+    def test_plan_tracks_fleet_cost_exactly(self):
+        """cost_before/cost_after must equal fleet_cost of the end
+        states -- the incremental gain arithmetic cannot drift."""
+        spec = small_spec()
+        controller = FleetController(spec)
+        state = FleetState(
+            spec.n_nodes, {1: {0: 2, 1: 2, 2: 2}, 2: {0: 2, 2: 2}}
+        )
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=6, share=0.25),
+            2: ProcessGroup(gid=2, n_threads=4, share=0.15),
+        }
+        plan = controller.plan(state, groups)
+        assert plan.cost_before == pytest.approx(
+            fleet_cost(state, groups, spec)
+        )
+        work = state.copy()
+        for move in plan.migrations:
+            work.move(move.gid, move.src, move.dst, move.n_threads)
+        assert plan.cost_after == pytest.approx(
+            fleet_cost(work, groups, spec)
+        )

@@ -1,0 +1,167 @@
+"""Tests for the fleet data model: spec, groups, state, cost model."""
+
+import pytest
+
+from repro.fleet import (
+    FleetSpec,
+    FleetState,
+    ProcessGroup,
+    cross_node_cost,
+    fleet_cost,
+    imbalance_cost,
+    split_factor,
+)
+
+
+class TestFleetSpec:
+    def test_defaults_describe_a_whole_group_node(self):
+        spec = FleetSpec()
+        assert spec.node_cpus == 16
+        assert spec.load_cap == spec.node_cpus
+        assert spec.capacity == spec.n_nodes * spec.load_cap
+
+    def test_round_trips_through_dict(self):
+        spec = FleetSpec(n_nodes=7, load_cap=12, migration_budget=5, seed=9)
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_nodes": 0},
+            {"load_cap": 0},
+            {"migration_budget": 0},
+            {"node_rounds": 0},
+            {"node_quantum_references": 0},
+            {"remote_stall_penalty": -0.1},
+        ],
+    )
+    def test_rejects_degenerate_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetSpec(**kwargs)
+
+
+class TestProcessGroup:
+    def test_round_trips_through_dict(self):
+        group = ProcessGroup(gid=3, n_threads=6, share=0.22, anti_affinity="r")
+        assert ProcessGroup.from_dict(group.to_dict()) == group
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_threads": 0},
+        {"share": 0.0},
+        {"share": 1.0},
+    ])
+    def test_rejects_degenerate_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcessGroup(gid=0, **{"n_threads": 4, **kwargs})
+
+
+class TestSplitFactor:
+    def test_whole_group_on_one_node_is_zero(self):
+        assert split_factor({0: 8}) == 0.0
+
+    def test_even_split_over_k_nodes_is_one_minus_one_over_k(self):
+        for k in (2, 3, 4):
+            frags = {node: 3 for node in range(k)}
+            assert split_factor(frags) == pytest.approx(1.0 - 1.0 / k)
+
+    def test_empty_and_zero_total_are_zero(self):
+        assert split_factor({}) == 0.0
+
+    def test_uneven_split_between_even_and_whole(self):
+        assert 0.0 < split_factor({0: 7, 1: 1}) < 0.5
+
+
+class TestFleetState:
+    def test_place_move_remove_bookkeeping(self):
+        state = FleetState(4)
+        state.place(1, 0, 6)
+        state.place(1, 2, 2)
+        state.place(2, 2, 4)
+        assert state.loads() == [6, 0, 6, 0]
+        assert state.groups_on(2) == [1, 2]
+        assert state.fragments(1) == {0: 6, 2: 2}
+        state.move(1, 2, 0, 2)
+        assert state.fragments(1) == {0: 8}
+        state.remove_group(1)
+        assert state.total_threads() == 4
+
+    def test_move_validates_source_count_and_distinct_nodes(self):
+        state = FleetState(2)
+        state.place(1, 0, 2)
+        with pytest.raises(ValueError):
+            state.move(1, 0, 1, 5)
+        with pytest.raises(ValueError):
+            state.move(1, 0, 0, 1)
+
+    def test_rejects_nodes_outside_the_fleet(self):
+        state = FleetState(2)
+        with pytest.raises(ValueError):
+            state.place(1, 2, 1)
+
+    def test_round_trips_through_dict(self):
+        state = FleetState(3, {5: {0: 4, 1: 2}, 7: {2: 3}})
+        clone = FleetState.from_dict(state.to_dict())
+        assert clone.to_dict() == state.to_dict()
+        assert clone.loads() == state.loads()
+
+    def test_copy_is_independent(self):
+        state = FleetState(2, {1: {0: 3}})
+        clone = state.copy()
+        clone.move(1, 0, 1, 2)
+        assert state.fragments(1) == {0: 3}
+
+    def test_violations_found_per_node_per_key(self):
+        groups = {
+            1: ProcessGroup(gid=1, n_threads=4, anti_affinity="replica"),
+            2: ProcessGroup(gid=2, n_threads=4, anti_affinity="replica"),
+            3: ProcessGroup(gid=3, n_threads=4),
+        }
+        # Co-resident replicas on node 0: one violation.
+        state = FleetState(3, {1: {0: 4}, 2: {0: 4}, 3: {0: 4}})
+        violations = state.violations(groups)
+        assert len(violations) == 1
+        assert violations[0].node == 0
+        assert violations[0].key == "replica"
+        assert violations[0].gids == (1, 2)
+        # Separated replicas: clean.
+        apart = FleetState(3, {1: {0: 4}, 2: {1: 4}, 3: {0: 4}})
+        assert apart.violations(groups) == []
+
+
+class TestCostModel:
+    def _groups(self):
+        return {
+            1: ProcessGroup(gid=1, n_threads=8, share=0.2),
+            2: ProcessGroup(gid=2, n_threads=4, share=0.4),
+        }
+
+    def test_consolidated_placement_has_zero_cross_node_cost(self):
+        state = FleetState(2, {1: {0: 8}, 2: {1: 4}})
+        assert cross_node_cost(state, self._groups()) == 0.0
+
+    def test_split_group_charged_share_times_threads_times_split(self):
+        state = FleetState(2, {1: {0: 4, 1: 4}, 2: {1: 4}})
+        expected = 0.2 * 8 * split_factor({0: 4, 1: 4})
+        assert cross_node_cost(state, self._groups()) == pytest.approx(expected)
+
+    def test_measured_shares_override_declared(self):
+        state = FleetState(2, {1: {0: 4, 1: 4}})
+        groups = self._groups()
+        declared = cross_node_cost(state, groups)
+        measured = cross_node_cost(state, groups, shares={1: 0.4})
+        assert measured == pytest.approx(2.0 * declared)
+
+    def test_imbalance_cost_zero_when_even(self):
+        assert imbalance_cost(FleetState(2, {1: {0: 4}, 2: {1: 4}})) == 0.0
+        assert imbalance_cost(FleetState(2, {1: {0: 8}})) == 16.0
+
+    def test_fleet_cost_combines_terms_with_spec_weights(self):
+        spec = FleetSpec(n_nodes=2, cross_node_penalty=2.0,
+                         imbalance_weight=0.5)
+        state = FleetState(2, {1: {0: 4, 1: 4}, 2: {1: 4}})
+        groups = self._groups()
+        expected = (
+            2.0 * cross_node_cost(state, groups)
+            + 0.5 * imbalance_cost(state)
+        )
+        assert fleet_cost(state, groups, spec) == pytest.approx(expected)

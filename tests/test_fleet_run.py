@@ -1,0 +1,220 @@
+"""Tests for the fleet run loop: placements, metrics, convergence,
+checkpoint/resume, churn determinism, observability wiring.
+
+Specs here use few nodes and probe-sized node simulations
+(``node_rounds``/``node_quantum_references`` well below the study
+defaults) so the whole file stays tier-1 fast.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    FleetCheckpointError,
+    FleetRun,
+    FleetSpec,
+    GroupChurnModel,
+    fleet_stall_metrics,
+    initial_placement,
+    load_only_placement,
+    random_placement,
+    remote_stall_reduction_vs,
+    run_fleet,
+)
+from repro.obs import (
+    KIND_FLEET_CONVERGED,
+    KIND_FLEET_MIGRATION,
+    KIND_FLEET_PLAN,
+    MetricsRegistry,
+    RingBufferRecorder,
+    observe,
+)
+
+#: probe-sized node simulations for test fleets
+FAST = dict(node_rounds=10, node_quantum_references=40)
+
+
+def fast_spec(**overrides):
+    defaults = dict(n_nodes=4, seed=3, **FAST)
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def population(spec, n_groups=6, seed=None):
+    churn = GroupChurnModel(seed=spec.seed + 1 if seed is None else seed)
+    return {g.gid: g for g in churn.initial_population(n_groups)}
+
+
+class TestPlacements:
+    def test_random_placement_is_seeded_and_capped(self):
+        spec = fast_spec()
+        groups = population(spec)
+        one = random_placement(spec, groups, seed=11)
+        two = random_placement(spec, groups, seed=11)
+        other = random_placement(spec, groups, seed=12)
+        assert one.to_dict() == two.to_dict()
+        assert one.to_dict() != other.to_dict()
+        assert max(one.loads()) <= spec.load_cap
+        assert one.total_threads() == sum(g.n_threads for g in groups.values())
+
+    def test_load_only_placement_balances_but_splits(self):
+        spec = fast_spec()
+        groups = population(spec)
+        state = load_only_placement(spec, groups)
+        loads = state.loads()
+        assert max(loads) - min(loads) <= 1
+        assert any(len(state.fragments(gid)) > 1 for gid in groups)
+
+    def test_sharing_starts_from_the_random_baseline_placement(self):
+        # The controller's value is measured by how far it migrates an
+        # inherited placement, so both start identically.
+        spec = fast_spec()
+        groups = population(spec)
+        random_start = initial_placement(spec, groups, "random")
+        sharing_start = initial_placement(spec, groups, "sharing")
+        assert sharing_start.to_dict() == random_start.to_dict()
+
+    def test_unknown_strategy_rejected(self):
+        spec = fast_spec()
+        with pytest.raises(ValueError, match="unknown placement strategy"):
+            initial_placement(spec, {}, "alphabetical")
+        with pytest.raises(ValueError, match="unknown strategy"):
+            FleetRun(spec, strategy="alphabetical")
+
+
+class TestStallMetrics:
+    def test_empty_fleet_reports_zero_fractions(self):
+        spec = fast_spec()
+        state = initial_placement(spec, {}, "load-only")
+        metrics = fleet_stall_metrics(spec, state, {}, {}, {})
+        assert metrics["fleet_remote_stall_fraction"] == 0.0
+        assert metrics["measured_remote_stall_fraction"] == 0.0
+
+
+class TestRunFleet:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """One random baseline and one sharing run on the same fleet."""
+        spec = fast_spec()
+        recorder = RingBufferRecorder(capacity=4096)
+        registry = MetricsRegistry()
+        with observe(recorder=recorder, registry=registry):
+            baseline = run_fleet(spec, strategy="random", iterations=1)
+            sharing = run_fleet(spec, strategy="sharing", iterations=4)
+        return baseline, sharing, recorder.events(), registry.snapshot()
+
+    def test_sharing_converges_and_reduces_remote_stall(self, runs):
+        baseline, sharing, _, _ = runs
+        assert sharing.converged
+        assert sharing.iterations_to_converge is not None
+        assert sharing.migrations_total > 0
+        reduction = remote_stall_reduction_vs(baseline, sharing)
+        assert reduction > 0.0
+        assert 0.0 <= sharing.fleet_remote_stall_fraction <= 1.0
+        assert 0.0 <= baseline.fleet_remote_stall_fraction <= 1.0
+
+    def test_frozen_baseline_runs_once_and_never_migrates(self, runs):
+        baseline, _, _, _ = runs
+        assert len(baseline.iterations) == 1
+        assert baseline.migrations_total == 0
+        assert baseline.converged
+
+    def test_fleet_events_emitted_with_iteration_clock(self, runs):
+        _, sharing, events, _ = runs
+        kinds = [event.kind for event in events]
+        assert KIND_FLEET_PLAN in kinds
+        assert KIND_FLEET_MIGRATION in kinds
+        assert KIND_FLEET_CONVERGED in kinds
+        converged = [e for e in events if e.kind == KIND_FLEET_CONVERGED]
+        assert converged[-1].cycle == sharing.iterations_to_converge
+
+    def test_fleet_metrics_published(self, runs):
+        _, sharing, _, snapshot = runs
+        assert snapshot["fleet_nodes"] == sharing.spec.n_nodes
+        assert snapshot["fleet_migrations_total"] == (
+            sharing.migrations_total
+        )
+        assert snapshot["fleet_iterations_total"] >= len(sharing.iterations)
+
+    def test_result_round_trips_to_json(self, runs):
+        _, sharing, _, _ = runs
+        assert json.loads(json.dumps(sharing.to_dict())) == sharing.to_dict()
+
+
+class TestCheckpointResume:
+    CHURN = dict(churn_mean_lifetime=2, n_groups=5, iterations=3)
+
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path):
+        spec = fast_spec()
+        fresh = run_fleet(spec, strategy="sharing", **self.CHURN)
+        ckpt = tmp_path / "fleet.ckpt.json"
+        interrupted = run_fleet(
+            spec, strategy="sharing", checkpoint_path=ckpt,
+            max_iterations=1, **self.CHURN
+        )
+        assert len(interrupted.iterations) == 1
+        resumed = run_fleet(
+            spec, strategy="sharing", checkpoint_path=ckpt, resume=True,
+            **self.CHURN
+        )
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+            fresh.to_dict(), sort_keys=True
+        )
+
+    def test_checkpoint_from_different_run_rejected(self, tmp_path):
+        spec = fast_spec()
+        ckpt = tmp_path / "fleet.ckpt.json"
+        run_fleet(
+            spec, strategy="sharing", checkpoint_path=ckpt,
+            max_iterations=1, **self.CHURN
+        )
+        other = fast_spec(seed=4)
+        with pytest.raises(FleetCheckpointError, match="different run"):
+            run_fleet(
+                other, strategy="sharing", checkpoint_path=ckpt,
+                resume=True, **self.CHURN
+            )
+
+    def test_missing_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(FleetCheckpointError, match="no fleet checkpoint"):
+            run_fleet(
+                fast_spec(), strategy="sharing",
+                checkpoint_path=tmp_path / "absent.json", resume=True
+            )
+
+
+class TestChurnDeterminism:
+    def test_same_seed_same_arrival_sequence(self):
+        a = GroupChurnModel(mean_lifetime=3, seed=7)
+        b = GroupChurnModel(mean_lifetime=3, seed=7)
+        pop_a = {g.gid: g for g in a.initial_population(6)}
+        pop_b = {g.gid: g for g in b.initial_population(6)}
+        assert pop_a == pop_b
+        for iteration in range(1, 6):
+            dep_a, arr_a = a.step(iteration, pop_a)
+            dep_b, arr_b = b.step(iteration, pop_b)
+            assert dep_a == dep_b
+            assert arr_a == arr_b
+            for gid in dep_a:
+                pop_a.pop(gid)
+                pop_b.pop(gid)
+            pop_a.update({g.gid: g for g in arr_a})
+            pop_b.update({g.gid: g for g in arr_b})
+
+    def test_state_dict_round_trip_mid_stream(self):
+        a = GroupChurnModel(mean_lifetime=3, seed=7)
+        pop = {g.gid: g for g in a.initial_population(6)}
+        a.step(1, pop)
+        snapshot = json.loads(json.dumps(a.state_dict()))
+        b = GroupChurnModel(mean_lifetime=3, seed=0)
+        b.load_state_dict(snapshot)
+        assert a.step(2, pop) == b.step(2, dict(pop))
+
+    def test_zero_mean_lifetime_means_immortal_groups(self):
+        model = GroupChurnModel(mean_lifetime=0, seed=1)
+        pop = {g.gid: g for g in model.initial_population(4)}
+        for iteration in range(1, 4):
+            departed, arrived = model.step(iteration, pop)
+            assert departed == []
+            assert arrived == []

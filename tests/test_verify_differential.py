@@ -18,6 +18,7 @@ from repro.verify import (
     diff_states,
     run_batched_walk,
     run_campaign,
+    run_fleet_replan_vs_fresh,
     run_observe_many,
     run_parallel_sweep,
     run_resume,
@@ -30,6 +31,7 @@ class TestPathCatalogue:
         assert set(DEFAULT_PATHS) == {
             "batched-walk",
             "columnar-vs-scalar",
+            "fleet-replan-vs-fresh",
             "observe-many",
             "parallel-sweep",
             "resume",
@@ -117,6 +119,14 @@ class TestSimulationPaths:
         assert report.ok
         assert report.detail["checkpoints_restored"] == 2
         assert (tmp_path / "verify-manifest.json").exists()
+
+    def test_fleet_replan_vs_fresh_clean(self, tmp_path):
+        report = run_fleet_replan_vs_fresh(
+            "microbenchmark", seed=3, n_rounds=10, workdir=tmp_path
+        )
+        assert report.ok
+        assert report.detail["interrupted_after"] == 1
+        assert report.detail["fresh_iterations"] >= 2
 
 
 class TestCampaign:

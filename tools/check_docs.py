@@ -5,9 +5,10 @@ Two invariants, both cheap and both the kind that silently rot:
 
 1. every intra-repo markdown link (``[text](relative/path)``) resolves
    to an existing file;
-2. every ``docs/*.md`` is reachable from the entry points -- referenced
-   by name from README.md or docs/architecture.md -- so no document can
-   exist that a reader browsing from the README cannot find.
+2. the documentation index ``docs/README.md`` exists, every other
+   ``docs/*.md`` is referenced from it, and the top-level README links
+   the index -- so no document can exist that a reader browsing from
+   the README cannot reach in two hops.
 
 External links (``http(s)://``, ``mailto:``) and pure in-page anchors
 (``#section``) are out of scope: the first needs a network, the second
@@ -29,8 +30,9 @@ from pathlib import Path
 #: markdown files whose links are checked
 DOC_GLOBS = ("*.md", "docs/*.md")
 
-#: files that must reference every docs/*.md
-INDEX_FILES = ("README.md", "docs/architecture.md")
+#: the documentation index: every other docs/*.md must be referenced
+#: from here, and the top-level README must link it
+INDEX_FILE = "docs/README.md"
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -72,20 +74,28 @@ def check_links(root: Path) -> list:
 
 
 def check_docs_referenced(root: Path) -> list:
-    index_text = ""
-    for name in INDEX_FILES:
-        path = root / name
-        if path.is_file():
-            index_text += path.read_text()
+    index = root / INDEX_FILE
+    if not index.is_file():
+        return [
+            f"{INDEX_FILE}: missing -- the documentation index is "
+            f"required (one routed row per docs/*.md guide)"
+        ]
+    index_text = index.read_text()
     problems = []
+    readme = root / "README.md"
+    if readme.is_file() and INDEX_FILE not in readme.read_text():
+        problems.append(
+            f"README.md: does not link the documentation index "
+            f"({INDEX_FILE})"
+        )
     for doc in sorted((root / "docs").glob("*.md")):
-        if f"docs/{doc.name}" in INDEX_FILES:
-            continue  # entry points are reachable by definition
+        if f"docs/{doc.name}" == INDEX_FILE:
+            continue  # the index is reachable via the README check above
         if f"docs/{doc.name}" in index_text or f"({doc.name})" in index_text:
             continue
         problems.append(
-            f"docs/{doc.name}: not referenced from any of "
-            f"{', '.join(INDEX_FILES)} -- unreachable from the entry points"
+            f"docs/{doc.name}: not referenced from {INDEX_FILE} -- "
+            f"unreachable from the documentation index"
         )
     return problems
 
