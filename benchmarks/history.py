@@ -53,7 +53,12 @@ def current_commit() -> str:
         )
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"
-    return out.stdout.strip() or "unknown" if out.returncode == 0 else "unknown"
+    # The parenthesization matters: without it the ternary binds looser
+    # than ``or`` and a failed git invocation (returncode != 0) would
+    # stamp whatever landed on stdout into the history.
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
 
 
 def record_run(
@@ -99,6 +104,16 @@ def load_history(history_path: Path) -> List[Dict[str, Any]]:
     return entries
 
 
+def _is_number(value: Any) -> bool:
+    """Numeric and usable as a benchmark mean.
+
+    ``bool`` is excluded explicitly: it passes ``isinstance(...,
+    (int, float))`` yet ``true`` in a hand-edited or corrupted history
+    line is a type error, not a 1-second benchmark.
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def _median(values: List[float]) -> float:
     ordered = sorted(values)
     middle = len(ordered) // 2
@@ -134,10 +149,16 @@ def detect_drift(
         return []
     findings: List[Dict[str, Any]] = []
     for name, mean in sorted(latest["means"].items()):
+        if not _is_number(mean):
+            # load_history only validates that ``means`` is a dict, so a
+            # corrupt *value* in the newest entry lands here; skip it
+            # like a corrupt prior line rather than crashing the trend
+            # check on float(mean).
+            continue
         history = [
             e["means"][name]
             for e in priors
-            if isinstance(e["means"].get(name), (int, float))
+            if _is_number(e["means"].get(name))
         ]
         if len(history) < min_runs:
             continue

@@ -60,6 +60,8 @@ _RUNNERS: Dict[str, str] = {
     "churn": "EXT4: connection churn vs clustering quality",
     "fleet": "EXT5: fleet-scale sharing-aware placement (replanned vs "
              "random/load-only baselines; --nodes, --replans)",
+    "tune": "EXT6: staged controller autotuning (grid -> random -> beam) "
+            "with per-workload Pareto fronts; --grid, --starts, --beam",
     "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
     "report": "OBS: flight-recorder run(s) rendered as a self-contained "
               "HTML report (+ JSONL export)",
@@ -98,6 +100,7 @@ _SWEEP_EXPERIMENTS = frozenset(
         "ablation-tolerance",
         "churn",
         "fleet",
+        "tune",
     }
 )
 
@@ -458,6 +461,95 @@ def _run_fleet(args, out: Optional[Path]) -> None:
             )
 
 
+def _run_tune(args, out: Optional[Path]) -> None:
+    """EXT6: the staged controller autotuning search (docs/tuning.md).
+
+    Searches the clustering controller's parameter space per workload
+    (grid -> multi-start random -> beam refinement), printing the
+    ranked candidates and the Pareto front over stall reduction vs.
+    migration cost.  Every candidate runs through the resilient sweep
+    runner, so --jobs/--manifest/--resume/--spool-dir compose; each
+    search stage derives its own manifest from --manifest.
+    """
+    policy = _exec_policy(args, "tune")
+    workloads = args.workload or ["specjbb"]
+    seeds = tuple(range(args.seed, args.seed + args.seeds))
+    for workload in workloads:
+        spec = exp.TuneSpec.preset(
+            args.grid,
+            workload=workload,
+            seeds=seeds,
+            n_rounds=args.rounds,
+            random_starts=args.starts,
+            beam_width=args.beam,
+            beam_iterations=args.beam_iters,
+            migration_weight=args.migration_weight,
+        )
+        study = exp.run_tune(
+            spec, jobs=args.jobs, policy=policy, progress=print
+        )
+        front_cids = {s.candidate.cid for s in study.front()}
+        rows = []
+        for score in study.ranked()[:10]:
+            cand = score.candidate
+            marks = "".join(
+                mark
+                for mark, hit in (
+                    ("*", cand.cid in front_cids),
+                    ("P", cand.cid == study.paper_cid),
+                )
+                if hit
+            )
+            rows.append(
+                (
+                    f"{cand.cid}{marks and ' ' + marks}",
+                    cand.activation_threshold,
+                    cand.similarity_threshold,
+                    cand.sampling_period,
+                    cand.samples_needed,
+                    cand.shmap_entries,
+                    score.stall_reduction.mean,
+                    score.migrations.mean,
+                    score.score,
+                )
+            )
+        print(format_table(
+            ["candidate", "activation", "similarity", "period", "samples",
+             "entries", "stall reduction", "migrations", "score"],
+            rows, float_format="{:.4f}"))
+        print("(* on Pareto front, P = paper constants)")
+        best, paper = study.best, study.paper_score
+        print(
+            f"tuned {best.candidate.cid} score {best.score:+.4f} vs paper "
+            f"{paper.score:+.4f} "
+            f"(stall reduction {best.stall_reduction.mean:.1%} vs "
+            f"{paper.stall_reduction.mean:.1%} over {len(seeds)} seed(s))"
+        )
+        _write(
+            out,
+            f"tune_{workload}.json",
+            json.dumps(study.to_dict(), indent=2, sort_keys=True),
+        )
+        if out is not None:
+            from .obs.report import render_tune_report
+
+            _write(out, f"tune_{workload}.html",
+                   render_tune_report(study.to_dict()))
+    # One manifest per (workload, stage) is derived from --manifest, so
+    # summarize the family like the fleet runner does.
+    if policy is not None and policy.manifest_path is not None:
+        from .experiments.manifest import RunManifest
+
+        base = policy.manifest_path
+        suffix = base.suffix or ".json"
+        for manifest in sorted(base.parent.glob(f"{base.stem}-*{suffix}")):
+            counts = RunManifest.load(manifest).summary()["counts"]
+            print(
+                f"sweep manifest {manifest}: {counts['done']} done, "
+                f"{counts['failed']} failed, {counts['pending']} pending"
+            )
+
+
 def _run_phase_change(args, out: Optional[Path]) -> None:
     report = exp.run_phase_change(seed=args.seed)
     rows = [
@@ -706,6 +798,7 @@ _DISPATCH: Dict[str, Callable] = {
     "smt-aware": _run_smt_aware,
     "churn": _run_churn,
     "fleet": _run_fleet,
+    "tune": _run_tune,
 }
 
 
@@ -829,9 +922,9 @@ def build_parser() -> argparse.ArgumentParser:
             ("microbenchmark", "volanomark", "specjbb", "rubis")
         ), action="append", default=None,
         help=(
-            "workload for the 'trace' and 'verify' subcommands; repeat "
-            "to give 'verify' several (trace default: microbenchmark; "
-            "verify default: all four)"
+            "workload for the 'trace', 'verify' and 'tune' subcommands; "
+            "repeat for several (trace default: microbenchmark; verify "
+            "default: all four; tune default: specjbb)"
         ),
     )
     parser.add_argument(
@@ -866,7 +959,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, default=1, metavar="N",
         help=(
             "number of consecutive seeds (starting at --seed) for the "
-            "'verify' campaign (default: 1)"
+            "'verify' campaign and per-candidate 'tune' scoring "
+            "(default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--grid", choices=sorted(exp.GRID_PRESETS), default="small",
+        help="grid preset for the 'tune' stage-1 sweep (default: small)",
+    )
+    parser.add_argument(
+        "--starts", type=int, default=6, metavar="N",
+        help="'tune' stage-2 random starts around the best grid anchors "
+             "(default: 6)",
+    )
+    parser.add_argument(
+        "--beam", type=int, default=3, metavar="N",
+        help="'tune' beam width: top candidates refined per stage "
+             "(default: 3)",
+    )
+    parser.add_argument(
+        "--beam-iters", type=int, default=2, metavar="N",
+        help="'tune' beam refinement iterations with shrinking step "
+             "(default: 2)",
+    )
+    parser.add_argument(
+        "--migration-weight", type=float, default=0.1, metavar="W",
+        help=(
+            "'tune' scalar-score weight of mean migrations per thread "
+            "against mean stall reduction (default: 0.1)"
         ),
     )
     parser.add_argument(
@@ -934,6 +1054,16 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"--nodes must be >= 1, got {args.nodes}")
     if args.replans < 1:
         parser.error(f"--replans must be >= 1, got {args.replans}")
+    if args.starts < 0:
+        parser.error(f"--starts must be >= 0, got {args.starts}")
+    if args.beam < 1:
+        parser.error(f"--beam must be >= 1, got {args.beam}")
+    if args.beam_iters < 0:
+        parser.error(f"--beam-iters must be >= 0, got {args.beam_iters}")
+    if args.migration_weight < 0:
+        parser.error(
+            f"--migration-weight must be >= 0, got {args.migration_weight}"
+        )
     if args.task_timeout is not None and args.task_timeout <= 0:
         parser.error(f"--task-timeout must be > 0, got {args.task_timeout}")
     if args.resume and args.manifest is None:
@@ -999,14 +1129,16 @@ def main(argv: Optional[list] = None) -> int:
     registry = MetricsRegistry() if args.metrics is not None else None
 
     # "all" regenerates the paper artefacts; the trace, report, top and
-    # verify subcommands are tooling, and the fleet study scales with
-    # --nodes rather than the paper's fixed machines, so none is part
+    # verify subcommands are tooling, the fleet study scales with
+    # --nodes rather than the paper's fixed machines, and the tune
+    # search explores beyond the paper's constants, so none is part
     # of it.
     if args.experiment == "all":
         targets = sorted(
             name
             for name in _DISPATCH
-            if name not in ("trace", "report", "top", "verify", "fleet")
+            if name not in ("trace", "report", "top", "verify", "fleet",
+                            "tune")
         )
     else:
         targets = [args.experiment]

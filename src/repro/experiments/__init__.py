@@ -51,6 +51,17 @@ from .sec64_spatial import SHMAP_SIZES, SpatialStudy, run_sec64
 from .smt_aware import SmtAwareStudy, run_smt_aware
 from .stats import MetricSummary, SeedStudy, run_seed_study
 from .sec74_scaling import ScalingStudy, run_sec74
+from .tune import (
+    GRID_PRESETS,
+    CandidateScore,
+    StageRecord,
+    TuneCandidate,
+    TuneSpec,
+    TuneStudy,
+    paper_candidate,
+    pareto_front,
+    run_tune,
+)
 
 __all__ = [
     "ActivationStudy",
@@ -115,4 +126,13 @@ __all__ = [
     "SweepOutcome",
     "TaskFailure",
     "run_resilient",
+    "GRID_PRESETS",
+    "CandidateScore",
+    "StageRecord",
+    "TuneCandidate",
+    "TuneSpec",
+    "TuneStudy",
+    "paper_candidate",
+    "pareto_front",
+    "run_tune",
 ]

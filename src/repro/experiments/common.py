@@ -7,7 +7,7 @@ object that both the examples and the benchmark harness print.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, is_dataclass, replace
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -62,7 +62,15 @@ def evaluation_config(
     seed: int = DEFAULT_SEED,
     **overrides: object,
 ) -> SimConfig:
-    """The standard evaluation configuration for one policy."""
+    """The standard evaluation configuration for one policy.
+
+    An override whose target field is a nested config dataclass
+    (``controller_config``, ``shmap_config``) may be given as a dict of
+    *field* overrides -- merged into the evaluation default via
+    ``dataclasses.replace`` so the other scaled constants are kept and
+    the nested ``__post_init__`` validation still runs.  The tune
+    driver leans on this to vary one controller knob at a time.
+    """
     config = SimConfig(
         policy=policy,
         n_rounds=n_rounds,
@@ -72,6 +80,9 @@ def evaluation_config(
     for key, value in overrides.items():
         if not hasattr(config, key):
             raise AttributeError(f"SimConfig has no field {key!r}")
+        current = getattr(config, key)
+        if isinstance(value, dict) and is_dataclass(current):
+            value = replace(current, **value)
         setattr(config, key, value)
     return config
 

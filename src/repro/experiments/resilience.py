@@ -155,6 +155,28 @@ class ExecutionPolicy:
         if self.heartbeat_stall_s is not None and self.heartbeat_stall_s <= 0:
             raise ValueError("heartbeat_stall_s must be positive")
 
+    def derive(self, name: str) -> "ExecutionPolicy":
+        """A copy whose manifest (if any) is suffixed ``-<name>``.
+
+        Staged drivers -- the fleet loop's per-iteration probe sweeps,
+        the tune search's grid/random/beam stages -- run several
+        distinct task lists under one user-supplied ``--manifest``.
+        Each list needs its own ledger (reconcile refuses a manifest
+        whose task set changed), so every stage derives
+        ``base-<name>.json`` and resumes exactly when that file already
+        exists -- an interrupted run re-loads completed stages from
+        their checkpoints and re-runs only the stage it died in.
+        """
+        if self.manifest_path is None:
+            return self
+        suffix = self.manifest_path.suffix or ".json"
+        manifest = self.manifest_path.with_name(
+            f"{self.manifest_path.stem}-{name}{suffix}"
+        )
+        return replace(
+            self, manifest_path=manifest, resume=manifest.is_file()
+        )
+
 
 @dataclass
 class TaskFailure:

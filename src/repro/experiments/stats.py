@@ -11,6 +11,7 @@ positive in one lucky run.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
@@ -58,6 +59,14 @@ class SeedStudy:
     summaries: Dict[str, Dict[str, MetricSummary]] = field(default_factory=dict)
     #: per-seed speedups of clustered over default
     clustered_speedups: List[float] = field(default_factory=list)
+    #: seeds that produced no speedup sample, with the reason -- a
+    #: missing baseline policy or a zero-throughput baseline must not
+    #: silently shrink the sample ``gain_is_robust`` judges
+    skipped_seeds: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skipped_seeds)
 
     @property
     def speedup(self) -> MetricSummary:
@@ -65,7 +74,11 @@ class SeedStudy:
 
     @property
     def gain_is_robust(self) -> bool:
-        """Mean speedup exceeds two standard deviations (and zero)."""
+        """Mean speedup exceeds two standard deviations (and zero),
+        over the *full* seed set -- a study where some seeds were
+        skipped never claims robustness on the survivors alone."""
+        if self.skipped_seeds or not self.clustered_speedups:
+            return False
         summary = self.speedup
         return summary.mean > 0 and summary.mean > 2 * summary.std
 
@@ -101,10 +114,38 @@ def run_seed_study(
             )
         baseline = results.get(PlacementPolicy.DEFAULT_LINUX.value)
         clustered = results.get(PlacementPolicy.CLUSTERED.value)
-        if baseline is not None and clustered is not None and baseline.throughput:
+        if baseline is None or clustered is None:
+            missing = [
+                policy.value
+                for policy in (
+                    PlacementPolicy.DEFAULT_LINUX,
+                    PlacementPolicy.CLUSTERED,
+                )
+                if policy.value not in results
+            ]
+            study.skipped_seeds[seed] = (
+                f"policy set lacks {', '.join(missing)}"
+            )
+        elif not baseline.throughput:
+            study.skipped_seeds[seed] = "baseline throughput is zero"
+        else:
             study.clustered_speedups.append(
                 clustered.throughput / baseline.throughput - 1.0
             )
+
+    if study.skipped_seeds:
+        details = "; ".join(
+            f"seed {seed}: {reason}"
+            for seed, reason in sorted(study.skipped_seeds.items())
+        )
+        warnings.warn(
+            f"run_seed_study({workload_name!r}): "
+            f"{len(study.skipped_seeds)} of {len(study.seeds)} seed(s) "
+            f"produced no speedup sample ({details}); gain_is_robust is "
+            f"False for this study",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     for policy_name, metrics in per_policy.items():
         study.summaries[policy_name] = {

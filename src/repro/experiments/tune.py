@@ -1,0 +1,780 @@
+"""Autotuning: staged search over the clustering controller's knobs.
+
+The paper fixes its controller constants (activation threshold 5%,
+similarity threshold, 1-in-10 sampling, 4000 samples) from hardware
+intuition; a simulator can do better and *search* that space.  This
+module drives a three-stage search per workload:
+
+1. **grid** -- a coarse cartesian grid over the declared axes.  The
+   paper-constant candidate is always injected, so the tuned result can
+   never be worse than the paper's defaults on the scoring metric.
+2. **random** -- multi-start refinement: log-uniform jitter around the
+   best grid anchors, exploring between grid points.
+3. **beam** -- local hill polish: per-axis perturbations around the
+   current top-``beam_width`` candidates with a shrinking step.
+
+Every candidate evaluation is an ordinary :class:`~repro.experiments.
+parallel.SimTask` routed through :func:`~repro.experiments.parallel.
+run_labelled`, so ``--jobs`` fan-out, retries/timeouts, worker spools
+(``repro top``) and manifest checkpointing all compose unchanged.  Each
+stage derives its own manifest (``<base>-<workload>-<stage>.json`` via
+:meth:`~repro.experiments.resilience.ExecutionPolicy.derive`) and every
+stage's candidate list is a deterministic function of the spec plus the
+scores of earlier stages -- so an interrupted search, resumed, replays
+completed stages from checkpoints and reproduces the fresh run's study
+byte-for-byte (asserted in tests/test_tune.py).
+
+Scoring (per candidate, over ``spec.seeds``):
+
+* ``stall_reduction``: per-seed ``1 - clustered_remote_stall /
+  baseline_remote_stall`` against the shared paper-default
+  ``default_linux`` baseline of the same seed (the fig6 metric).
+* ``migrations``: migrations executed by the clustering controller --
+  the disruption the search trades off against.
+* scalar ``score = mean(stall_reduction) - migration_weight *
+  mean(migrations) / n_threads`` with ties broken by candidate id, so
+  ranking is deterministic across runs and platforms.
+
+The study keeps *every* scored candidate and exposes the Pareto front
+over (maximize stall reduction, minimize migrations); see
+docs/tuning.md for the methodology and obs/report.py for the rendered
+front.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import KIND_TUNE_CANDIDATE, KIND_TUNE_FRONT
+from ..obs import session as obs_session
+from ..sched.placement import PlacementPolicy
+from ..sim.config import SimConfig
+from ..sim.results import SimResult
+from .common import (
+    DEFAULT_N_ROUNDS,
+    PAPER_WORKLOADS,
+    WorkloadFactory,
+    policy_sweep_tasks,
+)
+from .parallel import run_labelled
+from .resilience import ExecutionPolicy
+from .stats import MetricSummary
+
+#: label component for the shared default_linux baseline tasks
+BASELINE_LABEL = "baseline"
+
+#: clamp ranges keeping jittered candidates inside the validation
+#: envelope of ControllerConfig/ShMapConfig/SimConfig __post_init__
+_ACTIVATION_RANGE = (0.005, 0.95)
+_SIMILARITY_RANGE = (1.0, 400.0)
+_PERIOD_RANGE = (1, 100)
+_SAMPLES_RANGE = (250, 50_000)
+_SHMAP_RANGE = (32, 2048)
+
+
+def _clamp(value: float, bounds: Tuple[float, float]) -> float:
+    return min(max(value, bounds[0]), bounds[1])
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One point in the controller parameter space."""
+
+    activation_threshold: float
+    similarity_threshold: float
+    sampling_period: int
+    samples_needed: int
+    shmap_entries: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activation_threshold <= 1.0:
+            raise ValueError("activation_threshold must be in (0, 1]")
+        if self.similarity_threshold <= 0:
+            raise ValueError("similarity_threshold must be positive")
+        if self.sampling_period < 1:
+            raise ValueError("sampling_period must be >= 1")
+        if self.samples_needed < 1:
+            raise ValueError("samples_needed must be >= 1")
+        if self.shmap_entries < 1:
+            raise ValueError("shmap_entries must be >= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "activation_threshold": self.activation_threshold,
+            "similarity_threshold": self.similarity_threshold,
+            "sampling_period": self.sampling_period,
+            "samples_needed": self.samples_needed,
+            "shmap_entries": self.shmap_entries,
+        }
+
+    @property
+    def cid(self) -> str:
+        """Short content id -- stable across runs, used in task labels
+        (and therefore in manifest fingerprints)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:10]
+
+    def config_overrides(self) -> Dict[str, object]:
+        """The ``evaluation_config`` overrides realizing this point.
+
+        Nested dicts are merged into the evaluation defaults by
+        :func:`~repro.experiments.common.evaluation_config`, so the
+        controller's other scaled constants (windows, cooldowns) stay
+        at their evaluated values.
+        """
+        return {
+            "similarity_threshold": self.similarity_threshold,
+            "sampling_period": self.sampling_period,
+            "controller_config": {
+                "activation_threshold": self.activation_threshold,
+                "samples_needed": self.samples_needed,
+            },
+            "shmap_config": {"n_entries": self.shmap_entries},
+        }
+
+
+def paper_candidate() -> TuneCandidate:
+    """The paper-constant operating point (SimConfig defaults)."""
+    config = SimConfig()
+    return TuneCandidate(
+        activation_threshold=config.controller_config.activation_threshold,
+        similarity_threshold=config.similarity_threshold,
+        sampling_period=config.sampling_period,
+        samples_needed=config.controller_config.samples_needed,
+        shmap_entries=config.shmap_config.n_entries,
+    )
+
+
+#: named grid presets for the CLI (--grid); "tiny" is the CI smoke
+#: size, "small" the default interactive size
+GRID_PRESETS: Dict[str, Dict[str, Tuple]] = {
+    "tiny": {
+        "activation_grid": (0.05, 0.10),
+        "similarity_grid": (25.0,),
+        "period_grid": (5, 10),
+        "samples_grid": (4000,),
+        "shmap_grid": (256,),
+    },
+    "small": {
+        "activation_grid": (0.02, 0.05, 0.10),
+        "similarity_grid": (12.5, 25.0, 50.0),
+        "period_grid": (5, 10, 20),
+        "samples_grid": (4000,),
+        "shmap_grid": (256,),
+    },
+    "full": {
+        "activation_grid": (0.02, 0.05, 0.10, 0.20),
+        "similarity_grid": (12.5, 25.0, 50.0),
+        "period_grid": (5, 10, 20),
+        "samples_grid": (2000, 4000, 8000),
+        "shmap_grid": (128, 256, 512),
+    },
+}
+
+
+@dataclass(frozen=True)
+class TuneSpec:
+    """What to search, how hard, and how to score it."""
+
+    workload: str = "specjbb"
+    seeds: Tuple[int, ...] = (3, 7)
+    n_rounds: int = DEFAULT_N_ROUNDS
+    activation_grid: Tuple[float, ...] = GRID_PRESETS["small"]["activation_grid"]
+    similarity_grid: Tuple[float, ...] = GRID_PRESETS["small"]["similarity_grid"]
+    period_grid: Tuple[int, ...] = GRID_PRESETS["small"]["period_grid"]
+    samples_grid: Tuple[int, ...] = GRID_PRESETS["small"]["samples_grid"]
+    shmap_grid: Tuple[int, ...] = GRID_PRESETS["small"]["shmap_grid"]
+    random_starts: int = 6
+    beam_width: int = 3
+    beam_iterations: int = 2
+    #: weight of normalized migration cost in the scalar score
+    migration_weight: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("seeds must be non-empty")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("seeds must be distinct")
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        for name in (
+            "activation_grid",
+            "similarity_grid",
+            "period_grid",
+            "samples_grid",
+            "shmap_grid",
+        ):
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        if self.random_starts < 0 or self.beam_iterations < 0:
+            raise ValueError("random_starts/beam_iterations must be >= 0")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        if self.migration_weight < 0:
+            raise ValueError("migration_weight must be >= 0")
+
+    @classmethod
+    def preset(cls, grid: str = "small", **kwargs: object) -> "TuneSpec":
+        """A spec with one of the named grid presets applied."""
+        if grid not in GRID_PRESETS:
+            raise ValueError(
+                f"unknown grid preset {grid!r}; "
+                f"choose from {sorted(GRID_PRESETS)}"
+            )
+        merged = dict(GRID_PRESETS[grid])
+        merged.update(kwargs)
+        return cls(**merged)  # type: ignore[arg-type]
+
+    def grid_candidates(self) -> List[TuneCandidate]:
+        """Stage-1 candidates: the cartesian grid plus the paper point."""
+        candidates = [paper_candidate()]
+        seen = {candidates[0].cid}
+        for act, sim, period, samples, entries in itertools.product(
+            self.activation_grid,
+            self.similarity_grid,
+            self.period_grid,
+            self.samples_grid,
+            self.shmap_grid,
+        ):
+            cand = TuneCandidate(
+                activation_threshold=act,
+                similarity_threshold=sim,
+                sampling_period=period,
+                samples_needed=samples,
+                shmap_entries=entries,
+            )
+            if cand.cid not in seen:
+                seen.add(cand.cid)
+                candidates.append(cand)
+        return candidates
+
+
+@dataclass
+class CandidateScore:
+    """Multi-seed scoring of one candidate."""
+
+    candidate: TuneCandidate
+    stage: str
+    stall_reduction: MetricSummary
+    migrations: MetricSummary
+    speedup: MetricSummary
+    n_threads: int
+    migration_weight: float
+    #: seed -> reason, for seeds that could not be scored (quarantined
+    #: task under allow_partial, or degenerate baseline) -- recorded
+    #: explicitly, never silently dropped
+    skipped_seeds: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def score(self) -> float:
+        """Scalar rank key: stall reduction minus weighted disruption."""
+        per_thread = self.migrations.mean / max(self.n_threads, 1)
+        return self.stall_reduction.mean - self.migration_weight * per_thread
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cid": self.candidate.cid,
+            "params": self.candidate.to_dict(),
+            "stage": self.stage,
+            "score": self.score,
+            "stall_reduction": _summary_dict(self.stall_reduction),
+            "migrations": _summary_dict(self.migrations),
+            "speedup": _summary_dict(self.speedup),
+            "n_threads": self.n_threads,
+            "migration_weight": self.migration_weight,
+            "skipped_seeds": {
+                str(seed): reason
+                for seed, reason in sorted(self.skipped_seeds.items())
+            },
+        }
+
+
+def _summary_dict(summary: MetricSummary) -> Dict[str, float]:
+    return {
+        "mean": summary.mean,
+        "std": summary.std,
+        "min": summary.minimum,
+        "max": summary.maximum,
+        "n": summary.n,
+    }
+
+
+def rank_key(score: CandidateScore) -> Tuple[float, str]:
+    """Deterministic ordering: best score first, ties by candidate id."""
+    return (-score.score, score.candidate.cid)
+
+
+def pareto_front(scores: Sequence[CandidateScore]) -> List[CandidateScore]:
+    """Non-dominated candidates on (max stall reduction, min migrations).
+
+    A candidate is dominated when another is at least as good on both
+    objectives and strictly better on one.  The front is sorted by
+    descending stall reduction (ties by ascending migrations, then cid)
+    so its order is deterministic.
+    """
+    front: List[CandidateScore] = []
+    for cand in scores:
+        dominated = False
+        for other in scores:
+            if other is cand:
+                continue
+            if (
+                other.stall_reduction.mean >= cand.stall_reduction.mean
+                and other.migrations.mean <= cand.migrations.mean
+                and (
+                    other.stall_reduction.mean > cand.stall_reduction.mean
+                    or other.migrations.mean < cand.migrations.mean
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(cand)
+    front.sort(
+        key=lambda s: (
+            -s.stall_reduction.mean,
+            s.migrations.mean,
+            s.candidate.cid,
+        )
+    )
+    return front
+
+
+@dataclass
+class StageRecord:
+    """Bookkeeping for one completed search stage."""
+
+    name: str
+    #: cids newly scored in this stage, in evaluation order
+    evaluated: List[str]
+    #: overall best after the stage, by :func:`rank_key`
+    best_cid: str
+    best_score: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "evaluated": list(self.evaluated),
+            "best_cid": self.best_cid,
+            "best_score": self.best_score,
+        }
+
+
+@dataclass
+class TuneStudy:
+    """Everything one workload's search produced."""
+
+    spec: TuneSpec
+    #: cid -> score, insertion-ordered by evaluation
+    scores: Dict[str, CandidateScore] = field(default_factory=dict)
+    stages: List[StageRecord] = field(default_factory=list)
+    #: per-seed baseline remote-stall fraction (the scoring denominator)
+    baseline_stall: Dict[int, float] = field(default_factory=dict)
+    #: per-seed baseline throughput (the speedup denominator)
+    baseline_throughput: Dict[int, float] = field(default_factory=dict)
+    paper_cid: str = field(default_factory=lambda: paper_candidate().cid)
+
+    def ranked(self) -> List[CandidateScore]:
+        return sorted(self.scores.values(), key=rank_key)
+
+    @property
+    def best(self) -> CandidateScore:
+        if not self.scores:
+            raise ValueError("study has no scored candidates")
+        return self.ranked()[0]
+
+    @property
+    def paper_score(self) -> Optional[CandidateScore]:
+        return self.scores.get(self.paper_cid)
+
+    def front(self) -> List[CandidateScore]:
+        return pareto_front(list(self.scores.values()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic plain-dict form (feeds JSON and the report)."""
+        return {
+            "workload": self.spec.workload,
+            "seeds": list(self.spec.seeds),
+            "n_rounds": self.spec.n_rounds,
+            "migration_weight": self.spec.migration_weight,
+            "paper_cid": self.paper_cid,
+            "best_cid": self.best.candidate.cid if self.scores else None,
+            "baseline_stall": {
+                str(seed): value
+                for seed, value in sorted(self.baseline_stall.items())
+            },
+            "baseline_throughput": {
+                str(seed): value
+                for seed, value in sorted(self.baseline_throughput.items())
+            },
+            "stages": [stage.to_dict() for stage in self.stages],
+            "front": [score.to_dict() for score in self.front()],
+            "ranked": [score.to_dict() for score in self.ranked()],
+        }
+
+
+def _jitter(
+    anchor: TuneCandidate, rng: random.Random
+) -> TuneCandidate:
+    """Log-uniform multiplicative jitter around an anchor, clamped to
+    the validated parameter envelope."""
+
+    def scaled(value: float, bounds: Tuple[float, float]) -> float:
+        return _clamp(value * 2.0 ** rng.uniform(-1.0, 1.0), bounds)
+
+    entries = anchor.shmap_entries
+    entries = rng.choice([max(entries // 2, 1), entries, entries * 2])
+    return TuneCandidate(
+        activation_threshold=round(
+            scaled(anchor.activation_threshold, _ACTIVATION_RANGE), 6
+        ),
+        similarity_threshold=round(
+            scaled(anchor.similarity_threshold, _SIMILARITY_RANGE), 6
+        ),
+        sampling_period=int(
+            round(scaled(anchor.sampling_period, _PERIOD_RANGE))
+        ),
+        samples_needed=int(
+            round(scaled(anchor.samples_needed, _SAMPLES_RANGE))
+        ),
+        shmap_entries=int(_clamp(entries, _SHMAP_RANGE)),
+    )
+
+
+def _neighbors(
+    anchor: TuneCandidate, step: float
+) -> List[TuneCandidate]:
+    """Per-axis up/down perturbations for the beam stage."""
+    up, down = 1.0 + step, 1.0 / (1.0 + step)
+    variants: List[TuneCandidate] = []
+    for factor in (up, down):
+        variants.append(
+            TuneCandidate(
+                activation_threshold=round(
+                    _clamp(
+                        anchor.activation_threshold * factor,
+                        _ACTIVATION_RANGE,
+                    ),
+                    6,
+                ),
+                similarity_threshold=anchor.similarity_threshold,
+                sampling_period=anchor.sampling_period,
+                samples_needed=anchor.samples_needed,
+                shmap_entries=anchor.shmap_entries,
+            )
+        )
+        variants.append(
+            TuneCandidate(
+                activation_threshold=anchor.activation_threshold,
+                similarity_threshold=round(
+                    _clamp(
+                        anchor.similarity_threshold * factor,
+                        _SIMILARITY_RANGE,
+                    ),
+                    6,
+                ),
+                sampling_period=anchor.sampling_period,
+                samples_needed=anchor.samples_needed,
+                shmap_entries=anchor.shmap_entries,
+            )
+        )
+        variants.append(
+            TuneCandidate(
+                activation_threshold=anchor.activation_threshold,
+                similarity_threshold=anchor.similarity_threshold,
+                sampling_period=int(
+                    _clamp(
+                        round(anchor.sampling_period * factor),
+                        _PERIOD_RANGE,
+                    )
+                ),
+                samples_needed=anchor.samples_needed,
+                shmap_entries=anchor.shmap_entries,
+            )
+        )
+        variants.append(
+            TuneCandidate(
+                activation_threshold=anchor.activation_threshold,
+                similarity_threshold=anchor.similarity_threshold,
+                sampling_period=anchor.sampling_period,
+                samples_needed=int(
+                    _clamp(
+                        round(anchor.samples_needed * factor),
+                        _SAMPLES_RANGE,
+                    )
+                ),
+                shmap_entries=anchor.shmap_entries,
+            )
+        )
+    return variants
+
+
+class _TuneRunner:
+    """One workload's staged search (the state behind :func:`run_tune`)."""
+
+    def __init__(
+        self,
+        spec: TuneSpec,
+        jobs: Optional[int],
+        policy: Optional[ExecutionPolicy],
+        workload_factory: Optional[WorkloadFactory],
+        progress: Optional[Callable[[str], None]],
+    ) -> None:
+        self.spec = spec
+        self.jobs = jobs
+        self.policy = policy
+        self.factory = workload_factory or PAPER_WORKLOADS[spec.workload]
+        self.progress = progress or (lambda message: None)
+        self.study = TuneStudy(spec=spec)
+        self.n_threads = 0
+        self._stage_index = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> TuneStudy:
+        spec = self.spec
+        self._run_stage("grid", spec.grid_candidates(), baselines=True)
+        if spec.random_starts:
+            self._run_stage("random", self._random_candidates())
+        step = 0.25
+        for iteration in range(1, spec.beam_iterations + 1):
+            candidates = self._beam_candidates(step)
+            if not candidates:
+                break
+            self._run_stage(f"beam{iteration}", candidates)
+            step /= 2.0
+        registry = obs_session.active_registry()
+        if registry is not None and self.study.scores:
+            registry.gauge(
+                "tune_best_score", workload=spec.workload
+            ).set(self.study.best.score)
+            registry.gauge(
+                "tune_front_size", workload=spec.workload
+            ).set(len(self.study.front()))
+        return self.study
+
+    # ------------------------------------------------------------------
+    def _random_candidates(self) -> List[TuneCandidate]:
+        """Stage-2 candidates: jitter around the top grid anchors.
+
+        Seeded from the spec alone, so a resumed run regenerates the
+        identical candidate list (stage-1 scores being equal, which the
+        per-stage manifests guarantee)."""
+        spec = self.spec
+        rng = random.Random(
+            f"repro-tune:{spec.workload}:{spec.seeds[0]}:{spec.random_starts}"
+        )
+        anchors = [s.candidate for s in self.study.ranked()[: spec.beam_width]]
+        fresh: List[TuneCandidate] = []
+        attempts = 0
+        while len(fresh) < spec.random_starts and attempts < 50 * max(
+            spec.random_starts, 1
+        ):
+            attempts += 1
+            cand = _jitter(rng.choice(anchors), rng)
+            if cand.cid not in self.study.scores and cand not in fresh:
+                fresh.append(cand)
+        return fresh
+
+    def _beam_candidates(self, step: float) -> List[TuneCandidate]:
+        anchors = [s.candidate for s in self.study.ranked()[: self.spec.beam_width]]
+        fresh: List[TuneCandidate] = []
+        for anchor in anchors:
+            for cand in _neighbors(anchor, step):
+                if cand.cid not in self.study.scores and cand not in fresh:
+                    fresh.append(cand)
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self,
+        name: str,
+        candidates: List[TuneCandidate],
+        baselines: bool = False,
+    ) -> None:
+        spec = self.spec
+        tasks = []
+        if baselines:
+            for seed in spec.seeds:
+                tasks.extend(
+                    policy_sweep_tasks(
+                        self.factory,
+                        policies=[PlacementPolicy.DEFAULT_LINUX],
+                        n_rounds=spec.n_rounds,
+                        seed=seed,
+                        label_prefix=(
+                            f"{spec.workload}/{BASELINE_LABEL}/s{seed}/"
+                        ),
+                    )
+                )
+        for cand in candidates:
+            for seed in spec.seeds:
+                tasks.extend(
+                    policy_sweep_tasks(
+                        self.factory,
+                        policies=[PlacementPolicy.CLUSTERED],
+                        n_rounds=spec.n_rounds,
+                        seed=seed,
+                        label_prefix=f"{spec.workload}/{cand.cid}/s{seed}/",
+                        **cand.config_overrides(),
+                    )
+                )
+        self.progress(
+            f"[tune:{spec.workload}] stage {name}: "
+            f"{len(candidates)} candidates, {len(tasks)} runs"
+        )
+        stage_policy = (
+            self.policy.derive(f"{spec.workload}-{name}")
+            if self.policy is not None
+            else None
+        )
+        results = run_labelled(tasks, jobs=self.jobs, policy=stage_policy)
+        if baselines:
+            for seed in spec.seeds:
+                label = (
+                    f"{spec.workload}/{BASELINE_LABEL}/s{seed}/"
+                    f"{PlacementPolicy.DEFAULT_LINUX.value}"
+                )
+                result = results.get(label)
+                if result is not None:
+                    self.study.baseline_stall[seed] = (
+                        result.remote_stall_fraction
+                    )
+                    self.study.baseline_throughput[seed] = result.throughput
+                    self.n_threads = max(
+                        self.n_threads, len(result.thread_summaries)
+                    )
+        for cand in candidates:
+            self._score(name, cand, results)
+        self._record_stage(name, candidates)
+
+    def _score(
+        self,
+        stage: str,
+        cand: TuneCandidate,
+        results: Dict[str, SimResult],
+    ) -> None:
+        spec = self.spec
+        reductions: List[float] = []
+        migrations: List[float] = []
+        speedups: List[float] = []
+        skipped: Dict[int, str] = {}
+        for seed in spec.seeds:
+            label = (
+                f"{spec.workload}/{cand.cid}/s{seed}/"
+                f"{PlacementPolicy.CLUSTERED.value}"
+            )
+            result = results.get(label)
+            if result is None:
+                skipped[seed] = "clustered run missing (quarantined?)"
+                continue
+            baseline_label = (
+                f"{spec.workload}/{BASELINE_LABEL}/s{seed}/"
+                f"{PlacementPolicy.DEFAULT_LINUX.value}"
+            )
+            baseline_stall = self.study.baseline_stall.get(seed)
+            if baseline_stall is None:
+                skipped[seed] = f"baseline run missing ({baseline_label})"
+                continue
+            if baseline_stall <= 0:
+                skipped[seed] = "baseline remote stall is zero"
+                continue
+            reductions.append(
+                1.0 - result.remote_stall_fraction / baseline_stall
+            )
+            migrations.append(
+                float(
+                    sum(
+                        e.migrations_executed
+                        for e in result.clustering_events
+                    )
+                )
+            )
+            baseline_throughput = self.study.baseline_throughput.get(seed, 0.0)
+            if baseline_throughput > 0:
+                speedups.append(
+                    result.throughput / baseline_throughput - 1.0
+                )
+        score = CandidateScore(
+            candidate=cand,
+            stage=stage,
+            stall_reduction=MetricSummary.of(reductions),
+            migrations=MetricSummary.of(migrations),
+            speedup=MetricSummary.of(speedups),
+            n_threads=max(self.n_threads, 1),
+            migration_weight=spec.migration_weight,
+            skipped_seeds=skipped,
+        )
+        self.study.scores[cand.cid] = score
+        recorder = obs_session.active_recorder()
+        recorder.emit(
+            KIND_TUNE_CANDIDATE,
+            cycle=self._stage_index,
+            stage=stage,
+            cid=cand.cid,
+            score=score.score,
+            stall_reduction=score.stall_reduction.mean,
+            migrations=score.migrations.mean,
+            seeds=score.stall_reduction.n,
+        )
+        registry = obs_session.active_registry()
+        if registry is not None:
+            registry.counter(
+                "tune_candidates_total",
+                workload=spec.workload,
+                stage=stage,
+            ).inc()
+            if skipped:
+                registry.counter(
+                    "tune_seeds_skipped_total", workload=spec.workload
+                ).inc(len(skipped))
+
+    def _record_stage(
+        self, name: str, candidates: List[TuneCandidate]
+    ) -> None:
+        best = self.study.best
+        record = StageRecord(
+            name=name,
+            evaluated=[cand.cid for cand in candidates],
+            best_cid=best.candidate.cid,
+            best_score=best.score,
+        )
+        self.study.stages.append(record)
+        front = self.study.front()
+        recorder = obs_session.active_recorder()
+        recorder.emit(
+            KIND_TUNE_FRONT,
+            cycle=self._stage_index,
+            stage=name,
+            front=[score.candidate.cid for score in front],
+            best_cid=record.best_cid,
+            best_score=record.best_score,
+        )
+        self.progress(
+            f"[tune:{self.spec.workload}] stage {name} done: "
+            f"best {record.best_cid} score {record.best_score:+.4f}, "
+            f"front size {len(front)}"
+        )
+        self._stage_index += 1
+
+
+def run_tune(
+    spec: TuneSpec,
+    jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    workload_factory: Optional[WorkloadFactory] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> TuneStudy:
+    """Run the staged search for one workload.
+
+    ``policy`` threads the resilient runner through every stage (each
+    stage derives its own manifest); ``workload_factory`` overrides the
+    paper workload (tests use this to inject failures);  ``progress``
+    receives human-readable stage updates.
+    """
+    runner = _TuneRunner(spec, jobs, policy, workload_factory, progress)
+    return runner.run()

@@ -449,16 +449,9 @@ class FleetRun:
     ) -> Optional[ExecutionPolicy]:
         """Per-iteration manifest derived from the caller's policy
         (mirrors the CLI's per-experiment manifests under ``all``)."""
-        if policy is None or policy.manifest_path is None:
+        if policy is None:
             return policy
-        manifest = policy.manifest_path
-        suffix = manifest.suffix or ".json"
-        manifest = manifest.with_name(
-            f"{manifest.stem}-iter{iteration}{suffix}"
-        )
-        return dc_replace(
-            policy, manifest_path=manifest, resume=manifest.is_file()
-        )
+        return policy.derive(f"iter{iteration}")
 
     def _probe_dirty_nodes(
         self,

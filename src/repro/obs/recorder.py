@@ -70,6 +70,15 @@ KIND_FLEET_MIGRATION = "fleet.migration"
 #: emitted when a fleet replan round produces no migrations -- the
 #: controller's convergence signal; payload: iteration
 KIND_FLEET_CONVERGED = "fleet.converged"
+#: emitted by the autotuning driver (repro.experiments.tune) once per
+#: scored candidate; ``cycle`` carries the search-stage index, not
+#: engine cycles; payload: stage, cid, score, stall_reduction,
+#: migrations, seeds
+KIND_TUNE_CANDIDATE = "tune.candidate"
+#: emitted at the end of each tune search stage with the Pareto front
+#: over everything scored so far; payload: stage, front (cids in rank
+#: order), best_cid, best_score (cycle = stage index)
+KIND_TUNE_FRONT = "tune.front"
 
 
 @dataclass(frozen=True)

@@ -602,6 +602,182 @@ def render_sweep_report(
     return _document(title, "".join(body))
 
 
+def _svg_pareto(study: Mapping[str, Any]) -> str:
+    """Scatter of scored candidates: migration cost (x) vs stall
+    reduction (y), the Pareto front joined by a line, the paper-
+    constant point drawn as a diamond (series-4) so the tuned gain is
+    visually anchored to the baseline."""
+    ranked = study.get("ranked") or []
+    if not ranked:
+        return ""
+    front = study.get("front") or []
+    front_cids = [s["cid"] for s in front]
+    xs = [s["migrations"]["mean"] for s in ranked]
+    ys = [s["stall_reduction"]["mean"] for s in ranked]
+    x_hi = max(xs + [1.0]) * 1.05
+    y_lo = min(ys + [0.0])
+    y_hi = max(ys + [0.0]) * 1.05 or 1.0
+    span_y = max(y_hi - y_lo, 1e-9)
+    usable_w = _W - _PAD_L - _PAD_R
+    usable_h = _H - _PAD_T - _PAD_B
+
+    def px(x: float) -> float:
+        return _PAD_L + usable_w * (x / x_hi if x_hi else 0.0)
+
+    def py(y: float) -> float:
+        return _PAD_T + usable_h * (1.0 - (y - y_lo) / span_y)
+
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="Pareto front: stall reduction vs migrations">'
+    ]
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y_val = y_lo + tick * span_y
+        y = py(y_val)
+        parts.append(
+            f'<line x1="{_PAD_L}" y1="{y:.1f}" x2="{_W - _PAD_R}" '
+            f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{_PAD_L - 6}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-size="10" fill="var(--muted)">{y_val:.0%}</text>'
+        )
+    parts.append(
+        f'<line x1="{_PAD_L}" y1="{_H - _PAD_B}" x2="{_W - _PAD_R}" '
+        f'y2="{_H - _PAD_B}" stroke="var(--axis)" stroke-width="1"/>'
+        f'<text x="{_PAD_L}" y="{_H - 6}" font-size="10" '
+        f'fill="var(--muted)">0 migrations</text>'
+        f'<text x="{_W - _PAD_R}" y="{_H - 6}" text-anchor="end" '
+        f'font-size="10" fill="var(--muted)">{x_hi:.0f} migrations</text>'
+        f'<text x="{_PAD_L - 38}" y="{_PAD_T + 2}" font-size="10" '
+        f'fill="var(--muted)">stall red.</text>'
+    )
+    # front polyline first so the marks draw over it
+    if len(front) > 1:
+        points = " ".join(
+            f"{px(s['migrations']['mean']):.1f},"
+            f"{py(s['stall_reduction']['mean']):.1f}"
+            for s in sorted(front, key=lambda s: s["migrations"]["mean"])
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" '
+            f'stroke="var(--series-1)" stroke-width="1.5" '
+            f'stroke-dasharray="4 3"/>'
+        )
+    paper_cid = study.get("paper_cid")
+    for score in ranked:
+        x, y = px(score["migrations"]["mean"]), py(
+            score["stall_reduction"]["mean"]
+        )
+        tooltip = (
+            f"{score['cid']} ({score['stage']}): stall reduction "
+            f"{score['stall_reduction']['mean']:.1%}, "
+            f"{score['migrations']['mean']:.0f} migration(s), "
+            f"score {score['score']:+.4f}"
+        )
+        if score["cid"] == paper_cid:
+            parts.append(
+                f'<path d="M {x:.1f} {y - 6:.1f} l 6 6 l -6 6 l -6 -6 z" '
+                f'fill="var(--series-4)" stroke="var(--axis)">'
+                f"<title>paper constants: {_esc(tooltip)}</title></path>"
+            )
+        else:
+            on_front = score["cid"] in front_cids
+            fill = "var(--series-1)" if on_front else "var(--grid)"
+            radius = 5 if on_front else 3
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" '
+                f'fill="{fill}"><title>{_esc(tooltip)}</title></circle>'
+            )
+    parts.append("</svg>")
+    legend = (
+        '<div class="legend">'
+        '<span><span class="swatch" style="background:var(--series-1)">'
+        "</span>Pareto front</span>"
+        '<span><span class="swatch" style="background:var(--grid)">'
+        "</span>dominated</span>"
+        '<span><span class="swatch" style="background:var(--series-4)">'
+        "</span>&#9670; paper constants</span></div>"
+    )
+    return "".join(parts) + legend
+
+
+def _tune_table(study: Mapping[str, Any]) -> str:
+    front_cids = {s["cid"] for s in study.get("front") or []}
+    rows = []
+    for score in study.get("ranked") or []:
+        params = score["params"]
+        marks = []
+        if score["cid"] in front_cids:
+            marks.append("front")
+        if score["cid"] == study.get("paper_cid"):
+            marks.append("paper")
+        rows.append(
+            f"<tr><td>{_esc(score['cid'])}</td>"
+            f"<td>{_esc(', '.join(marks) or '-')}</td>"
+            f"<td>{_esc(score['stage'])}</td>"
+            f"<td>{_fmt(params['activation_threshold'])}</td>"
+            f"<td>{_fmt(params['similarity_threshold'], 1)}</td>"
+            f"<td>{params['sampling_period']}</td>"
+            f"<td>{params['samples_needed']}</td>"
+            f"<td>{params['shmap_entries']}</td>"
+            f"<td>{score['stall_reduction']['mean']:.1%}</td>"
+            f"<td>{score['migrations']['mean']:.0f}</td>"
+            f"<td>{score['score']:+.4f}</td></tr>"
+        )
+    return (
+        "<details><summary>Data table</summary><table>"
+        "<tr><th>candidate</th><th>marks</th><th>stage</th>"
+        "<th>activation</th><th>similarity</th><th>period</th>"
+        "<th>samples</th><th>entries</th><th>stall red.</th>"
+        "<th>migrations</th><th>score</th></tr>"
+        + "".join(rows)
+        + "</table></details>"
+    )
+
+
+def render_tune_report(
+    study: Mapping[str, Any], title: Optional[str] = None
+) -> str:
+    """One workload's autotuning study (``TuneStudy.to_dict()``) as a
+    self-contained HTML document: the Pareto scatter, the stage log and
+    the full ranked table.  Takes the plain-dict form so the obs layer
+    stays import-free of the experiments package."""
+    workload = study.get("workload", "workload")
+    title = title or f"repro tune: {workload}"
+    best_cid = study.get("best_cid")
+    scores = {s["cid"]: s for s in study.get("ranked") or []}
+    summary_bits = [
+        f"{len(scores)} candidate(s) over seeds "
+        f"{', '.join(str(s) for s in study.get('seeds', []))}",
+        f"{len(study.get('front') or [])} on the Pareto front",
+    ]
+    best = scores.get(best_cid)
+    paper = scores.get(study.get("paper_cid"))
+    if best and paper:
+        summary_bits.append(
+            f"tuned {best_cid} scores {best['score']:+.4f} vs paper "
+            f"constants {paper['score']:+.4f}"
+        )
+    stage_rows = "".join(
+        f"<tr><td>{_esc(stage['name'])}</td>"
+        f"<td>{len(stage['evaluated'])}</td>"
+        f"<td>{_esc(stage['best_cid'])}</td>"
+        f"<td>{stage['best_score']:+.4f}</td></tr>"
+        for stage in study.get("stages") or []
+    )
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">{_esc("; ".join(summary_bits))}.</p>',
+        '<div class="card"><h2>Stall reduction vs migration cost</h2>'
+        + _svg_pareto(study)
+        + _tune_table(study)
+        + "</div>",
+        '<div class="card"><h2>Search stages</h2><table>'
+        "<tr><th>stage</th><th>evaluated</th><th>best</th>"
+        "<th>best score</th></tr>" + stage_rows + "</table></div>",
+    ]
+    return _document(title, "".join(body))
+
+
 def write_report(
     path,
     analyses: Mapping[str, RunAnalysis],

@@ -65,6 +65,45 @@ class TestRecordAndLoad:
         assert entry["machine"]
 
 
+class TestCurrentCommit:
+    def test_failed_git_reports_unknown(self, history, monkeypatch):
+        """A nonzero git exit must never stamp stray stdout into the
+        history (the ternary-vs-``or`` precedence regression)."""
+
+        def failing_run(*args, **kwargs):
+            class Out:
+                returncode = 128
+                stdout = "fatal: not a git repository\n"
+
+            return Out()
+
+        monkeypatch.setattr(history.subprocess, "run", failing_run)
+        assert history.current_commit() == "unknown"
+
+    def test_missing_git_reports_unknown(self, history, monkeypatch):
+        def raising_run(*args, **kwargs):
+            raise OSError("git not installed")
+
+        monkeypatch.setattr(history.subprocess, "run", raising_run)
+        assert history.current_commit() == "unknown"
+
+    def test_empty_stdout_reports_unknown(self, history, monkeypatch):
+        def silent_run(*args, **kwargs):
+            class Out:
+                returncode = 0
+                stdout = "\n"
+
+            return Out()
+
+        monkeypatch.setattr(history.subprocess, "run", silent_run)
+        assert history.current_commit() == "unknown"
+
+    def test_real_checkout_yields_a_commit(self, history):
+        """In this repo's checkout the helper must return a real hash
+        (the CI bench-smoke step asserts the same)."""
+        assert history.current_commit() != "unknown"
+
+
 class TestDetectDrift:
     def test_flags_injected_2x_slowdown(self, history, tmp_path):
         path = tmp_path / "hist.jsonl"
@@ -111,6 +150,35 @@ class TestDetectDrift:
                            machine="box", timestamp=99.0)
         findings = history.detect_drift(history.load_history(path))
         assert [f["name"] for f in findings] == ["bench_a"]
+
+    def test_non_numeric_latest_mean_is_skipped_not_fatal(self, history):
+        """A foreign entry can carry a string mean; drift must skip it
+        instead of crashing on ``float(mean)``."""
+        entries = [
+            {"machine": "box", "t": float(i), "means": {"bench_a": 0.001}}
+            for i in range(5)
+        ]
+        entries.append(
+            {"machine": "box", "t": 99.0,
+             "means": {"bench_a": "corrupted"}}
+        )
+        assert history.detect_drift(entries) == []
+
+    def test_bool_means_do_not_count_as_numeric(self, history):
+        """bool passes isinstance(..., int); the prior filter and the
+        latest-entry check must both exclude it."""
+        entries = [
+            {"machine": "box", "t": float(i), "means": {"bench_a": True}}
+            for i in range(5)
+        ]
+        entries.append(
+            {"machine": "box", "t": 99.0, "means": {"bench_a": 0.002}}
+        )
+        # all priors are bools -> too few numeric priors -> no findings
+        assert history.detect_drift(entries) == []
+        assert not history._is_number(True)
+        assert history._is_number(0.5)
+        assert history._is_number(3)
 
     def test_median_shrugs_off_one_noisy_prior(self, history, tmp_path):
         path = tmp_path / "hist.jsonl"

@@ -39,6 +39,58 @@ def canned_fleet_study():
     )
 
 
+def canned_tune_study():
+    from repro.experiments.stats import MetricSummary
+    from repro.experiments.tune import (
+        CandidateScore,
+        StageRecord,
+        TuneCandidate,
+        TuneSpec,
+        TuneStudy,
+        paper_candidate,
+    )
+
+    spec = TuneSpec(
+        workload="specjbb",
+        seeds=(3,),
+        activation_grid=(0.05,),
+        similarity_grid=(25.0,),
+        period_grid=(10,),
+        samples_grid=(4000,),
+        shmap_grid=(256,),
+    )
+    study = TuneStudy(spec=spec)
+
+    def score(cand, reduction, migrations):
+        return CandidateScore(
+            candidate=cand,
+            stage="grid",
+            stall_reduction=MetricSummary.of([reduction]),
+            migrations=MetricSummary.of([migrations]),
+            speedup=MetricSummary.of([0.1]),
+            n_threads=16,
+            migration_weight=0.1,
+        )
+
+    paper = paper_candidate()
+    tuned = TuneCandidate(0.08, 25.0, 10, 4000, 256)
+    # a genuine trade-off: the tuned point gains reduction at migration
+    # cost, so both it and the paper point sit on the Pareto front
+    study.scores[paper.cid] = score(paper, 0.4, 16.0)
+    study.scores[tuned.cid] = score(tuned, 0.6, 20.0)
+    study.baseline_stall[3] = 0.4
+    study.baseline_throughput[3] = 1.0
+    study.stages.append(
+        StageRecord(
+            "grid",
+            [paper.cid, tuned.cid],
+            tuned.cid,
+            study.scores[tuned.cid].score,
+        )
+    )
+    return study
+
+
 @pytest.fixture
 def out_dir(tmp_path):
     return tmp_path
@@ -139,6 +191,54 @@ class TestStubbedDispatch:
         assert "fleet" in cli._RUNNERS
         assert "fleet" in cli._DISPATCH
         assert "placement" in cli._RUNNERS["fleet"]
+
+    def test_tune_command(self, monkeypatch, out_dir, capsys):
+        captured = {}
+
+        def fake(spec, **kwargs):
+            captured["spec"] = spec
+            captured.update(kwargs)
+            return canned_tune_study()
+
+        monkeypatch.setattr(cli.exp, "run_tune", fake)
+        assert cli.main(
+            ["tune", "--grid", "tiny", "--workload", "specjbb",
+             "--seeds", "2", "--starts", "4", "--beam-iters", "1",
+             "--out", str(out_dir)]
+        ) == 0
+        spec = captured["spec"]
+        assert spec.workload == "specjbb"
+        assert spec.seeds == (3, 4)
+        assert spec.random_starts == 4
+        assert spec.beam_iterations == 1
+        assert spec.activation_grid == cli.exp.GRID_PRESETS["tiny"][
+            "activation_grid"
+        ]
+        output = capsys.readouterr().out
+        assert "paper constants" in output
+        assert "tuned" in output
+        data = json.loads((out_dir / "tune_specjbb.json").read_text())
+        assert data["best_cid"] in {s["cid"] for s in data["ranked"]}
+        assert (out_dir / "tune_specjbb.html").read_text().startswith(
+            "<!DOCTYPE html>"
+        )
+
+    @pytest.mark.parametrize("flags", [
+        ["tune", "--starts", "-1"],
+        ["tune", "--beam", "0"],
+        ["tune", "--beam-iters", "-1"],
+        ["tune", "--migration-weight", "-0.5"],
+        ["tune", "--grid", "huge"],
+    ])
+    def test_tune_flag_validation(self, flags):
+        with pytest.raises(SystemExit):
+            cli.main(flags)
+
+    def test_tune_is_dispatchable_described_and_a_sweep(self):
+        assert "tune" in cli._RUNNERS
+        assert "tune" in cli._DISPATCH
+        assert "tune" in cli._SWEEP_EXPERIMENTS
+        assert "autotuning" in cli._RUNNERS["tune"]
 
     def test_rounds_and_seed_forwarded(self, monkeypatch):
         captured = {}

@@ -184,3 +184,41 @@ class TestCliReport:
     def test_window_rounds_validation(self):
         with pytest.raises(SystemExit):
             cli.main(["report", "--window-rounds", "-1"])
+
+
+class TestTuneReport:
+    @pytest.fixture(scope="class")
+    def study_dict(self):
+        from tests.test_cli_dispatch import canned_tune_study
+
+        return canned_tune_study().to_dict()
+
+    def test_renders_self_contained_document(self, study_dict):
+        from repro.obs import render_tune_report
+
+        html = render_tune_report(study_dict)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Pareto" in html
+        assert "paper constants" in html
+        # every scored candidate appears in the data table
+        for score in study_dict["ranked"]:
+            assert score["cid"] in html
+
+    def test_front_polyline_and_paper_diamond(self, study_dict):
+        from repro.obs import render_tune_report
+
+        html = render_tune_report(study_dict)
+        # the canned study's two candidates are both non-dominated
+        assert len(study_dict["front"]) == 2
+        assert "<polyline" in html
+        assert 'd="M ' in html  # the paper-constant diamond mark
+
+    def test_empty_study_renders_without_charts(self):
+        from repro.obs import render_tune_report
+
+        html = render_tune_report(
+            {"workload": "specjbb", "seeds": [], "ranked": [], "front": [],
+             "stages": [], "paper_cid": None, "best_cid": None}
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" not in html

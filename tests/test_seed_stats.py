@@ -55,6 +55,66 @@ class TestSeedStudy:
         assert clustered.maximum < baseline.minimum
 
 
+class TestSkippedSeeds:
+    """The silent-drop fix: seeds that produce no speedup sample are
+    recorded with a reason and warned about, and robustness is never
+    claimed over a shrunken sample."""
+
+    def test_missing_baseline_policy_records_skip_and_warns(self):
+        from repro.sched.placement import PlacementPolicy
+
+        with pytest.warns(RuntimeWarning, match="produced no speedup"):
+            study = run_seed_study(
+                workload_name="microbenchmark",
+                seeds=(3, 7),
+                n_rounds=30,
+                policies=(PlacementPolicy.CLUSTERED,),
+                workload_factory=lambda: ScoreboardMicrobenchmark(2, 2),
+            )
+        assert study.n_skipped == 2
+        assert study.clustered_speedups == []
+        for reason in study.skipped_seeds.values():
+            assert "default_linux" in reason
+        assert not study.gain_is_robust
+
+    def test_zero_throughput_baseline_records_skip(self, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.experiments.stats as stats
+
+        real_run = stats.run_simulation
+
+        def starving_run(workload, config):
+            result = real_run(workload, config)
+            if config.policy.value == "default_linux":
+                return SimpleNamespace(
+                    throughput=0.0,
+                    remote_stall_fraction=result.remote_stall_fraction,
+                )
+            return result
+
+        monkeypatch.setattr(stats, "run_simulation", starving_run)
+        with pytest.warns(RuntimeWarning, match="baseline throughput"):
+            study = run_seed_study(
+                workload_name="microbenchmark",
+                seeds=(3,),
+                n_rounds=30,
+                workload_factory=lambda: ScoreboardMicrobenchmark(2, 2),
+            )
+        assert study.skipped_seeds == {3: "baseline throughput is zero"}
+        assert not study.gain_is_robust
+
+    def test_clean_study_has_no_skips(self):
+        study = run_seed_study(
+            workload_name="microbenchmark",
+            seeds=(3,),
+            n_rounds=30,
+            workload_factory=lambda: ScoreboardMicrobenchmark(2, 2),
+        )
+        assert study.n_skipped == 0
+        assert len(study.clustered_speedups) == 1
+
+
 class TestSparkline:
     def test_empty(self):
         assert sparkline([]) == ""

@@ -1,0 +1,424 @@
+"""Tests for the staged controller autotuning driver (repro.experiments.tune).
+
+Unit tests drive the search over a fake simulation backend (a patched
+``run_labelled``), so stage transitions, ranking, Pareto fronts and
+determinism are exercised without simulating.  The resume and
+acceptance tests run real (small) simulations.
+"""
+
+import json
+import random
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.resilience import ExecutionPolicy
+from repro.experiments.stats import MetricSummary
+from repro.experiments.tune import (
+    GRID_PRESETS,
+    CandidateScore,
+    TuneCandidate,
+    TuneSpec,
+    _jitter,
+    _neighbors,
+    paper_candidate,
+    pareto_front,
+    rank_key,
+    run_tune,
+)
+from repro.workloads import ScoreboardMicrobenchmark
+
+
+def make_score(i, reduction, migrations, weight=0.1, stage="grid"):
+    """A CandidateScore with a unique candidate (samples axis varies)."""
+    cand = TuneCandidate(
+        activation_threshold=0.05,
+        similarity_threshold=25.0,
+        sampling_period=10,
+        samples_needed=1000 + i,
+        shmap_entries=256,
+    )
+    return CandidateScore(
+        candidate=cand,
+        stage=stage,
+        stall_reduction=MetricSummary.of([reduction]),
+        migrations=MetricSummary.of([float(migrations)]),
+        speedup=MetricSummary.of([0.1]),
+        n_threads=16,
+        migration_weight=weight,
+    )
+
+
+# ---------------------------------------------------------- candidates
+class TestTuneCandidate:
+    def test_cid_is_stable_and_param_sensitive(self):
+        a = paper_candidate()
+        b = paper_candidate()
+        assert a.cid == b.cid
+        c = TuneCandidate(0.06, 25.0, 10, 4000, 256)
+        assert c.cid != a.cid
+
+    def test_validation_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TuneCandidate(0.0, 25.0, 10, 4000, 256)
+        with pytest.raises(ValueError):
+            TuneCandidate(0.05, -1.0, 10, 4000, 256)
+        with pytest.raises(ValueError):
+            TuneCandidate(0.05, 25.0, 0, 4000, 256)
+
+    def test_paper_candidate_matches_simconfig_defaults(self):
+        from repro.sim.config import SimConfig
+
+        config = SimConfig()
+        cand = paper_candidate()
+        assert cand.activation_threshold == (
+            config.controller_config.activation_threshold
+        )
+        assert cand.similarity_threshold == config.similarity_threshold
+        assert cand.sampling_period == config.sampling_period
+
+    def test_config_overrides_apply(self):
+        from repro.experiments.common import evaluation_config
+        from repro.sched.placement import PlacementPolicy
+
+        cand = TuneCandidate(0.08, 30.0, 7, 2500, 128)
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=10, **cand.config_overrides()
+        )
+        assert config.controller_config.activation_threshold == 0.08
+        assert config.controller_config.samples_needed == 2500
+        assert config.similarity_threshold == 30.0
+        assert config.sampling_period == 7
+        assert config.shmap_config.n_entries == 128
+        # the evaluation-scaled constants survive the nested merge
+        assert config.controller_config.monitor_window_cycles > 0
+
+
+class TestTuneSpec:
+    def test_grid_includes_paper_candidate_once(self):
+        spec = TuneSpec.preset("tiny", workload="microbenchmark")
+        cids = [c.cid for c in spec.grid_candidates()]
+        assert paper_candidate().cid in cids
+        assert len(cids) == len(set(cids))
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid preset"):
+            TuneSpec.preset("huge")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuneSpec(seeds=())
+        with pytest.raises(ValueError):
+            TuneSpec(seeds=(3, 3))
+        with pytest.raises(ValueError):
+            TuneSpec(beam_width=0)
+        with pytest.raises(ValueError):
+            TuneSpec(migration_weight=-0.1)
+
+    def test_presets_cover_tiny_small_full(self):
+        assert set(GRID_PRESETS) == {"tiny", "small", "full"}
+
+
+# ------------------------------------------------- jitter / neighbors
+class TestPerturbations:
+    def test_jitter_always_produces_valid_candidates(self):
+        rng = random.Random("tune-test")
+        anchor = paper_candidate()
+        for _ in range(200):
+            cand = _jitter(anchor, rng)  # __post_init__ validates
+            assert 0.0 < cand.activation_threshold <= 1.0
+            assert cand.sampling_period >= 1
+            assert cand.shmap_entries >= 32
+
+    def test_jitter_is_deterministic_for_a_seeded_rng(self):
+        anchor = paper_candidate()
+        first = [_jitter(anchor, random.Random("s")) for _ in range(1)]
+        second = [_jitter(anchor, random.Random("s")) for _ in range(1)]
+        assert [c.cid for c in first] == [c.cid for c in second]
+
+    def test_neighbors_perturb_one_axis_at_a_time(self):
+        anchor = paper_candidate()
+        variants = _neighbors(anchor, 0.25)
+        assert len(variants) == 8
+        for cand in variants:
+            differing = [
+                key
+                for key, value in cand.to_dict().items()
+                if value != anchor.to_dict()[key]
+            ]
+            assert len(differing) <= 1  # clamping may leave it equal
+
+
+# ---------------------------------------------------- ranking / front
+class TestRanking:
+    def test_score_trades_reduction_against_migrations(self):
+        cheap = make_score(0, reduction=0.5, migrations=0)
+        costly = make_score(1, reduction=0.5, migrations=160)
+        assert cheap.score > costly.score
+
+    def test_tie_break_is_candidate_id_order(self):
+        scores = [make_score(i, reduction=0.5, migrations=16) for i in range(5)]
+        expected = sorted(s.candidate.cid for s in scores)
+        for _ in range(3):
+            random.Random(0).shuffle(scores)
+            ranked = sorted(scores, key=rank_key)
+            assert [s.candidate.cid for s in ranked] == expected
+
+    def test_pareto_front_drops_dominated(self):
+        best_cheap = make_score(0, reduction=0.5, migrations=10)
+        dominated = make_score(1, reduction=0.4, migrations=20)
+        big_costly = make_score(2, reduction=0.6, migrations=30)
+        frugal = make_score(3, reduction=0.3, migrations=5)
+        front = pareto_front([dominated, big_costly, frugal, best_cheap])
+        cids = [s.candidate.cid for s in front]
+        assert dominated.candidate.cid not in cids
+        assert cids == [
+            s.candidate.cid for s in (big_costly, best_cheap, frugal)
+        ]
+
+    def test_identical_points_are_both_non_dominated(self):
+        twin_a = make_score(0, reduction=0.5, migrations=10)
+        twin_b = make_score(1, reduction=0.5, migrations=10)
+        front = pareto_front([twin_a, twin_b])
+        assert len(front) == 2
+
+
+# --------------------------------------------- staged search (fake sim)
+class _FakeResult:
+    """Duck-typed SimResult: just the attributes scoring reads."""
+
+    def __init__(self, stall, migrations=0, threads=8, throughput=1.0):
+        self.remote_stall_fraction = stall
+        self.throughput = throughput
+        self.clustering_events = (
+            [type("E", (), {"migrations_executed": migrations})()]
+            if migrations
+            else []
+        )
+        self.thread_summaries = [None] * threads
+
+
+def _fake_run_labelled(tasks, jobs=None, policy=None):
+    """Deterministic synthetic backend: stall improves as the activation
+    threshold approaches 0.06, so the search has a gradient to climb."""
+    results = {}
+    for task in tasks:
+        if "/baseline/" in task.label:
+            results[task.label] = _FakeResult(stall=0.4)
+        else:
+            act = task.config.controller_config.activation_threshold
+            stall = min(0.39, 0.05 + 4.0 * abs(act - 0.06))
+            results[task.label] = _FakeResult(
+                stall=stall, migrations=12, throughput=1.0 + (0.4 - stall)
+            )
+    return results
+
+
+def _fake_spec(**kwargs):
+    defaults = dict(
+        workload="microbenchmark",
+        seeds=(3, 7),
+        n_rounds=10,
+        activation_grid=(0.02, 0.05, 0.10),
+        similarity_grid=(25.0,),
+        period_grid=(10,),
+        samples_grid=(4000,),
+        shmap_grid=(256,),
+        random_starts=3,
+        beam_width=2,
+        beam_iterations=2,
+    )
+    defaults.update(kwargs)
+    return TuneSpec(**defaults)
+
+
+class TestStagedSearch:
+    @pytest.fixture(autouse=True)
+    def fake_backend(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.tune.run_labelled", _fake_run_labelled
+        )
+
+    def test_stage_sequence_and_bookkeeping(self):
+        study = run_tune(_fake_spec())
+        assert [s.name for s in study.stages] == [
+            "grid",
+            "random",
+            "beam1",
+            "beam2",
+        ]
+        spec = _fake_spec()
+        assert study.stages[0].evaluated == [
+            c.cid for c in spec.grid_candidates()
+        ]
+        assert len(study.stages[1].evaluated) == spec.random_starts
+        for stage in study.stages:
+            for cid in stage.evaluated:
+                assert cid in study.scores
+
+    def test_best_score_never_degrades_across_stages(self):
+        study = run_tune(_fake_spec())
+        best_scores = [stage.best_score for stage in study.stages]
+        assert best_scores == sorted(best_scores)
+
+    def test_search_beats_paper_on_the_synthetic_gradient(self):
+        study = run_tune(_fake_spec())
+        assert study.best.score >= study.paper_score.score
+        # the gradient's optimum (0.06) is off-grid: refinement found it
+        assert study.best.candidate.cid != study.paper_cid
+
+    def test_study_dict_is_deterministic(self):
+        first = run_tune(_fake_spec()).to_dict()
+        second = run_tune(_fake_spec()).to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_zero_random_and_beam_stages_skip_cleanly(self):
+        study = run_tune(_fake_spec(random_starts=0, beam_iterations=0))
+        assert [s.name for s in study.stages] == ["grid"]
+
+    def test_baseline_captured_per_seed(self):
+        study = run_tune(_fake_spec())
+        assert set(study.baseline_stall) == {3, 7}
+        assert all(v == 0.4 for v in study.baseline_stall.values())
+
+    def test_events_and_metrics_published(self):
+        from repro.obs import (
+            KIND_TUNE_CANDIDATE,
+            KIND_TUNE_FRONT,
+            MetricsRegistry,
+            RingBufferRecorder,
+        )
+        from repro.obs.session import observe
+
+        recorder = RingBufferRecorder()
+        registry = MetricsRegistry()
+        with observe(recorder=recorder, registry=registry):
+            study = run_tune(_fake_spec())
+        kinds = [e.kind for e in recorder.events()]
+        assert kinds.count(KIND_TUNE_CANDIDATE) == len(study.scores)
+        assert kinds.count(KIND_TUNE_FRONT) == len(study.stages)
+        front_events = [
+            e for e in recorder.events() if e.kind == KIND_TUNE_FRONT
+        ]
+        assert front_events[-1].data["best_cid"] == study.best.candidate.cid
+        snapshot = registry.snapshot()
+        candidate_total = sum(
+            value
+            for key, value in snapshot.items()
+            if key.startswith("tune_candidates_total")
+        )
+        assert candidate_total == len(study.scores)
+        assert any(
+            key.startswith("tune_best_score") for key in snapshot
+        )
+
+
+# ------------------------------------------------- resume (real sims)
+def _tiny_micro():
+    return ScoreboardMicrobenchmark(2, 2)
+
+
+def _interrupt_on_call(flag: Path, trip_at: int):
+    """Workload factory that raises KeyboardInterrupt on call
+    ``trip_at`` (counting across processes via the flag file)."""
+    count = int(flag.read_text()) if flag.exists() else 0
+    count += 1
+    flag.write_text(str(count))
+    if count == trip_at:
+        raise KeyboardInterrupt
+    return ScoreboardMicrobenchmark(2, 2)
+
+
+def _resume_spec():
+    return TuneSpec(
+        workload="microbenchmark",
+        seeds=(3,),
+        n_rounds=40,
+        activation_grid=(0.05, 0.10),
+        similarity_grid=(25.0,),
+        period_grid=(10,),
+        samples_grid=(4000,),
+        shmap_grid=(256,),
+        random_starts=1,
+        beam_width=1,
+        beam_iterations=0,
+    )
+
+
+class TestResume:
+    def test_interrupt_mid_stage_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        """Ctrl-C lands mid-grid; the resumed search must reproduce the
+        uninterrupted study byte for byte (the PR 3/PR 8 acceptance
+        pattern, applied to the whole staged search)."""
+        fresh = run_tune(_resume_spec(), workload_factory=_tiny_micro)
+
+        flag = tmp_path / "calls"
+        policy = ExecutionPolicy(manifest_path=tmp_path / "tune.json")
+        # Grid-stage tasks run in order: baseline, then 2 candidates.
+        # Tripping on the 3rd call interrupts after partial progress.
+        factory = partial(_interrupt_on_call, flag, 3)
+        with pytest.raises(KeyboardInterrupt):
+            run_tune(_resume_spec(), jobs=1, policy=policy,
+                     workload_factory=factory)
+
+        grid_manifest = tmp_path / "tune-microbenchmark-grid.json"
+        assert grid_manifest.is_file()  # checkpointed before the interrupt
+
+        resumed = run_tune(_resume_spec(), jobs=1, policy=policy,
+                           workload_factory=factory)
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+            fresh.to_dict(), sort_keys=True
+        )
+        # every stage left its own manifest behind
+        assert (tmp_path / "tune-microbenchmark-random.json").is_file()
+
+
+# --------------------------------------------- acceptance (real sims)
+class TestAcceptance:
+    @pytest.fixture(scope="class")
+    def study(self):
+        spec = TuneSpec(
+            workload="microbenchmark",
+            seeds=(3, 7),
+            n_rounds=150,
+            activation_grid=(0.05, 0.10),
+            similarity_grid=(25.0,),
+            period_grid=(5, 10),
+            samples_grid=(4000,),
+            shmap_grid=(256,),
+            random_starts=0,
+            beam_width=1,
+            beam_iterations=0,
+        )
+        return run_tune(spec)
+
+    def test_front_is_non_empty(self, study):
+        assert study.front()
+
+    def test_no_seed_silently_dropped(self, study):
+        for score in study.scores.values():
+            assert not score.skipped_seeds
+            assert score.stall_reduction.n == 2
+
+    def test_tuned_matches_or_beats_paper_constants(self, study):
+        """The ISSUE acceptance: the tuned configuration's multi-seed
+        remote-stall reduction is at least the paper-constant one's on
+        a fig6 workload (guaranteed structurally -- the paper candidate
+        is in the grid -- and checked here against real runs)."""
+        paper = study.paper_score
+        assert paper is not None
+        assert study.best.score >= paper.score
+        best_reduction = max(
+            s.stall_reduction.mean for s in study.front()
+        )
+        assert best_reduction >= paper.stall_reduction.mean
+
+    def test_paper_constants_still_reduce_stalls(self, study):
+        """Sanity: the baseline comparison itself reproduces the paper's
+        direction -- clustering cuts remote stalls."""
+        assert study.paper_score.stall_reduction.mean > 0
