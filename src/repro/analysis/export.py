@@ -64,6 +64,9 @@ def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
     }
     if result.windows:
         payload["windows"] = [dict(w) for w in result.windows]
+    if result.decisions:
+        payload["decisions"] = [dict(d) for d in result.decisions]
+        payload["decisions_dropped"] = result.decisions_dropped
     if result.workload_stats:
         payload["workload_stats"] = dict(result.workload_stats)
     if result.task_seed is not None:

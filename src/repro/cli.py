@@ -65,6 +65,9 @@ _RUNNERS: Dict[str, str] = {
     "trace": "OBS: run one workload and emit a Chrome/Perfetto trace",
     "report": "OBS: flight-recorder run(s) rendered as a self-contained "
               "HTML report (+ JSONL export)",
+    "explain": "OBS: decision provenance -- run with the decision ledger "
+               "on and print every scheduling decision's evidence chain "
+               "(--tid/--round/--decision filter; explain.json export)",
     "top": "OBS: live dashboard over a spooling sweep (reads --spool-dir "
            "telemetry + --manifest progress; --once for scripting)",
     "verify": "VERIFY: differential + invariant campaign over paired paths",
@@ -459,6 +462,7 @@ def _run_fleet(args, out: Optional[Path]) -> None:
                 f"sweep manifest {manifest}: {counts['done']} done, "
                 f"{counts['failed']} failed, {counts['pending']} pending"
             )
+    _gate_spooled_alerts(args)
 
 
 def _run_tune(args, out: Optional[Path]) -> None:
@@ -548,6 +552,7 @@ def _run_tune(args, out: Optional[Path]) -> None:
                 f"sweep manifest {manifest}: {counts['done']} done, "
                 f"{counts['failed']} failed, {counts['pending']} pending"
             )
+    _gate_spooled_alerts(args)
 
 
 def _run_phase_change(args, out: Optional[Path]) -> None:
@@ -628,11 +633,23 @@ def _write_run_reports(args, results):
     analyses = analyze_sweep(results)
     metrics = aggregate_metrics(results.values())
     trace_href = str(args.trace) if args.trace is not None else None
+    decisions = {
+        label: result.decisions
+        for label, result in results.items()
+        if getattr(result, "decisions", None)
+    }
     html_path = write_report(
-        args.report, analyses, metrics=metrics, trace_href=trace_href
+        args.report,
+        analyses,
+        metrics=metrics,
+        trace_href=trace_href,
+        decisions=decisions or None,
     )
     jsonl_path = write_report_jsonl(
-        Path(args.report).with_suffix(".jsonl"), analyses, metrics=metrics
+        Path(args.report).with_suffix(".jsonl"),
+        analyses,
+        metrics=metrics,
+        decisions=decisions or None,
     )
     alerts = sum(len(a.alerts) for a in analyses.values())
     print(
@@ -683,19 +700,157 @@ def _run_report(args, out: Optional[Path]) -> None:
         )
     analyses = _write_run_reports(args, results)
     if args.fail_on_alert:
-        critical = [
-            (label, alert)
-            for label, analysis in analyses.items()
-            for alert in analysis.alerts
-            if alert.severity == "critical"
-        ]
-        if critical:
-            raise AlertGate(
-                f"{len(critical)} critical alert(s) fired: "
-                + "; ".join(
-                    f"{label}: {alert.name}" for label, alert in critical
-                )
+        _gate_critical_analyses(analyses)
+
+
+def _gate_critical_analyses(analyses) -> None:
+    """Raise :class:`AlertGate` when any analysed run fired a critical
+    alert (the ``--fail-on-alert`` contract of report/explain)."""
+    critical = [
+        (label, alert)
+        for label, analysis in analyses.items()
+        for alert in analysis.alerts
+        if alert.severity == "critical"
+    ]
+    if critical:
+        raise AlertGate(
+            f"{len(critical)} critical alert(s) fired: "
+            + "; ".join(
+                f"{label}: {alert.name}" for label, alert in critical
             )
+        )
+
+
+def _gate_spooled_alerts(args) -> None:
+    """The fleet/tune ``--fail-on-alert`` gate.
+
+    Sweep-driven experiments run their simulations in worker processes,
+    so fired checks surface in two places: the spooled alert stream
+    under ``--spool-dir`` and the ambient session registry's
+    ``obs_alerts_total{alert=...}`` counters.  Either source reporting
+    a critical alert (per :data:`~repro.obs.analysis.ALERT_SEVERITY`)
+    raises :class:`AlertGate`, matching report/top behaviour.
+    """
+    if not args.fail_on_alert:
+        return
+    import re as _re
+
+    from .obs import session as obs_session
+    from .obs.analysis import ALERT_SEVERITY
+
+    critical = []
+    if args.spool_dir is not None:
+        from .obs.stream import SpoolCollector
+
+        collector = SpoolCollector(Path(args.spool_dir))
+        collector.poll()
+        for record in collector.critical_alerts():
+            alert = record.get("alert", {})
+            critical.append(
+                f"{alert.get('name', '?')}: "
+                f"{alert.get('message', 'no message')}"
+            )
+    registry = obs_session.active_registry()
+    if registry is not None:
+        counter = _re.compile(r"^obs_alerts_total\{alert=([^}]+)\}$")
+        for key, value in sorted(registry.snapshot().items()):
+            match = counter.match(key)
+            if not match or not value:
+                continue
+            name = match.group(1)
+            if ALERT_SEVERITY.get(name) == "critical":
+                critical.append(f"{name} x{int(value)}")
+    if critical:
+        raise AlertGate(
+            f"{len(critical)} critical alert(s) fired: "
+            + "; ".join(critical)
+        )
+
+
+def _run_explain(args, out: Optional[Path]) -> None:
+    """Run with the decision ledger on and print the evidence chains.
+
+    Each requested workload (default: the fig6 microbenchmark) runs
+    under ``--policy`` with provenance, windowed time-series and
+    self-profiling enabled.  Every recorded decision -- clustering
+    rounds, per-cluster placements, load-balance steals -- prints with
+    its evidence (similarity vs threshold, load-cap checks, rejected
+    alternatives); the causal-attribution pass then scores each
+    migration decision's realized remote-stall delta.  ``--tid``,
+    ``--round`` and ``--decision`` narrow the chain; the full record
+    set lands in ``explain.json`` and the HTML report's decision table.
+    """
+    from .experiments.common import PAPER_WORKLOADS, evaluation_config
+    from .obs import filter_decisions, render_decision
+    from .sched.placement import PlacementPolicy
+    from .sim.engine import DEFAULT_WINDOW_ROUNDS, run_simulation
+
+    interval = args.window_rounds or DEFAULT_WINDOW_ROUNDS
+    results = {}
+    for workload_name in args.workload or ["microbenchmark"]:
+        config = evaluation_config(
+            PlacementPolicy(args.policy),
+            n_rounds=args.rounds,
+            seed=args.seed,
+            timeseries_interval=interval,
+            self_profile=True,
+            provenance=True,
+        )
+        result = run_simulation(PAPER_WORKLOADS[workload_name](), config)
+        results[f"{workload_name}/{args.policy}"] = result
+    analyses = _write_run_reports(args, results)
+
+    payload = {}
+    for label, result in results.items():
+        analysis = analyses[label]
+        selected = filter_decisions(
+            result.decisions,
+            tid=args.tid,
+            round_index=args.round,
+            decision_id=args.decision,
+        )
+        filtered = len(selected) != len(result.decisions)
+        print(
+            f"{label}: {len(result.decisions)} decision(s) recorded "
+            f"({result.decisions_dropped} dropped)"
+            + (f"; {len(selected)} after filters" if filtered else "")
+        )
+        for record in selected:
+            for line in render_decision(record, indent="  "):
+                print(line)
+        scored = {a.decision_id: a for a in analysis.attributions}
+        if scored:
+            print("  attribution (realized remote-stall delta):")
+            for attribution in analysis.attributions:
+                verdict = (
+                    "effective" if attribution.effective else "INEFFECTIVE"
+                )
+                print(
+                    f"    {attribution.decision_id}: "
+                    f"{attribution.pre_fraction:.3f} -> "
+                    f"{attribution.post_fraction:.3f} "
+                    f"(delta {attribution.realized_delta:+.3f}, {verdict})"
+                )
+        payload[label] = {
+            "decisions": result.decisions,
+            "decisions_dropped": result.decisions_dropped,
+            "attributions": [a.to_dict() for a in analysis.attributions],
+            "alerts": [a.to_dict() for a in analysis.alerts],
+            "filters": {
+                "tid": args.tid,
+                "round": args.round,
+                "decision": args.decision,
+                "selected": [d["id"] for d in selected],
+            },
+        }
+    explain_path = (
+        (out / "explain.json") if out is not None else Path("explain.json")
+    )
+    explain_path.parent.mkdir(parents=True, exist_ok=True)
+    explain_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote decision records to {explain_path}")
+    if args.fail_on_alert:
+        _gate_critical_analyses(analyses)
 
 
 def _run_top(args, out: Optional[Path]) -> None:
@@ -781,6 +936,7 @@ def _run_verify(args, out: Optional[Path]) -> None:
 _DISPATCH: Dict[str, Callable] = {
     "trace": _run_trace,
     "report": _run_report,
+    "explain": _run_explain,
     "top": _run_top,
     "verify": _run_verify,
     "fig1": _run_fig1,
@@ -1009,8 +1165,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fail-on-alert", action="store_true",
         help=(
-            "exit nonzero when any critical alert fired ('report' gates "
-            "on the run analyses, 'top' on the spooled alert stream)"
+            "exit nonzero when any critical alert fired ('report' and "
+            "'explain' gate on the run analyses, 'top' on the spooled "
+            "alert stream, 'fleet' and 'tune' on both the spooled "
+            "stream and the session alert counters)"
+        ),
+    )
+    parser.add_argument(
+        "--tid", type=int, default=None, metavar="T",
+        help=(
+            "'explain': only decisions involving thread T (evidence "
+            "chains of that thread's migrations)"
+        ),
+    )
+    parser.add_argument(
+        "--round", type=int, default=None, metavar="N",
+        help="'explain': only decisions made in controller round N",
+    )
+    parser.add_argument(
+        "--decision", default=None, metavar="ID",
+        help=(
+            "'explain': only the decision with ledger id ID and its "
+            "children (records whose parent is ID)"
         ),
     )
     parser.add_argument(
@@ -1103,12 +1279,16 @@ def main(argv: Optional[list] = None) -> int:
         args.trace = Path("trace.json")
     if args.experiment == "report" and args.report is None:
         args.report = Path("report.html")
+    if args.experiment == "explain" and args.report is None:
+        args.report = Path("explain.html")
     if args.window_rounds < 0:
         parser.error(f"--window-rounds must be >= 0, got {args.window_rounds}")
-    if args.report is not None and args.experiment not in ("report", "trace"):
+    if args.report is not None and args.experiment not in (
+        "report", "trace", "explain"
+    ):
         print(
-            "note: --report applies to the 'report' and 'trace' "
-            f"subcommands; {args.experiment} runs unchanged"
+            "note: --report applies to the 'report', 'trace' and "
+            f"'explain' subcommands; {args.experiment} runs unchanged"
         )
     if args.rounds is None:
         # Verification cells run several simulations each; 150 rounds is
@@ -1127,6 +1307,15 @@ def main(argv: Optional[list] = None) -> int:
         else None
     )
     registry = MetricsRegistry() if args.metrics is not None else None
+    if (
+        registry is None
+        and args.fail_on_alert
+        and args.experiment in ("fleet", "tune")
+    ):
+        # The fleet/tune alert gate reads the ambient session registry's
+        # obs_alerts_total counters; install one even without --metrics
+        # (the snapshot is only printed/written when --metrics asked).
+        registry = MetricsRegistry()
 
     # "all" regenerates the paper artefacts; the trace, report, top and
     # verify subcommands are tooling, the fleet study scales with
@@ -1137,8 +1326,8 @@ def main(argv: Optional[list] = None) -> int:
         targets = sorted(
             name
             for name in _DISPATCH
-            if name not in ("trace", "report", "top", "verify", "fleet",
-                            "tune")
+            if name not in ("trace", "report", "explain", "top", "verify",
+                            "fleet", "tune")
         )
     else:
         targets = [args.experiment]
@@ -1182,7 +1371,7 @@ def main(argv: Optional[list] = None) -> int:
                 f"--trace-capacity for full coverage.",
                 file=sys.stderr,
             )
-    if registry is not None:
+    if registry is not None and args.metrics is not None:
         text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
         if args.metrics == "-":
             print(text)

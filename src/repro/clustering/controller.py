@@ -29,9 +29,12 @@ from typing import Callable, Dict, List, Optional
 
 from ..obs import (
     KIND_CLUSTER_FORMED,
+    KIND_DECISION,
     KIND_DETECTION,
     KIND_PHASE_TRANSITION,
+    NULL_LEDGER,
     NULL_TIMESERIES,
+    SITE_CLUSTERING,
     MetricsRegistry,
     NULL_RECORDER,
 )
@@ -219,6 +222,7 @@ class ClusteringController:
         recorder=None,
         metrics: Optional[MetricsRegistry] = None,
         timeseries=None,
+        ledger=None,
     ) -> None:
         """
         Args:
@@ -234,6 +238,10 @@ class ClusteringController:
             timeseries: time-series store receiving exact-cycle phase
                 markers, so windows (round-granular) can be pinned to
                 the precise transition cycle (default: the no-op store).
+            ledger: decision-provenance ledger
+                (:mod:`repro.obs.provenance`) round decisions are
+                recorded into, with their evidence and rejected
+                alternatives (default: the no-op ledger).
         """
         self.scheduler = scheduler
         self.stall_breakdown = stall_breakdown
@@ -250,6 +258,7 @@ class ClusteringController:
         self.config = config if config is not None else ControllerConfig()
         self._remote_event_counter = remote_event_counter
         self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._ledger = ledger if ledger is not None else NULL_LEDGER
         self._timeseries = (
             timeseries if timeseries is not None else NULL_TIMESERIES
         )
@@ -503,6 +512,7 @@ class ClusteringController:
     def _cluster_and_migrate(self, now_cycle: int) -> Optional[ClusteringEvent]:
         result = self._cluster_all_processes()
 
+        provenance = self._ledger.enabled
         actionable = any(
             len(members) >= self.config.min_actionable_cluster_size
             for members in result.clusters
@@ -514,10 +524,33 @@ class ClusteringController:
             # burn sampling overhead every window.
             self.futile_rounds += 1
             self._last_migration_cycle = now_cycle
-            self._effective_cooldown = min(
+            backed_off = min(
                 self.config.max_cooldown_cycles,
                 int(self._effective_cooldown * self.config.futile_backoff_factor),
             )
+            if provenance:
+                self._ledger.record(
+                    SITE_CLUSTERING,
+                    "keep_placement",
+                    subject="controller",
+                    tids=sorted(result.assignment),
+                    evidence=self._round_evidence(result),
+                    alternatives=[
+                        {
+                            "reason": "no_actionable_cluster",
+                            "action": "migrate_clusters",
+                            "largest_cluster": max(
+                                result.sizes(), default=0
+                            ),
+                            "min_actionable_cluster_size": (
+                                self.config.min_actionable_cluster_size
+                            ),
+                            "backed_off_cooldown_cycles": backed_off,
+                        }
+                    ],
+                    cycle=now_cycle,
+                )
+            self._effective_cooldown = backed_off
             return None
 
         threads_by_tid: Dict[int, SimThread] = {
@@ -535,6 +568,34 @@ class ClusteringController:
             for tid, thread in threads_by_tid.items()
             if thread.cpu is not None
         }
+        decision_id = ""
+        if provenance:
+            decision_id = self._ledger.record(
+                SITE_CLUSTERING,
+                "migrate_clusters",
+                subject="controller",
+                tids=sorted(result.assignment),
+                evidence={
+                    **self._round_evidence(result),
+                    "unseen_threads": len(unseen),
+                    "execute_migrations": self.config.execute_migrations,
+                    "current_chip": {
+                        str(tid): chip
+                        for tid, chip in sorted(current_chip.items())
+                    },
+                },
+                alternatives=[
+                    {
+                        "reason": "sharing_still_actionable",
+                        "action": "keep_placement",
+                        "largest_cluster": max(result.sizes(), default=0),
+                        "min_actionable_cluster_size": (
+                            self.config.min_actionable_cluster_size
+                        ),
+                    }
+                ],
+                cycle=now_cycle,
+            )
         plan = self.planner.plan(
             result.clusters,
             unclustered=result.unclustered + unseen,
@@ -543,6 +604,7 @@ class ClusteringController:
                 tid: thread.l1_miss_rate
                 for tid, thread in threads_by_tid.items()
             },
+            parent_decision=decision_id,
         )
 
         executed = 0
@@ -566,6 +628,13 @@ class ClusteringController:
         self._metrics.counter("controller_migrations_executed_total").inc(
             executed
         )
+        if provenance:
+            # Stamp the realized outcome onto the pre-execution record.
+            self._ledger.amend(
+                decision_id,
+                migrations_executed=executed,
+                **plan.summary(),
+            )
         if self._recorder.enabled:
             self._recorder.emit(
                 KIND_CLUSTER_FORMED,
@@ -576,6 +645,21 @@ class ClusteringController:
                 migrations_executed=executed,
                 **plan.summary(),
             )
+            if provenance:
+                # Satellite of the ledger: the Perfetto trace carries
+                # the decision on the controller track, linked by id.
+                self._recorder.emit(
+                    KIND_DECISION,
+                    cycle=now_cycle,
+                    decision=decision_id,
+                    action="migrate_clusters",
+                    n_clusters=result.n_clusters,
+                    migrations_executed=executed,
+                    activation_fraction=self._activation_fraction,
+                    similarity_threshold=(
+                        self.clusterer.similarity_threshold
+                    ),
+                )
         event = ClusteringEvent(
             activated_at_cycle=self._detect_start_cycle,
             migrated_at_cycle=now_cycle,
@@ -587,6 +671,24 @@ class ClusteringController:
         )
         self.history.append(event)
         return event
+
+    def _round_evidence(self, result: ClusteringResult) -> Dict[str, object]:
+        """The evidence chain shared by both round-decision outcomes:
+        what the monitor saw, what detection collected, and what the
+        clusterer made of it."""
+        return {
+            "remote_stall_fraction_at_activation": self._activation_fraction,
+            "activation_threshold": self.config.activation_threshold,
+            "similarity_threshold": self.clusterer.similarity_threshold,
+            "noise_floor": self.clusterer.noise_floor,
+            "samples_collected": self.shmap_registry.total_samples,
+            "samples_needed": self.config.samples_needed,
+            "n_clusters": result.n_clusters,
+            "cluster_sizes": sorted(result.sizes(), reverse=True),
+            "n_unclustered": len(result.unclustered),
+            "similarity_comparisons": result.comparisons,
+            "effective_cooldown_cycles": self._effective_cooldown,
+        }
 
     def _cluster_all_processes(self) -> ClusteringResult:
         """Cluster each process's shMaps separately and merge the lists.

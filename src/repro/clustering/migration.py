@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.provenance import NULL_LEDGER, SITE_PLACEMENT
 from ..topology.machine import Machine
 
 
@@ -66,6 +67,7 @@ class MigrationPlanner:
         rng: np.random.Generator,
         imbalance_tolerance: float = 0.5,
         intra_chip_policy: str = "random",
+        ledger=None,
     ) -> None:
         """
         Args:
@@ -81,6 +83,8 @@ class MigrationPlanner:
                 each core (the Section 4.5 complementary technique,
                 after Bulpin & Pratt / Fedorova), using the per-thread
                 L1 miss rates passed to :meth:`plan`.
+            ledger: decision-provenance ledger per-cluster placement
+                decisions are recorded into (default: the no-op ledger).
         """
         if imbalance_tolerance < 0:
             raise ValueError("imbalance_tolerance must be non-negative")
@@ -92,6 +96,7 @@ class MigrationPlanner:
         self.rng = rng
         self.imbalance_tolerance = imbalance_tolerance
         self.intra_chip_policy = intra_chip_policy
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
 
     def plan(
         self,
@@ -99,6 +104,7 @@ class MigrationPlanner:
         unclustered: Sequence[int] = (),
         current_chip: Optional[Dict[int, int]] = None,
         miss_rate: Optional[Dict[int, float]] = None,
+        parent_decision: str = "",
     ) -> MigrationPlan:
         """Assign every thread to a chip, then to a cpu within it.
 
@@ -114,6 +120,9 @@ class MigrationPlanner:
                 earlier rounds got right.
             miss_rate: tid -> L1 miss-rate estimate, consumed by the
                 "smt_aware" intra-chip policy (ignored otherwise).
+            parent_decision: ledger id of the controller round decision
+                this plan descends from; stamped onto every placement
+                record so ``repro explain`` can walk the chain.
         """
         plan = MigrationPlan()
         n_chips = self.machine.n_chips
@@ -122,6 +131,7 @@ class MigrationPlanner:
             return plan
         even_share = total_threads / n_chips
         load_cap = math.ceil(even_share) + self.imbalance_tolerance * even_share
+        provenance = self.ledger.enabled
 
         chip_members: Dict[int, List[int]] = {c: [] for c in range(n_chips)}
 
@@ -138,13 +148,68 @@ class MigrationPlanner:
             target = min(
                 range(n_chips), key=lambda c: (len(chip_members[c]), c)
             )
+            loads_before = (
+                {c: len(chip_members[c]) for c in range(n_chips)}
+                if provenance
+                else None
+            )
             if len(chip_members[target]) + len(members) <= load_cap:
                 chip_members[target].extend(members)
                 plan.cluster_chip[index] = target
+                if provenance:
+                    self.ledger.record(
+                        SITE_PLACEMENT,
+                        "place_cluster",
+                        subject=f"cluster{index}",
+                        tids=members,
+                        evidence={
+                            "cluster_size": len(members),
+                            "target_chip": target,
+                            "target_load_before": loads_before[target],
+                            "target_load_after": loads_before[target]
+                            + len(members),
+                            "load_cap": load_cap,
+                            "even_share": even_share,
+                            "chip_loads": loads_before,
+                        },
+                        alternatives=[
+                            {
+                                "reason": "more_loaded_than_chosen_chip",
+                                "chip": c,
+                                "load": loads_before[c],
+                            }
+                            for c in range(n_chips)
+                            if c != target
+                        ],
+                        parent=parent_decision,
+                    )
             else:
                 # Neutralize: spread this cluster evenly over all chips.
                 plan.cluster_chip[index] = -1
                 plan.neutralized_clusters.append(index)
+                if provenance:
+                    self.ledger.record(
+                        SITE_PLACEMENT,
+                        "neutralize_cluster",
+                        subject=f"cluster{index}",
+                        tids=members,
+                        evidence={
+                            "cluster_size": len(members),
+                            "load_cap": load_cap,
+                            "even_share": even_share,
+                            "chip_loads": loads_before,
+                        },
+                        alternatives=[
+                            {
+                                "reason": "would_exceed_load_cap",
+                                "chip": target,
+                                "load_after": loads_before[target]
+                                + len(members),
+                                "load_cap": load_cap,
+                            }
+                        ],
+                        parent=parent_decision,
+                    )
                 for offset, tid in enumerate(members):
                     chip = min(
                         range(n_chips),
@@ -158,6 +223,8 @@ class MigrationPlanner:
         # threads to a nearly-full chip while emptier chips exist,
         # leaving exactly the residual imbalance Section 4.5's "balance
         # out any remaining differences" step is meant to erase.
+        stayed_home: List[int] = []
+        rebalanced: List[int] = []
         for tid in unclustered:
             chip = None
             if current_chip is not None:
@@ -173,7 +240,28 @@ class MigrationPlanner:
                 chip = min(
                     range(n_chips), key=lambda c: (len(chip_members[c]), c)
                 )
+                if provenance:
+                    rebalanced.append(tid)
+            elif provenance:
+                stayed_home.append(tid)
             chip_members[chip].append(tid)
+        if provenance and unclustered:
+            self.ledger.record(
+                SITE_PLACEMENT,
+                "place_unclustered",
+                subject="unclustered",
+                tids=list(unclustered),
+                evidence={
+                    "n_unclustered": len(unclustered),
+                    "stayed_home": stayed_home,
+                    "rebalanced": rebalanced,
+                    "load_cap": load_cap,
+                    "chip_loads": {
+                        c: len(chip_members[c]) for c in range(n_chips)
+                    },
+                },
+                parent=parent_decision,
+            )
 
         # Within each chip: seat threads per the intra-chip policy.
         for chip, members in chip_members.items():

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.provenance import NULL_LEDGER, SITE_FLEET
 from .model import (
     FleetSpec,
     FleetState,
@@ -104,8 +105,13 @@ class FleetPlan:
 class FleetController:
     """Plans sharing-aware placements under constraints."""
 
-    def __init__(self, spec: FleetSpec) -> None:
+    def __init__(self, spec: FleetSpec, ledger=None) -> None:
+        """``ledger`` is a decision-provenance ledger
+        (:mod:`repro.obs.provenance`) move decisions are recorded into;
+        defaults to the no-op ledger.  The planner stays pure either
+        way -- the ledger is an append-only sink, never an input."""
         self.spec = spec
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
 
     # ------------------------------------------------------------------
     # Admission control
@@ -207,6 +213,7 @@ class FleetController:
             cost_before=fleet_cost(work, groups, self.spec, shares)
         )
         budget = self.spec.migration_budget
+        provenance = self.ledger.enabled
 
         # Phase 1: anti-affinity repairs -- correctness before cost.
         for violation in work.violations(groups):
@@ -221,7 +228,29 @@ class FleetController:
                     break
                 move = self._eviction_move(work, groups, gid, violation.node, shares)
                 if move is None:
+                    if provenance:
+                        self.ledger.record(
+                            SITE_FLEET,
+                            "violation_unresolved",
+                            subject=f"group{gid}",
+                            evidence={
+                                "gid": gid,
+                                "node": violation.node,
+                                "anti_affinity_key": violation.key,
+                                "load_cap": self.spec.load_cap,
+                            },
+                            alternatives=[
+                                {
+                                    "reason": (
+                                        "no_feasible_destination_under_"
+                                        "load_cap_and_anti_affinity"
+                                    )
+                                }
+                            ],
+                        )
                     continue
+                if provenance:
+                    self._record_move(work, groups, move, shares, "evict")
                 work.move(move.gid, move.src, move.dst, move.n_threads)
                 plan.migrations.append(move)
                 budget -= 1
@@ -234,6 +263,8 @@ class FleetController:
             move = self._best_move(work, groups, shares)
             if move is None:
                 break
+            if provenance:
+                self._record_move(work, groups, move, shares, "consolidate")
             work.move(move.gid, move.src, move.dst, move.n_threads)
             plan.migrations.append(move)
             budget -= 1
@@ -241,7 +272,94 @@ class FleetController:
             plan.budget_exhausted = True
 
         plan.cost_after = fleet_cost(work, groups, self.spec, shares)
+        if provenance and plan.empty:
+            self.ledger.record(
+                SITE_FLEET,
+                "converged",
+                subject="fleet",
+                evidence={
+                    "cost": plan.cost_before,
+                    "min_gain": MIN_GAIN,
+                    "unresolved_violations": len(plan.unresolved_violations),
+                },
+                alternatives=[
+                    {
+                        "reason": "no_in_budget_move_clears_min_gain",
+                        "action": "consolidate",
+                    }
+                ],
+            )
         return plan
+
+    def _record_move(
+        self,
+        state: FleetState,
+        groups: Dict[int, ProcessGroup],
+        move: FleetMigration,
+        shares: Optional[Dict[int, float]],
+        action: str,
+    ) -> None:
+        """Ledger a chosen move with the rejected sibling destinations.
+
+        Called only under ``ledger.enabled``; the alternatives loop is
+        bounded by the moved group's fragment count.
+        """
+        group = groups[move.gid]
+        frags = state.fragments(move.gid)
+        loads = state.loads()
+        alternatives: List[Dict[str, object]] = []
+        for dst in sorted(frags):
+            if dst in (move.src, move.dst):
+                continue
+            if loads[dst] + move.n_threads > self.spec.load_cap:
+                alternatives.append(
+                    {
+                        "reason": "would_exceed_load_cap",
+                        "node": dst,
+                        "load_after": loads[dst] + move.n_threads,
+                        "load_cap": self.spec.load_cap,
+                    }
+                )
+            elif self._would_violate_move(state, groups, group, move.src, dst):
+                alternatives.append(
+                    {"reason": "would_violate_anti_affinity", "node": dst}
+                )
+            else:
+                gain = self._move_gain(
+                    state,
+                    groups,
+                    move.gid,
+                    move.src,
+                    dst,
+                    move.n_threads,
+                    shares,
+                    loads,
+                )
+                alternatives.append(
+                    {
+                        "reason": "lower_modelled_gain",
+                        "node": dst,
+                        "gain": gain,
+                    }
+                )
+        self.ledger.record(
+            SITE_FLEET,
+            action,
+            subject=f"group{move.gid}",
+            evidence={
+                "gid": move.gid,
+                "src": move.src,
+                "dst": move.dst,
+                "n_threads": move.n_threads,
+                "modelled_gain": move.gain,
+                "fixes_violation": move.fixes_violation,
+                "share": (shares or {}).get(move.gid, group.share),
+                "fragments": {str(n): c for n, c in sorted(frags.items())},
+                "load_cap": self.spec.load_cap,
+                "migration_budget": self.spec.migration_budget,
+            },
+            alternatives=alternatives,
+        )
 
     def _eviction_move(
         self,

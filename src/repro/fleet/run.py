@@ -289,7 +289,13 @@ class FleetRun:
         churn_mean_lifetime: int = 0,
         profile: Sequence[Tuple[int, float, Optional[str]]] = DEFAULT_GROUP_PROFILE,
         checkpoint_path: Optional[Path] = None,
+        ledger=None,
     ) -> None:
+        """``ledger`` is an optional decision-provenance ledger
+        (:mod:`repro.obs.provenance`) handed to the
+        :class:`FleetController`; it is deliberately *not* part of the
+        checkpoint, so resumed runs stay byte-identical whether or not
+        provenance was on."""
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
@@ -312,7 +318,8 @@ class FleetRun:
             n_groups = max(1, int(spec.capacity * 0.6 / mean_size))
         self.n_groups = n_groups
 
-        self.controller = FleetController(spec)
+        self.ledger = ledger
+        self.controller = FleetController(spec, ledger=ledger)
         self.churn = GroupChurnModel(
             profile=self.profile,
             mean_lifetime=churn_mean_lifetime,
@@ -528,6 +535,10 @@ class FleetRun:
 
         touched: set = set()
         if self.replan:
+            if self.controller.ledger.enabled:
+                # Fleet time is replan rounds, not engine cycles.
+                self.controller.ledger.now = iteration
+                self.controller.ledger.round = iteration
             plan = self.controller.plan(self.state, self.groups, shares)
             recorder.emit(
                 KIND_FLEET_PLAN,
@@ -626,6 +637,7 @@ def run_fleet(
     resume: bool = False,
     max_iterations: Optional[int] = None,
     progress=None,
+    ledger=None,
 ) -> FleetRunResult:
     """Run one strategy to convergence (or the iteration budget).
 
@@ -644,6 +656,7 @@ def run_fleet(
         churn_mean_lifetime=churn_mean_lifetime,
         profile=profile,
         checkpoint_path=checkpoint_path,
+        ledger=ledger,
     )
     if resume:
         run.load_checkpoint()

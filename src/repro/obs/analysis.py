@@ -28,7 +28,7 @@ so anything outside ``repro.obs`` is imported lazily inside functions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from .metrics import MetricsRegistry
@@ -114,6 +114,14 @@ class WindowDerived:
         }
 
 
+#: alert name -> severity, the single source the CLI alert gates use to
+#: decide which fired alerts are fatal under ``--fail-on-alert``
+ALERT_SEVERITY: Dict[str, str] = {
+    "migration_ineffective": "critical",
+    "remote_stall_sustained": "warning",
+}
+
+
 @dataclass(frozen=True)
 class Alert:
     """One fired check: a named violation anchored to a window."""
@@ -134,12 +142,57 @@ class Alert:
         }
 
 
+@dataclass(frozen=True)
+class DecisionAttribution:
+    """One migration decision joined against the windows it landed in.
+
+    The causal-attribution pass scores each clustering-round migration
+    decision by the remote-stall change it *realized*: the fraction in
+    the window containing the decision, against the best fraction over
+    the next K windows (same K as the effectiveness check, so an
+    attribution's ``effective`` flag and a ``migration_ineffective``
+    alert can never disagree about the same decision).
+    """
+
+    decision_id: str
+    round: int
+    cycle: int
+    #: window containing the decision's cycle
+    window_index: int
+    pre_fraction: float
+    #: best (lowest) remote-stall fraction within the K following windows
+    post_fraction: float
+    #: pre - post; positive = the migration reduced remote stalls
+    realized_delta: float
+    #: passes the effectiveness check (already-low base also passes)
+    effective: bool
+    migrations_executed: int
+    tids: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "decision_id": self.decision_id,
+            "round": self.round,
+            "cycle": self.cycle,
+            "window_index": self.window_index,
+            "pre_fraction": self.pre_fraction,
+            "post_fraction": self.post_fraction,
+            "realized_delta": self.realized_delta,
+            "effective": self.effective,
+            "migrations_executed": self.migrations_executed,
+            "tids": list(self.tids),
+        }
+
+
 @dataclass
 class RunAnalysis:
     """Everything the report renders for one run."""
 
     windows: List[WindowDerived] = field(default_factory=list)
     alerts: List[Alert] = field(default_factory=list)
+    #: causal attribution of clustering migration decisions (empty when
+    #: the run carried no decision ledger or never migrated)
+    attributions: List[DecisionAttribution] = field(default_factory=list)
     #: purity/ARI of the detected clustering (None when the run never
     #: clustered or carried no shMap snapshot)
     cluster_quality: Optional[Dict[str, Any]] = None
@@ -152,6 +205,7 @@ class RunAnalysis:
             "policy": self.policy,
             "windows": [w.to_dict() for w in self.windows],
             "alerts": [a.to_dict() for a in self.alerts],
+            "attributions": [a.to_dict() for a in self.attributions],
             "cluster_quality": self.cluster_quality,
         }
 
@@ -303,6 +357,115 @@ def check_sustained_remote(
 
 
 # ----------------------------------------------------------------------
+# Causal attribution: decision records joined against windows
+# ----------------------------------------------------------------------
+def attribute_decisions(
+    derived: Sequence[WindowDerived],
+    decisions: Sequence[Mapping[str, Any]],
+    config: Optional[AnalysisConfig] = None,
+) -> List[DecisionAttribution]:
+    """Score every clustering migration decision against the windows.
+
+    ``decisions`` are ledger records (:mod:`repro.obs.provenance`); only
+    clustering-site ``migrate_clusters`` records are scored -- those are
+    the rounds that move threads (or were supposed to: an ablation with
+    ``execute_migrations=False`` still records the decision with
+    ``migrations_executed == 0``, and its attribution pins the blame).
+    Needs at least two windows: a decision window and one to measure
+    the after-effect in.
+    """
+    config = config if config is not None else AnalysisConfig()
+    if len(derived) < 2 or not decisions:
+        return []
+    out: List[DecisionAttribution] = []
+    for record in decisions:
+        if record.get("site") != "clustering":
+            continue
+        if record.get("action") != "migrate_clusters":
+            continue
+        cycle = record.get("cycle", 0)
+        position = _containing_window(derived, cycle)
+        if position is None:
+            continue
+        window = derived[position]
+        following = derived[
+            position + 1: position + 1 + config.effectiveness_windows
+        ]
+        if not following:
+            continue  # decision in the final window; nothing to judge
+        pre = window.remote_stall_fraction
+        post = min(f.remote_stall_fraction for f in following)
+        effective = (
+            pre < config.min_pre_fraction
+            or post <= pre * (1.0 - config.min_drop_fraction)
+        )
+        out.append(
+            DecisionAttribution(
+                decision_id=str(record.get("id", "")),
+                round=int(record.get("round", -1)),
+                cycle=int(cycle),
+                window_index=window.index,
+                pre_fraction=pre,
+                post_fraction=post,
+                realized_delta=pre - post,
+                effective=effective,
+                migrations_executed=int(
+                    record.get("migrations_executed", 0)
+                ),
+                tids=[int(t) for t in record.get("tids", [])],
+            )
+        )
+    return out
+
+
+def _containing_window(
+    derived: Sequence[WindowDerived], cycle: float
+) -> Optional[int]:
+    """Position of the window whose cycle span contains ``cycle``;
+    falls back to the last window starting at or before it (window
+    spans are half-open at interval boundaries)."""
+    fallback: Optional[int] = None
+    for position, window in enumerate(derived):
+        if window.start_cycle <= cycle:
+            fallback = position
+            if cycle <= window.end_cycle:
+                return position
+    return fallback
+
+
+def _link_ineffective_alerts(
+    alerts: Sequence[Alert],
+    attributions: Sequence[DecisionAttribution],
+) -> List[Alert]:
+    """Upgrade ``migration_ineffective`` alerts with the decision ids
+    of the migrations that failed to deliver in that window."""
+    if not attributions:
+        return list(alerts)
+    offenders: Dict[int, List[str]] = {}
+    for attribution in attributions:
+        if not attribution.effective:
+            offenders.setdefault(attribution.window_index, []).append(
+                attribution.decision_id
+            )
+    linked: List[Alert] = []
+    for alert in alerts:
+        ids = offenders.get(alert.window_index)
+        if alert.name != "migration_ineffective" or not ids:
+            linked.append(alert)
+            continue
+        linked.append(
+            dc_replace(
+                alert,
+                message=(
+                    alert.message + f" [decision(s): {', '.join(ids)}]"
+                ),
+                data={**alert.data, "decision_ids": list(ids)},
+            )
+        )
+    return linked
+
+
+# ----------------------------------------------------------------------
 # Cluster quality vs the reference clustering
 # ----------------------------------------------------------------------
 def cluster_quality(
@@ -394,20 +557,37 @@ def analyze_windows(
     config: Optional[AnalysisConfig] = None,
     recorder=None,
     metrics: Optional[MetricsRegistry] = None,
+    decisions: Sequence[Mapping[str, Any]] = (),
 ) -> RunAnalysis:
     """Derive per-window metrics and run every check over raw windows.
 
     Fired alerts are emitted as ``analysis.alert`` events on
     ``recorder`` (default: the ambient session recorder) and counted in
     ``obs_alerts_total{alert=...}`` on ``metrics`` (default: the ambient
-    session registry, if any).
+    session registry, if any).  ``decisions`` (ledger records from
+    :mod:`repro.obs.provenance`) enables the causal-attribution pass
+    and lets ``migration_ineffective`` alerts name offending decisions.
     """
     config = config if config is not None else AnalysisConfig()
+    if not windows:
+        # A run shorter than one window interval (or with windows off)
+        # has nothing to derive, check, or attribute: the empty
+        # analysis, explicitly, not N checks over an empty sequence.
+        return RunAnalysis()
     derived = derive_windows(windows)
+    if len(derived) == 1:
+        # One window supports derivation but no cross-window check:
+        # both checks and the attribution pass compare a window against
+        # its successors, of which there are none.
+        return RunAnalysis(windows=derived)
     alerts = check_migration_effectiveness(derived, config)
     alerts += check_sustained_remote(derived, config)
+    attributions = attribute_decisions(derived, decisions, config)
+    alerts = _link_ineffective_alerts(alerts, attributions)
     _emit_alerts(alerts, recorder, metrics)
-    return RunAnalysis(windows=derived, alerts=alerts)
+    return RunAnalysis(
+        windows=derived, alerts=alerts, attributions=attributions
+    )
 
 
 def analyze_run(
@@ -419,12 +599,13 @@ def analyze_run(
     noise_floor: int = 2,
 ) -> RunAnalysis:
     """Full analysis of one :class:`~repro.sim.results.SimResult`:
-    window derivation, checks, and cluster quality."""
+    window derivation, checks, attribution, and cluster quality."""
     analysis = analyze_windows(
         getattr(result, "windows", []) or [],
         config=config,
         recorder=recorder,
         metrics=metrics,
+        decisions=getattr(result, "decisions", []) or [],
     )
     analysis.workload = getattr(result, "workload_name", "")
     analysis.policy = getattr(result, "config_policy", "")

@@ -10,7 +10,10 @@ Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly:
   as long slices (MONITORING / DETECTING) with detections, cluster
   formations and sampling-period changes as instant events;
 * migrations and load-balance steals as instant events on the
-  *destination* cpu's track.
+  *destination* cpu's track;
+* when the decision ledger is on, one instant per recorded migration
+  decision on the controller track, named by its ledger id so a slice
+  in the viewer can be cross-referenced against ``repro explain``.
 
 Timestamps are simulated cycles written into the ``ts``/``dur``
 microsecond fields one-to-one, so "1 us" in the viewer reads as one
@@ -24,6 +27,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .recorder import (
+    KIND_DECISION,
     KIND_MIGRATION,
     KIND_PHASE_TRANSITION,
     KIND_QUANTUM,
@@ -148,6 +152,22 @@ def to_chrome_trace(
                     "name": f"{kind} t{event.tid}",
                     "cat": kind,
                     "args": {"tid": event.tid, **event.data},
+                }
+            )
+        elif kind == KIND_DECISION:
+            decision_id = event.data.get("decision", "")
+            trace.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": controller_tid,
+                    "ts": event.cycle,
+                    "s": "t",
+                    "name": (
+                        f"decision {decision_id}" if decision_id else kind
+                    ),
+                    "cat": "decision",
+                    "args": dict(event.data),
                 }
             )
         elif kind in (KIND_ROUND_START, KIND_ROUND_END):

@@ -1,0 +1,298 @@
+"""Decision provenance: a bounded, merge-safe ledger of scheduling
+decisions and the evidence behind them.
+
+The rest of :mod:`repro.obs` records the *effects* of the clustering
+pipeline — migrations happened, stalls moved.  This module records the
+*inputs*: every clustering / placement / load-balance / fleet decision
+as a structured record carrying the decision id, simulation clock, the
+evidence the decider looked at (similarity vs. threshold, shMap sample
+counts, chip-load snapshots vs. the load cap, gain estimates), the
+chosen action, and the considered-but-rejected alternatives with their
+rejection reasons.  ``repro explain`` and the causal-attribution pass
+(:func:`repro.obs.analysis.attribute_decisions`) are the read side.
+
+Design rules, mirroring the recorder and the time-series store:
+
+* **Zero-cost when disabled.**  :data:`NULL_LEDGER` has ``enabled``
+  False and a no-op :meth:`~NullDecisionLedger.record`; every
+  instrumented site guards evidence construction behind
+  ``ledger.enabled``, so the default per-decision cost is one attribute
+  check and the bench tracing-overhead gate holds.
+* **Bounded.**  :class:`DecisionLedger` is a ring: past ``capacity``
+  the oldest record is overwritten and counted in ``dropped`` (the
+  ``obs_series_dropped_total`` idiom), so an unbounded run cannot eat
+  memory and the tail of the decision history is always intact.
+* **Merge-safe plain dicts.**  Records are plain-JSON dicts so they
+  survive the sweep workers' pickle boundary on
+  ``SimResult.decisions`` unchanged; :func:`merge_decision_logs` folds
+  per-process logs the way ``merge_snapshots`` folds metric snapshots,
+  label-prefixing ids so they never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: decision sites (the ``site`` field of every record)
+SITE_CLUSTERING = "clustering"  #: controller round decisions (_cluster_and_migrate)
+SITE_PLACEMENT = "placement"  #: per-cluster chip placement (MigrationPlanner.plan)
+SITE_BALANCE = "balance"  #: load-balancer steals (reactive/proactive)
+SITE_FLEET = "fleet"  #: fleet controller moves (evictions/consolidation)
+
+DECISION_SITES = (SITE_CLUSTERING, SITE_PLACEMENT, SITE_BALANCE, SITE_FLEET)
+
+
+class NullDecisionLedger:
+    """Zero-cost default: records nothing, returns empty ids.
+
+    ``now``/``round`` are writable class attributes so accidental clock
+    stamping through the shared singleton stays harmless — but the
+    engine guards stamping behind ``ledger.enabled`` anyway, exactly
+    like the recorder's ``now``.
+    """
+
+    enabled = False
+    now = 0
+    round = -1
+    dropped = 0
+    total_recorded = 0
+    capacity = 0
+
+    def record(
+        self,
+        site: str,
+        action: str,
+        subject: Optional[str] = None,
+        tids: Sequence[int] = (),
+        evidence: Optional[Mapping[str, Any]] = None,
+        alternatives: Sequence[Mapping[str, Any]] = (),
+        cycle: Optional[int] = None,
+        parent: str = "",
+    ) -> str:
+        return ""
+
+    def amend(self, decision_id: str, **updates: Any) -> bool:
+        return False
+
+    def decisions(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared no-op ledger; safe because it holds no per-run state
+NULL_LEDGER = NullDecisionLedger()
+
+
+class DecisionLedger:
+    """Ring-buffered home for structured decision records.
+
+    Ids are deterministic — ``<site>-<sequence>`` where the sequence is
+    the ledger-lifetime record count — so two runs of the same seed
+    produce identical ids and the differential harness can compare
+    explain output across paired paths.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        #: the simulation clock, stamped by the engine once per round
+        #: (fleet runs stamp the replan iteration instead)
+        self.now = 0
+        #: the round index stamped alongside ``now`` (-1 = pre-run)
+        self.round = -1
+        self.dropped = 0
+        self.total_recorded = 0
+        self._ring: List[Optional[Dict[str, Any]]] = [None] * capacity
+        self._next = 0
+        self._filled = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        site: str,
+        action: str,
+        subject: Optional[str] = None,
+        tids: Sequence[int] = (),
+        evidence: Optional[Mapping[str, Any]] = None,
+        alternatives: Sequence[Mapping[str, Any]] = (),
+        cycle: Optional[int] = None,
+        parent: str = "",
+    ) -> str:
+        """Append one decision record; returns its id.
+
+        Args:
+            site: one of :data:`DECISION_SITES`.
+            action: what was decided (``migrate_clusters``,
+                ``place_cluster``, ``steal``, ``evict``, ...).
+            subject: what the decision is about (a cluster label, a
+                thread, a fleet group id).
+            tids: thread ids the decision touches — the join key for
+                ``repro explain --tid``.
+            evidence: the inputs the decider looked at, plain-JSON.
+            alternatives: considered-but-rejected options, each a dict
+                with at least a ``reason`` key.
+            cycle: decision clock; defaults to the stamped ``now``.
+            parent: id of the decision this one descends from (cluster
+                placements point at their controller round decision).
+        """
+        decision_id = f"{site}-{self.total_recorded}"
+        record: Dict[str, Any] = {
+            "id": decision_id,
+            "site": site,
+            "action": action,
+            "cycle": int(self.now if cycle is None else cycle),
+            "round": int(self.round),
+            "subject": subject,
+            "tids": [int(t) for t in tids],
+            "evidence": dict(evidence) if evidence else {},
+            "alternatives": [dict(a) for a in alternatives],
+        }
+        if parent:
+            record["parent"] = parent
+        if self._filled == self.capacity:
+            self.dropped += 1
+        else:
+            self._filled += 1
+        self._ring[self._next] = record
+        self._next = (self._next + 1) % self.capacity
+        self.total_recorded += 1
+        return decision_id
+
+    def amend(self, decision_id: str, **updates: Any) -> bool:
+        """Merge ``updates`` into an existing record (newest-first scan).
+
+        The controller uses this to stamp the *outcome* (e.g.
+        ``migrations_executed``) onto a decision recorded before the
+        plan was executed.  Returns False when the record has already
+        been overwritten by ring saturation.
+        """
+        for offset in range(1, self._filled + 1):
+            index = (self._next - offset) % self.capacity
+            record = self._ring[index]
+            if record is not None and record["id"] == decision_id:
+                record.update(updates)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def decisions(self) -> List[Dict[str, Any]]:
+        """Retained records oldest-first (plain dicts, pickle-safe)."""
+        if self._filled < self.capacity:
+            return [r for r in self._ring[: self._filled] if r is not None]
+        ring = self._ring[self._next:] + self._ring[: self._next]
+        return [r for r in ring if r is not None]
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self._filled = 0
+        self.dropped = 0
+        self.total_recorded = 0
+
+
+# ----------------------------------------------------------------------
+# read-side helpers (operate on plain dicts: live ledgers, exported
+# JSON, and SimResult.decisions all share the one shape)
+
+_Sources = Union[
+    Mapping[str, Iterable[Dict[str, Any]]],
+    Sequence[Tuple[str, Iterable[Dict[str, Any]]]],
+]
+
+
+def merge_decision_logs(sources: _Sources) -> List[Dict[str, Any]]:
+    """Fold per-process decision logs into one list.
+
+    ``sources`` maps a source label (task label, worker pid) to that
+    process's decision dicts.  With more than one source every id — and
+    every ``parent`` reference — is prefixed ``<label>/``, so ids from
+    different processes never collide (the ``merge_snapshots``
+    contract, applied to provenance); a single source passes through
+    with ids unchanged.  Records are copied, never mutated in place.
+    """
+    items = list(sources.items()) if isinstance(sources, Mapping) else list(sources)
+    prefix_ids = len(items) > 1
+    merged: List[Dict[str, Any]] = []
+    for label, decisions in items:
+        for record in decisions:
+            record = dict(record)
+            if prefix_ids:
+                record["id"] = f"{label}/{record['id']}"
+                if record.get("parent"):
+                    record["parent"] = f"{label}/{record['parent']}"
+                record["source"] = str(label)
+            merged.append(record)
+    return merged
+
+
+def filter_decisions(
+    decisions: Iterable[Dict[str, Any]],
+    tid: Optional[int] = None,
+    round_index: Optional[int] = None,
+    site: Optional[str] = None,
+    decision_id: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Select decision records by thread, round, site, or id.
+
+    ``decision_id`` also matches children (records whose ``parent`` is
+    the requested id), so asking about a controller round decision
+    returns the per-cluster placements it spawned.
+    """
+    selected: List[Dict[str, Any]] = []
+    for record in decisions:
+        if decision_id is not None:
+            if record.get("id") != decision_id and record.get("parent") != decision_id:
+                continue
+        if site is not None and record.get("site") != site:
+            continue
+        if round_index is not None and record.get("round") != round_index:
+            continue
+        if tid is not None and tid not in record.get("tids", ()):
+            continue
+        selected.append(record)
+    return selected
+
+
+def render_decision(record: Dict[str, Any], indent: str = "") -> List[str]:
+    """Human-readable evidence chain for one record (CLI lines)."""
+    lines = [
+        f"{indent}[{record.get('id', '?')}] {record.get('site', '?')}"
+        f"/{record.get('action', '?')}"
+        f"  round={record.get('round', -1)} cycle={record.get('cycle', 0)}"
+    ]
+    if record.get("subject"):
+        lines.append(f"{indent}  subject: {record['subject']}")
+    if record.get("parent"):
+        lines.append(f"{indent}  parent:  {record['parent']}")
+    tids = record.get("tids") or []
+    if tids:
+        lines.append(
+            f"{indent}  threads: " + ", ".join(f"t{t}" for t in tids)
+        )
+    evidence = record.get("evidence") or {}
+    if evidence:
+        lines.append(f"{indent}  evidence:")
+        for key in sorted(evidence):
+            lines.append(f"{indent}    {key} = {evidence[key]}")
+    alternatives = record.get("alternatives") or []
+    if alternatives:
+        lines.append(f"{indent}  rejected alternatives:")
+        for alt in alternatives:
+            alt = dict(alt)
+            reason = alt.pop("reason", "?")
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(alt.items()))
+            lines.append(
+                f"{indent}    - {reason}" + (f" ({detail})" if detail else "")
+            )
+    return lines

@@ -79,6 +79,12 @@ KIND_TUNE_CANDIDATE = "tune.candidate"
 #: over everything scored so far; payload: stage, front (cids in rank
 #: order), best_cid, best_score (cycle = stage index)
 KIND_TUNE_FRONT = "tune.front"
+#: emitted by the clustering controller when the decision ledger is on
+#: (repro.obs.provenance), one per controller round decision so the
+#: Chrome trace carries the decision on the controller-phase track;
+#: payload: decision (the ledger id), action, plus the headline
+#: evidence -- full records live on ``SimResult.decisions``
+KIND_DECISION = "decision"
 
 
 @dataclass(frozen=True)

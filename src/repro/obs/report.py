@@ -441,6 +441,64 @@ def _alerts_section(analyses: Mapping[str, RunAnalysis]) -> str:
     )
 
 
+def _decisions_section(
+    analyses: Mapping[str, RunAnalysis],
+    decisions: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
+) -> str:
+    """The decision-provenance table: every ledger record, joined with
+    its causal attribution (realized remote-stall delta) when the
+    analysis scored it.  Empty string when no run carried a ledger."""
+    decisions = decisions or {}
+    if not any(decisions.values()) and not any(
+        a.attributions for a in analyses.values()
+    ):
+        return ""
+    rows = []
+    for label, analysis in analyses.items():
+        scored = {a.decision_id: a for a in analysis.attributions}
+        for record in decisions.get(label, ()):
+            attribution = scored.get(record.get("id"))
+            if attribution is None:
+                delta = "-"
+                verdict = "-"
+            else:
+                delta = f"{attribution.realized_delta:+.3f}"
+                verdict = (
+                    "effective" if attribution.effective else "ineffective"
+                )
+            css = ' class="alert-critical"' if verdict == "ineffective" else ""
+            tids = record.get("tids", [])
+            threads = (
+                f"{len(tids)} thread(s)" if len(tids) > 4
+                else ", ".join(f"t{t}" for t in tids) or "-"
+            )
+            rows.append(
+                f"<tr><td>{_esc(label)}</td>"
+                f"<td>{_esc(record.get('id', '?'))}</td>"
+                f"<td>{_esc(record.get('site', '?'))}</td>"
+                f"<td>{_esc(record.get('action', '?'))}</td>"
+                f"<td>{record.get('round', -1)}</td>"
+                f"<td>{_esc(record.get('subject', '-'))}</td>"
+                f"<td>{_esc(threads)}</td>"
+                f"<td>{len(record.get('alternatives', []))}</td>"
+                f"<td>{delta}</td><td{css}>{_esc(verdict)}</td></tr>"
+            )
+    if not rows:
+        return ""
+    return (
+        '<div class="card"><h2>Decisions</h2>'
+        '<p class="sub">Every scheduling decision the ledger recorded; '
+        "the realized &Delta; is the attributed remote-stall drop "
+        "(positive = the migration helped). Full evidence chains: "
+        "<code>repro explain</code>.</p><table>"
+        "<tr><th>run</th><th>decision</th><th>site</th><th>action</th>"
+        "<th>round</th><th>subject</th><th>threads</th><th>rejected</th>"
+        "<th>realized &Delta;</th><th>verdict</th></tr>"
+        + "".join(rows)
+        + "</table></div>"
+    )
+
+
 def _workers_from_metrics(
     metrics: Optional[Mapping[str, Any]],
 ) -> Dict[str, Dict[str, float]]:
@@ -548,6 +606,7 @@ def render_run_report(
     title: Optional[str] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     trace_href: Optional[str] = None,
+    decisions: Optional[Sequence[Mapping[str, Any]]] = None,
 ) -> str:
     """One run's analysis as a self-contained HTML document."""
     label = " / ".join(
@@ -567,6 +626,12 @@ def render_run_report(
         )
     body.append(_run_section(label, analysis))
     body.append(_alerts_section({label: analysis}))
+    body.append(
+        _decisions_section(
+            {label: analysis},
+            {label: decisions} if decisions else None,
+        )
+    )
     body.append(_stages_section(metrics or {}))
     return _document(title, "".join(body))
 
@@ -576,6 +641,7 @@ def render_sweep_report(
     title: str = "repro sweep report",
     metrics: Optional[Mapping[str, Any]] = None,
     trace_href: Optional[str] = None,
+    decisions: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
 ) -> str:
     """A labelled sweep's analyses as one self-contained HTML document,
     with per-worker utilization parsed from the merged metrics."""
@@ -589,6 +655,7 @@ def render_sweep_report(
             f"{_esc(trace_href)}</a></p>"
         )
     body.append(_alerts_section(analyses))
+    body.append(_decisions_section(analyses, decisions))
     workers = _workers_from_metrics(metrics)
     if workers:
         body.append(
@@ -784,9 +851,11 @@ def write_report(
     title: Optional[str] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     trace_href: Optional[str] = None,
+    decisions: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
 ) -> Path:
     """Write the HTML report (run report for a single analysis, sweep
-    report otherwise) and return the path written."""
+    report otherwise) and return the path written.  ``decisions`` maps
+    run labels to their ledger records for the decision table."""
     path = Path(path)
     if len(analyses) == 1:
         ((label, analysis),) = analyses.items()
@@ -795,6 +864,7 @@ def write_report(
             title=title or f"repro report: {label}",
             metrics=metrics,
             trace_href=trace_href,
+            decisions=(decisions or {}).get(label),
         )
     else:
         text = render_sweep_report(
@@ -802,6 +872,7 @@ def write_report(
             title=title or "repro sweep report",
             metrics=metrics,
             trace_href=trace_href,
+            decisions=decisions,
         )
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text)
@@ -812,13 +883,16 @@ def write_report_jsonl(
     path,
     analyses: Mapping[str, RunAnalysis],
     metrics: Optional[Mapping[str, Any]] = None,
+    decisions: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
 ) -> Path:
     """Line-oriented export of the same data the HTML renders.
 
-    One ``meta`` line, then per run: ``window`` lines, ``alert`` lines
-    and an optional ``cluster_quality`` line; a final ``metrics`` line
-    carries the merged snapshot when provided.  Each line is a complete
-    JSON object, so tooling can stream without loading the file whole.
+    One ``meta`` line, then per run: ``window`` lines, ``alert`` lines,
+    ``decision`` / ``attribution`` lines (when the run carried a
+    decision ledger) and an optional ``cluster_quality`` line; a final
+    ``metrics`` line carries the merged snapshot when provided.  Each
+    line is a complete JSON object, so tooling can stream without
+    loading the file whole.
     """
     path = Path(path)
     lines: List[str] = [
@@ -845,6 +919,24 @@ def write_report_jsonl(
             lines.append(
                 json.dumps(
                     {"type": "alert", "run": label, **alert.to_dict()},
+                    sort_keys=True,
+                )
+            )
+        for record in (decisions or {}).get(label, ()):
+            lines.append(
+                json.dumps(
+                    {"type": "decision", "run": label, **record},
+                    sort_keys=True,
+                )
+            )
+        for attribution in analysis.attributions:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "attribution",
+                        "run": label,
+                        **attribution.to_dict(),
+                    },
                     sort_keys=True,
                 )
             )

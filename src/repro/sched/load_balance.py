@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..obs import KIND_STEAL, MetricsRegistry, NULL_RECORDER
+from ..obs import KIND_STEAL, NULL_LEDGER, SITE_BALANCE, MetricsRegistry, NULL_RECORDER
 from ..topology.machine import Machine
 from .runqueue import RunQueueSet
 from .thread import SimThread
@@ -51,6 +51,7 @@ class LoadBalancer:
         proactive_interval: int = 8,
         recorder=None,
         metrics: Optional[MetricsRegistry] = None,
+        ledger=None,
     ) -> None:
         """
         Args:
@@ -67,6 +68,8 @@ class LoadBalancer:
             metrics: registry receiving the steal counters (default: a
                 private throwaway registry, so call sites without
                 observability stay unchanged).
+            ledger: decision-provenance ledger steal decisions are
+                recorded into (default: the no-op ledger).
         """
         self.machine = machine
         self.runqueues = runqueues
@@ -77,6 +80,7 @@ class LoadBalancer:
         self.stats = BalanceStats()
         self._ticks = 0
         self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._ledger = ledger if ledger is not None else NULL_LEDGER
         metrics = metrics if metrics is not None else MetricsRegistry()
         self._reactive_counter = metrics.counter(
             "sched_migrations_total", reason="reactive"
@@ -129,6 +133,32 @@ class LoadBalancer:
                 to_cpu=idle_cpu,
                 reason="reactive",
             )
+        if self._ledger.enabled:
+            self._ledger.record(
+                SITE_BALANCE,
+                "steal",
+                subject=f"cpu{idle_cpu}",
+                tids=(thread.tid,),
+                evidence={
+                    "reason": "reactive",
+                    "idle_cpu": idle_cpu,
+                    "donor_cpu": donor,
+                    "donor_queue_len": len(self.runqueues[donor]) + 1,
+                    "intra_chip_only": self.intra_chip_only,
+                    "cross_chip": not self.machine.same_chip(
+                        donor, idle_cpu
+                    ),
+                },
+                alternatives=[
+                    {
+                        "reason": "shorter_queue_than_donor",
+                        "cpu": c,
+                        "queue_len": len(self.runqueues[c]),
+                    }
+                    for c in candidates
+                    if c != donor
+                ],
+            )
         self.runqueues[idle_cpu].enqueue(thread)
         return thread
 
@@ -176,6 +206,26 @@ class LoadBalancer:
                         from_cpu=busiest,
                         to_cpu=idlest,
                         reason="proactive",
+                    )
+                if self._ledger.enabled:
+                    self._ledger.record(
+                        SITE_BALANCE,
+                        "steal",
+                        subject=f"cpu{idlest}",
+                        tids=(thread.tid,),
+                        evidence={
+                            "reason": "proactive",
+                            "donor_cpu": busiest,
+                            "target_cpu": idlest,
+                            "donor_queue_len": len(self.runqueues[busiest])
+                            + 1,
+                            "target_queue_len": len(self.runqueues[idlest])
+                            - 1,
+                            "intra_chip_only": self.intra_chip_only,
+                            "cross_chip": not self.machine.same_chip(
+                                busiest, idlest
+                            ),
+                        },
                     )
                 moved += 1
                 improved = True

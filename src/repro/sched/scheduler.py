@@ -34,10 +34,12 @@ class Scheduler:
         intra_chip_balancing_after_clustering: bool = True,
         recorder=None,
         metrics: Optional[MetricsRegistry] = None,
+        ledger=None,
     ) -> None:
-        """``recorder``/``metrics`` are the observability sinks shared
-        with the owning simulator; both default to no-op stand-ins so
-        direct construction (tests, ad-hoc studies) stays unchanged."""
+        """``recorder``/``metrics``/``ledger`` are the observability
+        sinks shared with the owning simulator; all default to no-op
+        stand-ins so direct construction (tests, ad-hoc studies) stays
+        unchanged."""
         self.machine = machine
         self.policy = policy
         self.rng = rng
@@ -54,6 +56,7 @@ class Scheduler:
             proactive_enabled=policy.balancing_enabled,
             recorder=self._recorder,
             metrics=metrics,
+            ledger=ledger,
         )
         #: after the clustering controller migrates, restrict balancing
         #: to intra-chip moves (the Section 4.5 planned extension)

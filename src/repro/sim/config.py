@@ -148,6 +148,16 @@ class SimConfig:
     #: (engine_stage_seconds{stage=...}) -- off by default because the
     #: perf_counter calls are measurable on the hot loop
     self_profile: bool = False
+    #: decision provenance (repro.obs.provenance): record every
+    #: clustering/placement/balance decision with its evidence and
+    #: rejected alternatives onto ``SimResult.decisions``.  Off by
+    #: default -- the disabled path is one ``ledger.enabled`` check per
+    #: decision site, and result digests are identical either way
+    #: (decisions are provenance, excluded from ``result_state``).
+    provenance: bool = False
+    #: decision-ledger ring capacity; past it the oldest records are
+    #: overwritten and counted in ``SimResult.decisions_dropped``
+    provenance_capacity: int = 4096
 
     # ------------------------------------------------------------ (de)serialisation
     def to_dict(self) -> dict:
@@ -213,6 +223,8 @@ class SimConfig:
             "timeline_interval": self.timeline_interval,
             "timeseries_interval": self.timeseries_interval,
             "self_profile": self.self_profile,
+            "provenance": self.provenance,
+            "provenance_capacity": self.provenance_capacity,
         }
 
     @classmethod
@@ -279,3 +291,5 @@ class SimConfig:
             raise ValueError("timeline_interval must be positive")
         if self.timeseries_interval < 0:
             raise ValueError("timeseries_interval must be >= 0 (0 = off)")
+        if self.provenance_capacity < 1:
+            raise ValueError("provenance_capacity must be >= 1")

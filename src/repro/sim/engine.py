@@ -33,7 +33,9 @@ from ..obs import (
     KIND_QUANTUM,
     KIND_ROUND_END,
     KIND_ROUND_START,
+    NULL_LEDGER,
     TIME_BUCKETS,
+    DecisionLedger,
     MetricsRegistry,
     WindowTracker,
     active_spool,
@@ -112,12 +114,21 @@ class Simulator:
             recorder=self.recorder,
             metrics=self.metrics,
         )
+        #: decision-provenance ledger; the shared no-op outside
+        #: ``config.provenance`` runs so every site pays one
+        #: ``ledger.enabled`` check, nothing more
+        self.ledger = (
+            DecisionLedger(config.provenance_capacity)
+            if config.provenance
+            else NULL_LEDGER
+        )
         self.scheduler = Scheduler(
             self.machine,
             config.policy,
             self._sched_rng,
             recorder=self.recorder,
             metrics=self.metrics,
+            ledger=self.ledger,
         )
         self.scheduler.admit(workload.threads)
 
@@ -139,6 +150,7 @@ class Simulator:
                     planner_rng,
                     imbalance_tolerance=config.imbalance_tolerance,
                     intra_chip_policy=config.intra_chip_placement,
+                    ledger=self.ledger,
                 ),
                 config=config.controller_config,
                 # The always-on HPC counting remote cache accesses: the
@@ -147,6 +159,7 @@ class Simulator:
                 recorder=self.recorder,
                 metrics=self.metrics,
                 timeseries=self.timeseries,
+                ledger=self.ledger,
             )
 
         # Hot-path lookup tables.
@@ -214,6 +227,9 @@ class Simulator:
         # bool check per round (same zero-cost rule as the recorder).
         spool = active_spool()
         spooling = spool.enabled
+        # The guard also keeps the stamp writes off the shared
+        # NULL_LEDGER singleton.
+        provenance = self.ledger.enabled
 
         tracker = self._make_window_tracker()
         profile = config.self_profile
@@ -237,6 +253,9 @@ class Simulator:
                 if tracing:
                     recorder.now = int(self.mean_cycle)
                     recorder.emit(KIND_ROUND_START, index=round_index)
+                if provenance:
+                    self.ledger.now = int(self.mean_cycle)
+                    self.ledger.round = round_index
                 if profile:
                     t0 = perf_counter()
                     self._run_round()
@@ -342,6 +361,10 @@ class Simulator:
                 if tracker is not None
                 else []
             ),
+            decisions=(
+                self.ledger.decisions() if self.ledger.enabled else []
+            ),
+            decisions_dropped=self.ledger.dropped,
         )
 
     def _publish_run_metrics(self, final_snapshot) -> None:
@@ -361,6 +384,15 @@ class Simulator:
         metrics.gauge("pmu_sampling_overhead_cycles").set(
             self.capture.stats.overhead_cycles
         )
+        if self.ledger.enabled:
+            # provenance_* series are digest-excluded (PROVENANCE_METRIC_
+            # PREFIXES), so publishing them never perturbs verification.
+            metrics.counter("provenance_decisions_total").inc(
+                self.ledger.total_recorded
+            )
+            metrics.counter("provenance_decisions_dropped_total").inc(
+                self.ledger.dropped
+            )
         self.hierarchy.publish_metrics(metrics)
         session_registry = obs_session.active_registry()
         if session_registry is not None and session_registry is not metrics:

@@ -97,6 +97,13 @@ class SimResult:
     #: ``SimConfig.timeseries_interval > 0`` or a session store was
     #: enabled -- plain dicts so they survive sweep-worker pickling
     windows: List[Dict[str, Any]] = field(default_factory=list)
+    #: decision-ledger records (:mod:`repro.obs.provenance`), oldest
+    #: first; empty unless ``SimConfig.provenance`` is set -- plain
+    #: dicts so they survive sweep-worker pickling, and excluded from
+    #: result digests like the other provenance fields
+    decisions: List[Dict[str, Any]] = field(default_factory=list)
+    #: ledger ring overwrites (the oldest decisions are gone)
+    decisions_dropped: int = 0
     #: provenance stamped by the parallel sweep runner so a failed or
     #: surprising task is reproducible from logs alone
     task_seed: Optional[int] = None

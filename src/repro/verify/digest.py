@@ -34,8 +34,14 @@ PROVENANCE_FIELDS = ("worker_pid",)
 
 #: metric series stripped from canonical states: harness self-profiling
 #: (wall-clock timings, pid-labeled worker utilization) depends on which
-#: process ran the simulation and how fast, not on what it computed
-PROVENANCE_METRIC_PREFIXES = ("sweep_worker_", "engine_stage_seconds")
+#: process ran the simulation and how fast, not on what it computed --
+#: and the decision-ledger accounting (``provenance_*``), which exists
+#: only when provenance is on and must never flip a digest
+PROVENANCE_METRIC_PREFIXES = (
+    "sweep_worker_",
+    "engine_stage_seconds",
+    "provenance_",
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,508 @@
+"""Decision-provenance tests (repro.obs.provenance + the read side).
+
+Unit tests over the ledger itself -- ring saturation, amendment,
+cross-process merging, filtering, rendering -- plus the integration
+contract the PR promises: a clustered run with ``provenance=True``
+records linked clustering/placement decisions, the attribution pass
+scores migrations against the windowed remote-stall series, ledgers
+ride through fleet runs, and **turning the ledger on never changes a
+canonical digest**.
+"""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments import PAPER_WORKLOADS, evaluation_config
+from repro.obs import (
+    NULL_LEDGER,
+    AnalysisConfig,
+    DecisionLedger,
+    analyze_run,
+    analyze_windows,
+    attribute_decisions,
+    derive_windows,
+    filter_decisions,
+    merge_decision_logs,
+    render_decision,
+)
+from repro.sched.placement import PlacementPolicy
+from repro.sim.engine import run_simulation
+from repro.verify.digest import result_state, state_digest
+
+from .test_obs_analysis import make_window
+
+N_ROUNDS = 300
+
+
+# ----------------------------------------------------------------------
+# The ledger
+# ----------------------------------------------------------------------
+class TestDecisionLedger:
+    def test_records_carry_evidence_and_alternatives(self):
+        ledger = DecisionLedger(capacity=8)
+        ledger.now = 1500
+        ledger.round = 3
+        decision = ledger.record(
+            "clustering",
+            "migrate_clusters",
+            subject="round3",
+            tids=[0, 4, 8],
+            evidence={"remote_stall_fraction": 0.21, "threshold": 0.05},
+            alternatives=[{"reason": "below_activation_threshold"}],
+        )
+        assert decision == "clustering-0"
+        (record,) = ledger.decisions()
+        assert record["cycle"] == 1500
+        assert record["round"] == 3
+        assert record["tids"] == [0, 4, 8]
+        assert record["evidence"]["threshold"] == 0.05
+        assert record["alternatives"][0]["reason"] == (
+            "below_activation_threshold"
+        )
+        assert "parent" not in record
+
+    def test_ids_are_deterministic_sequence_numbers(self):
+        ledger = DecisionLedger(capacity=4)
+        assert ledger.record("balance", "steal") == "balance-0"
+        assert ledger.record("placement", "place_cluster") == "placement-1"
+        assert ledger.record("balance", "steal") == "balance-2"
+
+    def test_ring_saturation_drops_oldest_and_counts(self):
+        ledger = DecisionLedger(capacity=4)
+        for index in range(10):
+            ledger.record("balance", "steal", subject=f"s{index}")
+        assert len(ledger) == 4
+        assert ledger.dropped == 6
+        assert ledger.total_recorded == 10
+        retained = ledger.decisions()
+        # Oldest-first, and always the tail of the stream.
+        assert [r["subject"] for r in retained] == ["s6", "s7", "s8", "s9"]
+        assert [r["id"] for r in retained] == [
+            "balance-6", "balance-7", "balance-8", "balance-9",
+        ]
+
+    def test_amend_stamps_outcome_onto_live_record(self):
+        ledger = DecisionLedger(capacity=4)
+        decision = ledger.record("clustering", "migrate_clusters")
+        assert ledger.amend(decision, migrations_executed=12)
+        (record,) = ledger.decisions()
+        assert record["migrations_executed"] == 12
+
+    def test_amend_fails_after_ring_overwrite(self):
+        ledger = DecisionLedger(capacity=2)
+        first = ledger.record("balance", "steal")
+        ledger.record("balance", "steal")
+        ledger.record("balance", "steal")  # overwrites `first`
+        assert not ledger.amend(first, migrations_executed=1)
+
+    def test_clear_resets_all_accounting(self):
+        ledger = DecisionLedger(capacity=2)
+        for _ in range(5):
+            ledger.record("fleet", "evict")
+        ledger.clear()
+        assert len(ledger) == 0
+        assert ledger.dropped == 0
+        assert ledger.total_recorded == 0
+        assert ledger.decisions() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DecisionLedger(capacity=0)
+
+    def test_null_ledger_is_inert(self):
+        assert not NULL_LEDGER.enabled
+        assert NULL_LEDGER.record("clustering", "migrate_clusters") == ""
+        assert not NULL_LEDGER.amend("clustering-0", executed=1)
+        assert NULL_LEDGER.decisions() == []
+        assert len(NULL_LEDGER) == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-process merging and filtering
+# ----------------------------------------------------------------------
+class TestMergeAndFilter:
+    def ledger_with_chain(self):
+        ledger = DecisionLedger(capacity=8)
+        parent = ledger.record(
+            "clustering", "migrate_clusters", tids=[0, 1, 2, 3]
+        )
+        ledger.record(
+            "placement", "place_cluster", subject="cluster0",
+            tids=[0, 1], parent=parent,
+        )
+        ledger.record(
+            "placement", "place_cluster", subject="cluster1",
+            tids=[2, 3], parent=parent,
+        )
+        return ledger
+
+    def test_single_source_passes_through_unprefixed(self):
+        ledger = self.ledger_with_chain()
+        merged = merge_decision_logs({"run": ledger.decisions()})
+        assert [r["id"] for r in merged] == [
+            "clustering-0", "placement-1", "placement-2",
+        ]
+        assert all("source" not in r for r in merged)
+
+    def test_multi_source_prefixes_ids_and_parent_refs(self):
+        left = self.ledger_with_chain().decisions()
+        right = self.ledger_with_chain().decisions()
+        merged = merge_decision_logs([("a", left), ("b", right)])
+        assert merged[0]["id"] == "a/clustering-0"
+        assert merged[1]["parent"] == "a/clustering-0"
+        assert merged[3]["id"] == "b/clustering-0"
+        assert merged[4]["parent"] == "b/clustering-0"
+        assert {r["source"] for r in merged} == {"a", "b"}
+        # Parent/child chains survive the merge intact.
+        ids = {r["id"] for r in merged}
+        for record in merged:
+            if record.get("parent"):
+                assert record["parent"] in ids
+        # Originals are never mutated.
+        assert left[0]["id"] == "clustering-0"
+
+    def test_filter_by_tid_round_and_site(self):
+        decisions = self.ledger_with_chain().decisions()
+        assert len(filter_decisions(decisions, tid=1)) == 2
+        assert len(filter_decisions(decisions, tid=99)) == 0
+        assert len(filter_decisions(decisions, site="placement")) == 2
+        assert filter_decisions(decisions, round_index=-1) == decisions
+
+    def test_filter_by_decision_id_includes_children(self):
+        decisions = self.ledger_with_chain().decisions()
+        chain = filter_decisions(decisions, decision_id="clustering-0")
+        assert [r["id"] for r in chain] == [
+            "clustering-0", "placement-1", "placement-2",
+        ]
+        leaf = filter_decisions(decisions, decision_id="placement-1")
+        assert [r["id"] for r in leaf] == ["placement-1"]
+
+    def test_render_decision_shows_the_evidence_chain(self):
+        ledger = DecisionLedger(capacity=4)
+        decision = ledger.record(
+            "placement", "place_cluster", subject="cluster0",
+            tids=[0, 4], parent="clustering-9",
+            evidence={"target_chip": 1, "load_cap": 12.0},
+            alternatives=[{"reason": "more_loaded", "chip": 0, "load": 6}],
+        )
+        (record,) = ledger.decisions()
+        text = "\n".join(render_decision(record))
+        assert f"[{decision}] placement/place_cluster" in text
+        assert "subject: cluster0" in text
+        assert "parent:  clustering-9" in text
+        assert "threads: t0, t4" in text
+        assert "target_chip = 1" in text
+        assert "- more_loaded (chip=0, load=6)" in text
+
+
+# ----------------------------------------------------------------------
+# Zero-/single-window analysis and synthetic attribution
+# ----------------------------------------------------------------------
+class TestWindowEdgeCases:
+    def test_zero_windows_yields_the_empty_analysis(self):
+        analysis = analyze_windows([])
+        assert analysis.windows == []
+        assert analysis.alerts == []
+        assert analysis.attributions == []
+
+    def test_single_window_derives_but_never_checks(self):
+        analysis = analyze_windows(
+            [make_window(0, remote=0.9, actionable=1, executed=8)],
+            decisions=[{
+                "id": "clustering-0", "site": "clustering",
+                "action": "migrate_clusters", "cycle": 100,
+            }],
+        )
+        assert len(analysis.windows) == 1
+        assert analysis.alerts == []
+        assert analysis.attributions == []
+
+    def test_analyze_run_tolerates_results_without_windows(self):
+        class Bare:
+            windows = []
+            thread_summaries = []
+
+        analysis = analyze_run(Bare())
+        assert analysis.windows == []
+        assert analysis.attributions == []
+
+
+class TestSyntheticAttribution:
+    def decision(self, cycle, executed=8, tids=(0, 1)):
+        return {
+            "id": "clustering-0",
+            "site": "clustering",
+            "action": "migrate_clusters",
+            "cycle": cycle,
+            "round": 1,
+            "tids": list(tids),
+            "migrations_executed": executed,
+        }
+
+    def test_effective_migration_scores_positive_delta(self):
+        derived = derive_windows([
+            make_window(0, remote=0.05),
+            make_window(1, remote=0.22, actionable=1, executed=8),
+            make_window(2, remote=0.03),
+            make_window(3, remote=0.02),
+        ])
+        # make_window spans cycles [i*1000, (i+1)*1000].
+        (attribution,) = attribute_decisions(
+            derived, [self.decision(cycle=1500)]
+        )
+        assert attribution.window_index == 1
+        assert attribution.pre_fraction == pytest.approx(0.22)
+        assert attribution.post_fraction == pytest.approx(0.02)
+        assert attribution.realized_delta == pytest.approx(0.20)
+        assert attribution.effective
+        assert attribution.tids == [0, 1]
+
+    def test_ineffective_migration_names_its_decision_in_the_alert(self):
+        windows = [
+            make_window(0, remote=0.22, actionable=1, executed=8),
+            make_window(1, remote=0.21),
+            make_window(2, remote=0.22),
+            make_window(3, remote=0.23),
+        ]
+        analysis = analyze_windows(
+            windows, decisions=[self.decision(cycle=500)]
+        )
+        (attribution,) = analysis.attributions
+        assert not attribution.effective
+        assert attribution.realized_delta < 0.05
+        (alert,) = [
+            a for a in analysis.alerts
+            if a.name == "migration_ineffective"
+        ]
+        assert "clustering-0" in alert.message
+        assert alert.data["decision_ids"] == ["clustering-0"]
+
+    def test_non_clustering_records_are_ignored(self):
+        derived = derive_windows([
+            make_window(0, remote=0.2), make_window(1, remote=0.1),
+        ])
+        steals = [{
+            "id": "balance-0", "site": "balance",
+            "action": "steal_reactive", "cycle": 100,
+        }]
+        assert attribute_decisions(derived, steals) == []
+
+    def test_decision_in_final_window_is_not_judged(self):
+        derived = derive_windows([
+            make_window(0, remote=0.1), make_window(1, remote=0.2),
+        ])
+        assert attribute_decisions(derived, [self.decision(1500)]) == []
+
+
+# ----------------------------------------------------------------------
+# Integration: real runs with the ledger on
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def provenance_run():
+    """One fig6 clustered microbenchmark with ledger + windows on."""
+    config = evaluation_config(
+        PlacementPolicy.CLUSTERED,
+        n_rounds=N_ROUNDS,
+        provenance=True,
+        timeseries_interval=20,
+    )
+    return run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+
+
+class TestInstrumentedRun:
+    def test_clustering_and_placement_sites_record(self, provenance_run):
+        decisions = provenance_run.decisions
+        assert decisions
+        assert provenance_run.decisions_dropped == 0
+        sites = {record["site"] for record in decisions}
+        assert "clustering" in sites
+        assert "placement" in sites
+
+    def test_placements_link_to_their_round_decision(self, provenance_run):
+        ids = {record["id"] for record in provenance_run.decisions}
+        placements = [
+            record for record in provenance_run.decisions
+            if record["site"] == "placement"
+        ]
+        assert placements
+        for record in placements:
+            assert record["parent"] in ids
+
+    def test_round_decision_amended_with_outcome(self, provenance_run):
+        migrated = [
+            record for record in provenance_run.decisions
+            if record["action"] == "migrate_clusters"
+        ]
+        assert migrated
+        assert all(
+            record.get("migrations_executed", 0) > 0 for record in migrated
+        )
+
+    def test_attribution_scores_the_real_migration(self, provenance_run):
+        analysis = analyze_run(provenance_run)
+        assert analysis.attributions
+        best = max(
+            analysis.attributions, key=lambda a: a.realized_delta
+        )
+        assert best.effective
+        assert best.realized_delta > 0
+        assert best.migrations_executed > 0
+
+    def test_provenance_off_records_nothing(self):
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=60
+        )
+        result = run_simulation(PAPER_WORKLOADS["microbenchmark"](), config)
+        assert result.decisions == []
+        assert result.decisions_dropped == 0
+
+    def test_digest_identical_with_ledger_on_and_off(self):
+        def digest(provenance):
+            config = evaluation_config(
+                PlacementPolicy.CLUSTERED,
+                n_rounds=120,
+                seed=7,
+                provenance=provenance,
+            )
+            result = run_simulation(
+                PAPER_WORKLOADS["microbenchmark"](), config
+            )
+            return state_digest(result_state(result)), result
+
+        on_digest, on_result = digest(True)
+        off_digest, off_result = digest(False)
+        assert on_result.decisions and not off_result.decisions
+        assert on_digest == off_digest
+
+
+class TestDecisionTraceInstants:
+    def test_decision_events_land_on_the_controller_track(self):
+        from repro.obs import KIND_DECISION, RingBufferRecorder
+        from repro.obs.chrome_trace import to_chrome_trace
+
+        recorder = RingBufferRecorder(capacity=64)
+        recorder.emit(
+            KIND_DECISION, cycle=1500, decision="clustering-0",
+            action="migrate_clusters", executed=16,
+        )
+        document = to_chrome_trace(recorder.events(), n_cpus=4)
+        (instant,) = [
+            e for e in document["traceEvents"] if e.get("cat") == "decision"
+        ]
+        assert instant["ph"] == "i"
+        assert instant["tid"] == 4  # the controller track, below cpu3
+        assert instant["ts"] == 1500
+        assert instant["name"] == "decision clustering-0"
+        assert instant["args"]["decision"] == "clustering-0"
+        assert instant["args"]["executed"] == 16
+
+    def test_clustered_run_with_both_on_links_trace_to_ledger(self):
+        from repro.obs import KIND_DECISION, RingBufferRecorder
+        from repro.obs.chrome_trace import to_chrome_trace
+
+        recorder = RingBufferRecorder(capacity=262_144)
+        config = evaluation_config(
+            PlacementPolicy.CLUSTERED, n_rounds=N_ROUNDS, provenance=True
+        )
+        result = run_simulation(
+            PAPER_WORKLOADS["microbenchmark"](), config, recorder=recorder
+        )
+        instants = [
+            e.data["decision"]
+            for e in recorder.events()
+            if e.kind == KIND_DECISION
+        ]
+        assert instants
+        ledger_ids = {record["id"] for record in result.decisions}
+        assert set(instants) <= ledger_ids
+        document = to_chrome_trace(recorder.events())
+        assert any(
+            e.get("cat") == "decision" for e in document["traceEvents"]
+        )
+
+
+class TestCliExplain:
+    def test_explain_subcommand_prints_chains_and_writes_json(
+        self, tmp_path, capsys
+    ):
+        report_path = tmp_path / "explain.html"
+        assert (
+            cli.main(
+                [
+                    "explain",
+                    "--rounds", str(N_ROUNDS),
+                    "--tid", "0",
+                    "--out", str(tmp_path),
+                    "--report", str(report_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        # The printed chains honour the --tid filter...
+        assert "clustering/migrate_clusters" in output
+        assert "evidence:" in output
+        assert "rejected alternatives:" in output
+        assert "threads: " in output
+        assert "attribution (realized remote-stall delta):" in output
+        # ...while the archived payload keeps every decision.
+        payload = json.loads((tmp_path / "explain.json").read_text())
+        (block,) = payload.values()
+        assert len(block["decisions"]) >= len(
+            filter_decisions(block["decisions"], tid=0)
+        ) > 0
+        assert block["filters"]["tid"] == 0
+        assert block["attributions"]
+        assert block["attributions"][0]["realized_delta"] > 0
+        html = report_path.read_text()
+        assert "Decisions" in html
+        assert "clustering-0" in html
+
+    def test_explain_in_dispatch_and_excluded_from_all(self):
+        assert "explain" in cli._DISPATCH
+        assert "explain" in cli._RUNNERS
+        args = cli.build_parser().parse_args(
+            ["explain", "--tid", "3", "--round", "84", "--decision", "x-1"]
+        )
+        assert args.tid == 3
+        assert args.round == 84
+        assert args.decision == "x-1"
+
+
+class TestFleetLedger:
+    def test_fleet_moves_record_with_iteration_clock(self):
+        from repro.fleet.model import FleetSpec
+        from repro.fleet.run import run_fleet
+
+        ledger = DecisionLedger(capacity=256)
+        result = run_fleet(
+            FleetSpec(
+                n_nodes=4, seed=3,
+                node_rounds=10, node_quantum_references=40,
+            ),
+            strategy="sharing",
+            iterations=4,
+            ledger=ledger,
+        )
+        decisions = ledger.decisions()
+        assert decisions
+        assert {record["site"] for record in decisions} == {"fleet"}
+        actions = {record["action"] for record in decisions}
+        assert actions & {"evict", "consolidate", "converged"}
+        if result.converged:
+            assert "converged" in actions
+        # Fleet time is replan iterations, not engine cycles.
+        assert all(
+            0 <= record["cycle"] < len(result.iterations)
+            for record in decisions
+        )
+        moves = [
+            record for record in decisions
+            if record["action"] in ("evict", "consolidate")
+        ]
+        assert moves
+        for record in moves:
+            assert "modelled_gain" in record["evidence"]
+            assert record["evidence"]["n_threads"] >= 1
